@@ -1,0 +1,89 @@
+// Ablation study (beyond the paper; DESIGN.md section 5): disable one design
+// element of the estimator at a time and measure the accuracy impact on the
+// unseen-traffic queries the full design is built for:
+//   - no API-aware mask      (paper Eq. 1)
+//   - no cross-expert attention (paper Eq. 3)
+//   - no recurrence          (paper Eq. 2; feed-forward experts)
+//   - no linear bypass       (this implementation's extrapolation path)
+#include "bench/common.h"
+
+using namespace deeprest;  // NOLINT(build/namespaces)
+
+namespace {
+
+struct Variant {
+  std::string name;
+  void (*apply)(EstimatorConfig&);
+};
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader("ablation", "contribution of each DeepRest design element");
+  const std::vector<Variant> variants = {
+      {"full model", [](EstimatorConfig&) {}},
+      {"no API mask", [](EstimatorConfig& c) { c.use_api_mask = false; }},
+      {"no attention", [](EstimatorConfig& c) { c.use_attention = false; }},
+      {"no recurrence", [](EstimatorConfig& c) { c.use_recurrence = false; }},
+      {"no linear bypass", [](EstimatorConfig& c) { c.use_linear_bypass = false; }},
+  };
+
+  // Queries: (1) 2.5x user scale, (2) read-heavy composition shift. The
+  // resources probed stress different elements: disk usage needs recurrence,
+  // the scale query needs the bypass, the composition query needs the mask.
+  const std::vector<MetricKey> probes = {
+      {"FrontendNGINX", ResourceKind::kCpu},
+      {"ComposePostService", ResourceKind::kCpu},
+      {"PostStorageMongoDB", ResourceKind::kWriteIops},
+      {"PostStorageMongoDB", ResourceKind::kDiskUsage},
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& variant : variants) {
+    HarnessConfig config = SocialBenchConfig();
+    variant.apply(config.estimator);
+    ExperimentHarness harness(config);
+    harness.deeprest();  // trains (or loads) the variant before the queries
+
+    // Query 1: unseen scale.
+    TrafficSpec scale_spec = harness.QuerySpec(1);
+    scale_spec.user_scale = 2.5;
+    Rng rng_a(111);
+    const auto scale_query = harness.RunQuery(GenerateTraffic(scale_spec, rng_a));
+    const EstimateMap scale_estimates = harness.EstimateDeepRest(scale_query);
+
+    // Query 2: unseen composition (read-heavy).
+    TrafficSpec mix_spec = harness.QuerySpec(1);
+    for (auto& share : mix_spec.mix) {
+      if (share.api == "/composePost") {
+        share.weight = 0.06;
+      } else if (share.api == "/readTimeline") {
+        share.weight = 0.60;
+      }
+    }
+    Rng rng_b(113);
+    const auto mix_query = harness.RunQuery(GenerateTraffic(mix_spec, rng_b));
+    const EstimateMap mix_estimates = harness.EstimateDeepRest(mix_query);
+
+    double scale_mape = 0.0;
+    double mix_mape = 0.0;
+    for (const auto& key : probes) {
+      scale_mape += harness.QueryMape(scale_estimates, scale_query, key) / probes.size();
+      mix_mape += harness.QueryMape(mix_estimates, mix_query, key) / probes.size();
+    }
+    rows.push_back({variant.name, FormatDouble(scale_mape, 1) + "%",
+                    FormatDouble(mix_mape, 1) + "%"});
+    std::printf("  trained '%s'\n", variant.name.c_str());
+  }
+
+  std::printf("\nMean MAPE over probe resources (lower is better):\n\n%s\n",
+              RenderTable({"variant", "2.5x scale query", "read-heavy mix query"}, rows)
+                  .c_str());
+  std::printf("Reading guide: the API-aware mask and the linear bypass carry most of the\n"
+              "composition-shift accuracy (dropping either degrades the read-heavy query\n"
+              "sharply). Attention is roughly neutral on these aggregate probes — its\n"
+              "value is in cross-resource couplings like disk<-CPU. Recurrence trades a\n"
+              "little scale-extrapolation accuracy for temporal effects (caching, disk\n"
+              "accumulation), mirroring the paper's motivation for a recurrent design.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Concept-drift adaptation (beyond the paper's evaluation; section 6 cites
+// drift adaptation [62] as the mechanism for keeping DeepRest current as
+// application behaviour changes). Scenario: after the learning phase, the
+// user base permanently shifts to a read-heavy mix. A frozen model keeps
+// estimating with stale API-mix assumptions baked into its synthesizer-era
+// calibration; a model that ContinueLearning()s on the first drifted day
+// tracks the new regime.
+#include "bench/common.h"
+
+using namespace deeprest;  // NOLINT(build/namespaces)
+
+namespace {
+
+TrafficSpec DriftedSpec(const ExperimentHarness& harness, size_t days) {
+  TrafficSpec spec = harness.QuerySpec(days);
+  for (auto& share : spec.mix) {
+    if (share.api == "/composePost") {
+      share.weight = 0.05;
+    } else if (share.api == "/readTimeline") {
+      share.weight = 0.58;
+    } else if (share.api == "/getMedia") {
+      share.weight = 0.20;
+    }
+  }
+  spec.user_scale = 1.4;  // the shift also brought more users
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader("drift adaptation (extension)",
+                   "incremental ContinueLearning under a permanent workload shift");
+  HarnessConfig config = SocialBenchConfig();
+  config.cache_models = false;  // this bench mutates the model
+  ExperimentHarness harness(config);
+  DeepRestEstimator& estimator = harness.deeprest();
+
+  // Day 1 of the new regime: serve it, then fine-tune on its telemetry.
+  Rng rng(131);
+  const auto drift_day1 = harness.RunQuery(GenerateTraffic(DriftedSpec(harness, 1), rng));
+  const EstimateMap stale_day1 = harness.EstimateDeepRestFromRealTraces(drift_day1);
+
+  // Day 2 estimated by the STALE model...
+  const auto drift_day2 = harness.RunQuery(GenerateTraffic(DriftedSpec(harness, 1), rng));
+  const EstimateMap stale_day2 = harness.EstimateDeepRestFromRealTraces(drift_day2);
+
+  // ...then adapt on day 1's telemetry and re-estimate day 2.
+  estimator.ContinueLearning(harness.traces(), harness.metrics(), drift_day1.from,
+                             drift_day1.to, 6);
+  const EstimateMap adapted_day2 = harness.EstimateDeepRestFromRealTraces(drift_day2);
+
+  const std::vector<MetricKey> probes = {
+      {"FrontendNGINX", ResourceKind::kCpu},
+      {"ComposePostService", ResourceKind::kCpu},
+      {"HomeTimelineService", ResourceKind::kCpu},
+      {"PostStorageMongoDB", ResourceKind::kCpu},
+      {"PostStorageMongoDB", ResourceKind::kWriteIops},
+  };
+  std::vector<std::vector<std::string>> rows;
+  double stale_total = 0.0;
+  double adapted_total = 0.0;
+  for (const auto& key : probes) {
+    const double stale = harness.QueryMape(stale_day2, drift_day2, key);
+    const double adapted = harness.QueryMape(adapted_day2, drift_day2, key);
+    stale_total += stale / probes.size();
+    adapted_total += adapted / probes.size();
+    rows.push_back({key.ToString(), FormatDouble(stale, 1) + "%",
+                    FormatDouble(adapted, 1) + "%"});
+  }
+  rows.push_back({"MEAN", FormatDouble(stale_total, 1) + "%",
+                  FormatDouble(adapted_total, 1) + "%"});
+  std::printf("MAPE on drifted day 2 (read-heavy mix at 1.4x users):\n\n%s\n",
+              RenderTable({"resource", "frozen model", "after ContinueLearning"}, rows)
+                  .c_str());
+  std::printf("Reading guide: because DeepRest estimates as a function of traffic, even\n"
+              "the frozen model follows much of the shift (its features see the new mix);\n"
+              "fine-tuning recalibrates the operating point (CPU rows improve sharply).\n"
+              "PostStorageMongoDB write IOps is near-zero under this read-heavy mix, so\n"
+              "its MAPE is dominated by background-churn noise either way.\n");
+  return 0;
+}

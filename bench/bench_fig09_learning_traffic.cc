@@ -1,0 +1,41 @@
+// Paper Fig. 9: the 7-day API traffic used for application learning — three
+// representative APIs (/composePost, /readTimeline, /uploadMedia), two
+// peak-hours per day, with day-to-day variation.
+#include "bench/common.h"
+
+using namespace deeprest;  // NOLINT(build/namespaces)
+
+int main() {
+  PrintBenchHeader("Fig. 9", "7-day application-learning traffic (two peak-hours per day)");
+  ExperimentHarness harness(SocialBenchConfig());
+  const TrafficSeries& traffic = harness.learn_traffic();
+
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> series;
+  for (const char* api : {"/composePost", "/readTimeline", "/uploadMedia"}) {
+    size_t index = 0;
+    if (!traffic.ApiIndex(api, index)) {
+      continue;
+    }
+    names.push_back(api);
+    std::vector<double> rates;
+    for (size_t w = 0; w < traffic.windows(); ++w) {
+      rates.push_back(traffic.rate(w, index));
+    }
+    series.push_back(std::move(rates));
+  }
+  std::printf("Requests per window over 7 days (%zu windows/day):\n\n",
+              harness.config().windows_per_day);
+  std::printf("%s\n", RenderSeries(names, series, 14, 98).c_str());
+
+  std::printf("Per-day totals (day-to-day variation):\n");
+  const size_t windows_per_day = harness.config().windows_per_day;
+  for (size_t day = 0; day < harness.config().learn_days; ++day) {
+    double total = 0.0;
+    for (size_t w = 0; w < windows_per_day; ++w) {
+      total += traffic.TotalAt(day * windows_per_day + w);
+    }
+    std::printf("  day %zu: %.0f requests\n", day + 1, total);
+  }
+  return 0;
+}

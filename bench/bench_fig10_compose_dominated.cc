@@ -1,0 +1,67 @@
+// Paper Fig. 10: estimation quality under a /composePost-dominated query —
+// one day of traffic with ~2x the requests, the additional ones primarily
+// /composePost. Plots (a) the query traffic, (b) ComposePostService CPU and
+// (c) PostStorageMongoDB write IOps for all four algorithms vs the actual
+// measurements.
+#include "bench/common.h"
+
+using namespace deeprest;  // NOLINT(build/namespaces)
+
+int main() {
+  PrintBenchHeader("Fig. 10", "/composePost-dominated query traffic (2x requests)");
+  ExperimentHarness harness(SocialBenchConfig());
+
+  TrafficSpec spec = harness.QuerySpec(1);
+  spec.user_scale = 2.0;
+  // Shift the mix so the additional requests are primarily /composePost.
+  for (auto& share : spec.mix) {
+    if (share.api == "/composePost") {
+      share.weight = 0.48;
+    } else if (share.api == "/readTimeline") {
+      share.weight = 0.20;
+    }
+  }
+  Rng rng(17);
+  const auto query = harness.RunQuery(GenerateTraffic(spec, rng));
+
+  // (a) query traffic
+  {
+    std::vector<std::string> names = {"/composePost", "/readTimeline", "/uploadMedia"};
+    std::vector<std::vector<double>> series;
+    for (const auto& api : names) {
+      size_t index = 0;
+      query.traffic.ApiIndex(api, index);
+      std::vector<double> rates;
+      for (size_t w = 0; w < query.traffic.windows(); ++w) {
+        rates.push_back(query.traffic.rate(w, index));
+      }
+      series.push_back(std::move(rates));
+    }
+    std::printf("(a) Query API traffic:\n%s\n", RenderSeries(names, series, 10, 96).c_str());
+  }
+
+  const auto estimates = EstimateAll(harness, query);
+  for (const auto& [label, key] :
+       {std::pair<std::string, MetricKey>{"(b) ComposePostService CPU [%]",
+                                          {"ComposePostService", ResourceKind::kCpu}},
+        std::pair<std::string, MetricKey>{"(c) PostStorageMongoDB write IOps",
+                                          {"PostStorageMongoDB", ResourceKind::kWriteIops}}}) {
+    const auto actual = harness.metrics().Series(key, query.from, query.to);
+    std::vector<std::string> names = {"actual"};
+    std::vector<std::vector<double>> series = {actual};
+    std::vector<std::vector<std::string>> rows;
+    for (size_t a = 0; a < estimates.size(); ++a) {
+      names.push_back(AlgorithmNames()[a]);
+      series.push_back(estimates[a].at(key).expected);
+      rows.push_back({AlgorithmNames()[a],
+                      FormatDouble(harness.QueryMape(estimates[a], query, key), 1) + "%"});
+    }
+    std::printf("%s\n%s\n", label.c_str(), RenderSeries(names, series, 12, 96).c_str());
+    std::printf("%s\n", RenderTable({"algorithm", "MAPE"}, rows).c_str());
+  }
+  std::printf(
+      "Expected shape (paper): resrc-aware DL misses the burst entirely; the\n"
+      "scaling baselines follow it but with magnitude errors; DeepRest tracks\n"
+      "the actual measurements most closely.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Paper Fig. 11: estimation quality under a /readTimeline-dominated query.
+// The total request count resembles Fig. 10's, but /readTimeline never
+// invokes ComposePostService and performs no writes on PostStorageMongoDB —
+// so (b) CPU must stay near baseline and (c) write IOps must not surge.
+// Simple scaling mistakenly scales both; component-aware scaling fixes (b)
+// but overshoots (c); DeepRest gets both right.
+#include "bench/common.h"
+
+using namespace deeprest;  // NOLINT(build/namespaces)
+
+int main() {
+  PrintBenchHeader("Fig. 11", "/readTimeline-dominated query traffic (2x requests)");
+  ExperimentHarness harness(SocialBenchConfig());
+
+  TrafficSpec spec = harness.QuerySpec(1);
+  spec.user_scale = 2.0;
+  for (auto& share : spec.mix) {
+    if (share.api == "/composePost") {
+      share.weight = 0.06;
+    } else if (share.api == "/readTimeline") {
+      share.weight = 0.62;
+    }
+  }
+  Rng rng(19);
+  const auto query = harness.RunQuery(GenerateTraffic(spec, rng));
+  const auto estimates = EstimateAll(harness, query);
+
+  for (const auto& [label, key] :
+       {std::pair<std::string, MetricKey>{"(b) ComposePostService CPU [%]",
+                                          {"ComposePostService", ResourceKind::kCpu}},
+        std::pair<std::string, MetricKey>{"(c) PostStorageMongoDB write IOps",
+                                          {"PostStorageMongoDB", ResourceKind::kWriteIops}}}) {
+    const auto actual = harness.metrics().Series(key, query.from, query.to);
+    std::vector<std::string> names = {"actual"};
+    std::vector<std::vector<double>> series = {actual};
+    std::vector<std::vector<std::string>> rows;
+    for (size_t a = 0; a < estimates.size(); ++a) {
+      names.push_back(AlgorithmNames()[a]);
+      series.push_back(estimates[a].at(key).expected);
+      rows.push_back({AlgorithmNames()[a],
+                      FormatDouble(harness.QueryMape(estimates[a], query, key), 1) + "%"});
+    }
+    std::printf("%s\n%s\n", label.c_str(), RenderSeries(names, series, 12, 96).c_str());
+    std::printf("%s\n", RenderTable({"algorithm", "MAPE"}, rows).c_str());
+  }
+
+  // Quantify the paper's two headline observations directly.
+  const MetricKey compose_cpu{"ComposePostService", ResourceKind::kCpu};
+  const MetricKey iops{"PostStorageMongoDB", ResourceKind::kWriteIops};
+  std::printf("Key orderings (lower MAPE is better):\n");
+  std::printf("  ComposePostService CPU : DeepRest %.1f%% vs SimpleScaling %.1f%%"
+              " (simple scaling cannot know /readTimeline skips the component)\n",
+              harness.QueryMape(estimates[0], query, compose_cpu),
+              harness.QueryMape(estimates[2], query, compose_cpu));
+  std::printf("  PostStorageMongoDB IOps: DeepRest %.1f%% vs ComponentAware %.1f%%"
+              " (component-aware scales the write path for read-only traffic)\n",
+              harness.QueryMape(estimates[0], query, iops),
+              harness.QueryMape(estimates[3], query, iops));
+  return 0;
+}

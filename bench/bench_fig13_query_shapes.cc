@@ -1,0 +1,66 @@
+// Paper Fig. 13: example one-day query traffic for the three business
+// scenarios — (a) unseen scales of users (1x/2x/3x), (b) an unseen API
+// composition, (c) an unseen (flat) traffic shape.
+#include "bench/common.h"
+
+using namespace deeprest;  // NOLINT(build/namespaces)
+
+int main() {
+  PrintBenchHeader("Fig. 13", "the three unseen-query scenarios (example traffic)");
+  ExperimentHarness harness(SocialBenchConfig());
+
+  // (a) Unseen user scales.
+  {
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> series;
+    for (double scale : {1.0, 2.0, 3.0}) {
+      TrafficSpec spec = harness.QuerySpec(1);
+      spec.user_scale = scale;
+      Rng rng(29);
+      const TrafficSeries traffic = GenerateTraffic(spec, rng);
+      names.push_back(FormatDouble(scale, 0) + "x users");
+      std::vector<double> totals;
+      for (size_t w = 0; w < traffic.windows(); ++w) {
+        totals.push_back(traffic.TotalAt(w));
+      }
+      series.push_back(std::move(totals));
+    }
+    std::printf("(a) Unseen scales of application users (total requests/window):\n%s\n",
+                RenderSeries(names, series, 12, 96).c_str());
+  }
+
+  // (b) Unseen API composition: 10% compose / 85% read / 5% upload.
+  {
+    TrafficSpec spec = harness.QuerySpec(1);
+    spec.mix = {{"/composePost", 0.10}, {"/readTimeline", 0.85}, {"/uploadMedia", 0.05}};
+    Rng rng(31);
+    const TrafficSeries traffic = GenerateTraffic(spec, rng);
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> series;
+    for (size_t a = 0; a < traffic.api_count(); ++a) {
+      names.push_back(traffic.apis()[a]);
+      std::vector<double> rates;
+      for (size_t w = 0; w < traffic.windows(); ++w) {
+        rates.push_back(traffic.rate(w, a));
+      }
+      series.push_back(std::move(rates));
+    }
+    std::printf("(b) Unseen API composition (10%% / 85%% / 5%%):\n%s\n",
+                RenderSeries(names, series, 12, 96).c_str());
+  }
+
+  // (c) Unseen traffic shape: flat.
+  {
+    TrafficSpec spec = harness.QuerySpec(1);
+    spec.shape = ShapeKind::kFlat;
+    Rng rng(37);
+    const TrafficSeries traffic = GenerateTraffic(spec, rng);
+    std::vector<double> totals;
+    for (size_t w = 0; w < traffic.windows(); ++w) {
+      totals.push_back(traffic.TotalAt(w));
+    }
+    std::printf("(c) Unseen traffic shape (flat vs the two-peak learning shape):\n%s\n",
+                RenderSeries({"flat query"}, {totals}, 10, 96).c_str());
+  }
+  return 0;
+}

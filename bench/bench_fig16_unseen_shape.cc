@@ -1,0 +1,103 @@
+// Paper Fig. 16: CPU-estimation MAPE under unseen traffic shapes. The model
+// learns on two-peak days and is queried with flat traffic (and, using a
+// flat-trained model, queried with two-peak traffic).
+#include <algorithm>
+
+#include "bench/common.h"
+
+using namespace deeprest;  // NOLINT(build/namespaces)
+
+namespace {
+
+void RunDirection(const std::string& label, ShapeKind learn_shape, ShapeKind query_shape,
+                  uint64_t seed) {
+  HarnessConfig config = SocialBenchConfig();
+  config.seed = seed;
+  ExperimentHarness harness(config);
+  // Note: the harness's LearnSpec is two-peak by default; for the reverse
+  // direction we retrain on flat traffic via a custom harness below.
+  (void)learn_shape;
+
+  const std::vector<std::string> components = {"FrontendNGINX", "ComposePostService",
+                                               "UserTimelineService", "PostStorageMongoDB"};
+  const int reps = BenchRepetitions();
+  std::printf("=== %s ===\n", label.c_str());
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& component : components) {
+    std::vector<double> worst(AlgorithmNames().size(), 0.0);
+    for (int rep = 0; rep < reps; ++rep) {
+      TrafficSpec spec = harness.QuerySpec(1);
+      spec.shape = query_shape;
+      spec.user_scale = 1.0 + 0.1 * rep;
+      Rng rng(seed * 101 + static_cast<uint64_t>(rep));
+      const auto query = harness.RunQuery(GenerateTraffic(spec, rng));
+      const auto estimates = EstimateAll(harness, query);
+      for (size_t a = 0; a < estimates.size(); ++a) {
+        worst[a] = std::max(
+            worst[a], harness.QueryMape(estimates[a], query, {component, ResourceKind::kCpu}));
+      }
+    }
+    std::vector<std::string> row = {component};
+    for (double mape : worst) {
+      row.push_back(FormatDouble(mape, 1) + "%");
+    }
+    rows.push_back(std::move(row));
+  }
+  std::vector<std::string> header = {"component CPU"};
+  header.insert(header.end(), AlgorithmNames().begin(), AlgorithmNames().end());
+  std::printf("%s\n", RenderTable(header, rows).c_str());
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader("Fig. 16", "CPU MAPE under unseen traffic shapes");
+  // Direction 1: learn two-peak -> query flat (harness default learning).
+  RunDirection("2-peak/day -> flat", ShapeKind::kTwoPeak, ShapeKind::kFlat, 1);
+
+  // Direction 2: learn flat -> query two-peak. Needs a flat learning phase,
+  // which the stock harness does not produce; rebuild with a custom spec by
+  // reusing the harness seed machinery through a modified config.
+  {
+    // A flat learning phase: emulate by treating a flat-shape harness. The
+    // harness derives the learning spec internally, so we approximate the
+    // reverse direction with a dedicated harness whose learning traffic is
+    // flattened via the shape override below.
+    HarnessConfig config = SocialBenchConfig();
+    config.seed = 2;
+    config.learn_shape = ShapeKind::kFlat;
+    ExperimentHarness harness(config);
+    const std::vector<std::string> components = {"FrontendNGINX", "ComposePostService",
+                                                 "UserTimelineService",
+                                                 "PostStorageMongoDB"};
+    const int reps = BenchRepetitions();
+    std::printf("=== flat -> 2-peak/day ===\n");
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& component : components) {
+      std::vector<double> worst(AlgorithmNames().size(), 0.0);
+      for (int rep = 0; rep < reps; ++rep) {
+        TrafficSpec spec = harness.QuerySpec(1);
+        spec.shape = ShapeKind::kTwoPeak;
+        spec.user_scale = 1.0 + 0.1 * rep;
+        Rng rng(777 + static_cast<uint64_t>(rep));
+        const auto query = harness.RunQuery(GenerateTraffic(spec, rng));
+        const auto estimates = EstimateAll(harness, query);
+        for (size_t a = 0; a < estimates.size(); ++a) {
+          worst[a] = std::max(worst[a], harness.QueryMape(estimates[a], query,
+                                                          {component, ResourceKind::kCpu}));
+        }
+      }
+      std::vector<std::string> row = {component};
+      for (double mape : worst) {
+        row.push_back(FormatDouble(mape, 1) + "%");
+      }
+      rows.push_back(std::move(row));
+    }
+    std::vector<std::string> header = {"component CPU"};
+    header.insert(header.end(), AlgorithmNames().begin(), AlgorithmNames().end());
+    std::printf("%s\n", RenderTable(header, rows).c_str());
+  }
+  std::printf("Expected shape (paper): resrc-aware DL reproduces the learned shape no\n"
+              "matter what the query looks like; DeepRest follows the query shape.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Paper Fig. 17: applicability to a second application — estimating the CPU
+// of the hotel reservation system's FrontendService for a query with 3x more
+// users than ever observed, plus the absolute-percentage-error distribution.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "bench/common.h"
+
+using namespace deeprest;  // NOLINT(build/namespaces)
+
+int main() {
+  PrintBenchHeader("Fig. 17", "hotel reservation: FrontendService CPU at 3x users");
+  ExperimentHarness harness(HotelBenchConfig());
+
+  TrafficSpec spec = harness.QuerySpec(1);
+  spec.user_scale = 3.0;
+  Rng rng(61);
+  const auto query = harness.RunQuery(GenerateTraffic(spec, rng));
+  const auto estimates = EstimateAll(harness, query);
+
+  const MetricKey key{"FrontendService", ResourceKind::kCpu};
+  const auto actual = harness.metrics().Series(key, query.from, query.to);
+  std::vector<std::string> names = {"actual"};
+  std::vector<std::vector<double>> series = {actual};
+  for (size_t a = 0; a < estimates.size(); ++a) {
+    names.push_back(AlgorithmNames()[a]);
+    series.push_back(estimates[a].at(key).expected);
+  }
+  std::printf("(a) FrontendService CPU, 3x users:\n%s\n",
+              RenderSeries(names, series, 12, 96).c_str());
+
+  // (b) absolute percentage error per algorithm: mean and p95.
+  std::vector<std::vector<std::string>> rows;
+  for (size_t a = 0; a < estimates.size(); ++a) {
+    const auto& expected = estimates[a].at(key).expected;
+    std::vector<double> errors;
+    for (size_t t = 0; t < actual.size(); ++t) {
+      errors.push_back(100.0 * std::fabs(expected[t] - actual[t]) /
+                       std::max(actual[t], 1.0));
+    }
+    std::sort(errors.begin(), errors.end());
+    const double mean =
+        std::accumulate(errors.begin(), errors.end(), 0.0) / static_cast<double>(errors.size());
+    const double p95 = errors[static_cast<size_t>(0.95 * (errors.size() - 1))];
+    rows.push_back({AlgorithmNames()[a], FormatDouble(mean, 1) + "%",
+                    FormatDouble(p95, 1) + "%"});
+  }
+  std::printf("(b) Absolute percentage error:\n%s\n",
+              RenderTable({"algorithm", "mean APE", "p95 APE"}, rows).c_str());
+  std::printf("Expected shape (paper): both scaling baselines significantly OVER-estimate\n"
+              "at 3x (small errors magnify with user count); DeepRest stays closest.\n");
+  return 0;
+}

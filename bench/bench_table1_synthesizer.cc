@@ -1,0 +1,84 @@
+// Paper Table 1: trace-synthesizer quality across the six unseen-query
+// settings — synthesized traces must reproduce the distribution of traces the
+// application would actually record if the query traffic were served
+// (the paper reports > 91% in every setting).
+#include "bench/common.h"
+
+using namespace deeprest;  // NOLINT(build/namespaces)
+
+namespace {
+
+double ScenarioQuality(ExperimentHarness& harness, const TrafficSpec& spec, uint64_t seed) {
+  Rng rng(seed);
+  const auto query = harness.RunQuery(GenerateTraffic(spec, rng));
+  DeepRestEstimator& estimator = harness.deeprest();
+
+  Rng synth_rng(seed * 3 + 1);
+  TraceCollector synthetic;
+  estimator.synthesizer().SynthesizeSeries(query.traffic, 0, synth_rng, synthetic);
+  const auto synth_features =
+      estimator.features().ExtractSeries(synthetic, 0, query.traffic.windows());
+  const auto real_features =
+      estimator.features().ExtractSeries(harness.traces(), query.from, query.to);
+  return SynthesisQuality(synth_features, real_features);
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader("Table 1", "trace-synthesizer quality on the six query scenarios");
+  ExperimentHarness harness(SocialBenchConfig());
+  harness.deeprest();
+
+  std::vector<std::vector<std::string>> rows;
+  auto add_row = [&](const std::string& scenario, const std::string& setting,
+                     double quality) {
+    rows.push_back({scenario, setting, FormatDouble(quality, 2) + "%"});
+  };
+
+  // Unseen scales: 1x, 2x, 3x.
+  for (double scale : {1.0, 2.0, 3.0}) {
+    TrafficSpec spec = harness.QuerySpec(1);
+    spec.user_scale = scale;
+    add_row("Unseen Scale", FormatDouble(scale, 0) + "x",
+            ScenarioQuality(harness, spec, 71 + static_cast<uint64_t>(scale)));
+  }
+  // Unseen API composition.
+  {
+    TrafficSpec spec = harness.QuerySpec(1);
+    for (auto& share : spec.mix) {
+      if (share.api == "/composePost") {
+        share.weight = 0.10;
+      } else if (share.api == "/readTimeline") {
+        share.weight = 0.85;
+      } else if (share.api == "/uploadMedia") {
+        share.weight = 0.05;
+      } else {
+        share.weight = 0.0;
+      }
+    }
+    add_row("Unseen API Composition", "10/85/5", ScenarioQuality(harness, spec, 79));
+  }
+  // Unseen shapes, both directions.
+  {
+    TrafficSpec spec = harness.QuerySpec(1);
+    spec.shape = ShapeKind::kFlat;
+    add_row("Unseen Shape", "2-peak/day -> flat", ScenarioQuality(harness, spec, 83));
+  }
+  {
+    HarnessConfig config = SocialBenchConfig();
+    config.seed = 2;
+    config.learn_shape = ShapeKind::kFlat;
+    ExperimentHarness flat_harness(config);
+    flat_harness.deeprest();
+    TrafficSpec spec = flat_harness.QuerySpec(1);
+    spec.shape = ShapeKind::kTwoPeak;
+    add_row("Unseen Shape", "flat -> 2-peak/day", ScenarioQuality(flat_harness, spec, 89));
+  }
+
+  std::printf("%s\n", RenderTable({"query scenario", "setting", "synthesis quality"}, rows)
+                          .c_str());
+  std::printf("Paper Table 1 reports 91.03-93.54%% across these settings; the synthesizer\n"
+              "is distribution-faithful, so quality should sit in the same band.\n");
+  return 0;
+}

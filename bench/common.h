@@ -1,0 +1,80 @@
+// Shared configuration and output helpers for the benchmark binaries.
+//
+// Every bench reproducing a paper artifact uses the same learning-phase
+// configuration so the expensive DeepRest training runs once and is shared
+// through the on-disk model cache (.deeprest_cache/). Deleting that
+// directory forces retraining.
+#ifndef BENCH_COMMON_H_
+#define BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "src/eval/ascii.h"
+#include "src/eval/harness.h"
+
+namespace deeprest {
+
+inline HarnessConfig SocialBenchConfig() {
+  HarnessConfig config;
+  config.app = HarnessConfig::AppKind::kSocialNetwork;
+  config.learn_days = 7;  // paper: seven days of application learning
+  config.windows_per_day = 48;
+  config.base_requests_per_window = 110.0;
+  config.seed = 1;
+  config.estimator.hidden_dim = 12;
+  config.estimator.epochs = 12;
+  config.estimator.bptt_chunk = 48;
+  config.resource_aware_dl.epochs = 10;
+  config.resource_aware_dl.hidden_dim = 8;
+  config.cache_models = true;
+  config.cache_dir = ".deeprest_cache";
+  std::filesystem::create_directories(config.cache_dir);
+  return config;
+}
+
+inline HarnessConfig HotelBenchConfig() {
+  HarnessConfig config = SocialBenchConfig();
+  config.app = HarnessConfig::AppKind::kHotelReservation;
+  return config;
+}
+
+// Number of repetitions for the repeated-query experiments (paper: nine).
+inline int BenchRepetitions() {
+  if (const char* env = std::getenv("DEEPREST_BENCH_REPS")) {
+    return std::max(1, std::atoi(env));
+  }
+  return 3;
+}
+
+inline void PrintBenchHeader(const std::string& artifact, const std::string& description) {
+  std::printf("================================================================\n");
+  std::printf("DeepRest reproduction — %s\n", artifact.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("================================================================\n\n");
+}
+
+// The four algorithms in the paper's comparison, in its presentation order.
+inline const std::vector<std::string>& AlgorithmNames() {
+  static const std::vector<std::string> kNames = {"DeepRest", "ResrcDL", "SimpleScal",
+                                                  "CompScal"};
+  return kNames;
+}
+
+// Runs all four algorithms on one query; returns their estimates in
+// AlgorithmNames() order.
+inline std::vector<EstimateMap> EstimateAll(ExperimentHarness& harness,
+                                            const ExperimentHarness::QueryResult& query) {
+  std::vector<EstimateMap> all;
+  all.push_back(harness.EstimateDeepRest(query));
+  all.push_back(harness.EstimateResourceAwareDl(query));
+  all.push_back(harness.EstimateSimpleScaling(query));
+  all.push_back(harness.EstimateComponentAwareScaling(query));
+  return all;
+}
+
+}  // namespace deeprest
+
+#endif  // BENCH_COMMON_H_

@@ -1,0 +1,96 @@
+// Capacity planning for a marketing event (paper section 5.3 use case).
+//
+// Scenario: the social network expects a "holiday burst" — 2.5x the users AND
+// a composition shift towards browsing (/readTimeline-heavy). The operator
+// asks DeepRest for a per-component allocation plan before the event, using
+// the 90%-confidence upper bound as the provisioning target.
+//
+// Build & run:  ./build/examples/capacity_planning
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/eval/ascii.h"
+#include "src/eval/harness.h"
+
+using namespace deeprest;  // NOLINT: example brevity
+
+int main() {
+  HarnessConfig config;
+  config.learn_days = 5;
+  config.windows_per_day = 48;
+  config.seed = 21;
+  config.cache_models = false;
+  config.estimator.hidden_dim = 12;
+  config.estimator.epochs = 10;
+  ExperimentHarness harness(config);
+  std::printf("Learning from %zu windows of production telemetry...\n",
+              harness.learn_windows());
+  DeepRestEstimator& estimator = harness.deeprest();
+
+  // The event: browsing-dominated traffic at 2.5x scale for one day.
+  TrafficSpec event_spec = harness.QuerySpec(1);
+  event_spec.user_scale = 2.5;
+  event_spec.mix = {
+      {"/composePost", 0.10},  {"/readTimeline", 0.52}, {"/readUserTimeline", 0.12},
+      {"/uploadMedia", 0.03},  {"/getMedia", 0.13},     {"/login", 0.04},
+      {"/register", 0.005},    {"/followUser", 0.02},   {"/unfollowUser", 0.005},
+      {"/searchUser", 0.02},   {"/readPost", 0.01},
+  };
+  Rng rng(5);
+  const TrafficSeries event_traffic = GenerateTraffic(event_spec, rng);
+  const EstimateMap plan = estimator.EstimateFromTraffic(event_traffic, 3);
+
+  // Allocation plan: for each component's CPU, compare today's peak with the
+  // event-day peak upper bound.
+  std::printf("\n=== CPU allocation plan for the event day (2.5x users, read-heavy) ===\n\n");
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& component : harness.app().components()) {
+    const MetricKey key{component.name, ResourceKind::kCpu};
+    const auto it = plan.find(key);
+    if (it == plan.end()) {
+      continue;
+    }
+    const auto learn_series = harness.metrics().Series(key, 0, harness.learn_windows());
+    const double current_peak = *std::max_element(learn_series.begin(), learn_series.end());
+    const double planned_peak =
+        *std::max_element(it->second.upper.begin(), it->second.upper.end());
+    const double change = 100.0 * (planned_peak - current_peak) / std::max(current_peak, 1.0);
+    if (planned_peak < 8.0) {
+      continue;  // idle components are uninteresting in the report
+    }
+    rows.push_back({component.name, FormatDouble(current_peak, 1) + "%",
+                    FormatDouble(planned_peak, 1) + "%",
+                    (change >= 0 ? "+" : "") + FormatDouble(change, 0) + "%"});
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return std::stod(b[2]) < std::stod(a[2]);
+  });
+  std::printf("%s\n", RenderTable({"component", "current peak", "plan (p90 upper)", "change"},
+                                  rows)
+                          .c_str());
+
+  // Verify the plan against reality: serve the event and count violations of
+  // the provisioned upper bound.
+  std::printf("Validating: serving the event traffic on the live deployment...\n");
+  const auto query = harness.RunQuery(event_traffic);
+  size_t violations = 0;
+  size_t samples = 0;
+  for (const auto& [key, estimate] : plan) {
+    if (key.resource != ResourceKind::kCpu) {
+      continue;
+    }
+    const auto actual = harness.metrics().Series(key, query.from, query.to);
+    const double provisioned =
+        *std::max_element(estimate.upper.begin(), estimate.upper.end());
+    for (double v : actual) {
+      ++samples;
+      if (v > provisioned * 1.05) {
+        ++violations;
+      }
+    }
+  }
+  std::printf("Provisioning check: %zu/%zu samples exceeded the plan (%.2f%%)\n", violations,
+              samples, 100.0 * static_cast<double>(violations) / static_cast<double>(samples));
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: the smallest useful DeepRest workflow.
+//
+// 1. Deploy an application (here: the simulated DeathStarBench social
+//    network) and collect traces + metrics for a learning phase.
+// 2. Train DeepRest on that telemetry.
+// 3. Ask it how many resources a *hypothetical* future traffic pattern
+//    (2x the users) will need, and compare against what actually happens.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/core/estimator.h"
+#include "src/eval/ascii.h"
+#include "src/eval/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/workload/traffic.h"
+
+using namespace deeprest;  // NOLINT: example brevity
+
+int main() {
+  // ---- 1. Application learning phase: 4 simulated days of production. ----
+  const Application app = BuildSocialNetworkApp();
+  Simulator sim(app, {.seed = 42});
+
+  TrafficSpec learn_spec;
+  learn_spec.days = 4;
+  learn_spec.windows_per_day = 48;
+  learn_spec.base_requests_per_window = 100.0;
+  learn_spec.mix = {{"/composePost", 0.25}, {"/readTimeline", 0.45}, {"/uploadMedia", 0.10},
+                    {"/getMedia", 0.20}};
+  Rng traffic_rng(7);
+  const TrafficSeries learn_traffic = GenerateTraffic(learn_spec, traffic_rng);
+
+  TraceCollector traces;
+  MetricsStore metrics;
+  sim.Run(learn_traffic, 0, &traces, &metrics);
+  const size_t learn_windows = learn_traffic.windows();
+  std::printf("Learning phase: %zu windows, %zu traces, %zu resources\n", learn_windows,
+              traces.total_traces(), app.MetricCatalog().size());
+
+  // ---- 2. Train DeepRest. ----
+  EstimatorConfig config;
+  config.hidden_dim = 12;
+  config.epochs = 10;
+  config.verbose = true;
+  DeepRestEstimator estimator(config);
+  estimator.Learn(traces, metrics, 0, learn_windows, app.MetricCatalog());
+  std::printf("Trained %zu experts (%zu parameters) in %.1f s\n", estimator.expert_count(),
+              estimator.TotalParameters(), estimator.train_seconds());
+
+  // ---- 3. Query: what if tomorrow has 2x the users? ----
+  TrafficSpec query_spec = learn_spec;
+  query_spec.days = 1;
+  query_spec.user_scale = 2.0;
+  Rng query_rng(11);
+  const TrafficSeries query_traffic = GenerateTraffic(query_spec, query_rng);
+  const EstimateMap estimates = estimator.EstimateFromTraffic(query_traffic, 1);
+
+  // Ground truth: actually serve the 2x day on the same deployment.
+  sim.Run(query_traffic, learn_windows, nullptr, &metrics);
+
+  std::printf("\nEstimated vs actual, day at 2x users (never observed in learning):\n\n");
+  for (const MetricKey& key : {MetricKey{"FrontendNGINX", ResourceKind::kCpu},
+                              MetricKey{"ComposePostService", ResourceKind::kCpu},
+                              MetricKey{"PostStorageMongoDB", ResourceKind::kWriteIops}}) {
+    const auto actual =
+        metrics.Series(key, learn_windows, learn_windows + query_traffic.windows());
+    const auto& estimate = estimates.at(key);
+    std::printf("--- %s (MAPE %.1f%%) ---\n", key.ToString().c_str(),
+                Mape(estimate.expected, actual));
+    std::printf("%s\n",
+                RenderSeries({"estimated", "actual"}, {estimate.expected, actual}, 8, 72)
+                    .c_str());
+  }
+  std::printf("Tip: estimate.upper is the %.0f%%-confidence allocation headroom.\n", 90.0);
+  return 0;
+}

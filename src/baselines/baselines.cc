@@ -1,0 +1,261 @@
+#include "src/baselines/baselines.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/nn/optimizer.h"
+#include "src/nn/ops.h"
+
+namespace deeprest {
+
+// ---- ResourceAwareDl ----
+
+ResourceAwareDl::ResourceAwareDl(const ResourceAwareDlConfig& config) : config_(config) {}
+
+Tensor ResourceAwareDl::InputAt(float prev_day_value, size_t window_of_day) const {
+  const float phase = 2.0f * static_cast<float>(M_PI) * static_cast<float>(window_of_day) /
+                      static_cast<float>(windows_per_day_);
+  return Tensor::Constant(
+      Matrix::Column({prev_day_value, std::sin(phase), std::cos(phase)}));
+}
+
+void ResourceAwareDl::Learn(const MetricsStore& metrics, size_t from, size_t to,
+                            size_t windows_per_day, const std::vector<MetricKey>& resources) {
+  windows_per_day_ = windows_per_day;
+  const size_t total_windows = to - from;
+  assert(total_windows / windows_per_day >= 2 &&
+         "resource-aware DL needs at least two days of history");
+
+  Rng rng(config_.seed);
+  store_ = ParameterStore();
+  experts_.clear();
+  experts_.reserve(resources.size());
+  std::vector<std::vector<float>> scaled_series(resources.size());
+  for (size_t i = 0; i < resources.size(); ++i) {
+    Expert expert;
+    expert.key = resources[i];
+    const std::string name = "rdl" + std::to_string(i);
+    expert.gru = GruCell(store_, name + ".gru", 3, config_.hidden_dim, rng);
+    expert.head = Linear(store_, name + ".head", config_.hidden_dim, 3, rng);
+    const auto series = metrics.Series(resources[i], from, to);
+    double max_value = 1e-9;
+    for (double v : series) {
+      max_value = std::max(max_value, v);
+    }
+    expert.y_scale = max_value;
+    auto& scaled = scaled_series[i];
+    scaled.reserve(series.size());
+    for (double v : series) {
+      scaled.push_back(static_cast<float>(v / max_value));
+    }
+    expert.last_day.assign(scaled.end() - static_cast<ptrdiff_t>(windows_per_day),
+                           scaled.end());
+    experts_.push_back(std::move(expert));
+  }
+
+  const float lo_q = (1.0f - config_.delta) / 2.0f;
+  const float up_q = config_.delta + (1.0f - config_.delta) / 2.0f;
+  const std::vector<float> deltas = {0.5f, lo_q, up_q};
+  AdamOptimizer optimizer(store_, config_.learning_rate);
+
+  // Training sequence: predict day d window w from day d-1 window w.
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (size_t i = 0; i < experts_.size(); ++i) {
+      Expert& expert = experts_[i];
+      const auto& scaled = scaled_series[i];
+      optimizer.ZeroGrad();
+      Tensor h = expert.gru.InitialState();
+      std::vector<Tensor> losses;
+      losses.reserve(total_windows - windows_per_day);
+      for (size_t t = windows_per_day; t < total_windows; ++t) {
+        Tensor x = InputAt(scaled[t - windows_per_day], t % windows_per_day);
+        h = expert.gru.Step(x, h);
+        losses.push_back(PinballLoss(expert.head.Forward(h), scaled[t], deltas));
+        // Keep the graph bounded: detach every half-day.
+        if (t % (windows_per_day / 2 + 1) == 0) {
+          h = h.Detach();
+        }
+      }
+      Tensor loss = Affine(AddN(losses), 1.0f / static_cast<float>(losses.size()), 0.0f);
+      loss.Backward();
+      ClipGradNorm(store_, config_.grad_clip);
+      optimizer.Step();
+    }
+  }
+}
+
+EstimateMap ResourceAwareDl::Forecast(size_t horizon) const {
+  assert(trained());
+  NoGradGuard no_grad;
+  EstimateMap out;
+  for (const auto& expert : experts_) {
+    std::vector<float> prev_day = expert.last_day;
+    std::vector<float> next_day;
+    next_day.reserve(windows_per_day_);
+    Tensor h = expert.gru.InitialState();
+    ResourceEstimate estimate;
+    for (size_t t = 0; t < horizon; ++t) {
+      const size_t window_of_day = t % windows_per_day_;
+      Tensor x = InputAt(prev_day[window_of_day], window_of_day);
+      h = expert.gru.Step(x, h);
+      const Tensor output = expert.head.Forward(h);
+      const Matrix& y = output.value();
+      const double expected = std::max(0.0, static_cast<double>(y.At(0, 0)));
+      double lower = std::max(0.0, static_cast<double>(y.At(1, 0)));
+      double upper = std::max(0.0, static_cast<double>(y.At(2, 0)));
+      lower = std::min(lower, expected);
+      upper = std::max(upper, expected);
+      estimate.expected.push_back(expected * expert.y_scale);
+      estimate.lower.push_back(lower * expert.y_scale);
+      estimate.upper.push_back(upper * expert.y_scale);
+      next_day.push_back(static_cast<float>(expected));
+      if (window_of_day + 1 == windows_per_day_) {
+        // Roll into the following day on our own predictions.
+        prev_day = next_day;
+        next_day.clear();
+      }
+    }
+    out.emplace(expert.key, std::move(estimate));
+  }
+  return out;
+}
+
+// ---- SimpleScaling ----
+
+void SimpleScaling::Learn(const MetricsStore& metrics, const TrafficSeries& learn_traffic,
+                          size_t from, size_t to, size_t windows_per_day,
+                          const std::vector<MetricKey>& resources) {
+  windows_per_day_ = windows_per_day;
+  const size_t total_windows = to - from;
+  const size_t days = std::max<size_t>(1, total_windows / windows_per_day);
+
+  traffic_profile_.assign(windows_per_day, 0.0);
+  for (size_t t = 0; t < total_windows && t < learn_traffic.windows(); ++t) {
+    traffic_profile_[t % windows_per_day] += learn_traffic.TotalAt(t);
+  }
+  for (double& v : traffic_profile_) {
+    v /= static_cast<double>(days);
+  }
+
+  for (const auto& key : resources) {
+    auto& profile = utilization_profile_[key];
+    profile.assign(windows_per_day, 0.0);
+    const auto series = metrics.Series(key, from, to);
+    for (size_t t = 0; t < series.size(); ++t) {
+      profile[t % windows_per_day] += series[t];
+    }
+    for (double& v : profile) {
+      v /= static_cast<double>(days);
+    }
+  }
+}
+
+EstimateMap SimpleScaling::Estimate(const TrafficSeries& query_traffic) const {
+  EstimateMap out;
+  for (const auto& [key, profile] : utilization_profile_) {
+    ResourceEstimate estimate;
+    for (size_t t = 0; t < query_traffic.windows(); ++t) {
+      const size_t window_of_day = t % windows_per_day_;
+      const double factor =
+          query_traffic.TotalAt(t) / std::max(traffic_profile_[window_of_day], 1e-9);
+      const double value = profile[window_of_day] * factor;
+      estimate.expected.push_back(value);
+      estimate.lower.push_back(value);
+      estimate.upper.push_back(value);
+    }
+    out.emplace(key, std::move(estimate));
+  }
+  return out;
+}
+
+// ---- ComponentAwareScaling ----
+
+std::map<std::string, double> ComponentAwareScaling::CountInvocations(
+    const TraceCollector& traces, size_t window) {
+  std::map<std::string, double> counts;
+  for (const Trace& trace : traces.TracesAt(window)) {
+    for (const Span& span : trace.spans()) {
+      counts[span.component] += 1.0;
+    }
+  }
+  return counts;
+}
+
+void ComponentAwareScaling::Learn(const MetricsStore& metrics,
+                                  const TraceCollector& learn_traces, size_t from, size_t to,
+                                  size_t windows_per_day,
+                                  const std::vector<MetricKey>& resources) {
+  windows_per_day_ = windows_per_day;
+  const size_t total_windows = to - from;
+  const size_t days = std::max<size_t>(1, total_windows / windows_per_day);
+
+  invocation_profile_.clear();
+  for (size_t t = 0; t < total_windows; ++t) {
+    for (const auto& [component, count] : CountInvocations(learn_traces, from + t)) {
+      auto& profile = invocation_profile_[component];
+      if (profile.empty()) {
+        profile.assign(windows_per_day, 0.0);
+      }
+      profile[t % windows_per_day] += count;
+    }
+  }
+  for (auto& [component, profile] : invocation_profile_) {
+    for (double& v : profile) {
+      v /= static_cast<double>(days);
+    }
+  }
+
+  for (const auto& key : resources) {
+    auto& profile = utilization_profile_[key];
+    profile.assign(windows_per_day, 0.0);
+    const auto series = metrics.Series(key, from, to);
+    for (size_t t = 0; t < series.size(); ++t) {
+      profile[t % windows_per_day] += series[t];
+    }
+    for (double& v : profile) {
+      v /= static_cast<double>(days);
+    }
+  }
+}
+
+EstimateMap ComponentAwareScaling::Estimate(const TraceCollector& query_traces, size_t from,
+                                            size_t to) const {
+  EstimateMap out;
+  const size_t horizon = to - from;
+  // Precompute per-window component factors.
+  std::vector<std::map<std::string, double>> factors(horizon);
+  for (size_t t = 0; t < horizon; ++t) {
+    const auto counts = CountInvocations(query_traces, from + t);
+    for (const auto& [component, count] : counts) {
+      auto it = invocation_profile_.find(component);
+      if (it == invocation_profile_.end()) {
+        continue;
+      }
+      const double baseline = it->second[t % windows_per_day_];
+      factors[t][component] = count / std::max(baseline, 1e-9);
+    }
+  }
+
+  for (const auto& [key, profile] : utilization_profile_) {
+    ResourceEstimate estimate;
+    for (size_t t = 0; t < horizon; ++t) {
+      const size_t window_of_day = t % windows_per_day_;
+      double factor = 1.0;  // components never invoked keep their profile
+      auto it = factors[t].find(key.component);
+      if (it != factors[t].end()) {
+        factor = it->second;
+      } else if (invocation_profile_.count(key.component) > 0) {
+        factor = 0.0;  // normally-invoked component saw no query traffic
+      }
+      const double value = profile[window_of_day] * factor;
+      estimate.expected.push_back(value);
+      estimate.lower.push_back(value);
+      estimate.upper.push_back(value);
+    }
+    out.emplace(key, std::move(estimate));
+  }
+  return out;
+}
+
+}  // namespace deeprest

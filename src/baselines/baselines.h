@@ -1,0 +1,103 @@
+// Comparison baselines (paper section 5.1).
+//
+//  * ResourceAwareDl — "resrc-aware DL": one recurrent network per resource
+//    trained purely on historical utilization (represents [53, 64, 66, 69]).
+//    It never sees the query traffic, which is exactly its documented flaw.
+//  * SimpleScaling — scales every resource of every component by the same
+//    total-traffic ratio w.r.t. the learning phase.
+//  * ComponentAwareScaling — uses distributed traces to scale each component
+//    by its own invocation ratio, but applies one factor to all resources of
+//    the component.
+#ifndef SRC_BASELINES_BASELINES_H_
+#define SRC_BASELINES_BASELINES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/estimator.h"
+#include "src/nn/layers.h"
+#include "src/telemetry/metrics.h"
+#include "src/trace/collector.h"
+#include "src/workload/traffic.h"
+
+namespace deeprest {
+
+struct ResourceAwareDlConfig {
+  size_t hidden_dim = 10;
+  size_t epochs = 25;
+  float learning_rate = 0.02f;
+  float delta = 0.90f;
+  float grad_clip = 5.0f;
+  uint64_t seed = 1;
+};
+
+// Forecasts next-day utilization from the previous day's utilization of the
+// same resource plus a time-of-day encoding.
+class ResourceAwareDl {
+ public:
+  explicit ResourceAwareDl(const ResourceAwareDlConfig& config = {});
+
+  void Learn(const MetricsStore& metrics, size_t from, size_t to, size_t windows_per_day,
+             const std::vector<MetricKey>& resources);
+
+  // Forecast `horizon` windows following the learning range. Multi-day
+  // horizons roll forward on the model's own predictions.
+  EstimateMap Forecast(size_t horizon) const;
+
+  bool trained() const { return !experts_.empty(); }
+
+ private:
+  struct Expert {
+    MetricKey key;
+    GruCell gru;
+    Linear head;
+    double y_scale = 1.0;
+    std::vector<float> last_day;  // scaled utilization of the final learn day
+  };
+
+  Tensor InputAt(float prev_day_value, size_t window_of_day) const;
+
+  ResourceAwareDlConfig config_;
+  ParameterStore store_;
+  std::vector<Expert> experts_;
+  size_t windows_per_day_ = 0;
+};
+
+// Scales all resources by the total-request ratio per window-of-day.
+class SimpleScaling {
+ public:
+  void Learn(const MetricsStore& metrics, const TrafficSeries& learn_traffic, size_t from,
+             size_t to, size_t windows_per_day, const std::vector<MetricKey>& resources);
+
+  // Requires only the query API traffic (no traces).
+  EstimateMap Estimate(const TrafficSeries& query_traffic) const;
+
+ private:
+  size_t windows_per_day_ = 0;
+  std::vector<double> traffic_profile_;  // mean total requests per window-of-day
+  std::map<MetricKey, std::vector<double>> utilization_profile_;
+};
+
+// Scales each component by its own invocation ratio derived from traces.
+class ComponentAwareScaling {
+ public:
+  void Learn(const MetricsStore& metrics, const TraceCollector& learn_traces, size_t from,
+             size_t to, size_t windows_per_day, const std::vector<MetricKey>& resources);
+
+  // Query traces (synthetic or real) provide per-component invocation counts.
+  EstimateMap Estimate(const TraceCollector& query_traces, size_t from, size_t to) const;
+
+ private:
+  static std::map<std::string, double> CountInvocations(const TraceCollector& traces,
+                                                        size_t window);
+
+  size_t windows_per_day_ = 0;
+  // invocation_profile_[component][window_of_day] = mean spans per window.
+  std::map<std::string, std::vector<double>> invocation_profile_;
+  std::map<MetricKey, std::vector<double>> utilization_profile_;
+};
+
+}  // namespace deeprest
+
+#endif  // SRC_BASELINES_BASELINES_H_

@@ -1,0 +1,640 @@
+#include "src/core/estimator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "src/nn/optimizer.h"
+#include "src/nn/ops.h"
+#include "src/nn/serialize.h"
+
+namespace deeprest {
+
+namespace {
+
+std::string ExpertName(size_t index) { return "expert" + std::to_string(index); }
+
+}  // namespace
+
+DeepRestEstimator::DeepRestEstimator(const EstimatorConfig& config) : config_(config) {}
+
+void DeepRestEstimator::BuildModel(size_t feature_dim,
+                                   const std::vector<MetricKey>& resources) {
+  Rng rng(config_.seed);
+  experts_.clear();
+  store_ = ParameterStore();
+  experts_.reserve(resources.size());
+  const size_t h = config_.hidden_dim;
+  for (size_t i = 0; i < resources.size(); ++i) {
+    Expert expert;
+    expert.key = resources[i];
+    const std::string name = ExpertName(i);
+    // Mask logits start at +1 so sigmoid ~ 0.73: features begin mostly "on"
+    // and irrelevant ones are learned away.
+    expert.mask = store_.Create(name + ".mask", Matrix(feature_dim, 1, 1.0f));
+    expert.gru = GruCell(store_, name + ".gru", feature_dim, h, rng);
+    expert.ff = Linear(store_, name + ".ff", feature_dim, h, rng);
+    expert.head = Linear(store_, name + ".head", 2 * h, 3, rng);
+    expert.skip = Linear(store_, name + ".skip", feature_dim, 3, rng);
+    expert.initial_gru = expert.gru.FlattenedParameters();
+    experts_.push_back(std::move(expert));
+  }
+  const size_t e = experts_.size();
+  // Attention starts at zero: experts begin independent and learn to listen.
+  alpha_ = store_.Create("attention.alpha", Matrix(e, e));
+  diag_zero_mask_ = Matrix(e, e, 1.0f);
+  for (size_t i = 0; i < e; ++i) {
+    diag_zero_mask_.At(i, i) = 0.0f;
+  }
+}
+
+Tensor DeepRestEstimator::ScaledInput(const std::vector<float>& raw) const {
+  Matrix x(feature_scale_.size(), 1);
+  const size_t n = std::min(raw.size(), feature_scale_.size());
+  for (size_t d = 0; d < n; ++d) {
+    x.At(d, 0) = raw[d] / feature_scale_[d];
+  }
+  return Tensor::Constant(std::move(x));
+}
+
+std::vector<Tensor> DeepRestEstimator::StepAll(const Tensor& x,
+                                               std::vector<Tensor>& hidden) const {
+  const size_t e = experts_.size();
+  std::vector<Tensor> new_hidden(e);
+  std::vector<Tensor> masked_inputs(e);
+  for (size_t i = 0; i < e; ++i) {
+    const Expert& expert = experts_[i];
+    Tensor x_masked = config_.use_api_mask ? Hadamard(Sigmoid(expert.mask), x) : x;
+    if (config_.use_recurrence) {
+      new_hidden[i] = expert.gru.Step(x_masked, hidden[i]);
+    } else {
+      new_hidden[i] = Tanh(expert.ff.Forward(x_masked));
+    }
+    masked_inputs[i] = std::move(x_masked);
+  }
+
+  std::vector<Tensor> outputs(e);
+  Tensor zero_a;
+  Tensor attended;
+  if (config_.use_attention) {
+    Tensor stacked = StackColumns(new_hidden);  // E x H
+    attended = MatMul(Hadamard(alpha_, Tensor::Constant(diag_zero_mask_)), stacked);
+  } else {
+    zero_a = Tensor::Constant(Matrix(config_.hidden_dim, 1));
+  }
+  for (size_t i = 0; i < e; ++i) {
+    Tensor a_i = config_.use_attention ? RowAsColumn(attended, i) : zero_a;
+    Tensor head_out = experts_[i].head.Forward(ConcatRows(a_i, new_hidden[i]));
+    outputs[i] = config_.use_linear_bypass
+                     ? Add(head_out, experts_[i].skip.Forward(masked_inputs[i]))
+                     : head_out;
+  }
+  hidden = std::move(new_hidden);
+  return outputs;
+}
+
+void DeepRestEstimator::Learn(const TraceCollector& traces, const MetricsStore& metrics,
+                              size_t from, size_t to,
+                              const std::vector<MetricKey>& resources) {
+  const auto start_time = std::chrono::steady_clock::now();
+
+  // Phase 1: feature-space construction + synthesizer statistics (Alg. 1).
+  extractor_ = FeatureExtractor();
+  synthesizer_ = TraceSynthesizer();
+  extractor_.LearnRange(traces, from, to);
+  synthesizer_.LearnRange(traces, from, to);
+
+  // Phase 2: feature extraction (Alg. 2) and scaling statistics.
+  learn_features_ = extractor_.ExtractSeries(traces, from, to);
+  const size_t dim = extractor_.dimension();
+  feature_scale_.assign(dim, 1.0f);
+  for (const auto& x : learn_features_) {
+    for (size_t d = 0; d < dim; ++d) {
+      feature_scale_[d] = std::max(feature_scale_[d], x[d]);
+    }
+  }
+
+  // Phase 3: targets and their scales.
+  BuildModel(dim, resources);
+  std::vector<std::vector<float>> targets(experts_.size());
+  for (size_t i = 0; i < experts_.size(); ++i) {
+    const auto series = metrics.Series(experts_[i].key, from, to);
+    double max_value = 1e-9;
+    for (double v : series) {
+      max_value = std::max(max_value, v);
+    }
+    experts_[i].y_scale = max_value;
+    targets[i].reserve(series.size());
+    for (double v : series) {
+      targets[i].push_back(static_cast<float>(v / max_value));
+    }
+  }
+
+  // Phase 4: joint quantile-regression training (Eq. 5-6).
+  epoch_losses_.clear();
+  RunTraining(learn_features_, targets, config_.epochs, config_.learning_rate,
+              /*decay_masks=*/true);
+
+  train_seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time)
+                       .count();
+}
+
+void DeepRestEstimator::RunTraining(const std::vector<std::vector<float>>& features,
+                                    const std::vector<std::vector<float>>& targets,
+                                    size_t epochs, float learning_rate, bool decay_masks) {
+  // Truncated BPTT: hidden state values carry across chunk boundaries but
+  // gradients do not flow past them.
+  const float lo_q = (1.0f - config_.delta) / 2.0f;
+  const float up_q = config_.delta + (1.0f - config_.delta) / 2.0f;
+  const std::vector<float> deltas = {0.5f, lo_q, up_q};
+  const size_t window_count = features.size();
+
+  AdamOptimizer optimizer(store_, learning_rate);
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    std::vector<Tensor> hidden(experts_.size());
+    for (auto& state : hidden) {
+      state = Tensor::Constant(Matrix(config_.hidden_dim, 1));
+    }
+    double epoch_loss = 0.0;
+    size_t loss_terms = 0;
+    for (size_t chunk_start = 0; chunk_start < window_count;
+         chunk_start += config_.bptt_chunk) {
+      const size_t chunk_end = std::min(window_count, chunk_start + config_.bptt_chunk);
+      optimizer.ZeroGrad();
+      std::vector<Tensor> losses;
+      losses.reserve((chunk_end - chunk_start) * experts_.size());
+      for (size_t t = chunk_start; t < chunk_end; ++t) {
+        Tensor x = ScaledInput(features[t]);
+        std::vector<Tensor> outputs = StepAll(x, hidden);
+        for (size_t i = 0; i < experts_.size(); ++i) {
+          losses.push_back(PinballLoss(outputs[i], targets[i][t], deltas));
+        }
+      }
+      Tensor loss = Affine(AddN(losses), 1.0f / static_cast<float>(losses.size()), 0.0f);
+      loss.Backward();
+      ClipGradNorm(store_, config_.grad_clip);
+      optimizer.Step();
+      if (decay_masks && config_.use_api_mask && config_.mask_decay > 0.0f) {
+        for (auto& expert : experts_) {
+          Matrix& logits = expert.mask.mutable_value();
+          for (size_t d = 0; d < logits.size(); ++d) {
+            logits[d] -= config_.mask_decay;
+          }
+        }
+      }
+      epoch_loss += static_cast<double>(loss.scalar()) * static_cast<double>(losses.size());
+      loss_terms += losses.size();
+      // Truncate gradient flow at the chunk boundary.
+      for (auto& state : hidden) {
+        state = state.Detach();
+      }
+    }
+    epoch_losses_.push_back(static_cast<float>(epoch_loss / std::max<size_t>(1, loss_terms)));
+    if (config_.verbose) {
+      std::fprintf(stderr, "[deeprest] epoch %zu/%zu loss %.5f\n", epoch + 1, epochs,
+                   epoch_losses_.back());
+    }
+  }
+}
+
+void DeepRestEstimator::ContinueLearning(const TraceCollector& traces,
+                                         const MetricsStore& metrics, size_t from, size_t to,
+                                         size_t epochs) {
+  assert(trained() && "ContinueLearning requires a trained model; call Learn first");
+  const auto start_time = std::chrono::steady_clock::now();
+
+  // New telemetry drives sampling statistics too: the synthesizer keeps
+  // adapting Prob(P | API) to the drifted behaviour. The feature space and
+  // topology stay frozen (unknown paths are ignored by ExtractSeries).
+  synthesizer_.LearnRange(traces, from, to);
+
+  const std::vector<std::vector<float>> features = extractor_.ExtractSeries(traces, from, to);
+  std::vector<std::vector<float>> targets(experts_.size());
+  for (size_t i = 0; i < experts_.size(); ++i) {
+    const auto series = metrics.Series(experts_[i].key, from, to);
+    // Scales stay fixed so the heads keep their meaning; clamp-free scaling
+    // lets drifted utilization exceed 1.0, which the bypass can represent.
+    targets[i].reserve(series.size());
+    for (double v : series) {
+      targets[i].push_back(static_cast<float>(v / experts_[i].y_scale));
+    }
+  }
+  // Fine-tuning uses a reduced learning rate and no mask decay: a full-rate
+  // Adam restart on a short drifted segment causes catastrophic forgetting
+  // of the base calibration, and the masks are already learned.
+  RunTraining(features, targets, epochs == 0 ? config_.epochs : epochs,
+              config_.learning_rate * 0.25f, /*decay_masks=*/false);
+
+  // Extend the warm-start history with the new windows.
+  learn_features_.insert(learn_features_.end(), features.begin(), features.end());
+  train_seconds_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                  start_time)
+                        .count();
+}
+
+EstimateMap DeepRestEstimator::EstimateFromFeatures(
+    const std::vector<std::vector<float>>& feature_series) const {
+  assert(trained());
+  NoGradGuard no_grad;
+  EstimateMap out;
+  for (const auto& expert : experts_) {
+    ResourceEstimate estimate;
+    estimate.expected.reserve(feature_series.size());
+    estimate.lower.reserve(feature_series.size());
+    estimate.upper.reserve(feature_series.size());
+    out.emplace(expert.key, std::move(estimate));
+  }
+
+  std::vector<Tensor> hidden(experts_.size());
+  for (auto& state : hidden) {
+    state = Tensor::Constant(Matrix(config_.hidden_dim, 1));
+  }
+  if (config_.warm_start) {
+    for (const auto& x_raw : learn_features_) {
+      Tensor x = ScaledInput(x_raw);
+      StepAll(x, hidden);
+    }
+  }
+  for (const auto& x_raw : feature_series) {
+    Tensor x = ScaledInput(x_raw);
+    std::vector<Tensor> outputs = StepAll(x, hidden);
+    for (size_t i = 0; i < experts_.size(); ++i) {
+      const Matrix& y = outputs[i].value();
+      const double scale = experts_[i].y_scale;
+      double expected = std::max(0.0, static_cast<double>(y.At(0, 0)) * scale);
+      double lower = std::max(0.0, static_cast<double>(y.At(1, 0)) * scale);
+      double upper = std::max(0.0, static_cast<double>(y.At(2, 0)) * scale);
+      // Quantile heads are trained independently and can cross on rare
+      // inputs; enforce lower <= expected <= upper on output.
+      lower = std::min(lower, expected);
+      upper = std::max(upper, expected);
+      ResourceEstimate& estimate = out.at(experts_[i].key);
+      estimate.expected.push_back(expected);
+      estimate.lower.push_back(lower);
+      estimate.upper.push_back(upper);
+    }
+  }
+  return out;
+}
+
+EstimateMap DeepRestEstimator::EstimateFromTraces(const TraceCollector& traces, size_t from,
+                                                  size_t to) const {
+  return EstimateFromFeatures(extractor_.ExtractSeries(traces, from, to));
+}
+
+EstimateMap DeepRestEstimator::EstimateFromTraffic(const TrafficSeries& traffic,
+                                                   uint64_t seed) const {
+  Rng rng(seed);
+  TraceCollector synthetic;
+  synthesizer_.SynthesizeSeries(traffic, 0, rng, synthetic);
+  return EstimateFromTraces(synthetic, 0, traffic.windows());
+}
+
+std::vector<MetricKey> DeepRestEstimator::resources() const {
+  std::vector<MetricKey> keys;
+  keys.reserve(experts_.size());
+  for (const auto& expert : experts_) {
+    keys.push_back(expert.key);
+  }
+  return keys;
+}
+
+int DeepRestEstimator::ExpertIndex(const MetricKey& key) const {
+  for (size_t i = 0; i < experts_.size(); ++i) {
+    if (experts_[i].key == key) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::vector<double> DeepRestEstimator::FeatureMask(const MetricKey& key) const {
+  const int index = ExpertIndex(key);
+  if (index < 0) {
+    return {};
+  }
+  const Matrix& logits = experts_[index].mask.value();
+  std::vector<double> mask(logits.size());
+  for (size_t d = 0; d < logits.size(); ++d) {
+    mask[d] = 1.0 / (1.0 + std::exp(-static_cast<double>(logits[d])));
+  }
+  return mask;
+}
+
+std::map<std::string, double> DeepRestEstimator::ApiInfluence(const MetricKey& key) const {
+  std::map<std::string, double> influence;
+  const int index = ExpertIndex(key);
+  if (index < 0) {
+    return influence;
+  }
+  const Expert& expert = experts_[static_cast<size_t>(index)];
+  const std::vector<double> mask = FeatureMask(key);
+
+  // Effective input relevance of feature f: its mask activation times the
+  // total magnitude of the weights that consume it (the linear bypass plus
+  // the GRU/FF input projections). The mask alone can stay high for features
+  // the network routes through near-zero weights; the product measures what
+  // the expert actually uses.
+  std::vector<double> weight_mass(mask.size(), 0.0);
+  auto accumulate_columns = [&](const Tensor& weight) {
+    if (!weight.defined()) {
+      return;
+    }
+    const Matrix& w = weight.value();
+    if (w.cols() != mask.size()) {
+      return;
+    }
+    for (size_t r = 0; r < w.rows(); ++r) {
+      for (size_t f = 0; f < w.cols(); ++f) {
+        weight_mass[f] += std::fabs(static_cast<double>(w.At(r, f)));
+      }
+    }
+  };
+  if (config_.use_linear_bypass) {
+    accumulate_columns(expert.skip.weight());
+  }
+  if (config_.use_recurrence) {
+    for (const char* gate : {".gru.Wz", ".gru.Wk", ".gru.Wh"}) {
+      accumulate_columns(store_.Find(ExpertName(static_cast<size_t>(index)) + gate));
+    }
+  } else {
+    accumulate_columns(expert.ff.weight());
+  }
+
+  std::map<std::string, size_t> counts;
+  for (size_t f = 0; f < mask.size(); ++f) {
+    const std::string api = extractor_.DominantApiOf(f);
+    if (api.empty()) {
+      continue;
+    }
+    influence[api] += mask[f] * weight_mass[f];
+    ++counts[api];
+  }
+  for (auto& [api, value] : influence) {
+    value /= static_cast<double>(counts[api]);
+  }
+  return influence;
+}
+
+std::vector<float> DeepRestEstimator::ExpertParameters(const MetricKey& key) const {
+  const int index = ExpertIndex(key);
+  if (index < 0) {
+    return {};
+  }
+  return experts_[index].gru.FlattenedParameters();
+}
+
+std::vector<float> DeepRestEstimator::ExpertParameterDelta(const MetricKey& key) const {
+  const int index = ExpertIndex(key);
+  if (index < 0) {
+    return {};
+  }
+  const Expert& expert = experts_[static_cast<size_t>(index)];
+  std::vector<float> delta = expert.gru.FlattenedParameters();
+  for (size_t i = 0; i < delta.size() && i < expert.initial_gru.size(); ++i) {
+    delta[i] -= expert.initial_gru[i];
+  }
+  return delta;
+}
+
+double DeepRestEstimator::AttentionWeight(const MetricKey& to, const MetricKey& from) const {
+  const int i = ExpertIndex(to);
+  const int j = ExpertIndex(from);
+  if (i < 0 || j < 0 || i == j) {
+    return 0.0;
+  }
+  return alpha_.value().At(static_cast<size_t>(i), static_cast<size_t>(j));
+}
+
+namespace {
+
+// Coarse component families for transfer matching.
+enum class ComponentFamily { kDatabase, kCache, kService };
+
+ComponentFamily FamilyOf(const std::string& component) {
+  if (component.find("MongoDB") != std::string::npos) {
+    return ComponentFamily::kDatabase;
+  }
+  if (component.find("Memcached") != std::string::npos ||
+      component.find("Redis") != std::string::npos) {
+    return ComponentFamily::kCache;
+  }
+  return ComponentFamily::kService;
+}
+
+}  // namespace
+
+size_t DeepRestEstimator::TransferRecurrentWeightsFrom(const DeepRestEstimator& donor) {
+  if (!trained() || !donor.trained() || config_.hidden_dim != donor.config_.hidden_dim) {
+    return 0;
+  }
+  static const char* kRecurrentBlocks[] = {".gru.Uz", ".gru.Uk", ".gru.Uh",
+                                           ".gru.bz", ".gru.bk", ".gru.bh"};
+  size_t transferred = 0;
+  for (size_t i = 0; i < experts_.size(); ++i) {
+    const MetricKey& key = experts_[i].key;
+    // Best donor: exact key > same kind + family > same kind.
+    int best = -1;
+    int best_rank = 0;
+    for (size_t j = 0; j < donor.experts_.size(); ++j) {
+      const MetricKey& donor_key = donor.experts_[j].key;
+      if (donor_key.resource != key.resource) {
+        continue;
+      }
+      int rank = 1;
+      if (FamilyOf(donor_key.component) == FamilyOf(key.component)) {
+        rank = 2;
+      }
+      if (donor_key.component == key.component) {
+        rank = 3;
+      }
+      if (rank > best_rank) {
+        best_rank = rank;
+        best = static_cast<int>(j);
+      }
+    }
+    if (best < 0) {
+      continue;
+    }
+    for (const char* block : kRecurrentBlocks) {
+      Tensor mine = store_.Find(ExpertName(i) + block);
+      Tensor theirs =
+          donor.store_.Find(ExpertName(static_cast<size_t>(best)) + block);
+      if (mine.defined() && theirs.defined() &&
+          mine.value().SameShape(theirs.value())) {
+        mine.mutable_value() = theirs.value();
+      }
+    }
+    ++transferred;
+  }
+  return transferred;
+}
+
+std::map<MetricKey, std::vector<float>> DeepRestEstimator::HiddenTrajectories(
+    const std::vector<std::vector<float>>& features) const {
+  NoGradGuard no_grad;
+  std::vector<Tensor> hidden(experts_.size());
+  for (auto& state : hidden) {
+    state = Tensor::Constant(Matrix(config_.hidden_dim, 1));
+  }
+  std::map<MetricKey, std::vector<float>> trajectories;
+  for (const auto& expert : experts_) {
+    trajectories[expert.key].reserve(features.size() * config_.hidden_dim);
+  }
+  for (const auto& raw : features) {
+    Tensor x = ScaledInput(raw);
+    StepAll(x, hidden);
+    for (size_t i = 0; i < experts_.size(); ++i) {
+      const Matrix& h = hidden[i].value();
+      auto& out = trajectories[experts_[i].key];
+      out.insert(out.end(), h.data(), h.data() + h.size());
+    }
+  }
+  return trajectories;
+}
+
+std::map<MetricKey, std::vector<float>> DeepRestEstimator::HiddenTrajectoriesOnLearnData(
+    size_t windows) const {
+  std::vector<std::vector<float>> probe(
+      learn_features_.begin(),
+      learn_features_.begin() +
+          static_cast<ptrdiff_t>(std::min(windows, learn_features_.size())));
+  return HiddenTrajectories(probe);
+}
+
+// ---- Persistence ----
+
+namespace {
+constexpr uint32_t kEstimatorMagic = 0x44455245;  // "DERE"
+}  // namespace
+
+bool DeepRestEstimator::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  auto write_u64 = [&](uint64_t v) { out.write(reinterpret_cast<const char*>(&v), 8); };
+  auto write_f64 = [&](double v) { out.write(reinterpret_cast<const char*>(&v), 8); };
+  auto write_str = [&](const std::string& s) {
+    write_u64(s.size());
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  };
+  write_u64(kEstimatorMagic);
+  write_u64(config_.hidden_dim);
+  write_u64((config_.use_api_mask ? 1u : 0u) | (config_.use_attention ? 2u : 0u) |
+            (config_.use_recurrence ? 4u : 0u) | (config_.warm_start ? 8u : 0u) |
+            (config_.use_linear_bypass ? 16u : 0u));
+  write_f64(config_.delta);
+  write_u64(experts_.size());
+  for (const auto& expert : experts_) {
+    write_str(expert.key.component);
+    write_u64(static_cast<uint64_t>(expert.key.resource));
+    write_f64(expert.y_scale);
+  }
+  extractor_.Save(out);
+  synthesizer_.Save(out);
+  write_u64(feature_scale_.size());
+  for (float v : feature_scale_) {
+    write_f64(v);
+  }
+  write_u64(learn_features_.size());
+  for (const auto& x : learn_features_) {
+    for (float v : x) {
+      write_f64(v);
+    }
+  }
+  return SaveParameters(store_, out);
+}
+
+bool DeepRestEstimator::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  auto read_u64 = [&](uint64_t& v) {
+    in.read(reinterpret_cast<char*>(&v), 8);
+    return static_cast<bool>(in);
+  };
+  auto read_f64 = [&](double& v) {
+    in.read(reinterpret_cast<char*>(&v), 8);
+    return static_cast<bool>(in);
+  };
+  auto read_str = [&](std::string& s) {
+    uint64_t len = 0;
+    if (!read_u64(len) || len > (1u << 24)) {
+      return false;
+    }
+    s.resize(len);
+    in.read(s.data(), static_cast<std::streamsize>(len));
+    return static_cast<bool>(in);
+  };
+
+  uint64_t magic = 0;
+  uint64_t hidden = 0;
+  uint64_t flags = 0;
+  double delta = 0.0;
+  if (!read_u64(magic) || magic != kEstimatorMagic || !read_u64(hidden) ||
+      !read_u64(flags) || !read_f64(delta)) {
+    return false;
+  }
+  config_.hidden_dim = hidden;
+  config_.use_api_mask = (flags & 1u) != 0;
+  config_.use_attention = (flags & 2u) != 0;
+  config_.use_recurrence = (flags & 4u) != 0;
+  config_.warm_start = (flags & 8u) != 0;
+  config_.use_linear_bypass = (flags & 16u) != 0;
+  config_.delta = static_cast<float>(delta);
+
+  uint64_t expert_count = 0;
+  if (!read_u64(expert_count) || expert_count > (1u << 20)) {
+    return false;
+  }
+  std::vector<MetricKey> resources(expert_count);
+  std::vector<double> y_scales(expert_count);
+  for (uint64_t i = 0; i < expert_count; ++i) {
+    uint64_t kind = 0;
+    if (!read_str(resources[i].component) || !read_u64(kind) || !read_f64(y_scales[i])) {
+      return false;
+    }
+    resources[i].resource = static_cast<ResourceKind>(kind);
+  }
+  if (!extractor_.Load(in) || !synthesizer_.Load(in)) {
+    return false;
+  }
+  uint64_t dim = 0;
+  if (!read_u64(dim) || dim != extractor_.dimension()) {
+    return false;
+  }
+  feature_scale_.resize(dim);
+  for (auto& v : feature_scale_) {
+    double value = 0.0;
+    if (!read_f64(value)) {
+      return false;
+    }
+    v = static_cast<float>(value);
+  }
+  uint64_t learn_windows = 0;
+  if (!read_u64(learn_windows) || learn_windows > (1u << 24)) {
+    return false;
+  }
+  learn_features_.assign(learn_windows, std::vector<float>(dim));
+  for (auto& x : learn_features_) {
+    for (auto& v : x) {
+      double value = 0.0;
+      if (!read_f64(value)) {
+        return false;
+      }
+      v = static_cast<float>(value);
+    }
+  }
+  BuildModel(dim, resources);
+  for (uint64_t i = 0; i < expert_count; ++i) {
+    experts_[i].y_scale = y_scales[i];
+  }
+  return LoadParameters(store_, in);
+}
+
+}  // namespace deeprest

@@ -1,0 +1,188 @@
+// API-aware deep resource estimator (paper section 4.2-4.3).
+//
+// One DNN expert per (component, resource):
+//   x~_t = sigmoid(m) . x_t                         (API-aware mask, Eq. 1)
+//   h_t  = GRU(x~_t, h_{t-1})                       (recurrence, Eq. 2)
+//   a_t  = sum_{(c',r') != (c,r)} alpha h_t^{c',r'} (cross-expert attention, Eq. 3)
+//   y^_t = V (a_t || h_t)                           (3 heads, Eq. 4)
+// trained jointly with the quantile loss of Eq. 5-6 so the three heads are
+// the expected value and the delta-confidence interval.
+#ifndef SRC_CORE_ESTIMATOR_H_
+#define SRC_CORE_ESTIMATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/feature_extractor.h"
+#include "src/core/trace_synthesizer.h"
+#include "src/nn/layers.h"
+#include "src/nn/rng.h"
+#include "src/telemetry/metrics.h"
+#include "src/trace/collector.h"
+#include "src/workload/traffic.h"
+
+namespace deeprest {
+
+struct EstimatorConfig {
+  size_t hidden_dim = 16;
+  size_t epochs = 14;
+  float learning_rate = 0.02f;  // Adam
+  size_t bptt_chunk = 48;       // truncated-BPTT window
+  float delta = 0.90f;          // confidence level of the interval heads
+  float grad_clip = 5.0f;
+  // Constant per-step decay applied to the mask logits after each optimizer
+  // step. Features that consistently reduce the loss get pushed back up by
+  // their gradients; features that do not drift toward zero weight. This is
+  // what makes the learned masks interpretable as API -> resource
+  // attribution (paper Fig. 22). (A graph-side L1 penalty is ineffective
+  // here because Adam's per-parameter normalization drowns it out.)
+  float mask_decay = 0.02f;
+  uint64_t seed = 1;
+  // Warm the hidden state on the learning-phase features before answering a
+  // query, so stateful resources (e.g. cumulative disk usage) continue from
+  // the production trajectory instead of restarting at zero history.
+  bool warm_start = true;
+  // Ablation switches (bench_ablation):
+  bool use_api_mask = true;
+  bool use_attention = true;
+  bool use_recurrence = true;  // false -> feed-forward experts
+  // Linear bypass from the masked features to the output heads. The GRU's
+  // tanh-bounded hidden state cannot extrapolate past the utilization range
+  // seen in training; the bypass carries the first-order traffic->resource
+  // proportionality so unseen-scale queries (paper section 5.3) scale, while
+  // the recurrent path models queueing, caching, and cumulative effects.
+  bool use_linear_bypass = true;
+  bool verbose = false;
+};
+
+struct ResourceEstimate {
+  std::vector<double> expected;
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+
+using EstimateMap = std::map<MetricKey, ResourceEstimate>;
+
+class DeepRestEstimator {
+ public:
+  explicit DeepRestEstimator(const EstimatorConfig& config = {});
+
+  // Application learning phase: consumes the telemetry server's traces and
+  // utilization for windows [from, to) and trains all experts jointly.
+  void Learn(const TraceCollector& traces, const MetricsStore& metrics, size_t from,
+             size_t to, const std::vector<MetricKey>& resources);
+
+  // Incremental adaptation (paper section 6: concept drift / new behaviours
+  // over time): fine-tunes the already-trained model on additional telemetry
+  // without rebuilding the feature space. Paths or (component, operation)
+  // pairs that never occurred during the original learning phase are ignored
+  // — call Learn() again to grow the feature space instead. The new windows
+  // are appended to the warm-start history. `epochs` defaults to the
+  // configured epoch count when 0.
+  void ContinueLearning(const TraceCollector& traces, const MetricsStore& metrics,
+                        size_t from, size_t to, size_t epochs = 0);
+
+  // Transfer learning (paper section 6): initializes this model's recurrent
+  // blocks (U matrices and gate biases — the application-independent part of
+  // each expert; the input projections depend on the feature space and are
+  // not transferable) from a donor trained on another application. Experts
+  // are matched by exact (component, resource), then by resource kind plus
+  // component-family (MongoDB / cache / service), then by resource kind
+  // alone. Hidden dimensions must match. Returns the number of experts
+  // initialized. Typical use: Learn with epochs = 0 to build the model, call
+  // this, then ContinueLearning to fine-tune.
+  size_t TransferRecurrentWeightsFrom(const DeepRestEstimator& donor);
+
+  // Mode 2 (sanity check): estimate expected utilization for real traces.
+  EstimateMap EstimateFromTraces(const TraceCollector& traces, size_t from, size_t to) const;
+
+  // Mode 1 (resource allocation): hypothetical traffic -> synthetic traces ->
+  // estimate. `seed` controls the synthesizer's sampling.
+  EstimateMap EstimateFromTraffic(const TrafficSeries& traffic, uint64_t seed) const;
+
+  // Direct estimation from an already-built feature series (advanced use).
+  EstimateMap EstimateFromFeatures(const std::vector<std::vector<float>>& features) const;
+
+  // --- Introspection / interpretation ---
+  bool trained() const { return !experts_.empty(); }
+  const FeatureExtractor& features() const { return extractor_; }
+  const TraceSynthesizer& synthesizer() const { return synthesizer_; }
+  std::vector<MetricKey> resources() const;
+
+  // sigmoid(m) per feature dimension for one expert (paper Fig. 22 raw data).
+  std::vector<double> FeatureMask(const MetricKey& key) const;
+  // Mask weight aggregated per API (mean over the features each API owns).
+  std::map<std::string, double> ApiInfluence(const MetricKey& key) const;
+  // Flattened GRU parameters of one expert (input to the Fig. 21 PCA).
+  std::vector<float> ExpertParameters(const MetricKey& key) const;
+  // Training delta of the GRU parameters (current - initialization). The
+  // delta is what encodes the learned remember/forget dynamics; raw
+  // parameters are dominated by the per-expert random initialization.
+  std::vector<float> ExpertParameterDelta(const MetricKey& key) const;
+  // Learned attention weight alpha[to][from] between two experts.
+  double AttentionWeight(const MetricKey& to, const MetricKey& from) const;
+  // Runs the model over a (raw) feature series and returns every expert's
+  // flattened hidden-state trajectory. This functional embedding is what the
+  // Fig. 21 similarity analysis uses: experts with similar remember/forget
+  // dynamics produce similar trajectories on the same probe input.
+  std::map<MetricKey, std::vector<float>> HiddenTrajectories(
+      const std::vector<std::vector<float>>& features) const;
+  // Convenience: trajectories on the stored learning-phase features,
+  // truncated to the first `windows` windows.
+  std::map<MetricKey, std::vector<float>> HiddenTrajectoriesOnLearnData(size_t windows) const;
+
+  // --- Scalability stats (paper section 6) ---
+  size_t TotalParameters() const { return store_.TotalParameters(); }
+  size_t expert_count() const { return experts_.size(); }
+  double train_seconds() const { return train_seconds_; }
+  const std::vector<float>& epoch_losses() const { return epoch_losses_; }
+
+  // --- Persistence ---
+  bool Save(const std::string& path) const;
+  bool Load(const std::string& path);
+
+ private:
+  struct Expert {
+    MetricKey key;
+    Tensor mask;   // D x 1 learnable API-aware mask logits
+    GruCell gru;   // recurrent core (use_recurrence)
+    Linear ff;     // feed-forward core (ablation)
+    Linear head;   // (2H -> 3) output projection
+    Linear skip;   // (D -> 3) linear bypass (use_linear_bypass)
+    std::vector<float> initial_gru;  // snapshot at initialization (Fig. 21)
+    double y_scale = 1.0;
+  };
+
+  // Builds experts/attention for the given feature dim and resource list.
+  void BuildModel(size_t feature_dim, const std::vector<MetricKey>& resources);
+  // Shared training loop: chunked-BPTT quantile regression over a feature /
+  // scaled-target series. Appends per-epoch losses to epoch_losses_.
+  // `decay_masks` applies the sparsity pressure (initial training only).
+  void RunTraining(const std::vector<std::vector<float>>& features,
+                   const std::vector<std::vector<float>>& targets, size_t epochs,
+                   float learning_rate, bool decay_masks);
+  // One model step over all experts. `x` is the scaled feature column;
+  // `hidden` is read and replaced. Returns per-expert 3x1 scaled outputs.
+  std::vector<Tensor> StepAll(const Tensor& x, std::vector<Tensor>& hidden) const;
+  // Scales a raw feature vector into a column tensor.
+  Tensor ScaledInput(const std::vector<float>& raw) const;
+  int ExpertIndex(const MetricKey& key) const;
+
+  EstimatorConfig config_;
+  FeatureExtractor extractor_;
+  TraceSynthesizer synthesizer_;
+  ParameterStore store_;
+  std::vector<Expert> experts_;
+  Tensor alpha_;           // E x E attention weights
+  Matrix diag_zero_mask_;  // constant 0-diagonal / 1-elsewhere mask
+  std::vector<float> feature_scale_;
+  std::vector<std::vector<float>> learn_features_;  // raw, for warm start
+  double train_seconds_ = 0.0;
+  std::vector<float> epoch_losses_;
+};
+
+}  // namespace deeprest
+
+#endif  // SRC_CORE_ESTIMATOR_H_

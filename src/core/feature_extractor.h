@@ -1,0 +1,83 @@
+// Distributed-tracing feature extractor (paper section 4.1, Algorithms 1-2).
+//
+// Turns unstructured traces into fixed-width feature vectors: every distinct
+// root-prefix of an invocation path observed during application learning gets
+// one dimension, and the feature value at a time window is how many times
+// that prefix occurred across the window's traces. Component and operation
+// names are hashed before use (privacy-preserving design).
+#ifndef SRC_CORE_FEATURE_EXTRACTOR_H_
+#define SRC_CORE_FEATURE_EXTRACTOR_H_
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/trace/collector.h"
+#include "src/trace/topology.h"
+
+namespace deeprest {
+
+class FeatureExtractor {
+ public:
+  // --- Application learning (Alg. 1: Construct-Feature-Space) ---
+
+  // Registers every root-prefix of the trace into the path-to-feature map and
+  // records the execution topology. Also attributes the trace's paths to its
+  // originating API for later mask interpretation.
+  void LearnTrace(const Trace& trace);
+
+  // Convenience: learns from every trace in [from, to).
+  void LearnRange(const TraceCollector& traces, size_t from, size_t to);
+
+  // Dimensionality of the feature space (number of distinct path prefixes).
+  size_t dimension() const { return paths_.size(); }
+
+  // --- Feature extraction (Alg. 2: Extract-Feature) ---
+
+  // Counts path-prefix occurrences over the given traces (one time window).
+  // Prefixes never seen during learning are ignored, as in the paper (the
+  // feature space is frozen after application learning).
+  std::vector<float> Extract(const std::vector<const Trace*>& traces) const;
+
+  // Extracts the whole feature time-series for windows [from, to).
+  std::vector<std::vector<float>> ExtractSeries(const TraceCollector& traces, size_t from,
+                                                size_t to) const;
+
+  // --- Introspection ---
+
+  const TopologyGraph& topology() const { return topology_; }
+
+  // The invocation path for a feature dimension (root-first node ids).
+  const InvocationPath& PathOf(size_t feature) const { return paths_[feature]; }
+
+  // Human-readable description of a feature ("A:op1 > B:op2").
+  std::string DescribePath(size_t feature) const;
+
+  // The API that most often produced the given feature during learning
+  // (empty if the feature was never attributed).
+  std::string DominantApiOf(size_t feature) const;
+
+  // All APIs observed during learning.
+  std::vector<std::string> KnownApis() const;
+
+  // --- Persistence ---
+  void Save(std::ostream& out) const;
+  bool Load(std::istream& in);
+
+ private:
+  // Interns a path prefix; returns its feature index.
+  size_t InternPath(const InvocationPath& path);
+  // Looks up a frozen path; returns false if unknown.
+  bool LookupPath(const InvocationPath& path, size_t& out) const;
+
+  TopologyGraph topology_;
+  std::map<InvocationPath, size_t> index_by_path_;
+  std::vector<InvocationPath> paths_;
+  // api_counts_[feature][api] = how many learning traces of `api` hit it.
+  std::vector<std::map<std::string, size_t>> api_counts_;
+};
+
+}  // namespace deeprest
+
+#endif  // SRC_CORE_FEATURE_EXTRACTOR_H_

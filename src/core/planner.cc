@@ -1,0 +1,106 @@
+#include "src/core/planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deeprest {
+
+std::vector<ResourcePlan> AllocationPlanner::PlanResources(
+    const EstimateMap& estimates) const {
+  std::vector<ResourcePlan> plans;
+  plans.reserve(estimates.size());
+  for (const auto& [key, estimate] : estimates) {
+    ResourcePlan plan;
+    plan.key = key;
+    for (size_t t = 0; t < estimate.expected.size(); ++t) {
+      plan.peak_expected = std::max(plan.peak_expected, estimate.expected[t]);
+      plan.peak_upper = std::max(plan.peak_upper, estimate.upper[t]);
+    }
+    plan.provision = plan.peak_upper * config_.headroom;
+    plans.push_back(plan);
+  }
+  return plans;
+}
+
+ReplicaSchedule AllocationPlanner::PlanReplicas(const EstimateMap& estimates,
+                                                const std::string& component) const {
+  ReplicaSchedule schedule;
+  schedule.component = component;
+  auto it = estimates.find({component, ResourceKind::kCpu});
+  if (it == estimates.end()) {
+    return schedule;
+  }
+  const ResourceEstimate& estimate = it->second;
+
+  // Raw demand per window, then hysteresis: scale up immediately, scale down
+  // only after `scale_down_patience` consecutive windows of lower demand.
+  std::vector<size_t> demand(estimate.upper.size());
+  for (size_t t = 0; t < estimate.upper.size(); ++t) {
+    const double cpu = estimate.upper[t] * config_.headroom;
+    demand[t] = std::max(config_.min_replicas,
+                         static_cast<size_t>(std::ceil(cpu / config_.cpu_per_replica)));
+  }
+  schedule.replicas.resize(demand.size());
+  size_t current = config_.min_replicas;
+  size_t below_count = 0;
+  for (size_t t = 0; t < demand.size(); ++t) {
+    if (demand[t] > current) {
+      current = demand[t];
+      below_count = 0;
+    } else if (demand[t] < current) {
+      ++below_count;
+      if (below_count >= config_.scale_down_patience) {
+        // Drop to the maximum demand seen during the patience window.
+        size_t target = demand[t];
+        for (size_t back = 1; back < config_.scale_down_patience && back <= t; ++back) {
+          target = std::max(target, demand[t - back]);
+        }
+        current = std::max(target, config_.min_replicas);
+        below_count = 0;
+      }
+    } else {
+      below_count = 0;
+    }
+    schedule.replicas[t] = current;
+    schedule.peak_replicas = std::max(schedule.peak_replicas, current);
+  }
+
+  if (!schedule.replicas.empty() && schedule.peak_replicas > 0) {
+    double used = 0.0;
+    for (size_t r : schedule.replicas) {
+      used += static_cast<double>(r);
+    }
+    const double static_cost =
+        static_cast<double>(schedule.peak_replicas) * static_cast<double>(demand.size());
+    schedule.savings_fraction = 1.0 - used / static_cost;
+  }
+  return schedule;
+}
+
+StorageForecast AllocationPlanner::ForecastStorage(const EstimateMap& estimates,
+                                                   const std::string& component) const {
+  StorageForecast forecast;
+  forecast.component = component;
+  auto it = estimates.find({component, ResourceKind::kDiskUsage});
+  if (it == estimates.end() || it->second.expected.empty()) {
+    return forecast;
+  }
+  const ResourceEstimate& estimate = it->second;
+  forecast.current_mb = estimate.expected.front();
+  forecast.end_of_horizon_mb = estimate.upper.back() * config_.headroom;
+  if (estimate.expected.size() > 1) {
+    forecast.growth_mb_per_window =
+        (estimate.expected.back() - estimate.expected.front()) /
+        static_cast<double>(estimate.expected.size() - 1);
+  }
+  return forecast;
+}
+
+size_t StorageForecast::WindowsUntilFull(double capacity_mb) const {
+  if (growth_mb_per_window <= 0.0 || capacity_mb <= current_mb) {
+    return capacity_mb <= current_mb ? 0 : SIZE_MAX;
+  }
+  return static_cast<size_t>((capacity_mb - current_mb) / growth_mb_per_window);
+}
+
+}  // namespace deeprest

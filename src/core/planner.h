@@ -1,0 +1,86 @@
+// Allocation planning on top of resource estimates.
+//
+// The paper positions DeepRest as the estimator underneath schedule-based
+// autoscaling (section 2): resources that cannot be scaled instantly (storage
+// capacity, replicas) must be provisioned ahead of the predicted demand.
+// AllocationPlanner turns an EstimateMap into actionable plans:
+//   * per-resource provisioning targets (upper confidence bound + headroom),
+//   * replica schedules for horizontally-scalable components,
+//   * storage-capacity forecasts from the disk-usage trajectory.
+#ifndef SRC_CORE_PLANNER_H_
+#define SRC_CORE_PLANNER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/estimator.h"
+#include "src/telemetry/metrics.h"
+
+namespace deeprest {
+
+struct PlannerConfig {
+  // Multiplicative safety margin on top of the estimate's upper bound.
+  double headroom = 1.10;
+  // CPU capacity of one replica, in the same percent units as the metrics.
+  double cpu_per_replica = 80.0;
+  // Replica churn damping: scale-downs are only taken when the lower demand
+  // persists for this many consecutive windows (avoids flapping).
+  size_t scale_down_patience = 4;
+  // Never plan below this replica count.
+  size_t min_replicas = 1;
+};
+
+// Provisioning target for one resource over the whole query horizon.
+struct ResourcePlan {
+  MetricKey key;
+  double peak_expected = 0.0;
+  double peak_upper = 0.0;
+  // peak_upper * headroom: what to provision.
+  double provision = 0.0;
+};
+
+// Replica count per window for one component.
+struct ReplicaSchedule {
+  std::string component;
+  std::vector<size_t> replicas;
+  size_t peak_replicas = 0;
+  // Replica-windows saved vs. statically provisioning the peak everywhere.
+  double savings_fraction = 0.0;
+};
+
+// Capacity forecast for a stateful component's volume.
+struct StorageForecast {
+  std::string component;
+  double current_mb = 0.0;       // disk usage at the start of the horizon
+  double end_of_horizon_mb = 0.0;  // provisioned (upper + headroom) at the end
+  double growth_mb_per_window = 0.0;
+  // Windows until `capacity_mb` is exhausted at the forecast growth rate
+  // (SIZE_MAX when growth is non-positive or capacity is never reached).
+  size_t WindowsUntilFull(double capacity_mb) const;
+};
+
+class AllocationPlanner {
+ public:
+  explicit AllocationPlanner(const PlannerConfig& config = {}) : config_(config) {}
+
+  // Provisioning targets for every estimated resource.
+  std::vector<ResourcePlan> PlanResources(const EstimateMap& estimates) const;
+
+  // Replica schedule for one component from its CPU estimate: enough
+  // replicas that per-replica CPU stays under cpu_per_replica, with
+  // hysteresis on scale-downs.
+  ReplicaSchedule PlanReplicas(const EstimateMap& estimates,
+                               const std::string& component) const;
+
+  // Storage forecast for a stateful component from its disk-usage estimate.
+  StorageForecast ForecastStorage(const EstimateMap& estimates,
+                                  const std::string& component) const;
+
+ private:
+  PlannerConfig config_;
+};
+
+}  // namespace deeprest
+
+#endif  // SRC_CORE_PLANNER_H_

@@ -1,0 +1,169 @@
+#include "src/core/trace_synthesizer.h"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace deeprest {
+
+std::string TraceSynthesizer::ShapeKey(const Trace& trace) {
+  std::ostringstream os;
+  for (const Span& s : trace.spans()) {
+    os << s.parent << '|' << s.component << '|' << s.operation << ';';
+  }
+  return os.str();
+}
+
+void TraceSynthesizer::LearnTrace(const Trace& trace) {
+  if (trace.empty()) {
+    return;
+  }
+  ApiTable& table = tables_[trace.api_name()];
+  const std::string key = ShapeKey(trace);
+  auto it = table.index_by_key.find(key);
+  if (it == table.index_by_key.end()) {
+    Shape shape;
+    shape.spans = trace.spans();
+    shape.count = 1;
+    table.index_by_key.emplace(key, table.shapes.size());
+    table.shapes.push_back(std::move(shape));
+  } else {
+    ++table.shapes[it->second].count;
+  }
+  ++table.total;
+}
+
+void TraceSynthesizer::LearnRange(const TraceCollector& traces, size_t from, size_t to) {
+  for (size_t w = from; w < to; ++w) {
+    for (const Trace& t : traces.TracesAt(w)) {
+      LearnTrace(t);
+    }
+  }
+}
+
+size_t TraceSynthesizer::ShapeCountFor(const std::string& api) const {
+  auto it = tables_.find(api);
+  return it == tables_.end() ? 0 : it->second.shapes.size();
+}
+
+size_t TraceSynthesizer::TraceCountFor(const std::string& api) const {
+  auto it = tables_.find(api);
+  return it == tables_.end() ? 0 : it->second.total;
+}
+
+Trace TraceSynthesizer::Synthesize(const std::string& api, Rng& rng) const {
+  auto it = tables_.find(api);
+  if (it == tables_.end() || it->second.total == 0) {
+    return Trace(0, api);
+  }
+  const ApiTable& table = it->second;
+  // Multinomial draw over shapes by observed frequency.
+  uint64_t target = rng.NextBelow(table.total);
+  const Shape* chosen = &table.shapes.back();
+  for (const Shape& shape : table.shapes) {
+    if (target < shape.count) {
+      chosen = &shape;
+      break;
+    }
+    target -= shape.count;
+  }
+  Trace trace(rng.NextU64(), api);
+  for (const Span& s : chosen->spans) {
+    trace.AddSpan(s.component, s.operation, s.parent);
+  }
+  return trace;
+}
+
+void TraceSynthesizer::SynthesizeSeries(const TrafficSeries& traffic, size_t offset, Rng& rng,
+                                        TraceCollector& out) const {
+  for (size_t t = 0; t < traffic.windows(); ++t) {
+    for (size_t a = 0; a < traffic.api_count(); ++a) {
+      const int count = rng.NextPoisson(traffic.rate(t, a));
+      for (int i = 0; i < count; ++i) {
+        Trace trace = Synthesize(traffic.apis()[a], rng);
+        if (!trace.empty()) {
+          out.Collect(offset + t, std::move(trace));
+        }
+      }
+    }
+  }
+}
+
+void TraceSynthesizer::Save(std::ostream& out) const {
+  auto write_u64 = [&](uint64_t v) { out.write(reinterpret_cast<const char*>(&v), 8); };
+  auto write_str = [&](const std::string& s) {
+    write_u64(s.size());
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  };
+  write_u64(tables_.size());
+  for (const auto& [api, table] : tables_) {
+    write_str(api);
+    write_u64(table.shapes.size());
+    for (const Shape& shape : table.shapes) {
+      write_u64(shape.count);
+      write_u64(shape.spans.size());
+      for (const Span& s : shape.spans) {
+        write_str(s.component);
+        write_str(s.operation);
+        write_u64(s.parent);
+      }
+    }
+  }
+}
+
+bool TraceSynthesizer::Load(std::istream& in) {
+  auto read_u64 = [&](uint64_t& v) {
+    in.read(reinterpret_cast<char*>(&v), 8);
+    return static_cast<bool>(in);
+  };
+  auto read_str = [&](std::string& s) {
+    uint64_t len = 0;
+    if (!read_u64(len) || len > (1u << 24)) {
+      return false;
+    }
+    s.resize(len);
+    in.read(s.data(), static_cast<std::streamsize>(len));
+    return static_cast<bool>(in);
+  };
+
+  tables_.clear();
+  uint64_t api_count = 0;
+  if (!read_u64(api_count)) {
+    return false;
+  }
+  for (uint64_t i = 0; i < api_count; ++i) {
+    std::string api;
+    uint64_t shape_count = 0;
+    if (!read_str(api) || !read_u64(shape_count)) {
+      return false;
+    }
+    ApiTable& table = tables_[api];
+    for (uint64_t s = 0; s < shape_count; ++s) {
+      Shape shape;
+      uint64_t span_count = 0;
+      if (!read_u64(shape.count) || !read_u64(span_count) || span_count > (1u << 20)) {
+        return false;
+      }
+      shape.spans.resize(span_count);
+      for (auto& span : shape.spans) {
+        uint64_t parent = 0;
+        if (!read_str(span.component) || !read_str(span.operation) || !read_u64(parent)) {
+          return false;
+        }
+        span.parent = static_cast<SpanIndex>(parent);
+      }
+      table.total += shape.count;
+      // Rebuild the dedup key from a temporary trace.
+      Trace tmp(0, api);
+      for (const Span& span : shape.spans) {
+        tmp.AddSpan(span.component, span.operation, span.parent);
+      }
+      table.index_by_key.emplace(ShapeKey(tmp), table.shapes.size());
+      table.shapes.push_back(std::move(shape));
+    }
+  }
+  return true;
+}
+
+}  // namespace deeprest

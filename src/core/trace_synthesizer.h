@@ -1,0 +1,66 @@
+// Trace synthesizer (paper section 4.4).
+//
+// For resource-allocation queries the application has not served the traffic
+// yet, so no real traces exist. The synthesizer learns the empirical
+// distribution of trace shapes conditioned on each API during application
+// learning — Prob(P | API) — and samples from it to convert a hypothetical
+// RPS series into synthetic traces for the feature extractor.
+#ifndef SRC_CORE_TRACE_SYNTHESIZER_H_
+#define SRC_CORE_TRACE_SYNTHESIZER_H_
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/nn/rng.h"
+#include "src/trace/collector.h"
+#include "src/workload/traffic.h"
+
+namespace deeprest {
+
+class TraceSynthesizer {
+ public:
+  // Records one learning-phase trace under its originating API.
+  void LearnTrace(const Trace& trace);
+  // Learns from every trace in [from, to).
+  void LearnRange(const TraceCollector& traces, size_t from, size_t to);
+
+  // Number of distinct trace shapes learned for an API.
+  size_t ShapeCountFor(const std::string& api) const;
+  // Total learning traces observed for an API.
+  size_t TraceCountFor(const std::string& api) const;
+
+  // Samples one synthetic trace for the API (empty Trace if unknown API).
+  Trace Synthesize(const std::string& api, Rng& rng) const;
+
+  // Converts a whole query traffic series into synthetic traces, Poisson-
+  // sampling the per-window request counts: windows [0, traffic.windows())
+  // are written at offset + t.
+  void SynthesizeSeries(const TrafficSeries& traffic, size_t offset, Rng& rng,
+                        TraceCollector& out) const;
+
+  // --- Persistence ---
+  void Save(std::ostream& out) const;
+  bool Load(std::istream& in);
+
+ private:
+  // A trace shape: spans with parents, canonically serialized for dedup.
+  struct Shape {
+    std::vector<Span> spans;
+    size_t count = 0;
+  };
+  struct ApiTable {
+    std::vector<Shape> shapes;
+    std::map<std::string, size_t> index_by_key;
+    size_t total = 0;
+  };
+
+  static std::string ShapeKey(const Trace& trace);
+
+  std::map<std::string, ApiTable> tables_;
+};
+
+}  // namespace deeprest
+
+#endif  // SRC_CORE_TRACE_SYNTHESIZER_H_

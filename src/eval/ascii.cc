@@ -1,0 +1,143 @@
+#include "src/eval/ascii.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace deeprest {
+
+std::string FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string RenderSeries(const std::vector<std::string>& names,
+                         const std::vector<std::vector<double>>& series, size_t height,
+                         size_t width) {
+  std::ostringstream os;
+  if (series.empty() || series[0].empty()) {
+    return "(empty series)\n";
+  }
+  double lo = 1e300;
+  double hi = -1e300;
+  size_t longest = 0;
+  for (const auto& s : series) {
+    for (double v : s) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    longest = std::max(longest, s.size());
+  }
+  if (hi <= lo) {
+    hi = lo + 1.0;
+  }
+
+  // Legend.
+  static const char kMarks[] = "abcdefghij";
+  for (size_t i = 0; i < names.size() && i < series.size(); ++i) {
+    os << "  [" << kMarks[i % 10] << "] " << names[i] << "\n";
+  }
+
+  // Down-sample each series to `width` columns by averaging.
+  const size_t columns = std::min(width, longest);
+  std::vector<std::vector<double>> sampled(series.size(), std::vector<double>(columns));
+  for (size_t i = 0; i < series.size(); ++i) {
+    for (size_t c = 0; c < columns; ++c) {
+      const size_t begin = c * series[i].size() / columns;
+      const size_t end = std::max(begin + 1, (c + 1) * series[i].size() / columns);
+      double acc = 0.0;
+      for (size_t t = begin; t < end && t < series[i].size(); ++t) {
+        acc += series[i][t];
+      }
+      sampled[i][c] = acc / static_cast<double>(end - begin);
+    }
+  }
+
+  std::vector<std::string> grid(height, std::string(columns, ' '));
+  for (size_t i = 0; i < sampled.size(); ++i) {
+    for (size_t c = 0; c < columns; ++c) {
+      const double norm = (sampled[i][c] - lo) / (hi - lo);
+      const size_t row =
+          height - 1 -
+          std::min(height - 1, static_cast<size_t>(norm * static_cast<double>(height - 1) + 0.5));
+      grid[row][c] = kMarks[i % 10];
+    }
+  }
+  os << FormatDouble(hi, 1) << "\n";
+  for (const auto& line : grid) {
+    os << "  |" << line << "\n";
+  }
+  os << FormatDouble(lo, 1) << "  +" << std::string(columns, '-') << "\n";
+  return os.str();
+}
+
+std::string RenderHeatmap(const std::vector<std::string>& row_names,
+                          const std::vector<std::string>& col_names,
+                          const std::vector<std::vector<double>>& values,
+                          const std::string& unit) {
+  std::ostringstream os;
+  size_t name_width = 4;
+  for (const auto& name : row_names) {
+    name_width = std::max(name_width, name.size());
+  }
+  size_t col_width = 8;
+  for (const auto& name : col_names) {
+    col_width = std::max(col_width, name.size() + 1);
+  }
+
+  os << std::string(name_width, ' ');
+  for (const auto& name : col_names) {
+    os << std::string(col_width - name.size(), ' ') << name;
+  }
+  os << "\n";
+  for (size_t r = 0; r < row_names.size(); ++r) {
+    os << row_names[r] << std::string(name_width - row_names[r].size(), ' ');
+    for (size_t c = 0; c < values[r].size(); ++c) {
+      std::string cell;
+      if (std::isnan(values[r][c])) {
+        cell = "-";
+      } else {
+        cell = FormatDouble(values[r][c], 1) + unit;
+      }
+      os << std::string(col_width > cell.size() ? col_width - cell.size() : 1, ' ') << cell;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string RenderTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(header.size());
+  for (size_t c = 0; c < header.size(); ++c) {
+    widths[c] = header[c].size();
+  }
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "  ";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      os << cell << std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    os << "\n";
+  };
+  print_row(header);
+  os << "  ";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    os << std::string(widths[c], '-') << "  ";
+  }
+  os << "\n";
+  for (const auto& row : rows) {
+    print_row(row);
+  }
+  return os.str();
+}
+
+}  // namespace deeprest

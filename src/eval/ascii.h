@@ -1,0 +1,33 @@
+// Terminal rendering helpers so every benchmark can print the paper's curves
+// and heatmaps directly to stdout.
+#ifndef SRC_EVAL_ASCII_H_
+#define SRC_EVAL_ASCII_H_
+
+#include <string>
+#include <vector>
+
+namespace deeprest {
+
+// Multi-series line chart: one character column per down-sampled step, one
+// letter per series (legend printed above the chart).
+std::string RenderSeries(const std::vector<std::string>& names,
+                         const std::vector<std::vector<double>>& series, size_t height = 12,
+                         size_t width = 96);
+
+// Row/column heatmap of values (lower = better by default): buckets values
+// into shade characters and prints a legend with the numeric range.
+std::string RenderHeatmap(const std::vector<std::string>& row_names,
+                          const std::vector<std::string>& col_names,
+                          const std::vector<std::vector<double>>& values,
+                          const std::string& unit = "%");
+
+// Simple fixed-width table.
+std::string RenderTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows);
+
+// Formats a double with the given precision.
+std::string FormatDouble(double value, int precision = 2);
+
+}  // namespace deeprest
+
+#endif  // SRC_EVAL_ASCII_H_

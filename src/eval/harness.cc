@@ -1,0 +1,168 @@
+#include "src/eval/harness.h"
+
+#include <cstdio>
+#include <functional>
+#include <sstream>
+
+namespace deeprest {
+
+namespace {
+
+// The learning-phase API mix of the social network (weights sum to 1; the
+// three representative APIs of the paper dominate).
+std::vector<ApiShare> SocialMix() {
+  return {
+      {"/composePost", 0.22},  {"/readTimeline", 0.34}, {"/readUserTimeline", 0.10},
+      {"/uploadMedia", 0.06},  {"/getMedia", 0.12},     {"/login", 0.05},
+      {"/register", 0.005},    {"/followUser", 0.02},   {"/unfollowUser", 0.01},
+      {"/searchUser", 0.035},  {"/readPost", 0.04},
+  };
+}
+
+std::vector<ApiShare> HotelMix() {
+  return {
+      {"/searchHotels", 0.55},
+      {"/recommend", 0.20},
+      {"/reserve", 0.10},
+      {"/login", 0.15},
+  };
+}
+
+}  // namespace
+
+ExperimentHarness::ExperimentHarness(const HarnessConfig& config)
+    : config_(config),
+      app_(config.app == HarnessConfig::AppKind::kSocialNetwork
+               ? BuildSocialNetworkApp(config.seed)
+               : BuildHotelReservationApp(config.seed)) {
+  SimOptions sim_options;
+  sim_options.seed = config_.seed;
+  sim_ = std::make_unique<Simulator>(app_, sim_options);
+
+  Rng traffic_rng(config_.seed * 7919 + 13);
+  learn_traffic_ = GenerateTraffic(LearnSpec(), traffic_rng);
+  sim_->Run(learn_traffic_, 0, &traces_, &metrics_);
+  next_window_ = learn_windows();
+}
+
+TrafficSpec ExperimentHarness::LearnSpec() const {
+  TrafficSpec spec;
+  spec.days = config_.learn_days;
+  spec.windows_per_day = config_.windows_per_day;
+  spec.shape = config_.learn_shape;
+  spec.base_requests_per_window = config_.base_requests_per_window;
+  spec.mix = config_.app == HarnessConfig::AppKind::kSocialNetwork ? SocialMix() : HotelMix();
+  return spec;
+}
+
+TrafficSpec ExperimentHarness::QuerySpec(size_t days) const {
+  TrafficSpec spec = LearnSpec();
+  spec.days = days;
+  return spec;
+}
+
+ExperimentHarness::QueryResult ExperimentHarness::RunQuery(
+    const TrafficSeries& query_traffic) {
+  QueryResult result;
+  result.traffic = query_traffic;
+  result.from = next_window_;
+  result.to = next_window_ + query_traffic.windows();
+  sim_->Run(query_traffic, next_window_, &traces_, &metrics_);
+  next_window_ = result.to;
+  return result;
+}
+
+std::string ExperimentHarness::CacheFile() const {
+  // Hash together everything the trained model depends on.
+  std::ostringstream key;
+  const EstimatorConfig& e = config_.estimator;
+  key << app_.name() << '|' << ShapeKindName(config_.learn_shape) << '|'
+      << config_.learn_days << '|' << config_.windows_per_day << '|'
+      << config_.base_requests_per_window << '|' << config_.seed << '|' << e.hidden_dim << '|'
+      << e.epochs << '|' << e.learning_rate << '|' << e.bptt_chunk << '|' << e.delta << '|'
+      << e.seed << '|' << e.mask_decay << '|' << e.use_api_mask << e.use_attention
+      << e.use_recurrence << e.warm_start << e.use_linear_bypass;
+  const size_t hash = std::hash<std::string>{}(key.str());
+  std::ostringstream path;
+  path << config_.cache_dir << "/deeprest_model_" << std::hex << hash << ".bin";
+  return path.str();
+}
+
+DeepRestEstimator& ExperimentHarness::deeprest() {
+  if (!deeprest_) {
+    EstimatorConfig estimator_config = config_.estimator;
+    estimator_config.seed = estimator_config.seed == 1 ? config_.seed : estimator_config.seed;
+    deeprest_ = std::make_unique<DeepRestEstimator>(estimator_config);
+    const std::string cache = CacheFile();
+    if (config_.cache_models && deeprest_->Load(cache)) {
+      return *deeprest_;
+    }
+    deeprest_->Learn(traces_, metrics_, 0, learn_windows(), app_.MetricCatalog());
+    if (config_.cache_models) {
+      deeprest_->Save(cache);
+    }
+  }
+  return *deeprest_;
+}
+
+ResourceAwareDl& ExperimentHarness::resource_aware_dl() {
+  if (!resource_aware_dl_) {
+    ResourceAwareDlConfig baseline_config = config_.resource_aware_dl;
+    baseline_config.seed = config_.seed;
+    resource_aware_dl_ = std::make_unique<ResourceAwareDl>(baseline_config);
+    resource_aware_dl_->Learn(metrics_, 0, learn_windows(), config_.windows_per_day,
+                              app_.MetricCatalog());
+  }
+  return *resource_aware_dl_;
+}
+
+SimpleScaling& ExperimentHarness::simple_scaling() {
+  if (!simple_scaling_) {
+    simple_scaling_ = std::make_unique<SimpleScaling>();
+    simple_scaling_->Learn(metrics_, learn_traffic_, 0, learn_windows(),
+                           config_.windows_per_day, app_.MetricCatalog());
+  }
+  return *simple_scaling_;
+}
+
+ComponentAwareScaling& ExperimentHarness::component_aware_scaling() {
+  if (!component_aware_scaling_) {
+    component_aware_scaling_ = std::make_unique<ComponentAwareScaling>();
+    component_aware_scaling_->Learn(metrics_, traces_, 0, learn_windows(),
+                                    config_.windows_per_day, app_.MetricCatalog());
+  }
+  return *component_aware_scaling_;
+}
+
+EstimateMap ExperimentHarness::EstimateDeepRest(const QueryResult& query) {
+  return deeprest().EstimateFromTraffic(query.traffic, config_.seed * 31 + query.from);
+}
+
+EstimateMap ExperimentHarness::EstimateDeepRestFromRealTraces(const QueryResult& query) {
+  return deeprest().EstimateFromTraces(traces_, query.from, query.to);
+}
+
+EstimateMap ExperimentHarness::EstimateResourceAwareDl(const QueryResult& query) {
+  return resource_aware_dl().Forecast(query.to - query.from);
+}
+
+EstimateMap ExperimentHarness::EstimateSimpleScaling(const QueryResult& query) {
+  return simple_scaling().Estimate(query.traffic);
+}
+
+EstimateMap ExperimentHarness::EstimateComponentAwareScaling(const QueryResult& query) {
+  // The component-aware baseline needs traces for the query traffic. Like
+  // DeepRest's mode 1, it gets synthetic ones (the traffic has notionally not
+  // been served yet); the synthesizer is DeepRest's, which only helps it.
+  Rng rng(config_.seed * 77 + query.from);
+  TraceCollector synthetic;
+  deeprest().synthesizer().SynthesizeSeries(query.traffic, 0, rng, synthetic);
+  return component_aware_scaling().Estimate(synthetic, 0, query.traffic.windows());
+}
+
+double ExperimentHarness::QueryMape(const EstimateMap& estimates, const QueryResult& query,
+                                    const MetricKey& key) const {
+  return ResourceMape(estimates, metrics_, key, query.from, query.to);
+}
+
+}  // namespace deeprest

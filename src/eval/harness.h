@@ -1,0 +1,113 @@
+// Experiment harness: the shared learn-phase / query-phase orchestration
+// behind every benchmark and the end-to-end tests.
+//
+// A harness owns one application, simulates its 7-day (configurable)
+// learning phase, trains the four estimation algorithms on the resulting
+// telemetry, and then answers queries: a query's ground truth is produced by
+// CONTINUING the same simulator (warm caches, grown disks) on the query
+// traffic, exactly as the paper replays query traffic against the live
+// deployment.
+#ifndef SRC_EVAL_HARNESS_H_
+#define SRC_EVAL_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/baselines.h"
+#include "src/core/estimator.h"
+#include "src/core/sanity.h"
+#include "src/eval/metrics.h"
+#include "src/sim/app.h"
+#include "src/sim/simulator.h"
+
+namespace deeprest {
+
+struct HarnessConfig {
+  enum class AppKind { kSocialNetwork, kHotelReservation };
+  AppKind app = AppKind::kSocialNetwork;
+  size_t learn_days = 7;
+  size_t windows_per_day = 72;
+  double base_requests_per_window = 120.0;
+  // Diurnal shape of the learning phase (two-peak in the paper; the
+  // flat->two-peak direction of Fig. 16 flips it).
+  ShapeKind learn_shape = ShapeKind::kTwoPeak;
+  uint64_t seed = 1;
+  EstimatorConfig estimator;
+  ResourceAwareDlConfig resource_aware_dl;
+  // Persist trained DeepRest models next to the binary and reuse them across
+  // runs with identical configurations (the learning phase is deterministic,
+  // so a cached model is bit-identical to a retrained one).
+  bool cache_models = true;
+  std::string cache_dir = ".";
+};
+
+class ExperimentHarness {
+ public:
+  explicit ExperimentHarness(const HarnessConfig& config);
+
+  // --- Learning phase ---
+  const Application& app() const { return app_; }
+  const HarnessConfig& config() const { return config_; }
+  size_t learn_windows() const { return config_.learn_days * config_.windows_per_day; }
+  const TrafficSeries& learn_traffic() const { return learn_traffic_; }
+  const TraceCollector& traces() const { return traces_; }
+  const MetricsStore& metrics() const { return metrics_; }
+  Simulator& simulator() { return *sim_; }
+
+  // Default traffic spec matching the learning phase (same mix and shape).
+  TrafficSpec LearnSpec() const;
+  // Query spec: learning defaults, `days` long; callers adjust scale / mix /
+  // shape for the unseen-traffic scenarios.
+  TrafficSpec QuerySpec(size_t days = 1) const;
+
+  // --- Queries ---
+  struct QueryResult {
+    TrafficSeries traffic;
+    size_t from = 0;  // absolute window range of the ground truth
+    size_t to = 0;
+  };
+
+  // Continues the simulation on the query traffic; ground-truth metrics and
+  // real traces land in metrics()/traces() at [result.from, result.to).
+  QueryResult RunQuery(const TrafficSeries& query_traffic);
+
+  // --- Algorithms (trained lazily on the learning phase) ---
+  DeepRestEstimator& deeprest();
+  ResourceAwareDl& resource_aware_dl();
+  SimpleScaling& simple_scaling();
+  ComponentAwareScaling& component_aware_scaling();
+
+  // --- Convenience estimation wrappers for one query ---
+  // DeepRest mode 1: synthesize traces from the query traffic.
+  EstimateMap EstimateDeepRest(const QueryResult& query);
+  // DeepRest mode 2: use the real traces captured while serving the query.
+  EstimateMap EstimateDeepRestFromRealTraces(const QueryResult& query);
+  EstimateMap EstimateResourceAwareDl(const QueryResult& query);
+  EstimateMap EstimateSimpleScaling(const QueryResult& query);
+  EstimateMap EstimateComponentAwareScaling(const QueryResult& query);
+
+  // MAPE of an algorithm's estimate against the query's ground truth.
+  double QueryMape(const EstimateMap& estimates, const QueryResult& query,
+                   const MetricKey& key) const;
+
+ private:
+  std::string CacheFile() const;
+
+  HarnessConfig config_;
+  Application app_;
+  std::unique_ptr<Simulator> sim_;
+  TrafficSeries learn_traffic_;
+  TraceCollector traces_;
+  MetricsStore metrics_;
+  size_t next_window_ = 0;
+
+  std::unique_ptr<DeepRestEstimator> deeprest_;
+  std::unique_ptr<ResourceAwareDl> resource_aware_dl_;
+  std::unique_ptr<SimpleScaling> simple_scaling_;
+  std::unique_ptr<ComponentAwareScaling> component_aware_scaling_;
+};
+
+}  // namespace deeprest
+
+#endif  // SRC_EVAL_HARNESS_H_

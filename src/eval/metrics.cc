@@ -1,0 +1,80 @@
+#include "src/eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deeprest {
+
+double Mape(const std::vector<double>& predicted, const std::vector<double>& actual) {
+  const size_t n = std::min(predicted.size(), actual.size());
+  if (n == 0) {
+    return 0.0;
+  }
+  double mean = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    mean += actual[t];
+  }
+  mean /= static_cast<double>(n);
+  const double floor = std::max(0.05 * mean, 1e-9);
+
+  double total = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    total += std::fabs(predicted[t] - actual[t]) / std::max(actual[t], floor);
+  }
+  return 100.0 * total / static_cast<double>(n);
+}
+
+double ResourceMape(const EstimateMap& estimates, const MetricsStore& metrics,
+                    const MetricKey& key, size_t from, size_t to) {
+  auto it = estimates.find(key);
+  if (it == estimates.end()) {
+    return 100.0;
+  }
+  return Mape(it->second.expected, metrics.Series(key, from, to));
+}
+
+double IntervalCoverage(const ResourceEstimate& estimate, const std::vector<double>& actual) {
+  const size_t n = std::min(actual.size(), estimate.expected.size());
+  if (n == 0) {
+    return 0.0;
+  }
+  size_t covered = 0;
+  for (size_t t = 0; t < n; ++t) {
+    if (actual[t] >= estimate.lower[t] && actual[t] <= estimate.upper[t]) {
+      ++covered;
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(n);
+}
+
+double SynthesisQuality(const std::vector<std::vector<float>>& synthetic,
+                        const std::vector<std::vector<float>>& real, size_t block_windows) {
+  const size_t n = std::min(synthetic.size(), real.size());
+  if (n == 0) {
+    return 0.0;
+  }
+  block_windows = std::max<size_t>(1, block_windows);
+  const size_t blocks = (n + block_windows - 1) / block_windows;
+  double error_sum = 0.0;
+  for (size_t b = 0; b < blocks; ++b) {
+    const size_t begin = b * block_windows;
+    const size_t end = std::min(n, begin + block_windows);
+    const size_t dims = std::min(synthetic[begin].size(), real[begin].size());
+    double l1 = 0.0;
+    double mass = 0.0;
+    for (size_t d = 0; d < dims; ++d) {
+      double synth_sum = 0.0;
+      double real_sum = 0.0;
+      for (size_t t = begin; t < end; ++t) {
+        synth_sum += synthetic[t][d];
+        real_sum += real[t][d];
+      }
+      l1 += std::fabs(synth_sum - real_sum);
+      mass += synth_sum + real_sum;
+    }
+    error_sum += mass > 0.0 ? l1 / mass : 0.0;
+  }
+  return 100.0 * (1.0 - error_sum / static_cast<double>(blocks));
+}
+
+}  // namespace deeprest

@@ -1,0 +1,38 @@
+// Evaluation metrics shared by tests and benchmarks.
+#ifndef SRC_EVAL_METRICS_H_
+#define SRC_EVAL_METRICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/estimator.h"
+#include "src/telemetry/metrics.h"
+
+namespace deeprest {
+
+// Mean absolute percentage error (paper's headline metric). The denominator
+// is floored at 5% of the series mean so near-zero troughs do not explode
+// the statistic.
+double Mape(const std::vector<double>& predicted, const std::vector<double>& actual);
+
+// MAPE of one resource's expected-value estimate against the metrics store.
+double ResourceMape(const EstimateMap& estimates, const MetricsStore& metrics,
+                    const MetricKey& key, size_t from, size_t to);
+
+// Fraction of actual samples falling inside [lower, upper].
+double IntervalCoverage(const ResourceEstimate& estimate, const std::vector<double>& actual);
+
+// Trace-synthesis quality (paper Table 1): L1 similarity between the
+// feature-vector histograms of synthetic and ground-truth traces, in percent
+// (100 = identical histograms). Windows are aggregated into blocks of
+// `block_windows` before comparison so that Poisson sampling noise on small
+// per-window counts (present identically in both the synthetic and the real
+// traces) does not dominate the distributional comparison.
+double SynthesisQuality(const std::vector<std::vector<float>>& synthetic,
+                        const std::vector<std::vector<float>>& real,
+                        size_t block_windows = 4);
+
+}  // namespace deeprest
+
+#endif  // SRC_EVAL_METRICS_H_

@@ -1,0 +1,107 @@
+// Dense row-major float matrix: the value type underneath autograd tensors.
+//
+// Deliberately minimal — just what the DeepRest model needs. All shapes are
+// checked with assertions in debug builds; shape mismatches are programming
+// errors, not runtime conditions.
+#ifndef SRC_NN_MATRIX_H_
+#define SRC_NN_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace deeprest {
+
+class Rng;
+
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+  Matrix(size_t rows, size_t cols, float fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  // Builds a matrix from a nested initializer-style vector (rows of values).
+  static Matrix FromRows(const std::vector<std::vector<float>>& rows);
+  // Builds an n x 1 column vector.
+  static Matrix Column(const std::vector<float>& values);
+  // Identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& At(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float At(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float& operator[](size_t i) {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  float operator[](size_t i) const {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  void Fill(float value);
+  void Zero() { Fill(0.0f); }
+
+  // In-place element-wise accumulation: *this += other. Shapes must match.
+  void Add(const Matrix& other);
+  // *this += scale * other.
+  void AddScaled(const Matrix& other, float scale);
+  // *this *= scale.
+  void Scale(float scale);
+
+  // Fills with samples from U(-bound, bound).
+  void FillUniform(Rng& rng, float bound);
+  // Fills with N(0, stddev) samples.
+  void FillGaussian(Rng& rng, float stddev);
+
+  // Frobenius / L2 norm of all entries.
+  float Norm() const;
+  float Sum() const;
+  float Max() const;
+  float Min() const;
+
+  // Matrix product (rows_ x cols_) * (other.rows_ x other.cols_).
+  Matrix MatMul(const Matrix& other) const;
+  // Transpose copy.
+  Matrix Transposed() const;
+
+  std::string DebugString() const;
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+// out = a * b, reusing out's storage when shapes already match.
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix& out);
+// out += a^T * b.
+void AccumulateATransposeB(const Matrix& a, const Matrix& b, Matrix& out);
+// out += a * b^T.
+void AccumulateABTranspose(const Matrix& a, const Matrix& b, Matrix& out);
+
+}  // namespace deeprest
+
+#endif  // SRC_NN_MATRIX_H_

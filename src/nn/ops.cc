@@ -1,0 +1,383 @@
+#include "src/nn/ops.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace deeprest {
+
+namespace {
+
+// Accumulates `delta` into parent i of `node` if that parent tracks gradients.
+void Accumulate(TensorNode& node, size_t i, const Matrix& delta) {
+  TensorNode* p = node.parents[i].node();
+  if (p->requires_grad) {
+    p->AccumulateGrad(delta);
+  }
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  assert(a.value().SameShape(b.value()));
+  Matrix out = a.value();
+  out.Add(b.value());
+  return Tensor::FromOp(
+      std::move(out), {a, b},
+      [](TensorNode& node) {
+        Accumulate(node, 0, node.grad);
+        Accumulate(node, 1, node.grad);
+      },
+      "add");
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  assert(a.value().SameShape(b.value()));
+  Matrix out = a.value();
+  out.AddScaled(b.value(), -1.0f);
+  return Tensor::FromOp(
+      std::move(out), {a, b},
+      [](TensorNode& node) {
+        Accumulate(node, 0, node.grad);
+        TensorNode* p = node.parents[1].node();
+        if (p->requires_grad) {
+          p->AccumulateGradScaled(node.grad, -1.0f);
+        }
+      },
+      "sub");
+}
+
+Tensor Hadamard(const Tensor& a, const Tensor& b) {
+  assert(a.value().SameShape(b.value()));
+  Matrix out = a.value();
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] *= b.value()[i];
+  }
+  return Tensor::FromOp(
+      std::move(out), {a, b},
+      [](TensorNode& node) {
+        TensorNode* pa = node.parents[0].node();
+        TensorNode* pb = node.parents[1].node();
+        if (pa->requires_grad) {
+          pa->EnsureGrad();
+          for (size_t i = 0; i < node.grad.size(); ++i) {
+            pa->grad[i] += node.grad[i] * pb->value[i];
+          }
+        }
+        if (pb->requires_grad) {
+          pb->EnsureGrad();
+          for (size_t i = 0; i < node.grad.size(); ++i) {
+            pb->grad[i] += node.grad[i] * pa->value[i];
+          }
+        }
+      },
+      "hadamard");
+}
+
+Tensor Affine(const Tensor& a, float alpha, float beta) {
+  Matrix out = a.value();
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = alpha * out[i] + beta;
+  }
+  return Tensor::FromOp(
+      std::move(out), {a},
+      [alpha](TensorNode& node) {
+        TensorNode* p = node.parents[0].node();
+        if (p->requires_grad) {
+          p->AccumulateGradScaled(node.grad, alpha);
+        }
+      },
+      "affine");
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Matrix out;
+  MatMulInto(a.value(), b.value(), out);
+  return Tensor::FromOp(
+      std::move(out), {a, b},
+      [](TensorNode& node) {
+        TensorNode* pa = node.parents[0].node();
+        TensorNode* pb = node.parents[1].node();
+        // dL/dA = dL/dOut * B^T ; dL/dB = A^T * dL/dOut.
+        if (pa->requires_grad) {
+          pa->EnsureGrad();
+          AccumulateABTranspose(node.grad, pb->value, pa->grad);
+        }
+        if (pb->requires_grad) {
+          pb->EnsureGrad();
+          AccumulateATransposeB(pa->value, node.grad, pb->grad);
+        }
+      },
+      "matmul");
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  Matrix out = a.value();
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+  }
+  return Tensor::FromOp(
+      std::move(out), {a},
+      [](TensorNode& node) {
+        TensorNode* p = node.parents[0].node();
+        if (p->requires_grad) {
+          p->EnsureGrad();
+          for (size_t i = 0; i < node.grad.size(); ++i) {
+            const float s = node.value[i];
+            p->grad[i] += node.grad[i] * s * (1.0f - s);
+          }
+        }
+      },
+      "sigmoid");
+}
+
+Tensor Tanh(const Tensor& a) {
+  Matrix out = a.value();
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::tanh(out[i]);
+  }
+  return Tensor::FromOp(
+      std::move(out), {a},
+      [](TensorNode& node) {
+        TensorNode* p = node.parents[0].node();
+        if (p->requires_grad) {
+          p->EnsureGrad();
+          for (size_t i = 0; i < node.grad.size(); ++i) {
+            const float t = node.value[i];
+            p->grad[i] += node.grad[i] * (1.0f - t * t);
+          }
+        }
+      },
+      "tanh");
+}
+
+Tensor Relu(const Tensor& a) {
+  Matrix out = a.value();
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = out[i] > 0.0f ? out[i] : 0.0f;
+  }
+  return Tensor::FromOp(
+      std::move(out), {a},
+      [](TensorNode& node) {
+        TensorNode* p = node.parents[0].node();
+        if (p->requires_grad) {
+          p->EnsureGrad();
+          for (size_t i = 0; i < node.grad.size(); ++i) {
+            if (node.value[i] > 0.0f) {
+              p->grad[i] += node.grad[i];
+            }
+          }
+        }
+      },
+      "relu");
+}
+
+Tensor Exp(const Tensor& a) {
+  Matrix out = a.value();
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::exp(out[i]);
+  }
+  return Tensor::FromOp(
+      std::move(out), {a},
+      [](TensorNode& node) {
+        TensorNode* p = node.parents[0].node();
+        if (p->requires_grad) {
+          p->EnsureGrad();
+          for (size_t i = 0; i < node.grad.size(); ++i) {
+            p->grad[i] += node.grad[i] * node.value[i];
+          }
+        }
+      },
+      "exp");
+}
+
+Tensor ConcatRows(const Tensor& a, const Tensor& b) {
+  assert(a.cols() == b.cols());
+  Matrix out(a.rows() + b.rows(), a.cols());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    out[i] = a.value()[i];
+  }
+  for (size_t i = 0; i < b.value().size(); ++i) {
+    out[a.value().size() + i] = b.value()[i];
+  }
+  return Tensor::FromOp(
+      std::move(out), {a, b},
+      [](TensorNode& node) {
+        TensorNode* pa = node.parents[0].node();
+        TensorNode* pb = node.parents[1].node();
+        const size_t na = pa->value.size();
+        if (pa->requires_grad) {
+          pa->EnsureGrad();
+          for (size_t i = 0; i < na; ++i) {
+            pa->grad[i] += node.grad[i];
+          }
+        }
+        if (pb->requires_grad) {
+          pb->EnsureGrad();
+          for (size_t i = 0; i < pb->value.size(); ++i) {
+            pb->grad[i] += node.grad[na + i];
+          }
+        }
+      },
+      "concat_rows");
+}
+
+Tensor StackColumns(const std::vector<Tensor>& columns) {
+  assert(!columns.empty());
+  const size_t h = columns[0].rows();
+  Matrix out(columns.size(), h);
+  for (size_t r = 0; r < columns.size(); ++r) {
+    assert(columns[r].rows() == h && columns[r].cols() == 1);
+    for (size_t c = 0; c < h; ++c) {
+      out.At(r, c) = columns[r].value().At(c, 0);
+    }
+  }
+  return Tensor::FromOp(
+      std::move(out), columns,
+      [](TensorNode& node) {
+        const size_t width = node.value.cols();
+        for (size_t r = 0; r < node.parents.size(); ++r) {
+          TensorNode* p = node.parents[r].node();
+          if (!p->requires_grad) {
+            continue;
+          }
+          p->EnsureGrad();
+          for (size_t c = 0; c < width; ++c) {
+            p->grad.At(c, 0) += node.grad.At(r, c);
+          }
+        }
+      },
+      "stack_columns");
+}
+
+Tensor RowAsColumn(const Tensor& a, size_t row) {
+  assert(row < a.rows());
+  Matrix out(a.cols(), 1);
+  for (size_t c = 0; c < a.cols(); ++c) {
+    out.At(c, 0) = a.value().At(row, c);
+  }
+  return Tensor::FromOp(
+      std::move(out), {a},
+      [row](TensorNode& node) {
+        TensorNode* p = node.parents[0].node();
+        if (p->requires_grad) {
+          p->EnsureGrad();
+          for (size_t c = 0; c < node.value.rows(); ++c) {
+            p->grad.At(row, c) += node.grad.At(c, 0);
+          }
+        }
+      },
+      "row_as_column");
+}
+
+Tensor SumAll(const Tensor& a) {
+  Matrix out(1, 1);
+  out.At(0, 0) = a.value().Sum();
+  return Tensor::FromOp(
+      std::move(out), {a},
+      [](TensorNode& node) {
+        TensorNode* p = node.parents[0].node();
+        if (p->requires_grad) {
+          p->EnsureGrad();
+          const float g = node.grad.At(0, 0);
+          for (size_t i = 0; i < p->grad.size(); ++i) {
+            p->grad[i] += g;
+          }
+        }
+      },
+      "sum_all");
+}
+
+Tensor MeanAll(const Tensor& a) {
+  const float inv = 1.0f / static_cast<float>(a.value().size());
+  Matrix out(1, 1);
+  out.At(0, 0) = a.value().Sum() * inv;
+  return Tensor::FromOp(
+      std::move(out), {a},
+      [inv](TensorNode& node) {
+        TensorNode* p = node.parents[0].node();
+        if (p->requires_grad) {
+          p->EnsureGrad();
+          const float g = node.grad.At(0, 0) * inv;
+          for (size_t i = 0; i < p->grad.size(); ++i) {
+            p->grad[i] += g;
+          }
+        }
+      },
+      "mean_all");
+}
+
+Tensor AddN(const std::vector<Tensor>& scalars) {
+  assert(!scalars.empty());
+  Matrix out(1, 1);
+  for (const auto& t : scalars) {
+    assert(t.rows() == 1 && t.cols() == 1);
+    out.At(0, 0) += t.value().At(0, 0);
+  }
+  return Tensor::FromOp(
+      std::move(out), scalars,
+      [](TensorNode& node) {
+        for (size_t i = 0; i < node.parents.size(); ++i) {
+          Accumulate(node, i, node.grad);
+        }
+      },
+      "add_n");
+}
+
+Tensor PinballLoss(const Tensor& pred, float target, const std::vector<float>& deltas) {
+  assert(pred.cols() == 1 && pred.rows() == deltas.size());
+  // Standard quantile convention: rho_q(u) with u = target - pred, so that
+  // minimizing drives pred[i] to the deltas[i]-quantile of the target
+  // distribution (delta < 0.5 -> lower bound, delta > 0.5 -> upper bound).
+  // The paper's Eq. 5 writes Q(pred - target | delta); adopting that sign
+  // verbatim would swap the lower/upper heads of Eq. 6.
+  Matrix out(1, 1);
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    const float u = target - pred.value().At(i, 0);
+    const float q = deltas[i];
+    out.At(0, 0) += u >= 0.0f ? q * u : (q - 1.0f) * u;
+  }
+  return Tensor::FromOp(
+      std::move(out), {pred},
+      [target, deltas](TensorNode& node) {
+        TensorNode* p = node.parents[0].node();
+        if (!p->requires_grad) {
+          return;
+        }
+        p->EnsureGrad();
+        const float g = node.grad.At(0, 0);
+        for (size_t i = 0; i < deltas.size(); ++i) {
+          const float u = target - p->value.At(i, 0);
+          const float q = deltas[i];
+          // Subgradient at u == 0 follows the u >= 0 branch, matching forward.
+          p->grad.At(i, 0) += g * (u >= 0.0f ? -q : 1.0f - q);
+        }
+      },
+      "pinball");
+}
+
+Tensor SquaredError(const Tensor& pred, const Matrix& target) {
+  assert(pred.value().SameShape(target));
+  Matrix out(1, 1);
+  double acc = 0.0;
+  for (size_t i = 0; i < target.size(); ++i) {
+    const double d = pred.value()[i] - target[i];
+    acc += 0.5 * d * d;
+  }
+  out.At(0, 0) = static_cast<float>(acc);
+  return Tensor::FromOp(
+      std::move(out), {pred},
+      [target](TensorNode& node) {
+        TensorNode* p = node.parents[0].node();
+        if (!p->requires_grad) {
+          return;
+        }
+        p->EnsureGrad();
+        const float g = node.grad.At(0, 0);
+        for (size_t i = 0; i < target.size(); ++i) {
+          p->grad[i] += g * (p->value[i] - target[i]);
+        }
+      },
+      "squared_error");
+}
+
+}  // namespace deeprest

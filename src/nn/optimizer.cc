@@ -1,0 +1,92 @@
+#include "src/nn/optimizer.h"
+
+#include <cmath>
+
+namespace deeprest {
+
+float ClipGradNorm(ParameterStore& store, float max_norm) {
+  double total = 0.0;
+  for (auto& e : store.entries()) {
+    e.tensor.node()->EnsureGrad();
+    const Matrix& g = e.tensor.grad();
+    for (size_t i = 0; i < g.size(); ++i) {
+      total += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto& e : store.entries()) {
+      e.tensor.mutable_grad().Scale(scale);
+    }
+  }
+  return norm;
+}
+
+SgdOptimizer::SgdOptimizer(ParameterStore& store, float learning_rate, float momentum)
+    : store_(&store), learning_rate_(learning_rate), momentum_(momentum) {
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(store.entries().size());
+    for (const auto& e : store.entries()) {
+      velocity_.emplace_back(e.tensor.value().rows(), e.tensor.value().cols());
+    }
+  }
+}
+
+void SgdOptimizer::Step() {
+  auto& entries = store_->entries();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    Tensor& t = entries[i].tensor;
+    t.node()->EnsureGrad();
+    if (momentum_ != 0.0f) {
+      // velocity = momentum * velocity + grad; param -= lr * velocity.
+      Matrix& vel = velocity_[i];
+      vel.Scale(momentum_);
+      vel.Add(t.grad());
+      t.mutable_value().AddScaled(vel, -learning_rate_);
+    } else {
+      t.mutable_value().AddScaled(t.grad(), -learning_rate_);
+    }
+  }
+}
+
+AdamOptimizer::AdamOptimizer(ParameterStore& store, float learning_rate, float beta1,
+                             float beta2, float epsilon)
+    : store_(&store),
+      learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  m_.reserve(store.entries().size());
+  v_.reserve(store.entries().size());
+  for (const auto& e : store.entries()) {
+    m_.emplace_back(e.tensor.value().rows(), e.tensor.value().cols());
+    v_.emplace_back(e.tensor.value().rows(), e.tensor.value().cols());
+  }
+}
+
+void AdamOptimizer::Step() {
+  ++step_count_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  auto& entries = store_->entries();
+  // Parameters may have been created after the optimizer (not supported);
+  // guard with an assert-equivalent size check in debug builds.
+  for (size_t i = 0; i < entries.size() && i < m_.size(); ++i) {
+    Tensor& t = entries[i].tensor;
+    t.node()->EnsureGrad();
+    const Matrix& g = t.grad();
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    Matrix& value = t.mutable_value();
+    for (size_t j = 0; j < g.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      value[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace deeprest

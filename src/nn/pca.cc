@@ -1,0 +1,143 @@
+#include "src/nn/pca.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace deeprest {
+
+void SymmetricEigen(std::vector<double>& matrix, size_t n, std::vector<double>& eigenvalues,
+                    std::vector<std::vector<double>>& eigenvectors) {
+  assert(matrix.size() == n * n);
+  // Cyclic Jacobi rotations; V accumulates the eigenvector basis.
+  std::vector<double> v(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    v[i * n + i] = 1.0;
+  }
+  auto a = [&](size_t r, size_t c) -> double& { return matrix[r * n + c]; };
+  auto vv = [&](size_t r, size_t c) -> double& { return v[r * n + c]; };
+
+  const int kMaxSweeps = 100;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        off += a(p, q) * a(p, q);
+      }
+    }
+    if (off < 1e-20) {
+      break;
+    }
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::fabs(apq) < 1e-300) {
+          continue;
+        }
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t =
+            (theta >= 0.0 ? 1.0 : -1.0) / (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = vv(k, p);
+          const double vkq = vv(k, q);
+          vv(k, p) = c * vkp - s * vkq;
+          vv(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  eigenvalues.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    eigenvalues[i] = a(i, i);
+  }
+  // Sort descending by eigenvalue, permuting eigenvectors along.
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(),
+            [&](size_t l, size_t r) { return eigenvalues[l] > eigenvalues[r]; });
+  std::vector<double> sorted_values(n);
+  eigenvectors.assign(n, std::vector<double>(n));
+  for (size_t rank = 0; rank < n; ++rank) {
+    sorted_values[rank] = eigenvalues[idx[rank]];
+    for (size_t k = 0; k < n; ++k) {
+      eigenvectors[rank][k] = vv(k, idx[rank]);
+    }
+  }
+  eigenvalues = std::move(sorted_values);
+}
+
+PcaResult ComputePca(const std::vector<std::vector<float>>& samples, size_t components) {
+  PcaResult result;
+  const size_t n = samples.size();
+  if (n == 0) {
+    return result;
+  }
+  const size_t d = samples[0].size();
+  components = std::min(components, n);
+
+  // Center the data.
+  std::vector<double> mean(d, 0.0);
+  for (const auto& row : samples) {
+    assert(row.size() == d);
+    for (size_t j = 0; j < d; ++j) {
+      mean[j] += row[j];
+    }
+  }
+  for (auto& m : mean) {
+    m /= static_cast<double>(n);
+  }
+
+  // Gram matrix G = X_c X_c^T (n x n). Eigenvectors u of G give principal
+  // directions via X_c^T u / ||.||; projections are simply u * sqrt(lambda).
+  std::vector<double> gram(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < d; ++k) {
+        acc += (samples[i][k] - mean[k]) * (samples[j][k] - mean[k]);
+      }
+      gram[i * n + j] = acc;
+      gram[j * n + i] = acc;
+    }
+  }
+
+  std::vector<double> eigenvalues;
+  std::vector<std::vector<double>> eigenvectors;
+  SymmetricEigen(gram, n, eigenvalues, eigenvectors);
+
+  double total_variance = 0.0;
+  for (double ev : eigenvalues) {
+    total_variance += std::max(ev, 0.0);
+  }
+
+  result.projections.assign(n, std::vector<float>(components, 0.0f));
+  result.explained_variance_ratio.resize(components, 0.0f);
+  for (size_t cidx = 0; cidx < components; ++cidx) {
+    const double lambda = std::max(eigenvalues[cidx], 0.0);
+    const double scale = std::sqrt(lambda);
+    for (size_t i = 0; i < n; ++i) {
+      result.projections[i][cidx] = static_cast<float>(eigenvectors[cidx][i] * scale);
+    }
+    result.explained_variance_ratio[cidx] =
+        total_variance > 0.0 ? static_cast<float>(lambda / total_variance) : 0.0f;
+  }
+  return result;
+}
+
+}  // namespace deeprest

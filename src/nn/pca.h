@@ -1,0 +1,33 @@
+// Principal component analysis, used to reproduce paper Fig. 21 (projecting
+// the GRU parameters of all experts onto 2D and observing that MongoDB
+// experts cluster together).
+#ifndef SRC_NN_PCA_H_
+#define SRC_NN_PCA_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace deeprest {
+
+struct PcaResult {
+  // Projected coordinates: one row (of `components` values) per input sample.
+  std::vector<std::vector<float>> projections;
+  // Fraction of total variance captured by each kept component.
+  std::vector<float> explained_variance_ratio;
+};
+
+// Projects `samples` (N rows x D columns, D may exceed N) onto the top
+// `components` principal components. Uses the Gram-matrix trick so the cost is
+// O(N^2 D + N^3) regardless of D, which is essential here because each expert
+// flattens to tens of thousands of parameters.
+PcaResult ComputePca(const std::vector<std::vector<float>>& samples, size_t components);
+
+// Jacobi eigen-decomposition of a symmetric matrix given as flat row-major
+// data (n x n). Returns eigenvalues (descending) and matching eigenvectors
+// (each of length n). Exposed for testing.
+void SymmetricEigen(std::vector<double>& matrix, size_t n, std::vector<double>& eigenvalues,
+                    std::vector<std::vector<double>>& eigenvectors);
+
+}  // namespace deeprest
+
+#endif  // SRC_NN_PCA_H_

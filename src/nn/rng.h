@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// Every stochastic piece of the repository (weight initialization, workload
+// generation, trace sampling, simulator noise) draws from these generators so
+// that a fixed seed reproduces a run bit-for-bit.
+#ifndef SRC_NN_RNG_H_
+#define SRC_NN_RNG_H_
+
+#include <cstdint>
+
+namespace deeprest {
+
+// SplitMix64: tiny, high-quality 64-bit generator. Mainly used to seed
+// Xoshiro256** and for cheap hashing-style randomness.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Xoshiro256**: the workhorse generator. Fast, 256-bit state, passes BigCrush.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit integer.
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  // Standard normal via Box-Muller (cached second value).
+  double NextGaussian();
+
+  // Gaussian with the given mean / standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  // Bernoulli trial with probability p of returning true.
+  bool NextBernoulli(double p);
+
+  // Poisson-distributed count with the given mean (Knuth for small lambda,
+  // normal approximation for large lambda).
+  int NextPoisson(double lambda);
+
+  // Splits off an independently-seeded child generator. Children derived from
+  // the same parent in the same order are deterministic.
+  Rng Split();
+
+ private:
+  uint64_t state_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace deeprest
+
+#endif  // SRC_NN_RNG_H_

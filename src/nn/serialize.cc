@@ -1,0 +1,100 @@
+#include "src/nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <vector>
+
+namespace deeprest {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x44525354;  // "DRST"
+constexpr uint32_t kVersion = 1;
+
+void WriteU32(std::ostream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::istream& in, uint32_t& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool SaveParameters(const ParameterStore& store, std::ostream& out) {
+  WriteU32(out, kMagic);
+  WriteU32(out, kVersion);
+  WriteU32(out, static_cast<uint32_t>(store.entries().size()));
+  for (const auto& e : store.entries()) {
+    WriteU32(out, static_cast<uint32_t>(e.name.size()));
+    out.write(e.name.data(), static_cast<std::streamsize>(e.name.size()));
+    const Matrix& m = e.tensor.value();
+    WriteU32(out, static_cast<uint32_t>(m.rows()));
+    WriteU32(out, static_cast<uint32_t>(m.cols()));
+    out.write(reinterpret_cast<const char*>(m.data()),
+              static_cast<std::streamsize>(m.size() * sizeof(float)));
+  }
+  return static_cast<bool>(out);
+}
+
+bool SaveParametersToFile(const ParameterStore& store, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  return out && SaveParameters(store, out);
+}
+
+bool LoadParameters(ParameterStore& store, std::istream& in) {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t count = 0;
+  if (!ReadU32(in, magic) || magic != kMagic || !ReadU32(in, version) || version != kVersion ||
+      !ReadU32(in, count)) {
+    return false;
+  }
+  std::map<std::string, Matrix> loaded;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadU32(in, name_len) || name_len > (1u << 20)) {
+      return false;
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    uint32_t rows = 0;
+    uint32_t cols = 0;
+    if (!ReadU32(in, rows) || !ReadU32(in, cols)) {
+      return false;
+    }
+    Matrix m(rows, cols);
+    in.read(reinterpret_cast<char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(float)));
+    if (!in) {
+      return false;
+    }
+    loaded.emplace(std::move(name), std::move(m));
+  }
+  for (auto& e : store.entries()) {
+    auto it = loaded.find(e.name);
+    if (it == loaded.end() || !it->second.SameShape(e.tensor.value())) {
+      return false;
+    }
+    e.tensor.mutable_value() = it->second;
+  }
+  return true;
+}
+
+bool LoadParametersFromFile(ParameterStore& store, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in && LoadParameters(store, in);
+}
+
+size_t SerializedSize(const ParameterStore& store) {
+  size_t bytes = 12;  // magic + version + count
+  for (const auto& e : store.entries()) {
+    bytes += 4 + e.name.size() + 8 + e.tensor.value().size() * sizeof(float);
+  }
+  return bytes;
+}
+
+}  // namespace deeprest

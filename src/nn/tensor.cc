@@ -1,0 +1,163 @@
+#include "src/nn/tensor.h"
+
+#include <atomic>
+#include <cassert>
+
+namespace deeprest {
+
+namespace {
+
+std::atomic<uint64_t> g_sequence{0};
+
+std::shared_ptr<TensorNode> MakeNode(Matrix value, bool requires_grad) {
+  auto node = std::make_shared<TensorNode>();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  node->sequence = g_sequence.fetch_add(1, std::memory_order_relaxed);
+  return node;
+}
+
+}  // namespace
+
+uint64_t TensorNodesCreated() { return g_sequence.load(std::memory_order_relaxed); }
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) { g_grad_enabled = false; }
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+
+bool NoGradGuard::GradEnabled() { return g_grad_enabled; }
+
+Tensor Tensor::Constant(Matrix value) { return Tensor(MakeNode(std::move(value), false)); }
+
+Tensor Tensor::Parameter(Matrix value) { return Tensor(MakeNode(std::move(value), true)); }
+
+Tensor Tensor::FromOp(Matrix value, std::vector<Tensor> parents,
+                      std::function<void(TensorNode&)> backward, const char* op_name) {
+  bool needs_grad = false;
+  if (NoGradGuard::GradEnabled()) {
+    for (const auto& p : parents) {
+      needs_grad = needs_grad || p.requires_grad();
+    }
+  }
+  auto node = MakeNode(std::move(value), needs_grad);
+  node->op_name = op_name;
+  if (needs_grad) {
+    node->parents = std::move(parents);
+    node->backward = std::move(backward);
+  }
+  return Tensor(std::move(node));
+}
+
+const Matrix& Tensor::value() const& {
+  assert(node_);
+  return node_->value;
+}
+
+Matrix Tensor::value() && {
+  assert(node_);
+  return node_->value;
+}
+
+Matrix& Tensor::mutable_value() {
+  assert(node_);
+  return node_->value;
+}
+
+const Matrix& Tensor::grad() const {
+  assert(node_);
+  return node_->grad;
+}
+
+Matrix& Tensor::mutable_grad() {
+  assert(node_);
+  return node_->grad;
+}
+
+bool Tensor::requires_grad() const { return node_ && node_->requires_grad; }
+
+const char* Tensor::op_name() const {
+  assert(node_);
+  return node_->op_name;
+}
+
+float Tensor::scalar() const {
+  assert(node_ && node_->value.rows() == 1 && node_->value.cols() == 1);
+  return node_->value.At(0, 0);
+}
+
+void TensorNode::EnsureGrad() {
+  if (!grad.SameShape(value)) {
+    grad = Matrix(value.rows(), value.cols());
+  }
+}
+
+void TensorNode::AccumulateGrad(const Matrix& delta) {
+  EnsureGrad();
+  grad.Add(delta);
+}
+
+void TensorNode::AccumulateGradScaled(const Matrix& delta, float scale) {
+  EnsureGrad();
+  grad.AddScaled(delta, scale);
+}
+
+void Tensor::Backward() const {
+  assert(node_);
+  assert(node_->value.rows() == 1 && node_->value.cols() == 1 &&
+         "Backward() must start from a scalar loss");
+
+  // Iterative post-order DFS producing a topological order. Recursion would
+  // blow the stack on long BPTT chains, so an explicit stack is used.
+  std::vector<TensorNode*> order;
+  std::vector<std::pair<TensorNode*, size_t>> stack;
+  if (!node_->visited && node_->requires_grad) {
+    stack.emplace_back(node_.get(), 0);
+    node_->visited = true;
+  }
+  while (!stack.empty()) {
+    auto& [n, idx] = stack.back();
+    if (idx < n->parents.size()) {
+      TensorNode* parent = n->parents[idx].node();
+      ++idx;
+      if (parent != nullptr && parent->requires_grad && !parent->visited) {
+        parent->visited = true;
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(n);
+      stack.pop_back();
+    }
+  }
+
+  // Interior-node gradients are transient scratch space: zero them so that
+  // repeated Backward() calls stay correct. Leaf gradients (parameters)
+  // accumulate across calls, matching the usual autograd contract.
+  for (TensorNode* n : order) {
+    if (n->backward) {
+      n->EnsureGrad();
+      n->grad.Zero();
+    }
+  }
+
+  // Seed d(loss)/d(loss) = 1 and sweep in reverse topological order.
+  node_->EnsureGrad();
+  node_->grad.At(0, 0) += 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorNode* n = *it;
+    n->visited = false;  // Reset for the next Backward() call.
+    if (n->backward) {
+      n->backward(*n);
+    }
+  }
+}
+
+Tensor Tensor::Detach() const {
+  assert(node_);
+  return Constant(node_->value);
+}
+
+}  // namespace deeprest

@@ -1,0 +1,105 @@
+// Reverse-mode automatic differentiation over Matrix values.
+//
+// A Tensor is a cheap handle (shared_ptr) to a graph node. Operations in
+// ops.h build the graph eagerly; Backward() on a scalar tensor runs a
+// topological sweep that accumulates gradients into every node reachable from
+// it that requires a gradient. This mirrors the define-by-run style of the
+// PyTorch implementation the paper used.
+#ifndef SRC_NN_TENSOR_H_
+#define SRC_NN_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/matrix.h"
+
+namespace deeprest {
+
+struct TensorNode;
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Leaf tensor holding a constant value (no gradient).
+  static Tensor Constant(Matrix value);
+  // Leaf tensor participating in optimization (gradient is accumulated).
+  static Tensor Parameter(Matrix value);
+  // Interior node produced by an op.
+  static Tensor FromOp(Matrix value, std::vector<Tensor> parents,
+                       std::function<void(TensorNode&)> backward, const char* op_name);
+
+  bool defined() const { return node_ != nullptr; }
+  // Lvalue-only: binding the returned reference to a temporary Tensor's
+  // value would dangle once the temporary releases its node.
+  const Matrix& value() const&;
+  Matrix value() &&;
+  Matrix& mutable_value();
+  const Matrix& grad() const;
+  Matrix& mutable_grad();
+  bool requires_grad() const;
+  const char* op_name() const;
+  size_t rows() const { return value().rows(); }
+  size_t cols() const { return value().cols(); }
+
+  // Scalar convenience accessor; requires a 1x1 tensor.
+  float scalar() const;
+
+  // Runs reverse-mode differentiation from this (scalar) tensor. Seeds the
+  // gradient with 1 and accumulates into all parameters/leaves that require
+  // gradients. Gradients from earlier Backward() calls are kept (accumulate
+  // semantics); call ZeroGradTree or the optimizer's ZeroGrad between steps.
+  void Backward() const;
+
+  // Detaches the value into a fresh constant leaf (used to truncate BPTT).
+  Tensor Detach() const;
+
+  TensorNode* node() const { return node_.get(); }
+  bool SameNode(const Tensor& other) const { return node_ == other.node_; }
+
+ private:
+  explicit Tensor(std::shared_ptr<TensorNode> node) : node_(std::move(node)) {}
+  std::shared_ptr<TensorNode> node_;
+};
+
+struct TensorNode {
+  Matrix value;
+  Matrix grad;  // Lazily sized on first accumulation.
+  bool requires_grad = false;
+  std::vector<Tensor> parents;
+  std::function<void(TensorNode&)> backward;  // May be empty for leaves.
+  const char* op_name = "leaf";
+  uint64_t sequence = 0;  // Creation order, used for topological sorting.
+  bool visited = false;   // Scratch flag for the backward sweep.
+
+  // Ensures grad has the right shape and accumulates delta into it.
+  void AccumulateGrad(const Matrix& delta);
+  void AccumulateGradScaled(const Matrix& delta, float scale);
+  void EnsureGrad();
+};
+
+// Number of nodes created since process start; useful for graph-size tests.
+uint64_t TensorNodesCreated();
+
+// RAII guard that disables gradient tracking on the current thread. Ops
+// executed under the guard produce constant tensors with no parent links,
+// which keeps long inference runs O(1) in graph memory.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+  static bool GradEnabled();
+
+ private:
+  bool previous_;
+};
+
+}  // namespace deeprest
+
+#endif  // SRC_NN_TENSOR_H_

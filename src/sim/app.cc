@@ -1,0 +1,86 @@
+#include "src/sim/app.h"
+
+#include <functional>
+
+namespace deeprest {
+
+void Application::AddComponent(ComponentSpec spec) { components_.push_back(std::move(spec)); }
+
+void Application::AddApi(ApiEndpoint api) { apis_.push_back(std::move(api)); }
+
+const ComponentSpec* Application::FindComponent(const std::string& name) const {
+  for (const auto& c : components_) {
+    if (c.name == name) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+const ApiEndpoint* Application::FindApi(const std::string& name) const {
+  for (const auto& a : apis_) {
+    if (a.name == name) {
+      return &a;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Application::ApiNames() const {
+  std::vector<std::string> names;
+  names.reserve(apis_.size());
+  for (const auto& a : apis_) {
+    names.push_back(a.name);
+  }
+  return names;
+}
+
+std::vector<MetricKey> Application::MetricCatalog() const {
+  std::vector<MetricKey> keys;
+  for (const auto& c : components_) {
+    keys.push_back({c.name, ResourceKind::kCpu});
+    keys.push_back({c.name, ResourceKind::kMemory});
+    if (c.stateful) {
+      keys.push_back({c.name, ResourceKind::kWriteIops});
+      keys.push_back({c.name, ResourceKind::kWriteThroughput});
+      keys.push_back({c.name, ResourceKind::kDiskUsage});
+    }
+  }
+  return keys;
+}
+
+std::string Application::Validate() const {
+  std::function<std::string(const OpNode&, const std::string&)> check =
+      [&](const OpNode& node, const std::string& api) -> std::string {
+    if (FindComponent(node.component) == nullptr) {
+      return "API " + api + " references unknown component " + node.component;
+    }
+    if (node.probability < 0.0 || node.probability > 1.0) {
+      return "API " + api + " node " + node.component + ":" + node.operation +
+             " has probability outside [0, 1]";
+    }
+    const ComponentSpec* spec = FindComponent(node.component);
+    for (const auto& cost : node.costs) {
+      if (IsStatefulOnly(cost.resource) && !spec->stateful) {
+        return "API " + api + " charges " + ResourceKindName(cost.resource) +
+               " on stateless component " + node.component;
+      }
+    }
+    for (const auto& child : node.children) {
+      std::string problem = check(child, api);
+      if (!problem.empty()) {
+        return problem;
+      }
+    }
+    return "";
+  };
+  for (const auto& api : apis_) {
+    std::string problem = check(api.root, api.name);
+    if (!problem.empty()) {
+      return problem;
+    }
+  }
+  return "";
+}
+
+}  // namespace deeprest

@@ -1,0 +1,123 @@
+// Microservice application model.
+//
+// An Application is the DeathStarBench stand-in: a set of components plus,
+// for every API endpoint, a generative template of how a request traverses
+// components (probabilistic fan-out, payload-gated branches) and what each
+// touched operation costs in CPU / memory / IO terms. The simulator samples
+// these templates to produce distributed traces and resource metrics with the
+// same causal structure the paper's testbed exhibits.
+#ifndef SRC_SIM_APP_H_
+#define SRC_SIM_APP_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/nn/rng.h"
+#include "src/telemetry/metrics.h"
+
+namespace deeprest {
+
+// One resource contribution of executing an operation once. The cost is
+//   base * (attr.empty() ? 1 : attr_scale * attrs[attr])
+// in the unit of the resource (CPU: percentage points, memory: MiB,
+// write IOps: operations, write throughput / disk: KiB).
+struct CostTerm {
+  ResourceKind resource = ResourceKind::kCpu;
+  double base = 0.0;
+  std::string attr;
+  double attr_scale = 1.0;
+  // Cacheable costs shrink when the component's cache is warm (reads served
+  // from memory). Models the caching behaviour the paper calls out as a
+  // learning challenge (section 7 / Fig. 12 memory row).
+  bool cacheable = false;
+};
+
+// A node of an API's invocation-template tree.
+struct OpNode {
+  std::string component;
+  std::string operation;
+  // Executes with this probability (conditioned on the parent executing).
+  double probability = 1.0;
+  // If non-empty, executes only when the request attribute is > 0.5.
+  std::string gate_attr;
+  std::vector<CostTerm> costs;
+  std::vector<OpNode> children;
+};
+
+// Per-request attribute sampler, e.g. media size or follower fan-out.
+using AttributeSampler = std::function<double(Rng&)>;
+
+struct ApiEndpoint {
+  std::string name;
+  OpNode root;
+  std::vector<std::pair<std::string, AttributeSampler>> attributes;
+};
+
+struct ComponentSpec {
+  std::string name;
+  bool stateful = false;
+  // Idle consumption floors.
+  double cpu_baseline = 2.0;     // percent
+  double memory_baseline = 64.0;  // MiB
+  // CPU queueing model: above `queue_knee` percentage points of request
+  // load, an extra queue_gain * (load - knee)^2 term models contention, so
+  // 2x traffic can cost more than 2x CPU (paper section 5.3 takeaway).
+  double queue_knee = 55.0;
+  double queue_gain = 0.004;
+  // Stateful-component extras.
+  double cache_capacity_mb = 0.0;  // cap on the cache working set
+  double initial_disk_mb = 0.0;    // dataset size at simulation start
+  // Baseline write activity (compaction, journaling) so IO metrics never sit
+  // at exactly zero overnight.
+  double write_noise_ops = 0.0;
+  double write_noise_kb = 0.0;
+};
+
+class Application {
+ public:
+  explicit Application(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void AddComponent(ComponentSpec spec);
+  void AddApi(ApiEndpoint api);
+
+  const std::vector<ComponentSpec>& components() const { return components_; }
+  const std::vector<ApiEndpoint>& apis() const { return apis_; }
+
+  const ComponentSpec* FindComponent(const std::string& name) const;
+  const ApiEndpoint* FindApi(const std::string& name) const;
+  std::vector<std::string> ApiNames() const;
+
+  // CPU + memory for every component; write IOps / throughput / disk usage
+  // for stateful components (matches the paper's 76- and 54-resource
+  // inventories for the two benchmark applications).
+  std::vector<MetricKey> MetricCatalog() const;
+
+  // Verifies that every OpNode references a declared component and that
+  // probabilities are in [0, 1]. Returns a description of the first problem,
+  // or an empty string when the application is well-formed.
+  std::string Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<ComponentSpec> components_;
+  std::vector<ApiEndpoint> apis_;
+};
+
+// The two benchmark applications from DeathStarBench, reconstructed at the
+// fidelity the paper's evaluation depends on.
+//
+// Social network (paper Fig. 1): 23 stateless + 6 stateful components,
+// 11 API endpoints. `user_count` sizes the synthetic social graph driving
+// /composePost fan-out costs.
+Application BuildSocialNetworkApp(uint64_t seed = 1, size_t user_count = 2000);
+
+// Hotel reservation (paper Fig. 7): 12 stateless + 6 stateful components,
+// 4 API endpoints.
+Application BuildHotelReservationApp(uint64_t seed = 1);
+
+}  // namespace deeprest
+
+#endif  // SRC_SIM_APP_H_

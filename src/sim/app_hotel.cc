@@ -1,0 +1,188 @@
+// Hotel reservation application (DeathStarBench, paper Fig. 7): 12 stateless
+// and 6 stateful components serving 4 API endpoints for searching, getting
+// recommendations, and reserving hotels.
+#include "src/sim/app.h"
+
+namespace deeprest {
+
+namespace {
+
+ComponentSpec HotelService(const std::string& name, double cpu_base = 2.0,
+                           double mem_base = 64.0) {
+  ComponentSpec spec;
+  spec.name = name;
+  spec.stateful = false;
+  spec.cpu_baseline = cpu_base;
+  spec.memory_baseline = mem_base;
+  return spec;
+}
+
+ComponentSpec HotelCache(const std::string& name, double capacity_mb) {
+  ComponentSpec spec;
+  spec.name = name;
+  spec.stateful = false;
+  spec.cpu_baseline = 1.5;
+  spec.memory_baseline = 40.0;
+  spec.cache_capacity_mb = capacity_mb;
+  return spec;
+}
+
+ComponentSpec HotelMongo(const std::string& name, double initial_disk_mb) {
+  ComponentSpec spec;
+  spec.name = name;
+  spec.stateful = true;
+  spec.cpu_baseline = 2.5;
+  spec.memory_baseline = 128.0;
+  spec.cache_capacity_mb = 128.0;
+  spec.initial_disk_mb = initial_disk_mb;
+  spec.write_noise_ops = 0.5;
+  spec.write_noise_kb = 5.0;
+  spec.queue_knee = 45.0;
+  spec.queue_gain = 0.006;
+  return spec;
+}
+
+CostTerm HCpu(double base, const std::string& attr = "", double scale = 1.0,
+              bool cacheable = false) {
+  CostTerm t;
+  t.resource = ResourceKind::kCpu;
+  t.base = base;
+  t.attr = attr;
+  t.attr_scale = scale;
+  t.cacheable = cacheable;
+  return t;
+}
+
+CostTerm HMem(double base) {
+  CostTerm t;
+  t.resource = ResourceKind::kMemory;
+  t.base = base;
+  return t;
+}
+
+CostTerm HIops(double base) {
+  CostTerm t;
+  t.resource = ResourceKind::kWriteIops;
+  t.base = base;
+  return t;
+}
+
+CostTerm HWriteKb(double base) {
+  CostTerm t;
+  t.resource = ResourceKind::kWriteThroughput;
+  t.base = base;
+  return t;
+}
+
+}  // namespace
+
+Application BuildHotelReservationApp(uint64_t seed) {
+  (void)seed;  // All attribute samplers draw from the simulator RNG.
+  Application app("hotel_reservation");
+
+  // --- 12 stateless components ---
+  app.AddComponent(HotelService("FrontendService", 3.0, 80.0));
+  app.AddComponent(HotelService("SearchService", 2.5, 96.0));
+  app.AddComponent(HotelService("GeoService", 2.0, 72.0));
+  app.AddComponent(HotelService("RateService", 2.0, 72.0));
+  app.AddComponent(HotelService("ProfileService", 2.0, 88.0));
+  app.AddComponent(HotelService("RecommendService", 2.0, 96.0));
+  app.AddComponent(HotelService("ReservationService", 2.0, 72.0));
+  app.AddComponent(HotelService("UserService", 1.5, 56.0));
+  app.AddComponent(HotelCache("GeoMemcached", 96.0));
+  app.AddComponent(HotelCache("RateMemcached", 128.0));
+  app.AddComponent(HotelCache("ProfileMemcached", 160.0));
+  app.AddComponent(HotelCache("ReservationMemcached", 96.0));
+
+  // --- 6 stateful components ---
+  app.AddComponent(HotelMongo("GeoMongoDB", 150.0));
+  app.AddComponent(HotelMongo("RateMongoDB", 220.0));
+  app.AddComponent(HotelMongo("ProfileMongoDB", 340.0));
+  app.AddComponent(HotelMongo("RecommendMongoDB", 120.0));
+  app.AddComponent(HotelMongo("ReservationMongoDB", 260.0));
+  app.AddComponent(HotelMongo("UserMongoDB", 90.0));
+
+  // --- /searchHotels ---
+  {
+    ApiEndpoint api;
+    api.name = "/searchHotels";
+    api.attributes = {
+        {"results", [](Rng& r) { return 3.0 + r.NextBelow(8); }},
+    };
+    OpNode geo_db{"GeoMongoDB", "find", 0.3, "", {HCpu(0.026, "", 1.0, true)}, {}};
+    OpNode geo_cache{"GeoMemcached", "get", 1.0, "", {HCpu(0.010, "", 1.0, true)}, {}};
+    OpNode geo{"GeoService", "nearby", 1.0, "", {HCpu(0.038)}, {geo_cache, geo_db}};
+    OpNode rate_db{"RateMongoDB", "find", 0.35, "",
+                   {HCpu(0.024, "", 1.0, true), HCpu(0.0015, "results", 1.0)}, {}};
+    OpNode rate_cache{"RateMemcached", "multiGet", 1.0, "",
+                      {HCpu(0.009, "", 1.0, true)}, {}};
+    OpNode rate{"RateService", "getRates", 1.0, "",
+                {HCpu(0.028), HCpu(0.0018, "results", 1.0)}, {rate_cache, rate_db}};
+    OpNode search{"SearchService", "nearby", 1.0, "",
+                  {HCpu(0.042), HCpu(0.002, "results", 1.0), HMem(0.015)}, {geo, rate}};
+    OpNode profile_db{"ProfileMongoDB", "find", 0.3, "",
+                      {HCpu(0.024, "", 1.0, true), HCpu(0.0015, "results", 1.0)}, {}};
+    OpNode profile_cache{"ProfileMemcached", "multiGet", 1.0, "",
+                         {HCpu(0.010, "", 1.0, true)}, {}};
+    OpNode profile{"ProfileService", "getProfiles", 1.0, "",
+                   {HCpu(0.026), HCpu(0.0016, "results", 1.0)},
+                   {profile_cache, profile_db}};
+    api.root = OpNode{"FrontendService", "searchHotels", 1.0, "",
+                      {HCpu(0.055)}, {search, profile}};
+    app.AddApi(api);
+  }
+
+  // --- /recommend ---
+  {
+    ApiEndpoint api;
+    api.name = "/recommend";
+    api.attributes = {
+        {"results", [](Rng& r) { return 2.0 + r.NextBelow(6); }},
+    };
+    OpNode rec_db{"RecommendMongoDB", "find", 0.5, "",
+                  {HCpu(0.028, "", 1.0, true)}, {}};
+    OpNode rec{"RecommendService", "getRecommendations", 1.0, "",
+               {HCpu(0.050), HCpu(0.002, "results", 1.0), HMem(0.02)}, {rec_db}};
+    OpNode profile_db{"ProfileMongoDB", "find", 0.3, "",
+                      {HCpu(0.022, "", 1.0, true)}, {}};
+    OpNode profile_cache{"ProfileMemcached", "multiGet", 1.0, "",
+                         {HCpu(0.009, "", 1.0, true)}, {}};
+    OpNode profile{"ProfileService", "getProfiles", 1.0, "",
+                   {HCpu(0.024), HCpu(0.0014, "results", 1.0)},
+                   {profile_cache, profile_db}};
+    api.root = OpNode{"FrontendService", "recommend", 1.0, "",
+                      {HCpu(0.05)}, {rec, profile}};
+    app.AddApi(api);
+  }
+
+  // --- /reserve ---
+  {
+    ApiEndpoint api;
+    api.name = "/reserve";
+    OpNode user_db{"UserMongoDB", "find", 0.4, "", {HCpu(0.020, "", 1.0, true)}, {}};
+    OpNode user{"UserService", "checkUser", 1.0, "", {HCpu(0.024)}, {user_db}};
+    OpNode res_db{"ReservationMongoDB", "insert", 1.0, "",
+                  {HCpu(0.030), HIops(1.3), HWriteKb(1.0)}, {}};
+    OpNode res_cache{"ReservationMemcached", "update", 1.0, "", {HCpu(0.012)}, {}};
+    OpNode rate_db{"RateMongoDB", "find", 0.3, "", {HCpu(0.022, "", 1.0, true)}, {}};
+    OpNode rate{"RateService", "verifyRate", 1.0, "", {HCpu(0.02)}, {rate_db}};
+    OpNode reserve{"ReservationService", "makeReservation", 1.0, "",
+                   {HCpu(0.045), HMem(0.015)}, {user, rate, res_db, res_cache}};
+    api.root = OpNode{"FrontendService", "reserve", 1.0, "", {HCpu(0.05)}, {reserve}};
+    app.AddApi(api);
+  }
+
+  // --- /login ---
+  {
+    ApiEndpoint api;
+    api.name = "/login";
+    OpNode user_db{"UserMongoDB", "find", 0.5, "", {HCpu(0.022, "", 1.0, true)}, {}};
+    OpNode user{"UserService", "login", 1.0, "", {HCpu(0.032)}, {user_db}};
+    api.root = OpNode{"FrontendService", "login", 1.0, "", {HCpu(0.04)}, {user}};
+    app.AddApi(api);
+  }
+
+  return app;
+}
+
+}  // namespace deeprest

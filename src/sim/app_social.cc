@@ -1,0 +1,390 @@
+// Social network application (DeathStarBench, paper Fig. 1): 23 stateless and
+// 6 stateful components collectively serving 11 API endpoints.
+//
+// Cost constants are synthetic but structured to preserve every causal
+// relationship the paper's evaluation leans on:
+//  * /composePost drives ComposePostService CPU and PostStorageMongoDB
+//    write IOps / throughput / disk (Figs. 10, 22),
+//  * /readTimeline touches PostStorageMongoDB CPU but never its write path,
+//    and never touches ComposePostService (Fig. 11),
+//  * /uploadMedia alone moves MediaMongoDB memory and disk (Fig. 22),
+//  * caches absorb a warmth-dependent share of read costs (section 7),
+//  * /composePost fan-out cost scales with the author's follower count
+//    sampled from a heavy-tailed social graph (content-dependent cost).
+#include <memory>
+
+#include "src/sim/app.h"
+#include "src/workload/social_graph.h"
+
+namespace deeprest {
+
+namespace {
+
+ComponentSpec Service(const std::string& name, double cpu_base = 2.0,
+                      double mem_base = 72.0) {
+  ComponentSpec spec;
+  spec.name = name;
+  spec.stateful = false;
+  spec.cpu_baseline = cpu_base;
+  spec.memory_baseline = mem_base;
+  return spec;
+}
+
+ComponentSpec Cache(const std::string& name, double capacity_mb) {
+  ComponentSpec spec;
+  spec.name = name;
+  spec.stateful = false;
+  spec.cpu_baseline = 1.5;
+  spec.memory_baseline = 48.0;
+  spec.cache_capacity_mb = capacity_mb;
+  return spec;
+}
+
+ComponentSpec Mongo(const std::string& name, double initial_disk_mb,
+                    double cache_capacity_mb = 192.0) {
+  ComponentSpec spec;
+  spec.name = name;
+  spec.stateful = true;
+  spec.cpu_baseline = 2.5;
+  spec.memory_baseline = 160.0;
+  spec.cache_capacity_mb = cache_capacity_mb;
+  spec.initial_disk_mb = initial_disk_mb;
+  spec.write_noise_ops = 0.6;
+  spec.write_noise_kb = 6.0;
+  spec.queue_knee = 45.0;
+  spec.queue_gain = 0.006;
+  return spec;
+}
+
+CostTerm Cpu(double base, const std::string& attr = "", double scale = 1.0,
+             bool cacheable = false) {
+  CostTerm t;
+  t.resource = ResourceKind::kCpu;
+  t.base = base;
+  t.attr = attr;
+  t.attr_scale = scale;
+  t.cacheable = cacheable;
+  return t;
+}
+
+CostTerm Mem(double base, const std::string& attr = "", double scale = 1.0) {
+  CostTerm t;
+  t.resource = ResourceKind::kMemory;
+  t.base = base;
+  t.attr = attr;
+  t.attr_scale = scale;
+  return t;
+}
+
+CostTerm Iops(double base) {
+  CostTerm t;
+  t.resource = ResourceKind::kWriteIops;
+  t.base = base;
+  return t;
+}
+
+CostTerm WriteKb(double base, const std::string& attr = "", double scale = 1.0) {
+  CostTerm t;
+  t.resource = ResourceKind::kWriteThroughput;
+  t.base = base;
+  t.attr = attr;
+  t.attr_scale = scale;
+  return t;
+}
+
+}  // namespace
+
+Application BuildSocialNetworkApp(uint64_t seed, size_t user_count) {
+  Application app("social_network");
+
+  // --- 23 stateless components ---
+  app.AddComponent(Service("FrontendNGINX", 3.0, 64.0));
+  app.AddComponent(Service("MediaNGINX", 2.5, 64.0));
+  app.AddComponent(Service("ComposePostService", 2.0, 96.0));
+  app.AddComponent(Service("TextService"));
+  app.AddComponent(Service("UrlShortenService"));
+  app.AddComponent(Service("UserMentionService"));
+  app.AddComponent(Service("UniqueIdService", 1.5, 40.0));
+  app.AddComponent(Service("MediaService", 2.0, 128.0));
+  app.AddComponent(Service("UserService"));
+  app.AddComponent(Service("SocialGraphService"));
+  app.AddComponent(Service("HomeTimelineService", 2.5, 96.0));
+  app.AddComponent(Service("UserTimelineService", 2.0, 96.0));
+  app.AddComponent(Service("PostStorageService", 2.5, 96.0));
+  app.AddComponent(Service("SearchService", 2.0, 112.0));
+  app.AddComponent(Service("WriteHomeTimelineService"));
+  app.AddComponent(Service("AuthService", 1.5, 56.0));
+  app.AddComponent(Cache("PostStorageMemcached", 256.0));
+  app.AddComponent(Cache("UserMemcached", 96.0));
+  app.AddComponent(Cache("MediaMemcached", 256.0));
+  app.AddComponent(Cache("UrlShortenMemcached", 48.0));
+  app.AddComponent(Cache("HomeTimelineRedis", 224.0));
+  app.AddComponent(Cache("SocialGraphRedis", 128.0));
+  app.AddComponent(Cache("UserTimelineRedis", 192.0));
+
+  // --- 6 stateful components ---
+  app.AddComponent(Mongo("PostStorageMongoDB", 900.0, 256.0));
+  app.AddComponent(Mongo("UserTimelineMongoDB", 420.0));
+  app.AddComponent(Mongo("SocialGraphMongoDB", 260.0));
+  app.AddComponent(Mongo("UrlShortenMongoDB", 90.0, 64.0));
+  app.AddComponent(Mongo("MediaMongoDB", 1400.0, 320.0));
+  app.AddComponent(Mongo("UserMongoDB", 180.0, 96.0));
+
+  // Shared synthetic social graph drives follower fan-out for /composePost.
+  Rng graph_rng(seed);
+  auto graph = std::make_shared<SocialGraph>(user_count, 2.2, 800, graph_rng);
+
+  // --- /composePost ---
+  {
+    ApiEndpoint api;
+    api.name = "/composePost";
+    api.attributes = {
+        {"text_kb", [](Rng& r) { return SamplePostLength(r) / 250.0; }},
+        {"has_media", [](Rng& r) { return r.NextBernoulli(0.25) ? 1.0 : 0.0; }},
+        {"has_urls", [](Rng& r) { return r.NextBernoulli(0.30) ? 1.0 : 0.0; }},
+        {"has_mention", [](Rng& r) { return r.NextBernoulli(0.40) ? 1.0 : 0.0; }},
+        {"followers",
+         [graph](Rng& r) { return static_cast<double>(graph->SampleFollowerCount(r)); }},
+    };
+
+    OpNode unique_id{"UniqueIdService", "generate", 1.0, "", {Cpu(0.012)}, {}};
+    OpNode mention_db{"UserMongoDB", "find", 1.0, "", {Cpu(0.016, "", 1.0, true)}, {}};
+    OpNode mention{"UserMentionService", "parse", 1.0, "has_mention",
+                   {Cpu(0.018)}, {mention_db}};
+    OpNode shorten_db{"UrlShortenMongoDB",
+                      "insert",
+                      1.0,
+                      "",
+                      {Cpu(0.014), Iops(1.0), WriteKb(0.4)},
+                      {}};
+    OpNode shorten{"UrlShortenService", "shorten", 1.0, "has_urls",
+                   {Cpu(0.02)}, {shorten_db}};
+    OpNode text{"TextService", "processText", 1.0, "",
+                {Cpu(0.012), Cpu(0.02, "text_kb", 1.0)}, {mention, shorten}};
+    OpNode media_attach{"MediaService", "attachMedia", 1.0, "has_media", {Cpu(0.02)}, {}};
+    OpNode post_db{"PostStorageMongoDB",
+                   "insert",
+                   1.0,
+                   "",
+                   {Cpu(0.030), Iops(1.2), WriteKb(0.9), WriteKb(1.2, "text_kb", 1.0)},
+                   {}};
+    OpNode post_store{"PostStorageService", "storePost", 1.0, "",
+                      {Cpu(0.030)}, {post_db}};
+    OpNode ut_db{"UserTimelineMongoDB",
+                 "insert",
+                 1.0,
+                 "",
+                 {Cpu(0.018), Iops(1.0), WriteKb(0.3)},
+                 {}};
+    OpNode ut_redis{"UserTimelineRedis", "update", 1.0, "", {Cpu(0.012)}, {}};
+    OpNode user_timeline{"UserTimelineService", "writeTimeline", 1.0, "",
+                         {Cpu(0.02)}, {ut_db, ut_redis}};
+    OpNode sg_redis{"SocialGraphRedis", "readFollowers", 1.0, "",
+                    {Cpu(0.012, "", 1.0, true)}, {}};
+    OpNode social_graph{"SocialGraphService", "getFollowers", 1.0, "",
+                        {Cpu(0.014)}, {sg_redis}};
+    OpNode ht_redis{"HomeTimelineRedis", "update", 1.0, "",
+                    {Cpu(0.004), Cpu(0.0018, "followers", 1.0)}, {}};
+    OpNode ht_writer{"WriteHomeTimelineService",
+                     "fanout",
+                     1.0,
+                     "",
+                     {Cpu(0.008), Cpu(0.0012, "followers", 1.0)},
+                     {ht_redis}};
+    OpNode home_timeline{"HomeTimelineService", "writeHomeTimeline", 1.0, "",
+                         {Cpu(0.010)}, {ht_writer}};
+    OpNode compose{"ComposePostService",
+                   "composePost",
+                   1.0,
+                   "",
+                   {Cpu(0.075), Cpu(0.03, "text_kb", 1.0), Mem(0.010)},
+                   {unique_id, text, media_attach, post_store, user_timeline, social_graph,
+                    home_timeline}};
+    api.root = OpNode{"FrontendNGINX", "composePost", 1.0, "", {Cpu(0.045)}, {compose}};
+    app.AddApi(api);
+  }
+
+  // --- /readTimeline (home timeline; never touches ComposePostService or the
+  // PostStorageMongoDB write path) ---
+  {
+    ApiEndpoint api;
+    api.name = "/readTimeline";
+    api.attributes = {
+        {"posts", [](Rng& r) { return 5.0 + r.NextBelow(16); }},
+    };
+    OpNode ht_redis{"HomeTimelineRedis", "range", 1.0, "",
+                    {Cpu(0.012, "", 1.0, true), Cpu(0.0008, "posts", 1.0)}, {}};
+    OpNode ps_cache{"PostStorageMemcached", "multiGet", 1.0, "",
+                    {Cpu(0.010, "", 1.0, true), Cpu(0.0006, "posts", 1.0)}, {}};
+    OpNode ps_db{"PostStorageMongoDB",
+                 "find",
+                 0.35,
+                 "",
+                 {Cpu(0.028, "", 1.0, true), Cpu(0.0022, "posts", 1.0)},
+                 {}};
+    OpNode ps{"PostStorageService", "getPosts", 1.0, "",
+              {Cpu(0.022), Cpu(0.0012, "posts", 1.0)}, {ps_cache, ps_db}};
+    OpNode ht{"HomeTimelineService", "readTimeline", 1.0, "",
+              {Cpu(0.028), Cpu(0.0015, "posts", 1.0)}, {ht_redis, ps}};
+    api.root = OpNode{"FrontendNGINX", "readTimeline", 1.0, "", {Cpu(0.045)}, {ht}};
+    app.AddApi(api);
+  }
+
+  // --- /readUserTimeline ---
+  {
+    ApiEndpoint api;
+    api.name = "/readUserTimeline";
+    api.attributes = {
+        {"posts", [](Rng& r) { return 4.0 + r.NextBelow(12); }},
+    };
+    OpNode ut_redis{"UserTimelineRedis", "range", 1.0, "",
+                    {Cpu(0.010, "", 1.0, true)}, {}};
+    OpNode ut_db{"UserTimelineMongoDB", "find", 0.4, "",
+                 {Cpu(0.024, "", 1.0, true)}, {}};
+    OpNode ps_cache{"PostStorageMemcached", "multiGet", 1.0, "",
+                    {Cpu(0.009, "", 1.0, true), Cpu(0.0006, "posts", 1.0)}, {}};
+    OpNode ps_db{"PostStorageMongoDB", "find", 0.3, "",
+                 {Cpu(0.026, "", 1.0, true), Cpu(0.0018, "posts", 1.0)}, {}};
+    OpNode ps{"PostStorageService", "getPosts", 1.0, "",
+              {Cpu(0.02), Cpu(0.001, "posts", 1.0)}, {ps_cache, ps_db}};
+    OpNode ut{"UserTimelineService", "readTimeline", 1.0, "",
+              {Cpu(0.026)}, {ut_redis, ut_db, ps}};
+    api.root = OpNode{"FrontendNGINX", "readUserTimeline", 1.0, "", {Cpu(0.04)}, {ut}};
+    app.AddApi(api);
+  }
+
+  // --- /uploadMedia (the only API moving MediaMongoDB memory + disk) ---
+  {
+    ApiEndpoint api;
+    api.name = "/uploadMedia";
+    api.attributes = {
+        {"media_kb", [](Rng& r) { return SampleMediaSizeKb(r); }},
+    };
+    OpNode media_db{"MediaMongoDB",
+                    "store",
+                    1.0,
+                    "",
+                    {Cpu(0.028), Cpu(0.00006, "media_kb", 1.0), Iops(1.6),
+                     WriteKb(2.0), WriteKb(1.0, "media_kb", 1.0), Mem(0.02)},
+                    {}};
+    OpNode media{"MediaService",
+                 "processMedia",
+                 1.0,
+                 "",
+                 {Cpu(0.035), Cpu(0.00025, "media_kb", 1.0), Mem(0.03)},
+                 {media_db}};
+    api.root = OpNode{"MediaNGINX", "uploadMedia", 1.0, "",
+                      {Cpu(0.05), Cpu(0.0001, "media_kb", 1.0)}, {media}};
+    app.AddApi(api);
+  }
+
+  // --- /getMedia ---
+  {
+    ApiEndpoint api;
+    api.name = "/getMedia";
+    api.attributes = {
+        {"media_kb", [](Rng& r) { return SampleMediaSizeKb(r); }},
+    };
+    OpNode cache{"MediaMemcached", "get", 1.0, "", {Cpu(0.012, "", 1.0, true)}, {}};
+    OpNode db{"MediaMongoDB", "find", 0.3, "",
+              {Cpu(0.030, "", 1.0, true), Cpu(0.00005, "media_kb", 1.0)}, {}};
+    OpNode media{"MediaService", "serveMedia", 1.0, "",
+                 {Cpu(0.02), Cpu(0.00008, "media_kb", 1.0)}, {cache, db}};
+    api.root = OpNode{"MediaNGINX", "getMedia", 1.0, "",
+                      {Cpu(0.035), Cpu(0.00006, "media_kb", 1.0)}, {media}};
+    app.AddApi(api);
+  }
+
+  // --- /login ---
+  {
+    ApiEndpoint api;
+    api.name = "/login";
+    OpNode user_db{"UserMongoDB", "find", 0.4, "", {Cpu(0.022, "", 1.0, true)}, {}};
+    OpNode user_cache{"UserMemcached", "get", 1.0, "", {Cpu(0.010, "", 1.0, true)}, {}};
+    OpNode user{"UserService", "verifyCredentials", 1.0, "",
+                {Cpu(0.030)}, {user_cache, user_db}};
+    OpNode auth{"AuthService", "issueToken", 1.0, "", {Cpu(0.020)}, {user}};
+    api.root = OpNode{"FrontendNGINX", "login", 1.0, "", {Cpu(0.035)}, {auth}};
+    app.AddApi(api);
+  }
+
+  // --- /register ---
+  {
+    ApiEndpoint api;
+    api.name = "/register";
+    OpNode user_db{"UserMongoDB", "insert", 1.0, "",
+                   {Cpu(0.024), Iops(1.0), WriteKb(0.6)}, {}};
+    OpNode sg_db{"SocialGraphMongoDB", "insert", 1.0, "",
+                 {Cpu(0.02), Iops(0.8), WriteKb(0.25)}, {}};
+    OpNode sg{"SocialGraphService", "initUser", 1.0, "", {Cpu(0.016)}, {sg_db}};
+    OpNode user{"UserService", "createUser", 1.0, "", {Cpu(0.034)}, {user_db, sg}};
+    OpNode auth{"AuthService", "hashPassword", 1.0, "", {Cpu(0.045)}, {user}};
+    api.root = OpNode{"FrontendNGINX", "register", 1.0, "", {Cpu(0.035)}, {auth}};
+    app.AddApi(api);
+  }
+
+  // --- /followUser ---
+  {
+    ApiEndpoint api;
+    api.name = "/followUser";
+    OpNode sg_db{"SocialGraphMongoDB", "update", 1.0, "",
+                 {Cpu(0.022), Iops(1.0), WriteKb(0.3)}, {}};
+    OpNode sg_redis{"SocialGraphRedis", "update", 1.0, "", {Cpu(0.012)}, {}};
+    OpNode sg{"SocialGraphService", "follow", 1.0, "", {Cpu(0.02)}, {sg_db, sg_redis}};
+    api.root = OpNode{"FrontendNGINX", "followUser", 1.0, "", {Cpu(0.032)}, {sg}};
+    app.AddApi(api);
+  }
+
+  // --- /unfollowUser ---
+  {
+    ApiEndpoint api;
+    api.name = "/unfollowUser";
+    OpNode sg_db{"SocialGraphMongoDB", "update", 1.0, "",
+                 {Cpu(0.020), Iops(1.0), WriteKb(0.25)}, {}};
+    OpNode sg_redis{"SocialGraphRedis", "update", 1.0, "", {Cpu(0.012)}, {}};
+    OpNode sg{"SocialGraphService", "unfollow", 1.0, "", {Cpu(0.02)}, {sg_db, sg_redis}};
+    api.root = OpNode{"FrontendNGINX", "unfollowUser", 1.0, "", {Cpu(0.032)}, {sg}};
+    app.AddApi(api);
+  }
+
+  // --- /searchUser ---
+  {
+    ApiEndpoint api;
+    api.name = "/searchUser";
+    api.attributes = {
+        {"candidates", [](Rng& r) { return 2.0 + r.NextBelow(10); }},
+    };
+    OpNode user_db{"UserMongoDB", "find", 0.5, "",
+                   {Cpu(0.02, "", 1.0, true), Cpu(0.0015, "candidates", 1.0)}, {}};
+    OpNode user_cache{"UserMemcached", "multiGet", 1.0, "",
+                      {Cpu(0.008, "", 1.0, true)}, {}};
+    OpNode search{"SearchService", "searchUser", 1.0, "",
+                  {Cpu(0.045), Cpu(0.002, "candidates", 1.0), Mem(0.02)},
+                  {user_cache, user_db}};
+    api.root = OpNode{"FrontendNGINX", "searchUser", 1.0, "", {Cpu(0.035)}, {search}};
+    app.AddApi(api);
+  }
+
+  // --- /readPost (single post, may expand shortened URLs) ---
+  {
+    ApiEndpoint api;
+    api.name = "/readPost";
+    OpNode url_db{"UrlShortenMongoDB", "find", 0.4, "",
+                  {Cpu(0.016, "", 1.0, true)}, {}};
+    OpNode url_cache{"UrlShortenMemcached", "get", 1.0, "",
+                     {Cpu(0.008, "", 1.0, true)}, {}};
+    OpNode url{"UrlShortenService", "expand", 0.3, "", {Cpu(0.014)}, {url_cache, url_db}};
+    OpNode ps_cache{"PostStorageMemcached", "get", 1.0, "",
+                    {Cpu(0.010, "", 1.0, true)}, {}};
+    OpNode ps_db{"PostStorageMongoDB", "find", 0.3, "",
+                 {Cpu(0.024, "", 1.0, true)}, {}};
+    OpNode ps{"PostStorageService", "getPost", 1.0, "",
+              {Cpu(0.02)}, {ps_cache, ps_db, url}};
+    api.root = OpNode{"FrontendNGINX", "readPost", 1.0, "", {Cpu(0.035)}, {ps}};
+    app.AddApi(api);
+  }
+
+  return app;
+}
+
+}  // namespace deeprest

@@ -1,0 +1,192 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace deeprest {
+
+Simulator::Simulator(const Application& app, const SimOptions& options)
+    : app_(&app), options_(options), rng_(options.seed) {
+  assert(app.Validate().empty() && "application template is malformed");
+  for (const auto& c : app.components()) {
+    ComponentState state;
+    state.disk_mb = c.initial_disk_mb;
+    state_.emplace(c.name, state);
+  }
+}
+
+void Simulator::AddAttack(const AttackSpec& attack) { attacks_.push_back(attack); }
+
+double Simulator::Noisy(double value) {
+  return value * std::max(0.0, 1.0 + rng_.Gaussian(0.0, options_.noise_frac));
+}
+
+void Simulator::ExecuteNode(const OpNode& node, const AttrMap& attrs, SpanIndex parent,
+                            Trace& trace, std::map<std::string, WindowAccumulator>& window) {
+  if (!node.gate_attr.empty()) {
+    auto it = attrs.find(node.gate_attr);
+    if (it == attrs.end() || it->second <= 0.5) {
+      return;
+    }
+  }
+  if (node.probability < 1.0 && !rng_.NextBernoulli(node.probability)) {
+    return;
+  }
+
+  const SpanIndex span = trace.AddSpan(node.component, node.operation, parent);
+  WindowAccumulator& acc = window[node.component];
+  ComponentState& state = state_.at(node.component);
+  for (const CostTerm& cost : node.costs) {
+    double value = cost.base;
+    if (!cost.attr.empty()) {
+      auto it = attrs.find(cost.attr);
+      const double attr_value = it == attrs.end() ? 0.0 : it->second;
+      value *= cost.attr_scale * attr_value;
+    }
+    if (cost.cacheable) {
+      acc.cacheable_reads += 1.0;
+      // Warm caches absorb up to 60% of the read cost.
+      value *= 1.0 - 0.6 * state.warmth;
+    }
+    switch (cost.resource) {
+      case ResourceKind::kCpu:
+        acc.cpu += value;
+        break;
+      case ResourceKind::kMemory:
+        acc.memory += value;
+        break;
+      case ResourceKind::kWriteIops:
+        acc.write_ops += value;
+        break;
+      case ResourceKind::kWriteThroughput:
+        acc.write_kb += value;
+        break;
+      case ResourceKind::kDiskUsage:
+        // Disk growth is driven by write throughput; explicit disk cost terms
+        // are applied directly as extra KiB written.
+        acc.write_kb += value;
+        break;
+    }
+  }
+  for (const OpNode& child : node.children) {
+    ExecuteNode(child, attrs, span, trace, window);
+  }
+}
+
+void Simulator::ApplyAttacks(size_t absolute_window,
+                             std::map<std::string, WindowAccumulator>& window) {
+  for (const AttackSpec& attack : attacks_) {
+    if (absolute_window < attack.start_window || absolute_window >= attack.end_window) {
+      continue;
+    }
+    WindowAccumulator& acc = window[attack.component];
+    switch (attack.kind) {
+      case AttackSpec::Kind::kRansomware:
+        acc.cpu += 30.0 * attack.intensity;
+        acc.write_ops += 55.0 * attack.intensity;
+        acc.write_kb += 2800.0 * attack.intensity;
+        acc.memory += 60.0 * attack.intensity;
+        break;
+      case AttackSpec::Kind::kCryptojacking:
+        acc.cpu += 45.0 * attack.intensity;
+        break;
+    }
+  }
+}
+
+void Simulator::FinishWindow(size_t absolute_window,
+                             std::map<std::string, WindowAccumulator>& window,
+                             MetricsStore* metrics) {
+  for (const auto& spec : app_->components()) {
+    ComponentState& state = state_.at(spec.name);
+    WindowAccumulator acc;  // zero defaults for untouched components
+    auto it = window.find(spec.name);
+    if (it != window.end()) {
+      acc = it->second;
+    }
+
+    // CPU with queueing amplification above the knee.
+    double cpu_load = acc.cpu;
+    if (cpu_load > spec.queue_knee) {
+      const double over = cpu_load - spec.queue_knee;
+      cpu_load += spec.queue_gain * over * over;
+    }
+    const double cpu = std::clamp(Noisy(spec.cpu_baseline + cpu_load), 0.0, 100.0);
+
+    // Background write churn (journaling/compaction) keeps IO series alive.
+    double write_ops = acc.write_ops;
+    double write_kb = acc.write_kb;
+    if (spec.stateful) {
+      write_ops += spec.write_noise_ops * std::max(0.0, 1.0 + rng_.Gaussian(0.0, 0.3));
+      write_kb += spec.write_noise_kb * std::max(0.0, 1.0 + rng_.Gaussian(0.0, 0.3));
+    }
+
+    // Cache dynamics: warmth follows recent read pressure; the working set
+    // saturates toward the configured cache capacity as data gets touched.
+    const double read_pressure = acc.cacheable_reads / (acc.cacheable_reads + 50.0);
+    state.warmth = 0.85 * state.warmth + 0.15 * read_pressure;
+    if (spec.cache_capacity_mb > 0.0) {
+      state.cum_access_kb += write_kb + acc.cacheable_reads * 8.0;
+      const double scale = spec.cache_capacity_mb * 1024.0 * 4.0;
+      state.working_set_mb =
+          spec.cache_capacity_mb * (1.0 - std::exp(-state.cum_access_kb / scale));
+    }
+
+    const double memory = Noisy(spec.memory_baseline + state.working_set_mb + acc.memory);
+
+    if (metrics != nullptr) {
+      metrics->Record({spec.name, ResourceKind::kCpu}, absolute_window, cpu);
+      metrics->Record({spec.name, ResourceKind::kMemory}, absolute_window, memory);
+      if (spec.stateful) {
+        state.disk_mb += write_kb / 1024.0;
+        metrics->Record({spec.name, ResourceKind::kWriteIops}, absolute_window,
+                        Noisy(write_ops));
+        metrics->Record({spec.name, ResourceKind::kWriteThroughput}, absolute_window,
+                        Noisy(write_kb));
+        metrics->Record({spec.name, ResourceKind::kDiskUsage}, absolute_window,
+                        state.disk_mb);
+      }
+    } else if (spec.stateful) {
+      state.disk_mb += write_kb / 1024.0;
+    }
+  }
+}
+
+void Simulator::Run(const TrafficSeries& traffic, size_t offset, TraceCollector* traces,
+                    MetricsStore* metrics) {
+  for (size_t t = 0; t < traffic.windows(); ++t) {
+    const size_t absolute_window = offset + t;
+    std::map<std::string, WindowAccumulator> window;
+    for (size_t a = 0; a < traffic.api_count(); ++a) {
+      const ApiEndpoint* api = app_->FindApi(traffic.apis()[a]);
+      assert(api != nullptr && "traffic references unknown API");
+      const int request_count = rng_.NextPoisson(traffic.rate(t, a));
+      for (int r = 0; r < request_count; ++r) {
+        AttrMap attrs;
+        for (const auto& [name, sampler] : api->attributes) {
+          attrs[name] = sampler(rng_);
+        }
+        Trace trace(next_trace_id_++, api->name);
+        ExecuteNode(api->root, attrs, kNoParent, trace, window);
+        if (!trace.empty() && traces != nullptr) {
+          traces->Collect(absolute_window, std::move(trace));
+        }
+      }
+    }
+    ApplyAttacks(absolute_window, window);
+    FinishWindow(absolute_window, window, metrics);
+  }
+}
+
+double Simulator::DiskUsageMb(const std::string& component) const {
+  auto it = state_.find(component);
+  return it == state_.end() ? 0.0 : it->second.disk_mb;
+}
+
+double Simulator::CacheWarmth(const std::string& component) const {
+  auto it = state_.find(component);
+  return it == state_.end() ? 0.0 : it->second.warmth;
+}
+
+}  // namespace deeprest

@@ -1,0 +1,96 @@
+// Discrete-time simulation engine.
+//
+// Samples an Application's API templates against a TrafficSeries, producing
+// exactly the two artifacts the paper's telemetry server exposes: distributed
+// traces (into a TraceCollector) and windowed resource metrics (into a
+// MetricsStore). Also hosts the attack injectors used by the application
+// sanity-check experiments (paper section 5.4): attacks consume resources
+// WITHOUT emitting traces, which is precisely the signature DeepRest detects.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/nn/rng.h"
+#include "src/sim/app.h"
+#include "src/telemetry/metrics.h"
+#include "src/trace/collector.h"
+#include "src/workload/traffic.h"
+
+namespace deeprest {
+
+struct SimOptions {
+  uint64_t seed = 1;
+  // Multiplicative Gaussian measurement noise on CPU/memory/IO metrics.
+  double noise_frac = 0.02;
+};
+
+struct AttackSpec {
+  enum class Kind {
+    // Encrypt-and-rewrite of the stored data: CPU burst plus a large write
+    // throughput / IOps surge on the target component.
+    kRansomware,
+    // Resident miner: sustained CPU theft, nothing else.
+    kCryptojacking,
+  };
+  Kind kind = Kind::kCryptojacking;
+  std::string component;
+  size_t start_window = 0;
+  size_t end_window = 0;  // exclusive
+  double intensity = 1.0;
+};
+
+class Simulator {
+ public:
+  Simulator(const Application& app, const SimOptions& options);
+
+  // Registers an attack; windows are absolute (same axis as Run offsets).
+  void AddAttack(const AttackSpec& attack);
+
+  // Simulates `traffic`, writing window t of the series to absolute window
+  // offset + t. Traces and metrics may be null if not needed.
+  void Run(const TrafficSeries& traffic, size_t offset, TraceCollector* traces,
+           MetricsStore* metrics);
+
+  // Persistent per-component state, exposed for tests.
+  double DiskUsageMb(const std::string& component) const;
+  double CacheWarmth(const std::string& component) const;
+
+ private:
+  struct ComponentState {
+    double disk_mb = 0.0;
+    double warmth = 0.0;           // cache warmth in [0, 1)
+    double cum_access_kb = 0.0;    // total data touched, drives working set
+    double working_set_mb = 0.0;
+  };
+
+  struct WindowAccumulator {
+    double cpu = 0.0;
+    double memory = 0.0;
+    double write_ops = 0.0;
+    double write_kb = 0.0;
+    double cacheable_reads = 0.0;
+  };
+
+  using AttrMap = std::map<std::string, double>;
+
+  void ExecuteNode(const OpNode& node, const AttrMap& attrs, SpanIndex parent, Trace& trace,
+                   std::map<std::string, WindowAccumulator>& window);
+  void ApplyAttacks(size_t absolute_window, std::map<std::string, WindowAccumulator>& window);
+  void FinishWindow(size_t absolute_window, std::map<std::string, WindowAccumulator>& window,
+                    MetricsStore* metrics);
+  double Noisy(double value);
+
+  const Application* app_;
+  SimOptions options_;
+  Rng rng_;
+  uint64_t next_trace_id_ = 1;
+  std::map<std::string, ComponentState> state_;
+  std::vector<AttackSpec> attacks_;
+};
+
+}  // namespace deeprest
+
+#endif  // SRC_SIM_SIMULATOR_H_

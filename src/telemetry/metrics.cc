@@ -1,0 +1,101 @@
+#include "src/telemetry/metrics.h"
+#include <algorithm>
+
+#include <sstream>
+
+namespace deeprest {
+
+const std::vector<ResourceKind>& AllResourceKinds() {
+  static const std::vector<ResourceKind> kAll = {
+      ResourceKind::kCpu, ResourceKind::kMemory, ResourceKind::kWriteIops,
+      ResourceKind::kWriteThroughput, ResourceKind::kDiskUsage};
+  return kAll;
+}
+
+std::string ResourceKindName(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kCpu:
+      return "cpu";
+    case ResourceKind::kMemory:
+      return "memory";
+    case ResourceKind::kWriteIops:
+      return "write_iops";
+    case ResourceKind::kWriteThroughput:
+      return "write_throughput";
+    case ResourceKind::kDiskUsage:
+      return "disk_usage";
+  }
+  return "unknown";
+}
+
+bool IsStatefulOnly(ResourceKind kind) {
+  return kind == ResourceKind::kWriteIops || kind == ResourceKind::kWriteThroughput ||
+         kind == ResourceKind::kDiskUsage;
+}
+
+void MetricsStore::Register(const MetricKey& key) { series_.try_emplace(key); }
+
+void MetricsStore::Record(const MetricKey& key, size_t window, double value) {
+  auto& series = series_[key];
+  if (series.size() <= window) {
+    series.resize(window + 1, 0.0);
+  }
+  series[window] = value;
+  window_count_ = std::max(window_count_, window + 1);
+}
+
+void MetricsStore::Accumulate(const MetricKey& key, size_t window, double value) {
+  auto& series = series_[key];
+  if (series.size() <= window) {
+    series.resize(window + 1, 0.0);
+  }
+  series[window] += value;
+  window_count_ = std::max(window_count_, window + 1);
+}
+
+bool MetricsStore::Has(const MetricKey& key) const { return series_.count(key) > 0; }
+
+double MetricsStore::At(const MetricKey& key, size_t window) const {
+  auto it = series_.find(key);
+  if (it == series_.end() || window >= it->second.size()) {
+    return 0.0;
+  }
+  return it->second[window];
+}
+
+std::vector<double> MetricsStore::Series(const MetricKey& key, size_t from, size_t to) const {
+  std::vector<double> out;
+  out.reserve(to > from ? to - from : 0);
+  for (size_t w = from; w < to; ++w) {
+    out.push_back(At(key, w));
+  }
+  return out;
+}
+
+std::vector<MetricKey> MetricsStore::Keys() const {
+  std::vector<MetricKey> keys;
+  keys.reserve(series_.size());
+  for (const auto& [key, unused] : series_) {
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+std::string MetricsStore::ToCsv() const {
+  std::ostringstream os;
+  os << "window";
+  for (const auto& [key, unused] : series_) {
+    os << "," << key.ToString();
+  }
+  os << "\n";
+  for (size_t w = 0; w < window_count_; ++w) {
+    os << w;
+    for (const auto& [key, series] : series_) {
+      os << "," << (w < series.size() ? series[w] : 0.0);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace deeprest

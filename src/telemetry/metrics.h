@@ -1,0 +1,82 @@
+// Resource-metric primitives (Prometheus/cAdvisor stand-in).
+//
+// The paper's prototype tracks CPU and memory on every component, plus write
+// IOps, write throughput, and disk usage on stateful components, averaged
+// over a fixed scrape window. MetricsStore holds exactly that: one series of
+// per-window values for each (component, resource) pair.
+#ifndef SRC_TELEMETRY_METRICS_H_
+#define SRC_TELEMETRY_METRICS_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace deeprest {
+
+enum class ResourceKind {
+  kCpu,              // utilization, percent of one core-equivalent
+  kMemory,           // resident set, MiB
+  kWriteIops,        // write operations per second
+  kWriteThroughput,  // bytes written per second, KiB/s
+  kDiskUsage,        // cumulative volume usage, MiB
+};
+
+// All kinds in a stable order (rows of the paper's Fig. 12 heatmap).
+const std::vector<ResourceKind>& AllResourceKinds();
+
+// Short human-readable name ("cpu", "memory", ...).
+std::string ResourceKindName(ResourceKind kind);
+
+// True for the resources that only exist on stateful components.
+bool IsStatefulOnly(ResourceKind kind);
+
+struct MetricKey {
+  std::string component;
+  ResourceKind resource;
+
+  bool operator<(const MetricKey& other) const {
+    if (component != other.component) {
+      return component < other.component;
+    }
+    return resource < other.resource;
+  }
+  bool operator==(const MetricKey& other) const {
+    return component == other.component && resource == other.resource;
+  }
+  std::string ToString() const { return component + "/" + ResourceKindName(resource); }
+};
+
+class MetricsStore {
+ public:
+  // Registers a series; recording to an unregistered key auto-registers it.
+  void Register(const MetricKey& key);
+
+  // Appends/overwrites the value for `key` at time window `window`.
+  // Series are padded with zeros for skipped windows.
+  void Record(const MetricKey& key, size_t window, double value);
+
+  // Adds `value` on top of whatever is already recorded at `window`.
+  void Accumulate(const MetricKey& key, size_t window, double value);
+
+  bool Has(const MetricKey& key) const;
+  // Value at a window (0.0 when beyond the recorded range).
+  double At(const MetricKey& key, size_t window) const;
+  // Copy of the series clipped to [from, to).
+  std::vector<double> Series(const MetricKey& key, size_t from, size_t to) const;
+
+  // All registered keys in deterministic (sorted) order.
+  std::vector<MetricKey> Keys() const;
+  size_t window_count() const { return window_count_; }
+
+  // Writes all series as CSV (window, key columns) for offline inspection.
+  std::string ToCsv() const;
+
+ private:
+  std::map<MetricKey, std::vector<double>> series_;
+  size_t window_count_ = 0;
+};
+
+}  // namespace deeprest
+
+#endif  // SRC_TELEMETRY_METRICS_H_

@@ -1,0 +1,35 @@
+#include "src/trace/collector.h"
+
+namespace deeprest {
+
+void TraceCollector::Collect(size_t window, Trace trace) {
+  if (window >= windows_.size()) {
+    windows_.resize(window + 1);
+  }
+  windows_[window].push_back(std::move(trace));
+  ++total_;
+}
+
+const std::vector<Trace>& TraceCollector::TracesAt(size_t window) const {
+  if (window >= windows_.size()) {
+    return empty_;
+  }
+  return windows_[window];
+}
+
+std::vector<const Trace*> TraceCollector::Range(size_t from, size_t to) const {
+  std::vector<const Trace*> out;
+  for (size_t w = from; w < to && w < windows_.size(); ++w) {
+    for (const Trace& t : windows_[w]) {
+      out.push_back(&t);
+    }
+  }
+  return out;
+}
+
+void TraceCollector::Clear() {
+  windows_.clear();
+  total_ = 0;
+}
+
+}  // namespace deeprest

@@ -1,0 +1,43 @@
+// Windowed trace storage: the telemetry-server role of Jaeger in the paper's
+// deployment. Traces are partitioned by the same fixed time windows as
+// resource metrics (paper section 4.1) so that feature vectors and
+// utilization samples line up one-to-one.
+#ifndef SRC_TRACE_COLLECTOR_H_
+#define SRC_TRACE_COLLECTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/trace/span.h"
+
+namespace deeprest {
+
+class TraceCollector {
+ public:
+  // Stores a completed trace under the given time-window index. Windows may
+  // arrive out of order; storage grows to fit.
+  void Collect(size_t window, Trace trace);
+
+  // Number of windows spanned (highest window index + 1).
+  size_t window_count() const { return windows_.size(); }
+
+  // All traces captured in one window. Empty vector for windows beyond range.
+  const std::vector<Trace>& TracesAt(size_t window) const;
+
+  // Total trace count across all windows.
+  size_t total_traces() const { return total_; }
+
+  // Concatenated view over [from, to) used by the learning phase.
+  std::vector<const Trace*> Range(size_t from, size_t to) const;
+
+  void Clear();
+
+ private:
+  std::vector<std::vector<Trace>> windows_;
+  std::vector<Trace> empty_;
+  size_t total_ = 0;
+};
+
+}  // namespace deeprest
+
+#endif  // SRC_TRACE_COLLECTOR_H_

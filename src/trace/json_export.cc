@@ -1,0 +1,248 @@
+#include "src/trace/json_export.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace deeprest {
+
+namespace {
+
+void AppendEscaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+// Minimal recursive-descent JSON scanner, sufficient for the shapes this
+// module emits (objects, arrays, strings, unsigned integers).
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& text) : text_(text) {}
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  bool Consume(char expected) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Peek(char expected) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == expected;
+  }
+
+  bool ReadString(std::string& out) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          default:
+            c = esc;
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ReadUint(uint64_t& out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    // Accept -1 as the no-parent sentinel.
+    bool negative = false;
+    if (text_[pos_] == '-') {
+      negative = true;
+      ++pos_;
+    }
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return false;
+    }
+    uint64_t value = 0;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      value = value * 10 + static_cast<uint64_t>(text_[pos_++] - '0');
+    }
+    out = negative ? UINT64_MAX : value;
+    return true;
+  }
+
+  // Reads a key and the following ':'.
+  bool ReadKey(const std::string& expected) {
+    std::string key;
+    return ReadString(key) && key == expected && Consume(':');
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+bool ParseTraceObject(JsonScanner& scanner, Trace& out, uint64_t* window) {
+  if (!scanner.Consume('{')) {
+    return false;
+  }
+  uint64_t trace_id = 0;
+  std::string api;
+  if (window != nullptr) {
+    if (!scanner.ReadKey("window") || !scanner.ReadUint(*window) || !scanner.Consume(',')) {
+      return false;
+    }
+  }
+  if (!scanner.ReadKey("traceID") || !scanner.ReadUint(trace_id) || !scanner.Consume(',') ||
+      !scanner.ReadKey("api") || !scanner.ReadString(api) || !scanner.Consume(',') ||
+      !scanner.ReadKey("spans") || !scanner.Consume('[')) {
+    return false;
+  }
+  out = Trace(trace_id, api);
+  bool first = true;
+  while (!scanner.Peek(']')) {
+    if (!first && !scanner.Consume(',')) {
+      return false;
+    }
+    first = false;
+    std::string component;
+    std::string operation;
+    uint64_t parent = 0;
+    if (!scanner.Consume('{') || !scanner.ReadKey("component") ||
+        !scanner.ReadString(component) || !scanner.Consume(',') ||
+        !scanner.ReadKey("operation") || !scanner.ReadString(operation) ||
+        !scanner.Consume(',') || !scanner.ReadKey("parent") || !scanner.ReadUint(parent) ||
+        !scanner.Consume('}')) {
+      return false;
+    }
+    const SpanIndex parent_index =
+        parent == UINT64_MAX ? kNoParent : static_cast<SpanIndex>(parent);
+    // AddSpan asserts parent validity in debug; validate here for release.
+    if (parent_index != kNoParent && parent_index >= out.size()) {
+      return false;
+    }
+    if (parent_index == kNoParent && !out.empty()) {
+      return false;
+    }
+    out.AddSpan(component, operation, parent_index);
+  }
+  return scanner.Consume(']') && scanner.Consume('}');
+}
+
+}  // namespace
+
+std::string TraceToJson(const Trace& trace) {
+  std::ostringstream os;
+  os << "{\"traceID\":" << trace.trace_id() << ",\"api\":";
+  AppendEscaped(os, trace.api_name());
+  os << ",\"spans\":[";
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (i > 0) {
+      os << ',';
+    }
+    const Span& span = trace.spans()[i];
+    os << "{\"component\":";
+    AppendEscaped(os, span.component);
+    os << ",\"operation\":";
+    AppendEscaped(os, span.operation);
+    os << ",\"parent\":";
+    if (span.parent == kNoParent) {
+      os << -1;
+    } else {
+      os << span.parent;
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string CollectorToJson(const TraceCollector& collector, size_t from, size_t to) {
+  std::ostringstream os;
+  os << '[';
+  bool first = true;
+  for (size_t w = from; w < to; ++w) {
+    for (const Trace& trace : collector.TracesAt(w)) {
+      if (!first) {
+        os << ',';
+      }
+      first = false;
+      const std::string body = TraceToJson(trace);
+      // Prefix with the window index: {"window":W, <rest of object>.
+      os << "{\"window\":" << w << ',' << body.substr(1);
+    }
+  }
+  os << ']';
+  return os.str();
+}
+
+bool TraceFromJson(const std::string& json, Trace& out) {
+  JsonScanner scanner(json);
+  return ParseTraceObject(scanner, out, nullptr) && scanner.AtEnd();
+}
+
+bool CollectorFromJson(const std::string& json, TraceCollector& out) {
+  JsonScanner scanner(json);
+  if (!scanner.Consume('[')) {
+    return false;
+  }
+  bool first = true;
+  while (!scanner.Peek(']')) {
+    if (!first && !scanner.Consume(',')) {
+      return false;
+    }
+    first = false;
+    Trace trace;
+    uint64_t window = 0;
+    if (!ParseTraceObject(scanner, trace, &window)) {
+      return false;
+    }
+    out.Collect(window, std::move(trace));
+  }
+  return scanner.Consume(']') && scanner.AtEnd();
+}
+
+}  // namespace deeprest

@@ -1,0 +1,35 @@
+// Jaeger-style JSON import/export for traces.
+//
+// Real deployments would feed DeepRest from a Jaeger query API; this module
+// provides the interchange surface: traces serialize to a compact JSON form
+// ({"traceID", "api", "spans": [{"component", "operation", "parent"}]}) and
+// parse back, so telemetry captured elsewhere can be replayed through the
+// estimator and simulated telemetry can be inspected with standard tools.
+#ifndef SRC_TRACE_JSON_EXPORT_H_
+#define SRC_TRACE_JSON_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/trace/collector.h"
+#include "src/trace/span.h"
+
+namespace deeprest {
+
+// Serializes one trace as a single-line JSON object.
+std::string TraceToJson(const Trace& trace);
+
+// Serializes a window range of the collector as a JSON array, one trace per
+// element, annotated with its window index.
+std::string CollectorToJson(const TraceCollector& collector, size_t from, size_t to);
+
+// Parses a trace produced by TraceToJson. Returns false on malformed input;
+// `out` is left in an unspecified state on failure.
+bool TraceFromJson(const std::string& json, Trace& out);
+
+// Parses CollectorToJson output back into a collector (appending).
+bool CollectorFromJson(const std::string& json, TraceCollector& out);
+
+}  // namespace deeprest
+
+#endif  // SRC_TRACE_JSON_EXPORT_H_

@@ -1,0 +1,38 @@
+#include "src/trace/span.h"
+
+#include <cassert>
+
+namespace deeprest {
+
+SpanIndex Trace::AddSpan(const std::string& component, const std::string& operation,
+                         SpanIndex parent) {
+  assert((parent == kNoParent && spans_.empty()) ||
+         (parent != kNoParent && parent < spans_.size()));
+  Span span;
+  span.component = component;
+  span.operation = operation;
+  span.parent = parent;
+  spans_.push_back(std::move(span));
+  return static_cast<SpanIndex>(spans_.size() - 1);
+}
+
+std::vector<SpanIndex> Trace::ChildrenOf(SpanIndex i) const {
+  std::vector<SpanIndex> children;
+  for (SpanIndex s = 0; s < spans_.size(); ++s) {
+    if (spans_[s].parent == i) {
+      children.push_back(s);
+    }
+  }
+  return children;
+}
+
+uint64_t HashName(const std::string& name) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : name) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace deeprest

@@ -1,0 +1,65 @@
+// Distributed-tracing primitives (Jaeger stand-in, paper Fig. 3).
+//
+// A Trace records the entire lifetime of one API request as a tree of Spans.
+// Each span carries only the (component, operation) pair — DeepRest is
+// deliberately blind to payloads, logs, and timings beyond the window the
+// trace falls into (privacy-preserving design, paper section 3).
+#ifndef SRC_TRACE_SPAN_H_
+#define SRC_TRACE_SPAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace deeprest {
+
+// Index of a span inside its trace; the root is always index 0.
+using SpanIndex = uint32_t;
+constexpr SpanIndex kNoParent = UINT32_MAX;
+
+struct Span {
+  std::string component;
+  std::string operation;
+  SpanIndex parent = kNoParent;
+};
+
+// One API request's execution diagram.
+class Trace {
+ public:
+  Trace() = default;
+  Trace(uint64_t trace_id, std::string api_name)
+      : trace_id_(trace_id), api_name_(std::move(api_name)) {}
+
+  uint64_t trace_id() const { return trace_id_; }
+  // Name of the API endpoint that originated this trace. Used only for
+  // bookkeeping and by the trace synthesizer's conditional distribution;
+  // the feature extractor never reads it.
+  const std::string& api_name() const { return api_name_; }
+
+  // Appends a span; parent must already exist (or kNoParent for the root).
+  // Returns the new span's index.
+  SpanIndex AddSpan(const std::string& component, const std::string& operation,
+                    SpanIndex parent);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  bool empty() const { return spans_.empty(); }
+  size_t size() const { return spans_.size(); }
+  const Span& root() const { return spans_.front(); }
+
+  // Children indices of span `i`, in insertion order.
+  std::vector<SpanIndex> ChildrenOf(SpanIndex i) const;
+
+ private:
+  uint64_t trace_id_ = 0;
+  std::string api_name_;
+  std::vector<Span> spans_;
+};
+
+// FNV-1a hash of a component or operation name. The paper hashes all
+// sensitive attributes before they are ingested by DeepRest so that the
+// estimator can run as a service without seeing application semantics.
+uint64_t HashName(const std::string& name);
+
+}  // namespace deeprest
+
+#endif  // SRC_TRACE_SPAN_H_

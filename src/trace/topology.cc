@@ -1,0 +1,82 @@
+#include "src/trace/topology.h"
+
+#include <cassert>
+
+namespace deeprest {
+
+uint64_t TopologyGraph::Key(const std::string& component, const std::string& operation) {
+  // Combine the two FNV hashes; the ':' separator prevents ambiguity between
+  // ("ab", "c") and ("a", "bc") before hashing.
+  return HashName(component + ":" + operation);
+}
+
+TopologyNodeId TopologyGraph::Intern(const std::string& component,
+                                     const std::string& operation) {
+  const uint64_t key = Key(component, operation);
+  auto it = node_by_key_.find(key);
+  if (it != node_by_key_.end()) {
+    return it->second;
+  }
+  const TopologyNodeId id = static_cast<TopologyNodeId>(labels_.size());
+  node_by_key_.emplace(key, id);
+  labels_.push_back(component + ":" + operation);
+  return id;
+}
+
+bool TopologyGraph::Lookup(const std::string& component, const std::string& operation,
+                           TopologyNodeId& out) const {
+  auto it = node_by_key_.find(Key(component, operation));
+  if (it == node_by_key_.end()) {
+    return false;
+  }
+  out = it->second;
+  return true;
+}
+
+void TopologyGraph::Observe(const Trace& trace) {
+  std::vector<TopologyNodeId> ids = NodeIdsFor(trace);
+  for (SpanIndex i = 0; i < trace.spans().size(); ++i) {
+    const SpanIndex parent = trace.spans()[i].parent;
+    if (parent != kNoParent) {
+      edges_.emplace(ids[parent], ids[i]);
+    }
+  }
+}
+
+bool TopologyGraph::HasEdge(TopologyNodeId parent, TopologyNodeId child) const {
+  return edges_.count({parent, child}) > 0;
+}
+
+std::vector<TopologyNodeId> TopologyGraph::FrozenNodeIdsFor(const Trace& trace) const {
+  std::vector<TopologyNodeId> ids;
+  ids.reserve(trace.size());
+  for (const Span& span : trace.spans()) {
+    TopologyNodeId id = kUnknownNode;
+    Lookup(span.component, span.operation, id);
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<TopologyNodeId> TopologyGraph::NodeIdsFor(const Trace& trace) {
+  std::vector<TopologyNodeId> ids;
+  ids.reserve(trace.size());
+  for (const Span& span : trace.spans()) {
+    ids.push_back(Intern(span.component, span.operation));
+  }
+  return ids;
+}
+
+InvocationPath PathToSpan(const Trace& trace, const std::vector<TopologyNodeId>& node_ids,
+                          SpanIndex leaf) {
+  assert(node_ids.size() == trace.size());
+  InvocationPath reversed;
+  SpanIndex cursor = leaf;
+  while (cursor != kNoParent) {
+    reversed.push_back(node_ids[cursor]);
+    cursor = trace.spans()[cursor].parent;
+  }
+  return InvocationPath(reversed.rbegin(), reversed.rend());
+}
+
+}  // namespace deeprest

@@ -1,0 +1,59 @@
+#include "src/workload/social_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace deeprest {
+
+SocialGraph::SocialGraph(size_t user_count, double alpha, size_t max_degree, Rng& rng) {
+  assert(user_count > 0);
+  follower_counts_.reserve(user_count);
+  double total = 0.0;
+  for (size_t i = 0; i < user_count; ++i) {
+    // Inverse-CDF sampling of a continuous power law on [1, max_degree]:
+    // F^-1(u) = (1 - u (1 - b^(1-a)))^(1/(1-a)) with b = max_degree.
+    const double u = rng.NextDouble();
+    const double one_minus_a = 1.0 - alpha;
+    const double b_term = std::pow(static_cast<double>(max_degree), one_minus_a);
+    const double x = std::pow(1.0 - u * (1.0 - b_term), 1.0 / one_minus_a);
+    const size_t degree = std::clamp<size_t>(static_cast<size_t>(x), 1, max_degree);
+    follower_counts_.push_back(degree);
+    total += static_cast<double>(degree);
+  }
+  mean_followers_ = total / static_cast<double>(user_count);
+
+  // Activity proportional to sqrt(followers): popular users post more, but
+  // sub-linearly (matching empirical social-network studies).
+  activity_cdf_.reserve(user_count);
+  double acc = 0.0;
+  for (size_t i = 0; i < user_count; ++i) {
+    acc += std::sqrt(static_cast<double>(follower_counts_[i]));
+    activity_cdf_.push_back(acc);
+  }
+  for (double& v : activity_cdf_) {
+    v /= acc;
+  }
+}
+
+size_t SocialGraph::SampleActiveUser(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(activity_cdf_.begin(), activity_cdf_.end(), u);
+  return static_cast<size_t>(std::min<ptrdiff_t>(it - activity_cdf_.begin(),
+                                                 static_cast<ptrdiff_t>(user_count()) - 1));
+}
+
+size_t SocialGraph::SampleFollowerCount(Rng& rng) const {
+  return follower_counts_[SampleActiveUser(rng)];
+}
+
+double SampleMediaSizeKb(Rng& rng, double mu, double sigma) {
+  return std::exp(rng.Gaussian(mu, sigma));
+}
+
+size_t SamplePostLength(Rng& rng) {
+  const double v = std::exp(rng.Gaussian(4.0, 0.6));
+  return std::clamp<size_t>(static_cast<size_t>(v), 1, 280);
+}
+
+}  // namespace deeprest

@@ -1,0 +1,55 @@
+// Synthetic social graph and content-size samplers.
+//
+// The paper seeds its workload with a real Facebook social graph [56] and
+// INRIA photos [26]; neither dataset is available offline, so this module
+// generates the statistical equivalents the experiments actually depend on:
+// a heavy-tailed follower distribution (drives the fan-out cost of
+// /composePost) and a long-tailed media-size distribution (drives the bytes
+// written by /uploadMedia).
+#ifndef SRC_WORKLOAD_SOCIAL_GRAPH_H_
+#define SRC_WORKLOAD_SOCIAL_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/nn/rng.h"
+
+namespace deeprest {
+
+class SocialGraph {
+ public:
+  // Builds a graph of `user_count` users whose follower counts follow a
+  // discrete power law with the given exponent (typical social networks:
+  // alpha in [2, 3]) clipped to [1, max_degree].
+  SocialGraph(size_t user_count, double alpha, size_t max_degree, Rng& rng);
+
+  size_t user_count() const { return follower_counts_.size(); }
+
+  // Follower count of a user.
+  size_t FollowersOf(size_t user) const { return follower_counts_[user]; }
+
+  // Samples a random user id weighted by activity (heavier users are more
+  // likely to act, as in real social networks).
+  size_t SampleActiveUser(Rng& rng) const;
+
+  // Convenience: follower count of a randomly sampled active user.
+  size_t SampleFollowerCount(Rng& rng) const;
+
+  double mean_followers() const { return mean_followers_; }
+
+ private:
+  std::vector<size_t> follower_counts_;
+  std::vector<double> activity_cdf_;
+  double mean_followers_ = 0.0;
+};
+
+// Log-normal media size in KiB (stands in for the INRIA photo corpus):
+// median ~ exp(mu), long right tail controlled by sigma.
+double SampleMediaSizeKb(Rng& rng, double mu = 5.0, double sigma = 0.8);
+
+// Short text-post length in characters, clamped to [1, 280].
+size_t SamplePostLength(Rng& rng);
+
+}  // namespace deeprest
+
+#endif  // SRC_WORKLOAD_SOCIAL_GRAPH_H_

@@ -1,0 +1,129 @@
+#include "src/workload/traffic.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace deeprest {
+
+std::string ShapeKindName(ShapeKind kind) {
+  switch (kind) {
+    case ShapeKind::kTwoPeak:
+      return "two_peak";
+    case ShapeKind::kFlat:
+      return "flat";
+    case ShapeKind::kSinglePeak:
+      return "single_peak";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double GaussianBump(double x, double center, double width) {
+  const double d = (x - center) / width;
+  return std::exp(-0.5 * d * d);
+}
+
+}  // namespace
+
+std::vector<double> ShapeProfile(ShapeKind kind, size_t windows_per_day) {
+  std::vector<double> profile(windows_per_day, 1.0);
+  if (kind != ShapeKind::kFlat) {
+    for (size_t w = 0; w < windows_per_day; ++w) {
+      const double x = static_cast<double>(w) / static_cast<double>(windows_per_day);
+      double v = 0.30;  // overnight floor
+      if (kind == ShapeKind::kTwoPeak) {
+        // Lunchtime (~12:30) and late-evening (~21:00) peaks.
+        v += 1.35 * GaussianBump(x, 0.52, 0.055);
+        v += 1.65 * GaussianBump(x, 0.875, 0.065);
+      } else {
+        v += 2.2 * GaussianBump(x, 0.83, 0.09);
+      }
+      profile[w] = v;
+    }
+  }
+  // Normalize to mean 1 so user_scale and base rate have stable meaning.
+  double mean = 0.0;
+  for (double v : profile) {
+    mean += v;
+  }
+  mean /= static_cast<double>(windows_per_day);
+  for (double& v : profile) {
+    v /= mean;
+  }
+  return profile;
+}
+
+double TrafficSeries::TotalAt(size_t window) const {
+  double total = 0.0;
+  for (double v : rates_[window]) {
+    total += v;
+  }
+  return total;
+}
+
+double TrafficSeries::GrandTotal() const {
+  double total = 0.0;
+  for (size_t w = 0; w < rates_.size(); ++w) {
+    total += TotalAt(w);
+  }
+  return total;
+}
+
+bool TrafficSeries::ApiIndex(const std::string& name, size_t& out) const {
+  for (size_t i = 0; i < apis_.size(); ++i) {
+    if (apis_[i] == name) {
+      out = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+void TrafficSeries::Append(const TrafficSeries& other) {
+  assert(other.apis_ == apis_);
+  rates_.insert(rates_.end(), other.rates_.begin(), other.rates_.end());
+}
+
+TrafficSeries GenerateTraffic(const TrafficSpec& spec, Rng& rng) {
+  assert(!spec.mix.empty());
+  std::vector<std::string> apis;
+  double weight_sum = 0.0;
+  for (const auto& share : spec.mix) {
+    apis.push_back(share.api);
+    weight_sum += share.weight;
+  }
+  assert(weight_sum > 0.0);
+
+  const std::vector<double> profile = ShapeProfile(spec.shape, spec.windows_per_day);
+  TrafficSeries series(apis, spec.days * spec.windows_per_day);
+
+  for (size_t day = 0; day < spec.days; ++day) {
+    // Day-to-day multiplicative variation (paper: "variations from day to
+    // day to mimic non-deterministic properties"). Each API additionally
+    // gets its own independent daily factor — real API mixes drift from day
+    // to day, and that independent variation is what makes per-API resource
+    // attribution identifiable from production traffic.
+    const double day_factor = std::exp(rng.Gaussian(0.0, spec.day_jitter));
+    std::vector<double> api_day_factor(spec.mix.size());
+    for (auto& f : api_day_factor) {
+      f = std::exp(rng.Gaussian(0.0, 2.5 * spec.day_jitter));
+    }
+    for (size_t w = 0; w < spec.windows_per_day; ++w) {
+      const size_t window = day * spec.windows_per_day + w;
+      const double window_factor = std::exp(rng.Gaussian(0.0, spec.window_jitter));
+      const double total = spec.base_requests_per_window * spec.user_scale * profile[w] *
+                           day_factor * window_factor;
+      for (size_t a = 0; a < spec.mix.size(); ++a) {
+        // Small independent per-API wobble so the mix is not perfectly rigid.
+        const double api_wobble = std::exp(rng.Gaussian(0.0, spec.window_jitter));
+        series.set_rate(window, a,
+                        total * (spec.mix[a].weight / weight_sum) * api_day_factor[a] *
+                            api_wobble);
+      }
+    }
+  }
+  return series;
+}
+
+}  // namespace deeprest

@@ -1,0 +1,85 @@
+// API traffic generation (Locust stand-in, paper section 5.1).
+//
+// Traffic is a multivariate time series: for every time window and every API
+// endpoint, the expected number of requests. The generator reproduces the
+// paper's workload knobs: diurnal shape (two-peak vs flat), user scale,
+// API composition mix, and day-to-day jitter "to mimic non-deterministic
+// properties in practice".
+#ifndef SRC_WORKLOAD_TRAFFIC_H_
+#define SRC_WORKLOAD_TRAFFIC_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/nn/rng.h"
+
+namespace deeprest {
+
+enum class ShapeKind {
+  kTwoPeak,     // lunchtime + late-evening peaks (paper default, Fig. 9)
+  kFlat,        // multi-timezone aggregated traffic (paper Fig. 13c)
+  kSinglePeak,  // one evening peak
+};
+
+std::string ShapeKindName(ShapeKind kind);
+
+// Mean multiplier per window-of-day, normalized to average 1.0 across a day.
+std::vector<double> ShapeProfile(ShapeKind kind, size_t windows_per_day);
+
+// Relative weight of one API in the mix; weights are normalized internally.
+struct ApiShare {
+  std::string api;
+  double weight = 1.0;
+};
+
+struct TrafficSpec {
+  size_t days = 7;
+  size_t windows_per_day = 72;
+  ShapeKind shape = ShapeKind::kTwoPeak;
+  // Multiplies the whole series: 1.0 reproduces the learning-phase scale,
+  // 2.0/3.0 model the paper's unseen-user-scale queries.
+  double user_scale = 1.0;
+  // Average total requests per window at user_scale 1 (across all APIs).
+  double base_requests_per_window = 120.0;
+  std::vector<ApiShare> mix;
+  // Multiplicative log-normal-ish jitter applied per day and per window.
+  double day_jitter = 0.06;
+  double window_jitter = 0.05;
+};
+
+// Expected requests per window per API (window-major).
+class TrafficSeries {
+ public:
+  TrafficSeries() = default;
+  TrafficSeries(std::vector<std::string> apis, size_t windows)
+      : apis_(std::move(apis)), rates_(windows, std::vector<double>(apis_.size(), 0.0)) {}
+
+  const std::vector<std::string>& apis() const { return apis_; }
+  size_t windows() const { return rates_.size(); }
+  size_t api_count() const { return apis_.size(); }
+
+  double rate(size_t window, size_t api) const { return rates_[window][api]; }
+  void set_rate(size_t window, size_t api, double value) { rates_[window][api] = value; }
+
+  // Total expected requests in one window across all APIs.
+  double TotalAt(size_t window) const;
+  // Grand total across the series.
+  double GrandTotal() const;
+  // Index of an API by name; returns false if absent.
+  bool ApiIndex(const std::string& name, size_t& out) const;
+
+  // Concatenates another series (same API set) after this one.
+  void Append(const TrafficSeries& other);
+
+ private:
+  std::vector<std::string> apis_;
+  std::vector<std::vector<double>> rates_;
+};
+
+// Generates a traffic series from the spec. Deterministic given the RNG seed.
+TrafficSeries GenerateTraffic(const TrafficSpec& spec, Rng& rng);
+
+}  // namespace deeprest
+
+#endif  // SRC_WORKLOAD_TRAFFIC_H_

@@ -1,0 +1,377 @@
+#include "src/core/estimator.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "src/core/sanity.h"
+#include "src/sim/simulator.h"
+
+namespace deeprest {
+namespace {
+
+// A three-component application small enough to train in milliseconds:
+//   /read : Frontend -> Worker -> DB(find, CPU only)
+//   /write: Frontend -> Worker -> DB(insert, CPU + write IOps + throughput)
+Application TinyApp() {
+  Application app("tiny");
+  ComponentSpec frontend;
+  frontend.name = "Frontend";
+  frontend.cpu_baseline = 2.0;
+  app.AddComponent(frontend);
+  ComponentSpec worker;
+  worker.name = "Worker";
+  worker.cpu_baseline = 1.0;
+  app.AddComponent(worker);
+  ComponentSpec db;
+  db.name = "DB";
+  db.stateful = true;
+  db.cpu_baseline = 1.5;
+  db.initial_disk_mb = 100.0;
+  db.write_noise_ops = 0.2;
+  db.write_noise_kb = 2.0;
+  app.AddComponent(db);
+
+  CostTerm cpu_small;
+  cpu_small.base = 0.05;
+  CostTerm cpu_mid;
+  cpu_mid.base = 0.12;
+  CostTerm db_read_cpu;
+  db_read_cpu.base = 0.10;
+  CostTerm db_write_cpu;
+  db_write_cpu.base = 0.08;
+  CostTerm iops;
+  iops.resource = ResourceKind::kWriteIops;
+  iops.base = 1.0;
+  CostTerm thr;
+  thr.resource = ResourceKind::kWriteThroughput;
+  thr.base = 1.5;
+
+  ApiEndpoint read;
+  read.name = "/read";
+  OpNode read_db{"DB", "find", 1.0, "", {db_read_cpu}, {}};
+  OpNode read_worker{"Worker", "get", 1.0, "", {cpu_mid}, {read_db}};
+  read.root = OpNode{"Frontend", "read", 1.0, "", {cpu_small}, {read_worker}};
+  app.AddApi(read);
+
+  ApiEndpoint write;
+  write.name = "/write";
+  OpNode write_db{"DB", "insert", 1.0, "", {db_write_cpu, iops, thr}, {}};
+  OpNode write_worker{"Worker", "put", 1.0, "", {cpu_mid}, {write_db}};
+  write.root = OpNode{"Frontend", "write", 1.0, "", {cpu_small}, {write_worker}};
+  app.AddApi(write);
+  return app;
+}
+
+// Independent random rates per API per window: maximally identifiable.
+TrafficSeries RandomTraffic(size_t windows, uint64_t seed) {
+  TrafficSeries series({"/read", "/write"}, windows);
+  Rng rng(seed);
+  for (size_t w = 0; w < windows; ++w) {
+    series.set_rate(w, 0, rng.Uniform(10.0, 120.0));
+    series.set_rate(w, 1, rng.Uniform(5.0, 60.0));
+  }
+  return series;
+}
+
+struct TinySetup {
+  Application app = TinyApp();
+  TraceCollector traces;
+  MetricsStore metrics;
+  TrafficSeries learn_traffic;
+  TrafficSeries query_traffic;
+  size_t learn_windows = 96;
+  size_t query_windows = 32;
+};
+
+TinySetup MakeSetup(uint64_t seed = 1) {
+  TinySetup s;
+  s.learn_traffic = RandomTraffic(s.learn_windows, seed);
+  s.query_traffic = RandomTraffic(s.query_windows, seed + 100);
+  Simulator sim(s.app, {.seed = seed});
+  sim.Run(s.learn_traffic, 0, &s.traces, &s.metrics);
+  sim.Run(s.query_traffic, s.learn_windows, &s.traces, &s.metrics);
+  return s;
+}
+
+EstimatorConfig FastConfig() {
+  EstimatorConfig config;
+  config.hidden_dim = 8;
+  config.epochs = 20;
+  config.bptt_chunk = 24;
+  config.seed = 3;
+  return config;
+}
+
+TEST(DeepRestEstimatorTest, UntrainedByDefault) {
+  DeepRestEstimator estimator;
+  EXPECT_FALSE(estimator.trained());
+}
+
+TEST(DeepRestEstimatorTest, LearnBuildsExpertsForAllResources) {
+  TinySetup s = MakeSetup();
+  DeepRestEstimator estimator(FastConfig());
+  estimator.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+  EXPECT_TRUE(estimator.trained());
+  // 2 stateless x 2 + 1 stateful x 5 = 9 experts.
+  EXPECT_EQ(estimator.expert_count(), 9u);
+  EXPECT_GT(estimator.TotalParameters(), 1000u);
+  EXPECT_GT(estimator.features().dimension(), 0u);
+}
+
+TEST(DeepRestEstimatorTest, TrainingLossDecreases) {
+  TinySetup s = MakeSetup();
+  DeepRestEstimator estimator(FastConfig());
+  estimator.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+  const auto& losses = estimator.epoch_losses();
+  ASSERT_GE(losses.size(), 2u);
+  EXPECT_LT(losses.back(), losses.front() * 0.8f);
+}
+
+TEST(DeepRestEstimatorTest, EstimateFromTracesHasRightShape) {
+  TinySetup s = MakeSetup();
+  DeepRestEstimator estimator(FastConfig());
+  estimator.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+  const EstimateMap estimates =
+      estimator.EstimateFromTraces(s.traces, s.learn_windows, s.learn_windows + s.query_windows);
+  EXPECT_EQ(estimates.size(), 9u);
+  for (const auto& [key, estimate] : estimates) {
+    EXPECT_EQ(estimate.expected.size(), s.query_windows) << key.ToString();
+    EXPECT_EQ(estimate.lower.size(), s.query_windows);
+    EXPECT_EQ(estimate.upper.size(), s.query_windows);
+  }
+}
+
+TEST(DeepRestEstimatorTest, IntervalsAreOrdered) {
+  TinySetup s = MakeSetup();
+  DeepRestEstimator estimator(FastConfig());
+  estimator.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+  const EstimateMap estimates =
+      estimator.EstimateFromTraces(s.traces, s.learn_windows, s.learn_windows + s.query_windows);
+  for (const auto& [key, estimate] : estimates) {
+    for (size_t t = 0; t < s.query_windows; ++t) {
+      EXPECT_LE(estimate.lower[t], estimate.expected[t]) << key.ToString();
+      EXPECT_LE(estimate.expected[t], estimate.upper[t]) << key.ToString();
+      EXPECT_GE(estimate.lower[t], 0.0);
+    }
+  }
+}
+
+double SeriesMape(const std::vector<double>& pred, const std::vector<double>& actual) {
+  double total = 0.0;
+  for (size_t t = 0; t < pred.size(); ++t) {
+    total += std::fabs(pred[t] - actual[t]) / std::max(actual[t], 1.0);
+  }
+  return 100.0 * total / static_cast<double>(pred.size());
+}
+
+TEST(DeepRestEstimatorTest, LearnsTrafficToUtilizationMapping) {
+  TinySetup s = MakeSetup();
+  DeepRestEstimator estimator(FastConfig());
+  estimator.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+  const size_t query_from = s.learn_windows;
+  const size_t query_to = s.learn_windows + s.query_windows;
+  const EstimateMap estimates = estimator.EstimateFromTraces(s.traces, query_from, query_to);
+
+  const MetricKey worker_cpu{"Worker", ResourceKind::kCpu};
+  const MetricKey db_iops{"DB", ResourceKind::kWriteIops};
+  const double cpu_mape = SeriesMape(estimates.at(worker_cpu).expected,
+                                     s.metrics.Series(worker_cpu, query_from, query_to));
+  const double iops_mape = SeriesMape(estimates.at(db_iops).expected,
+                                      s.metrics.Series(db_iops, query_from, query_to));
+  EXPECT_LT(cpu_mape, 20.0) << "Worker CPU estimate off by " << cpu_mape << "%";
+  EXPECT_LT(iops_mape, 25.0) << "DB write IOps estimate off by " << iops_mape << "%";
+}
+
+TEST(DeepRestEstimatorTest, EstimateFromTrafficUsesSynthesizer) {
+  TinySetup s = MakeSetup();
+  DeepRestEstimator estimator(FastConfig());
+  estimator.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+  const EstimateMap estimates = estimator.EstimateFromTraffic(s.query_traffic, 7);
+  const MetricKey worker_cpu{"Worker", ResourceKind::kCpu};
+  const double mape =
+      SeriesMape(estimates.at(worker_cpu).expected,
+                 s.metrics.Series(worker_cpu, s.learn_windows, s.learn_windows + s.query_windows));
+  EXPECT_LT(mape, 25.0);
+}
+
+TEST(DeepRestEstimatorTest, MaskIdentifiesResponsibleApi) {
+  // Fig. 22 property: DB write IOps must attribute to /write, not /read.
+  TinySetup s = MakeSetup();
+  DeepRestEstimator estimator(FastConfig());
+  estimator.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+  const auto influence = estimator.ApiInfluence({"DB", ResourceKind::kWriteIops});
+  ASSERT_TRUE(influence.count("/read"));
+  ASSERT_TRUE(influence.count("/write"));
+  EXPECT_GT(influence.at("/write"), influence.at("/read"));
+}
+
+TEST(DeepRestEstimatorTest, ExpertParametersExposedForPca) {
+  TinySetup s = MakeSetup();
+  DeepRestEstimator estimator(FastConfig());
+  estimator.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+  const auto params = estimator.ExpertParameters({"Worker", ResourceKind::kCpu});
+  EXPECT_FALSE(params.empty());
+  EXPECT_TRUE(estimator.ExpertParameters({"Nope", ResourceKind::kCpu}).empty());
+}
+
+TEST(DeepRestEstimatorTest, AttentionWeightsQueryable) {
+  TinySetup s = MakeSetup();
+  DeepRestEstimator estimator(FastConfig());
+  estimator.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+  // Self-attention is structurally zero.
+  EXPECT_DOUBLE_EQ(estimator.AttentionWeight({"DB", ResourceKind::kCpu},
+                                             {"DB", ResourceKind::kCpu}),
+                   0.0);
+  // Cross weights exist (value may be any sign).
+  (void)estimator.AttentionWeight({"DB", ResourceKind::kWriteIops},
+                                  {"Worker", ResourceKind::kCpu});
+}
+
+TEST(DeepRestEstimatorTest, SaveLoadReproducesPredictions) {
+  TinySetup s = MakeSetup();
+  DeepRestEstimator estimator(FastConfig());
+  estimator.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+  const std::string path = ::testing::TempDir() + "/deeprest_estimator.bin";
+  ASSERT_TRUE(estimator.Save(path));
+
+  DeepRestEstimator restored;
+  ASSERT_TRUE(restored.Load(path));
+  EXPECT_TRUE(restored.trained());
+  EXPECT_EQ(restored.expert_count(), estimator.expert_count());
+
+  const EstimateMap a =
+      estimator.EstimateFromTraces(s.traces, s.learn_windows, s.learn_windows + 8);
+  const EstimateMap b =
+      restored.EstimateFromTraces(s.traces, s.learn_windows, s.learn_windows + 8);
+  for (const auto& [key, estimate] : a) {
+    const auto& other = b.at(key);
+    for (size_t t = 0; t < estimate.expected.size(); ++t) {
+      EXPECT_NEAR(estimate.expected[t], other.expected[t], 1e-4) << key.ToString();
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DeepRestEstimatorTest, LoadFromMissingFileFails) {
+  DeepRestEstimator estimator;
+  EXPECT_FALSE(estimator.Load("/nonexistent/model.bin"));
+}
+
+TEST(DeepRestEstimatorTest, AblationConfigsTrainAndPredict) {
+  TinySetup s = MakeSetup();
+  for (int variant = 0; variant < 3; ++variant) {
+    EstimatorConfig config = FastConfig();
+    config.epochs = 6;
+    config.use_api_mask = variant != 0;
+    config.use_attention = variant != 1;
+    config.use_recurrence = variant != 2;
+    DeepRestEstimator estimator(config);
+    estimator.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+    const EstimateMap estimates = estimator.EstimateFromTraffic(s.query_traffic, 5);
+    EXPECT_EQ(estimates.size(), 9u) << "variant " << variant;
+  }
+}
+
+TEST(DeepRestEstimatorTest, ContinueLearningImprovesFit) {
+  TinySetup s = MakeSetup();
+  EstimatorConfig config = FastConfig();
+  config.epochs = 6;  // deliberately undertrained
+  DeepRestEstimator estimator(config);
+  estimator.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+  const float loss_after_learn = estimator.epoch_losses().back();
+
+  // Fine-tune on the next batch of telemetry (the query windows).
+  estimator.ContinueLearning(s.traces, s.metrics, s.learn_windows,
+                             s.learn_windows + s.query_windows, 10);
+  const float loss_after_continue = estimator.epoch_losses().back();
+  EXPECT_LT(loss_after_continue, loss_after_learn);
+  // Warm-start history grew.
+  EXPECT_GT(estimator.epoch_losses().size(), 6u);
+}
+
+TEST(DeepRestEstimatorTest, ContinueLearningKeepsFeatureSpaceFrozen) {
+  TinySetup s = MakeSetup();
+  DeepRestEstimator estimator(FastConfig());
+  estimator.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+  const size_t dim_before = estimator.features().dimension();
+  estimator.ContinueLearning(s.traces, s.metrics, s.learn_windows,
+                             s.learn_windows + s.query_windows, 2);
+  EXPECT_EQ(estimator.features().dimension(), dim_before);
+}
+
+TEST(DeepRestEstimatorTest, HiddenTrajectoriesHaveExpectedShape) {
+  TinySetup s = MakeSetup();
+  EstimatorConfig config = FastConfig();
+  config.epochs = 4;
+  DeepRestEstimator estimator(config);
+  estimator.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+  const auto trajectories = estimator.HiddenTrajectoriesOnLearnData(10);
+  EXPECT_EQ(trajectories.size(), estimator.expert_count());
+  for (const auto& [key, trajectory] : trajectories) {
+    EXPECT_EQ(trajectory.size(), 10u * config.hidden_dim) << key.ToString();
+  }
+}
+
+TEST(DeepRestEstimatorTest, TransferCopiesRecurrentBlocks) {
+  TinySetup s1 = MakeSetup(1);
+  TinySetup s2 = MakeSetup(21);
+  EstimatorConfig config = FastConfig();
+  config.epochs = 6;
+  DeepRestEstimator donor(config);
+  donor.Learn(s1.traces, s1.metrics, 0, s1.learn_windows, s1.app.MetricCatalog());
+
+  EstimatorConfig fresh_config = FastConfig();
+  fresh_config.epochs = 0;  // build only
+  fresh_config.seed = 99;
+  DeepRestEstimator receiver(fresh_config);
+  receiver.Learn(s2.traces, s2.metrics, 0, s2.learn_windows, s2.app.MetricCatalog());
+
+  const MetricKey probe{"DB", ResourceKind::kWriteIops};
+  const auto before = receiver.ExpertParameters(probe);
+  const size_t transferred = receiver.TransferRecurrentWeightsFrom(donor);
+  EXPECT_EQ(transferred, receiver.expert_count());
+  const auto after = receiver.ExpertParameters(probe);
+  // Same app, same key: the recurrent blocks are now the donor's (exact
+  // match by key), so the flattened parameters must have changed.
+  EXPECT_NE(before, after);
+  // Exact-key match means the recurrent part equals the donor's.
+  const auto donor_params = donor.ExpertParameters(probe);
+  // Flattened layout: Wz,Uz,bz,Wk,Uk,bk,Wh,Uh,bh. Check a Uz entry.
+  const size_t in_dim = receiver.features().dimension();
+  const size_t h = 8;  // FastConfig hidden_dim
+  const size_t uz_offset = h * in_dim;
+  const size_t donor_in_dim = donor.features().dimension();
+  EXPECT_FLOAT_EQ(after[uz_offset], donor_params[h * donor_in_dim]);
+}
+
+TEST(DeepRestEstimatorTest, TransferRejectsMismatchedHiddenDim) {
+  TinySetup s = MakeSetup();
+  EstimatorConfig config_a = FastConfig();
+  config_a.epochs = 2;
+  DeepRestEstimator a(config_a);
+  a.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+  EstimatorConfig config_b = FastConfig();
+  config_b.hidden_dim = 4;
+  config_b.epochs = 0;
+  DeepRestEstimator b(config_b);
+  b.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+  EXPECT_EQ(b.TransferRecurrentWeightsFrom(a), 0u);
+}
+
+TEST(DeepRestEstimatorTest, DeterministicTraining) {
+  TinySetup s1 = MakeSetup(11);
+  TinySetup s2 = MakeSetup(11);
+  DeepRestEstimator a(FastConfig());
+  DeepRestEstimator b(FastConfig());
+  a.Learn(s1.traces, s1.metrics, 0, s1.learn_windows, s1.app.MetricCatalog());
+  b.Learn(s2.traces, s2.metrics, 0, s2.learn_windows, s2.app.MetricCatalog());
+  ASSERT_EQ(a.epoch_losses().size(), b.epoch_losses().size());
+  for (size_t e = 0; e < a.epoch_losses().size(); ++e) {
+    EXPECT_FLOAT_EQ(a.epoch_losses()[e], b.epoch_losses()[e]);
+  }
+}
+
+}  // namespace
+}  // namespace deeprest

@@ -1,0 +1,177 @@
+#include "src/core/feature_extractor.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace deeprest {
+namespace {
+
+Trace ReadTrace(uint64_t id = 1) {
+  Trace t(id, "/read");
+  const SpanIndex root = t.AddSpan("Frontend", "read", kNoParent);
+  const SpanIndex svc = t.AddSpan("Service", "get", root);
+  t.AddSpan("DB", "find", svc);
+  return t;
+}
+
+Trace WriteTrace(uint64_t id = 2) {
+  Trace t(id, "/write");
+  const SpanIndex root = t.AddSpan("Frontend", "write", kNoParent);
+  const SpanIndex svc = t.AddSpan("Service", "put", root);
+  t.AddSpan("DB", "insert", svc);
+  return t;
+}
+
+TEST(FeatureExtractorTest, DimensionCountsDistinctPrefixes) {
+  FeatureExtractor fx;
+  fx.LearnTrace(ReadTrace());
+  // Prefixes: [F:read], [F:read, S:get], [F:read, S:get, DB:find].
+  EXPECT_EQ(fx.dimension(), 3u);
+  fx.LearnTrace(ReadTrace(5));  // Same shape: no new dimensions.
+  EXPECT_EQ(fx.dimension(), 3u);
+  fx.LearnTrace(WriteTrace());
+  EXPECT_EQ(fx.dimension(), 6u);
+}
+
+TEST(FeatureExtractorTest, ExtractCountsOccurrences) {
+  FeatureExtractor fx;
+  fx.LearnTrace(ReadTrace());
+  fx.LearnTrace(WriteTrace());
+  Trace r1 = ReadTrace(10);
+  Trace r2 = ReadTrace(11);
+  Trace w1 = WriteTrace(12);
+  const auto features = fx.Extract({&r1, &r2, &w1});
+  ASSERT_EQ(features.size(), 6u);
+  float total = 0.0f;
+  for (float f : features) {
+    total += f;
+  }
+  // 3 traces x 3 prefixes each.
+  EXPECT_FLOAT_EQ(total, 9.0f);
+  // Read prefixes counted twice, write prefixes once.
+  EXPECT_FLOAT_EQ(features[0], 2.0f);
+  EXPECT_FLOAT_EQ(features[3], 1.0f);
+}
+
+TEST(FeatureExtractorTest, UnknownPathsIgnoredAfterLearning) {
+  FeatureExtractor fx;
+  fx.LearnTrace(ReadTrace());
+  Trace unknown(20, "/new");
+  unknown.AddSpan("Frontend", "newOp", kNoParent);
+  const auto features = fx.Extract({&unknown});
+  for (float f : features) {
+    EXPECT_FLOAT_EQ(f, 0.0f);
+  }
+}
+
+TEST(FeatureExtractorTest, PartiallyKnownTraceCountsKnownPrefixes) {
+  FeatureExtractor fx;
+  fx.LearnTrace(ReadTrace());
+  // Same root + service, but a new leaf under the service.
+  Trace partial(21, "/read");
+  const SpanIndex root = partial.AddSpan("Frontend", "read", kNoParent);
+  const SpanIndex svc = partial.AddSpan("Service", "get", root);
+  partial.AddSpan("NewDB", "find", svc);
+  const auto features = fx.Extract({&partial});
+  EXPECT_FLOAT_EQ(features[0], 1.0f);  // root prefix known
+  EXPECT_FLOAT_EQ(features[1], 1.0f);  // root+service known
+  EXPECT_FLOAT_EQ(features[2], 0.0f);  // old leaf not present
+}
+
+TEST(FeatureExtractorTest, BranchingTraceCountsEachPrefixOnce) {
+  FeatureExtractor fx;
+  Trace t(1, "/fan");
+  const SpanIndex root = t.AddSpan("A", "op", kNoParent);
+  t.AddSpan("B", "op", root);
+  t.AddSpan("C", "op", root);
+  fx.LearnTrace(t);
+  EXPECT_EQ(fx.dimension(), 3u);  // [A], [A,B], [A,C]
+  const auto features = fx.Extract({&t});
+  EXPECT_FLOAT_EQ(features[0], 1.0f);
+  EXPECT_FLOAT_EQ(features[1], 1.0f);
+  EXPECT_FLOAT_EQ(features[2], 1.0f);
+}
+
+TEST(FeatureExtractorTest, RepeatedComponentInOneTraceCountsTwice) {
+  FeatureExtractor fx;
+  Trace t(1, "/double");
+  const SpanIndex root = t.AddSpan("A", "op", kNoParent);
+  t.AddSpan("B", "op", root);
+  t.AddSpan("B", "op", root);  // same child invoked twice
+  fx.LearnTrace(t);
+  EXPECT_EQ(fx.dimension(), 2u);  // [A], [A,B]
+  const auto features = fx.Extract({&t});
+  EXPECT_FLOAT_EQ(features[1], 2.0f);
+}
+
+TEST(FeatureExtractorTest, DominantApiAttribution) {
+  FeatureExtractor fx;
+  fx.LearnTrace(ReadTrace(1));
+  fx.LearnTrace(ReadTrace(2));
+  fx.LearnTrace(WriteTrace(3));
+  EXPECT_EQ(fx.DominantApiOf(0), "/read");
+  EXPECT_EQ(fx.DominantApiOf(3), "/write");
+  const auto apis = fx.KnownApis();
+  EXPECT_EQ(apis.size(), 2u);
+}
+
+TEST(FeatureExtractorTest, DescribePathIsReadable) {
+  FeatureExtractor fx;
+  fx.LearnTrace(ReadTrace());
+  EXPECT_EQ(fx.DescribePath(0), "Frontend:read");
+  EXPECT_EQ(fx.DescribePath(2), "Frontend:read > Service:get > DB:find");
+}
+
+TEST(FeatureExtractorTest, ExtractSeriesAlignsWithWindows) {
+  FeatureExtractor fx;
+  TraceCollector collector;
+  collector.Collect(0, ReadTrace(1));
+  collector.Collect(1, ReadTrace(2));
+  collector.Collect(1, WriteTrace(3));
+  fx.LearnRange(collector, 0, 2);
+  const auto series = fx.ExtractSeries(collector, 0, 2);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_FLOAT_EQ(series[0][0], 1.0f);
+  EXPECT_FLOAT_EQ(series[1][0], 1.0f);
+  // Window 1 also has the write prefix.
+  float window1_total = 0.0f;
+  for (float f : series[1]) {
+    window1_total += f;
+  }
+  EXPECT_FLOAT_EQ(window1_total, 6.0f);
+}
+
+TEST(FeatureExtractorTest, SaveLoadRoundTrip) {
+  FeatureExtractor fx;
+  fx.LearnTrace(ReadTrace(1));
+  fx.LearnTrace(WriteTrace(2));
+  std::stringstream buffer;
+  fx.Save(buffer);
+
+  FeatureExtractor restored;
+  ASSERT_TRUE(restored.Load(buffer));
+  EXPECT_EQ(restored.dimension(), fx.dimension());
+  EXPECT_EQ(restored.DescribePath(2), fx.DescribePath(2));
+  EXPECT_EQ(restored.DominantApiOf(0), "/read");
+  // Extraction produces identical vectors.
+  Trace r = ReadTrace(9);
+  EXPECT_EQ(restored.Extract({&r}), fx.Extract({&r}));
+}
+
+TEST(FeatureExtractorTest, LoadRejectsGarbage) {
+  std::stringstream buffer;
+  buffer << "garbage data";
+  FeatureExtractor fx;
+  EXPECT_FALSE(fx.Load(buffer));
+}
+
+TEST(FeatureExtractorTest, EmptyTraceIgnored) {
+  FeatureExtractor fx;
+  Trace empty;
+  fx.LearnTrace(empty);
+  EXPECT_EQ(fx.dimension(), 0u);
+}
+
+}  // namespace
+}  // namespace deeprest

@@ -1,0 +1,166 @@
+#include "src/core/planner.h"
+
+#include <gtest/gtest.h>
+
+namespace deeprest {
+namespace {
+
+ResourceEstimate RampEstimate(size_t windows, double start, double step,
+                              double interval_width = 2.0) {
+  ResourceEstimate estimate;
+  for (size_t t = 0; t < windows; ++t) {
+    const double mid = start + step * static_cast<double>(t);
+    estimate.expected.push_back(mid);
+    estimate.lower.push_back(mid - interval_width / 2.0);
+    estimate.upper.push_back(mid + interval_width / 2.0);
+  }
+  return estimate;
+}
+
+TEST(PlanResourcesTest, ProvisionIsHeadroomOverPeakUpper) {
+  EstimateMap estimates;
+  const MetricKey key{"Svc", ResourceKind::kCpu};
+  estimates.emplace(key, RampEstimate(10, 10.0, 2.0));  // peak mid 28, upper 29
+  PlannerConfig config;
+  config.headroom = 1.5;
+  AllocationPlanner planner(config);
+  const auto plans = planner.PlanResources(estimates);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].key, key);
+  EXPECT_DOUBLE_EQ(plans[0].peak_expected, 28.0);
+  EXPECT_DOUBLE_EQ(plans[0].peak_upper, 29.0);
+  EXPECT_DOUBLE_EQ(plans[0].provision, 29.0 * 1.5);
+}
+
+TEST(PlanResourcesTest, CoversEveryEstimatedResource) {
+  EstimateMap estimates;
+  estimates.emplace(MetricKey{"A", ResourceKind::kCpu}, RampEstimate(4, 5.0, 0.0));
+  estimates.emplace(MetricKey{"B", ResourceKind::kMemory}, RampEstimate(4, 100.0, 1.0));
+  AllocationPlanner planner;
+  EXPECT_EQ(planner.PlanResources(estimates).size(), 2u);
+}
+
+TEST(PlanReplicasTest, MissingComponentGivesEmptySchedule) {
+  AllocationPlanner planner;
+  const auto schedule = planner.PlanReplicas({}, "Ghost");
+  EXPECT_TRUE(schedule.replicas.empty());
+  EXPECT_EQ(schedule.peak_replicas, 0u);
+}
+
+TEST(PlanReplicasTest, ScalesUpImmediately) {
+  EstimateMap estimates;
+  ResourceEstimate estimate;
+  // Demand jumps from ~1 replica to ~3 replicas at t=2.
+  for (double cpu : {50.0, 50.0, 220.0, 220.0}) {
+    estimate.expected.push_back(cpu);
+    estimate.lower.push_back(cpu);
+    estimate.upper.push_back(cpu);
+  }
+  estimates.emplace(MetricKey{"Svc", ResourceKind::kCpu}, estimate);
+  PlannerConfig config;
+  config.headroom = 1.0;
+  config.cpu_per_replica = 80.0;
+  AllocationPlanner planner(config);
+  const auto schedule = planner.PlanReplicas(estimates, "Svc");
+  ASSERT_EQ(schedule.replicas.size(), 4u);
+  EXPECT_EQ(schedule.replicas[1], 1u);
+  EXPECT_EQ(schedule.replicas[2], 3u);  // no lag on the way up
+  EXPECT_EQ(schedule.peak_replicas, 3u);
+}
+
+TEST(PlanReplicasTest, ScaleDownWaitsForPatience) {
+  EstimateMap estimates;
+  ResourceEstimate estimate;
+  // High for 2 windows, then low for 8.
+  for (size_t t = 0; t < 10; ++t) {
+    const double cpu = t < 2 ? 300.0 : 40.0;
+    estimate.expected.push_back(cpu);
+    estimate.lower.push_back(cpu);
+    estimate.upper.push_back(cpu);
+  }
+  estimates.emplace(MetricKey{"Svc", ResourceKind::kCpu}, estimate);
+  PlannerConfig config;
+  config.headroom = 1.0;
+  config.cpu_per_replica = 80.0;
+  config.scale_down_patience = 3;
+  AllocationPlanner planner(config);
+  const auto schedule = planner.PlanReplicas(estimates, "Svc");
+  EXPECT_EQ(schedule.replicas[2], 4u);  // still held high
+  EXPECT_EQ(schedule.replicas[3], 4u);
+  EXPECT_EQ(schedule.replicas[4], 1u);  // patience elapsed
+  EXPECT_EQ(schedule.replicas[9], 1u);
+}
+
+TEST(PlanReplicasTest, NeverBelowMinReplicas) {
+  EstimateMap estimates;
+  ResourceEstimate estimate;
+  for (size_t t = 0; t < 5; ++t) {
+    estimate.expected.push_back(1.0);
+    estimate.lower.push_back(1.0);
+    estimate.upper.push_back(1.0);
+  }
+  estimates.emplace(MetricKey{"Svc", ResourceKind::kCpu}, estimate);
+  PlannerConfig config;
+  config.min_replicas = 2;
+  AllocationPlanner planner(config);
+  for (size_t r : planner.PlanReplicas(estimates, "Svc").replicas) {
+    EXPECT_GE(r, 2u);
+  }
+}
+
+TEST(PlanReplicasTest, SavingsAgainstStaticPeak) {
+  EstimateMap estimates;
+  ResourceEstimate estimate;
+  // One peaky window among many idle ones.
+  for (size_t t = 0; t < 20; ++t) {
+    const double cpu = t == 10 ? 400.0 : 40.0;
+    estimate.expected.push_back(cpu);
+    estimate.lower.push_back(cpu);
+    estimate.upper.push_back(cpu);
+  }
+  estimates.emplace(MetricKey{"Svc", ResourceKind::kCpu}, estimate);
+  PlannerConfig config;
+  config.headroom = 1.0;
+  config.cpu_per_replica = 80.0;
+  config.scale_down_patience = 2;
+  AllocationPlanner planner(config);
+  const auto schedule = planner.PlanReplicas(estimates, "Svc");
+  EXPECT_EQ(schedule.peak_replicas, 5u);
+  EXPECT_GT(schedule.savings_fraction, 0.5);
+  EXPECT_LT(schedule.savings_fraction, 1.0);
+}
+
+TEST(ForecastStorageTest, GrowthRateFromTrajectory) {
+  EstimateMap estimates;
+  // Disk grows 2 MB per window from 100 MB.
+  estimates.emplace(MetricKey{"DB", ResourceKind::kDiskUsage},
+                    RampEstimate(11, 100.0, 2.0, 4.0));
+  PlannerConfig config;
+  config.headroom = 1.0;
+  AllocationPlanner planner(config);
+  const auto forecast = planner.ForecastStorage(estimates, "DB");
+  EXPECT_DOUBLE_EQ(forecast.current_mb, 100.0);
+  EXPECT_DOUBLE_EQ(forecast.growth_mb_per_window, 2.0);
+  EXPECT_DOUBLE_EQ(forecast.end_of_horizon_mb, 122.0);  // upper at t=10
+}
+
+TEST(ForecastStorageTest, WindowsUntilFull) {
+  StorageForecast forecast;
+  forecast.current_mb = 100.0;
+  forecast.growth_mb_per_window = 2.0;
+  EXPECT_EQ(forecast.WindowsUntilFull(200.0), 50u);
+  EXPECT_EQ(forecast.WindowsUntilFull(100.0), 0u);
+  EXPECT_EQ(forecast.WindowsUntilFull(50.0), 0u);
+  forecast.growth_mb_per_window = 0.0;
+  EXPECT_EQ(forecast.WindowsUntilFull(200.0), SIZE_MAX);
+}
+
+TEST(ForecastStorageTest, MissingDiskSeriesGivesEmptyForecast) {
+  AllocationPlanner planner;
+  const auto forecast = planner.ForecastStorage({}, "DB");
+  EXPECT_DOUBLE_EQ(forecast.current_mb, 0.0);
+  EXPECT_DOUBLE_EQ(forecast.growth_mb_per_window, 0.0);
+}
+
+}  // namespace
+}  // namespace deeprest

@@ -1,0 +1,183 @@
+#include "src/core/sanity.h"
+
+#include <gtest/gtest.h>
+
+namespace deeprest {
+namespace {
+
+// Builds an estimate with a constant interval [lo, hi] and expected mid.
+ResourceEstimate FlatEstimate(size_t windows, double lo, double mid, double hi) {
+  ResourceEstimate estimate;
+  estimate.expected.assign(windows, mid);
+  estimate.lower.assign(windows, lo);
+  estimate.upper.assign(windows, hi);
+  return estimate;
+}
+
+TEST(ResourceScoresTest, ZeroInsideInterval) {
+  const ResourceEstimate estimate = FlatEstimate(5, 8.0, 10.0, 12.0);
+  const std::vector<double> actual = {8.0, 9.0, 10.0, 11.5, 12.0};
+  const auto scores = SanityChecker::ResourceScores(estimate, actual);
+  for (double s : scores) {
+    EXPECT_DOUBLE_EQ(s, 0.0);
+  }
+}
+
+TEST(ResourceScoresTest, PositiveAboveUpper) {
+  const ResourceEstimate estimate = FlatEstimate(3, 8.0, 10.0, 12.0);
+  const auto scores = SanityChecker::ResourceScores(estimate, {12.0, 16.0, 24.0});
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+  EXPECT_GT(scores[1], 0.0);
+  EXPECT_GT(scores[2], scores[1]);
+}
+
+TEST(ResourceScoresTest, PositiveBelowLower) {
+  const ResourceEstimate estimate = FlatEstimate(2, 8.0, 10.0, 12.0);
+  const auto scores = SanityChecker::ResourceScores(estimate, {8.0, 2.0});
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+  EXPECT_GT(scores[1], 0.0);
+}
+
+TEST(ResourceScoresTest, ScoreCappedAtTen) {
+  const ResourceEstimate estimate = FlatEstimate(1, 9.9, 10.0, 10.1);
+  const auto scores = SanityChecker::ResourceScores(estimate, {1e9});
+  EXPECT_DOUBLE_EQ(scores[0], 10.0);
+}
+
+TEST(ResourceScoresTest, NormalizationUsesIntervalWidth) {
+  // Same absolute excursion scores higher with a tighter interval.
+  const ResourceEstimate tight = FlatEstimate(1, 9.5, 10.0, 10.5);
+  const ResourceEstimate wide = FlatEstimate(1, 5.0, 10.0, 15.0);
+  const auto tight_scores = SanityChecker::ResourceScores(tight, {13.0});
+  const auto wide_scores = SanityChecker::ResourceScores(wide, {18.0});
+  EXPECT_GT(tight_scores[0], wide_scores[0]);
+}
+
+struct SanityFixture {
+  EstimateMap estimates;
+  MetricsStore metrics;
+  MetricKey cpu{"DB", ResourceKind::kCpu};
+  MetricKey thr{"DB", ResourceKind::kWriteThroughput};
+  MetricKey other_cpu{"Web", ResourceKind::kCpu};
+  size_t windows = 20;
+
+  SanityFixture() {
+    estimates.emplace(cpu, FlatEstimate(windows, 18.0, 20.0, 22.0));
+    estimates.emplace(thr, FlatEstimate(windows, 90.0, 100.0, 110.0));
+    estimates.emplace(other_cpu, FlatEstimate(windows, 9.0, 10.0, 11.0));
+    for (size_t w = 0; w < windows; ++w) {
+      metrics.Record(cpu, w, 20.0);
+      metrics.Record(thr, w, 100.0);
+      metrics.Record(other_cpu, w, 10.0);
+    }
+  }
+
+  // Injects an attack signature into windows [from, to).
+  void Attack(size_t from, size_t to) {
+    for (size_t w = from; w < to; ++w) {
+      metrics.Record(cpu, w, 55.0);
+      metrics.Record(thr, w, 320.0);
+    }
+  }
+};
+
+TEST(SanityCheckerTest, CleanSeriesYieldsNoEvents) {
+  SanityFixture fx;
+  SanityChecker checker;
+  const auto events = checker.Detect(fx.estimates, fx.metrics, 0, fx.windows);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(SanityCheckerTest, DetectsSustainedAttack) {
+  SanityFixture fx;
+  fx.Attack(8, 14);
+  SanityChecker checker;
+  const auto events = checker.Detect(fx.estimates, fx.metrics, 0, fx.windows);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].start_window, 8u);
+  EXPECT_EQ(events[0].end_window, 14u);
+  EXPECT_GT(events[0].peak_score, 0.5);
+}
+
+TEST(SanityCheckerTest, EventListsDeviatingResources) {
+  SanityFixture fx;
+  fx.Attack(5, 10);
+  SanityChecker checker;
+  const auto events = checker.Detect(fx.estimates, fx.metrics, 0, fx.windows);
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_GE(events[0].deviations.size(), 2u);
+  // Throughput deviates most: 320 vs 100 expected = +220%.
+  EXPECT_EQ(events[0].deviations[0].key, fx.thr);
+  EXPECT_NEAR(events[0].deviations[0].deviation_pct, 220.0, 5.0);
+  // CPU next: 55 vs 20 = +175%.
+  EXPECT_EQ(events[0].deviations[1].key, fx.cpu);
+  EXPECT_NEAR(events[0].deviations[1].deviation_pct, 175.0, 5.0);
+  // The healthy component does not appear.
+  for (const auto& deviation : events[0].deviations) {
+    EXPECT_NE(deviation.key.component, "Web");
+  }
+}
+
+TEST(SanityCheckerTest, ShortBlipsIgnored) {
+  SanityFixture fx;
+  fx.Attack(5, 6);  // single-window blip
+  SanityConfig config;
+  config.min_event_windows = 2;
+  SanityChecker checker(config);
+  EXPECT_TRUE(checker.Detect(fx.estimates, fx.metrics, 0, fx.windows).empty());
+}
+
+TEST(SanityCheckerTest, NearbyRunsMerge) {
+  SanityFixture fx;
+  fx.Attack(4, 8);
+  fx.Attack(9, 13);  // 1-window gap
+  SanityConfig config;
+  config.merge_gap = 2;
+  SanityChecker checker(config);
+  const auto events = checker.Detect(fx.estimates, fx.metrics, 0, fx.windows);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].start_window, 4u);
+  EXPECT_EQ(events[0].end_window, 13u);
+}
+
+TEST(SanityCheckerTest, ComponentScoresIsolateComponent) {
+  SanityFixture fx;
+  fx.Attack(0, fx.windows);
+  SanityChecker checker;
+  const auto db_scores =
+      checker.ComponentScores(fx.estimates, fx.metrics, "DB", 0, fx.windows);
+  const auto web_scores =
+      checker.ComponentScores(fx.estimates, fx.metrics, "Web", 0, fx.windows);
+  EXPECT_GT(db_scores[3], 0.5);
+  EXPECT_DOUBLE_EQ(web_scores[3], 0.0);
+}
+
+TEST(SanityCheckerTest, DetectUsesRelativeWindows) {
+  SanityFixture fx;
+  // Shift everything by recording at offset 100.
+  MetricsStore shifted;
+  for (size_t w = 0; w < fx.windows; ++w) {
+    shifted.Record(fx.cpu, 100 + w, w >= 8 && w < 14 ? 55.0 : 20.0);
+    shifted.Record(fx.thr, 100 + w, w >= 8 && w < 14 ? 320.0 : 100.0);
+    shifted.Record(fx.other_cpu, 100 + w, 10.0);
+  }
+  SanityChecker checker;
+  const auto events = checker.Detect(fx.estimates, shifted, 100, 100 + fx.windows);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].start_window, 8u);
+}
+
+TEST(AnomalyEventTest, DescribeMentionsComponentAndDirection) {
+  SanityFixture fx;
+  fx.Attack(5, 10);
+  SanityChecker checker;
+  const auto events = checker.Detect(fx.estimates, fx.metrics, 0, fx.windows);
+  ASSERT_EQ(events.size(), 1u);
+  const std::string text = events[0].Describe(/*windows_per_day=*/10);
+  EXPECT_NE(text.find("DB"), std::string::npos);
+  EXPECT_NE(text.find("higher"), std::string::npos);
+  EXPECT_NE(text.find("write_throughput"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deeprest

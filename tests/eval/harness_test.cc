@@ -1,0 +1,114 @@
+#include "src/eval/harness.h"
+
+#include <gtest/gtest.h>
+
+namespace deeprest {
+namespace {
+
+HarnessConfig TinyConfig() {
+  HarnessConfig config;
+  config.learn_days = 2;
+  config.windows_per_day = 12;
+  config.base_requests_per_window = 40.0;
+  config.seed = 5;
+  config.cache_models = false;
+  config.estimator.hidden_dim = 6;
+  config.estimator.epochs = 2;
+  config.resource_aware_dl.epochs = 2;
+  return config;
+}
+
+TEST(HarnessTest, LearningPhaseDimensions) {
+  ExperimentHarness harness(TinyConfig());
+  EXPECT_EQ(harness.learn_windows(), 24u);
+  EXPECT_EQ(harness.learn_traffic().windows(), 24u);
+  EXPECT_EQ(harness.metrics().window_count(), 24u);
+  EXPECT_GT(harness.traces().total_traces(), 100u);
+}
+
+TEST(HarnessTest, LearnSpecCoversAllSocialApis) {
+  ExperimentHarness harness(TinyConfig());
+  const TrafficSpec spec = harness.LearnSpec();
+  EXPECT_EQ(spec.mix.size(), harness.app().apis().size());
+  EXPECT_EQ(spec.days, 2u);
+}
+
+TEST(HarnessTest, HotelAppSelectable) {
+  HarnessConfig config = TinyConfig();
+  config.app = HarnessConfig::AppKind::kHotelReservation;
+  ExperimentHarness harness(config);
+  EXPECT_EQ(harness.app().name(), "hotel_reservation");
+  EXPECT_EQ(harness.LearnSpec().mix.size(), 4u);
+  EXPECT_EQ(harness.metrics().Keys().size(), 54u);
+}
+
+TEST(HarnessTest, QueriesAdvanceTheWindowCursor) {
+  ExperimentHarness harness(TinyConfig());
+  Rng rng(1);
+  const auto q1 = harness.RunQuery(GenerateTraffic(harness.QuerySpec(1), rng));
+  EXPECT_EQ(q1.from, 24u);
+  EXPECT_EQ(q1.to, 36u);
+  const auto q2 = harness.RunQuery(GenerateTraffic(harness.QuerySpec(1), rng));
+  EXPECT_EQ(q2.from, 36u);
+  EXPECT_EQ(q2.to, 48u);
+  // Ground truth for both queries landed in the shared stores.
+  EXPECT_EQ(harness.metrics().window_count(), 48u);
+}
+
+TEST(HarnessTest, LearnShapeOverrideChangesTraffic) {
+  HarnessConfig two_peak = TinyConfig();
+  HarnessConfig flat = TinyConfig();
+  flat.learn_shape = ShapeKind::kFlat;
+  ExperimentHarness harness_a(two_peak);
+  ExperimentHarness harness_b(flat);
+  // Two-peak learning traffic has a much larger dynamic range.
+  auto range = [](const TrafficSeries& t) {
+    double lo = 1e18;
+    double hi = 0.0;
+    for (size_t w = 0; w < t.windows(); ++w) {
+      lo = std::min(lo, t.TotalAt(w));
+      hi = std::max(hi, t.TotalAt(w));
+    }
+    return hi / lo;
+  };
+  EXPECT_GT(range(harness_a.learn_traffic()), 2.0 * range(harness_b.learn_traffic()));
+}
+
+TEST(HarnessTest, AllFourAlgorithmsProduceFullEstimates) {
+  ExperimentHarness harness(TinyConfig());
+  Rng rng(2);
+  const auto query = harness.RunQuery(GenerateTraffic(harness.QuerySpec(1), rng));
+  const size_t resource_count = harness.app().MetricCatalog().size();
+  EXPECT_EQ(harness.EstimateDeepRest(query).size(), resource_count);
+  EXPECT_EQ(harness.EstimateResourceAwareDl(query).size(), resource_count);
+  EXPECT_EQ(harness.EstimateSimpleScaling(query).size(), resource_count);
+  EXPECT_EQ(harness.EstimateComponentAwareScaling(query).size(), resource_count);
+}
+
+TEST(HarnessTest, QueryMapeIsFiniteForAllAlgorithms) {
+  ExperimentHarness harness(TinyConfig());
+  Rng rng(3);
+  const auto query = harness.RunQuery(GenerateTraffic(harness.QuerySpec(1), rng));
+  const MetricKey key{"FrontendNGINX", ResourceKind::kCpu};
+  for (const EstimateMap& estimates :
+       {harness.EstimateDeepRest(query), harness.EstimateResourceAwareDl(query),
+        harness.EstimateSimpleScaling(query),
+        harness.EstimateComponentAwareScaling(query)}) {
+    const double mape = harness.QueryMape(estimates, query, key);
+    EXPECT_GE(mape, 0.0);
+    EXPECT_LT(mape, 1e6);
+  }
+}
+
+TEST(HarnessTest, DeterministicAcrossInstances) {
+  ExperimentHarness a(TinyConfig());
+  ExperimentHarness b(TinyConfig());
+  for (const auto& key : a.app().MetricCatalog()) {
+    for (size_t w = 0; w < a.learn_windows(); ++w) {
+      ASSERT_DOUBLE_EQ(a.metrics().At(key, w), b.metrics().At(key, w)) << key.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deeprest

@@ -1,0 +1,119 @@
+#include "src/eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/eval/ascii.h"
+
+namespace deeprest {
+namespace {
+
+TEST(MapeTest, PerfectPredictionIsZero) {
+  EXPECT_DOUBLE_EQ(Mape({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}), 0.0);
+}
+
+TEST(MapeTest, KnownValue) {
+  // |11-10|/10 = 10%, |18-20|/20 = 10% -> mean 10%.
+  EXPECT_NEAR(Mape({11.0, 18.0}, {10.0, 20.0}), 10.0, 1e-9);
+}
+
+TEST(MapeTest, EmptyIsZero) { EXPECT_DOUBLE_EQ(Mape({}, {}), 0.0); }
+
+TEST(MapeTest, FloorPreventsExplosionNearZero) {
+  // actual mean = 10 -> floor = 0.5; the near-zero sample uses the floor.
+  const double mape = Mape({1.0, 20.0}, {0.0, 20.0});
+  EXPECT_LT(mape, 150.0);
+  EXPECT_GT(mape, 0.0);
+}
+
+TEST(MapeTest, TruncatesToShorterSeries) {
+  EXPECT_NEAR(Mape({11.0}, {10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(ResourceMapeTest, MissingKeyReturnsSentinel) {
+  EstimateMap estimates;
+  MetricsStore metrics;
+  EXPECT_DOUBLE_EQ(ResourceMape(estimates, metrics, {"X", ResourceKind::kCpu}, 0, 4), 100.0);
+}
+
+TEST(ResourceMapeTest, ComparesAgainstStoreRange) {
+  EstimateMap estimates;
+  ResourceEstimate estimate;
+  estimate.expected = {10.0, 10.0};
+  estimate.lower = estimate.expected;
+  estimate.upper = estimate.expected;
+  const MetricKey key{"X", ResourceKind::kCpu};
+  estimates.emplace(key, estimate);
+  MetricsStore metrics;
+  metrics.Record(key, 5, 10.0);
+  metrics.Record(key, 6, 20.0);
+  EXPECT_NEAR(ResourceMape(estimates, metrics, key, 5, 7), 25.0, 1e-9);
+}
+
+TEST(IntervalCoverageTest, FullCoverage) {
+  ResourceEstimate estimate;
+  estimate.expected = {10.0, 10.0};
+  estimate.lower = {5.0, 5.0};
+  estimate.upper = {15.0, 15.0};
+  EXPECT_DOUBLE_EQ(IntervalCoverage(estimate, {7.0, 14.0}), 1.0);
+}
+
+TEST(IntervalCoverageTest, PartialCoverage) {
+  ResourceEstimate estimate;
+  estimate.expected = {10.0, 10.0, 10.0, 10.0};
+  estimate.lower = {5.0, 5.0, 5.0, 5.0};
+  estimate.upper = {15.0, 15.0, 15.0, 15.0};
+  EXPECT_DOUBLE_EQ(IntervalCoverage(estimate, {0.0, 10.0, 20.0, 10.0}), 0.5);
+}
+
+TEST(SynthesisQualityTest, IdenticalIsHundred) {
+  const std::vector<std::vector<float>> features = {{1.0f, 2.0f}, {3.0f, 4.0f}};
+  EXPECT_NEAR(SynthesisQuality(features, features), 100.0, 1e-9);
+}
+
+TEST(SynthesisQualityTest, DisjointIsZero) {
+  const std::vector<std::vector<float>> a = {{1.0f, 0.0f}};
+  const std::vector<std::vector<float>> b = {{0.0f, 1.0f}};
+  EXPECT_NEAR(SynthesisQuality(a, b), 0.0, 1e-9);
+}
+
+TEST(SynthesisQualityTest, PartialOverlap) {
+  // |2-1| / (2+1) = 1/3 error -> ~66.7% quality.
+  const std::vector<std::vector<float>> a = {{2.0f}};
+  const std::vector<std::vector<float>> b = {{1.0f}};
+  EXPECT_NEAR(SynthesisQuality(a, b), 100.0 * (1.0 - 1.0 / 3.0), 1e-6);
+}
+
+TEST(AsciiTest, RenderSeriesContainsLegendAndAxis) {
+  const std::string chart = RenderSeries({"deeprest", "actual"},
+                                         {{1.0, 2.0, 3.0, 2.0}, {1.5, 2.5, 2.0, 1.0}});
+  EXPECT_NE(chart.find("[a] deeprest"), std::string::npos);
+  EXPECT_NE(chart.find("[b] actual"), std::string::npos);
+  EXPECT_NE(chart.find("+"), std::string::npos);
+}
+
+TEST(AsciiTest, RenderSeriesHandlesEmpty) {
+  EXPECT_EQ(RenderSeries({}, {}), "(empty series)\n");
+}
+
+TEST(AsciiTest, RenderHeatmapHasRowsAndCols) {
+  const std::string heatmap =
+      RenderHeatmap({"cpu", "memory"}, {"alg1", "alg2"}, {{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_NE(heatmap.find("cpu"), std::string::npos);
+  EXPECT_NE(heatmap.find("alg2"), std::string::npos);
+  EXPECT_NE(heatmap.find("4.0%"), std::string::npos);
+}
+
+TEST(AsciiTest, RenderTableAligns) {
+  const std::string table = RenderTable({"name", "value"}, {{"a", "1"}, {"bb", "22"}});
+  EXPECT_NE(table.find("name"), std::string::npos);
+  EXPECT_NE(table.find("bb"), std::string::npos);
+  EXPECT_NE(table.find("--"), std::string::npos);
+}
+
+TEST(AsciiTest, FormatDoublePrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace deeprest

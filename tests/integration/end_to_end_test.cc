@@ -1,0 +1,182 @@
+// End-to-end tests over the full pipeline: simulate the social network,
+// train every algorithm, answer queries, and verify the paper's qualitative
+// orderings on a scaled-down configuration.
+#include <cmath>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "src/eval/harness.h"
+
+namespace deeprest {
+namespace {
+
+HarnessConfig SmallConfig(uint64_t seed = 1) {
+  HarnessConfig config;
+  config.learn_days = 4;
+  config.windows_per_day = 24;
+  config.base_requests_per_window = 90.0;
+  config.seed = seed;
+  config.cache_models = false;
+  config.estimator.hidden_dim = 10;
+  config.estimator.epochs = 10;
+  config.estimator.bptt_chunk = 24;
+  return config;
+}
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    harness_ = new ExperimentHarness(SmallConfig());
+    // One shared in-distribution query.
+    Rng rng(99);
+    query_ = new ExperimentHarness::QueryResult(
+        harness_->RunQuery(GenerateTraffic(harness_->QuerySpec(1), rng)));
+  }
+  static void TearDownTestSuite() {
+    delete query_;
+    delete harness_;
+    harness_ = nullptr;
+    query_ = nullptr;
+  }
+
+  static ExperimentHarness* harness_;
+  static ExperimentHarness::QueryResult* query_;
+};
+
+ExperimentHarness* EndToEndTest::harness_ = nullptr;
+ExperimentHarness::QueryResult* EndToEndTest::query_ = nullptr;
+
+TEST_F(EndToEndTest, LearningPhaseProducesTelemetry) {
+  EXPECT_EQ(harness_->learn_windows(), 96u);
+  EXPECT_GT(harness_->traces().total_traces(), 3000u);
+  EXPECT_EQ(harness_->metrics().Keys().size(), 76u);
+}
+
+TEST_F(EndToEndTest, DeepRestTrainsOnFullCatalog) {
+  DeepRestEstimator& estimator = harness_->deeprest();
+  EXPECT_TRUE(estimator.trained());
+  EXPECT_EQ(estimator.expert_count(), 76u);
+  EXPECT_GE(estimator.features().dimension(), 30u);
+  // Loss went down.
+  const auto& losses = estimator.epoch_losses();
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST_F(EndToEndTest, InDistributionQueryIsAccurate) {
+  const EstimateMap estimates = harness_->EstimateDeepRest(*query_);
+  // Busy components should be estimated well even from synthetic traces.
+  for (const char* component :
+       {"FrontendNGINX", "ComposePostService", "UserTimelineService"}) {
+    const double mape =
+        harness_->QueryMape(estimates, *query_, {component, ResourceKind::kCpu});
+    EXPECT_LT(mape, 30.0) << component;
+  }
+}
+
+TEST_F(EndToEndTest, SynthesizerQualityAboveNinetyPercent) {
+  // Paper Table 1: > 91% on every scenario.
+  DeepRestEstimator& estimator = harness_->deeprest();
+  Rng rng(5);
+  TraceCollector synthetic;
+  estimator.synthesizer().SynthesizeSeries(query_->traffic, 0, rng, synthetic);
+  const auto synth_features =
+      estimator.features().ExtractSeries(synthetic, 0, query_->traffic.windows());
+  const auto real_features =
+      estimator.features().ExtractSeries(harness_->traces(), query_->from, query_->to);
+  EXPECT_GT(SynthesisQuality(synth_features, real_features), 88.0);
+}
+
+TEST_F(EndToEndTest, DeepRestBeatsResourceAwareDlOnScaledQuery) {
+  // 2x users: history-only forecasting cannot see the surge.
+  TrafficSpec spec = harness_->QuerySpec(1);
+  spec.user_scale = 2.0;
+  Rng rng(123);
+  const auto query = harness_->RunQuery(GenerateTraffic(spec, rng));
+
+  const EstimateMap deeprest = harness_->EstimateDeepRest(query);
+  const EstimateMap resrc_dl = harness_->EstimateResourceAwareDl(query);
+  const MetricKey frontend{"FrontendNGINX", ResourceKind::kCpu};
+  const double deeprest_mape = harness_->QueryMape(deeprest, query, frontend);
+  const double resrc_mape = harness_->QueryMape(resrc_dl, query, frontend);
+  EXPECT_LT(deeprest_mape, resrc_mape)
+      << "DeepRest " << deeprest_mape << "% vs resrc-DL " << resrc_mape << "%";
+  EXPECT_LT(deeprest_mape, 35.0);
+}
+
+TEST_F(EndToEndTest, SanityCheckFlagsCryptojackingOnly) {
+  // Fresh harness so the attack does not contaminate the shared fixture.
+  HarnessConfig config = SmallConfig(7);
+  ExperimentHarness harness(config);
+  AttackSpec attack;
+  attack.kind = AttackSpec::Kind::kCryptojacking;
+  attack.component = "PostStorageMongoDB";
+  const size_t attack_start = harness.learn_windows() + 30;
+  attack.start_window = attack_start;
+  attack.end_window = attack_start + 12;
+  harness.simulator().AddAttack(attack);
+
+  Rng rng(5);
+  const auto query = harness.RunQuery(GenerateTraffic(harness.QuerySpec(2), rng));
+  const EstimateMap estimates = harness.EstimateDeepRestFromRealTraces(query);
+
+  SanityChecker checker;
+  const auto events = checker.Detect(estimates, harness.metrics(), query.from, query.to);
+  ASSERT_GE(events.size(), 1u);
+  // The flagged interval overlaps the attack.
+  bool overlaps = false;
+  for (const auto& event : events) {
+    const size_t event_abs_start = query.from + event.start_window;
+    const size_t event_abs_end = query.from + event.end_window;
+    if (event_abs_start < attack.end_window && event_abs_end > attack.start_window) {
+      overlaps = true;
+      // The attacked component shows up in the deviations.
+      bool mentions_target = false;
+      for (const auto& deviation : event.deviations) {
+        mentions_target =
+            mentions_target || deviation.key.component == "PostStorageMongoDB";
+      }
+      EXPECT_TRUE(mentions_target);
+    }
+  }
+  EXPECT_TRUE(overlaps);
+}
+
+TEST_F(EndToEndTest, ModelCachingRoundTrips) {
+  HarnessConfig config = SmallConfig(3);
+  config.cache_models = true;
+  // Fresh cache directory: a stale model from a previous run must not leak in.
+  config.cache_dir = ::testing::TempDir() + "/deeprest_cache_test";
+  std::filesystem::remove_all(config.cache_dir);
+  std::filesystem::create_directories(config.cache_dir);
+  config.estimator.epochs = 4;
+  double first_train_seconds = 0.0;
+  EstimateMap first;
+  {
+    ExperimentHarness harness(config);
+    first_train_seconds = 0.0;
+    DeepRestEstimator& estimator = harness.deeprest();
+    first_train_seconds = estimator.train_seconds();
+    Rng rng(9);
+    auto query = harness.RunQuery(GenerateTraffic(harness.QuerySpec(1), rng));
+    first = harness.EstimateDeepRest(query);
+    EXPECT_GT(first_train_seconds, 0.0);
+  }
+  {
+    ExperimentHarness harness(config);
+    DeepRestEstimator& estimator = harness.deeprest();
+    // Loaded from cache: no training happened.
+    EXPECT_DOUBLE_EQ(estimator.train_seconds(), 0.0);
+    Rng rng(9);
+    auto query = harness.RunQuery(GenerateTraffic(harness.QuerySpec(1), rng));
+    const EstimateMap second = harness.EstimateDeepRest(query);
+    const MetricKey key{"FrontendNGINX", ResourceKind::kCpu};
+    ASSERT_EQ(first.at(key).expected.size(), second.at(key).expected.size());
+    for (size_t t = 0; t < first.at(key).expected.size(); ++t) {
+      EXPECT_NEAR(first.at(key).expected[t], second.at(key).expected[t], 1e-3);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deeprest

@@ -1,0 +1,168 @@
+#include "src/nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include "src/nn/rng.h"
+#include "tests/testing/gradcheck.h"
+
+namespace deeprest {
+namespace {
+
+TEST(ParameterStoreTest, CreateRegistersAndCounts) {
+  ParameterStore store;
+  store.Create("a", Matrix(2, 3));
+  store.Create("b", Matrix(4, 1));
+  EXPECT_EQ(store.entries().size(), 2u);
+  EXPECT_EQ(store.TotalParameters(), 10u);
+}
+
+TEST(ParameterStoreTest, FindByName) {
+  ParameterStore store;
+  store.Create("x", Matrix(1, 1, 5.0f));
+  Tensor found = store.Find("x");
+  ASSERT_TRUE(found.defined());
+  EXPECT_FLOAT_EQ(found.value().At(0, 0), 5.0f);
+  EXPECT_FALSE(store.Find("missing").defined());
+}
+
+TEST(ParameterStoreTest, ZeroGradClearsGradients) {
+  ParameterStore store;
+  Tensor t = store.Create("p", Matrix(1, 1, 1.0f));
+  Tensor loss = Hadamard(t, t);
+  loss.Backward();
+  EXPECT_NE(t.grad().At(0, 0), 0.0f);
+  store.ZeroGrad();
+  EXPECT_FLOAT_EQ(t.grad().At(0, 0), 0.0f);
+}
+
+TEST(LinearTest, ForwardComputesAffineMap) {
+  ParameterStore store;
+  Rng rng(1);
+  Linear layer(store, "fc", 2, 3, rng);
+  // Overwrite with known weights.
+  Tensor w = store.Find("fc.W");
+  Tensor b = store.Find("fc.b");
+  w.mutable_value() = Matrix::FromRows({{1, 0}, {0, 1}, {1, 1}});
+  b.mutable_value() = Matrix::Column({0.5f, -0.5f, 0.0f});
+  Tensor x = Tensor::Constant(Matrix::Column({2.0f, 3.0f}));
+  Tensor y = layer.Forward(x);
+  EXPECT_FLOAT_EQ(y.value().At(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y.value().At(1, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y.value().At(2, 0), 5.0f);
+}
+
+TEST(LinearTest, RegistersTwoParameters) {
+  ParameterStore store;
+  Rng rng(2);
+  Linear layer(store, "fc", 4, 2, rng);
+  EXPECT_EQ(store.entries().size(), 2u);
+  EXPECT_EQ(store.TotalParameters(), 4u * 2u + 2u);
+  EXPECT_EQ(layer.in_dim(), 4u);
+  EXPECT_EQ(layer.out_dim(), 2u);
+}
+
+TEST(LinearTest, GradientFlowsToWeights) {
+  ParameterStore store;
+  Rng rng(3);
+  Linear layer(store, "fc", 3, 2, rng);
+  Tensor x = Tensor::Constant(Matrix::Column({1.0f, -1.0f, 0.5f}));
+  std::vector<Tensor> params;
+  for (const auto& e : store.entries()) {
+    params.push_back(e.tensor);
+  }
+  ExpectGradientsMatch(params, [&] {
+    Tensor y = layer.Forward(x);
+    return SumAll(Hadamard(y, y));
+  });
+}
+
+TEST(GruCellTest, ShapesAndParameterCount) {
+  ParameterStore store;
+  Rng rng(4);
+  GruCell cell(store, "gru", 5, 3, rng);
+  EXPECT_EQ(cell.in_dim(), 5u);
+  EXPECT_EQ(cell.hidden_dim(), 3u);
+  // 3 gates x (W: 3x5, U: 3x3, b: 3x1) = 3 * (15 + 9 + 3) = 81.
+  EXPECT_EQ(store.TotalParameters(), 81u);
+  Tensor h = cell.InitialState();
+  EXPECT_EQ(h.rows(), 3u);
+  EXPECT_EQ(h.cols(), 1u);
+  Tensor x = Tensor::Constant(Matrix::Column({1, 2, 3, 4, 5}));
+  Tensor h1 = cell.Step(x, h);
+  EXPECT_EQ(h1.rows(), 3u);
+  EXPECT_EQ(h1.cols(), 1u);
+}
+
+TEST(GruCellTest, InitialStateIsZero) {
+  ParameterStore store;
+  Rng rng(5);
+  GruCell cell(store, "gru", 2, 4, rng);
+  Tensor h = cell.InitialState();
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(h.value().At(i, 0), 0.0f);
+  }
+}
+
+TEST(GruCellTest, HiddenStateBounded) {
+  // GRU hidden state is a convex combination of tanh outputs and previous
+  // state, so it must stay inside (-1, 1) from a zero start.
+  ParameterStore store;
+  Rng rng(6);
+  GruCell cell(store, "gru", 3, 4, rng);
+  Tensor h = cell.InitialState();
+  for (int t = 0; t < 50; ++t) {
+    Matrix x(3, 1);
+    x.FillUniform(rng, 5.0f);
+    h = cell.Step(Tensor::Constant(x), h);
+    for (size_t i = 0; i < 4; ++i) {
+      EXPECT_GT(h.value().At(i, 0), -1.0f);
+      EXPECT_LT(h.value().At(i, 0), 1.0f);
+    }
+  }
+}
+
+TEST(GruCellTest, GradientThroughThreeSteps) {
+  ParameterStore store;
+  Rng rng(7);
+  GruCell cell(store, "gru", 2, 2, rng);
+  std::vector<Matrix> inputs;
+  for (int t = 0; t < 3; ++t) {
+    Matrix x(2, 1);
+    x.FillUniform(rng, 1.0f);
+    inputs.push_back(x);
+  }
+  std::vector<Tensor> params;
+  for (const auto& e : store.entries()) {
+    params.push_back(e.tensor);
+  }
+  ExpectGradientsMatch(params, [&] {
+    Tensor h = cell.InitialState();
+    for (const auto& x : inputs) {
+      h = cell.Step(Tensor::Constant(x), h);
+    }
+    return SumAll(Hadamard(h, h));
+  });
+}
+
+TEST(GruCellTest, FlattenedParametersSizeMatches) {
+  ParameterStore store;
+  Rng rng(8);
+  GruCell cell(store, "gru", 5, 3, rng);
+  EXPECT_EQ(cell.FlattenedParameters().size(), 81u);
+}
+
+TEST(GruCellTest, ZeroInputZeroStateGivesDeterministicOutput) {
+  ParameterStore store_a;
+  ParameterStore store_b;
+  Rng rng_a(9);
+  Rng rng_b(9);
+  GruCell cell_a(store_a, "g", 2, 3, rng_a);
+  GruCell cell_b(store_b, "g", 2, 3, rng_b);
+  Tensor x = Tensor::Constant(Matrix::Column({0.3f, -0.2f}));
+  Tensor ha = cell_a.Step(x, cell_a.InitialState());
+  Tensor hb = cell_b.Step(x, cell_b.InitialState());
+  EXPECT_EQ(ha.value(), hb.value());
+}
+
+}  // namespace
+}  // namespace deeprest

@@ -1,0 +1,128 @@
+#include "src/nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/ops.h"
+#include "src/nn/rng.h"
+
+namespace deeprest {
+namespace {
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  ParameterStore store;
+  Tensor p = store.Create("p", Matrix(1, 1, 10.0f));
+  SgdOptimizer opt(store, 0.1f);
+  const Matrix target = Matrix::Column({2.0f});
+  for (int i = 0; i < 200; ++i) {
+    opt.ZeroGrad();
+    Tensor loss = SquaredError(p, target);
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(p.value().At(0, 0), 2.0f, 1e-3f);
+}
+
+TEST(SgdTest, SingleStepMatchesHandComputation) {
+  ParameterStore store;
+  Tensor p = store.Create("p", Matrix(1, 1, 4.0f));
+  SgdOptimizer opt(store, 0.5f);
+  opt.ZeroGrad();
+  Tensor loss = SquaredError(p, Matrix::Column({0.0f}));  // grad = p = 4
+  loss.Backward();
+  opt.Step();
+  EXPECT_FLOAT_EQ(p.value().At(0, 0), 4.0f - 0.5f * 4.0f);
+}
+
+TEST(SgdTest, MomentumAcceleratesDescent) {
+  // With momentum the second step applies velocity = m*v + g.
+  ParameterStore store;
+  Tensor p = store.Create("p", Matrix(1, 1, 1.0f));
+  SgdOptimizer opt(store, 0.1f, 0.9f);
+  const Matrix target = Matrix::Column({0.0f});
+  opt.ZeroGrad();
+  SquaredError(p, target).Backward();  // grad = 1
+  opt.Step();                          // v=1, p = 1 - 0.1 = 0.9
+  EXPECT_NEAR(p.value().At(0, 0), 0.9f, 1e-6f);
+  opt.ZeroGrad();
+  SquaredError(p, target).Backward();  // grad = 0.9
+  opt.Step();                          // v = 0.9*1 + 0.9 = 1.8, p = 0.9 - 0.18
+  EXPECT_NEAR(p.value().At(0, 0), 0.72f, 1e-6f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  ParameterStore store;
+  Tensor p = store.Create("p", Matrix(1, 1, 10.0f));
+  AdamOptimizer opt(store, 0.1f);
+  const Matrix target = Matrix::Column({-3.0f});
+  for (int i = 0; i < 500; ++i) {
+    opt.ZeroGrad();
+    SquaredError(p, target).Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(p.value().At(0, 0), -3.0f, 1e-2f);
+}
+
+TEST(AdamTest, FirstStepSizeIsLearningRate) {
+  // Adam's bias correction makes the first update ~= lr * sign(grad).
+  ParameterStore store;
+  Tensor p = store.Create("p", Matrix(1, 1, 1.0f));
+  AdamOptimizer opt(store, 0.01f);
+  opt.ZeroGrad();
+  SquaredError(p, Matrix::Column({0.0f})).Backward();
+  opt.Step();
+  EXPECT_NEAR(p.value().At(0, 0), 1.0f - 0.01f, 1e-4f);
+}
+
+TEST(AdamTest, HandlesMultipleParameters) {
+  ParameterStore store;
+  Tensor a = store.Create("a", Matrix(1, 1, 5.0f));
+  Tensor b = store.Create("b", Matrix(1, 1, -5.0f));
+  AdamOptimizer opt(store, 0.05f);
+  for (int i = 0; i < 600; ++i) {
+    opt.ZeroGrad();
+    Tensor loss = Add(SquaredError(a, Matrix::Column({1.0f})),
+                      SquaredError(b, Matrix::Column({2.0f})));
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(a.value().At(0, 0), 1.0f, 5e-2f);
+  EXPECT_NEAR(b.value().At(0, 0), 2.0f, 5e-2f);
+}
+
+TEST(ClipGradNormTest, NoOpBelowThreshold) {
+  ParameterStore store;
+  Tensor p = store.Create("p", Matrix(1, 1, 0.0f));
+  p.node()->EnsureGrad();
+  p.mutable_grad().At(0, 0) = 0.5f;
+  const float norm = ClipGradNorm(store, 1.0f);
+  EXPECT_FLOAT_EQ(norm, 0.5f);
+  EXPECT_FLOAT_EQ(p.grad().At(0, 0), 0.5f);
+}
+
+TEST(ClipGradNormTest, RescalesAboveThreshold) {
+  ParameterStore store;
+  Tensor a = store.Create("a", Matrix(1, 1, 0.0f));
+  Tensor b = store.Create("b", Matrix(1, 1, 0.0f));
+  a.node()->EnsureGrad();
+  b.node()->EnsureGrad();
+  a.mutable_grad().At(0, 0) = 3.0f;
+  b.mutable_grad().At(0, 0) = 4.0f;  // norm 5
+  const float norm = ClipGradNorm(store, 1.0f);
+  EXPECT_FLOAT_EQ(norm, 5.0f);
+  EXPECT_NEAR(a.grad().At(0, 0), 0.6f, 1e-6f);
+  EXPECT_NEAR(b.grad().At(0, 0), 0.8f, 1e-6f);
+  // Post-clip norm is the threshold.
+  EXPECT_NEAR(std::hypot(a.grad().At(0, 0), b.grad().At(0, 0)), 1.0f, 1e-5f);
+}
+
+TEST(ClipGradNormTest, ZeroGradientsStayZero) {
+  ParameterStore store;
+  Tensor p = store.Create("p", Matrix(2, 2));
+  const float norm = ClipGradNorm(store, 1.0f);
+  EXPECT_FLOAT_EQ(norm, 0.0f);
+}
+
+}  // namespace
+}  // namespace deeprest

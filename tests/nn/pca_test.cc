@@ -1,0 +1,171 @@
+#include "src/nn/pca.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/rng.h"
+
+namespace deeprest {
+namespace {
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  std::vector<double> m = {3.0, 0.0, 0.0, 1.0};
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+  SymmetricEigen(m, 2, values, vectors);
+  EXPECT_NEAR(values[0], 3.0, 1e-9);
+  EXPECT_NEAR(values[1], 1.0, 1e-9);
+  // First eigenvector aligned with axis 0.
+  EXPECT_NEAR(std::fabs(vectors[0][0]), 1.0, 1e-9);
+  EXPECT_NEAR(vectors[0][1], 0.0, 1e-9);
+}
+
+TEST(SymmetricEigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  std::vector<double> m = {2.0, 1.0, 1.0, 2.0};
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+  SymmetricEigen(m, 2, values, vectors);
+  EXPECT_NEAR(values[0], 3.0, 1e-9);
+  EXPECT_NEAR(values[1], 1.0, 1e-9);
+  // Eigenvector for 3 is (1,1)/sqrt(2).
+  EXPECT_NEAR(std::fabs(vectors[0][0]), std::sqrt(0.5), 1e-9);
+  EXPECT_NEAR(std::fabs(vectors[0][1]), std::sqrt(0.5), 1e-9);
+}
+
+TEST(SymmetricEigenTest, EigenvectorsAreOrthonormal) {
+  Rng rng(1);
+  const size_t n = 6;
+  // Random symmetric matrix.
+  std::vector<double> m(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double v = rng.Uniform(-1.0, 1.0);
+      m[i * n + j] = v;
+      m[j * n + i] = v;
+    }
+  }
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+  SymmetricEigen(m, n, values, vectors);
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a; b < n; ++b) {
+      double dot = 0.0;
+      for (size_t k = 0; k < n; ++k) {
+        dot += vectors[a][k] * vectors[b][k];
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(SymmetricEigenTest, EigenvaluesSorted) {
+  Rng rng(2);
+  const size_t n = 5;
+  std::vector<double> m(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double v = rng.Uniform(-2.0, 2.0);
+      m[i * n + j] = v;
+      m[j * n + i] = v;
+    }
+  }
+  std::vector<double> values;
+  std::vector<std::vector<double>> vectors;
+  SymmetricEigen(m, n, values, vectors);
+  for (size_t i = 1; i < n; ++i) {
+    EXPECT_GE(values[i - 1], values[i]);
+  }
+}
+
+TEST(PcaTest, EmptyInput) {
+  PcaResult r = ComputePca({}, 2);
+  EXPECT_TRUE(r.projections.empty());
+}
+
+TEST(PcaTest, LineInTwoDimensions) {
+  // Points along y = 2x: first PC captures ~all variance.
+  std::vector<std::vector<float>> samples;
+  for (int i = -5; i <= 5; ++i) {
+    samples.push_back({static_cast<float>(i), static_cast<float>(2 * i)});
+  }
+  PcaResult r = ComputePca(samples, 2);
+  ASSERT_EQ(r.projections.size(), samples.size());
+  EXPECT_GT(r.explained_variance_ratio[0], 0.999f);
+  EXPECT_LT(r.explained_variance_ratio[1], 1e-3f);
+}
+
+TEST(PcaTest, ProjectionsPreservePairwiseOrderOnLine) {
+  std::vector<std::vector<float>> samples;
+  for (int i = 0; i < 8; ++i) {
+    samples.push_back({static_cast<float>(i), static_cast<float>(i)});
+  }
+  PcaResult r = ComputePca(samples, 1);
+  // First component is monotonic along the line (either direction).
+  bool increasing = r.projections[1][0] > r.projections[0][0];
+  for (size_t i = 1; i < samples.size(); ++i) {
+    if (increasing) {
+      EXPECT_GT(r.projections[i][0], r.projections[i - 1][0]);
+    } else {
+      EXPECT_LT(r.projections[i][0], r.projections[i - 1][0]);
+    }
+  }
+}
+
+TEST(PcaTest, HighDimensionalSeparatesClusters) {
+  // Two clusters in 1000-d space (D >> N exercises the Gram trick).
+  Rng rng(3);
+  std::vector<std::vector<float>> samples;
+  const size_t d = 1000;
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 5; ++i) {
+      std::vector<float> row(d);
+      for (size_t j = 0; j < d; ++j) {
+        row[j] = static_cast<float>(rng.Gaussian(c * 10.0, 0.5));
+      }
+      samples.push_back(row);
+    }
+  }
+  PcaResult r = ComputePca(samples, 2);
+  // Cluster 0 and cluster 1 are separated along PC1.
+  float min0 = 1e9f;
+  float max0 = -1e9f;
+  float min1 = 1e9f;
+  float max1 = -1e9f;
+  for (int i = 0; i < 5; ++i) {
+    min0 = std::min(min0, r.projections[i][0]);
+    max0 = std::max(max0, r.projections[i][0]);
+    min1 = std::min(min1, r.projections[5 + i][0]);
+    max1 = std::max(max1, r.projections[5 + i][0]);
+  }
+  EXPECT_TRUE(max0 < min1 || max1 < min0);
+}
+
+TEST(PcaTest, ComponentsClampedToSampleCount) {
+  std::vector<std::vector<float>> samples = {{1, 2, 3}, {4, 5, 6}};
+  PcaResult r = ComputePca(samples, 10);
+  EXPECT_EQ(r.projections[0].size(), 2u);
+}
+
+TEST(PcaTest, ExplainedVarianceSumsToAtMostOne) {
+  Rng rng(4);
+  std::vector<std::vector<float>> samples;
+  for (int i = 0; i < 6; ++i) {
+    std::vector<float> row(4);
+    for (auto& v : row) {
+      v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    }
+    samples.push_back(row);
+  }
+  PcaResult r = ComputePca(samples, 4);
+  float total = 0.0f;
+  for (float f : r.explained_variance_ratio) {
+    EXPECT_GE(f, 0.0f);
+    total += f;
+  }
+  EXPECT_LE(total, 1.0f + 1e-4f);
+}
+
+}  // namespace
+}  // namespace deeprest

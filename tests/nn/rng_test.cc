@@ -1,0 +1,164 @@
+#include "src/nn/rng.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace deeprest {
+namespace {
+
+TEST(SplitMix64Test, DeterministicSequence) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform(-3.5, 2.25);
+    EXPECT_GE(v, -3.5);
+    EXPECT_LT(v, 2.25);
+  }
+}
+
+TEST(RngTest, UniformMeanApproximatesMidpoint) {
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Uniform(0.0, 10.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, NextBelowStaysBelow) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng rng(5);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[rng.NextBelow(8)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 800);  // Roughly uniform: expectation is 1000 each.
+  }
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(6);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianScalesMeanAndStddev) {
+  Rng rng(7);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(10.0, 2.0);
+    sum += v;
+    sum_sq += (v - 10.0) * (v - 10.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sum_sq / n), 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(8);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, PoissonMeanMatchesLambdaSmall) {
+  Rng rng(9);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextPoisson(4.5);
+  }
+  EXPECT_NEAR(sum / n, 4.5, 0.1);
+}
+
+TEST(RngTest, PoissonMeanMatchesLambdaLarge) {
+  Rng rng(10);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.NextPoisson(200.0);
+  }
+  EXPECT_NEAR(sum / n, 200.0, 1.0);
+}
+
+TEST(RngTest, PoissonZeroLambdaIsZero) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextPoisson(0.0), 0);
+    EXPECT_EQ(rng.NextPoisson(-1.0), 0);
+  }
+}
+
+TEST(RngTest, SplitProducesIndependentStreams) {
+  Rng parent(12);
+  Rng child_a = parent.Split();
+  Rng child_b = parent.Split();
+  // Children have distinct streams from each other and the parent.
+  EXPECT_NE(child_a.NextU64(), child_b.NextU64());
+
+  // Splitting is deterministic: the first split of an identically-seeded
+  // parent yields an identical stream.
+  Rng parent2(12);
+  Rng child_a2 = parent2.Split();
+  Rng parent3(12);
+  Rng child_a3 = parent3.Split();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(child_a2.NextU64(), child_a3.NextU64());
+  }
+}
+
+}  // namespace
+}  // namespace deeprest

@@ -1,0 +1,146 @@
+#include "src/nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/nn/ops.h"
+
+namespace deeprest {
+namespace {
+
+TEST(TensorTest, UndefinedByDefault) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+}
+
+TEST(TensorTest, ConstantDoesNotRequireGrad) {
+  Tensor t = Tensor::Constant(Matrix(2, 2, 1.0f));
+  EXPECT_TRUE(t.defined());
+  EXPECT_FALSE(t.requires_grad());
+}
+
+TEST(TensorTest, ParameterRequiresGrad) {
+  Tensor t = Tensor::Parameter(Matrix(2, 2, 1.0f));
+  EXPECT_TRUE(t.requires_grad());
+}
+
+TEST(TensorTest, OpWithOnlyConstantsDoesNotTrack) {
+  Tensor a = Tensor::Constant(Matrix(1, 1, 1.0f));
+  Tensor b = Tensor::Constant(Matrix(1, 1, 2.0f));
+  Tensor c = Add(a, b);
+  EXPECT_FALSE(c.requires_grad());
+  EXPECT_FLOAT_EQ(c.scalar(), 3.0f);
+}
+
+TEST(TensorTest, OpWithParameterTracks) {
+  Tensor a = Tensor::Parameter(Matrix(1, 1, 1.0f));
+  Tensor b = Tensor::Constant(Matrix(1, 1, 2.0f));
+  EXPECT_TRUE(Add(a, b).requires_grad());
+}
+
+TEST(TensorTest, BackwardSimpleAdd) {
+  Tensor a = Tensor::Parameter(Matrix(1, 1, 3.0f));
+  Tensor b = Tensor::Parameter(Matrix(1, 1, 4.0f));
+  Tensor loss = Add(a, b);
+  loss.Backward();
+  EXPECT_FLOAT_EQ(a.grad().At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(b.grad().At(0, 0), 1.0f);
+}
+
+TEST(TensorTest, BackwardDiamondGraphAccumulates) {
+  // loss = (a + a) -> d(loss)/da = 2.
+  Tensor a = Tensor::Parameter(Matrix(1, 1, 5.0f));
+  Tensor loss = Add(a, a);
+  loss.Backward();
+  EXPECT_FLOAT_EQ(a.grad().At(0, 0), 2.0f);
+}
+
+TEST(TensorTest, BackwardSharedSubexpression) {
+  // b = a*a; loss = b + b -> dloss/da = 2 * 2a = 4a.
+  Tensor a = Tensor::Parameter(Matrix(1, 1, 3.0f));
+  Tensor b = Hadamard(a, a);
+  Tensor loss = Add(b, b);
+  loss.Backward();
+  EXPECT_FLOAT_EQ(a.grad().At(0, 0), 12.0f);
+}
+
+TEST(TensorTest, GradAccumulatesAcrossBackwardCalls) {
+  Tensor a = Tensor::Parameter(Matrix(1, 1, 1.0f));
+  Tensor loss = Add(a, a);
+  loss.Backward();
+  loss.Backward();
+  EXPECT_FLOAT_EQ(a.grad().At(0, 0), 4.0f);
+}
+
+TEST(TensorTest, DetachBlocksGradient) {
+  Tensor a = Tensor::Parameter(Matrix(1, 1, 2.0f));
+  Tensor b = Hadamard(a, a);
+  Tensor detached = b.Detach();
+  EXPECT_FALSE(detached.requires_grad());
+  EXPECT_FLOAT_EQ(detached.value().At(0, 0), 4.0f);
+}
+
+TEST(TensorTest, DeepChainDoesNotOverflowStack) {
+  // 50k-node chain; a recursive backward would overflow the stack.
+  Tensor x = Tensor::Parameter(Matrix(1, 1, 1.0f));
+  Tensor y = x;
+  for (int i = 0; i < 50000; ++i) {
+    y = Affine(y, 1.0f, 0.0f);
+  }
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad().At(0, 0), 1.0f);
+}
+
+TEST(TensorTest, ScalarRequiresOneByOne) {
+  Tensor t = Tensor::Constant(Matrix(1, 1, 9.0f));
+  EXPECT_FLOAT_EQ(t.scalar(), 9.0f);
+}
+
+TEST(TensorTest, NodeCounterIncreases) {
+  const uint64_t before = TensorNodesCreated();
+  Tensor::Constant(Matrix(1, 1));
+  EXPECT_GT(TensorNodesCreated(), before);
+}
+
+TEST(TensorTest, NoGradGuardDisablesTracking) {
+  Tensor a = Tensor::Parameter(Matrix(1, 1, 2.0f));
+  {
+    NoGradGuard guard;
+    Tensor b = Hadamard(a, a);
+    EXPECT_FALSE(b.requires_grad());
+    EXPECT_FLOAT_EQ(b.scalar(), 4.0f);
+  }
+  // Tracking resumes after the guard is destroyed.
+  Tensor c = Hadamard(a, a);
+  EXPECT_TRUE(c.requires_grad());
+}
+
+TEST(TensorTest, NoGradGuardNests) {
+  Tensor a = Tensor::Parameter(Matrix(1, 1, 2.0f));
+  {
+    NoGradGuard outer;
+    {
+      NoGradGuard inner;
+      EXPECT_FALSE(NoGradGuard::GradEnabled());
+    }
+    EXPECT_FALSE(NoGradGuard::GradEnabled());
+    EXPECT_FALSE(Hadamard(a, a).requires_grad());
+  }
+  EXPECT_TRUE(NoGradGuard::GradEnabled());
+}
+
+TEST(TensorTest, BackwardTwiceOnSameGraphResetsVisitedFlags) {
+  // If visited flags were not reset, the second Backward would no-op.
+  Tensor a = Tensor::Parameter(Matrix(1, 1, 1.0f));
+  Tensor b = Tensor::Parameter(Matrix(1, 1, 2.0f));
+  Tensor loss = Hadamard(a, b);
+  loss.Backward();
+  EXPECT_FLOAT_EQ(a.grad().At(0, 0), 2.0f);
+  a.mutable_grad().Zero();
+  b.mutable_grad().Zero();
+  loss.Backward();
+  EXPECT_FLOAT_EQ(a.grad().At(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(b.grad().At(0, 0), 1.0f);
+}
+
+}  // namespace
+}  // namespace deeprest

@@ -1,0 +1,164 @@
+// Parameterized sweeps over the estimator itself, on a 3-component fixture
+// small enough to train per-parameter in well under a second.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/core/estimator.h"
+#include "src/eval/metrics.h"
+#include "src/sim/simulator.h"
+
+namespace deeprest {
+namespace {
+
+// Same tiny application as the estimator unit tests, rebuilt here so the
+// property suite stays self-contained.
+Application TinyApp() {
+  Application app("tiny");
+  ComponentSpec frontend;
+  frontend.name = "Frontend";
+  app.AddComponent(frontend);
+  ComponentSpec db;
+  db.name = "DB";
+  db.stateful = true;
+  db.initial_disk_mb = 50.0;
+  db.write_noise_ops = 0.2;
+  db.write_noise_kb = 2.0;
+  app.AddComponent(db);
+
+  CostTerm cpu;
+  cpu.base = 0.1;
+  CostTerm db_cpu;
+  db_cpu.base = 0.08;
+  CostTerm iops;
+  iops.resource = ResourceKind::kWriteIops;
+  iops.base = 1.0;
+  CostTerm thr;
+  thr.resource = ResourceKind::kWriteThroughput;
+  thr.base = 1.2;
+
+  ApiEndpoint read;
+  read.name = "/read";
+  OpNode read_db{"DB", "find", 1.0, "", {db_cpu}, {}};
+  read.root = OpNode{"Frontend", "read", 1.0, "", {cpu}, {read_db}};
+  app.AddApi(read);
+  ApiEndpoint write;
+  write.name = "/write";
+  OpNode write_db{"DB", "insert", 1.0, "", {db_cpu, iops, thr}, {}};
+  write.root = OpNode{"Frontend", "write", 1.0, "", {cpu}, {write_db}};
+  app.AddApi(write);
+  return app;
+}
+
+struct Fixture {
+  Application app = TinyApp();
+  TraceCollector traces;
+  MetricsStore metrics;
+  size_t learn_windows = 72;
+  size_t query_windows = 24;
+
+  explicit Fixture(uint64_t seed) {
+    TrafficSeries traffic({"/read", "/write"}, learn_windows + query_windows);
+    Rng rng(seed);
+    for (size_t w = 0; w < traffic.windows(); ++w) {
+      traffic.set_rate(w, 0, rng.Uniform(10.0, 100.0));
+      traffic.set_rate(w, 1, rng.Uniform(5.0, 50.0));
+    }
+    Simulator sim(app, {.seed = seed});
+    sim.Run(traffic, 0, &traces, &metrics);
+  }
+};
+
+// ---- Hidden-dimension sweep: accuracy holds across model capacities ----
+
+class HiddenDimSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HiddenDimSweep, QueryAccuracyWithinBound) {
+  Fixture fixture(3);
+  EstimatorConfig config;
+  config.hidden_dim = static_cast<size_t>(GetParam());
+  config.epochs = 14;
+  config.bptt_chunk = 24;
+  config.seed = 5;
+  DeepRestEstimator estimator(config);
+  estimator.Learn(fixture.traces, fixture.metrics, 0, fixture.learn_windows,
+                  fixture.app.MetricCatalog());
+  const EstimateMap estimates = estimator.EstimateFromTraces(
+      fixture.traces, fixture.learn_windows, fixture.learn_windows + fixture.query_windows);
+  const double mape =
+      ResourceMape(estimates, fixture.metrics, {"Frontend", ResourceKind::kCpu},
+                   fixture.learn_windows, fixture.learn_windows + fixture.query_windows);
+  EXPECT_LT(mape, 25.0) << "hidden_dim=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, HiddenDimSweep, ::testing::Values(4, 8, 16));
+
+// ---- Confidence-level sweep: empirical coverage tracks delta ----
+
+class DeltaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DeltaSweep, IntervalCoverageNearConfidenceLevel) {
+  const double delta = GetParam();
+  Fixture fixture(7);
+  EstimatorConfig config;
+  config.hidden_dim = 8;
+  config.epochs = 18;
+  config.bptt_chunk = 24;
+  config.delta = static_cast<float>(delta);
+  config.seed = 9;
+  DeepRestEstimator estimator(config);
+  estimator.Learn(fixture.traces, fixture.metrics, 0, fixture.learn_windows,
+                  fixture.app.MetricCatalog());
+  const size_t from = fixture.learn_windows;
+  const size_t to = fixture.learn_windows + fixture.query_windows;
+  const EstimateMap estimates = estimator.EstimateFromTraces(fixture.traces, from, to);
+
+  // Pool coverage over all resources for statistical mass.
+  double covered = 0.0;
+  double total = 0.0;
+  for (const auto& [key, estimate] : estimates) {
+    const auto actual = fixture.metrics.Series(key, from, to);
+    covered += IntervalCoverage(estimate, actual) * static_cast<double>(actual.size());
+    total += static_cast<double>(actual.size());
+  }
+  const double coverage = covered / total;
+  // The interval heads are quantile estimates on finite noisy data: allow a
+  // generous band around the nominal level, but they must track it.
+  EXPECT_GT(coverage, delta - 0.22) << "delta=" << delta;
+  EXPECT_GT(coverage, 0.35);
+  if (delta <= 0.6) {
+    EXPECT_LT(coverage, 0.995) << "narrow interval should not cover everything";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Confidence, DeltaSweep, ::testing::Values(0.5, 0.8, 0.95));
+
+// ---- Query-duration sweep: "queries of any duration" (paper section 4.2) ----
+
+class DurationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DurationSweep, VariableLengthQueriesSupported) {
+  const size_t duration = static_cast<size_t>(GetParam());
+  Fixture fixture(11);
+  EstimatorConfig config;
+  config.hidden_dim = 8;
+  config.epochs = 6;
+  config.bptt_chunk = 24;
+  DeepRestEstimator estimator(config);
+  estimator.Learn(fixture.traces, fixture.metrics, 0, fixture.learn_windows,
+                  fixture.app.MetricCatalog());
+  TrafficSeries query({"/read", "/write"}, duration);
+  for (size_t w = 0; w < duration; ++w) {
+    query.set_rate(w, 0, 40.0);
+    query.set_rate(w, 1, 20.0);
+  }
+  const EstimateMap estimates = estimator.EstimateFromTraffic(query, 3);
+  for (const auto& [key, estimate] : estimates) {
+    EXPECT_EQ(estimate.expected.size(), duration) << key.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Durations, DurationSweep, ::testing::Values(1, 7, 30, 120));
+
+}  // namespace
+}  // namespace deeprest

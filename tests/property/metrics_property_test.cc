@@ -1,0 +1,163 @@
+// Parameterized property checks for the evaluation metrics and the sanity
+// scorer: invariances that must hold for arbitrary inputs.
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/core/sanity.h"
+#include "src/eval/metrics.h"
+#include "src/nn/rng.h"
+
+namespace deeprest {
+namespace {
+
+// ---- MAPE invariances across random series ----
+
+class MapePropertySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MapePropertySweep, NonNegativeAndZeroOnlyAtEquality) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<double> actual;
+  std::vector<double> pred;
+  for (int i = 0; i < 50; ++i) {
+    actual.push_back(rng.Uniform(1.0, 100.0));
+    pred.push_back(rng.Uniform(1.0, 100.0));
+  }
+  EXPECT_GE(Mape(pred, actual), 0.0);
+  EXPECT_DOUBLE_EQ(Mape(actual, actual), 0.0);
+}
+
+TEST_P(MapePropertySweep, ScaleInvariant) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 100);
+  std::vector<double> actual;
+  std::vector<double> pred;
+  for (int i = 0; i < 50; ++i) {
+    actual.push_back(rng.Uniform(1.0, 100.0));
+    pred.push_back(rng.Uniform(1.0, 100.0));
+  }
+  std::vector<double> actual_scaled;
+  std::vector<double> pred_scaled;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    actual_scaled.push_back(actual[i] * 7.5);
+    pred_scaled.push_back(pred[i] * 7.5);
+  }
+  EXPECT_NEAR(Mape(pred, actual), Mape(pred_scaled, actual_scaled), 1e-9);
+}
+
+TEST_P(MapePropertySweep, WorseningPredictionNeverLowersError) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 200);
+  std::vector<double> actual;
+  std::vector<double> pred;
+  for (int i = 0; i < 50; ++i) {
+    actual.push_back(rng.Uniform(10.0, 100.0));
+    pred.push_back(actual.back());
+  }
+  double previous = Mape(pred, actual);
+  for (int step = 0; step < 5; ++step) {
+    for (auto& p : pred) {
+      p += 5.0;  // move everything further above the actuals
+    }
+    const double current = Mape(pred, actual);
+    EXPECT_GE(current, previous);
+    previous = current;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapePropertySweep, ::testing::Values(1, 2, 3, 4));
+
+// ---- Synthesis quality bounds across block sizes ----
+
+class SynthesisBlockSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SynthesisBlockSweep, BoundedAndMaximalAtIdentity) {
+  const size_t block = static_cast<size_t>(GetParam());
+  Rng rng(9);
+  std::vector<std::vector<float>> real;
+  std::vector<std::vector<float>> synth;
+  for (int w = 0; w < 32; ++w) {
+    std::vector<float> row_real;
+    std::vector<float> row_synth;
+    for (int d = 0; d < 10; ++d) {
+      row_real.push_back(static_cast<float>(rng.NextPoisson(8.0)));
+      row_synth.push_back(static_cast<float>(rng.NextPoisson(8.0)));
+    }
+    real.push_back(row_real);
+    synth.push_back(row_synth);
+  }
+  const double quality = SynthesisQuality(synth, real, block);
+  EXPECT_LE(quality, 100.0);
+  EXPECT_GE(quality, 0.0);
+  EXPECT_NEAR(SynthesisQuality(real, real, block), 100.0, 1e-9);
+}
+
+TEST_P(SynthesisBlockSweep, LargerBlocksAbsorbSamplingNoise) {
+  // With identical generating distributions, aggregating more windows per
+  // block averages out Poisson noise, so quality should not decrease.
+  const size_t block = static_cast<size_t>(GetParam());
+  if (block >= 16) {
+    GTEST_SKIP() << "comparison needs a larger block to compare against";
+  }
+  Rng rng(10);
+  std::vector<std::vector<float>> real;
+  std::vector<std::vector<float>> synth;
+  for (int w = 0; w < 64; ++w) {
+    std::vector<float> row_real;
+    std::vector<float> row_synth;
+    for (int d = 0; d < 8; ++d) {
+      row_real.push_back(static_cast<float>(rng.NextPoisson(6.0)));
+      row_synth.push_back(static_cast<float>(rng.NextPoisson(6.0)));
+    }
+    real.push_back(row_real);
+    synth.push_back(row_synth);
+  }
+  EXPECT_GE(SynthesisQuality(synth, real, block * 4) + 1.0,
+            SynthesisQuality(synth, real, block));
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, SynthesisBlockSweep, ::testing::Values(1, 2, 4, 8, 16));
+
+// ---- Sanity scores across interval widths ----
+
+class IntervalWidthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(IntervalWidthSweep, ZeroInsidePositiveOutside) {
+  const double width = GetParam();
+  ResourceEstimate estimate;
+  const size_t n = 16;
+  for (size_t t = 0; t < n; ++t) {
+    estimate.expected.push_back(50.0);
+    estimate.lower.push_back(50.0 - width / 2.0);
+    estimate.upper.push_back(50.0 + width / 2.0);
+  }
+  // Inside.
+  std::vector<double> inside(n, 50.0 + width / 4.0);
+  for (double s : SanityChecker::ResourceScores(estimate, inside)) {
+    EXPECT_DOUBLE_EQ(s, 0.0);
+  }
+  // Outside, above.
+  std::vector<double> outside(n, 50.0 + width);
+  for (double s : SanityChecker::ResourceScores(estimate, outside)) {
+    EXPECT_GT(s, 0.0);
+  }
+}
+
+TEST_P(IntervalWidthSweep, ScoreMonotoneInExcursion) {
+  const double width = GetParam();
+  ResourceEstimate estimate;
+  estimate.expected = {50.0};
+  estimate.lower = {50.0 - width / 2.0};
+  estimate.upper = {50.0 + width / 2.0};
+  double previous = 0.0;
+  for (double excursion = 0.0; excursion < 200.0; excursion += 20.0) {
+    const auto scores =
+        SanityChecker::ResourceScores(estimate, {50.0 + width / 2.0 + excursion});
+    EXPECT_GE(scores[0], previous);
+    previous = scores[0];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, IntervalWidthSweep,
+                         ::testing::Values(0.5, 2.0, 10.0, 40.0));
+
+}  // namespace
+}  // namespace deeprest

@@ -1,0 +1,183 @@
+// Parameterized invariant sweeps over the simulator: across both benchmark
+// applications, traffic shapes, and seeds, the produced telemetry must obey
+// physical constraints and the trace structure must stay well-formed.
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulator.h"
+
+namespace deeprest {
+namespace {
+
+enum class WhichApp { kSocial, kHotel };
+
+Application MakeApp(WhichApp which) {
+  return which == WhichApp::kSocial ? BuildSocialNetworkApp() : BuildHotelReservationApp();
+}
+
+TrafficSpec SpecFor(WhichApp which, ShapeKind shape) {
+  TrafficSpec spec;
+  spec.days = 1;
+  spec.windows_per_day = 24;
+  spec.shape = shape;
+  spec.base_requests_per_window = 80.0;
+  if (which == WhichApp::kSocial) {
+    spec.mix = {{"/composePost", 0.25}, {"/readTimeline", 0.40}, {"/uploadMedia", 0.10},
+                {"/getMedia", 0.15},    {"/login", 0.10}};
+  } else {
+    spec.mix = {{"/searchHotels", 0.55}, {"/recommend", 0.20}, {"/reserve", 0.10},
+                {"/login", 0.15}};
+  }
+  return spec;
+}
+
+class SimInvariantSweep
+    : public ::testing::TestWithParam<std::tuple<WhichApp, ShapeKind, int>> {};
+
+TEST_P(SimInvariantSweep, MetricsObeyPhysicalConstraints) {
+  const auto [which, shape, seed] = GetParam();
+  const Application app = MakeApp(which);
+  Simulator sim(app, {.seed = static_cast<uint64_t>(seed)});
+  Rng rng(static_cast<uint64_t>(seed) + 1000);
+  const TrafficSeries traffic = GenerateTraffic(SpecFor(which, shape), rng);
+  MetricsStore metrics;
+  sim.Run(traffic, 0, nullptr, &metrics);
+
+  for (const auto& key : app.MetricCatalog()) {
+    const auto series = metrics.Series(key, 0, traffic.windows());
+    double previous_disk = 0.0;
+    for (size_t w = 0; w < series.size(); ++w) {
+      switch (key.resource) {
+        case ResourceKind::kCpu:
+          EXPECT_GE(series[w], 0.0) << key.ToString() << " @" << w;
+          EXPECT_LE(series[w], 100.0) << key.ToString() << " @" << w;
+          break;
+        case ResourceKind::kMemory:
+          EXPECT_GT(series[w], 0.0) << key.ToString() << " @" << w;
+          break;
+        case ResourceKind::kWriteIops:
+        case ResourceKind::kWriteThroughput:
+          EXPECT_GE(series[w], 0.0) << key.ToString() << " @" << w;
+          break;
+        case ResourceKind::kDiskUsage:
+          EXPECT_GE(series[w], previous_disk) << key.ToString() << " @" << w;
+          previous_disk = series[w];
+          break;
+      }
+    }
+  }
+}
+
+TEST_P(SimInvariantSweep, TracesAreWellFormed) {
+  const auto [which, shape, seed] = GetParam();
+  const Application app = MakeApp(which);
+  Simulator sim(app, {.seed = static_cast<uint64_t>(seed)});
+  Rng rng(static_cast<uint64_t>(seed) + 2000);
+  const TrafficSeries traffic = GenerateTraffic(SpecFor(which, shape), rng);
+  TraceCollector traces;
+  sim.Run(traffic, 0, &traces, nullptr);
+  ASSERT_GT(traces.total_traces(), 0u);
+
+  std::set<std::string> known_components;
+  for (const auto& component : app.components()) {
+    known_components.insert(component.name);
+  }
+  for (size_t w = 0; w < traces.window_count(); ++w) {
+    for (const Trace& trace : traces.TracesAt(w)) {
+      ASSERT_FALSE(trace.empty());
+      // Root has no parent; every other span's parent precedes it.
+      EXPECT_EQ(trace.spans()[0].parent, kNoParent);
+      for (SpanIndex s = 1; s < trace.size(); ++s) {
+        EXPECT_LT(trace.spans()[s].parent, s);
+      }
+      // Every span names a declared component.
+      for (const Span& span : trace.spans()) {
+        EXPECT_TRUE(known_components.count(span.component)) << span.component;
+      }
+      // The root operation matches the API's entry template.
+      const ApiEndpoint* api = app.FindApi(trace.api_name());
+      ASSERT_NE(api, nullptr) << trace.api_name();
+      EXPECT_EQ(trace.root().component, api->root.component);
+      EXPECT_EQ(trace.root().operation, api->root.operation);
+    }
+  }
+}
+
+TEST_P(SimInvariantSweep, RunsAreDeterministicPerSeed) {
+  const auto [which, shape, seed] = GetParam();
+  const Application app = MakeApp(which);
+  Rng rng_a(static_cast<uint64_t>(seed) + 3000);
+  Rng rng_b(static_cast<uint64_t>(seed) + 3000);
+  const TrafficSeries traffic_a = GenerateTraffic(SpecFor(which, shape), rng_a);
+  const TrafficSeries traffic_b = GenerateTraffic(SpecFor(which, shape), rng_b);
+  Simulator sim_a(app, {.seed = static_cast<uint64_t>(seed)});
+  Simulator sim_b(app, {.seed = static_cast<uint64_t>(seed)});
+  MetricsStore m_a;
+  MetricsStore m_b;
+  TraceCollector t_a;
+  TraceCollector t_b;
+  sim_a.Run(traffic_a, 0, &t_a, &m_a);
+  sim_b.Run(traffic_b, 0, &t_b, &m_b);
+  EXPECT_EQ(t_a.total_traces(), t_b.total_traces());
+  for (const auto& key : app.MetricCatalog()) {
+    for (size_t w = 0; w < traffic_a.windows(); ++w) {
+      ASSERT_DOUBLE_EQ(m_a.At(key, w), m_b.At(key, w)) << key.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsShapesSeeds, SimInvariantSweep,
+    ::testing::Combine(::testing::Values(WhichApp::kSocial, WhichApp::kHotel),
+                       ::testing::Values(ShapeKind::kTwoPeak, ShapeKind::kFlat),
+                       ::testing::Values(1, 7)));
+
+// ---- Traffic generator invariants over shapes and resolutions ----
+
+class TrafficShapeSweep
+    : public ::testing::TestWithParam<std::tuple<ShapeKind, int>> {};
+
+TEST_P(TrafficShapeSweep, ProfileNormalizedAndPositive) {
+  const auto [shape, windows_per_day] = GetParam();
+  const auto profile = ShapeProfile(shape, static_cast<size_t>(windows_per_day));
+  ASSERT_EQ(profile.size(), static_cast<size_t>(windows_per_day));
+  double mean = 0.0;
+  for (double v : profile) {
+    EXPECT_GT(v, 0.0);
+    mean += v;
+  }
+  EXPECT_NEAR(mean / profile.size(), 1.0, 1e-9);
+}
+
+TEST_P(TrafficShapeSweep, GeneratedRatesNonNegativeAndScaleLinear) {
+  const auto [shape, windows_per_day] = GetParam();
+  TrafficSpec spec;
+  spec.days = 2;
+  spec.windows_per_day = static_cast<size_t>(windows_per_day);
+  spec.shape = shape;
+  spec.mix = {{"/a", 1.0}, {"/b", 2.0}};
+  spec.day_jitter = 0.0;
+  spec.window_jitter = 0.0;
+  Rng rng_1(5);
+  Rng rng_2(5);
+  const TrafficSeries base = GenerateTraffic(spec, rng_1);
+  spec.user_scale = 4.0;
+  const TrafficSeries scaled = GenerateTraffic(spec, rng_2);
+  for (size_t w = 0; w < base.windows(); ++w) {
+    for (size_t a = 0; a < base.api_count(); ++a) {
+      EXPECT_GE(base.rate(w, a), 0.0);
+      EXPECT_NEAR(scaled.rate(w, a), 4.0 * base.rate(w, a), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesResolutions, TrafficShapeSweep,
+    ::testing::Combine(::testing::Values(ShapeKind::kTwoPeak, ShapeKind::kFlat,
+                                         ShapeKind::kSinglePeak),
+                       ::testing::Values(12, 48, 96)));
+
+}  // namespace
+}  // namespace deeprest

@@ -1,0 +1,304 @@
+#include "src/sim/app.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace deeprest {
+namespace {
+
+TEST(ApplicationTest, AddAndFindComponents) {
+  Application app("test");
+  ComponentSpec spec;
+  spec.name = "A";
+  app.AddComponent(spec);
+  EXPECT_NE(app.FindComponent("A"), nullptr);
+  EXPECT_EQ(app.FindComponent("B"), nullptr);
+}
+
+TEST(ApplicationTest, MetricCatalogShape) {
+  Application app("test");
+  ComponentSpec stateless;
+  stateless.name = "S";
+  app.AddComponent(stateless);
+  ComponentSpec stateful;
+  stateful.name = "DB";
+  stateful.stateful = true;
+  app.AddComponent(stateful);
+  const auto catalog = app.MetricCatalog();
+  // 2 (cpu+mem) + 5 (cpu+mem+iops+thr+disk).
+  EXPECT_EQ(catalog.size(), 7u);
+}
+
+TEST(ApplicationTest, ValidateCatchesUnknownComponent) {
+  Application app("test");
+  ComponentSpec spec;
+  spec.name = "A";
+  app.AddComponent(spec);
+  ApiEndpoint api;
+  api.name = "/x";
+  api.root = OpNode{"Missing", "op", 1.0, "", {}, {}};
+  app.AddApi(api);
+  EXPECT_NE(app.Validate().find("unknown component"), std::string::npos);
+}
+
+TEST(ApplicationTest, ValidateCatchesBadProbability) {
+  Application app("test");
+  ComponentSpec spec;
+  spec.name = "A";
+  app.AddComponent(spec);
+  ApiEndpoint api;
+  api.name = "/x";
+  api.root = OpNode{"A", "op", 1.5, "", {}, {}};
+  app.AddApi(api);
+  EXPECT_NE(app.Validate().find("probability"), std::string::npos);
+}
+
+TEST(ApplicationTest, ValidateCatchesStatefulCostOnStatelessComponent) {
+  Application app("test");
+  ComponentSpec spec;
+  spec.name = "A";
+  app.AddComponent(spec);
+  ApiEndpoint api;
+  api.name = "/x";
+  CostTerm bad;
+  bad.resource = ResourceKind::kWriteIops;
+  bad.base = 1.0;
+  api.root = OpNode{"A", "op", 1.0, "", {bad}, {}};
+  app.AddApi(api);
+  EXPECT_NE(app.Validate().find("stateless"), std::string::npos);
+}
+
+// ---- Social network application (paper Fig. 1) ----
+
+TEST(SocialNetworkAppTest, ComponentInventoryMatchesPaper) {
+  const Application app = BuildSocialNetworkApp();
+  size_t stateless = 0;
+  size_t stateful = 0;
+  for (const auto& c : app.components()) {
+    (c.stateful ? stateful : stateless)++;
+  }
+  EXPECT_EQ(stateless, 23u);
+  EXPECT_EQ(stateful, 6u);
+  EXPECT_EQ(app.components().size(), 29u);
+}
+
+TEST(SocialNetworkAppTest, ElevenApiEndpoints) {
+  const Application app = BuildSocialNetworkApp();
+  EXPECT_EQ(app.apis().size(), 11u);
+  std::set<std::string> names;
+  for (const auto& api : app.apis()) {
+    names.insert(api.name);
+  }
+  EXPECT_EQ(names.size(), 11u);  // distinct
+  EXPECT_TRUE(names.count("/composePost"));
+  EXPECT_TRUE(names.count("/readTimeline"));
+  EXPECT_TRUE(names.count("/uploadMedia"));
+}
+
+TEST(SocialNetworkAppTest, SeventySixResources) {
+  // Paper section 5.1: 76 resources in 29 components.
+  const Application app = BuildSocialNetworkApp();
+  EXPECT_EQ(app.MetricCatalog().size(), 76u);
+}
+
+TEST(SocialNetworkAppTest, ValidatesCleanly) {
+  const Application app = BuildSocialNetworkApp();
+  EXPECT_EQ(app.Validate(), "");
+}
+
+TEST(SocialNetworkAppTest, ReadTimelineAvoidsComposePostService) {
+  // The core causal fact behind paper Fig. 11.
+  const Application app = BuildSocialNetworkApp();
+  const ApiEndpoint* api = app.FindApi("/readTimeline");
+  ASSERT_NE(api, nullptr);
+  std::function<bool(const OpNode&)> touches = [&](const OpNode& node) {
+    if (node.component == "ComposePostService") {
+      return true;
+    }
+    for (const auto& child : node.children) {
+      if (touches(child)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_FALSE(touches(api->root));
+}
+
+TEST(SocialNetworkAppTest, ReadTimelineNeverWritesPostStorage) {
+  const Application app = BuildSocialNetworkApp();
+  const ApiEndpoint* api = app.FindApi("/readTimeline");
+  ASSERT_NE(api, nullptr);
+  std::function<bool(const OpNode&)> writes = [&](const OpNode& node) {
+    if (node.component == "PostStorageMongoDB") {
+      for (const auto& cost : node.costs) {
+        if (cost.resource == ResourceKind::kWriteIops ||
+            cost.resource == ResourceKind::kWriteThroughput ||
+            cost.resource == ResourceKind::kDiskUsage) {
+          return true;
+        }
+      }
+    }
+    for (const auto& child : node.children) {
+      if (writes(child)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_FALSE(writes(api->root));
+}
+
+TEST(SocialNetworkAppTest, ComposePostWritesPostStorage) {
+  const Application app = BuildSocialNetworkApp();
+  const ApiEndpoint* api = app.FindApi("/composePost");
+  ASSERT_NE(api, nullptr);
+  std::function<bool(const OpNode&)> writes = [&](const OpNode& node) {
+    if (node.component == "PostStorageMongoDB") {
+      for (const auto& cost : node.costs) {
+        if (cost.resource == ResourceKind::kWriteIops) {
+          return true;
+        }
+      }
+    }
+    for (const auto& child : node.children) {
+      if (writes(child)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(writes(api->root));
+}
+
+TEST(SocialNetworkAppTest, DeterministicAttributeSamplers) {
+  const Application app = BuildSocialNetworkApp(/*seed=*/42);
+  const ApiEndpoint* api = app.FindApi("/composePost");
+  ASSERT_NE(api, nullptr);
+  Rng rng_a(1);
+  Rng rng_b(1);
+  for (const auto& [name, sampler] : api->attributes) {
+    EXPECT_DOUBLE_EQ(sampler(rng_a), sampler(rng_b)) << name;
+  }
+}
+
+// ---- Hotel reservation application (paper Fig. 7) ----
+
+TEST(HotelAppTest, ComponentInventoryMatchesPaper) {
+  const Application app = BuildHotelReservationApp();
+  size_t stateless = 0;
+  size_t stateful = 0;
+  for (const auto& c : app.components()) {
+    (c.stateful ? stateful : stateless)++;
+  }
+  EXPECT_EQ(stateless, 12u);
+  EXPECT_EQ(stateful, 6u);
+}
+
+TEST(HotelAppTest, FourApiEndpoints) {
+  const Application app = BuildHotelReservationApp();
+  EXPECT_EQ(app.apis().size(), 4u);
+  EXPECT_NE(app.FindApi("/searchHotels"), nullptr);
+  EXPECT_NE(app.FindApi("/recommend"), nullptr);
+  EXPECT_NE(app.FindApi("/reserve"), nullptr);
+  EXPECT_NE(app.FindApi("/login"), nullptr);
+}
+
+TEST(HotelAppTest, FiftyFourResources) {
+  // Paper section 5.1: 54 resources in 18 components.
+  const Application app = BuildHotelReservationApp();
+  EXPECT_EQ(app.MetricCatalog().size(), 54u);
+}
+
+TEST(HotelAppTest, ValidatesCleanly) {
+  const Application app = BuildHotelReservationApp();
+  EXPECT_EQ(app.Validate(), "");
+}
+
+TEST(HotelAppTest, AllApisEnterThroughFrontend) {
+  const Application app = BuildHotelReservationApp();
+  for (const auto& api : app.apis()) {
+    EXPECT_EQ(api.root.component, "FrontendService") << api.name;
+  }
+}
+
+TEST(HotelAppTest, OnlyReserveWritesReservationDb) {
+  const Application app = BuildHotelReservationApp();
+  std::function<bool(const OpNode&)> writes_reservation = [&](const OpNode& node) {
+    if (node.component == "ReservationMongoDB") {
+      for (const auto& cost : node.costs) {
+        if (cost.resource == ResourceKind::kWriteIops) {
+          return true;
+        }
+      }
+    }
+    for (const auto& child : node.children) {
+      if (writes_reservation(child)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const auto& api : app.apis()) {
+    EXPECT_EQ(writes_reservation(api.root), api.name == "/reserve") << api.name;
+  }
+}
+
+TEST(HotelAppTest, SearchTouchesGeoRateAndProfile) {
+  const Application app = BuildHotelReservationApp();
+  const ApiEndpoint* api = app.FindApi("/searchHotels");
+  ASSERT_NE(api, nullptr);
+  std::set<std::string> touched;
+  std::function<void(const OpNode&)> walk = [&](const OpNode& node) {
+    touched.insert(node.component);
+    for (const auto& child : node.children) {
+      walk(child);
+    }
+  };
+  walk(api->root);
+  EXPECT_TRUE(touched.count("GeoService"));
+  EXPECT_TRUE(touched.count("RateService"));
+  EXPECT_TRUE(touched.count("ProfileService"));
+  EXPECT_FALSE(touched.count("ReservationService"));
+  EXPECT_FALSE(touched.count("RecommendService"));
+}
+
+TEST(SocialNetworkAppTest, EveryComponentIsReachableFromSomeApi) {
+  // No dead components: each declared component appears in at least one API
+  // template (otherwise its metrics would be pure baseline noise).
+  const Application app = BuildSocialNetworkApp();
+  std::set<std::string> reachable;
+  std::function<void(const OpNode&)> walk = [&](const OpNode& node) {
+    reachable.insert(node.component);
+    for (const auto& child : node.children) {
+      walk(child);
+    }
+  };
+  for (const auto& api : app.apis()) {
+    walk(api.root);
+  }
+  for (const auto& component : app.components()) {
+    EXPECT_TRUE(reachable.count(component.name)) << component.name << " is never invoked";
+  }
+}
+
+TEST(HotelAppTest, EveryComponentIsReachableFromSomeApi) {
+  const Application app = BuildHotelReservationApp();
+  std::set<std::string> reachable;
+  std::function<void(const OpNode&)> walk = [&](const OpNode& node) {
+    reachable.insert(node.component);
+    for (const auto& child : node.children) {
+      walk(child);
+    }
+  };
+  for (const auto& api : app.apis()) {
+    walk(api.root);
+  }
+  for (const auto& component : app.components()) {
+    EXPECT_TRUE(reachable.count(component.name)) << component.name << " is never invoked";
+  }
+}
+
+}  // namespace
+}  // namespace deeprest

@@ -1,0 +1,273 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace deeprest {
+namespace {
+
+// Single-API traffic at a constant rate for `windows` windows.
+TrafficSeries ConstantTraffic(const std::string& api, double rate, size_t windows) {
+  TrafficSeries series({api}, windows);
+  for (size_t w = 0; w < windows; ++w) {
+    series.set_rate(w, 0, rate);
+  }
+  return series;
+}
+
+TEST(SimulatorTest, ProducesTracesAndMetrics) {
+  const Application app = BuildSocialNetworkApp();
+  Simulator sim(app, {.seed = 1});
+  TraceCollector traces;
+  MetricsStore metrics;
+  sim.Run(ConstantTraffic("/composePost", 20.0, 5), 0, &traces, &metrics);
+  EXPECT_EQ(traces.window_count(), 5u);
+  EXPECT_GT(traces.total_traces(), 50u);
+  EXPECT_EQ(metrics.window_count(), 5u);
+  // Every catalog resource has been recorded.
+  for (const auto& key : app.MetricCatalog()) {
+    EXPECT_TRUE(metrics.Has(key)) << key.ToString();
+  }
+}
+
+TEST(SimulatorTest, DeterministicForSeed) {
+  const Application app = BuildSocialNetworkApp();
+  MetricsStore m1;
+  MetricsStore m2;
+  TraceCollector t1;
+  TraceCollector t2;
+  Simulator sim1(app, {.seed = 9});
+  Simulator sim2(app, {.seed = 9});
+  const TrafficSeries traffic = ConstantTraffic("/composePost", 15.0, 4);
+  sim1.Run(traffic, 0, &t1, &m1);
+  sim2.Run(traffic, 0, &t2, &m2);
+  EXPECT_EQ(t1.total_traces(), t2.total_traces());
+  for (const auto& key : app.MetricCatalog()) {
+    for (size_t w = 0; w < 4; ++w) {
+      EXPECT_DOUBLE_EQ(m1.At(key, w), m2.At(key, w)) << key.ToString();
+    }
+  }
+}
+
+TEST(SimulatorTest, TraceRootIsFrontend) {
+  const Application app = BuildSocialNetworkApp();
+  Simulator sim(app, {.seed = 2});
+  TraceCollector traces;
+  sim.Run(ConstantTraffic("/readTimeline", 10.0, 1), 0, &traces, nullptr);
+  for (const Trace& t : traces.TracesAt(0)) {
+    EXPECT_EQ(t.root().component, "FrontendNGINX");
+    EXPECT_EQ(t.root().operation, "readTimeline");
+    EXPECT_EQ(t.api_name(), "/readTimeline");
+  }
+}
+
+TEST(SimulatorTest, ReadTimelineLeavesComposePostServiceIdle) {
+  // Paper Fig. 11b: pure /readTimeline traffic must not move
+  // ComposePostService CPU beyond its baseline.
+  const Application app = BuildSocialNetworkApp();
+  Simulator sim(app, {.seed = 3});
+  MetricsStore metrics;
+  sim.Run(ConstantTraffic("/readTimeline", 120.0, 10), 0, nullptr, &metrics);
+  const ComponentSpec* compose = app.FindComponent("ComposePostService");
+  for (size_t w = 0; w < 10; ++w) {
+    const double cpu = metrics.At({"ComposePostService", ResourceKind::kCpu}, w);
+    EXPECT_LT(cpu, compose->cpu_baseline * 1.3);
+  }
+  // But the frontend is busy.
+  EXPECT_GT(metrics.At({"FrontendNGINX", ResourceKind::kCpu}, 5), 6.0);
+}
+
+TEST(SimulatorTest, ReadTimelineIncursNoPostStorageWrites) {
+  // Paper Fig. 11c: /readTimeline performs no writes on PostStorageMongoDB.
+  const Application app = BuildSocialNetworkApp();
+  Simulator sim(app, {.seed = 4});
+  MetricsStore metrics;
+  sim.Run(ConstantTraffic("/readTimeline", 120.0, 10), 0, nullptr, &metrics);
+  const ComponentSpec* db = app.FindComponent("PostStorageMongoDB");
+  for (size_t w = 0; w < 10; ++w) {
+    const double iops = metrics.At({"PostStorageMongoDB", ResourceKind::kWriteIops}, w);
+    // Only background churn remains (write_noise_ops with 30% jitter).
+    EXPECT_LT(iops, db->write_noise_ops * 3.0);
+  }
+  // While its CPU is clearly busy serving reads (cache misses).
+  EXPECT_GT(metrics.At({"PostStorageMongoDB", ResourceKind::kCpu}, 8), 4.0);
+}
+
+TEST(SimulatorTest, ComposePostDrivesPostStorageWritePath) {
+  const Application app = BuildSocialNetworkApp();
+  Simulator sim(app, {.seed = 5});
+  MetricsStore metrics;
+  sim.Run(ConstantTraffic("/composePost", 60.0, 10), 0, nullptr, &metrics);
+  EXPECT_GT(metrics.At({"PostStorageMongoDB", ResourceKind::kWriteIops}, 5), 40.0);
+  EXPECT_GT(metrics.At({"PostStorageMongoDB", ResourceKind::kWriteThroughput}, 5), 40.0);
+  EXPECT_GT(metrics.At({"ComposePostService", ResourceKind::kCpu}, 5), 6.0);
+}
+
+TEST(SimulatorTest, DiskUsageIsMonotonic) {
+  const Application app = BuildSocialNetworkApp();
+  Simulator sim(app, {.seed = 6});
+  MetricsStore metrics;
+  sim.Run(ConstantTraffic("/composePost", 40.0, 20), 0, nullptr, &metrics);
+  double prev = 0.0;
+  for (size_t w = 0; w < 20; ++w) {
+    const double disk = metrics.At({"PostStorageMongoDB", ResourceKind::kDiskUsage}, w);
+    EXPECT_GE(disk, prev);
+    prev = disk;
+  }
+  // Starts from the initial dataset and actually grows.
+  EXPECT_GT(prev, 900.0);
+}
+
+TEST(SimulatorTest, UploadMediaGrowsMediaDiskFasterThanOthers) {
+  const Application app = BuildSocialNetworkApp();
+  Simulator sim(app, {.seed = 7});
+  MetricsStore metrics;
+  sim.Run(ConstantTraffic("/uploadMedia", 30.0, 10), 0, nullptr, &metrics);
+  const double media_growth =
+      metrics.At({"MediaMongoDB", ResourceKind::kDiskUsage}, 9) -
+      metrics.At({"MediaMongoDB", ResourceKind::kDiskUsage}, 0);
+  const double user_growth =
+      metrics.At({"UserMongoDB", ResourceKind::kDiskUsage}, 9) -
+      metrics.At({"UserMongoDB", ResourceKind::kDiskUsage}, 0);
+  EXPECT_GT(media_growth, 20.0 * std::max(user_growth, 0.001));
+}
+
+TEST(SimulatorTest, CacheWarmthRisesUnderReadLoad) {
+  const Application app = BuildSocialNetworkApp();
+  Simulator sim(app, {.seed = 8});
+  EXPECT_DOUBLE_EQ(sim.CacheWarmth("PostStorageMemcached"), 0.0);
+  sim.Run(ConstantTraffic("/readTimeline", 100.0, 15), 0, nullptr, nullptr);
+  EXPECT_GT(sim.CacheWarmth("PostStorageMemcached"), 0.4);
+}
+
+TEST(SimulatorTest, GatedBranchesAppearInSomeTracesOnly) {
+  const Application app = BuildSocialNetworkApp();
+  Simulator sim(app, {.seed = 9});
+  TraceCollector traces;
+  sim.Run(ConstantTraffic("/composePost", 80.0, 3), 0, &traces, nullptr);
+  size_t with_media = 0;
+  size_t total = 0;
+  for (size_t w = 0; w < 3; ++w) {
+    for (const Trace& t : traces.TracesAt(w)) {
+      ++total;
+      for (const Span& s : t.spans()) {
+        if (s.component == "MediaService") {
+          ++with_media;
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_GT(total, 100u);
+  const double frac = static_cast<double>(with_media) / static_cast<double>(total);
+  EXPECT_GT(frac, 0.15);  // has_media ~ Bernoulli(0.25)
+  EXPECT_LT(frac, 0.35);
+}
+
+TEST(SimulatorTest, CryptojackingRaisesCpuWithoutTraces) {
+  const Application app = BuildSocialNetworkApp();
+  Simulator clean_sim(app, {.seed = 10, .noise_frac = 0.0});
+  Simulator attacked_sim(app, {.seed = 10, .noise_frac = 0.0});
+  AttackSpec attack;
+  attack.kind = AttackSpec::Kind::kCryptojacking;
+  attack.component = "PostStorageMongoDB";
+  attack.start_window = 5;
+  attack.end_window = 10;
+  attacked_sim.AddAttack(attack);
+
+  const TrafficSeries traffic = ConstantTraffic("/readTimeline", 50.0, 10);
+  MetricsStore clean;
+  MetricsStore attacked;
+  TraceCollector clean_traces;
+  TraceCollector attacked_traces;
+  clean_sim.Run(traffic, 0, &clean_traces, &clean);
+  attacked_sim.Run(traffic, 0, &attacked_traces, &attacked);
+
+  // Identical traces (same seed, attack adds none).
+  EXPECT_EQ(clean_traces.total_traces(), attacked_traces.total_traces());
+  // CPU identical before the attack, elevated by ~45 points during it.
+  const MetricKey cpu{"PostStorageMongoDB", ResourceKind::kCpu};
+  EXPECT_NEAR(attacked.At(cpu, 2), clean.At(cpu, 2), 1e-9);
+  EXPECT_GT(attacked.At(cpu, 7), clean.At(cpu, 7) + 30.0);
+}
+
+TEST(SimulatorTest, RansomwareRaisesWriteThroughputAndIops) {
+  const Application app = BuildSocialNetworkApp();
+  Simulator sim(app, {.seed = 11, .noise_frac = 0.0});
+  AttackSpec attack;
+  attack.kind = AttackSpec::Kind::kRansomware;
+  attack.component = "PostStorageMongoDB";
+  attack.start_window = 3;
+  attack.end_window = 6;
+  sim.AddAttack(attack);
+  MetricsStore metrics;
+  sim.Run(ConstantTraffic("/readTimeline", 50.0, 8), 0, nullptr, &metrics);
+  const MetricKey thr{"PostStorageMongoDB", ResourceKind::kWriteThroughput};
+  const MetricKey iops{"PostStorageMongoDB", ResourceKind::kWriteIops};
+  EXPECT_GT(metrics.At(thr, 4), 50.0 * std::max(metrics.At(thr, 1), 1.0));
+  EXPECT_GT(metrics.At(iops, 4), metrics.At(iops, 1) + 30.0);
+}
+
+TEST(SimulatorTest, OffsetPlacesWindowsCorrectly) {
+  const Application app = BuildSocialNetworkApp();
+  Simulator sim(app, {.seed = 12});
+  TraceCollector traces;
+  MetricsStore metrics;
+  sim.Run(ConstantTraffic("/login", 5.0, 3), 10, &traces, &metrics);
+  EXPECT_TRUE(traces.TracesAt(0).empty());
+  EXPECT_FALSE(traces.TracesAt(11).empty());
+  EXPECT_EQ(metrics.window_count(), 13u);
+}
+
+TEST(SimulatorTest, QueueingAmplifiesHighLoadSuperlinearly) {
+  // Doubling already-heavy traffic more than doubles CPU-above-baseline on a
+  // component past its queueing knee.
+  Application app("queue_test");
+  ComponentSpec spec;
+  spec.name = "Svc";
+  spec.cpu_baseline = 0.0;
+  spec.queue_knee = 20.0;
+  spec.queue_gain = 0.02;
+  app.AddComponent(spec);
+  ApiEndpoint api;
+  api.name = "/x";
+  CostTerm cost;
+  cost.resource = ResourceKind::kCpu;
+  cost.base = 0.2;
+  api.root = OpNode{"Svc", "op", 1.0, "", {cost}, {}};
+  app.AddApi(api);
+
+  MetricsStore low;
+  MetricsStore high;
+  Simulator sim_low(app, {.seed = 13, .noise_frac = 0.0});
+  Simulator sim_high(app, {.seed = 13, .noise_frac = 0.0});
+  sim_low.Run(ConstantTraffic("/x", 100.0, 6), 0, nullptr, &low);   // ~20 pts
+  sim_high.Run(ConstantTraffic("/x", 200.0, 6), 0, nullptr, &high);  // ~40 pts + queue
+  double low_mean = 0.0;
+  double high_mean = 0.0;
+  for (size_t w = 0; w < 6; ++w) {
+    low_mean += low.At({"Svc", ResourceKind::kCpu}, w);
+    high_mean += high.At({"Svc", ResourceKind::kCpu}, w);
+  }
+  EXPECT_GT(high_mean, 2.2 * low_mean);
+}
+
+TEST(SimulatorTest, HotelAppRunsCleanly) {
+  const Application app = BuildHotelReservationApp();
+  Simulator sim(app, {.seed = 14});
+  TraceCollector traces;
+  MetricsStore metrics;
+  TrafficSeries traffic({"/searchHotels", "/recommend", "/reserve", "/login"}, 4);
+  for (size_t w = 0; w < 4; ++w) {
+    traffic.set_rate(w, 0, 30.0);
+    traffic.set_rate(w, 1, 10.0);
+    traffic.set_rate(w, 2, 5.0);
+    traffic.set_rate(w, 3, 8.0);
+  }
+  sim.Run(traffic, 0, &traces, &metrics);
+  EXPECT_GT(traces.total_traces(), 100u);
+  EXPECT_GT(metrics.At({"FrontendService", ResourceKind::kCpu}, 2), 4.0);
+  EXPECT_GT(metrics.At({"ReservationMongoDB", ResourceKind::kWriteIops}, 2), 2.0);
+}
+
+}  // namespace
+}  // namespace deeprest

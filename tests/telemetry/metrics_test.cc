@@ -1,0 +1,122 @@
+#include "src/telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace deeprest {
+namespace {
+
+TEST(ResourceKindTest, AllKindsListedOnce) {
+  const auto& kinds = AllResourceKinds();
+  EXPECT_EQ(kinds.size(), 5u);
+  EXPECT_EQ(kinds.front(), ResourceKind::kCpu);
+  EXPECT_EQ(kinds.back(), ResourceKind::kDiskUsage);
+}
+
+TEST(ResourceKindTest, NamesAreDistinct) {
+  const auto& kinds = AllResourceKinds();
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    for (size_t j = i + 1; j < kinds.size(); ++j) {
+      EXPECT_NE(ResourceKindName(kinds[i]), ResourceKindName(kinds[j]));
+    }
+  }
+}
+
+TEST(ResourceKindTest, StatefulOnlyClassification) {
+  EXPECT_FALSE(IsStatefulOnly(ResourceKind::kCpu));
+  EXPECT_FALSE(IsStatefulOnly(ResourceKind::kMemory));
+  EXPECT_TRUE(IsStatefulOnly(ResourceKind::kWriteIops));
+  EXPECT_TRUE(IsStatefulOnly(ResourceKind::kWriteThroughput));
+  EXPECT_TRUE(IsStatefulOnly(ResourceKind::kDiskUsage));
+}
+
+TEST(MetricKeyTest, OrderingAndEquality) {
+  MetricKey a{"A", ResourceKind::kCpu};
+  MetricKey b{"A", ResourceKind::kMemory};
+  MetricKey c{"B", ResourceKind::kCpu};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a < c);
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(a == (MetricKey{"A", ResourceKind::kCpu}));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(MetricKeyTest, ToStringFormat) {
+  MetricKey k{"PostStorageMongoDB", ResourceKind::kWriteIops};
+  EXPECT_EQ(k.ToString(), "PostStorageMongoDB/write_iops");
+}
+
+TEST(MetricsStoreTest, RecordAndReadBack) {
+  MetricsStore store;
+  MetricKey key{"A", ResourceKind::kCpu};
+  store.Record(key, 0, 10.0);
+  store.Record(key, 2, 30.0);
+  EXPECT_DOUBLE_EQ(store.At(key, 0), 10.0);
+  EXPECT_DOUBLE_EQ(store.At(key, 1), 0.0);  // padded
+  EXPECT_DOUBLE_EQ(store.At(key, 2), 30.0);
+  EXPECT_EQ(store.window_count(), 3u);
+}
+
+TEST(MetricsStoreTest, AtOutOfRangeIsZero) {
+  MetricsStore store;
+  MetricKey key{"A", ResourceKind::kCpu};
+  store.Record(key, 0, 10.0);
+  EXPECT_DOUBLE_EQ(store.At(key, 50), 0.0);
+  EXPECT_DOUBLE_EQ(store.At(MetricKey{"missing", ResourceKind::kCpu}, 0), 0.0);
+}
+
+TEST(MetricsStoreTest, AccumulateAddsUp) {
+  MetricsStore store;
+  MetricKey key{"A", ResourceKind::kWriteIops};
+  store.Accumulate(key, 1, 5.0);
+  store.Accumulate(key, 1, 2.5);
+  EXPECT_DOUBLE_EQ(store.At(key, 1), 7.5);
+}
+
+TEST(MetricsStoreTest, SeriesClipsRange) {
+  MetricsStore store;
+  MetricKey key{"A", ResourceKind::kCpu};
+  for (size_t w = 0; w < 5; ++w) {
+    store.Record(key, w, static_cast<double>(w));
+  }
+  const auto series = store.Series(key, 1, 4);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0], 1.0);
+  EXPECT_DOUBLE_EQ(series[2], 3.0);
+  // Beyond range padded with zeros.
+  const auto beyond = store.Series(key, 3, 8);
+  ASSERT_EQ(beyond.size(), 5u);
+  EXPECT_DOUBLE_EQ(beyond[4], 0.0);
+}
+
+TEST(MetricsStoreTest, KeysSortedDeterministically) {
+  MetricsStore store;
+  store.Record(MetricKey{"B", ResourceKind::kCpu}, 0, 1.0);
+  store.Record(MetricKey{"A", ResourceKind::kMemory}, 0, 1.0);
+  store.Record(MetricKey{"A", ResourceKind::kCpu}, 0, 1.0);
+  const auto keys = store.Keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0].component, "A");
+  EXPECT_EQ(keys[0].resource, ResourceKind::kCpu);
+  EXPECT_EQ(keys[1].component, "A");
+  EXPECT_EQ(keys[1].resource, ResourceKind::kMemory);
+  EXPECT_EQ(keys[2].component, "B");
+}
+
+TEST(MetricsStoreTest, RegisterCreatesEmptySeries) {
+  MetricsStore store;
+  MetricKey key{"A", ResourceKind::kCpu};
+  store.Register(key);
+  EXPECT_TRUE(store.Has(key));
+  EXPECT_FALSE(store.Has(MetricKey{"B", ResourceKind::kCpu}));
+}
+
+TEST(MetricsStoreTest, CsvContainsHeaderAndValues) {
+  MetricsStore store;
+  store.Record(MetricKey{"A", ResourceKind::kCpu}, 0, 42.0);
+  const std::string csv = store.ToCsv();
+  EXPECT_NE(csv.find("window,A/cpu"), std::string::npos);
+  EXPECT_NE(csv.find("0,42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deeprest

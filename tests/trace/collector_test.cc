@@ -1,0 +1,81 @@
+#include "src/trace/collector.h"
+
+#include <gtest/gtest.h>
+
+namespace deeprest {
+namespace {
+
+Trace SimpleTrace(uint64_t id) {
+  Trace t(id, "/api");
+  t.AddSpan("A", "op", kNoParent);
+  return t;
+}
+
+TEST(TraceCollectorTest, StartsEmpty) {
+  TraceCollector c;
+  EXPECT_EQ(c.window_count(), 0u);
+  EXPECT_EQ(c.total_traces(), 0u);
+  EXPECT_TRUE(c.TracesAt(0).empty());
+}
+
+TEST(TraceCollectorTest, CollectGrowsWindows) {
+  TraceCollector c;
+  c.Collect(3, SimpleTrace(1));
+  EXPECT_EQ(c.window_count(), 4u);
+  EXPECT_TRUE(c.TracesAt(0).empty());
+  EXPECT_EQ(c.TracesAt(3).size(), 1u);
+}
+
+TEST(TraceCollectorTest, MultipleTracesPerWindow) {
+  TraceCollector c;
+  c.Collect(0, SimpleTrace(1));
+  c.Collect(0, SimpleTrace(2));
+  EXPECT_EQ(c.TracesAt(0).size(), 2u);
+  EXPECT_EQ(c.total_traces(), 2u);
+}
+
+TEST(TraceCollectorTest, OutOfOrderWindows) {
+  TraceCollector c;
+  c.Collect(5, SimpleTrace(1));
+  c.Collect(2, SimpleTrace(2));
+  EXPECT_EQ(c.window_count(), 6u);
+  EXPECT_EQ(c.TracesAt(2).size(), 1u);
+  EXPECT_EQ(c.TracesAt(5).size(), 1u);
+}
+
+TEST(TraceCollectorTest, RangeConcatenatesWindows) {
+  TraceCollector c;
+  c.Collect(0, SimpleTrace(1));
+  c.Collect(1, SimpleTrace(2));
+  c.Collect(1, SimpleTrace(3));
+  c.Collect(2, SimpleTrace(4));
+  const auto range = c.Range(0, 2);
+  ASSERT_EQ(range.size(), 3u);
+  EXPECT_EQ(range[0]->trace_id(), 1u);
+  EXPECT_EQ(range[1]->trace_id(), 2u);
+  EXPECT_EQ(range[2]->trace_id(), 3u);
+}
+
+TEST(TraceCollectorTest, RangeClipsToAvailableWindows) {
+  TraceCollector c;
+  c.Collect(0, SimpleTrace(1));
+  EXPECT_EQ(c.Range(0, 100).size(), 1u);
+  EXPECT_TRUE(c.Range(5, 10).empty());
+}
+
+TEST(TraceCollectorTest, ClearResets) {
+  TraceCollector c;
+  c.Collect(0, SimpleTrace(1));
+  c.Clear();
+  EXPECT_EQ(c.window_count(), 0u);
+  EXPECT_EQ(c.total_traces(), 0u);
+}
+
+TEST(TraceCollectorTest, TracesBeyondRangeAreEmptyNotCrash) {
+  TraceCollector c;
+  c.Collect(0, SimpleTrace(1));
+  EXPECT_TRUE(c.TracesAt(99).empty());
+}
+
+}  // namespace
+}  // namespace deeprest

@@ -1,0 +1,107 @@
+#include "src/trace/json_export.h"
+
+#include <gtest/gtest.h>
+
+namespace deeprest {
+namespace {
+
+Trace SampleTrace() {
+  Trace t(42, "/readTimeline");
+  const SpanIndex root = t.AddSpan("FrontendNGINX", "readTimeline", kNoParent);
+  const SpanIndex svc = t.AddSpan("UserTimelineService", "readTimeline", root);
+  t.AddSpan("UserTimelineMongoDB", "find", svc);
+  return t;
+}
+
+TEST(TraceJsonTest, ExportContainsAllFields) {
+  const std::string json = TraceToJson(SampleTrace());
+  EXPECT_NE(json.find("\"traceID\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"api\":\"/readTimeline\""), std::string::npos);
+  EXPECT_NE(json.find("\"component\":\"UserTimelineMongoDB\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent\":-1"), std::string::npos);  // root sentinel
+}
+
+TEST(TraceJsonTest, RoundTripPreservesStructure) {
+  const Trace original = SampleTrace();
+  Trace restored;
+  ASSERT_TRUE(TraceFromJson(TraceToJson(original), restored));
+  EXPECT_EQ(restored.trace_id(), original.trace_id());
+  EXPECT_EQ(restored.api_name(), original.api_name());
+  ASSERT_EQ(restored.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored.spans()[i].component, original.spans()[i].component);
+    EXPECT_EQ(restored.spans()[i].operation, original.spans()[i].operation);
+    EXPECT_EQ(restored.spans()[i].parent, original.spans()[i].parent);
+  }
+}
+
+TEST(TraceJsonTest, EscapedCharactersSurvive) {
+  Trace t(1, "/api\"with\\quotes");
+  t.AddSpan("Comp\"onent", "op\nline", kNoParent);
+  Trace restored;
+  ASSERT_TRUE(TraceFromJson(TraceToJson(t), restored));
+  EXPECT_EQ(restored.api_name(), "/api\"with\\quotes");
+  EXPECT_EQ(restored.spans()[0].component, "Comp\"onent");
+  EXPECT_EQ(restored.spans()[0].operation, "op\nline");
+}
+
+TEST(TraceJsonTest, RejectsMalformedInput) {
+  Trace out;
+  EXPECT_FALSE(TraceFromJson("", out));
+  EXPECT_FALSE(TraceFromJson("{", out));
+  EXPECT_FALSE(TraceFromJson("{\"traceID\":1}", out));
+  EXPECT_FALSE(TraceFromJson("not json at all", out));
+  EXPECT_FALSE(TraceFromJson(
+      "{\"traceID\":1,\"api\":\"/x\",\"spans\":[{\"component\":\"A\"}]}", out));
+}
+
+TEST(TraceJsonTest, RejectsForwardParentReference) {
+  // Span 0 referencing parent 5 is structurally invalid.
+  const std::string json =
+      "{\"traceID\":1,\"api\":\"/x\",\"spans\":["
+      "{\"component\":\"A\",\"operation\":\"op\",\"parent\":5}]}";
+  Trace out;
+  EXPECT_FALSE(TraceFromJson(json, out));
+}
+
+TEST(CollectorJsonTest, RoundTripWithWindows) {
+  TraceCollector collector;
+  collector.Collect(2, SampleTrace());
+  collector.Collect(5, SampleTrace());
+  collector.Collect(5, SampleTrace());
+  const std::string json = CollectorToJson(collector, 0, 6);
+
+  TraceCollector restored;
+  ASSERT_TRUE(CollectorFromJson(json, restored));
+  EXPECT_EQ(restored.total_traces(), 3u);
+  EXPECT_EQ(restored.TracesAt(2).size(), 1u);
+  EXPECT_EQ(restored.TracesAt(5).size(), 2u);
+  EXPECT_TRUE(restored.TracesAt(0).empty());
+}
+
+TEST(CollectorJsonTest, RangeClipsExport) {
+  TraceCollector collector;
+  collector.Collect(1, SampleTrace());
+  collector.Collect(9, SampleTrace());
+  TraceCollector restored;
+  ASSERT_TRUE(CollectorFromJson(CollectorToJson(collector, 0, 5), restored));
+  EXPECT_EQ(restored.total_traces(), 1u);
+}
+
+TEST(CollectorJsonTest, EmptyCollectorGivesEmptyArray) {
+  TraceCollector collector;
+  EXPECT_EQ(CollectorToJson(collector, 0, 10), "[]");
+  TraceCollector restored;
+  EXPECT_TRUE(CollectorFromJson("[]", restored));
+  EXPECT_EQ(restored.total_traces(), 0u);
+}
+
+TEST(CollectorJsonTest, RejectsMalformedArray) {
+  TraceCollector out;
+  EXPECT_FALSE(CollectorFromJson("", out));
+  EXPECT_FALSE(CollectorFromJson("[{", out));
+  EXPECT_FALSE(CollectorFromJson("[}]", out));
+}
+
+}  // namespace
+}  // namespace deeprest

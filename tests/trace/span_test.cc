@@ -1,0 +1,64 @@
+#include "src/trace/span.h"
+
+#include <gtest/gtest.h>
+
+namespace deeprest {
+namespace {
+
+Trace MakeReadTimelineTrace() {
+  // Mirrors paper Fig. 3.
+  Trace t(1, "/readTimeline");
+  const SpanIndex root = t.AddSpan("FrontendNGINX", "readTimeline", kNoParent);
+  const SpanIndex uts = t.AddSpan("UserTimelineService", "readTimeline", root);
+  t.AddSpan("UserTimelineMongoDB", "find", uts);
+  const SpanIndex pss = t.AddSpan("PostStorageService", "getPosts", uts);
+  t.AddSpan("PostStorageMongoDB", "find", pss);
+  return t;
+}
+
+TEST(TraceTest, EmptyByDefault) {
+  Trace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TraceTest, AddSpanBuildsTree) {
+  Trace t = MakeReadTimelineTrace();
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.root().component, "FrontendNGINX");
+  EXPECT_EQ(t.spans()[1].parent, 0u);
+  EXPECT_EQ(t.spans()[2].parent, 1u);
+  EXPECT_EQ(t.spans()[4].parent, 3u);
+}
+
+TEST(TraceTest, ApiNameAndIdPreserved) {
+  Trace t = MakeReadTimelineTrace();
+  EXPECT_EQ(t.trace_id(), 1u);
+  EXPECT_EQ(t.api_name(), "/readTimeline");
+}
+
+TEST(TraceTest, ChildrenOfReturnsDirectChildren) {
+  Trace t = MakeReadTimelineTrace();
+  const auto root_children = t.ChildrenOf(0);
+  ASSERT_EQ(root_children.size(), 1u);
+  EXPECT_EQ(root_children[0], 1u);
+  const auto uts_children = t.ChildrenOf(1);
+  ASSERT_EQ(uts_children.size(), 2u);
+  EXPECT_EQ(uts_children[0], 2u);
+  EXPECT_EQ(uts_children[1], 3u);
+  EXPECT_TRUE(t.ChildrenOf(4).empty());
+}
+
+TEST(HashNameTest, DeterministicAndSensitive) {
+  EXPECT_EQ(HashName("PostStorageService"), HashName("PostStorageService"));
+  EXPECT_NE(HashName("PostStorageService"), HashName("PostStorageServicE"));
+  EXPECT_NE(HashName(""), HashName(" "));
+}
+
+TEST(HashNameTest, KnownFnvVector) {
+  // FNV-1a 64-bit of empty string is the offset basis.
+  EXPECT_EQ(HashName(""), 0xcbf29ce484222325ULL);
+}
+
+}  // namespace
+}  // namespace deeprest

@@ -1,0 +1,99 @@
+#include "src/workload/social_graph.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace deeprest {
+namespace {
+
+TEST(SocialGraphTest, DegreesWithinBounds) {
+  Rng rng(1);
+  SocialGraph graph(500, 2.2, 100, rng);
+  EXPECT_EQ(graph.user_count(), 500u);
+  for (size_t u = 0; u < graph.user_count(); ++u) {
+    EXPECT_GE(graph.FollowersOf(u), 1u);
+    EXPECT_LE(graph.FollowersOf(u), 100u);
+  }
+}
+
+TEST(SocialGraphTest, HeavyTailedDistribution) {
+  Rng rng(2);
+  SocialGraph graph(5000, 2.2, 1000, rng);
+  size_t max_degree = 0;
+  for (size_t u = 0; u < graph.user_count(); ++u) {
+    max_degree = std::max(max_degree, graph.FollowersOf(u));
+  }
+  // Heavy tail: the most popular user dwarfs the mean.
+  EXPECT_GT(static_cast<double>(max_degree), 10.0 * graph.mean_followers());
+  // Most users have few followers.
+  size_t small = 0;
+  for (size_t u = 0; u < graph.user_count(); ++u) {
+    if (graph.FollowersOf(u) <= 5) {
+      ++small;
+    }
+  }
+  EXPECT_GT(small, graph.user_count() / 2);
+}
+
+TEST(SocialGraphTest, DeterministicForSeed) {
+  Rng rng_a(3);
+  Rng rng_b(3);
+  SocialGraph a(200, 2.0, 50, rng_a);
+  SocialGraph b(200, 2.0, 50, rng_b);
+  for (size_t u = 0; u < 200; ++u) {
+    EXPECT_EQ(a.FollowersOf(u), b.FollowersOf(u));
+  }
+}
+
+TEST(SocialGraphTest, SampleActiveUserInRange) {
+  Rng rng(4);
+  SocialGraph graph(100, 2.2, 100, rng);
+  Rng sample_rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(graph.SampleActiveUser(sample_rng), 100u);
+  }
+}
+
+TEST(SocialGraphTest, PopularUsersSampledMoreOften) {
+  Rng rng(6);
+  SocialGraph graph(1000, 2.2, 500, rng);
+  Rng sample_rng(7);
+  double sampled_mean = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sampled_mean += static_cast<double>(graph.SampleFollowerCount(sample_rng));
+  }
+  sampled_mean /= n;
+  // Activity-weighted sampling is biased above the plain mean.
+  EXPECT_GT(sampled_mean, graph.mean_followers());
+}
+
+TEST(MediaSamplerTest, PositiveWithLongTail) {
+  Rng rng(8);
+  double mean = 0.0;
+  double max = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double kb = SampleMediaSizeKb(rng);
+    EXPECT_GT(kb, 0.0);
+    mean += kb;
+    max = std::max(max, kb);
+  }
+  mean /= n;
+  // Log-normal(5, 0.8): mean = exp(5 + 0.32) ~ 204 KiB.
+  EXPECT_NEAR(mean, 204.0, 25.0);
+  EXPECT_GT(max, 4.0 * mean);
+}
+
+TEST(PostLengthTest, ClampedToTweetRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const size_t len = SamplePostLength(rng);
+    EXPECT_GE(len, 1u);
+    EXPECT_LE(len, 280u);
+  }
+}
+
+}  // namespace
+}  // namespace deeprest

@@ -1,0 +1,170 @@
+#include "src/workload/traffic.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace deeprest {
+namespace {
+
+TEST(ShapeProfileTest, NormalizedToMeanOne) {
+  for (ShapeKind kind : {ShapeKind::kTwoPeak, ShapeKind::kFlat, ShapeKind::kSinglePeak}) {
+    const auto profile = ShapeProfile(kind, 96);
+    double mean = 0.0;
+    for (double v : profile) {
+      mean += v;
+    }
+    mean /= profile.size();
+    EXPECT_NEAR(mean, 1.0, 1e-9) << ShapeKindName(kind);
+  }
+}
+
+TEST(ShapeProfileTest, FlatIsConstant) {
+  const auto profile = ShapeProfile(ShapeKind::kFlat, 48);
+  for (double v : profile) {
+    EXPECT_DOUBLE_EQ(v, 1.0);
+  }
+}
+
+TEST(ShapeProfileTest, TwoPeakHasTwoDistinctPeaks) {
+  const auto profile = ShapeProfile(ShapeKind::kTwoPeak, 96);
+  // Count strict local maxima.
+  int peaks = 0;
+  for (size_t i = 1; i + 1 < profile.size(); ++i) {
+    if (profile[i] > profile[i - 1] && profile[i] > profile[i + 1]) {
+      ++peaks;
+    }
+  }
+  EXPECT_EQ(peaks, 2);
+  // Peak-to-trough dynamic range is pronounced.
+  const double max = *std::max_element(profile.begin(), profile.end());
+  const double min = *std::min_element(profile.begin(), profile.end());
+  EXPECT_GT(max / min, 3.0);
+}
+
+TEST(ShapeProfileTest, SinglePeakHasOnePeak) {
+  const auto profile = ShapeProfile(ShapeKind::kSinglePeak, 96);
+  int peaks = 0;
+  for (size_t i = 1; i + 1 < profile.size(); ++i) {
+    if (profile[i] > profile[i - 1] && profile[i] > profile[i + 1]) {
+      ++peaks;
+    }
+  }
+  EXPECT_EQ(peaks, 1);
+}
+
+TEST(ShapeProfileTest, NamesAreStable) {
+  EXPECT_EQ(ShapeKindName(ShapeKind::kTwoPeak), "two_peak");
+  EXPECT_EQ(ShapeKindName(ShapeKind::kFlat), "flat");
+  EXPECT_EQ(ShapeKindName(ShapeKind::kSinglePeak), "single_peak");
+}
+
+TrafficSpec BasicSpec() {
+  TrafficSpec spec;
+  spec.days = 2;
+  spec.windows_per_day = 24;
+  spec.base_requests_per_window = 100.0;
+  spec.mix = {{"/a", 3.0}, {"/b", 1.0}};
+  return spec;
+}
+
+TEST(GenerateTrafficTest, Dimensions) {
+  Rng rng(1);
+  const TrafficSeries series = GenerateTraffic(BasicSpec(), rng);
+  EXPECT_EQ(series.windows(), 48u);
+  EXPECT_EQ(series.api_count(), 2u);
+  EXPECT_EQ(series.apis()[0], "/a");
+}
+
+TEST(GenerateTrafficTest, DeterministicForSeed) {
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const TrafficSeries a = GenerateTraffic(BasicSpec(), rng_a);
+  const TrafficSeries b = GenerateTraffic(BasicSpec(), rng_b);
+  for (size_t w = 0; w < a.windows(); ++w) {
+    for (size_t i = 0; i < a.api_count(); ++i) {
+      EXPECT_DOUBLE_EQ(a.rate(w, i), b.rate(w, i));
+    }
+  }
+}
+
+TEST(GenerateTrafficTest, MixProportionsRoughlyRespected) {
+  Rng rng(2);
+  TrafficSpec spec = BasicSpec();
+  spec.days = 12;  // enough days to average out the per-API daily drift
+  const TrafficSeries series = GenerateTraffic(spec, rng);
+  double total_a = 0.0;
+  double total_b = 0.0;
+  for (size_t w = 0; w < series.windows(); ++w) {
+    total_a += series.rate(w, 0);
+    total_b += series.rate(w, 1);
+  }
+  EXPECT_NEAR(total_a / (total_a + total_b), 0.75, 0.03);
+}
+
+TEST(GenerateTrafficTest, UserScaleMultipliesTotal) {
+  TrafficSpec spec = BasicSpec();
+  spec.day_jitter = 0.0;
+  spec.window_jitter = 0.0;
+  Rng rng_a(3);
+  const double base_total = GenerateTraffic(spec, rng_a).GrandTotal();
+  spec.user_scale = 3.0;
+  Rng rng_b(3);
+  const double scaled_total = GenerateTraffic(spec, rng_b).GrandTotal();
+  EXPECT_NEAR(scaled_total / base_total, 3.0, 1e-6);
+}
+
+TEST(GenerateTrafficTest, GrandTotalMatchesBaseRate) {
+  TrafficSpec spec = BasicSpec();
+  spec.day_jitter = 0.0;
+  spec.window_jitter = 0.0;
+  Rng rng(4);
+  const TrafficSeries series = GenerateTraffic(spec, rng);
+  // mean requests/window == base rate when jitter is off.
+  EXPECT_NEAR(series.GrandTotal() / series.windows(), 100.0, 1e-6);
+}
+
+TEST(GenerateTrafficTest, JitterProducesDayVariation) {
+  TrafficSpec spec = BasicSpec();
+  spec.shape = ShapeKind::kFlat;
+  spec.day_jitter = 0.2;
+  spec.window_jitter = 0.0;
+  Rng rng(5);
+  const TrafficSeries series = GenerateTraffic(spec, rng);
+  double day0 = 0.0;
+  double day1 = 0.0;
+  for (size_t w = 0; w < 24; ++w) {
+    day0 += series.TotalAt(w);
+    day1 += series.TotalAt(24 + w);
+  }
+  EXPECT_NE(day0, day1);
+}
+
+TEST(TrafficSeriesTest, ApiIndexLookup) {
+  TrafficSeries series({"/x", "/y"}, 4);
+  size_t idx = 99;
+  EXPECT_TRUE(series.ApiIndex("/y", idx));
+  EXPECT_EQ(idx, 1u);
+  EXPECT_FALSE(series.ApiIndex("/z", idx));
+}
+
+TEST(TrafficSeriesTest, AppendConcatenates) {
+  TrafficSeries a({"/x"}, 2);
+  a.set_rate(0, 0, 1.0);
+  a.set_rate(1, 0, 2.0);
+  TrafficSeries b({"/x"}, 1);
+  b.set_rate(0, 0, 3.0);
+  a.Append(b);
+  EXPECT_EQ(a.windows(), 3u);
+  EXPECT_DOUBLE_EQ(a.rate(2, 0), 3.0);
+}
+
+TEST(TrafficSeriesTest, TotalAtSumsApis) {
+  TrafficSeries s({"/x", "/y"}, 1);
+  s.set_rate(0, 0, 1.5);
+  s.set_rate(0, 1, 2.5);
+  EXPECT_DOUBLE_EQ(s.TotalAt(0), 4.0);
+}
+
+}  // namespace
+}  // namespace deeprest

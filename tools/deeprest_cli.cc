@@ -1,0 +1,263 @@
+// deeprest — command-line front-end to the library.
+//
+//   deeprest train    --model=FILE [--app=social|hotel] [--days=N] [--wpd=N] [--seed=N]
+//       Simulate a production learning phase and train + save a model.
+//
+//   deeprest estimate --model=FILE [--scale=X] [--shape=two_peak|flat|single_peak]
+//                     [--days=N] [--replicas-for=COMPONENT]
+//       Load a model, build the described hypothetical traffic, print the
+//       per-component provisioning plan (and a replica schedule on request).
+//
+//   deeprest check    --model=FILE [--attack=ransomware|cryptojacking]
+//                     [--target=COMPONENT] [--days=N]
+//       Continue the simulation with real traffic (optionally attacked),
+//       run the application sanity check, and print alerts.
+//
+//   deeprest demo
+//       One-command tour: train, estimate, and check on the social network.
+//
+// The train/estimate/check flow persists only the model file; estimate and
+// check re-create the deterministic simulation from the seed recorded in the
+// file name side-band (pass the same --app/--days/--wpd/--seed used to train).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/planner.h"
+#include "src/eval/ascii.h"
+#include "src/eval/harness.h"
+
+namespace deeprest {
+namespace {
+
+struct CliArgs {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& name, const std::string& fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+  size_t GetSize(const std::string& name, size_t fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback
+                             : static_cast<size_t>(std::atoll(it->second.c_str()));
+  }
+};
+
+CliArgs Parse(int argc, char** argv) {
+  CliArgs args;
+  if (argc >= 2) {
+    args.command = argv[1];
+  }
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      args.flags[arg] = "1";
+    } else {
+      args.flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return args;
+}
+
+HarnessConfig ConfigFrom(const CliArgs& args) {
+  HarnessConfig config;
+  config.app = args.Get("app", "social") == "hotel" ? HarnessConfig::AppKind::kHotelReservation
+                                                    : HarnessConfig::AppKind::kSocialNetwork;
+  config.learn_days = args.GetSize("days", 5);
+  config.windows_per_day = args.GetSize("wpd", 48);
+  config.seed = args.GetSize("seed", 1);
+  config.cache_models = false;
+  config.estimator.hidden_dim = args.GetSize("hidden", 12);
+  config.estimator.epochs = args.GetSize("epochs", 12);
+  return config;
+}
+
+ShapeKind ShapeFrom(const CliArgs& args) {
+  const std::string shape = args.Get("shape", "two_peak");
+  if (shape == "flat") {
+    return ShapeKind::kFlat;
+  }
+  if (shape == "single_peak") {
+    return ShapeKind::kSinglePeak;
+  }
+  return ShapeKind::kTwoPeak;
+}
+
+int CmdTrain(const CliArgs& args) {
+  const std::string model_path = args.Get("model", "");
+  if (model_path.empty()) {
+    std::fprintf(stderr, "train: --model=FILE is required\n");
+    return 2;
+  }
+  ExperimentHarness harness(ConfigFrom(args));
+  std::printf("Simulated %zu learning windows (%zu traces). Training...\n",
+              harness.learn_windows(), harness.traces().total_traces());
+  DeepRestEstimator& estimator = harness.deeprest();
+  if (!estimator.Save(model_path)) {
+    std::fprintf(stderr, "train: failed to write %s\n", model_path.c_str());
+    return 1;
+  }
+  std::printf("Trained %zu experts (%zu parameters) in %.1f s -> %s\n",
+              estimator.expert_count(), estimator.TotalParameters(),
+              estimator.train_seconds(), model_path.c_str());
+  return 0;
+}
+
+int CmdEstimate(const CliArgs& args) {
+  const std::string model_path = args.Get("model", "");
+  DeepRestEstimator estimator;
+  if (model_path.empty() || !estimator.Load(model_path)) {
+    std::fprintf(stderr, "estimate: could not load --model=%s (run `deeprest train` first)\n",
+                 model_path.c_str());
+    return 2;
+  }
+  ExperimentHarness harness(ConfigFrom(args));  // deterministic re-simulation
+  TrafficSpec spec = harness.QuerySpec(args.GetSize("query-days", 1));
+  spec.user_scale = args.GetDouble("scale", 1.0);
+  spec.shape = ShapeFrom(args);
+  Rng rng(ConfigFrom(args).seed + 41);
+  const TrafficSeries traffic = GenerateTraffic(spec, rng);
+  std::printf("Estimating %zu windows at %.1fx users, %s shape...\n", traffic.windows(),
+              spec.user_scale, ShapeKindName(spec.shape).c_str());
+  const EstimateMap estimates = estimator.EstimateFromTraffic(traffic, 7);
+
+  AllocationPlanner planner;
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& plan : planner.PlanResources(estimates)) {
+    if (plan.key.resource != ResourceKind::kCpu || plan.provision < 8.0) {
+      continue;
+    }
+    rows.push_back({plan.key.component, FormatDouble(plan.peak_expected, 1) + "%",
+                    FormatDouble(plan.provision, 1) + "%"});
+  }
+  std::printf("\nCPU provisioning plan (components above 8%%):\n%s\n",
+              RenderTable({"component", "peak expected", "provision (p90+10%)"}, rows)
+                  .c_str());
+
+  const std::string replicas_for = args.Get("replicas-for", "");
+  if (!replicas_for.empty()) {
+    const ReplicaSchedule schedule = planner.PlanReplicas(estimates, replicas_for);
+    std::printf("Replica schedule for %s (peak %zu, %.0f%% replica-windows saved vs static"
+                " peak):\n  ",
+                replicas_for.c_str(), schedule.peak_replicas,
+                100.0 * schedule.savings_fraction);
+    for (size_t r : schedule.replicas) {
+      std::printf("%zu", r);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdCheck(const CliArgs& args) {
+  const std::string model_path = args.Get("model", "");
+  DeepRestEstimator estimator;
+  if (model_path.empty() || !estimator.Load(model_path)) {
+    std::fprintf(stderr, "check: could not load --model=%s (run `deeprest train` first)\n",
+                 model_path.c_str());
+    return 2;
+  }
+  HarnessConfig config = ConfigFrom(args);
+  ExperimentHarness harness(config);
+  const size_t days = args.GetSize("query-days", 2);
+
+  const std::string attack_kind = args.Get("attack", "");
+  if (!attack_kind.empty()) {
+    AttackSpec attack;
+    attack.kind = attack_kind == "ransomware" ? AttackSpec::Kind::kRansomware
+                                              : AttackSpec::Kind::kCryptojacking;
+    attack.component = args.Get("target", "PostStorageMongoDB");
+    attack.start_window = harness.learn_windows() + config.windows_per_day * (days - 1) +
+                          config.windows_per_day / 3;
+    attack.end_window = attack.start_window + config.windows_per_day / 4;
+    harness.simulator().AddAttack(attack);
+    std::printf("Injecting %s on %s (windows %zu-%zu)\n", attack_kind.c_str(),
+                attack.component.c_str(), attack.start_window, attack.end_window);
+  }
+
+  Rng rng(config.seed + 43);
+  const auto query = harness.RunQuery(GenerateTraffic(harness.QuerySpec(days), rng));
+  const EstimateMap expected =
+      estimator.EstimateFromTraces(harness.traces(), query.from, query.to);
+  SanityChecker checker;
+  const auto events = checker.Detect(expected, harness.metrics(), query.from, query.to);
+  if (events.empty()) {
+    std::printf("Sanity check: no anomalies over %zu windows.\n", query.to - query.from);
+  } else {
+    std::printf("Sanity check: %zu anomalous event(s):\n\n", events.size());
+    for (const auto& event : events) {
+      std::printf("%s\n", event.Describe(config.windows_per_day).c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdDemo() {
+  const std::string model = "/tmp/deeprest_demo_model.bin";
+  CliArgs train_args;
+  train_args.flags["model"] = model;
+  train_args.flags["days"] = "4";
+  if (int rc = CmdTrain(train_args); rc != 0) {
+    return rc;
+  }
+  CliArgs estimate_args;
+  estimate_args.flags["model"] = model;
+  estimate_args.flags["scale"] = "2.0";
+  estimate_args.flags["days"] = "4";
+  estimate_args.flags["replicas-for"] = "FrontendNGINX";
+  if (int rc = CmdEstimate(estimate_args); rc != 0) {
+    return rc;
+  }
+  CliArgs check_args;
+  check_args.flags["model"] = model;
+  check_args.flags["days"] = "4";
+  check_args.flags["attack"] = "cryptojacking";
+  return CmdCheck(check_args);
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: deeprest <train|estimate|check|demo> [--flags]\n"
+               "  train    --model=FILE [--app=social|hotel] [--days=N] [--wpd=N]\n"
+               "           [--seed=N] [--hidden=N] [--epochs=N]\n"
+               "  estimate --model=FILE [--scale=X] [--shape=two_peak|flat|single_peak]\n"
+               "           [--query-days=N] [--replicas-for=COMPONENT]\n"
+               "  check    --model=FILE [--attack=ransomware|cryptojacking]\n"
+               "           [--target=COMPONENT] [--query-days=N]\n"
+               "  demo     end-to-end tour on the social network\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace deeprest
+
+int main(int argc, char** argv) {
+  const deeprest::CliArgs args = deeprest::Parse(argc, argv);
+  if (args.command == "train") {
+    return deeprest::CmdTrain(args);
+  }
+  if (args.command == "estimate") {
+    return deeprest::CmdEstimate(args);
+  }
+  if (args.command == "check") {
+    return deeprest::CmdCheck(args);
+  }
+  if (args.command == "demo") {
+    return deeprest::CmdDemo();
+  }
+  return deeprest::Usage();
+}
