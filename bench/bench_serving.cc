@@ -1,0 +1,168 @@
+// Serving-layer throughput and latency (extension; paper section 6 discusses
+// estimation cost at production scale). Measures the online EstimationService
+// over a worker-count x micro-batch grid: every request replays the
+// learning-phase history to warm the hidden state before stepping its query
+// windows, so a batch of B requests amortizes that replay B ways — batching
+// must strictly beat batch=1 at every worker count. A final run hot-swaps a
+// fine-tuned model mid-flight and verifies no request observed torn weights:
+// every result must be bit-identical to exactly one published version's
+// single-threaded reference.
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/serve/continual_learner.h"
+#include "src/serve/estimation_service.h"
+#include "src/serve/ingest_pipeline.h"
+#include "src/serve/model_registry.h"
+
+using namespace deeprest;  // NOLINT(build/namespaces)
+
+namespace {
+
+constexpr size_t kRequestsPerCell = 48;
+
+bool SameEstimates(const EstimateMap& a, const EstimateMap& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (const auto& [key, estimate] : a) {
+    const auto it = b.find(key);
+    if (it == b.end() || estimate.expected != it->second.expected ||
+        estimate.lower != it->second.lower || estimate.upper != it->second.upper) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct CellResult {
+  double requests_per_sec = 0.0;
+  ServiceCounters counters;
+};
+
+CellResult RunCell(std::shared_ptr<const DeepRestEstimator> model,
+                   const std::vector<std::vector<float>>& features, size_t workers,
+                   size_t batch) {
+  ModelRegistry registry;
+  IngestPipeline pipeline(model->features(), {.shards = 2});
+  registry.Publish(std::move(model));
+  EstimationServiceConfig config;
+  config.workers = workers;
+  config.max_batch = batch;
+  EstimationService service(registry, pipeline, config);
+
+  std::vector<std::future<EstimationService::EstimateResult>> futures;
+  futures.reserve(kRequestsPerCell);
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < kRequestsPerCell; ++i) {
+    futures.push_back(service.SubmitFeatures(features));
+  }
+  for (auto& future : futures) {
+    (void)future.get();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  CellResult result;
+  result.requests_per_sec = static_cast<double>(kRequestsPerCell) / seconds;
+  result.counters = service.Counters();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader("online serving (extension)",
+                   "micro-batched concurrent estimation + hot-swap consistency");
+  HarnessConfig config = SocialBenchConfig();
+  config.learn_days = 2;  // keep the warm-start replay bench-sized
+  config.estimator.hidden_dim = 8;
+  config.estimator.epochs = 6;
+  ExperimentHarness harness(config);
+
+  std::printf("Training the serving model (%zu learn windows)...\n\n", harness.learn_windows());
+  std::shared_ptr<const DeepRestEstimator> v1(harness.deeprest().Clone());
+
+  // One fixed 8-window query: short enough that the warm-start replay
+  // dominates, which is exactly the cost micro-batching amortizes.
+  Rng rng(config.seed + 53);
+  const auto query = harness.RunQuery(GenerateTraffic(harness.QuerySpec(1), rng));
+  const auto features =
+      v1->features().ExtractSeries(harness.traces(), query.from, query.from + 8);
+
+  const std::vector<size_t> worker_grid = {1, 4, 8};
+  const std::vector<size_t> batch_grid = {1, 4, 16};
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::vector<double>> throughput(worker_grid.size());
+  for (size_t w = 0; w < worker_grid.size(); ++w) {
+    for (size_t b = 0; b < batch_grid.size(); ++b) {
+      const CellResult cell = RunCell(v1, features, worker_grid[w], batch_grid[b]);
+      throughput[w].push_back(cell.requests_per_sec);
+      rows.push_back({std::to_string(worker_grid[w]), std::to_string(batch_grid[b]),
+                      FormatDouble(cell.requests_per_sec, 1),
+                      FormatDouble(cell.counters.mean_batch_size, 2),
+                      FormatDouble(cell.counters.p50_latency_ms, 1),
+                      FormatDouble(cell.counters.p99_latency_ms, 1)});
+    }
+  }
+  std::printf("%zu requests per cell, 8 query windows each:\n%s\n", kRequestsPerCell,
+              RenderTable({"workers", "max batch", "req/s", "mean batch", "p50 ms", "p99 ms"},
+                          rows)
+                  .c_str());
+
+  bool batching_wins = true;
+  for (size_t w = 0; w < worker_grid.size(); ++w) {
+    for (size_t b = 1; b < batch_grid.size(); ++b) {
+      if (throughput[w][b] <= throughput[w][0]) {
+        batching_wins = false;
+      }
+    }
+  }
+  std::printf("batching check (batch>=4 beats batch=1 at every worker count): %s\n\n",
+              batching_wins ? "PASS" : "FAIL");
+
+  // Hot-swap consistency: publish a fine-tuned clone mid-run and verify no
+  // request mixed weights from two versions.
+  std::unique_ptr<DeepRestEstimator> v2 = v1->Clone();
+  v2->ContinueLearning(harness.traces(), harness.metrics(), query.from, query.to, 1);
+  const EstimateMap ref_v1 = v1->EstimateFromFeatures(features);
+  const EstimateMap ref_v2 = v2->EstimateFromFeatures(features);
+
+  ModelRegistry registry;
+  IngestPipeline pipeline(v1->features(), {.shards = 2});
+  registry.Publish(v1);
+  // Two workers so the 64 requests are claimed batch by batch: the swap
+  // lands between batch pickups and both versions serve traffic.
+  EstimationServiceConfig swap_config;
+  swap_config.workers = 2;
+  swap_config.max_batch = 8;
+  EstimationService service(registry, pipeline, swap_config);
+
+  constexpr size_t kSwapRequests = 64;
+  std::vector<std::shared_future<EstimationService::EstimateResult>> futures;
+  futures.reserve(kSwapRequests);
+  for (size_t i = 0; i < kSwapRequests; ++i) {
+    futures.push_back(service.SubmitFeatures(features).share());
+  }
+  // Swap once the first results are in flight: everything already batched
+  // keeps v1, everything still queued picks up v2.
+  (void)futures[kSwapRequests / 8].get();
+  registry.Publish(std::move(v2));
+  size_t torn = 0;
+  size_t v1_count = 0;
+  size_t v2_count = 0;
+  for (auto& future : futures) {
+    const auto result = future.get();
+    const bool matches_v1 = result.model_version == 1 && SameEstimates(result.estimates, ref_v1);
+    const bool matches_v2 = result.model_version == 2 && SameEstimates(result.estimates, ref_v2);
+    v1_count += matches_v1;
+    v2_count += matches_v2;
+    torn += !matches_v1 && !matches_v2;
+  }
+  std::printf("hot swap mid-run: %zu requests served by v1, %zu by v2, torn results: %zu\n",
+              v1_count, v2_count, torn);
+  return torn == 0 && batching_wins ? 0 : 1;
+}

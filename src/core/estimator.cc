@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "src/nn/optimizer.h"
 #include "src/nn/ops.h"
@@ -41,6 +42,10 @@ void DeepRestEstimator::BuildModel(size_t feature_dim,
     expert.skip = Linear(store_, name + ".skip", feature_dim, 3, rng);
     expert.initial_gru = expert.gru.FlattenedParameters();
     experts_.push_back(std::move(expert));
+  }
+  expert_index_.clear();
+  for (size_t i = 0; i < experts_.size(); ++i) {
+    expert_index_.emplace(experts_[i].key, static_cast<int>(i));
   }
   const size_t e = experts_.size();
   // Attention starts at zero: experts begin independent and learn to listen.
@@ -237,47 +242,66 @@ void DeepRestEstimator::ContinueLearning(const TraceCollector& traces,
 
 EstimateMap DeepRestEstimator::EstimateFromFeatures(
     const std::vector<std::vector<float>>& feature_series) const {
+  std::vector<EstimateMap> results = EstimateFromFeaturesBatch({&feature_series});
+  return std::move(results.front());
+}
+
+std::vector<EstimateMap> DeepRestEstimator::EstimateFromFeaturesBatch(
+    const std::vector<const std::vector<std::vector<float>>*>& batch) const {
   assert(trained());
   NoGradGuard no_grad;
-  EstimateMap out;
-  for (const auto& expert : experts_) {
-    ResourceEstimate estimate;
-    estimate.expected.reserve(feature_series.size());
-    estimate.lower.reserve(feature_series.size());
-    estimate.upper.reserve(feature_series.size());
-    out.emplace(expert.key, std::move(estimate));
-  }
 
-  std::vector<Tensor> hidden(experts_.size());
-  for (auto& state : hidden) {
+  // Shared warm-start replay: every query continues from the hidden state at
+  // the end of the learning-phase trajectory, so it is computed once and its
+  // Tensor handles are copied per query (handles are immutable; StepAll
+  // replaces them rather than mutating in place).
+  std::vector<Tensor> warm(experts_.size());
+  for (auto& state : warm) {
     state = Tensor::Constant(Matrix(config_.hidden_dim, 1));
   }
   if (config_.warm_start) {
     for (const auto& x_raw : learn_features_) {
       Tensor x = ScaledInput(x_raw);
-      StepAll(x, hidden);
+      StepAll(x, warm);
     }
   }
-  for (const auto& x_raw : feature_series) {
-    Tensor x = ScaledInput(x_raw);
-    std::vector<Tensor> outputs = StepAll(x, hidden);
-    for (size_t i = 0; i < experts_.size(); ++i) {
-      const Matrix& y = outputs[i].value();
-      const double scale = experts_[i].y_scale;
-      double expected = std::max(0.0, static_cast<double>(y.At(0, 0)) * scale);
-      double lower = std::max(0.0, static_cast<double>(y.At(1, 0)) * scale);
-      double upper = std::max(0.0, static_cast<double>(y.At(2, 0)) * scale);
-      // Quantile heads are trained independently and can cross on rare
-      // inputs; enforce lower <= expected <= upper on output.
-      lower = std::min(lower, expected);
-      upper = std::max(upper, expected);
-      ResourceEstimate& estimate = out.at(experts_[i].key);
-      estimate.expected.push_back(expected);
-      estimate.lower.push_back(lower);
-      estimate.upper.push_back(upper);
+
+  std::vector<EstimateMap> results(batch.size());
+  for (size_t q = 0; q < batch.size(); ++q) {
+    if (batch[q] == nullptr) {
+      continue;
+    }
+    const auto& feature_series = *batch[q];
+    EstimateMap& out = results[q];
+    for (const auto& expert : experts_) {
+      ResourceEstimate estimate;
+      estimate.expected.reserve(feature_series.size());
+      estimate.lower.reserve(feature_series.size());
+      estimate.upper.reserve(feature_series.size());
+      out.emplace(expert.key, std::move(estimate));
+    }
+    std::vector<Tensor> hidden = warm;
+    for (const auto& x_raw : feature_series) {
+      Tensor x = ScaledInput(x_raw);
+      std::vector<Tensor> outputs = StepAll(x, hidden);
+      for (size_t i = 0; i < experts_.size(); ++i) {
+        const Matrix& y = outputs[i].value();
+        const double scale = experts_[i].y_scale;
+        double expected = std::max(0.0, static_cast<double>(y.At(0, 0)) * scale);
+        double lower = std::max(0.0, static_cast<double>(y.At(1, 0)) * scale);
+        double upper = std::max(0.0, static_cast<double>(y.At(2, 0)) * scale);
+        // Quantile heads are trained independently and can cross on rare
+        // inputs; enforce lower <= expected <= upper on output.
+        lower = std::min(lower, expected);
+        upper = std::max(upper, expected);
+        ResourceEstimate& estimate = out.at(experts_[i].key);
+        estimate.expected.push_back(expected);
+        estimate.lower.push_back(lower);
+        estimate.upper.push_back(upper);
+      }
     }
   }
-  return out;
+  return results;
 }
 
 EstimateMap DeepRestEstimator::EstimateFromTraces(const TraceCollector& traces, size_t from,
@@ -303,12 +327,8 @@ std::vector<MetricKey> DeepRestEstimator::resources() const {
 }
 
 int DeepRestEstimator::ExpertIndex(const MetricKey& key) const {
-  for (size_t i = 0; i < experts_.size(); ++i) {
-    if (experts_[i].key == key) {
-      return static_cast<int>(i);
-    }
-  }
-  return -1;
+  auto it = expert_index_.find(key);
+  return it == expert_index_.end() ? -1 : it->second;
 }
 
 std::vector<double> DeepRestEstimator::FeatureMask(const MetricKey& key) const {
@@ -516,6 +536,30 @@ bool DeepRestEstimator::Save(const std::string& path) const {
   if (!out) {
     return false;
   }
+  return SaveToStream(out);
+}
+
+bool DeepRestEstimator::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  return LoadFromStream(in);
+}
+
+std::unique_ptr<DeepRestEstimator> DeepRestEstimator::Clone() const {
+  auto copy = std::make_unique<DeepRestEstimator>(config_);
+  if (!trained()) {
+    return copy;
+  }
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  if (!SaveToStream(buffer) || !copy->LoadFromStream(buffer)) {
+    return nullptr;
+  }
+  return copy;
+}
+
+bool DeepRestEstimator::SaveToStream(std::ostream& out) const {
   auto write_u64 = [&](uint64_t v) { out.write(reinterpret_cast<const char*>(&v), 8); };
   auto write_f64 = [&](double v) { out.write(reinterpret_cast<const char*>(&v), 8); };
   auto write_str = [&](const std::string& s) {
@@ -549,11 +593,7 @@ bool DeepRestEstimator::Save(const std::string& path) const {
   return SaveParameters(store_, out);
 }
 
-bool DeepRestEstimator::Load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return false;
-  }
+bool DeepRestEstimator::LoadFromStream(std::istream& in) {
   auto read_u64 = [&](uint64_t& v) {
     in.read(reinterpret_cast<char*>(&v), 8);
     return static_cast<bool>(in);

@@ -10,6 +10,7 @@
 #ifndef SRC_CORE_ESTIMATOR_H_
 #define SRC_CORE_ESTIMATOR_H_
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -65,6 +66,14 @@ struct ResourceEstimate {
 
 using EstimateMap = std::map<MetricKey, ResourceEstimate>;
 
+// Threading contract: all const member functions (the whole inference and
+// introspection surface — EstimateFrom*, FeatureMask, HiddenTrajectories,
+// Save, Clone, ...) only read model state and are safe to call from any
+// number of threads concurrently, per the src/nn contract (see tensor.h).
+// Learn / ContinueLearning / Load / TransferRecurrentWeightsFrom mutate the
+// model and must be externally serialized against every other call. The
+// serving layer (src/serve) never mutates a published model: ContinualLearner
+// trains a Clone() and swaps it in through the ModelRegistry.
 class DeepRestEstimator {
  public:
   explicit DeepRestEstimator(const EstimatorConfig& config = {});
@@ -105,6 +114,16 @@ class DeepRestEstimator {
   // Direct estimation from an already-built feature series (advanced use).
   EstimateMap EstimateFromFeatures(const std::vector<std::vector<float>>& features) const;
 
+  // Micro-batched estimation: answers several feature-series queries in one
+  // pass. The warm-start replay over the learning-phase history — the
+  // dominant per-call cost — runs once for the whole batch, and every query
+  // continues from that shared hidden-state trajectory, exactly as the
+  // per-call path does. Results are index-aligned with `batch`; null entries
+  // are skipped and yield an empty map. This is the forward path behind
+  // EstimationService's request coalescing (src/serve).
+  std::vector<EstimateMap> EstimateFromFeaturesBatch(
+      const std::vector<const std::vector<std::vector<float>>*>& batch) const;
+
   // --- Introspection / interpretation ---
   bool trained() const { return !experts_.empty(); }
   const FeatureExtractor& features() const { return extractor_; }
@@ -142,6 +161,16 @@ class DeepRestEstimator {
   // --- Persistence ---
   bool Save(const std::string& path) const;
   bool Load(const std::string& path);
+  bool SaveToStream(std::ostream& out) const;
+  bool LoadFromStream(std::istream& in);
+
+  // Deep copy with independent parameters, produced by an in-memory
+  // serialization round-trip so the copy is exactly what Save+Load would
+  // reconstruct. This is what ContinualLearner trains on: the published
+  // snapshot stays immutable while its clone is fine-tuned and re-published
+  // through the ModelRegistry. Training-only config (epochs, learning rate,
+  // BPTT chunk) is inherited from this model.
+  std::unique_ptr<DeepRestEstimator> Clone() const;
 
  private:
   struct Expert {
@@ -175,6 +204,7 @@ class DeepRestEstimator {
   TraceSynthesizer synthesizer_;
   ParameterStore store_;
   std::vector<Expert> experts_;
+  std::map<MetricKey, int> expert_index_;  // key -> experts_ position
   Tensor alpha_;           // E x E attention weights
   Matrix diag_zero_mask_;  // constant 0-diagonal / 1-elsewhere mask
   std::vector<float> feature_scale_;

@@ -111,16 +111,23 @@ std::vector<float> FeatureExtractor::Extract(const std::vector<const Trace*>& tr
   return features;
 }
 
+std::vector<float> FeatureExtractor::ExtractWindow(const TraceCollector& traces,
+                                                   size_t window) const {
+  std::vector<const Trace*> pointers;
+  const std::vector<Trace>& in_window = traces.TracesAt(window);
+  pointers.reserve(in_window.size());
+  for (const Trace& t : in_window) {
+    pointers.push_back(&t);
+  }
+  return Extract(pointers);
+}
+
 std::vector<std::vector<float>> FeatureExtractor::ExtractSeries(const TraceCollector& traces,
                                                                 size_t from, size_t to) const {
   std::vector<std::vector<float>> series;
   series.reserve(to > from ? to - from : 0);
   for (size_t w = from; w < to; ++w) {
-    std::vector<const Trace*> window;
-    for (const Trace& t : traces.TracesAt(w)) {
-      window.push_back(&t);
-    }
-    series.push_back(Extract(window));
+    series.push_back(ExtractWindow(traces, w));
   }
   return series;
 }

@@ -40,6 +40,12 @@ class FeatureExtractor {
   // feature space is frozen after application learning).
   std::vector<float> Extract(const std::vector<const Trace*>& traces) const;
 
+  // Extracts the feature vector of a single window. Incremental entry point
+  // for streaming ingestion (src/serve): the IngestPipeline features each
+  // newly sealed window exactly once instead of rescanning history, so
+  // ExtractWindow(c, w) == ExtractSeries(c, w, w + 1)[0] by construction.
+  std::vector<float> ExtractWindow(const TraceCollector& traces, size_t window) const;
+
   // Extracts the whole feature time-series for windows [from, to).
   std::vector<std::vector<float>> ExtractSeries(const TraceCollector& traces, size_t from,
                                                 size_t to) const;

@@ -5,6 +5,31 @@
 // topological sweep that accumulates gradients into every node reachable from
 // it that requires a gradient. This mirrors the define-by-run style of the
 // PyTorch implementation the paper used.
+//
+// Threading contract
+// ------------------
+// The library keeps exactly two pieces of cross-thread state, and they define
+// what is and is not safe to run concurrently:
+//
+//   * `g_grad_enabled` is thread_local: each thread carries its own NoGradGuard
+//     nesting, so one thread running inference under a guard never disables
+//     gradients for a thread that is training.
+//   * `g_sequence` (node creation order) is a std::atomic, so node creation —
+//     and therefore any op — is safe from any number of threads at once.
+//
+// Everything else is per-node and unsynchronized. The rules that follow:
+//
+//   * Concurrent INFERENCE on a shared, const model is safe: ops under a
+//     NoGradGuard only read parameter values and produce fresh constant nodes
+//     private to the calling thread, so any number of threads may evaluate
+//     the same parameters simultaneously (this is what lets the serving layer
+//     in src/serve fan EstimateFromFeatures out across a worker pool).
+//   * TRAINING is single-threaded per model: Backward() mutates shared node
+//     state (grad, visited) and optimizers write parameter values in place,
+//     so no other thread may read or write those parameters while a training
+//     step runs. To retrain a served model, train a clone and swap it in
+//     (see DeepRestEstimator::Clone and serve::ModelRegistry).
+//   * Distinct models with disjoint parameters may train in parallel.
 #ifndef SRC_NN_TENSOR_H_
 #define SRC_NN_TENSOR_H_
 

@@ -1,0 +1,66 @@
+#include "src/serve/continual_learner.h"
+
+namespace deeprest {
+
+ContinualLearner::ContinualLearner(ModelRegistry& registry, IngestPipeline& pipeline,
+                                   size_t start_window, const ContinualLearnerConfig& config)
+    : registry_(registry), pipeline_(pipeline), config_(config),
+      trained_through_(start_window) {}
+
+ContinualLearner::~ContinualLearner() { Stop(); }
+
+void ContinualLearner::Start() {
+  if (thread_.joinable()) {
+    return;
+  }
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void ContinualLearner::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void ContinualLearner::Loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    RefreshOnce();
+    std::this_thread::sleep_for(config_.poll_interval);
+  }
+}
+
+uint64_t ContinualLearner::RefreshOnce() {
+  std::lock_guard<std::mutex> refresh_lock(refresh_mu_);
+  // Live watermark: the frontier window may still be receiving events.
+  const size_t frontier = pipeline_.WindowFrontier();
+  const size_t watermark = frontier > 0 ? frontier - 1 : 0;
+  pipeline_.Fold(watermark);
+
+  const size_t from = trained_through_.load(std::memory_order_acquire);
+  if (watermark < from + config_.min_new_windows) {
+    return 0;
+  }
+  const ModelSnapshot base = registry_.Current();
+  if (!base.valid()) {
+    return 0;
+  }
+
+  // Stable copies: training must not hold pipeline locks (it is slow) and
+  // must not race with producers appending to the live stores.
+  const TraceCollector traces = pipeline_.TracesCopy(from, watermark);
+  const MetricsStore metrics = pipeline_.MetricsCopy();
+
+  std::unique_ptr<DeepRestEstimator> next = base.model->Clone();
+  if (next == nullptr) {
+    return 0;
+  }
+  next->ContinueLearning(traces, metrics, from, watermark, config_.epochs);
+  const uint64_t version = registry_.Publish(std::move(next));
+  trained_through_.store(watermark, std::memory_order_release);
+  refreshes_.fetch_add(1, std::memory_order_relaxed);
+  return version;
+}
+
+}  // namespace deeprest

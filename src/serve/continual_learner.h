@@ -1,0 +1,74 @@
+// Background model refresh for the online estimation service.
+//
+// A single learner thread periodically folds the ingest pipeline, and once
+// enough new sealed windows have accumulated it clones the currently
+// published model, fine-tunes the clone with ContinueLearning over exactly
+// the new windows, and publishes the result through the ModelRegistry. The
+// published model is never touched: training happens entirely on the
+// private clone against stable telemetry copies, so in-flight requests keep
+// reading their snapshot while the swap happens (zero-downtime refresh).
+#ifndef SRC_SERVE_CONTINUAL_LEARNER_H_
+#define SRC_SERVE_CONTINUAL_LEARNER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "src/serve/ingest_pipeline.h"
+#include "src/serve/model_registry.h"
+
+namespace deeprest {
+
+struct ContinualLearnerConfig {
+  // Retrain once this many new sealed windows exist beyond trained_through.
+  size_t min_new_windows = 24;
+  // Fine-tuning epochs per refresh (ContinueLearning's reduced-rate loop).
+  size_t epochs = 4;
+  // How often the background thread polls the pipeline.
+  std::chrono::milliseconds poll_interval{20};
+};
+
+class ContinualLearner {
+ public:
+  // `start_window`: first live window this learner is responsible for
+  // (everything before it was covered by the initial Learn phase). The
+  // registry and pipeline must outlive the learner.
+  ContinualLearner(ModelRegistry& registry, IngestPipeline& pipeline, size_t start_window,
+                   const ContinualLearnerConfig& config = {});
+  ~ContinualLearner();
+
+  ContinualLearner(const ContinualLearner&) = delete;
+  ContinualLearner& operator=(const ContinualLearner&) = delete;
+
+  void Start();
+  void Stop();
+
+  // One synchronous refresh attempt (also what the background thread runs):
+  // folds the pipeline and retrains if enough new windows are sealed.
+  // Returns the newly published version, or 0 when skipped.
+  uint64_t RefreshOnce();
+
+  size_t trained_through() const { return trained_through_.load(std::memory_order_acquire); }
+  uint64_t refreshes_published() const {
+    return refreshes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  ModelRegistry& registry_;
+  IngestPipeline& pipeline_;
+  ContinualLearnerConfig config_;
+  std::mutex refresh_mu_;  // serializes RefreshOnce vs. the background tick
+  std::atomic<size_t> trained_through_;
+  std::atomic<uint64_t> refreshes_{0};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace deeprest
+
+#endif  // SRC_SERVE_CONTINUAL_LEARNER_H_

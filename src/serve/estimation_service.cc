@@ -1,0 +1,200 @@
+#include "src/serve/estimation_service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace deeprest {
+
+EstimationService::EstimationService(ModelRegistry& registry, IngestPipeline& pipeline,
+                                     const EstimationServiceConfig& config)
+    : registry_(registry), pipeline_(pipeline), config_(config) {
+  config_.workers = std::max<size_t>(1, config_.workers);
+  config_.max_batch = std::max<size_t>(1, config_.max_batch);
+  workers_.reserve(config_.workers);
+  for (size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+EstimationService::~EstimationService() { Stop(); }
+
+std::future<EstimationService::EstimateResult> EstimationService::SubmitTraffic(
+    TrafficSeries traffic, uint64_t seed) {
+  Request request;
+  request.kind = RequestKind::kTraffic;
+  request.traffic = std::move(traffic);
+  request.seed = seed;
+  std::future<EstimateResult> future = request.estimate_promise.get_future();
+  Enqueue(std::move(request));
+  return future;
+}
+
+std::future<EstimationService::EstimateResult> EstimationService::SubmitFeatures(
+    std::vector<std::vector<float>> features) {
+  Request request;
+  request.kind = RequestKind::kFeatures;
+  request.features = std::move(features);
+  std::future<EstimateResult> future = request.estimate_promise.get_future();
+  Enqueue(std::move(request));
+  return future;
+}
+
+std::future<EstimationService::SanityResult> EstimationService::SubmitSanityCheck(size_t from,
+                                                                                 size_t to) {
+  Request request;
+  request.kind = RequestKind::kSanity;
+  request.from = from;
+  request.to = to;
+  std::future<SanityResult> future = request.sanity_promise.get_future();
+  Enqueue(std::move(request));
+  return future;
+}
+
+void EstimationService::Enqueue(Request request) {
+  request.submitted = std::chrono::steady_clock::now();
+  stats_.RecordSubmitted();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(std::move(request));
+  }
+  queue_cv_.notify_one();
+}
+
+void EstimationService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_ && workers_.empty()) {
+      return;
+    }
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  workers_.clear();
+}
+
+void EstimationService::WorkerLoop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and fully drained
+      }
+      // Micro-batch linger: hold the first request briefly so bursts
+      // coalesce; a full batch or shutdown releases the wait early.
+      if (config_.max_batch > 1 && config_.batch_wait.count() > 0 && !stopping_ &&
+          queue_.size() < config_.max_batch) {
+        queue_cv_.wait_for(lock, config_.batch_wait, [this] {
+          return stopping_ || queue_.size() >= config_.max_batch;
+        });
+      }
+      const size_t take = std::min(queue_.size(), config_.max_batch);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    ServeBatch(std::move(batch));
+  }
+}
+
+void EstimationService::ServeBatch(std::vector<Request> batch) {
+  stats_.RecordBatch(batch.size());
+  const ModelSnapshot snapshot = registry_.Current();
+  const auto finish = [&](Request& request, EstimateMap estimates) {
+    const double latency_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                  request.submitted)
+            .count();
+    if (request.kind == RequestKind::kSanity) {
+      SanityResult result;
+      result.model_version = snapshot.version;
+      result.from = request.from;
+      result.to = request.to;  // clamped at series-build time
+      if (snapshot.valid() && result.to > result.from) {
+        const MetricsStore actuals = pipeline_.MetricsCopy();
+        SanityChecker checker(config_.sanity);
+        result.events = checker.Detect(estimates, actuals, result.from, result.to);
+      }
+      stats_.RecordServed(/*is_sanity=*/true, latency_ms);
+      request.sanity_promise.set_value(std::move(result));
+    } else {
+      EstimateResult result;
+      result.model_version = snapshot.version;
+      result.estimates = std::move(estimates);
+      stats_.RecordServed(/*is_sanity=*/false, latency_ms);
+      request.estimate_promise.set_value(std::move(result));
+    }
+  };
+
+  if (!snapshot.valid()) {
+    for (auto& request : batch) {
+      finish(request, {});
+    }
+    return;
+  }
+
+  // Materialize one feature series per request, all against the same
+  // snapshot's frozen feature space.
+  std::vector<std::vector<std::vector<float>>> series(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Request& request = batch[i];
+    switch (request.kind) {
+      case RequestKind::kFeatures:
+        series[i] = std::move(request.features);
+        break;
+      case RequestKind::kTraffic: {
+        Rng rng(request.seed);
+        TraceCollector synthetic;
+        snapshot.model->synthesizer().SynthesizeSeries(request.traffic, 0, rng, synthetic);
+        series[i] =
+            snapshot.model->features().ExtractSeries(synthetic, 0, request.traffic.windows());
+        break;
+      }
+      case RequestKind::kSanity: {
+        // Seal the requested range if producers have already delivered it;
+        // otherwise check the available prefix.
+        if (pipeline_.featured_windows() < request.to) {
+          pipeline_.Fold(std::min(request.to, pipeline_.WindowFrontier()));
+        }
+        request.to = std::min(request.to, pipeline_.featured_windows());
+        request.from = std::min(request.from, request.to);
+        series[i] = pipeline_.FeatureSlice(request.from, request.to);
+        break;
+      }
+    }
+  }
+
+  std::vector<const std::vector<std::vector<float>>*> pointers;
+  pointers.reserve(series.size());
+  for (const auto& s : series) {
+    pointers.push_back(&s);
+  }
+  // One coalesced forward pass: the warm-start replay runs once for the
+  // whole batch (see EstimateFromFeaturesBatch).
+  std::vector<EstimateMap> estimates = snapshot.model->EstimateFromFeaturesBatch(pointers);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    finish(batch[i], std::move(estimates[i]));
+  }
+}
+
+ServiceCounters EstimationService::Counters() const {
+  ServiceCounters counters = stats_.Snapshot();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    counters.queue_depth = queue_.size();
+  }
+  counters.ingest_lag_windows = pipeline_.IngestLag();
+  counters.models_published = registry_.publish_count();
+  counters.model_version = registry_.version();
+  return counters;
+}
+
+}  // namespace deeprest

@@ -1,0 +1,121 @@
+// Concurrent, micro-batching front door of the online estimator.
+//
+// Clients submit estimation and sanity-check requests and get futures back.
+// A fixed-size pool of worker threads drains a shared request queue; a
+// worker that picks up a request lingers briefly (batch_wait) to coalesce up
+// to max_batch queued requests into one forward pass via
+// DeepRestEstimator::EstimateFromFeaturesBatch, amortizing the per-call
+// warm-start replay and feature scaling across the batch.
+//
+// Snapshot discipline: a batch grabs ONE ModelSnapshot from the registry and
+// serves every request in the batch against it, so a request never observes
+// weights from two model versions even while the ContinualLearner publishes
+// mid-flight. Each result carries the version that produced it.
+#ifndef SRC_SERVE_ESTIMATION_SERVICE_H_
+#define SRC_SERVE_ESTIMATION_SERVICE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/estimator.h"
+#include "src/core/sanity.h"
+#include "src/serve/ingest_pipeline.h"
+#include "src/serve/model_registry.h"
+#include "src/serve/stats.h"
+#include "src/workload/traffic.h"
+
+namespace deeprest {
+
+struct EstimationServiceConfig {
+  size_t workers = 4;
+  // Requests coalesced into one forward pass. 1 disables micro-batching.
+  size_t max_batch = 8;
+  // How long the first request of a batch waits for company. Zero serves
+  // whatever is queued without lingering.
+  std::chrono::microseconds batch_wait{200};
+  SanityConfig sanity;
+};
+
+class EstimationService {
+ public:
+  struct EstimateResult {
+    uint64_t model_version = 0;  // 0 = no model was published yet
+    EstimateMap estimates;
+  };
+  struct SanityResult {
+    uint64_t model_version = 0;
+    size_t from = 0;
+    size_t to = 0;  // actually checked range (clamped to featured windows)
+    std::vector<AnomalyEvent> events;
+  };
+
+  // The registry and pipeline must outlive the service.
+  EstimationService(ModelRegistry& registry, IngestPipeline& pipeline,
+                    const EstimationServiceConfig& config = {});
+  ~EstimationService();
+
+  EstimationService(const EstimationService&) = delete;
+  EstimationService& operator=(const EstimationService&) = delete;
+
+  // --- Client side (any thread) ---
+
+  // Mode 1 (resource allocation): hypothetical traffic, synthesized into
+  // traces by the serving snapshot's synthesizer.
+  std::future<EstimateResult> SubmitTraffic(TrafficSeries traffic, uint64_t seed);
+
+  // Direct estimation from a prebuilt feature series.
+  std::future<EstimateResult> SubmitFeatures(std::vector<std::vector<float>> features);
+
+  // Mode 2 (sanity check) over ingested windows [from, to): expected
+  // consumption from the pipeline's feature series vs the ingested actuals.
+  std::future<SanityResult> SubmitSanityCheck(size_t from, size_t to);
+
+  // Drains the queue, then stops and joins the workers. Idempotent; called
+  // by the destructor. Submit must not race with Stop.
+  void Stop();
+
+  // Live counters (queue depth, ingest lag, and registry state filled in).
+  ServiceCounters Counters() const;
+
+ private:
+  enum class RequestKind { kFeatures, kTraffic, kSanity };
+
+  struct Request {
+    RequestKind kind = RequestKind::kFeatures;
+    std::vector<std::vector<float>> features;  // kFeatures
+    TrafficSeries traffic;                     // kTraffic
+    uint64_t seed = 0;                         // kTraffic
+    size_t from = 0;                           // kSanity
+    size_t to = 0;                             // kSanity
+    std::promise<EstimateResult> estimate_promise;
+    std::promise<SanityResult> sanity_promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  void Enqueue(Request request);
+  void WorkerLoop();
+  void ServeBatch(std::vector<Request> batch);
+
+  ModelRegistry& registry_;
+  IngestPipeline& pipeline_;
+  EstimationServiceConfig config_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+
+  ServiceStats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace deeprest
+
+#endif  // SRC_SERVE_ESTIMATION_SERVICE_H_

@@ -1,0 +1,120 @@
+#include "src/serve/ingest_pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace deeprest {
+
+IngestPipeline::IngestPipeline(FeatureExtractor extractor, const IngestPipelineConfig& config)
+    : extractor_(std::move(extractor)) {
+  const size_t shard_count = std::max<size_t>(1, config.shards);
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+IngestPipeline::Shard& IngestPipeline::ShardForTrace(const Trace& trace) {
+  // Traces are self-contained events: any shard works, so spread them
+  // round-robin to keep producer contention low regardless of trace_id
+  // distribution.
+  (void)trace;
+  const size_t index = next_trace_shard_.fetch_add(1, std::memory_order_relaxed);
+  return *shards_[index % shards_.size()];
+}
+
+IngestPipeline::Shard& IngestPipeline::ShardForKey(const MetricKey& key) {
+  // Metric samples use Record (set) semantics, so a given series must always
+  // land on the same shard for the accumulate-fold to reconstruct it exactly.
+  const size_t hash = std::hash<std::string>{}(key.component) * 31 +
+                      static_cast<size_t>(key.resource);
+  return *shards_[hash % shards_.size()];
+}
+
+void IngestPipeline::IngestTrace(size_t window, Trace trace) {
+  Shard& shard = ShardForTrace(trace);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.traces.Collect(window, std::move(trace));
+  }
+  ingested_traces_.fetch_add(1, std::memory_order_relaxed);
+  size_t frontier = frontier_.load(std::memory_order_relaxed);
+  while (window + 1 > frontier &&
+         !frontier_.compare_exchange_weak(frontier, window + 1, std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+void IngestPipeline::IngestMetric(const MetricKey& key, size_t window, double value) {
+  Shard& shard = ShardForKey(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.metrics.Record(key, window, value);
+  }
+  size_t frontier = frontier_.load(std::memory_order_relaxed);
+  while (window + 1 > frontier &&
+         !frontier_.compare_exchange_weak(frontier, window + 1, std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+size_t IngestPipeline::Fold(size_t watermark) {
+  std::lock_guard<std::mutex> fold_lock(fold_mu_);
+  const size_t sealed = features_.size();
+  for (auto& shard : shards_) {
+    TraceCollector traces;
+    MetricsStore metrics;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      traces = std::move(shard->traces);
+      shard->traces = TraceCollector();
+      metrics = std::move(shard->metrics);
+      shard->metrics = MetricsStore();
+    }
+    // Traces for already-sealed windows keep the ground truth complete but
+    // cannot change the frozen feature vectors.
+    uint64_t late = 0;
+    for (size_t w = 0; w < sealed && w < traces.window_count(); ++w) {
+      late += traces.TracesAt(w).size();
+    }
+    if (late > 0) {
+      late_.fetch_add(late, std::memory_order_relaxed);
+    }
+    collector_.MergeFrom(std::move(traces));
+    metrics_.AccumulateFrom(metrics);
+  }
+  while (features_.size() < watermark) {
+    features_.push_back(extractor_.ExtractWindow(collector_, features_.size()));
+  }
+  featured_.store(features_.size(), std::memory_order_release);
+  return features_.size();
+}
+
+size_t IngestPipeline::IngestLag() const {
+  const size_t frontier = WindowFrontier();
+  const size_t featured = featured_windows();
+  return frontier > featured ? frontier - featured : 0;
+}
+
+std::vector<std::vector<float>> IngestPipeline::FeatureSlice(size_t from, size_t to) const {
+  std::lock_guard<std::mutex> lock(fold_mu_);
+  assert(to <= features_.size() && "FeatureSlice past the featured prefix; Fold first");
+  std::vector<std::vector<float>> slice;
+  slice.reserve(to > from ? to - from : 0);
+  for (size_t w = from; w < to && w < features_.size(); ++w) {
+    slice.push_back(features_[w]);
+  }
+  return slice;
+}
+
+MetricsStore IngestPipeline::MetricsCopy() const {
+  std::lock_guard<std::mutex> lock(fold_mu_);
+  return metrics_;
+}
+
+TraceCollector IngestPipeline::TracesCopy(size_t from, size_t to) const {
+  std::lock_guard<std::mutex> lock(fold_mu_);
+  return collector_.CopyRange(from, to);
+}
+
+}  // namespace deeprest

@@ -1,0 +1,115 @@
+// Streaming telemetry ingestion for the online estimation service.
+//
+// Producer threads push completed traces and metric samples into sharded,
+// mutex-guarded buffers (one short lock per event, no contention across
+// shards). A single folder — the ContinualLearner tick or an on-demand
+// Fold() — drains the shards into the global TraceCollector / MetricsStore
+// and extends an incrementally maintained feature series: each window is
+// featured exactly once when the watermark passes it, so queries and
+// retraining never rescan history from window 0.
+//
+// Lock ownership (see DESIGN.md section "src/serve"):
+//   * Shard::mu   — producers, one push at a time; Fold swaps buffers out.
+//   * fold_mu_    — the folded state (collector_, metrics_, features_);
+//                   held by Fold while folding and by the query-side copy
+//                   accessors, never while training or serving a request.
+//
+// Window/watermark semantics: producers tag every event with its absolute
+// window index. Windows strictly below the watermark passed to Fold() are
+// sealed — their feature vectors are final. Events that arrive for an
+// already-sealed window are still folded into the collector/metrics (the
+// ground truth stays complete) but the feature series is not recomputed;
+// `late_events()` counts them.
+#ifndef SRC_SERVE_INGEST_PIPELINE_H_
+#define SRC_SERVE_INGEST_PIPELINE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/core/feature_extractor.h"
+#include "src/telemetry/metrics.h"
+#include "src/trace/collector.h"
+
+namespace deeprest {
+
+struct IngestPipelineConfig {
+  size_t shards = 4;
+};
+
+class IngestPipeline {
+ public:
+  // The pipeline owns a copy of the (frozen) feature space it features
+  // windows with. ContinueLearning never grows the feature space, so the
+  // series stays valid across model hot-swaps.
+  IngestPipeline(FeatureExtractor extractor, const IngestPipelineConfig& config = {});
+
+  // --- Producer side (any thread, concurrently) ---
+  void IngestTrace(size_t window, Trace trace);
+  void IngestMetric(const MetricKey& key, size_t window, double value);
+
+  // One past the highest window index any producer has touched (0 when
+  // nothing was ingested yet). With monotone producers the highest window
+  // may still be receiving events, so the natural live watermark to pass to
+  // Fold() is WindowFrontier() - 1; pass WindowFrontier() itself for the
+  // final fold once producers have stopped.
+  size_t WindowFrontier() const { return frontier_.load(std::memory_order_acquire); }
+
+  // --- Folder side (one thread at a time) ---
+
+  // Drains every shard into the folded stores and features all not-yet-
+  // featured windows in [0, watermark). Returns the featured-prefix length.
+  size_t Fold(size_t watermark);
+
+  // Featured-prefix length: windows [0, featured_windows()) have final
+  // feature vectors.
+  size_t featured_windows() const { return featured_.load(std::memory_order_acquire); }
+
+  // Ingested-but-not-yet-featured distance, the service's freshness metric.
+  size_t IngestLag() const;
+
+  uint64_t late_events() const { return late_.load(std::memory_order_relaxed); }
+  uint64_t total_traces() const { return ingested_traces_.load(std::memory_order_relaxed); }
+
+  // --- Query side (any thread; copies out under the fold lock) ---
+
+  // Feature vectors for windows [from, to); to must be <= featured_windows().
+  std::vector<std::vector<float>> FeatureSlice(size_t from, size_t to) const;
+
+  // Stable copies for sanity checks / background training, so callers never
+  // hold pipeline locks while running a model.
+  MetricsStore MetricsCopy() const;
+  TraceCollector TracesCopy(size_t from, size_t to) const;
+
+  const FeatureExtractor& extractor() const { return extractor_; }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    TraceCollector traces;
+    MetricsStore metrics;
+  };
+
+  Shard& ShardForTrace(const Trace& trace);
+  Shard& ShardForKey(const MetricKey& key);
+
+  FeatureExtractor extractor_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<size_t> next_trace_shard_{0};
+  std::atomic<size_t> frontier_{0};  // one past the highest ingested window
+  std::atomic<size_t> featured_{0};
+  std::atomic<uint64_t> late_{0};
+  std::atomic<uint64_t> ingested_traces_{0};
+
+  mutable std::mutex fold_mu_;
+  TraceCollector collector_;
+  MetricsStore metrics_;
+  std::vector<std::vector<float>> features_;  // [0, featured_) prefix
+};
+
+}  // namespace deeprest
+
+#endif  // SRC_SERVE_INGEST_PIPELINE_H_

@@ -1,0 +1,23 @@
+#include "src/serve/model_registry.h"
+
+namespace deeprest {
+
+uint64_t ModelRegistry::Publish(std::shared_ptr<const DeepRestEstimator> model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_.model = std::move(model);
+  return ++current_.version;
+}
+
+ModelSnapshot ModelRegistry::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t ModelRegistry::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_.version;
+}
+
+uint64_t ModelRegistry::publish_count() const { return version(); }
+
+}  // namespace deeprest

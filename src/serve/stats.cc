@@ -1,0 +1,100 @@
+#include "src/serve/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace deeprest {
+
+namespace {
+
+// Enough samples for exact p99 over any realistic bench run while bounding
+// memory; past the cap new samples overwrite a rotating slot so long-running
+// services keep a recent-ish population instead of freezing the percentiles.
+constexpr size_t kMaxLatencySamples = 1 << 18;
+
+double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  const size_t rank = std::min(samples.size() - 1,
+                               static_cast<size_t>(q * static_cast<double>(samples.size())));
+  std::nth_element(samples.begin(), samples.begin() + static_cast<ptrdiff_t>(rank),
+                   samples.end());
+  return samples[rank];
+}
+
+std::string FormatCount(uint64_t v) { return std::to_string(v); }
+
+std::string FormatMs(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f ms", v);
+  return buffer;
+}
+
+}  // namespace
+
+void ServiceStats::RecordSubmitted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++submitted_;
+}
+
+void ServiceStats::RecordBatch(size_t batch_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+  batched_requests_ += batch_size;
+  max_batch_ = std::max(max_batch_, batch_size);
+}
+
+void ServiceStats::RecordServed(bool is_sanity, double latency_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++served_;
+  if (is_sanity) {
+    ++sanity_served_;
+  } else {
+    ++estimate_served_;
+  }
+  if (latencies_ms_.size() < kMaxLatencySamples) {
+    latencies_ms_.push_back(latency_ms);
+  } else {
+    latencies_ms_[served_ % kMaxLatencySamples] = latency_ms;
+  }
+}
+
+ServiceCounters ServiceStats::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceCounters counters;
+  counters.requests_submitted = submitted_;
+  counters.requests_served = served_;
+  counters.estimate_requests = estimate_served_;
+  counters.sanity_requests = sanity_served_;
+  counters.batches_dispatched = batches_;
+  counters.max_batch_size = max_batch_;
+  counters.mean_batch_size =
+      batches_ == 0 ? 0.0
+                    : static_cast<double>(batched_requests_) / static_cast<double>(batches_);
+  counters.p50_latency_ms = Percentile(latencies_ms_, 0.50);
+  counters.p99_latency_ms = Percentile(latencies_ms_, 0.99);
+  return counters;
+}
+
+std::vector<std::pair<std::string, std::string>> ServiceCounters::Rows() const {
+  char mean[32];
+  std::snprintf(mean, sizeof(mean), "%.2f", mean_batch_size);
+  return {
+      {"requests submitted", FormatCount(requests_submitted)},
+      {"requests served", FormatCount(requests_served)},
+      {"  estimate", FormatCount(estimate_requests)},
+      {"  sanity check", FormatCount(sanity_requests)},
+      {"batches dispatched", FormatCount(batches_dispatched)},
+      {"mean batch size", mean},
+      {"max batch size", FormatCount(max_batch_size)},
+      {"queue depth", FormatCount(queue_depth)},
+      {"p50 latency", FormatMs(p50_latency_ms)},
+      {"p99 latency", FormatMs(p99_latency_ms)},
+      {"ingest lag (windows)", FormatCount(ingest_lag_windows)},
+      {"models published", FormatCount(models_published)},
+      {"serving model version", FormatCount(model_version)},
+  };
+}
+
+}  // namespace deeprest

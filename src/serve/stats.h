@@ -1,0 +1,65 @@
+// Per-service counters for the online estimation service.
+//
+// ServiceStats is the thread-safe recorder the service and its workers write
+// into; ServiceCounters is the plain snapshot struct handed to callers (and
+// rendered by `deeprest serve`). Latencies are kept as raw samples (capped)
+// so the percentiles are exact rather than bucketed.
+#ifndef SRC_SERVE_STATS_H_
+#define SRC_SERVE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace deeprest {
+
+// Immutable snapshot of the service's lifetime counters.
+struct ServiceCounters {
+  uint64_t requests_submitted = 0;
+  uint64_t requests_served = 0;
+  uint64_t estimate_requests = 0;
+  uint64_t sanity_requests = 0;
+  uint64_t batches_dispatched = 0;
+  size_t max_batch_size = 0;
+  double mean_batch_size = 0.0;
+  size_t queue_depth = 0;  // at snapshot time
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  size_t ingest_lag_windows = 0;  // ingested but not yet featured
+  uint64_t models_published = 0;  // registry swap count
+  uint64_t model_version = 0;     // currently served version
+
+  // Two-column "counter | value" table (rendered with eval/ascii elsewhere).
+  std::vector<std::pair<std::string, std::string>> Rows() const;
+};
+
+// Thread-safe recorder. All methods may be called concurrently.
+class ServiceStats {
+ public:
+  void RecordSubmitted();
+  void RecordBatch(size_t batch_size);
+  // One request completed; kind tallies and latency sample.
+  void RecordServed(bool is_sanity, double latency_ms);
+
+  // Counters accumulated so far. Queue depth / ingest lag / registry fields
+  // are owned by other components; EstimationService::Counters() fills them.
+  ServiceCounters Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t submitted_ = 0;
+  uint64_t served_ = 0;
+  uint64_t estimate_served_ = 0;
+  uint64_t sanity_served_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t batched_requests_ = 0;
+  size_t max_batch_ = 0;
+  std::vector<double> latencies_ms_;  // capped at kMaxLatencySamples
+};
+
+}  // namespace deeprest
+
+#endif  // SRC_SERVE_STATS_H_

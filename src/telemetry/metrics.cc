@@ -53,6 +53,19 @@ void MetricsStore::Accumulate(const MetricKey& key, size_t window, double value)
   window_count_ = std::max(window_count_, window + 1);
 }
 
+void MetricsStore::AccumulateFrom(const MetricsStore& other) {
+  for (const auto& [key, values] : other.series_) {
+    auto& series = series_[key];
+    if (series.size() < values.size()) {
+      series.resize(values.size(), 0.0);
+    }
+    for (size_t w = 0; w < values.size(); ++w) {
+      series[w] += values[w];
+    }
+  }
+  window_count_ = std::max(window_count_, other.window_count_);
+}
+
 bool MetricsStore::Has(const MetricKey& key) const { return series_.count(key) > 0; }
 
 double MetricsStore::At(const MetricKey& key, size_t window) const {

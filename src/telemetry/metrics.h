@@ -59,6 +59,12 @@ class MetricsStore {
   // Adds `value` on top of whatever is already recorded at `window`.
   void Accumulate(const MetricKey& key, size_t window, double value);
 
+  // Adds every sample of `other` on top of this store's series (union of
+  // keys, per-window sum). The fold step of the sharded ingest pipeline
+  // (src/serve): samples are partitioned by key across shard-local stores,
+  // so accumulating the shards reconstructs the global store exactly.
+  void AccumulateFrom(const MetricsStore& other);
+
   bool Has(const MetricKey& key) const;
   // Value at a window (0.0 when beyond the recorded range).
   double At(const MetricKey& key, size_t window) const;

@@ -27,6 +27,35 @@ std::vector<const Trace*> TraceCollector::Range(size_t from, size_t to) const {
   return out;
 }
 
+void TraceCollector::MergeFrom(TraceCollector&& other) {
+  if (other.windows_.size() > windows_.size()) {
+    windows_.resize(other.windows_.size());
+  }
+  for (size_t w = 0; w < other.windows_.size(); ++w) {
+    auto& src = other.windows_[w];
+    if (src.empty()) {
+      continue;
+    }
+    auto& dst = windows_[w];
+    dst.reserve(dst.size() + src.size());
+    for (Trace& t : src) {
+      dst.push_back(std::move(t));
+    }
+  }
+  total_ += other.total_;
+  other.Clear();
+}
+
+TraceCollector TraceCollector::CopyRange(size_t from, size_t to) const {
+  TraceCollector out;
+  for (size_t w = from; w < to && w < windows_.size(); ++w) {
+    for (const Trace& t : windows_[w]) {
+      out.Collect(w, t);
+    }
+  }
+  return out;
+}
+
 void TraceCollector::Clear() {
   windows_.clear();
   total_ = 0;

@@ -30,6 +30,17 @@ class TraceCollector {
   // Concatenated view over [from, to) used by the learning phase.
   std::vector<const Trace*> Range(size_t from, size_t to) const;
 
+  // Moves every trace of `other` into this collector, keeping window
+  // alignment; `other` is left empty. This is the fold step of the sharded
+  // ingest pipeline (src/serve): producer threads batch traces into
+  // shard-local collectors and a single folder merges them in.
+  void MergeFrom(TraceCollector&& other);
+
+  // Ranged copy of [from, to) at the same absolute window indices (earlier
+  // windows stay empty). Used to hand a stable telemetry slice to a
+  // background learner without holding ingest locks during training.
+  TraceCollector CopyRange(size_t from, size_t to) const;
+
   void Clear();
 
  private:

@@ -254,6 +254,97 @@ TEST(DeepRestEstimatorTest, SaveLoadReproducesPredictions) {
   std::remove(path.c_str());
 }
 
+// The serving layer's snapshot guarantees rest on Save/Load reconstructing
+// the exact same function: the same feature series must map to bit-identical
+// estimates, not merely close ones.
+TEST(DeepRestEstimatorTest, SaveLoadEstimatesAreBitIdentical) {
+  TinySetup s = MakeSetup();
+  DeepRestEstimator estimator(FastConfig());
+  estimator.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+  const std::string path = ::testing::TempDir() + "/deeprest_bitexact.bin";
+  ASSERT_TRUE(estimator.Save(path));
+  DeepRestEstimator restored;
+  ASSERT_TRUE(restored.Load(path));
+  std::remove(path.c_str());
+
+  const auto features = estimator.features().ExtractSeries(s.traces, s.learn_windows,
+                                                           s.learn_windows + s.query_windows);
+  const EstimateMap a = estimator.EstimateFromFeatures(features);
+  const EstimateMap b = restored.EstimateFromFeatures(features);
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [key, estimate] : a) {
+    EXPECT_EQ(estimate.expected, b.at(key).expected) << key.ToString();
+    EXPECT_EQ(estimate.lower, b.at(key).lower) << key.ToString();
+    EXPECT_EQ(estimate.upper, b.at(key).upper) << key.ToString();
+  }
+}
+
+TEST(DeepRestEstimatorTest, CloneIsBitIdenticalAndIndependent) {
+  TinySetup s = MakeSetup();
+  DeepRestEstimator estimator(FastConfig());
+  estimator.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+  std::unique_ptr<DeepRestEstimator> clone = estimator.Clone();
+  ASSERT_NE(clone, nullptr);
+  EXPECT_EQ(clone->expert_count(), estimator.expert_count());
+
+  const auto features = estimator.features().ExtractSeries(s.traces, s.learn_windows,
+                                                           s.learn_windows + s.query_windows);
+  const EstimateMap original = estimator.EstimateFromFeatures(features);
+  const EstimateMap cloned = clone->EstimateFromFeatures(features);
+  for (const auto& [key, estimate] : original) {
+    EXPECT_EQ(estimate.expected, cloned.at(key).expected) << key.ToString();
+  }
+
+  // Fine-tuning the clone must not disturb the original (independent
+  // parameters) — this is what lets ContinualLearner train a clone while the
+  // published snapshot keeps serving.
+  clone->ContinueLearning(s.traces, s.metrics, s.learn_windows,
+                          s.learn_windows + s.query_windows, 2);
+  const EstimateMap after = estimator.EstimateFromFeatures(features);
+  bool clone_diverged = false;
+  const EstimateMap cloned_after = clone->EstimateFromFeatures(features);
+  for (const auto& [key, estimate] : original) {
+    EXPECT_EQ(estimate.expected, after.at(key).expected) << key.ToString();
+    if (estimate.expected != cloned_after.at(key).expected) {
+      clone_diverged = true;
+    }
+  }
+  EXPECT_TRUE(clone_diverged);
+}
+
+TEST(DeepRestEstimatorTest, CloneOfUntrainedIsUntrained) {
+  DeepRestEstimator estimator;
+  std::unique_ptr<DeepRestEstimator> clone = estimator.Clone();
+  ASSERT_NE(clone, nullptr);
+  EXPECT_FALSE(clone->trained());
+}
+
+TEST(DeepRestEstimatorTest, BatchEstimateMatchesPerCallExactly) {
+  TinySetup s = MakeSetup();
+  DeepRestEstimator estimator(FastConfig());
+  estimator.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+
+  const size_t mid = s.learn_windows + s.query_windows / 2;
+  const auto first = estimator.features().ExtractSeries(s.traces, s.learn_windows, mid);
+  const auto second =
+      estimator.features().ExtractSeries(s.traces, mid, s.learn_windows + s.query_windows);
+  const auto results = estimator.EstimateFromFeaturesBatch({&first, nullptr, &second, &first});
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[1].empty());  // null entries yield empty maps
+
+  const EstimateMap ref_first = estimator.EstimateFromFeatures(first);
+  const EstimateMap ref_second = estimator.EstimateFromFeatures(second);
+  for (const auto& [key, estimate] : ref_first) {
+    EXPECT_EQ(estimate.expected, results[0].at(key).expected) << key.ToString();
+    EXPECT_EQ(estimate.lower, results[0].at(key).lower) << key.ToString();
+    EXPECT_EQ(estimate.upper, results[0].at(key).upper) << key.ToString();
+    EXPECT_EQ(estimate.expected, results[3].at(key).expected) << key.ToString();
+  }
+  for (const auto& [key, estimate] : ref_second) {
+    EXPECT_EQ(estimate.expected, results[2].at(key).expected) << key.ToString();
+  }
+}
+
 TEST(DeepRestEstimatorTest, LoadFromMissingFileFails) {
   DeepRestEstimator estimator;
   EXPECT_FALSE(estimator.Load("/nonexistent/model.bin"));

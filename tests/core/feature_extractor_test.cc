@@ -142,6 +142,27 @@ TEST(FeatureExtractorTest, ExtractSeriesAlignsWithWindows) {
   EXPECT_FLOAT_EQ(window1_total, 6.0f);
 }
 
+TEST(FeatureExtractorTest, ExtractWindowMatchesExtractSeries) {
+  FeatureExtractor fx;
+  TraceCollector collector;
+  collector.Collect(0, ReadTrace(1));
+  collector.Collect(1, ReadTrace(2));
+  collector.Collect(1, WriteTrace(3));
+  collector.Collect(3, WriteTrace(4));  // window 2 left empty
+  fx.LearnRange(collector, 0, 4);
+  const auto series = fx.ExtractSeries(collector, 0, 4);
+  ASSERT_EQ(series.size(), 4u);
+  for (size_t w = 0; w < 4; ++w) {
+    EXPECT_EQ(fx.ExtractWindow(collector, w), series[w]) << "window " << w;
+  }
+  // Windows beyond the collector's range extract as all-zero.
+  const auto beyond = fx.ExtractWindow(collector, 10);
+  ASSERT_EQ(beyond.size(), fx.dimension());
+  for (float f : beyond) {
+    EXPECT_FLOAT_EQ(f, 0.0f);
+  }
+}
+
 TEST(FeatureExtractorTest, SaveLoadRoundTrip) {
   FeatureExtractor fx;
   fx.LearnTrace(ReadTrace(1));

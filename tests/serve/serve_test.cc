@@ -1,0 +1,506 @@
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/estimator.h"
+#include "src/core/sanity.h"
+#include "src/serve/continual_learner.h"
+#include "src/serve/estimation_service.h"
+#include "src/serve/ingest_pipeline.h"
+#include "src/serve/model_registry.h"
+#include "src/sim/simulator.h"
+
+namespace deeprest {
+namespace {
+
+// Same three-component application as the estimator tests: small enough that
+// training a model (and fine-tuning its clones) takes milliseconds.
+Application TinyApp() {
+  Application app("tiny");
+  ComponentSpec frontend;
+  frontend.name = "Frontend";
+  frontend.cpu_baseline = 2.0;
+  app.AddComponent(frontend);
+  ComponentSpec worker;
+  worker.name = "Worker";
+  worker.cpu_baseline = 1.0;
+  app.AddComponent(worker);
+  ComponentSpec db;
+  db.name = "DB";
+  db.stateful = true;
+  db.cpu_baseline = 1.5;
+  db.initial_disk_mb = 100.0;
+  db.write_noise_ops = 0.2;
+  db.write_noise_kb = 2.0;
+  app.AddComponent(db);
+
+  CostTerm cpu_small;
+  cpu_small.base = 0.05;
+  CostTerm cpu_mid;
+  cpu_mid.base = 0.12;
+  CostTerm db_read_cpu;
+  db_read_cpu.base = 0.10;
+  CostTerm db_write_cpu;
+  db_write_cpu.base = 0.08;
+  CostTerm iops;
+  iops.resource = ResourceKind::kWriteIops;
+  iops.base = 1.0;
+  CostTerm thr;
+  thr.resource = ResourceKind::kWriteThroughput;
+  thr.base = 1.5;
+
+  ApiEndpoint read;
+  read.name = "/read";
+  OpNode read_db{"DB", "find", 1.0, "", {db_read_cpu}, {}};
+  OpNode read_worker{"Worker", "get", 1.0, "", {cpu_mid}, {read_db}};
+  read.root = OpNode{"Frontend", "read", 1.0, "", {cpu_small}, {read_worker}};
+  app.AddApi(read);
+
+  ApiEndpoint write;
+  write.name = "/write";
+  OpNode write_db{"DB", "insert", 1.0, "", {db_write_cpu, iops, thr}, {}};
+  OpNode write_worker{"Worker", "put", 1.0, "", {cpu_mid}, {write_db}};
+  write.root = OpNode{"Frontend", "write", 1.0, "", {cpu_small}, {write_worker}};
+  app.AddApi(write);
+  return app;
+}
+
+TrafficSeries RandomTraffic(size_t windows, uint64_t seed) {
+  TrafficSeries series({"/read", "/write"}, windows);
+  Rng rng(seed);
+  for (size_t w = 0; w < windows; ++w) {
+    series.set_rate(w, 0, rng.Uniform(10.0, 120.0));
+    series.set_rate(w, 1, rng.Uniform(5.0, 60.0));
+  }
+  return series;
+}
+
+struct TinySetup {
+  Application app = TinyApp();
+  TraceCollector traces;
+  MetricsStore metrics;
+  size_t learn_windows = 96;
+  size_t query_windows = 32;
+  size_t total() const { return learn_windows + query_windows; }
+};
+
+TinySetup MakeSetup(uint64_t seed = 1) {
+  TinySetup s;
+  Simulator sim(s.app, {.seed = seed});
+  sim.Run(RandomTraffic(s.learn_windows, seed), 0, &s.traces, &s.metrics);
+  sim.Run(RandomTraffic(s.query_windows, seed + 100), s.learn_windows, &s.traces, &s.metrics);
+  return s;
+}
+
+EstimatorConfig FastConfig() {
+  EstimatorConfig config;
+  config.hidden_dim = 8;
+  config.epochs = 12;
+  config.bptt_chunk = 24;
+  config.seed = 3;
+  return config;
+}
+
+std::unique_ptr<DeepRestEstimator> TrainModel(const TinySetup& s) {
+  auto model = std::make_unique<DeepRestEstimator>(FastConfig());
+  model->Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+  return model;
+}
+
+// Streams every trace and metric sample of [from, to) into the pipeline.
+void IngestRange(IngestPipeline& pipeline, const TinySetup& s, size_t from, size_t to) {
+  const auto keys = s.metrics.Keys();
+  for (size_t w = from; w < to; ++w) {
+    for (const Trace& trace : s.traces.TracesAt(w)) {
+      pipeline.IngestTrace(w, trace);
+    }
+    for (const MetricKey& key : keys) {
+      pipeline.IngestMetric(key, w, s.metrics.At(key, w));
+    }
+  }
+}
+
+// Bitwise equality: both sides must come from the same deterministic forward
+// pass over the same weights, so every double matches exactly.
+void ExpectSameEstimates(const EstimateMap& a, const EstimateMap& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [key, estimate] : a) {
+    ASSERT_TRUE(b.count(key)) << key.ToString();
+    const auto& other = b.at(key);
+    EXPECT_EQ(estimate.expected, other.expected) << key.ToString();
+    EXPECT_EQ(estimate.lower, other.lower) << key.ToString();
+    EXPECT_EQ(estimate.upper, other.upper) << key.ToString();
+  }
+}
+
+TEST(ModelRegistryTest, EmptyRegistryHasNoSnapshot) {
+  ModelRegistry registry;
+  EXPECT_FALSE(registry.Current().valid());
+  EXPECT_EQ(registry.version(), 0u);
+  EXPECT_EQ(registry.publish_count(), 0u);
+}
+
+TEST(ModelRegistryTest, PublishVersionsMonotonically) {
+  ModelRegistry registry;
+  auto first = std::make_shared<const DeepRestEstimator>();
+  EXPECT_EQ(registry.Publish(first), 1u);
+  const ModelSnapshot v1 = registry.Current();
+  EXPECT_TRUE(v1.valid());
+  EXPECT_EQ(v1.version, 1u);
+  EXPECT_EQ(v1.model.get(), first.get());
+
+  EXPECT_EQ(registry.Publish(std::make_unique<DeepRestEstimator>()), 2u);
+  EXPECT_EQ(registry.version(), 2u);
+  EXPECT_EQ(registry.Current().version, 2u);
+  // The old snapshot's reader still holds version 1, untouched.
+  EXPECT_EQ(v1.model.get(), first.get());
+}
+
+TEST(IngestPipelineTest, FoldReconstructsFeaturesAndMetricsExactly) {
+  TinySetup s = MakeSetup();
+  FeatureExtractor fx;
+  fx.LearnRange(s.traces, 0, s.learn_windows);
+
+  IngestPipeline pipeline(fx, {.shards = 4});
+  // Concurrent producers, interleaved windows.
+  std::vector<std::thread> producers;
+  const size_t kProducers = 3;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      const auto keys = s.metrics.Keys();
+      for (size_t w = p; w < s.total(); w += kProducers) {
+        for (const Trace& trace : s.traces.TracesAt(w)) {
+          pipeline.IngestTrace(w, trace);
+        }
+        for (const MetricKey& key : keys) {
+          pipeline.IngestMetric(key, w, s.metrics.At(key, w));
+        }
+      }
+    });
+  }
+  for (auto& producer : producers) {
+    producer.join();
+  }
+  EXPECT_EQ(pipeline.WindowFrontier(), s.total());
+  EXPECT_EQ(pipeline.total_traces(), s.traces.total_traces());
+
+  EXPECT_EQ(pipeline.Fold(s.total()), s.total());
+  EXPECT_EQ(pipeline.featured_windows(), s.total());
+  EXPECT_EQ(pipeline.IngestLag(), 0u);
+
+  // The incrementally maintained feature series must equal a from-scratch
+  // extraction over the original collector.
+  const auto expected = fx.ExtractSeries(s.traces, 0, s.total());
+  const auto actual = pipeline.FeatureSlice(0, s.total());
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t w = 0; w < expected.size(); ++w) {
+    EXPECT_EQ(actual[w], expected[w]) << "window " << w;
+  }
+
+  const MetricsStore folded = pipeline.MetricsCopy();
+  for (const MetricKey& key : s.metrics.Keys()) {
+    for (size_t w = 0; w < s.total(); ++w) {
+      EXPECT_DOUBLE_EQ(folded.At(key, w), s.metrics.At(key, w)) << key.ToString();
+    }
+  }
+}
+
+TEST(IngestPipelineTest, IncrementalFoldsMatchOneShotFold) {
+  TinySetup s = MakeSetup();
+  FeatureExtractor fx;
+  fx.LearnRange(s.traces, 0, s.learn_windows);
+
+  IngestPipeline incremental(fx, {.shards = 2});
+  for (size_t w = 0; w < s.total(); ++w) {
+    IngestRange(incremental, s, w, w + 1);
+    incremental.Fold(w + 1);
+  }
+  IngestPipeline one_shot(fx, {.shards = 2});
+  IngestRange(one_shot, s, 0, s.total());
+  one_shot.Fold(s.total());
+
+  const auto a = incremental.FeatureSlice(0, s.total());
+  const auto b = one_shot.FeatureSlice(0, s.total());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t w = 0; w < a.size(); ++w) {
+    EXPECT_EQ(a[w], b[w]) << "window " << w;
+  }
+}
+
+TEST(IngestPipelineTest, LateEventsFoldIntoTruthButNotFeatures) {
+  TinySetup s = MakeSetup();
+  FeatureExtractor fx;
+  fx.LearnRange(s.traces, 0, s.learn_windows);
+
+  IngestPipeline pipeline(fx, {.shards = 2});
+  IngestRange(pipeline, s, 0, 8);
+  pipeline.Fold(8);  // seals windows [0, 8)
+  const auto sealed = pipeline.FeatureSlice(0, 8);
+
+  // A straggler trace for already-sealed window 2.
+  pipeline.IngestTrace(2, s.traces.TracesAt(2).front());
+  pipeline.Fold(8);
+  EXPECT_EQ(pipeline.late_events(), 1u);
+  // Ground truth grew by the late trace...
+  size_t original = 0;
+  for (size_t w = 0; w < 8; ++w) {
+    original += s.traces.TracesAt(w).size();
+  }
+  EXPECT_EQ(pipeline.TracesCopy(0, 8).total_traces(), original + 1);
+  // ...but the sealed features did not move.
+  const auto after = pipeline.FeatureSlice(0, 8);
+  for (size_t w = 0; w < 8; ++w) {
+    EXPECT_EQ(after[w], sealed[w]) << "window " << w;
+  }
+}
+
+// Satellite: the const inference surface is multi-thread safe. Eight threads
+// hammering EstimateFromFeatures must each reproduce the single-threaded
+// result bit for bit.
+TEST(ConcurrentInferenceTest, EightThreadsMatchSingleThreaded) {
+  TinySetup s = MakeSetup();
+  auto model = TrainModel(s);
+  const auto features = model->features().ExtractSeries(s.traces, s.learn_windows, s.total());
+  const EstimateMap reference = model->EstimateFromFeatures(features);
+
+  constexpr size_t kThreads = 8;
+  std::vector<EstimateMap> results(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { results[t] = model->EstimateFromFeatures(features); });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  for (size_t t = 0; t < kThreads; ++t) {
+    ExpectSameEstimates(results[t], reference);
+  }
+}
+
+TEST(EstimationServiceTest, ConcurrentRequestsNeverMixModelVersions) {
+  TinySetup s = MakeSetup();
+  auto v1_model = TrainModel(s);
+  const auto features = v1_model->features().ExtractSeries(s.traces, s.learn_windows, s.total());
+
+  // v2 = fine-tuned clone; compute both single-threaded references up front.
+  std::unique_ptr<DeepRestEstimator> v2_model = v1_model->Clone();
+  ASSERT_NE(v2_model, nullptr);
+  v2_model->ContinueLearning(s.traces, s.metrics, s.learn_windows, s.total(), 2);
+  const EstimateMap ref_v1 = v1_model->EstimateFromFeatures(features);
+  const EstimateMap ref_v2 = v2_model->EstimateFromFeatures(features);
+
+  ModelRegistry registry;
+  IngestPipeline pipeline(v1_model->features(), {.shards = 2});
+  registry.Publish(std::move(v1_model));
+
+  EstimationServiceConfig config;
+  config.workers = 4;
+  config.max_batch = 4;
+  EstimationService service(registry, pipeline, config);
+
+  // Clients submit while the main thread hot-swaps v2 mid-run.
+  constexpr size_t kClients = 4;
+  constexpr size_t kPerClient = 8;
+  std::vector<std::future<EstimationService::EstimateResult>> futures(kClients * kPerClient);
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = 0; i < kPerClient; ++i) {
+        futures[c * kPerClient + i] = service.SubmitFeatures(features);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  registry.Publish(std::move(v2_model));
+  for (auto& client : clients) {
+    client.join();
+  }
+
+  size_t v1_served = 0;
+  size_t v2_served = 0;
+  for (auto& future : futures) {
+    const auto result = future.get();
+    // Every result must be bit-identical to exactly one version's reference:
+    // a batch serves all of its requests from one snapshot, so no request
+    // can observe weights from two versions.
+    if (result.model_version == 1) {
+      ++v1_served;
+      ExpectSameEstimates(result.estimates, ref_v1);
+    } else {
+      ASSERT_EQ(result.model_version, 2u);
+      ++v2_served;
+      ExpectSameEstimates(result.estimates, ref_v2);
+    }
+  }
+  EXPECT_EQ(v1_served + v2_served, kClients * kPerClient);
+
+  const ServiceCounters counters = service.Counters();
+  EXPECT_EQ(counters.requests_served, kClients * kPerClient);
+  EXPECT_EQ(counters.model_version, 2u);
+}
+
+TEST(EstimationServiceTest, MicroBatchingCoalescesBackedUpQueue) {
+  TinySetup s = MakeSetup();
+  ModelRegistry registry;
+  auto model = TrainModel(s);
+  const auto features = model->features().ExtractSeries(s.traces, s.learn_windows, s.total());
+  IngestPipeline pipeline(model->features(), {.shards = 2});
+  registry.Publish(std::move(model));
+
+  EstimationServiceConfig config;
+  config.workers = 1;  // one worker: submissions outpace serving
+  config.max_batch = 8;
+  EstimationService service(registry, pipeline, config);
+
+  std::vector<std::future<EstimationService::EstimateResult>> futures;
+  futures.reserve(64);
+  for (size_t i = 0; i < 64; ++i) {
+    futures.push_back(service.SubmitFeatures(features));
+  }
+  for (auto& future : futures) {
+    (void)future.get();
+  }
+  const ServiceCounters counters = service.Counters();
+  EXPECT_EQ(counters.requests_served, 64u);
+  EXPECT_GE(counters.max_batch_size, 2u);
+  EXPECT_LE(counters.max_batch_size, config.max_batch);
+  EXPECT_LT(counters.batches_dispatched, 64u);
+}
+
+TEST(EstimationServiceTest, SanityCheckMatchesDirectChecker) {
+  TinySetup s = MakeSetup();
+  auto model = TrainModel(s);
+  ModelRegistry registry;
+  IngestPipeline pipeline(model->features(), {.shards = 2});
+  IngestRange(pipeline, s, 0, s.total());
+  pipeline.Fold(s.total());
+  const DeepRestEstimator* raw_model = model.get();
+  registry.Publish(std::move(model));
+
+  EstimationService service(registry, pipeline);
+  const auto result = service.SubmitSanityCheck(s.learn_windows, s.total()).get();
+  EXPECT_EQ(result.model_version, 1u);
+  EXPECT_EQ(result.from, s.learn_windows);
+  EXPECT_EQ(result.to, s.total());
+
+  const EstimateMap expected =
+      raw_model->EstimateFromFeatures(pipeline.FeatureSlice(s.learn_windows, s.total()));
+  const auto direct =
+      SanityChecker().Detect(expected, pipeline.MetricsCopy(), s.learn_windows, s.total());
+  ASSERT_EQ(result.events.size(), direct.size());
+  for (size_t e = 0; e < direct.size(); ++e) {
+    EXPECT_EQ(result.events[e].start_window, direct[e].start_window);
+    EXPECT_EQ(result.events[e].end_window, direct[e].end_window);
+    EXPECT_DOUBLE_EQ(result.events[e].peak_score, direct[e].peak_score);
+  }
+}
+
+TEST(EstimationServiceTest, SanityCheckClampsToFeaturedWindows) {
+  TinySetup s = MakeSetup();
+  auto model = TrainModel(s);
+  ModelRegistry registry;
+  IngestPipeline pipeline(model->features(), {.shards = 2});
+  IngestRange(pipeline, s, 0, s.learn_windows + 8);
+  pipeline.Fold(s.learn_windows + 8);
+  registry.Publish(std::move(model));
+
+  EstimationService service(registry, pipeline);
+  // Asks beyond the featured prefix; the service clamps instead of reading
+  // unsealed windows.
+  const auto result = service.SubmitSanityCheck(s.learn_windows, s.total()).get();
+  EXPECT_EQ(result.to, s.learn_windows + 8);
+}
+
+TEST(EstimationServiceTest, UnpublishedRegistryYieldsVersionZero) {
+  TinySetup s = MakeSetup();
+  FeatureExtractor fx;
+  fx.LearnRange(s.traces, 0, s.learn_windows);
+  ModelRegistry registry;
+  IngestPipeline pipeline(fx, {.shards = 2});
+  EstimationService service(registry, pipeline);
+  const auto result = service.SubmitFeatures({{1.0f, 2.0f}}).get();
+  EXPECT_EQ(result.model_version, 0u);
+  EXPECT_TRUE(result.estimates.empty());
+}
+
+TEST(ContinualLearnerTest, RefreshOncePublishesFineTunedClone) {
+  TinySetup s = MakeSetup();
+  auto model = TrainModel(s);
+
+  ModelRegistry registry;
+  IngestPipeline pipeline(model->features(), {.shards = 2});
+  const DeepRestEstimator* base = model.get();
+  registry.Publish(std::move(model));
+
+  ContinualLearnerConfig config;
+  config.min_new_windows = 16;
+  config.epochs = 2;
+  ContinualLearner learner(registry, pipeline, s.learn_windows, config);
+
+  // Nothing ingested yet: refresh must skip.
+  EXPECT_EQ(learner.RefreshOnce(), 0u);
+  EXPECT_EQ(registry.version(), 1u);
+
+  IngestRange(pipeline, s, s.learn_windows, s.total());
+  const uint64_t version = learner.RefreshOnce();
+  EXPECT_EQ(version, 2u);
+  EXPECT_EQ(registry.version(), 2u);
+  // Live watermark: the frontier window itself may still be receiving data.
+  EXPECT_EQ(learner.trained_through(), s.total() - 1);
+
+  const ModelSnapshot current = registry.Current();
+  ASSERT_TRUE(current.valid());
+  EXPECT_TRUE(current.model->trained());
+  // The published refresh is a fine-tuned clone, not the base model: a clone
+  // starts with a fresh loss history, so after the refresh it holds exactly
+  // the fine-tuning epochs.
+  EXPECT_NE(current.model.get(), base);
+  EXPECT_EQ(current.model->epoch_losses().size(), config.epochs);
+
+  // Not enough new windows since the last refresh: skip again.
+  EXPECT_EQ(learner.RefreshOnce(), 0u);
+  EXPECT_EQ(learner.refreshes_published(), 1u);
+}
+
+TEST(ContinualLearnerTest, BackgroundThreadPublishesWhileServing) {
+  TinySetup s = MakeSetup();
+  auto model = TrainModel(s);
+  ModelRegistry registry;
+  IngestPipeline pipeline(model->features(), {.shards = 2});
+  const auto features = model->features().ExtractSeries(s.traces, s.learn_windows, s.total());
+  registry.Publish(std::move(model));
+
+  ContinualLearnerConfig learner_config;
+  learner_config.min_new_windows = 8;
+  learner_config.epochs = 1;
+  learner_config.poll_interval = std::chrono::milliseconds(1);
+  ContinualLearner learner(registry, pipeline, s.learn_windows, learner_config);
+
+  EstimationServiceConfig service_config;
+  service_config.workers = 2;
+  EstimationService service(registry, pipeline, service_config);
+
+  learner.Start();
+  IngestRange(pipeline, s, s.learn_windows, s.total());
+  // Keep requests in flight while the learner retrains and swaps.
+  uint64_t last_version = 0;
+  for (int spin = 0; spin < 2000 && registry.version() < 2; ++spin) {
+    const auto result = service.SubmitFeatures(features).get();
+    last_version = result.model_version;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  learner.Stop();
+  EXPECT_GE(registry.version(), 2u);
+  EXPECT_GE(learner.refreshes_published(), 1u);
+  EXPECT_GE(last_version, 1u);
+}
+
+}  // namespace
+}  // namespace deeprest

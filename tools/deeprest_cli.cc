@@ -13,22 +13,38 @@
 //       Continue the simulation with real traffic (optionally attacked),
 //       run the application sanity check, and print alerts.
 //
+//   deeprest serve   [--app=social|hotel] [--days=N] [--wpd=N] [--seed=N]
+//                    [--serve-days=N] [--workers=N] [--batch=N] [--clients=N]
+//                    [--refresh-windows=N] [--attack=ransomware|cryptojacking]
+//                    [--target=COMPONENT]
+//       Online serving demo: train (or load with --model), then stream a
+//       simulated live workload through the ingest pipeline while client
+//       threads hammer the estimation service and the continual learner
+//       hot-swaps refreshed models. Prints the service counters.
+//
 //   deeprest demo
 //       One-command tour: train, estimate, and check on the social network.
 //
 // The train/estimate/check flow persists only the model file; estimate and
 // check re-create the deterministic simulation from the seed recorded in the
 // file name side-band (pass the same --app/--days/--wpd/--seed used to train).
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/planner.h"
 #include "src/eval/ascii.h"
 #include "src/eval/harness.h"
+#include "src/serve/continual_learner.h"
+#include "src/serve/estimation_service.h"
+#include "src/serve/ingest_pipeline.h"
+#include "src/serve/model_registry.h"
 
 namespace deeprest {
 namespace {
@@ -206,6 +222,154 @@ int CmdCheck(const CliArgs& args) {
   return 0;
 }
 
+int CmdServe(const CliArgs& args) {
+  HarnessConfig config = ConfigFrom(args);
+  ExperimentHarness harness(config);
+
+  const size_t serve_days = args.GetSize("serve-days", 2);
+  const std::string attack_kind = args.Get("attack", "");
+  if (!attack_kind.empty()) {
+    AttackSpec attack;
+    attack.kind = attack_kind == "ransomware" ? AttackSpec::Kind::kRansomware
+                                              : AttackSpec::Kind::kCryptojacking;
+    attack.component = args.Get("target", "PostStorageMongoDB");
+    attack.start_window = harness.learn_windows() +
+                          config.windows_per_day * (serve_days - 1) +
+                          config.windows_per_day / 3;
+    attack.end_window = attack.start_window + config.windows_per_day / 4;
+    harness.simulator().AddAttack(attack);
+    std::printf("Injecting %s on %s (windows %zu-%zu)\n", attack_kind.c_str(),
+                attack.component.c_str(), attack.start_window, attack.end_window);
+  }
+
+  // Ground-truth live phase: continue the simulation so there is real
+  // telemetry to stream through the pipeline.
+  Rng traffic_rng(config.seed + 47);
+  const auto live = harness.RunQuery(GenerateTraffic(harness.QuerySpec(serve_days), traffic_rng));
+
+  // Initial model: either the harness's freshly trained one or --model.
+  std::printf("Preparing initial model...\n");
+  std::unique_ptr<DeepRestEstimator> initial;
+  const std::string model_path = args.Get("model", "");
+  if (!model_path.empty()) {
+    initial = std::make_unique<DeepRestEstimator>();
+    if (!initial->Load(model_path)) {
+      std::fprintf(stderr, "serve: could not load --model=%s\n", model_path.c_str());
+      return 2;
+    }
+  } else {
+    initial = harness.deeprest().Clone();
+  }
+  ModelRegistry registry;
+  IngestPipeline pipeline(initial->features(), {.shards = 4});
+  registry.Publish(std::move(initial));
+
+  ContinualLearnerConfig learner_config;
+  learner_config.min_new_windows = args.GetSize("refresh-windows", config.windows_per_day);
+  learner_config.epochs = 2;
+  ContinualLearner learner(registry, pipeline, live.from, learner_config);
+  learner.Start();
+
+  EstimationServiceConfig service_config;
+  service_config.workers = args.GetSize("workers", 4);
+  service_config.max_batch = args.GetSize("batch", 8);
+  EstimationService service(registry, pipeline, service_config);
+
+  std::printf("Serving %zu live windows with %zu workers (batch %zu)...\n",
+              live.to - live.from, service_config.workers, service_config.max_batch);
+
+  // Producer: replays the live phase's traces and metric samples into the
+  // sharded pipeline, one window at a time, as a telemetry agent would.
+  std::atomic<bool> producing{true};
+  std::thread producer([&] {
+    const auto keys = harness.metrics().Keys();
+    for (size_t w = live.from; w < live.to; ++w) {
+      for (const Trace& trace : harness.traces().TracesAt(w)) {
+        pipeline.IngestTrace(w, trace);
+      }
+      for (const MetricKey& key : keys) {
+        pipeline.IngestMetric(key, w, harness.metrics().At(key, w));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    producing.store(false);
+  });
+
+  // Clients: a mix of mode-1 traffic estimates and mode-2 sanity checks over
+  // the freshest sealed windows.
+  const size_t client_count = args.GetSize("clients", 3);
+  std::atomic<uint64_t> versions_seen_bits{0};
+  std::atomic<size_t> anomalies_seen{0};
+  std::vector<std::thread> clients;
+  clients.reserve(client_count);
+  for (size_t c = 0; c < client_count; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(config.seed * 977 + c);
+      size_t round = 0;
+      while (producing.load(std::memory_order_acquire)) {
+        if (++round % 5 == 0 && pipeline.featured_windows() > live.from + 4) {
+          auto future = service.SubmitSanityCheck(live.from, pipeline.featured_windows());
+          const auto result = future.get();
+          anomalies_seen.fetch_add(result.events.size(), std::memory_order_relaxed);
+          versions_seen_bits.fetch_or(uint64_t{1} << (result.model_version & 63u),
+                                      std::memory_order_relaxed);
+        } else {
+          TrafficSpec spec = harness.QuerySpec(1);
+          spec.user_scale = rng.Uniform(0.5, 3.0);
+          auto future = service.SubmitTraffic(GenerateTraffic(spec, rng), rng.NextU64());
+          const auto result = future.get();
+          versions_seen_bits.fetch_or(uint64_t{1} << (result.model_version & 63u),
+                                      std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  producer.join();
+  for (auto& client : clients) {
+    client.join();
+  }
+  learner.Stop();
+
+  // Final fold seals the last window, then one authoritative sanity pass.
+  pipeline.Fold(pipeline.WindowFrontier());
+  const auto final_sanity = service.SubmitSanityCheck(live.from, live.to).get();
+  service.Stop();
+
+  const ServiceCounters counters = service.Counters();
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [name, value] : counters.Rows()) {
+    rows.push_back({name, value});
+  }
+  rows.push_back({"late events", std::to_string(pipeline.late_events())});
+  rows.push_back({"traces ingested", std::to_string(pipeline.total_traces())});
+  rows.push_back({"learner refreshes", std::to_string(learner.refreshes_published())});
+  rows.push_back({"client anomalies seen", std::to_string(anomalies_seen.load())});
+  std::printf("\nService counters:\n%s\n", RenderTable({"counter", "value"}, rows).c_str());
+
+  uint64_t versions = 0;
+  for (uint64_t bits = versions_seen_bits.load(); bits != 0; bits &= bits - 1) {
+    ++versions;
+  }
+  std::printf("Model versions observed by clients: %llu (registry at v%llu)\n",
+              static_cast<unsigned long long>(versions),
+              static_cast<unsigned long long>(registry.version()));
+
+  if (final_sanity.events.empty()) {
+    std::printf("Final sanity check (v%llu): no anomalies over %zu windows.\n",
+                static_cast<unsigned long long>(final_sanity.model_version),
+                final_sanity.to - final_sanity.from);
+  } else {
+    std::printf("Final sanity check (v%llu): %zu anomalous event(s):\n\n",
+                static_cast<unsigned long long>(final_sanity.model_version),
+                final_sanity.events.size());
+    for (const auto& event : final_sanity.events) {
+      std::printf("%s\n", event.Describe(config.windows_per_day).c_str());
+    }
+  }
+  return 0;
+}
+
 int CmdDemo() {
   const std::string model = "/tmp/deeprest_demo_model.bin";
   CliArgs train_args;
@@ -231,13 +395,15 @@ int CmdDemo() {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: deeprest <train|estimate|check|demo> [--flags]\n"
+               "usage: deeprest <train|estimate|check|serve|demo> [--flags]\n"
                "  train    --model=FILE [--app=social|hotel] [--days=N] [--wpd=N]\n"
                "           [--seed=N] [--hidden=N] [--epochs=N]\n"
                "  estimate --model=FILE [--scale=X] [--shape=two_peak|flat|single_peak]\n"
                "           [--query-days=N] [--replicas-for=COMPONENT]\n"
                "  check    --model=FILE [--attack=ransomware|cryptojacking]\n"
                "           [--target=COMPONENT] [--query-days=N]\n"
+               "  serve    [--model=FILE] [--serve-days=N] [--workers=N] [--batch=N]\n"
+               "           [--clients=N] [--refresh-windows=N] [--attack=...]\n"
                "  demo     end-to-end tour on the social network\n");
   return 2;
 }
@@ -255,6 +421,9 @@ int main(int argc, char** argv) {
   }
   if (args.command == "check") {
     return deeprest::CmdCheck(args);
+  }
+  if (args.command == "serve") {
+    return deeprest::CmdServe(args);
   }
   if (args.command == "demo") {
     return deeprest::CmdDemo();
