@@ -8,6 +8,7 @@
 // every result must be bit-identical to exactly one published version's
 // single-threaded reference.
 #include <chrono>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <thread>
@@ -43,6 +44,67 @@ struct CellResult {
   double requests_per_sec = 0.0;
   ServiceCounters counters;
 };
+
+// Injected overload: a burst far beyond serving capacity against a bounded
+// queue with per-request deadlines. The service must shed or expire the
+// excess instead of growing without limit, and every accepted result must be
+// bit-identical to the single-threaded reference.
+struct OverloadResult {
+  size_t ok = 0;
+  size_t shed = 0;
+  size_t expired = 0;
+  size_t torn = 0;
+  double shed_rate = 0.0;
+  ServiceCounters counters;
+};
+
+OverloadResult RunOverload(std::shared_ptr<const DeepRestEstimator> model,
+                           const std::vector<std::vector<float>>& features,
+                           size_t burst) {
+  const EstimateMap reference = model->EstimateFromFeatures(features);
+  ModelRegistry registry;
+  IngestPipeline pipeline(model->features(), {.shards = 2});
+  registry.Publish(std::move(model));
+  EstimationServiceConfig config;
+  config.workers = 1;  // capacity pinned far below the burst
+  config.max_batch = 4;
+  config.max_queue = 8;
+  config.shed_policy = ShedPolicy::kRejectNew;
+  EstimationService service(registry, pipeline, config);
+
+  std::vector<std::future<EstimationService::EstimateResult>> futures;
+  futures.reserve(burst);
+  for (size_t i = 0; i < burst; ++i) {
+    // Every fourth request carries a tight deadline, so both shedding (queue
+    // full) and expiry (deadline passed while queued) are exercised.
+    const auto deadline =
+        i % 4 == 3 ? std::chrono::milliseconds(1) : std::chrono::milliseconds(0);
+    futures.push_back(service.SubmitFeatures(features, deadline));
+  }
+  OverloadResult result;
+  for (auto& future : futures) {
+    const auto r = future.get();
+    switch (r.status) {
+      case RequestStatus::kOk:
+        ++result.ok;
+        result.torn += SameEstimates(r.estimates, reference) ? 0 : 1;
+        break;
+      case RequestStatus::kShed:
+        ++result.shed;
+        break;
+      case RequestStatus::kExpired:
+        ++result.expired;
+        break;
+      default:
+        ++result.torn;  // kRejectedStopped must not happen here
+        break;
+    }
+  }
+  result.shed_rate =
+      static_cast<double>(result.shed + result.expired) / static_cast<double>(burst);
+  result.counters = service.Counters();
+  return result;
+}
 
 CellResult RunCell(std::shared_ptr<const DeepRestEstimator> model,
                    const std::vector<std::vector<float>>& features, size_t workers,
@@ -162,7 +224,47 @@ int main() {
     v2_count += matches_v2;
     torn += !matches_v1 && !matches_v2;
   }
-  std::printf("hot swap mid-run: %zu requests served by v1, %zu by v2, torn results: %zu\n",
+  std::printf("hot swap mid-run: %zu requests served by v1, %zu by v2, torn results: %zu\n\n",
               v1_count, v2_count, torn);
-  return torn == 0 && batching_wins ? 0 : 1;
+
+  // Overload protection: a 256-request burst against one worker and a queue
+  // of 8. Healthy behavior is a high shed rate with bounded p99 on the
+  // accepted requests — not an unbounded queue.
+  constexpr size_t kBurst = 256;
+  const OverloadResult overload = RunOverload(v1, features, kBurst);
+  std::printf("injected overload (%zu-request burst, 1 worker, queue bound 8):\n%s\n", kBurst,
+              RenderTable({"served", "shed", "expired", "shed rate", "p99 ms", "torn"},
+                          {{std::to_string(overload.ok), std::to_string(overload.shed),
+                            std::to_string(overload.expired),
+                            FormatDouble(overload.shed_rate, 3),
+                            FormatDouble(overload.counters.p99_latency_ms, 1),
+                            std::to_string(overload.torn)}})
+                  .c_str());
+  const bool overload_ok = overload.shed > 0 && overload.torn == 0 &&
+                           overload.ok + overload.shed + overload.expired == kBurst;
+  std::printf("overload check (excess shed/expired, accepted results bit-exact): %s\n\n",
+              overload_ok ? "PASS" : "FAIL");
+
+  // Machine-readable summary for regression tracking.
+  {
+    std::ofstream json("BENCH_serving.json");
+    json << "{\n  \"grid\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      json << "    {\"workers\": " << rows[i][0] << ", \"max_batch\": " << rows[i][1]
+           << ", \"req_per_sec\": " << rows[i][2] << ", \"mean_batch\": " << rows[i][3]
+           << ", \"p50_ms\": " << rows[i][4] << ", \"p99_ms\": " << rows[i][5] << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n";
+    json << "  \"hot_swap\": {\"v1_served\": " << v1_count << ", \"v2_served\": " << v2_count
+         << ", \"torn\": " << torn << "},\n";
+    json << "  \"overload\": {\"burst\": " << kBurst << ", \"served\": " << overload.ok
+         << ", \"shed\": " << overload.shed << ", \"expired\": " << overload.expired
+         << ", \"shed_rate\": " << FormatDouble(overload.shed_rate, 4)
+         << ", \"p99_ms\": " << FormatDouble(overload.counters.p99_latency_ms, 3)
+         << ", \"torn\": " << overload.torn << "}\n";
+    json << "}\n";
+  }
+  std::printf("wrote BENCH_serving.json\n");
+  return torn == 0 && batching_wins && overload_ok ? 0 : 1;
 }

@@ -63,6 +63,13 @@ std::vector<double> SanityChecker::ComponentScores(const EstimateMap& estimates,
 std::vector<AnomalyEvent> SanityChecker::Detect(const EstimateMap& estimates,
                                                 const MetricsStore& metrics, size_t from,
                                                 size_t to) const {
+  return Detect(estimates, metrics, from, to, {});
+}
+
+std::vector<AnomalyEvent> SanityChecker::Detect(const EstimateMap& estimates,
+                                                const MetricsStore& metrics, size_t from,
+                                                size_t to,
+                                                const std::vector<double>& quality) const {
   // Collect the component set from the estimates.
   std::set<std::string> components;
   for (const auto& [key, unused] : estimates) {
@@ -80,6 +87,16 @@ std::vector<AnomalyEvent> SanityChecker::Detect(const EstimateMap& estimates,
       overall[t] = std::max(overall[t], scores[t]);
     }
     per_component.emplace(component, std::move(scores));
+  }
+
+  // Telemetry-quality tolerance widening: a window backed by degraded
+  // telemetry (imputed features, renormalized volume, metric gaps) must
+  // deviate proportionally harder before it counts as anomalous.
+  if (!quality.empty() && config_.low_quality_widen > 0.0) {
+    for (size_t w = 0; w < n && w < quality.size(); ++w) {
+      const double q = std::clamp(quality[w], 0.0, 1.0);
+      overall[w] /= 1.0 + config_.low_quality_widen * (1.0 - q);
+    }
   }
 
   // Threshold into runs, merging runs separated by small gaps.

@@ -26,6 +26,14 @@ struct SanityConfig {
   size_t min_event_windows = 2;
   // Two anomalous runs separated by fewer than this many clean windows merge.
   size_t merge_gap = 2;
+  // Telemetry-quality tolerance widening. A window whose telemetry quality is
+  // q (in [0, 1], 1 = complete) has its anomaly score divided by
+  // 1 + low_quality_widen * (1 - q): a fully degraded window needs a
+  // (1 + low_quality_widen)x stronger deviation to alarm. Estimates computed
+  // from imputed or renormalized features are expected to stray — widening
+  // the tolerance on exactly those windows is what keeps degraded-but-honest
+  // telemetry from firing false anomaly alarms (DESIGN.md "Failure model").
+  double low_quality_widen = 4.0;
 };
 
 struct ResourceDeviation {
@@ -65,6 +73,14 @@ class SanityChecker {
   // `from`.
   std::vector<AnomalyEvent> Detect(const EstimateMap& estimates, const MetricsStore& metrics,
                                    size_t from, size_t to) const;
+
+  // Quality-aware detection: `quality` holds one telemetry-quality score per
+  // window of [from, to) (see src/serve/data_quality.h); low-quality windows
+  // get their tolerance widened per SanityConfig::low_quality_widen. An empty
+  // vector means full quality everywhere (identical to the overload above).
+  std::vector<AnomalyEvent> Detect(const EstimateMap& estimates, const MetricsStore& metrics,
+                                   size_t from, size_t to,
+                                   const std::vector<double>& quality) const;
 
  private:
   SanityConfig config_;

@@ -1,6 +1,42 @@
 #include "src/serve/continual_learner.h"
 
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "src/serve/checkpoint.h"
+
 namespace deeprest {
+
+double ValidationError(const DeepRestEstimator& model,
+                       const std::vector<std::vector<float>>& features,
+                       const MetricsStore& metrics, size_t from, size_t to) {
+  if (features.empty() || to <= from) {
+    return 0.0;
+  }
+  const EstimateMap estimates = model.EstimateFromFeatures(features);
+  double error_sum = 0.0;
+  size_t resource_count = 0;
+  for (const auto& [key, estimate] : estimates) {
+    const std::vector<double> actual = metrics.Series(key, from, to);
+    const size_t n = std::min(actual.size(), estimate.expected.size());
+    if (n == 0) {
+      continue;
+    }
+    double abs_error = 0.0;
+    double abs_actual = 0.0;
+    for (size_t t = 0; t < n; ++t) {
+      abs_error += std::fabs(actual[t] - estimate.expected[t]);
+      abs_actual += std::fabs(actual[t]);
+    }
+    // WAPE: scale-free like MAPE but stable when individual windows sit
+    // near zero.
+    error_sum += abs_error / std::max(abs_actual, 1e-9);
+    ++resource_count;
+  }
+  return resource_count == 0 ? 0.0 : error_sum / static_cast<double>(resource_count);
+}
 
 ContinualLearner::ContinualLearner(ModelRegistry& registry, IngestPipeline& pipeline,
                                    size_t start_window, const ContinualLearnerConfig& config)
@@ -57,9 +93,38 @@ uint64_t ContinualLearner::RefreshOnce() {
     return 0;
   }
   next->ContinueLearning(traces, metrics, from, watermark, config_.epochs);
-  const uint64_t version = registry_.Publish(std::move(next));
+
+  // Circuit breaker: a fine-tune trained on a degraded stretch must not
+  // replace a model that fits the same windows better. Either way the
+  // stretch counts as consumed — retraining deterministically on the same
+  // windows would loop forever.
+  if (config_.validation_regression_factor > 0.0) {
+    const std::vector<std::vector<float>> features = pipeline_.FeatureSlice(from, watermark);
+    const double base_error = ValidationError(*base.model, features, metrics, from, watermark);
+    const double next_error = ValidationError(*next, features, metrics, from, watermark);
+    if (next_error > config_.validation_regression_factor * base_error + 1e-12) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      trained_through_.store(watermark, std::memory_order_release);
+      return 0;
+    }
+  }
+
+  std::shared_ptr<const DeepRestEstimator> published(std::move(next));
+  const uint64_t version = registry_.Publish(published);
   trained_through_.store(watermark, std::memory_order_release);
   refreshes_.fetch_add(1, std::memory_order_relaxed);
+
+  if (!config_.checkpoint_path.empty()) {
+    CheckpointData data;
+    data.version = version;
+    data.trained_through = watermark;
+    data.model = published;
+    if (WriteCheckpoint(config_.checkpoint_path, data)) {
+      checkpoints_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   return version;
 }
 

@@ -7,6 +7,17 @@
 // published model is never touched: training happens entirely on the
 // private clone against stable telemetry copies, so in-flight requests keep
 // reading their snapshot while the swap happens (zero-downtime refresh).
+//
+// Robustness (DESIGN.md "Failure model"):
+//   * Circuit breaker — before publishing, the candidate's validation error
+//     over the new windows is compared against the base model's; a candidate
+//     that regressed past validation_regression_factor is rejected (the old
+//     model keeps serving, `models_rejected()` counts it). Fine-tuning on a
+//     degraded telemetry stretch must never replace a good model with a
+//     worse one.
+//   * Checkpointing — every successful publish is atomically checkpointed
+//     (see checkpoint.h) when checkpoint_path is set, so a crashed service
+//     recovers the last published version instead of retraining.
 #ifndef SRC_SERVE_CONTINUAL_LEARNER_H_
 #define SRC_SERVE_CONTINUAL_LEARNER_H_
 
@@ -15,7 +26,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "src/serve/ingest_pipeline.h"
 #include "src/serve/model_registry.h"
@@ -29,13 +42,27 @@ struct ContinualLearnerConfig {
   size_t epochs = 4;
   // How often the background thread polls the pipeline.
   std::chrono::milliseconds poll_interval{20};
+  // Circuit breaker: reject a fine-tuned candidate whose validation error
+  // over the new windows exceeds base_error * validation_regression_factor.
+  // <= 0 disables validation (always publish).
+  double validation_regression_factor = 1.5;
+  // Atomic checkpoint written after every successful publish; empty disables.
+  std::string checkpoint_path;
 };
+
+// Mean absolute error normalized by mean actual magnitude (WAPE), averaged
+// over the model's resources, for windows [from, to) of the feature series.
+// The circuit breaker's fitness measure; exposed for tests.
+double ValidationError(const DeepRestEstimator& model,
+                       const std::vector<std::vector<float>>& features,
+                       const MetricsStore& metrics, size_t from, size_t to);
 
 class ContinualLearner {
  public:
   // `start_window`: first live window this learner is responsible for
-  // (everything before it was covered by the initial Learn phase). The
-  // registry and pipeline must outlive the learner.
+  // (everything before it was covered by the initial Learn phase, or by the
+  // checkpoint recovered at startup). The registry and pipeline must outlive
+  // the learner.
   ContinualLearner(ModelRegistry& registry, IngestPipeline& pipeline, size_t start_window,
                    const ContinualLearnerConfig& config = {});
   ~ContinualLearner();
@@ -48,12 +75,21 @@ class ContinualLearner {
 
   // One synchronous refresh attempt (also what the background thread runs):
   // folds the pipeline and retrains if enough new windows are sealed.
-  // Returns the newly published version, or 0 when skipped.
+  // Returns the newly published version, or 0 when skipped or rejected by
+  // the circuit breaker.
   uint64_t RefreshOnce();
 
   size_t trained_through() const { return trained_through_.load(std::memory_order_acquire); }
   uint64_t refreshes_published() const {
     return refreshes_.load(std::memory_order_relaxed);
+  }
+  // Fine-tunes rejected by the validation circuit breaker. A rejected
+  // stretch still advances trained_through (retraining deterministically on
+  // the same bad windows would loop forever).
+  uint64_t models_rejected() const { return rejected_.load(std::memory_order_relaxed); }
+  uint64_t checkpoints_written() const { return checkpoints_.load(std::memory_order_relaxed); }
+  uint64_t checkpoint_failures() const {
+    return checkpoint_failures_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -65,6 +101,9 @@ class ContinualLearner {
   std::mutex refresh_mu_;  // serializes RefreshOnce vs. the background tick
   std::atomic<size_t> trained_through_;
   std::atomic<uint64_t> refreshes_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> checkpoint_failures_{0};
   std::atomic<bool> stop_{false};
   std::thread thread_;
 };

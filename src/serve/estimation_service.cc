@@ -5,6 +5,20 @@
 
 namespace deeprest {
 
+const char* RequestStatusName(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk:
+      return "ok";
+    case RequestStatus::kShed:
+      return "shed";
+    case RequestStatus::kExpired:
+      return "expired";
+    case RequestStatus::kRejectedStopped:
+      return "rejected-stopped";
+  }
+  return "unknown";
+}
+
 EstimationService::EstimationService(ModelRegistry& registry, IngestPipeline& pipeline,
                                      const EstimationServiceConfig& config)
     : registry_(registry), pipeline_(pipeline), config_(config) {
@@ -19,43 +33,93 @@ EstimationService::EstimationService(ModelRegistry& registry, IngestPipeline& pi
 EstimationService::~EstimationService() { Stop(); }
 
 std::future<EstimationService::EstimateResult> EstimationService::SubmitTraffic(
-    TrafficSeries traffic, uint64_t seed) {
+    TrafficSeries traffic, uint64_t seed, std::chrono::milliseconds deadline) {
   Request request;
   request.kind = RequestKind::kTraffic;
   request.traffic = std::move(traffic);
   request.seed = seed;
   std::future<EstimateResult> future = request.estimate_promise.get_future();
-  Enqueue(std::move(request));
+  Enqueue(std::move(request), deadline);
   return future;
 }
 
 std::future<EstimationService::EstimateResult> EstimationService::SubmitFeatures(
-    std::vector<std::vector<float>> features) {
+    std::vector<std::vector<float>> features, std::chrono::milliseconds deadline) {
   Request request;
   request.kind = RequestKind::kFeatures;
   request.features = std::move(features);
   std::future<EstimateResult> future = request.estimate_promise.get_future();
-  Enqueue(std::move(request));
+  Enqueue(std::move(request), deadline);
   return future;
 }
 
-std::future<EstimationService::SanityResult> EstimationService::SubmitSanityCheck(size_t from,
-                                                                                 size_t to) {
+std::future<EstimationService::SanityResult> EstimationService::SubmitSanityCheck(
+    size_t from, size_t to, std::chrono::milliseconds deadline) {
   Request request;
   request.kind = RequestKind::kSanity;
   request.from = from;
   request.to = to;
   std::future<SanityResult> future = request.sanity_promise.get_future();
-  Enqueue(std::move(request));
+  Enqueue(std::move(request), deadline);
   return future;
 }
 
-void EstimationService::Enqueue(Request request) {
+void EstimationService::FinishUnserved(Request& request, RequestStatus status) {
+  if (request.kind == RequestKind::kSanity) {
+    SanityResult result;
+    result.status = status;
+    request.sanity_promise.set_value(std::move(result));
+  } else {
+    EstimateResult result;
+    result.status = status;
+    request.estimate_promise.set_value(std::move(result));
+  }
+}
+
+void EstimationService::Enqueue(Request request, std::chrono::milliseconds deadline) {
   request.submitted = std::chrono::steady_clock::now();
+  const std::chrono::milliseconds budget =
+      deadline.count() > 0 ? deadline : config_.default_deadline;
+  if (budget.count() > 0) {
+    request.deadline = request.submitted + budget;
+    request.has_deadline = true;
+  }
   stats_.RecordSubmitted();
+
+  // Requests evicted under the lock resolve after it is released: fulfilling
+  // a promise can run arbitrary continuation code.
+  bool rejected_stopped = false;
+  bool shed = false;
+  Request evicted;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    queue_.push_back(std::move(request));
+    if (stopping_) {
+      rejected_stopped = true;
+      evicted = std::move(request);
+    } else if (config_.max_queue > 0 && queue_.size() >= config_.max_queue) {
+      shed = true;
+      if (config_.shed_policy == ShedPolicy::kDropOldest) {
+        evicted = std::move(queue_.front());
+        queue_.pop_front();
+        queue_.push_back(std::move(request));
+      } else {
+        evicted = std::move(request);
+      }
+    } else {
+      queue_.push_back(std::move(request));
+    }
+  }
+  if (rejected_stopped) {
+    stats_.RecordRejected();
+    FinishUnserved(evicted, RequestStatus::kRejectedStopped);
+    return;
+  }
+  if (shed) {
+    stats_.RecordShed();
+    FinishUnserved(evicted, RequestStatus::kShed);
+    if (config_.shed_policy == ShedPolicy::kRejectNew) {
+      return;  // nothing new entered the queue
+    }
   }
   queue_cv_.notify_one();
 }
@@ -106,6 +170,28 @@ void EstimationService::WorkerLoop() {
 }
 
 void EstimationService::ServeBatch(std::vector<Request> batch) {
+  // Deadline gate before any model work: a request that has already expired
+  // must not spend a forward pass. Expired requests resolve here; the batch
+  // shrinks to the still-live ones.
+  const auto now = std::chrono::steady_clock::now();
+  size_t live = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Request& request = batch[i];
+    if (request.has_deadline && now > request.deadline) {
+      stats_.RecordExpired();
+      FinishUnserved(request, RequestStatus::kExpired);
+      continue;
+    }
+    if (live != i) {
+      batch[live] = std::move(request);
+    }
+    ++live;
+  }
+  batch.resize(live);
+  if (batch.empty()) {
+    return;
+  }
+
   stats_.RecordBatch(batch.size());
   const ModelSnapshot snapshot = registry_.Current();
   const auto finish = [&](Request& request, EstimateMap estimates) {
@@ -120,8 +206,11 @@ void EstimationService::ServeBatch(std::vector<Request> batch) {
       result.to = request.to;  // clamped at series-build time
       if (snapshot.valid() && result.to > result.from) {
         const MetricsStore actuals = pipeline_.MetricsCopy();
+        result.quality = pipeline_.QualitySlice(result.from, result.to);
+        result.min_quality = MinQuality(result.quality);
         SanityChecker checker(config_.sanity);
-        result.events = checker.Detect(estimates, actuals, result.from, result.to);
+        result.events = checker.Detect(estimates, actuals, result.from, result.to,
+                                       QualityScores(result.quality));
       }
       stats_.RecordServed(/*is_sanity=*/true, latency_ms);
       request.sanity_promise.set_value(std::move(result));
@@ -192,6 +281,11 @@ ServiceCounters EstimationService::Counters() const {
     counters.queue_depth = queue_.size();
   }
   counters.ingest_lag_windows = pipeline_.IngestLag();
+  counters.traces_rejected = pipeline_.rejected_traces();
+  counters.traces_deduplicated = pipeline_.duplicate_traces();
+  counters.imputed_windows = pipeline_.imputed_windows();
+  counters.renormalized_windows = pipeline_.renormalized_windows();
+  counters.imputed_metrics = pipeline_.imputed_metrics();
   counters.models_published = registry_.publish_count();
   counters.model_version = registry_.version();
   return counters;

@@ -11,6 +11,15 @@
 // serves every request in the batch against it, so a request never observes
 // weights from two model versions even while the ContinualLearner publishes
 // mid-flight. Each result carries the version that produced it.
+//
+// Overload protection (DESIGN.md "Failure model"): the request queue is
+// bounded (max_queue) and sheds under pressure instead of growing without
+// limit — either the new arrival (kRejectNew) or the oldest queued request
+// (kDropOldest) resolves immediately with status kShed. Requests may carry a
+// deadline; a request whose deadline passed before a worker reached it
+// resolves with kExpired without paying for a forward pass. Every result
+// carries a RequestStatus, and a request submitted after Stop() resolves with
+// kRejectedStopped rather than hanging or crashing.
 #ifndef SRC_SERVE_ESTIMATION_SERVICE_H_
 #define SRC_SERVE_ESTIMATION_SERVICE_H_
 
@@ -26,12 +35,30 @@
 
 #include "src/core/estimator.h"
 #include "src/core/sanity.h"
+#include "src/serve/data_quality.h"
 #include "src/serve/ingest_pipeline.h"
 #include "src/serve/model_registry.h"
 #include "src/serve/stats.h"
 #include "src/workload/traffic.h"
 
 namespace deeprest {
+
+// Terminal state of one request. Anything other than kOk means the request
+// did not run a forward pass and its payload fields are empty.
+enum class RequestStatus {
+  kOk = 0,
+  kShed,             // bounded queue was full; load-shedding policy dropped it
+  kExpired,          // deadline passed before a worker served it
+  kRejectedStopped,  // submitted after Stop()
+};
+
+const char* RequestStatusName(RequestStatus status);
+
+// What to evict when the bounded queue is full.
+enum class ShedPolicy {
+  kRejectNew,   // newest arrival is shed (favors in-flight work)
+  kDropOldest,  // oldest queued request is shed (favors fresh requests)
+};
 
 struct EstimationServiceConfig {
   size_t workers = 4;
@@ -40,20 +67,32 @@ struct EstimationServiceConfig {
   // How long the first request of a batch waits for company. Zero serves
   // whatever is queued without lingering.
   std::chrono::microseconds batch_wait{200};
+  // Queue bound; 0 = unbounded (the pre-overload-protection behavior).
+  size_t max_queue = 0;
+  ShedPolicy shed_policy = ShedPolicy::kRejectNew;
+  // Deadline applied to requests submitted without one; 0 = no deadline.
+  std::chrono::milliseconds default_deadline{0};
   SanityConfig sanity;
 };
 
 class EstimationService {
  public:
   struct EstimateResult {
+    RequestStatus status = RequestStatus::kOk;
     uint64_t model_version = 0;  // 0 = no model was published yet
     EstimateMap estimates;
   };
   struct SanityResult {
+    RequestStatus status = RequestStatus::kOk;
     uint64_t model_version = 0;
     size_t from = 0;
     size_t to = 0;  // actually checked range (clamped to featured windows)
     std::vector<AnomalyEvent> events;
+    // Telemetry quality of the checked windows, index-aligned with
+    // [from, to). min_quality is the worst window; anything below 1.0 means
+    // the detector ran with widened tolerances on the degraded windows.
+    std::vector<DataQuality> quality;
+    double min_quality = 1.0;
   };
 
   // The registry and pipeline must outlive the service.
@@ -65,23 +104,31 @@ class EstimationService {
   EstimationService& operator=(const EstimationService&) = delete;
 
   // --- Client side (any thread) ---
+  // A nonzero `deadline` overrides config.default_deadline for this request;
+  // it is a budget measured from submission.
 
   // Mode 1 (resource allocation): hypothetical traffic, synthesized into
   // traces by the serving snapshot's synthesizer.
-  std::future<EstimateResult> SubmitTraffic(TrafficSeries traffic, uint64_t seed);
+  std::future<EstimateResult> SubmitTraffic(TrafficSeries traffic, uint64_t seed,
+                                            std::chrono::milliseconds deadline = {});
 
   // Direct estimation from a prebuilt feature series.
-  std::future<EstimateResult> SubmitFeatures(std::vector<std::vector<float>> features);
+  std::future<EstimateResult> SubmitFeatures(std::vector<std::vector<float>> features,
+                                             std::chrono::milliseconds deadline = {});
 
   // Mode 2 (sanity check) over ingested windows [from, to): expected
-  // consumption from the pipeline's feature series vs the ingested actuals.
-  std::future<SanityResult> SubmitSanityCheck(size_t from, size_t to);
+  // consumption from the pipeline's feature series vs the ingested actuals,
+  // with the windows' DataQuality widening detector tolerances.
+  std::future<SanityResult> SubmitSanityCheck(size_t from, size_t to,
+                                              std::chrono::milliseconds deadline = {});
 
   // Drains the queue, then stops and joins the workers. Idempotent; called
-  // by the destructor. Submit must not race with Stop.
+  // by the destructor. Submitting after (or racing with) Stop is safe: the
+  // request resolves with status kRejectedStopped.
   void Stop();
 
-  // Live counters (queue depth, ingest lag, and registry state filled in).
+  // Live counters (queue depth, ingest lag, pipeline admission-control
+  // tallies, and registry state filled in).
   ServiceCounters Counters() const;
 
  private:
@@ -97,9 +144,13 @@ class EstimationService {
     std::promise<EstimateResult> estimate_promise;
     std::promise<SanityResult> sanity_promise;
     std::chrono::steady_clock::time_point submitted;
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;
   };
 
-  void Enqueue(Request request);
+  void Enqueue(Request request, std::chrono::milliseconds deadline);
+  // Resolves a request that will never be served with the given status.
+  static void FinishUnserved(Request& request, RequestStatus status);
   void WorkerLoop();
   void ServeBatch(std::vector<Request> batch);
 

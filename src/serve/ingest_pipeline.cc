@@ -6,7 +6,7 @@
 namespace deeprest {
 
 IngestPipeline::IngestPipeline(FeatureExtractor extractor, const IngestPipelineConfig& config)
-    : extractor_(std::move(extractor)) {
+    : extractor_(std::move(extractor)), config_(config) {
   const size_t shard_count = std::max<size_t>(1, config.shards);
   shards_.reserve(shard_count);
   for (size_t i = 0; i < shard_count; ++i) {
@@ -15,10 +15,14 @@ IngestPipeline::IngestPipeline(FeatureExtractor extractor, const IngestPipelineC
 }
 
 IngestPipeline::Shard& IngestPipeline::ShardForTrace(const Trace& trace) {
+  if (config_.dedupe_traces && trace.trace_id() != 0) {
+    // Dedup needs a given trace_id to always land on the same shard, so the
+    // shard-local seen set is authoritative for that id.
+    return *shards_[trace.trace_id() % shards_.size()];
+  }
   // Traces are self-contained events: any shard works, so spread them
   // round-robin to keep producer contention low regardless of trace_id
   // distribution.
-  (void)trace;
   const size_t index = next_trace_shard_.fetch_add(1, std::memory_order_relaxed);
   return *shards_[index % shards_.size()];
 }
@@ -31,18 +35,41 @@ IngestPipeline::Shard& IngestPipeline::ShardForKey(const MetricKey& key) {
   return *shards_[hash % shards_.size()];
 }
 
-void IngestPipeline::IngestTrace(size_t window, Trace trace) {
+bool IngestPipeline::IngestTrace(size_t window, Trace trace) {
+  // Advance the frontier even for rejected traces: an all-corrupt window
+  // still exists and must be sealed (as a degraded one), not stall the fold.
+  const auto advance_frontier = [this](size_t w) {
+    size_t frontier = frontier_.load(std::memory_order_relaxed);
+    while (w + 1 > frontier &&
+           !frontier_.compare_exchange_weak(frontier, w + 1, std::memory_order_release,
+                                            std::memory_order_relaxed)) {
+    }
+  };
+
+  if (ValidateTrace(trace) != TraceDefect::kNone) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(rejected_mu_);
+      ++rejected_by_window_[window];
+    }
+    advance_frontier(window);
+    return false;
+  }
+
   Shard& shard = ShardForTrace(trace);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
+    if (config_.dedupe_traces && trace.trace_id() != 0 &&
+        !shard.seen_ids.insert(trace.trace_id()).second) {
+      duplicates_.fetch_add(1, std::memory_order_relaxed);
+      advance_frontier(window);
+      return false;
+    }
     shard.traces.Collect(window, std::move(trace));
   }
   ingested_traces_.fetch_add(1, std::memory_order_relaxed);
-  size_t frontier = frontier_.load(std::memory_order_relaxed);
-  while (window + 1 > frontier &&
-         !frontier_.compare_exchange_weak(frontier, window + 1, std::memory_order_release,
-                                          std::memory_order_relaxed)) {
-  }
+  advance_frontier(window);
+  return true;
 }
 
 void IngestPipeline::IngestMetric(const MetricKey& key, size_t window, double value) {
@@ -50,6 +77,7 @@ void IngestPipeline::IngestMetric(const MetricKey& key, size_t window, double va
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.metrics.Record(key, window, value);
+    shard.sample_log.emplace_back(key, window);
   }
   size_t frontier = frontier_.load(std::memory_order_relaxed);
   while (window + 1 > frontier &&
@@ -64,12 +92,35 @@ size_t IngestPipeline::Fold(size_t watermark) {
   for (auto& shard : shards_) {
     TraceCollector traces;
     MetricsStore metrics;
+    std::vector<std::pair<MetricKey, size_t>> sample_log;
     {
       std::lock_guard<std::mutex> lock(shard->mu);
       traces = std::move(shard->traces);
       shard->traces = TraceCollector();
       metrics = std::move(shard->metrics);
       shard->metrics = MetricsStore();
+      sample_log = std::move(shard->sample_log);
+      shard->sample_log.clear();
+    }
+    // Presence bookkeeping must run before the accumulate: a late sample for
+    // a window whose value was imputed replaces the imputation (reset the
+    // folded slot to zero so the accumulate reconstructs the actual value).
+    for (const auto& [key, w] : sample_log) {
+      std::vector<char>& recorded = recorded_[key];
+      if (recorded.size() <= w) {
+        recorded.resize(w + 1, 0);
+      }
+      const auto [first_it, inserted] = first_recorded_.try_emplace(key, w);
+      if (!inserted && w < first_it->second) {
+        first_it->second = w;
+      }
+      auto imputed_it = imputed_at_.find(key);
+      if (imputed_it != imputed_at_.end() && w < imputed_it->second.size() &&
+          imputed_it->second[w]) {
+        metrics_.Record(key, w, 0.0);
+        imputed_it->second[w] = 0;
+      }
+      recorded[w] = 1;
     }
     // Traces for already-sealed windows keep the ground truth complete but
     // cannot change the frozen feature vectors.
@@ -83,11 +134,102 @@ size_t IngestPipeline::Fold(size_t watermark) {
     collector_.MergeFrom(std::move(traces));
     metrics_.AccumulateFrom(metrics);
   }
+
+  std::map<size_t, uint64_t> rejected_by_window;
+  {
+    std::lock_guard<std::mutex> lock(rejected_mu_);
+    rejected_by_window = rejected_by_window_;
+    // Tallies for windows sealed in this fold are consumed; drop them so the
+    // map stays bounded (late rejections for sealed windows are uncountable
+    // against features anyway).
+    rejected_by_window_.erase(rejected_by_window_.begin(),
+                              rejected_by_window_.lower_bound(watermark));
+  }
   while (features_.size() < watermark) {
-    features_.push_back(extractor_.ExtractWindow(collector_, features_.size()));
+    SealWindowLocked(features_.size(), rejected_by_window);
   }
   featured_.store(features_.size(), std::memory_order_release);
   return features_.size();
+}
+
+void IngestPipeline::SealWindowLocked(size_t window,
+                                      const std::map<size_t, uint64_t>& rejected_by_window) {
+  const double accepted = static_cast<double>(collector_.TracesAt(window).size());
+  const auto rejected_it = rejected_by_window.find(window);
+  const double rejected =
+      rejected_it == rejected_by_window.end() ? 0.0 : static_cast<double>(rejected_it->second);
+
+  std::vector<float> features = extractor_.ExtractWindow(collector_, window);
+  DataQuality quality;
+  if (accepted + rejected > 0.0) {
+    quality.trace_coverage = accepted / (accepted + rejected);
+  }
+
+  const bool expectation_known = expected_traces_ >= 1.0;
+  if (config_.impute && expectation_known && accepted <= 0.0) {
+    // Collector outage: nothing arrived for a window the volume history says
+    // should have traffic. Carry the previous window's features forward and
+    // mark the window untrustworthy.
+    if (!features_.empty()) {
+      features = features_.back();
+    }
+    quality.imputed = true;
+    quality.trace_coverage = 0.0;
+    imputed_windows_.fetch_add(1, std::memory_order_relaxed);
+  } else if (config_.impute && config_.renorm_threshold > 0.0 && expectation_known &&
+             accepted < config_.renorm_threshold * expected_traces_) {
+    // Partial window: keep the observed API mix, rescale to the expected
+    // volume. The mix is real evidence; the magnitude is not.
+    const float scale = static_cast<float>(expected_traces_ / accepted);
+    for (float& f : features) {
+      f *= scale;
+    }
+    quality.renormalized = true;
+    quality.trace_coverage = std::min(quality.trace_coverage, accepted / expected_traces_);
+    renormalized_windows_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Update the expected volume only from windows that were not repaired: a
+  // long outage must not drag the expectation toward zero.
+  if (accepted > 0.0 && !quality.imputed && !quality.renormalized) {
+    expected_traces_ = expected_traces_ <= 0.0
+                           ? accepted
+                           : config_.ewma_alpha * accepted +
+                                 (1.0 - config_.ewma_alpha) * expected_traces_;
+  }
+
+  // Metric-gap repair: every known series either scraped this window or gets
+  // the previous window's value carried forward (a missing scrape folds to a
+  // literal zero otherwise, which the sanity checker would read as a crash).
+  size_t present = 0;
+  size_t known = 0;
+  for (const auto& [key, recorded] : recorded_) {
+    const auto first_it = first_recorded_.find(key);
+    if (first_it == first_recorded_.end() || window < first_it->second) {
+      continue;  // series not started yet — nothing was expected this window
+    }
+    ++known;
+    const bool has_sample = window < recorded.size() && recorded[window];
+    if (has_sample) {
+      ++present;
+      continue;
+    }
+    if (config_.impute && window > 0) {
+      metrics_.Record(key, window, metrics_.At(key, window - 1));
+      std::vector<char>& imputed = imputed_at_[key];
+      if (imputed.size() <= window) {
+        imputed.resize(window + 1, 0);
+      }
+      imputed[window] = 1;
+      imputed_metrics_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (known > 0) {
+    quality.metric_coverage = static_cast<double>(present) / static_cast<double>(known);
+  }
+
+  quality.score = std::clamp(quality.trace_coverage * quality.metric_coverage, 0.0, 1.0);
+  features_.push_back(std::move(features));
+  quality_.push_back(quality);
 }
 
 size_t IngestPipeline::IngestLag() const {
@@ -103,6 +245,16 @@ std::vector<std::vector<float>> IngestPipeline::FeatureSlice(size_t from, size_t
   slice.reserve(to > from ? to - from : 0);
   for (size_t w = from; w < to && w < features_.size(); ++w) {
     slice.push_back(features_[w]);
+  }
+  return slice;
+}
+
+std::vector<DataQuality> IngestPipeline::QualitySlice(size_t from, size_t to) const {
+  std::lock_guard<std::mutex> lock(fold_mu_);
+  std::vector<DataQuality> slice;
+  slice.reserve(to > from ? to - from : 0);
+  for (size_t w = from; w < to && w < quality_.size(); ++w) {
+    slice.push_back(quality_[w]);
   }
   return slice;
 }

@@ -8,29 +8,47 @@
 // featured exactly once when the watermark passes it, so queries and
 // retraining never rescan history from window 0.
 //
+// Production telemetry is NOT trusted. Admission control rejects traces that
+// are structurally broken or carry absurd timestamps (ValidateTrace) and —
+// when dedupe_traces is on — duplicates re-delivered by an at-least-once
+// transport. Sealing a window additionally runs degraded-mode repair: a
+// window that arrived empty gets its features carried forward from the
+// previous window; a window far below the expected trace volume gets its
+// observed API mix renormalized up to that volume; metric series that missed
+// a scrape are carry-forward imputed. Every sealed window carries a
+// DataQuality record describing how much of this happened, which the service
+// propagates into estimates and the sanity checker uses to widen tolerances
+// (see DESIGN.md "Failure model").
+//
 // Lock ownership (see DESIGN.md section "src/serve"):
 //   * Shard::mu   — producers, one push at a time; Fold swaps buffers out.
-//   * fold_mu_    — the folded state (collector_, metrics_, features_);
-//                   held by Fold while folding and by the query-side copy
-//                   accessors, never while training or serving a request.
+//   * rejected_mu_— per-window rejection tallies from producers.
+//   * fold_mu_    — the folded state (collector_, metrics_, features_,
+//                   quality_); held by Fold while folding and by the
+//                   query-side copy accessors, never while training or
+//                   serving a request.
 //
 // Window/watermark semantics: producers tag every event with its absolute
 // window index. Windows strictly below the watermark passed to Fold() are
-// sealed — their feature vectors are final. Events that arrive for an
-// already-sealed window are still folded into the collector/metrics (the
-// ground truth stays complete) but the feature series is not recomputed;
-// `late_events()` counts them.
+// sealed — their feature vectors and quality records are final. Events that
+// arrive for an already-sealed window are still folded into the
+// collector/metrics (the ground truth stays complete) but the feature series
+// is not recomputed; `late_events()` counts them.
 #ifndef SRC_SERVE_INGEST_PIPELINE_H_
 #define SRC_SERVE_INGEST_PIPELINE_H_
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/core/feature_extractor.h"
+#include "src/serve/data_quality.h"
 #include "src/telemetry/metrics.h"
 #include "src/trace/collector.h"
 
@@ -38,6 +56,23 @@ namespace deeprest {
 
 struct IngestPipelineConfig {
   size_t shards = 4;
+  // Drop re-delivered traces (same nonzero trace_id) instead of double
+  // counting them. Off by default: the offline replay paths intentionally
+  // re-ingest known traces (e.g. late-event tests); a live deployment behind
+  // an at-least-once transport should turn it on.
+  bool dedupe_traces = false;
+  // Degraded-mode repair at seal time. Carry-forward of fully-empty windows
+  // and metric-gap imputation are always on when true.
+  bool impute = true;
+  // A window whose accepted-trace count falls below this fraction of the
+  // expected per-window volume (EWMA over previously sealed windows) has its
+  // features renormalized: observed API mix, expected magnitude. 0 disables
+  // renormalization — the right default, because a genuine traffic dip is
+  // indistinguishable from uniform telemetry loss by volume alone; enable it
+  // for deployments whose collectors fail bursty rather than uniformly.
+  double renorm_threshold = 0.0;
+  // EWMA smoothing for the expected per-window trace volume.
+  double ewma_alpha = 0.2;
 };
 
 class IngestPipeline {
@@ -48,7 +83,12 @@ class IngestPipeline {
   IngestPipeline(FeatureExtractor extractor, const IngestPipelineConfig& config = {});
 
   // --- Producer side (any thread, concurrently) ---
-  void IngestTrace(size_t window, Trace trace);
+
+  // Returns false when the trace was rejected at the door (malformed
+  // structure, absurd timestamps, or a duplicate under dedupe_traces);
+  // rejected traces never reach the collector or the feature series but are
+  // counted per window so the sealed DataQuality reflects the loss.
+  bool IngestTrace(size_t window, Trace trace);
   void IngestMetric(const MetricKey& key, size_t window, double value);
 
   // One past the highest window index any producer has touched (0 when
@@ -73,11 +113,23 @@ class IngestPipeline {
 
   uint64_t late_events() const { return late_.load(std::memory_order_relaxed); }
   uint64_t total_traces() const { return ingested_traces_.load(std::memory_order_relaxed); }
+  // Admission-control and degraded-mode counters (stats.h surfaces them).
+  uint64_t rejected_traces() const { return rejected_.load(std::memory_order_relaxed); }
+  uint64_t duplicate_traces() const { return duplicates_.load(std::memory_order_relaxed); }
+  uint64_t imputed_windows() const { return imputed_windows_.load(std::memory_order_relaxed); }
+  uint64_t renormalized_windows() const {
+    return renormalized_windows_.load(std::memory_order_relaxed);
+  }
+  uint64_t imputed_metrics() const { return imputed_metrics_.load(std::memory_order_relaxed); }
 
   // --- Query side (any thread; copies out under the fold lock) ---
 
   // Feature vectors for windows [from, to); to must be <= featured_windows().
   std::vector<std::vector<float>> FeatureSlice(size_t from, size_t to) const;
+
+  // Quality records for sealed windows [from, to), index-aligned with
+  // FeatureSlice over the same range.
+  std::vector<DataQuality> QualitySlice(size_t from, size_t to) const;
 
   // Stable copies for sanity checks / background training, so callers never
   // hold pipeline locks while running a model.
@@ -91,23 +143,51 @@ class IngestPipeline {
     std::mutex mu;
     TraceCollector traces;
     MetricsStore metrics;
+    // (key, window) of every sample since the last fold, so the folder can
+    // tell a recorded zero from a missing scrape.
+    std::vector<std::pair<MetricKey, size_t>> sample_log;
+    // Trace ids ever accepted by this shard (dedupe_traces routes a given id
+    // to a fixed shard, so shard-local dedup is global dedup).
+    std::unordered_set<uint64_t> seen_ids;
   };
 
   Shard& ShardForTrace(const Trace& trace);
   Shard& ShardForKey(const MetricKey& key);
+  // Seals one window under fold_mu_: extracts features, applies degraded-mode
+  // repair, and appends the DataQuality record.
+  void SealWindowLocked(size_t window, const std::map<size_t, uint64_t>& rejected_by_window);
 
   FeatureExtractor extractor_;
+  IngestPipelineConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<size_t> next_trace_shard_{0};
   std::atomic<size_t> frontier_{0};  // one past the highest ingested window
   std::atomic<size_t> featured_{0};
   std::atomic<uint64_t> late_{0};
   std::atomic<uint64_t> ingested_traces_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> duplicates_{0};
+  std::atomic<uint64_t> imputed_windows_{0};
+  std::atomic<uint64_t> renormalized_windows_{0};
+  std::atomic<uint64_t> imputed_metrics_{0};
+
+  // Per-window rejection tallies (producers write, folder drains).
+  std::mutex rejected_mu_;
+  std::map<size_t, uint64_t> rejected_by_window_;
 
   mutable std::mutex fold_mu_;
   TraceCollector collector_;
   MetricsStore metrics_;
   std::vector<std::vector<float>> features_;  // [0, featured_) prefix
+  std::vector<DataQuality> quality_;          // aligned with features_
+  // Which (key, window) pairs actually scraped, vs. were imputed.
+  std::map<MetricKey, std::vector<char>> recorded_;
+  std::map<MetricKey, std::vector<char>> imputed_at_;
+  // Earliest window each series ever scraped: windows before a series starts
+  // are not gaps (nothing was expected yet), so they are neither imputed nor
+  // held against metric_coverage.
+  std::map<MetricKey, size_t> first_recorded_;
+  double expected_traces_ = 0.0;  // EWMA of accepted traces per sealed window
 };
 
 }  // namespace deeprest

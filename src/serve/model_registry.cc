@@ -8,6 +8,16 @@ uint64_t ModelRegistry::Publish(std::shared_ptr<const DeepRestEstimator> model) 
   return ++current_.version;
 }
 
+bool ModelRegistry::Restore(std::shared_ptr<const DeepRestEstimator> model, uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (model == nullptr || version == 0 || version <= current_.version) {
+    return false;
+  }
+  current_.model = std::move(model);
+  current_.version = version;
+  return true;
+}
+
 ModelSnapshot ModelRegistry::Current() const {
   std::lock_guard<std::mutex> lock(mu_);
   return current_;

@@ -38,6 +38,13 @@ class ModelRegistry {
     return Publish(std::shared_ptr<const DeepRestEstimator>(std::move(model)));
   }
 
+  // Startup recovery: installs a checkpointed model under its original
+  // version number. Forward-only — fails (returns false) when the registry
+  // already serves an equal-or-newer version, so a stale checkpoint can never
+  // roll a live registry backwards. Subsequent Publish calls continue from
+  // the restored version.
+  bool Restore(std::shared_ptr<const DeepRestEstimator> model, uint64_t version);
+
   // The current snapshot (invalid before the first Publish). Readers hold
   // the returned shared_ptr for the full lifetime of one request.
   ModelSnapshot Current() const;

@@ -60,6 +60,21 @@ void ServiceStats::RecordServed(bool is_sanity, double latency_ms) {
   }
 }
 
+void ServiceStats::RecordShed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++shed_;
+}
+
+void ServiceStats::RecordExpired() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++expired_;
+}
+
+void ServiceStats::RecordRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rejected_;
+}
+
 ServiceCounters ServiceStats::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServiceCounters counters;
@@ -67,6 +82,9 @@ ServiceCounters ServiceStats::Snapshot() const {
   counters.requests_served = served_;
   counters.estimate_requests = estimate_served_;
   counters.sanity_requests = sanity_served_;
+  counters.requests_shed = shed_;
+  counters.requests_expired = expired_;
+  counters.requests_rejected = rejected_;
   counters.batches_dispatched = batches_;
   counters.max_batch_size = max_batch_;
   counters.mean_batch_size =
@@ -85,6 +103,9 @@ std::vector<std::pair<std::string, std::string>> ServiceCounters::Rows() const {
       {"requests served", FormatCount(requests_served)},
       {"  estimate", FormatCount(estimate_requests)},
       {"  sanity check", FormatCount(sanity_requests)},
+      {"requests shed", FormatCount(requests_shed)},
+      {"requests expired", FormatCount(requests_expired)},
+      {"requests rejected (stopped)", FormatCount(requests_rejected)},
       {"batches dispatched", FormatCount(batches_dispatched)},
       {"mean batch size", mean},
       {"max batch size", FormatCount(max_batch_size)},
@@ -92,6 +113,11 @@ std::vector<std::pair<std::string, std::string>> ServiceCounters::Rows() const {
       {"p50 latency", FormatMs(p50_latency_ms)},
       {"p99 latency", FormatMs(p99_latency_ms)},
       {"ingest lag (windows)", FormatCount(ingest_lag_windows)},
+      {"traces rejected", FormatCount(traces_rejected)},
+      {"traces deduplicated", FormatCount(traces_deduplicated)},
+      {"imputed windows", FormatCount(imputed_windows)},
+      {"renormalized windows", FormatCount(renormalized_windows)},
+      {"imputed metric samples", FormatCount(imputed_metrics)},
       {"models published", FormatCount(models_published)},
       {"serving model version", FormatCount(model_version)},
   };

@@ -22,6 +22,10 @@ struct ServiceCounters {
   uint64_t requests_served = 0;
   uint64_t estimate_requests = 0;
   uint64_t sanity_requests = 0;
+  // Overload / fault handling (see DESIGN.md "Failure model"):
+  uint64_t requests_shed = 0;      // rejected by the bounded queue
+  uint64_t requests_expired = 0;   // deadline passed before serving
+  uint64_t requests_rejected = 0;  // submitted after Stop()
   uint64_t batches_dispatched = 0;
   size_t max_batch_size = 0;
   double mean_batch_size = 0.0;
@@ -29,6 +33,12 @@ struct ServiceCounters {
   double p50_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
   size_t ingest_lag_windows = 0;  // ingested but not yet featured
+  // Ingest admission control / degraded-mode repair (from IngestPipeline):
+  uint64_t traces_rejected = 0;      // failed validation at the door
+  uint64_t traces_deduplicated = 0;  // duplicate deliveries dropped
+  uint64_t imputed_windows = 0;      // feature vectors carried forward
+  uint64_t renormalized_windows = 0; // API mix rescaled to expected volume
+  uint64_t imputed_metrics = 0;      // metric gaps carry-forward filled
   uint64_t models_published = 0;  // registry swap count
   uint64_t model_version = 0;     // currently served version
 
@@ -43,6 +53,11 @@ class ServiceStats {
   void RecordBatch(size_t batch_size);
   // One request completed; kind tallies and latency sample.
   void RecordServed(bool is_sanity, double latency_ms);
+  // Overload outcomes: shed by the bounded queue, expired past its deadline,
+  // or rejected because the service was already stopped.
+  void RecordShed();
+  void RecordExpired();
+  void RecordRejected();
 
   // Counters accumulated so far. Queue depth / ingest lag / registry fields
   // are owned by other components; EstimationService::Counters() fills them.
@@ -54,6 +69,9 @@ class ServiceStats {
   uint64_t served_ = 0;
   uint64_t estimate_served_ = 0;
   uint64_t sanity_served_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t expired_ = 0;
+  uint64_t rejected_ = 0;
   uint64_t batches_ = 0;
   uint64_t batched_requests_ = 0;
   size_t max_batch_ = 0;

@@ -1,0 +1,106 @@
+#include "src/sim/fault_injector.h"
+
+#include <algorithm>
+
+namespace deeprest {
+
+FaultInjector::FaultInjector(const FaultInjectorConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+Trace FaultInjector::Truncate(const Trace& trace, Rng& rng) const {
+  // Keep a non-empty prefix of the span list. Parents always precede their
+  // children, so a prefix is still a well-formed tree — the trace passes
+  // admission control but describes a shorter invocation path, exactly what a
+  // span batch lost mid-flight looks like.
+  const size_t keep = 1 + static_cast<size_t>(rng.NextBelow(trace.size() - 1));
+  Trace out(trace.trace_id(), trace.api_name());
+  for (size_t i = 0; i < keep; ++i) {
+    const Span& span = trace.spans()[i];
+    const SpanIndex idx = out.AddSpan(span.component, span.operation, span.parent);
+    out.SetSpanTiming(idx, span.start_us, span.end_us);
+  }
+  return out;
+}
+
+Trace FaultInjector::Corrupt(const Trace& trace, Rng& rng) {
+  Trace out(trace.trace_id(), trace.api_name());
+  for (const Span& span : trace.spans()) {
+    const SpanIndex idx = out.AddSpan(span.component, span.operation, span.parent);
+    out.SetSpanTiming(idx, span.start_us, span.end_us);
+  }
+  // Two timestamp corruptions a broken clock or a torn encode produces: a
+  // span that ends before it starts, or a child that starts before its
+  // parent. Both are caught by ValidateTrace at the ingestion door.
+  const SpanIndex victim = static_cast<SpanIndex>(rng.NextBelow(out.size()));
+  const Span& v = out.spans()[victim];
+  if (victim > 0 && rng.NextBernoulli(0.5)) {
+    const Span& parent = out.spans()[v.parent];
+    const uint64_t before = parent.start_us > 0 ? parent.start_us - 1 : 0;
+    out.SetSpanTiming(victim, before, parent.start_us + 1);
+    if (parent.start_us == 0) {
+      // Parent already starts at zero; fall back to a negative duration.
+      out.SetSpanTiming(victim, v.end_us + 1, v.start_us);
+    }
+  } else {
+    out.SetSpanTiming(victim, v.end_us + 1, v.start_us);
+  }
+  return out;
+}
+
+std::vector<FaultInjector::TimedTrace> FaultInjector::ProcessTrace(size_t window,
+                                                                   const Trace& trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.traces_in;
+  std::vector<TimedTrace> out;
+  if (window >= config_.outage_start && window < config_.outage_end) {
+    ++counters_.dropped;
+    return out;
+  }
+  if (rng_.NextBernoulli(config_.drop_prob)) {
+    ++counters_.dropped;
+    return out;
+  }
+
+  TimedTrace event;
+  event.window = window;
+  if (trace.size() > 0 && rng_.NextBernoulli(config_.corrupt_prob)) {
+    event.trace = Corrupt(trace, rng_);
+    ++counters_.corrupted;
+  } else if (trace.size() > 1 && rng_.NextBernoulli(config_.truncate_prob)) {
+    event.trace = Truncate(trace, rng_);
+    ++counters_.truncated;
+  } else {
+    event.trace = trace;
+  }
+  if (rng_.NextBernoulli(config_.delay_prob)) {
+    event.window = window + 1 + static_cast<size_t>(rng_.NextBelow(2));
+    ++counters_.delayed;
+  }
+  if (rng_.NextBernoulli(config_.duplicate_prob)) {
+    out.push_back(event);
+    ++counters_.duplicated;
+  }
+  out.push_back(std::move(event));
+  counters_.delivered += out.size();
+  return out;
+}
+
+bool FaultInjector::ProcessMetric(const MetricKey& key, size_t window, double value) {
+  (void)key;
+  (void)window;
+  (void)value;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.metrics_in;
+  if (rng_.NextBernoulli(config_.metric_gap_prob)) {
+    ++counters_.metric_gaps;
+    return false;
+  }
+  return true;
+}
+
+FaultCounters FaultInjector::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace deeprest

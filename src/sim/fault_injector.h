@@ -1,0 +1,93 @@
+// Deterministic telemetry fault injection for resilience testing.
+//
+// Sits between a telemetry source (the simulator, a replayed trace log) and
+// the serving-side IngestPipeline, mangling the stream the way production
+// collectors do: traces get dropped, duplicated, delayed into later windows,
+// truncated mid-flight, or corrupted (absurd timestamps, torn span trees),
+// and metric scrapes are skipped. Every decision draws from one seeded
+// generator, so a chaos run is reproducible bit-for-bit — which is what lets
+// the chaos tests assert exact counters and bounded estimation error instead
+// of "it didn't crash".
+//
+// Thread-safety: all methods may be called concurrently (one internal mutex
+// around the generator). Determinism holds for a fixed sequence of calls;
+// with concurrent producers the interleaving decides which event draws which
+// fault, so multi-threaded chaos tests assert rates and invariants, not
+// per-event outcomes.
+#ifndef SRC_SIM_FAULT_INJECTOR_H_
+#define SRC_SIM_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/nn/rng.h"
+#include "src/telemetry/metrics.h"
+#include "src/trace/span.h"
+
+namespace deeprest {
+
+struct FaultInjectorConfig {
+  uint64_t seed = 1;
+  // Per-trace fault probabilities, applied in this order (mutually exclusive
+  // per trace except duplication, which re-delivers the possibly-mangled
+  // trace a second time).
+  double drop_prob = 0.0;      // trace vanishes entirely
+  double corrupt_prob = 0.0;   // timestamps / structure mangled -> rejected downstream
+  double truncate_prob = 0.0;  // tail spans lost (still well-formed, paths shortened)
+  double delay_prob = 0.0;     // attributed to a later window (1-2 windows late)
+  double duplicate_prob = 0.0; // delivered twice (at-least-once transport)
+  // Per-sample probability that a metric scrape is lost.
+  double metric_gap_prob = 0.0;
+  // Windows in [outage_start, outage_end) lose their ENTIRE trace stream — a
+  // collector outage, the worst case degraded-mode ingestion must absorb.
+  size_t outage_start = 0;
+  size_t outage_end = 0;
+};
+
+struct FaultCounters {
+  uint64_t traces_in = 0;
+  uint64_t delivered = 0;
+  uint64_t dropped = 0;
+  uint64_t corrupted = 0;
+  uint64_t truncated = 0;
+  uint64_t delayed = 0;
+  uint64_t duplicated = 0;
+  uint64_t metrics_in = 0;
+  uint64_t metric_gaps = 0;
+};
+
+class FaultInjector {
+ public:
+  struct TimedTrace {
+    size_t window = 0;
+    Trace trace;
+  };
+
+  explicit FaultInjector(const FaultInjectorConfig& config);
+
+  // Runs one trace through the fault model. Returns 0..2 delivery events
+  // (empty = dropped); the caller forwards each to IngestPipeline::IngestTrace
+  // under the returned window.
+  std::vector<TimedTrace> ProcessTrace(size_t window, const Trace& trace);
+
+  // Runs one metric sample through the fault model. Returns false when the
+  // scrape is lost (the caller must not deliver it).
+  bool ProcessMetric(const MetricKey& key, size_t window, double value);
+
+  FaultCounters counters() const;
+
+ private:
+  Trace Truncate(const Trace& trace, Rng& rng) const;
+  Trace Corrupt(const Trace& trace, Rng& rng);
+
+  FaultInjectorConfig config_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  FaultCounters counters_;
+};
+
+}  // namespace deeprest
+
+#endif  // SRC_SIM_FAULT_INJECTOR_H_

@@ -12,8 +12,18 @@ SpanIndex Trace::AddSpan(const std::string& component, const std::string& operat
   span.component = component;
   span.operation = operation;
   span.parent = parent;
+  // Deterministic monotone default: span i starts at i ms and runs 1 ms, so
+  // children always start after their parents and every duration is positive.
+  span.start_us = static_cast<uint64_t>(spans_.size()) * 1000;
+  span.end_us = span.start_us + 1000;
   spans_.push_back(std::move(span));
   return static_cast<SpanIndex>(spans_.size() - 1);
+}
+
+void Trace::SetSpanTiming(SpanIndex i, uint64_t start_us, uint64_t end_us) {
+  assert(i < spans_.size());
+  spans_[i].start_us = start_us;
+  spans_[i].end_us = end_us;
 }
 
 std::vector<SpanIndex> Trace::ChildrenOf(SpanIndex i) const {
@@ -24,6 +34,45 @@ std::vector<SpanIndex> Trace::ChildrenOf(SpanIndex i) const {
     }
   }
   return children;
+}
+
+const char* TraceDefectName(TraceDefect defect) {
+  switch (defect) {
+    case TraceDefect::kNone:
+      return "ok";
+    case TraceDefect::kEmpty:
+      return "empty";
+    case TraceDefect::kBadParent:
+      return "bad-parent";
+    case TraceDefect::kNegativeDuration:
+      return "negative-duration";
+    case TraceDefect::kNonMonotonicStart:
+      return "non-monotonic-start";
+  }
+  return "unknown";
+}
+
+TraceDefect ValidateTrace(const Trace& trace) {
+  const std::vector<Span>& spans = trace.spans();
+  if (spans.empty()) {
+    return TraceDefect::kEmpty;
+  }
+  if (spans.front().parent != kNoParent) {
+    return TraceDefect::kBadParent;
+  }
+  for (SpanIndex i = 0; i < spans.size(); ++i) {
+    const Span& span = spans[i];
+    if (i > 0 && (span.parent == kNoParent || span.parent >= i)) {
+      return TraceDefect::kBadParent;
+    }
+    if (span.end_us < span.start_us) {
+      return TraceDefect::kNegativeDuration;
+    }
+    if (i > 0 && span.start_us < spans[span.parent].start_us) {
+      return TraceDefect::kNonMonotonicStart;
+    }
+  }
+  return TraceDefect::kNone;
 }
 
 uint64_t HashName(const std::string& name) {

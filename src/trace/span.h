@@ -21,6 +21,14 @@ struct Span {
   std::string component;
   std::string operation;
   SpanIndex parent = kNoParent;
+  // Microsecond offsets from the trace's own start. AddSpan assigns a
+  // deterministic monotone default (a span starts after its parent and ends
+  // after it starts), so traces built anywhere in the repo are well-formed
+  // without every producer inventing clocks. Real timings can be installed
+  // with Trace::SetSpanTiming; ingest-side admission control (ValidateTrace)
+  // rejects traces whose timings are absurd.
+  uint64_t start_us = 0;
+  uint64_t end_us = 0;
 };
 
 // One API request's execution diagram.
@@ -41,6 +49,10 @@ class Trace {
   SpanIndex AddSpan(const std::string& component, const std::string& operation,
                     SpanIndex parent);
 
+  // Overrides the deterministic default timing of one span (e.g. a telemetry
+  // agent replaying measured timestamps, or a fault injector corrupting them).
+  void SetSpanTiming(SpanIndex i, uint64_t start_us, uint64_t end_us);
+
   const std::vector<Span>& spans() const { return spans_; }
   bool empty() const { return spans_.empty(); }
   size_t size() const { return spans_.size(); }
@@ -59,6 +71,25 @@ class Trace {
 // sensitive attributes before they are ingested by DeepRest so that the
 // estimator can run as a service without seeing application semantics.
 uint64_t HashName(const std::string& name);
+
+// Admission-control verdict for a trace arriving from an untrusted telemetry
+// stream. kOk means the trace is structurally and temporally well-formed.
+enum class TraceDefect {
+  kNone,               // well-formed
+  kEmpty,              // no spans at all
+  kBadParent,          // parent index >= own index, or a non-root without one
+  kNegativeDuration,   // a span ends before it starts
+  kNonMonotonicStart,  // a child starts before its parent
+};
+
+// Human-readable defect name ("ok", "empty", ...).
+const char* TraceDefectName(TraceDefect defect);
+
+// Validates a trace at the ingestion door: structure (exactly one root at
+// index 0, every parent precedes its child) and timing (end >= start, child
+// start >= parent start). Corrupted production telemetry must be rejected
+// here, not folded into feature windows.
+TraceDefect ValidateTrace(const Trace& trace);
 
 }  // namespace deeprest
 

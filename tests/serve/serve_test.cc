@@ -14,6 +14,7 @@
 #include "src/serve/ingest_pipeline.h"
 #include "src/serve/model_registry.h"
 #include "src/sim/simulator.h"
+#include "src/trace/span.h"
 
 namespace deeprest {
 namespace {
@@ -500,6 +501,324 @@ TEST(ContinualLearnerTest, BackgroundThreadPublishesWhileServing) {
   EXPECT_GE(registry.version(), 2u);
   EXPECT_GE(learner.refreshes_published(), 1u);
   EXPECT_GE(last_version, 1u);
+}
+
+// --- Robustness: admission control and degraded-mode ingestion ---
+
+TEST(IngestPipelineTest, RejectsBrokenTracesAtTheDoor) {
+  TinySetup s = MakeSetup();
+  FeatureExtractor fx;
+  fx.LearnRange(s.traces, 0, s.learn_windows);
+  IngestPipeline pipeline(fx, {.shards = 2});
+
+  Trace empty(1001, "/read");
+  ASSERT_EQ(ValidateTrace(empty), TraceDefect::kEmpty);
+
+  Trace negative(1002, "/read");
+  negative.AddSpan("Frontend", "read", kNoParent);
+  negative.SetSpanTiming(0, 1000, 400);  // ends before it starts
+  ASSERT_EQ(ValidateTrace(negative), TraceDefect::kNegativeDuration);
+
+  Trace backwards(1003, "/read");
+  const SpanIndex root = backwards.AddSpan("Frontend", "read", kNoParent);
+  const SpanIndex child = backwards.AddSpan("Worker", "get", root);
+  backwards.SetSpanTiming(root, 500, 1500);
+  backwards.SetSpanTiming(child, 100, 800);  // child starts before its parent
+  ASSERT_EQ(ValidateTrace(backwards), TraceDefect::kNonMonotonicStart);
+
+  EXPECT_FALSE(pipeline.IngestTrace(0, empty));
+  EXPECT_FALSE(pipeline.IngestTrace(0, negative));
+  EXPECT_FALSE(pipeline.IngestTrace(0, backwards));
+  EXPECT_TRUE(pipeline.IngestTrace(0, s.traces.TracesAt(0).front()));
+  // Rejected traces still advance the frontier: an all-garbage window must
+  // seal (degraded), not stall the fold.
+  EXPECT_EQ(pipeline.WindowFrontier(), 1u);
+  EXPECT_EQ(pipeline.rejected_traces(), 3u);
+  EXPECT_EQ(pipeline.total_traces(), 1u);
+
+  pipeline.Fold(1);
+  const auto quality = pipeline.QualitySlice(0, 1);
+  ASSERT_EQ(quality.size(), 1u);
+  // One of four observed arrivals survived admission control.
+  EXPECT_DOUBLE_EQ(quality[0].trace_coverage, 0.25);
+  EXPECT_TRUE(quality[0].degraded());
+  // None of the rejected traces leaked into the ground-truth collector.
+  EXPECT_EQ(pipeline.TracesCopy(0, 1).total_traces(), 1u);
+}
+
+TEST(IngestPipelineTest, DedupeDropsRedeliveredTraces) {
+  TinySetup s = MakeSetup();
+  FeatureExtractor fx;
+  fx.LearnRange(s.traces, 0, s.learn_windows);
+  IngestPipelineConfig config;
+  config.shards = 4;
+  config.dedupe_traces = true;
+  IngestPipeline pipeline(fx, config);
+
+  const Trace& trace = s.traces.TracesAt(0).front();
+  ASSERT_NE(trace.trace_id(), 0u);
+  EXPECT_TRUE(pipeline.IngestTrace(0, trace));
+  EXPECT_FALSE(pipeline.IngestTrace(0, trace));  // at-least-once re-delivery
+  EXPECT_EQ(pipeline.total_traces(), 1u);
+  EXPECT_EQ(pipeline.duplicate_traces(), 1u);
+  EXPECT_EQ(pipeline.rejected_traces(), 0u);
+
+  // With dedupe off (the default) the same re-delivery is accepted — offline
+  // replay paths depend on that.
+  IngestPipeline replay(fx, {.shards = 4});
+  EXPECT_TRUE(replay.IngestTrace(0, trace));
+  EXPECT_TRUE(replay.IngestTrace(0, trace));
+  EXPECT_EQ(replay.total_traces(), 2u);
+  EXPECT_EQ(replay.duplicate_traces(), 0u);
+}
+
+TEST(IngestPipelineTest, EmptyWindowImputesFeaturesAndDropsQuality) {
+  TinySetup s = MakeSetup();
+  FeatureExtractor fx;
+  fx.LearnRange(s.traces, 0, s.learn_windows);
+  IngestPipeline pipeline(fx, {.shards = 2});
+
+  const auto keys = s.metrics.Keys();
+  for (size_t w = 0; w < 10; ++w) {
+    if (w != 8) {  // window 8: collector outage, traces vanish entirely
+      for (const Trace& trace : s.traces.TracesAt(w)) {
+        pipeline.IngestTrace(w, trace);
+      }
+    }
+    for (const MetricKey& key : keys) {
+      pipeline.IngestMetric(key, w, s.metrics.At(key, w));
+    }
+  }
+  pipeline.Fold(10);
+
+  const auto features = pipeline.FeatureSlice(0, 10);
+  const auto quality = pipeline.QualitySlice(0, 10);
+  ASSERT_EQ(features.size(), 10u);
+  // The empty window's features were carried forward from window 7, and the
+  // window is flagged as untrustworthy rather than read as "zero traffic".
+  EXPECT_EQ(features[8], features[7]);
+  EXPECT_TRUE(quality[8].imputed);
+  EXPECT_DOUBLE_EQ(quality[8].trace_coverage, 0.0);
+  EXPECT_DOUBLE_EQ(quality[8].score, 0.0);
+  EXPECT_EQ(pipeline.imputed_windows(), 1u);
+  // Neighbors sealed at full quality.
+  EXPECT_FALSE(quality[7].degraded());
+  EXPECT_FALSE(quality[9].degraded());
+}
+
+TEST(IngestPipelineTest, MetricGapsAreCarriedForwardNotZero) {
+  TinySetup s = MakeSetup();
+  FeatureExtractor fx;
+  fx.LearnRange(s.traces, 0, s.learn_windows);
+  IngestPipeline pipeline(fx, {.shards = 2});
+
+  const auto keys = s.metrics.Keys();
+  ASSERT_FALSE(keys.empty());
+  const MetricKey gapped = keys.front();
+  for (size_t w = 0; w < 4; ++w) {
+    for (const Trace& trace : s.traces.TracesAt(w)) {
+      pipeline.IngestTrace(w, trace);
+    }
+    for (const MetricKey& key : keys) {
+      if (w == 2 && key == gapped) {
+        continue;  // lost scrape
+      }
+      pipeline.IngestMetric(key, w, s.metrics.At(key, w));
+    }
+  }
+  pipeline.Fold(4);
+
+  // The missing scrape folded to the previous window's value, not a literal
+  // zero the sanity checker would read as a crash.
+  MetricsStore folded = pipeline.MetricsCopy();
+  EXPECT_DOUBLE_EQ(folded.At(gapped, 2), s.metrics.At(gapped, 1));
+  EXPECT_EQ(pipeline.imputed_metrics(), 1u);
+  const auto quality = pipeline.QualitySlice(0, 4);
+  EXPECT_LT(quality[2].metric_coverage, 1.0);
+  EXPECT_GT(quality[2].metric_coverage, 0.0);
+  EXPECT_FALSE(quality[1].degraded());
+
+  // A late-arriving real sample replaces the imputation.
+  pipeline.IngestMetric(gapped, 2, s.metrics.At(gapped, 2));
+  pipeline.Fold(4);
+  folded = pipeline.MetricsCopy();
+  EXPECT_DOUBLE_EQ(folded.At(gapped, 2), s.metrics.At(gapped, 2));
+}
+
+TEST(IngestPipelineTest, RenormalizationRescalesPartialWindows) {
+  TinySetup s = MakeSetup();
+  FeatureExtractor fx;
+  fx.LearnRange(s.traces, 0, s.learn_windows);
+  IngestPipelineConfig config;
+  config.shards = 1;
+  config.renorm_threshold = 0.5;
+  IngestPipeline pipeline(fx, config);
+
+  // Mirror of the pipeline's expected-volume tracking: renormalized windows
+  // do not update the EWMA (a degraded stretch must not drag it down).
+  const auto keys = s.metrics.Keys();
+  double ewma = 0.0;
+  size_t warmup_renormed = 0;
+  for (size_t w = 0; w < 8; ++w) {
+    for (const Trace& trace : s.traces.TracesAt(w)) {
+      pipeline.IngestTrace(w, trace);
+    }
+    for (const MetricKey& key : keys) {
+      pipeline.IngestMetric(key, w, s.metrics.At(key, w));
+    }
+    const double count = static_cast<double>(s.traces.TracesAt(w).size());
+    ASSERT_GT(count, 0.0);
+    if (ewma >= 1.0 && count < config.renorm_threshold * ewma) {
+      ++warmup_renormed;  // natural traffic dip below threshold
+    } else {
+      ewma = ewma <= 0.0 ? count : config.ewma_alpha * count + (1.0 - config.ewma_alpha) * ewma;
+    }
+  }
+  // Window 8: only one trace survives — far below the expected volume.
+  ASSERT_GT(ewma * config.renorm_threshold, 1.0);
+  pipeline.IngestTrace(8, s.traces.TracesAt(8).front());
+  for (const MetricKey& key : keys) {
+    pipeline.IngestMetric(key, 8, s.metrics.At(key, 8));
+  }
+  pipeline.Fold(9);
+
+  const auto quality = pipeline.QualitySlice(0, 9);
+  EXPECT_TRUE(quality[8].renormalized);
+  EXPECT_LT(quality[8].trace_coverage, 1.0);
+  EXPECT_EQ(pipeline.renormalized_windows(), warmup_renormed + 1);
+
+  // The sealed features are exactly the observed partial mix rescaled to the
+  // expected volume.
+  TraceCollector partial;
+  partial.Collect(8, s.traces.TracesAt(8).front());
+  std::vector<float> expected = fx.ExtractWindow(partial, 8);
+  const float scale = static_cast<float>(ewma / 1.0);
+  for (float& f : expected) {
+    f *= scale;
+  }
+  EXPECT_EQ(pipeline.FeatureSlice(8, 9).front(), expected);
+}
+
+// --- Robustness: overload protection and lifecycle ---
+
+TEST(EstimationServiceTest, SubmitAfterStopReturnsRejected) {
+  TinySetup s = MakeSetup();
+  FeatureExtractor fx;
+  fx.LearnRange(s.traces, 0, s.learn_windows);
+  ModelRegistry registry;
+  IngestPipeline pipeline(fx, {.shards = 2});
+  EstimationService service(registry, pipeline);
+  service.Stop();
+
+  const auto estimate = service.SubmitFeatures({{1.0f, 2.0f}}).get();
+  EXPECT_EQ(estimate.status, RequestStatus::kRejectedStopped);
+  EXPECT_TRUE(estimate.estimates.empty());
+  const auto sanity = service.SubmitSanityCheck(0, 8).get();
+  EXPECT_EQ(sanity.status, RequestStatus::kRejectedStopped);
+  EXPECT_TRUE(sanity.events.empty());
+
+  const ServiceCounters counters = service.Counters();
+  EXPECT_EQ(counters.requests_submitted, 2u);
+  EXPECT_EQ(counters.requests_rejected, 2u);
+  EXPECT_EQ(counters.requests_served, 0u);
+}
+
+TEST(EstimationServiceTest, BoundedQueueShedsUnderOverload) {
+  TinySetup s = MakeSetup();
+  auto model = TrainModel(s);
+  const auto features = model->features().ExtractSeries(s.traces, s.learn_windows, s.total());
+  const EstimateMap reference = model->EstimateFromFeatures(features);
+  ModelRegistry registry;
+  IngestPipeline pipeline(model->features(), {.shards = 2});
+  registry.Publish(std::move(model));
+
+  for (const ShedPolicy policy : {ShedPolicy::kRejectNew, ShedPolicy::kDropOldest}) {
+    EstimationServiceConfig config;
+    config.workers = 1;  // submissions far outpace serving
+    config.max_batch = 1;
+    config.batch_wait = std::chrono::microseconds(0);
+    config.max_queue = 2;
+    config.shed_policy = policy;
+    EstimationService service(registry, pipeline, config);
+
+    constexpr size_t kRequests = 48;
+    std::vector<std::future<EstimationService::EstimateResult>> futures;
+    futures.reserve(kRequests);
+    for (size_t i = 0; i < kRequests; ++i) {
+      futures.push_back(service.SubmitFeatures(features));
+    }
+    size_t ok = 0;
+    size_t shed = 0;
+    for (auto& future : futures) {
+      const auto result = future.get();
+      if (result.status == RequestStatus::kOk) {
+        ++ok;
+        // Shedding must not perturb accepted results: bit-exact vs. the
+        // single-threaded reference.
+        ExpectSameEstimates(result.estimates, reference);
+      } else {
+        ASSERT_EQ(result.status, RequestStatus::kShed);
+        ++shed;
+      }
+    }
+    // The queue stayed bounded: some requests were shed, none were lost, and
+    // every future resolved.
+    EXPECT_GT(shed, 0u) << RequestStatusName(RequestStatus::kShed);
+    EXPECT_GT(ok, 0u);
+    EXPECT_EQ(ok + shed, kRequests);
+    const ServiceCounters counters = service.Counters();
+    EXPECT_EQ(counters.requests_submitted, kRequests);
+    EXPECT_EQ(counters.requests_served, ok);
+    EXPECT_EQ(counters.requests_shed, shed);
+    EXPECT_EQ(counters.queue_depth, 0u);
+  }
+}
+
+TEST(EstimationServiceTest, DeadlineExpiresQueuedRequests) {
+  TinySetup s = MakeSetup();
+  auto model = TrainModel(s);
+  const auto features = model->features().ExtractSeries(s.traces, s.learn_windows, s.total());
+  ModelRegistry registry;
+  IngestPipeline pipeline(model->features(), {.shards = 2});
+  registry.Publish(std::move(model));
+
+  EstimationServiceConfig config;
+  config.workers = 1;
+  config.max_batch = 1;
+  config.batch_wait = std::chrono::microseconds(0);
+  EstimationService service(registry, pipeline, config);
+
+  // Head-of-line blocker: a very long series with no deadline keeps the
+  // single worker busy well past the queued requests' budgets.
+  std::vector<std::vector<float>> huge;
+  huge.reserve(features.size() * 200);
+  for (size_t repeat = 0; repeat < 200; ++repeat) {
+    huge.insert(huge.end(), features.begin(), features.end());
+  }
+  auto head = service.SubmitFeatures(std::move(huge));
+
+  constexpr size_t kQueued = 8;
+  std::vector<std::future<EstimationService::EstimateResult>> futures;
+  futures.reserve(kQueued);
+  for (size_t i = 0; i < kQueued; ++i) {
+    futures.push_back(service.SubmitFeatures(features, std::chrono::milliseconds(1)));
+  }
+
+  EXPECT_EQ(head.get().status, RequestStatus::kOk);
+  size_t expired = 0;
+  for (auto& future : futures) {
+    const auto result = future.get();
+    if (result.status == RequestStatus::kExpired) {
+      ++expired;
+      EXPECT_TRUE(result.estimates.empty());  // no forward pass was spent
+    } else {
+      EXPECT_EQ(result.status, RequestStatus::kOk);
+    }
+  }
+  EXPECT_GT(expired, 0u);
+  const ServiceCounters counters = service.Counters();
+  EXPECT_EQ(counters.requests_expired, expired);
+  EXPECT_EQ(counters.requests_submitted, kQueued + 1);
 }
 
 }  // namespace

@@ -17,10 +17,21 @@
 //                    [--serve-days=N] [--workers=N] [--batch=N] [--clients=N]
 //                    [--refresh-windows=N] [--attack=ransomware|cryptojacking]
 //                    [--target=COMPONENT]
+//                    [--chaos] [--drop=P] [--dup=P] [--corrupt=P] [--gap=P]
+//                    [--max-queue=N] [--shed-policy=reject-new|drop-oldest]
+//                    [--deadline-ms=N] [--retries=N] [--checkpoint=FILE]
 //       Online serving demo: train (or load with --model), then stream a
 //       simulated live workload through the ingest pipeline while client
 //       threads hammer the estimation service and the continual learner
 //       hot-swaps refreshed models. Prints the service counters.
+//       --chaos routes the telemetry stream through a seeded FaultInjector
+//       (10% drop, 10% duplicate, 5% corrupt, 5% metric gaps by default;
+//       individual probabilities override). --max-queue bounds the request
+//       queue (overload sheds instead of growing), --deadline-ms expires
+//       stale queued requests, and clients retry non-ok results with
+//       exponential backoff + jitter (--retries). --checkpoint enables
+//       atomic model checkpoints after every refresh and crash recovery at
+//       startup (falls back to FILE.prev if FILE is torn).
 //
 //   deeprest demo
 //       One-command tour: train, estimate, and check on the social network.
@@ -41,10 +52,12 @@
 #include "src/core/planner.h"
 #include "src/eval/ascii.h"
 #include "src/eval/harness.h"
+#include "src/serve/checkpoint.h"
 #include "src/serve/continual_learner.h"
 #include "src/serve/estimation_service.h"
 #include "src/serve/ingest_pipeline.h"
 #include "src/serve/model_registry.h"
+#include "src/sim/fault_injector.h"
 
 namespace deeprest {
 namespace {
@@ -247,48 +260,108 @@ int CmdServe(const CliArgs& args) {
   Rng traffic_rng(config.seed + 47);
   const auto live = harness.RunQuery(GenerateTraffic(harness.QuerySpec(serve_days), traffic_rng));
 
-  // Initial model: either the harness's freshly trained one or --model.
-  std::printf("Preparing initial model...\n");
-  std::unique_ptr<DeepRestEstimator> initial;
-  const std::string model_path = args.Get("model", "");
-  if (!model_path.empty()) {
-    initial = std::make_unique<DeepRestEstimator>();
-    if (!initial->Load(model_path)) {
-      std::fprintf(stderr, "serve: could not load --model=%s\n", model_path.c_str());
-      return 2;
-    }
-  } else {
-    initial = harness.deeprest().Clone();
+  // Telemetry fault injection: --chaos turns on the default fault mix;
+  // individual probability flags override (and imply chaos on their own).
+  const bool chaos_flag = args.Get("chaos", "") == "1";
+  FaultInjectorConfig fault_config;
+  fault_config.seed = config.seed + 101;
+  fault_config.drop_prob = args.GetDouble("drop", chaos_flag ? 0.10 : 0.0);
+  fault_config.duplicate_prob = args.GetDouble("dup", chaos_flag ? 0.10 : 0.0);
+  fault_config.corrupt_prob = args.GetDouble("corrupt", chaos_flag ? 0.05 : 0.0);
+  fault_config.metric_gap_prob = args.GetDouble("gap", chaos_flag ? 0.05 : 0.0);
+  const bool chaos = fault_config.drop_prob > 0.0 || fault_config.duplicate_prob > 0.0 ||
+                     fault_config.corrupt_prob > 0.0 || fault_config.metric_gap_prob > 0.0;
+  FaultInjector injector(fault_config);
+  if (chaos) {
+    std::printf("Chaos: drop=%.2f dup=%.2f corrupt=%.2f gap=%.2f (seed %llu)\n",
+                fault_config.drop_prob, fault_config.duplicate_prob, fault_config.corrupt_prob,
+                fault_config.metric_gap_prob,
+                static_cast<unsigned long long>(fault_config.seed));
   }
+
+  // Initial model: a recovered checkpoint wins, then --model, then the
+  // harness's freshly trained one.
+  std::printf("Preparing initial model...\n");
+  const std::string checkpoint_path = args.Get("checkpoint", "");
   ModelRegistry registry;
-  IngestPipeline pipeline(initial->features(), {.shards = 4});
-  registry.Publish(std::move(initial));
+  std::shared_ptr<const DeepRestEstimator> initial;
+  size_t start_window = live.from;
+  if (!checkpoint_path.empty()) {
+    CheckpointData recovered;
+    const RecoverySource source = RecoverCheckpoint(checkpoint_path, &recovered);
+    if (source != RecoverySource::kNone && registry.Restore(recovered.model, recovered.version)) {
+      std::printf("Recovered checkpoint (%s): model v%llu, trained through window %llu\n",
+                  RecoverySourceName(source),
+                  static_cast<unsigned long long>(recovered.version),
+                  static_cast<unsigned long long>(recovered.trained_through));
+      initial = recovered.model;
+      start_window = std::max<size_t>(start_window,
+                                      static_cast<size_t>(recovered.trained_through));
+    }
+  }
+  if (initial == nullptr) {
+    const std::string model_path = args.Get("model", "");
+    std::unique_ptr<DeepRestEstimator> fresh;
+    if (!model_path.empty()) {
+      fresh = std::make_unique<DeepRestEstimator>();
+      if (!fresh->Load(model_path)) {
+        std::fprintf(stderr, "serve: could not load --model=%s\n", model_path.c_str());
+        return 2;
+      }
+    } else {
+      fresh = harness.deeprest().Clone();
+    }
+    initial = std::shared_ptr<const DeepRestEstimator>(std::move(fresh));
+    registry.Publish(initial);
+  }
+  // Chaos implies an at-least-once transport, so trace dedup goes on.
+  IngestPipelineConfig pipeline_config;
+  pipeline_config.shards = 4;
+  pipeline_config.dedupe_traces = chaos;
+  IngestPipeline pipeline(initial->features(), pipeline_config);
 
   ContinualLearnerConfig learner_config;
   learner_config.min_new_windows = args.GetSize("refresh-windows", config.windows_per_day);
   learner_config.epochs = 2;
-  ContinualLearner learner(registry, pipeline, live.from, learner_config);
+  learner_config.checkpoint_path = checkpoint_path;
+  ContinualLearner learner(registry, pipeline, start_window, learner_config);
   learner.Start();
 
   EstimationServiceConfig service_config;
   service_config.workers = args.GetSize("workers", 4);
   service_config.max_batch = args.GetSize("batch", 8);
+  service_config.max_queue = args.GetSize("max-queue", 0);
+  service_config.shed_policy = args.Get("shed-policy", "reject-new") == "drop-oldest"
+                                   ? ShedPolicy::kDropOldest
+                                   : ShedPolicy::kRejectNew;
+  service_config.default_deadline =
+      std::chrono::milliseconds(args.GetSize("deadline-ms", 0));
   EstimationService service(registry, pipeline, service_config);
 
   std::printf("Serving %zu live windows with %zu workers (batch %zu)...\n",
               live.to - live.from, service_config.workers, service_config.max_batch);
 
   // Producer: replays the live phase's traces and metric samples into the
-  // sharded pipeline, one window at a time, as a telemetry agent would.
+  // sharded pipeline, one window at a time, as a telemetry agent would —
+  // through the fault injector when chaos is on.
   std::atomic<bool> producing{true};
   std::thread producer([&] {
     const auto keys = harness.metrics().Keys();
     for (size_t w = live.from; w < live.to; ++w) {
       for (const Trace& trace : harness.traces().TracesAt(w)) {
-        pipeline.IngestTrace(w, trace);
+        if (chaos) {
+          for (auto& delivery : injector.ProcessTrace(w, trace)) {
+            pipeline.IngestTrace(delivery.window, std::move(delivery.trace));
+          }
+        } else {
+          pipeline.IngestTrace(w, trace);
+        }
       }
       for (const MetricKey& key : keys) {
-        pipeline.IngestMetric(key, w, harness.metrics().At(key, w));
+        const double value = harness.metrics().At(key, w);
+        if (!chaos || injector.ProcessMetric(key, w, value)) {
+          pipeline.IngestMetric(key, w, value);
+        }
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(25));
     }
@@ -296,30 +369,62 @@ int CmdServe(const CliArgs& args) {
   });
 
   // Clients: a mix of mode-1 traffic estimates and mode-2 sanity checks over
-  // the freshest sealed windows.
+  // the freshest sealed windows. Shed and expired results are retried with
+  // exponential backoff + jitter — the client-side half of overload
+  // protection: backing off drains the queue instead of hammering it.
   const size_t client_count = args.GetSize("clients", 3);
+  const size_t max_retries = args.GetSize("retries", 3);
   std::atomic<uint64_t> versions_seen_bits{0};
   std::atomic<size_t> anomalies_seen{0};
+  std::atomic<uint64_t> client_retries{0};
+  std::atomic<uint64_t> client_gave_up{0};
   std::vector<std::thread> clients;
   clients.reserve(client_count);
   for (size_t c = 0; c < client_count; ++c) {
     clients.emplace_back([&, c] {
       Rng rng(config.seed * 977 + c);
+      // Runs one submission through the retry loop; returns the final status.
+      const auto with_backoff = [&](auto submit) {
+        for (size_t attempt = 0;; ++attempt) {
+          const RequestStatus status = submit();
+          if (status == RequestStatus::kOk || status == RequestStatus::kRejectedStopped ||
+              attempt >= max_retries) {
+            if (status != RequestStatus::kOk) {
+              client_gave_up.fetch_add(1, std::memory_order_relaxed);
+            }
+            return status;
+          }
+          client_retries.fetch_add(1, std::memory_order_relaxed);
+          const double base_ms = static_cast<double>(uint64_t{1} << std::min<size_t>(attempt, 8));
+          const double jittered_ms = rng.Uniform(0.5 * base_ms, 1.5 * base_ms);
+          std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(jittered_ms));
+        }
+      };
       size_t round = 0;
       while (producing.load(std::memory_order_acquire)) {
         if (++round % 5 == 0 && pipeline.featured_windows() > live.from + 4) {
-          auto future = service.SubmitSanityCheck(live.from, pipeline.featured_windows());
-          const auto result = future.get();
-          anomalies_seen.fetch_add(result.events.size(), std::memory_order_relaxed);
-          versions_seen_bits.fetch_or(uint64_t{1} << (result.model_version & 63u),
-                                      std::memory_order_relaxed);
+          with_backoff([&] {
+            auto future = service.SubmitSanityCheck(live.from, pipeline.featured_windows());
+            const auto result = future.get();
+            if (result.status == RequestStatus::kOk) {
+              anomalies_seen.fetch_add(result.events.size(), std::memory_order_relaxed);
+              versions_seen_bits.fetch_or(uint64_t{1} << (result.model_version & 63u),
+                                          std::memory_order_relaxed);
+            }
+            return result.status;
+          });
         } else {
-          TrafficSpec spec = harness.QuerySpec(1);
-          spec.user_scale = rng.Uniform(0.5, 3.0);
-          auto future = service.SubmitTraffic(GenerateTraffic(spec, rng), rng.NextU64());
-          const auto result = future.get();
-          versions_seen_bits.fetch_or(uint64_t{1} << (result.model_version & 63u),
-                                      std::memory_order_relaxed);
+          with_backoff([&] {
+            TrafficSpec spec = harness.QuerySpec(1);
+            spec.user_scale = rng.Uniform(0.5, 3.0);
+            auto future = service.SubmitTraffic(GenerateTraffic(spec, rng), rng.NextU64());
+            const auto result = future.get();
+            if (result.status == RequestStatus::kOk) {
+              versions_seen_bits.fetch_or(uint64_t{1} << (result.model_version & 63u),
+                                          std::memory_order_relaxed);
+            }
+            return result.status;
+          });
         }
       }
     });
@@ -344,7 +449,20 @@ int CmdServe(const CliArgs& args) {
   rows.push_back({"late events", std::to_string(pipeline.late_events())});
   rows.push_back({"traces ingested", std::to_string(pipeline.total_traces())});
   rows.push_back({"learner refreshes", std::to_string(learner.refreshes_published())});
+  rows.push_back({"learner fine-tunes rejected", std::to_string(learner.models_rejected())});
+  if (!checkpoint_path.empty()) {
+    rows.push_back({"checkpoints written", std::to_string(learner.checkpoints_written())});
+  }
   rows.push_back({"client anomalies seen", std::to_string(anomalies_seen.load())});
+  rows.push_back({"client retries", std::to_string(client_retries.load())});
+  rows.push_back({"client gave up", std::to_string(client_gave_up.load())});
+  if (chaos) {
+    const FaultCounters faults = injector.counters();
+    rows.push_back({"chaos traces dropped", std::to_string(faults.dropped)});
+    rows.push_back({"chaos traces corrupted", std::to_string(faults.corrupted)});
+    rows.push_back({"chaos traces duplicated", std::to_string(faults.duplicated)});
+    rows.push_back({"chaos metric gaps", std::to_string(faults.metric_gaps)});
+  }
   std::printf("\nService counters:\n%s\n", RenderTable({"counter", "value"}, rows).c_str());
 
   uint64_t versions = 0;
@@ -355,6 +473,11 @@ int CmdServe(const CliArgs& args) {
               static_cast<unsigned long long>(versions),
               static_cast<unsigned long long>(registry.version()));
 
+  if (final_sanity.min_quality < 1.0) {
+    std::printf("Telemetry quality over the checked range: min %.2f (degraded windows get "
+                "widened anomaly tolerance)\n",
+                final_sanity.min_quality);
+  }
   if (final_sanity.events.empty()) {
     std::printf("Final sanity check (v%llu): no anomalies over %zu windows.\n",
                 static_cast<unsigned long long>(final_sanity.model_version),
@@ -404,6 +527,9 @@ int Usage() {
                "           [--target=COMPONENT] [--query-days=N]\n"
                "  serve    [--model=FILE] [--serve-days=N] [--workers=N] [--batch=N]\n"
                "           [--clients=N] [--refresh-windows=N] [--attack=...]\n"
+               "           [--chaos] [--drop=P] [--dup=P] [--corrupt=P] [--gap=P]\n"
+               "           [--max-queue=N] [--shed-policy=reject-new|drop-oldest]\n"
+               "           [--deadline-ms=N] [--retries=N] [--checkpoint=FILE]\n"
                "  demo     end-to-end tour on the social network\n");
   return 2;
 }
