@@ -1,0 +1,397 @@
+// Hot-path benchmark: tiled GEMM kernels vs the preserved reference kernels,
+// fused vs reference GRU step, end-to-end training/inference wall-clock, and
+// the parallel training harness. Writes every measurement to a JSON file
+// (default BENCH_kernels.json) so tools/bench_diff can compare runs.
+//
+// Usage: bench_kernels [--smoke] [--out <path>]
+//   --smoke  tiny configuration for the perf-smoke ctest label (seconds, not
+//            minutes; the numbers are NOT representative, only the plumbing)
+//   --out    output JSON path (default: BENCH_kernels.json in the cwd)
+//
+// The "reference" training run flips SetKernelMode(kReference) and
+// use_fused_graph = false, i.e. the pre-optimization kernels and the
+// per-elementary-op graph on the same binary. The node arena cannot be
+// toggled off, so the end-to-end speedup reported here slightly understates
+// the true before/after against the pre-PR tree.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/core/estimator.h"
+#include "src/eval/parallel.h"
+#include "src/nn/layers.h"
+#include "src/nn/matrix.h"
+#include "src/nn/ops.h"
+#include "src/nn/rng.h"
+#include "src/telemetry/metrics.h"
+#include "src/trace/collector.h"
+
+namespace deeprest {
+namespace {
+
+struct BenchOptions {
+  bool smoke = false;
+  std::string out = "BENCH_kernels.json";
+};
+
+// Synthetic workload: `fan` sibling operations spread over `components`
+// services under one root, Poisson-sized windows. Mirrors the shape of the
+// paper's fan-out APIs while staying fully deterministic (seed 7).
+struct KernelFixture {
+  TraceCollector traces;
+  MetricsStore metrics;
+  size_t windows = 96;
+  std::vector<MetricKey> resources;
+
+  KernelFixture(size_t components, size_t fan, uint64_t seed = 7) {
+    Rng rng(seed);
+    for (size_t c = 0; c < components; ++c) {
+      resources.push_back({"Svc" + std::to_string(c), ResourceKind::kCpu});
+    }
+    for (size_t w = 0; w < windows; ++w) {
+      const int count = rng.NextPoisson(18.0);
+      for (int i = 0; i < count; ++i) {
+        Trace t(w * 1000 + static_cast<uint64_t>(i), "/fan");
+        const SpanIndex root = t.AddSpan("Frontend", "fan", kNoParent);
+        for (size_t d = 0; d < fan; ++d) {
+          t.AddSpan("Svc" + std::to_string(d % components), "op" + std::to_string(d), root);
+        }
+        traces.Collect(w, t);
+      }
+      for (size_t c = 0; c < components; ++c) {
+        metrics.Record(resources[c], w, 5.0 + 0.1 * rng.Uniform(0, 10) + 0.2 * c);
+      }
+    }
+  }
+};
+
+// ---- GEMM micro-benchmarks ----
+
+struct GemmResult {
+  std::string name;
+  double tiled_ns = 0;
+  double reference_ns = 0;
+  double speedup() const { return reference_ns > 0 ? reference_ns / tiled_ns : 0; }
+};
+
+template <typename Fn>
+double TimeNs(int iters, Fn&& fn) {
+  // One untimed warm-up call settles allocations inside `out`.
+  fn();
+  const WallTimer timer;
+  for (int i = 0; i < iters; ++i) {
+    fn();
+  }
+  return timer.Nanos() / iters;
+}
+
+GemmResult BenchMatMul(size_t m, size_t k, size_t n, int iters, Rng& rng) {
+  Matrix a(m, k), b(k, n), out;
+  a.FillUniform(rng, 1.0f);
+  b.FillUniform(rng, 1.0f);
+  GemmResult result;
+  result.name = "MatMulInto " + std::to_string(m) + "x" + std::to_string(k) + "*" +
+                std::to_string(k) + "x" + std::to_string(n);
+  result.tiled_ns = TimeNs(iters, [&] { MatMulInto(a, b, out); });
+  result.reference_ns = TimeNs(iters, [&] { reference::MatMulInto(a, b, out); });
+  return result;
+}
+
+GemmResult BenchAccATB(size_t m, size_t k, size_t n, int iters, Rng& rng) {
+  // out(k,n) += a(m,k)^T * b(m,n) — the weight-gradient shape.
+  Matrix a(m, k), b(m, n), out(k, n);
+  a.FillUniform(rng, 1.0f);
+  b.FillUniform(rng, 1.0f);
+  GemmResult result;
+  result.name = "AccumulateATransposeB " + std::to_string(m) + "x" + std::to_string(k) +
+                "^T*" + std::to_string(m) + "x" + std::to_string(n);
+  result.tiled_ns = TimeNs(iters, [&] { AccumulateATransposeB(a, b, out); });
+  out.Zero();
+  result.reference_ns = TimeNs(iters, [&] { reference::AccumulateATransposeB(a, b, out); });
+  return result;
+}
+
+GemmResult BenchAccABT(size_t m, size_t k, size_t n, int iters, Rng& rng) {
+  // out(m,k) += a(m,n) * b(k,n)^T — the input-gradient shape.
+  Matrix a(m, n), b(k, n), out(m, k);
+  a.FillUniform(rng, 1.0f);
+  b.FillUniform(rng, 1.0f);
+  GemmResult result;
+  result.name = "AccumulateABTranspose " + std::to_string(m) + "x" + std::to_string(n) + "*" +
+                std::to_string(k) + "x" + std::to_string(n) + "^T";
+  result.tiled_ns = TimeNs(iters, [&] { AccumulateABTranspose(a, b, out); });
+  out.Zero();
+  result.reference_ns = TimeNs(iters, [&] { reference::AccumulateABTranspose(a, b, out); });
+  return result;
+}
+
+// ---- Single GRU step forward + backward ----
+
+struct StepResult {
+  double fused_ns = 0;
+  double reference_ns = 0;
+  uint64_t fused_nodes = 0;      // graph nodes per step (fused path)
+  uint64_t reference_nodes = 0;  // graph nodes per step (elementary ops)
+  double speedup() const { return fused_ns > 0 ? reference_ns / fused_ns : 0; }
+};
+
+StepResult BenchGruStep(size_t in_dim, size_t hidden, size_t unroll, int iters) {
+  Rng rng(11);
+  ParameterStore store;
+  GruCell gru(store, "bench_gru", in_dim, hidden, rng);
+  Matrix x_value(in_dim, 1);
+  x_value.FillUniform(rng, 1.0f);
+  const Tensor x = Tensor::Constant(x_value);
+
+  const auto run = [&](bool fused) {
+    Tensor h = gru.InitialState();
+    for (size_t t = 0; t < unroll; ++t) {
+      h = fused ? gru.Step(x, h) : gru.StepReference(x, h);
+    }
+    Tensor loss = SumAll(h);
+    loss.Backward();
+    store.ZeroGrad();
+  };
+
+  StepResult result;
+  uint64_t before = TensorNodesCreated();
+  run(true);
+  result.fused_nodes = (TensorNodesCreated() - before) / unroll;
+  before = TensorNodesCreated();
+  run(false);
+  result.reference_nodes = (TensorNodesCreated() - before) / unroll;
+
+  result.fused_ns = TimeNs(iters, [&] { run(true); }) / unroll;
+  result.reference_ns = TimeNs(iters, [&] { run(false); }) / unroll;
+  return result;
+}
+
+// ---- End-to-end training / inference ----
+
+struct TrainResult {
+  double optimized_s = 0;
+  double reference_s = 0;
+  double infer_optimized_s = 0;  // one full-series estimation pass
+  double infer_reference_s = 0;
+  std::vector<float> optimized_losses;
+  std::vector<float> reference_losses;
+  double train_speedup() const {
+    return optimized_s > 0 ? reference_s / optimized_s : 0;
+  }
+  double infer_speedup() const {
+    return infer_optimized_s > 0 ? infer_reference_s / infer_optimized_s : 0;
+  }
+};
+
+EstimatorConfig TrainConfig(const BenchOptions& options) {
+  EstimatorConfig config;
+  config.hidden_dim = 16;
+  config.epochs = options.smoke ? 2 : 10;
+  config.bptt_chunk = 48;
+  config.warm_start = false;
+  config.seed = 3;
+  return config;
+}
+
+TrainResult BenchTraining(const KernelFixture& fixture, const BenchOptions& options) {
+  const EstimatorConfig config = TrainConfig(options);
+  const int reps = options.smoke ? 1 : 5;  // best-of-5: the box is noisy
+  TrainResult result;
+
+  const auto train_once = [&](bool optimized, double& best, std::vector<float>& losses,
+                              double& infer) {
+    SetKernelMode(optimized ? KernelMode::kTiled : KernelMode::kReference);
+    EstimatorConfig run_config = config;
+    run_config.use_fused_graph = optimized;
+    best = 1e100;
+    for (int rep = 0; rep < reps; ++rep) {
+      DeepRestEstimator estimator(run_config);
+      const WallTimer timer;
+      estimator.Learn(fixture.traces, fixture.metrics, 0, fixture.windows, fixture.resources);
+      best = std::min(best, timer.Seconds());
+      losses = estimator.epoch_losses();
+    }
+    DeepRestEstimator estimator(run_config);
+    estimator.Learn(fixture.traces, fixture.metrics, 0, fixture.windows, fixture.resources);
+    const auto features =
+        estimator.features().ExtractSeries(fixture.traces, 0, fixture.windows);
+    const int infer_reps = options.smoke ? 2 : 10;
+    const WallTimer timer;
+    for (int i = 0; i < infer_reps; ++i) {
+      const auto estimates = estimator.EstimateFromFeatures(features);
+      (void)estimates;
+    }
+    infer = timer.Seconds() / infer_reps;
+  };
+
+  train_once(true, result.optimized_s, result.optimized_losses, result.infer_optimized_s);
+  train_once(false, result.reference_s, result.reference_losses, result.infer_reference_s);
+  SetKernelMode(KernelMode::kTiled);
+  return result;
+}
+
+// ---- Parallel training harness ----
+
+struct ParallelResult {
+  size_t jobs = 0;
+  size_t threads = 0;
+  double sequential_s = 0;
+  double parallel_s = 0;
+  double speedup() const { return parallel_s > 0 ? sequential_s / parallel_s : 0; }
+};
+
+ParallelResult BenchParallelTraining(const KernelFixture& fixture,
+                                     const BenchOptions& options) {
+  ParallelResult result;
+  result.jobs = options.smoke ? 2 : 4;
+  result.threads = DefaultTrainThreads();
+
+  std::vector<TrainJob> jobs;
+  for (size_t i = 0; i < result.jobs; ++i) {
+    TrainJob job;
+    job.config = TrainConfig(options);
+    job.config.seed = 3 + i;  // independent models: distinct seeds
+    job.traces = &fixture.traces;
+    job.metrics = &fixture.metrics;
+    job.from = 0;
+    job.to = fixture.windows;
+    job.resources = fixture.resources;
+    jobs.push_back(job);
+  }
+
+  {
+    const WallTimer timer;
+    const auto models = TrainEstimatorsParallel(jobs, 1);
+    result.sequential_s = timer.Seconds();
+  }
+  {
+    const WallTimer timer;
+    const auto models = TrainEstimatorsParallel(jobs, result.threads);
+    result.parallel_s = timer.Seconds();
+  }
+  return result;
+}
+
+// ---- JSON output ----
+
+void WriteJson(const BenchOptions& options, const KernelFixture& fixture,
+               const std::vector<GemmResult>& gemm, const StepResult& step,
+               const TrainResult& train, const ParallelResult& par) {
+  std::FILE* f = std::fopen(options.out.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", options.out.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", options.smoke ? "true" : "false");
+  std::fprintf(f, "  \"windows\": %zu,\n", fixture.windows);
+  std::fprintf(f, "  \"gemm\": {\n");
+  for (size_t i = 0; i < gemm.size(); ++i) {
+    std::fprintf(f,
+                 "    \"%s\": {\"tiled_ns\": %.1f, \"reference_ns\": %.1f, "
+                 "\"speedup\": %.3f}%s\n",
+                 gemm[i].name.c_str(), gemm[i].tiled_ns, gemm[i].reference_ns,
+                 gemm[i].speedup(), i + 1 < gemm.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+  std::fprintf(f,
+               "  \"gru_step\": {\"fused_ns\": %.1f, \"reference_ns\": %.1f, "
+               "\"speedup\": %.3f, \"fused_nodes\": %llu, \"reference_nodes\": %llu},\n",
+               step.fused_ns, step.reference_ns, step.speedup(),
+               static_cast<unsigned long long>(step.fused_nodes),
+               static_cast<unsigned long long>(step.reference_nodes));
+  std::fprintf(f,
+               "  \"train\": {\"optimized_s\": %.4f, \"reference_s\": %.4f, "
+               "\"speedup\": %.3f, \"optimized_ns_per_window\": %.0f},\n",
+               train.optimized_s, train.reference_s, train.train_speedup(),
+               train.optimized_s * 1e9 / fixture.windows);
+  std::fprintf(f,
+               "  \"inference\": {\"optimized_s\": %.5f, \"reference_s\": %.5f, "
+               "\"speedup\": %.3f, \"optimized_ns_per_window\": %.0f},\n",
+               train.infer_optimized_s, train.infer_reference_s, train.infer_speedup(),
+               train.infer_optimized_s * 1e9 / fixture.windows);
+  std::fprintf(f,
+               "  \"parallel_train\": {\"jobs\": %zu, \"threads\": %zu, "
+               "\"sequential_s\": %.4f, \"parallel_s\": %.4f, \"speedup\": %.3f},\n",
+               par.jobs, par.threads, par.sequential_s, par.parallel_s, par.speedup());
+  std::fprintf(f, "  \"losses_bit_identical\": %s\n",
+               train.optimized_losses == train.reference_losses ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+int Run(const BenchOptions& options) {
+  PrintBenchHeader("hot-path kernels (perf)",
+                   "tiled GEMM / fused GRU / arena vs the preserved reference path");
+
+  // GEMM shapes from the actual model hot loops: the input projection
+  // (hidden x feature_dim matvec), the recurrent matvec, the attention
+  // mixing product, and the two gradient-accumulation kernels.
+  Rng rng(19);
+  const int small = options.smoke ? 500 : 20000;
+  const int medium = options.smoke ? 100 : 2000;
+  std::vector<GemmResult> gemm;
+  gemm.push_back(BenchMatMul(16, 256, 1, small, rng));
+  gemm.push_back(BenchMatMul(16, 16, 1, small, rng));
+  gemm.push_back(BenchMatMul(12, 12, 16, medium, rng));
+  gemm.push_back(BenchMatMul(64, 64, 64, medium, rng));
+  gemm.push_back(BenchAccATB(16, 256, 1, small, rng));
+  gemm.push_back(BenchAccABT(16, 256, 1, small, rng));
+  std::printf("%-44s %12s %12s %8s\n", "kernel", "tiled ns", "reference ns", "speedup");
+  for (const GemmResult& g : gemm) {
+    std::printf("%-44s %12.1f %12.1f %7.2fx\n", g.name.c_str(), g.tiled_ns, g.reference_ns,
+                g.speedup());
+  }
+
+  const StepResult step =
+      BenchGruStep(/*in_dim=*/64, /*hidden=*/16, /*unroll=*/48, options.smoke ? 20 : 400);
+  std::printf("\nGRU step fwd+bwd (64->16, unroll 48):\n");
+  std::printf("  fused     %10.1f ns/step  (%llu graph nodes)\n", step.fused_ns,
+              static_cast<unsigned long long>(step.fused_nodes));
+  std::printf("  reference %10.1f ns/step  (%llu graph nodes)\n", step.reference_ns,
+              static_cast<unsigned long long>(step.reference_nodes));
+  std::printf("  speedup   %9.2fx\n", step.speedup());
+
+  const KernelFixture fixture(options.smoke ? 4 : 12, options.smoke ? 12 : 48);
+  const TrainResult train = BenchTraining(fixture, options);
+  std::printf("\nEnd-to-end (%zu windows, %zu epochs, best of %d):\n", fixture.windows,
+              TrainConfig(options).epochs, options.smoke ? 1 : 5);
+  PrintTimed("  train optimized", train.optimized_s, fixture.windows);
+  PrintTimed("  train reference", train.reference_s, fixture.windows);
+  std::printf("  train speedup %.2fx\n", train.train_speedup());
+  PrintTimed("  inference optimized", train.infer_optimized_s, fixture.windows);
+  PrintTimed("  inference reference", train.infer_reference_s, fixture.windows);
+  std::printf("  inference speedup %.2fx\n", train.infer_speedup());
+  std::printf("  epoch losses bit-identical: %s\n",
+              train.optimized_losses == train.reference_losses ? "yes" : "NO");
+
+  const ParallelResult par = BenchParallelTraining(fixture, options);
+  std::printf("\nParallel harness (%zu jobs, %zu threads):\n", par.jobs, par.threads);
+  PrintTimed("  sequential", par.sequential_s, 0);
+  PrintTimed("  parallel", par.parallel_s, 0);
+  std::printf("  speedup %.2fx\n", par.speedup());
+
+  WriteJson(options, fixture, gemm, step, train, par);
+  std::printf("\nwrote %s\n", options.out.c_str());
+  return train.optimized_losses == train.reference_losses ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace deeprest
+
+int main(int argc, char** argv) {
+  deeprest::BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      options.smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      options.out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  return deeprest::Run(options);
+}

@@ -119,15 +119,14 @@ CellResult RunCell(std::shared_ptr<const DeepRestEstimator> model,
 
   std::vector<std::future<EstimationService::EstimateResult>> futures;
   futures.reserve(kRequestsPerCell);
-  const auto start = std::chrono::steady_clock::now();
+  const WallTimer timer;
   for (size_t i = 0; i < kRequestsPerCell; ++i) {
     futures.push_back(service.SubmitFeatures(features));
   }
   for (auto& future : futures) {
     (void)future.get();
   }
-  const double seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const double seconds = timer.Seconds();
   CellResult result;
   result.requests_per_sec = static_cast<double>(kRequestsPerCell) / seconds;
   result.counters = service.Counters();

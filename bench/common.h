@@ -7,6 +7,7 @@
 #ifndef BENCH_COMMON_H_
 #define BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -16,6 +17,36 @@
 #include "src/eval/harness.h"
 
 namespace deeprest {
+
+// Monotonic wall-clock timer for the hand-rolled (non-google-benchmark)
+// timing sections. steady_clock, not system_clock: NTP slews and DST jumps
+// must not show up as speedups.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+  double Nanos() const { return Seconds() * 1e9; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Uniform "wall-clock + per-window" report line used by every bench target
+// that times a phase over a window range.
+inline void PrintTimed(const std::string& label, double seconds, size_t windows) {
+  if (windows > 0) {
+    std::printf("%-32s %8.3f s  (%10.0f ns/window over %zu windows)\n", label.c_str(),
+                seconds, seconds * 1e9 / static_cast<double>(windows), windows);
+  } else {
+    std::printf("%-32s %8.3f s\n", label.c_str(), seconds);
+  }
+}
 
 inline HarnessConfig SocialBenchConfig() {
   HarnessConfig config;

@@ -54,19 +54,66 @@ void DeepRestEstimator::BuildModel(size_t feature_dim,
   for (size_t i = 0; i < e; ++i) {
     diag_zero_mask_.At(i, i) = 0.0f;
   }
+  diag_mask_tensor_ = Tensor::Constant(diag_zero_mask_);
 }
 
 Tensor DeepRestEstimator::ScaledInput(const std::vector<float>& raw) const {
-  Matrix x(feature_scale_.size(), 1);
+  Tensor out = Tensor::NewConstant(feature_scale_.size(), 1);
+  Matrix& x = out.mutable_value();
   const size_t n = std::min(raw.size(), feature_scale_.size());
   for (size_t d = 0; d < n; ++d) {
     x.At(d, 0) = raw[d] / feature_scale_[d];
   }
-  return Tensor::Constant(std::move(x));
+  for (size_t d = n; d < feature_scale_.size(); ++d) {
+    x.At(d, 0) = 0.0f;
+  }
+  return out;
 }
 
 std::vector<Tensor> DeepRestEstimator::StepAll(const Tensor& x,
                                                std::vector<Tensor>& hidden) const {
+  return config_.use_fused_graph ? StepAllFused(x, hidden) : StepAllReference(x, hidden);
+}
+
+std::vector<Tensor> DeepRestEstimator::StepAllFused(const Tensor& x,
+                                                    std::vector<Tensor>& hidden) const {
+  const size_t e = experts_.size();
+  // Reused across steps: holding the previous step's handles until here is
+  // harmless (the graph keeps them alive anyway via the loss).
+  thread_local std::vector<Tensor> masked;
+  masked.clear();
+  masked.resize(e);
+  for (size_t i = 0; i < e; ++i) {
+    const Expert& expert = experts_[i];
+    Tensor xm = config_.use_api_mask ? SigmoidMaskMul(expert.mask, x) : x;
+    // Each expert reads only its own previous state, so replacing in place is
+    // equivalent to building a separate new_hidden vector.
+    if (config_.use_recurrence) {
+      hidden[i] = expert.gru.Step(xm, hidden[i]);
+    } else {
+      hidden[i] = Tanh(expert.ff.Forward(xm));
+    }
+    masked[i] = std::move(xm);
+  }
+  Tensor attended;  // Stays undefined under the attention ablation.
+  if (config_.use_attention) {
+    attended = FusedAttention(alpha_, diag_mask_tensor_, hidden);
+  }
+  std::vector<Tensor> outputs(e);
+  const Tensor undefined;
+  for (size_t i = 0; i < e; ++i) {
+    const Expert& expert = experts_[i];
+    const bool bypass = config_.use_linear_bypass;
+    outputs[i] = FusedExpertHead(attended, i, hidden[i], expert.head.weight(),
+                                 expert.head.bias(), bypass ? masked[i] : undefined,
+                                 bypass ? expert.skip.weight() : undefined,
+                                 bypass ? expert.skip.bias() : undefined);
+  }
+  return outputs;
+}
+
+std::vector<Tensor> DeepRestEstimator::StepAllReference(const Tensor& x,
+                                                        std::vector<Tensor>& hidden) const {
   const size_t e = experts_.size();
   std::vector<Tensor> new_hidden(e);
   std::vector<Tensor> masked_inputs(e);
@@ -74,7 +121,7 @@ std::vector<Tensor> DeepRestEstimator::StepAll(const Tensor& x,
     const Expert& expert = experts_[i];
     Tensor x_masked = config_.use_api_mask ? Hadamard(Sigmoid(expert.mask), x) : x;
     if (config_.use_recurrence) {
-      new_hidden[i] = expert.gru.Step(x_masked, hidden[i]);
+      new_hidden[i] = expert.gru.StepReference(x_masked, hidden[i]);
     } else {
       new_hidden[i] = Tanh(expert.ff.Forward(x_masked));
     }
@@ -158,6 +205,7 @@ void DeepRestEstimator::RunTraining(const std::vector<std::vector<float>>& featu
   const size_t window_count = features.size();
 
   AdamOptimizer optimizer(store_, learning_rate);
+  std::vector<Tensor> losses;  // Hoisted: one buffer reused by every chunk.
   for (size_t epoch = 0; epoch < epochs; ++epoch) {
     std::vector<Tensor> hidden(experts_.size());
     for (auto& state : hidden) {
@@ -169,7 +217,7 @@ void DeepRestEstimator::RunTraining(const std::vector<std::vector<float>>& featu
          chunk_start += config_.bptt_chunk) {
       const size_t chunk_end = std::min(window_count, chunk_start + config_.bptt_chunk);
       optimizer.ZeroGrad();
-      std::vector<Tensor> losses;
+      losses.clear();
       losses.reserve((chunk_end - chunk_start) * experts_.size());
       for (size_t t = chunk_start; t < chunk_end; ++t) {
         Tensor x = ScaledInput(features[t]);

@@ -55,6 +55,13 @@ struct EstimatorConfig {
   // proportionality so unseen-scale queries (paper section 5.3) scale, while
   // the recurrent path models queueing, caching, and cumulative effects.
   bool use_linear_bypass = true;
+  // Build each model step out of the fused graph nodes in ops.h (one node per
+  // masked input / GRU step / attention / head) instead of the elementary-op
+  // composition. Bit-identical results either way — this is a pure graph-size
+  // optimization (~6x fewer nodes per step), kept switchable so tests can
+  // assert the equivalence. Not serialized: a loaded model uses the loader's
+  // setting.
+  bool use_fused_graph = true;
   bool verbose = false;
 };
 
@@ -194,7 +201,11 @@ class DeepRestEstimator {
                    float learning_rate, bool decay_masks);
   // One model step over all experts. `x` is the scaled feature column;
   // `hidden` is read and replaced. Returns per-expert 3x1 scaled outputs.
+  // Dispatches to the fused or reference graph per config_.use_fused_graph;
+  // both produce bit-identical values and gradients.
   std::vector<Tensor> StepAll(const Tensor& x, std::vector<Tensor>& hidden) const;
+  std::vector<Tensor> StepAllFused(const Tensor& x, std::vector<Tensor>& hidden) const;
+  std::vector<Tensor> StepAllReference(const Tensor& x, std::vector<Tensor>& hidden) const;
   // Scales a raw feature vector into a column tensor.
   Tensor ScaledInput(const std::vector<float>& raw) const;
   int ExpertIndex(const MetricKey& key) const;
@@ -207,6 +218,7 @@ class DeepRestEstimator {
   std::map<MetricKey, int> expert_index_;  // key -> experts_ position
   Tensor alpha_;           // E x E attention weights
   Matrix diag_zero_mask_;  // constant 0-diagonal / 1-elsewhere mask
+  Tensor diag_mask_tensor_;  // the same mask as a constant leaf (fused path)
   std::vector<float> feature_scale_;
   std::vector<std::vector<float>> learn_features_;  // raw, for warm start
   double train_seconds_ = 0.0;

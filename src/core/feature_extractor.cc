@@ -9,41 +9,74 @@ namespace deeprest {
 
 namespace {
 
+// Per-thread scratch for the prefix walk. Child lists are kept in CSR form
+// (offsets into one flat span array) and every buffer keeps its capacity
+// across traces, so the walk performs no allocator calls in steady state.
+struct PrefixWalkScratch {
+  std::vector<size_t> child_offset;   // n + 1 offsets into child_list
+  std::vector<size_t> child_cursor;   // fill/iteration cursor per span
+  std::vector<SpanIndex> child_list;  // children, grouped by parent
+  InvocationPath path;
+  std::vector<std::pair<SpanIndex, size_t>> stack;  // (span, child cursor)
+  std::vector<TopologyNodeId> ids;    // node-id buffer for the extraction path
+};
+
+PrefixWalkScratch& WalkScratch() {
+  thread_local PrefixWalkScratch scratch;
+  return scratch;
+}
+
 // Walks the trace and invokes fn(path) for the prefix ending at each span,
 // reusing one growing path buffer (equivalent to the recursive traversal of
 // the paper's Algorithms 1 and 2 but iteration-friendly).
 template <typename Fn>
 void ForEachPrefix(const Trace& trace, const std::vector<TopologyNodeId>& ids, Fn&& fn) {
-  // Depth-first traversal from the root, maintaining the current path.
-  // children lists are precomputed to avoid O(n^2) ChildrenOf scans.
   const size_t n = trace.size();
-  std::vector<std::vector<SpanIndex>> children(n);
-  for (SpanIndex i = 0; i < n; ++i) {
-    const SpanIndex parent = trace.spans()[i].parent;
-    if (parent != kNoParent) {
-      children[parent].push_back(i);
-    }
-  }
-  InvocationPath path;
-  // Explicit stack of (span, child cursor).
-  std::vector<std::pair<SpanIndex, size_t>> stack;
   if (n == 0) {
     return;
   }
-  path.push_back(ids[0]);
-  fn(path);
-  stack.emplace_back(0, 0);
-  while (!stack.empty()) {
-    auto& [span, cursor] = stack.back();
-    if (cursor < children[span].size()) {
-      const SpanIndex child = children[span][cursor];
+  // Counting-sort the parent->child edges into CSR: spans are scanned in
+  // ascending order twice, so each parent's child list stays ascending —
+  // the same visit order as per-parent child vectors.
+  PrefixWalkScratch& s = WalkScratch();
+  s.child_offset.assign(n + 1, 0);
+  for (SpanIndex i = 0; i < n; ++i) {
+    const SpanIndex parent = trace.spans()[i].parent;
+    if (parent != kNoParent) {
+      ++s.child_offset[parent + 1];
+    }
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    s.child_offset[i] += s.child_offset[i - 1];
+  }
+  s.child_list.resize(s.child_offset[n]);
+  s.child_cursor.assign(s.child_offset.begin(), s.child_offset.end() - 1);
+  for (SpanIndex i = 0; i < n; ++i) {
+    const SpanIndex parent = trace.spans()[i].parent;
+    if (parent != kNoParent) {
+      s.child_list[s.child_cursor[parent]++] = i;
+    }
+  }
+  // Reset cursors for the traversal itself.
+  s.child_cursor.assign(s.child_offset.begin(), s.child_offset.end() - 1);
+
+  // Depth-first traversal from the root, maintaining the current path.
+  s.path.clear();
+  s.stack.clear();
+  s.path.push_back(ids[0]);
+  fn(s.path);
+  s.stack.emplace_back(0, s.child_offset[0]);
+  while (!s.stack.empty()) {
+    auto& [span, cursor] = s.stack.back();
+    if (cursor < s.child_offset[span + 1]) {
+      const SpanIndex child = s.child_list[cursor];
       ++cursor;
-      path.push_back(ids[child]);
-      fn(path);
-      stack.emplace_back(child, 0);
+      s.path.push_back(ids[child]);
+      fn(s.path);
+      s.stack.emplace_back(child, s.child_offset[child]);
     } else {
-      path.pop_back();
-      stack.pop_back();
+      s.path.pop_back();
+      s.stack.pop_back();
     }
   }
 }
@@ -92,7 +125,14 @@ void FeatureExtractor::LearnRange(const TraceCollector& traces, size_t from, siz
 }
 
 std::vector<float> FeatureExtractor::Extract(const std::vector<const Trace*>& traces) const {
-  std::vector<float> features(dimension(), 0.0f);
+  std::vector<float> features;
+  ExtractInto(traces, features);
+  return features;
+}
+
+void FeatureExtractor::ExtractInto(const std::vector<const Trace*>& traces,
+                                   std::vector<float>& out) const {
+  out.assign(dimension(), 0.0f);
   // The topology is frozen: spans naming unknown (component, operation) pairs
   // map to kUnknownNode, so paths through them fail LookupPath and are
   // skipped — matching the paper's fixed post-learning feature space.
@@ -100,20 +140,21 @@ std::vector<float> FeatureExtractor::Extract(const std::vector<const Trace*>& tr
     if (trace == nullptr || trace->empty()) {
       continue;
     }
-    const std::vector<TopologyNodeId> ids = topology_.FrozenNodeIdsFor(*trace);
+    std::vector<TopologyNodeId>& ids = WalkScratch().ids;
+    topology_.FrozenNodeIdsInto(*trace, ids);
     ForEachPrefix(*trace, ids, [&](const InvocationPath& path) {
       size_t feature = 0;
       if (LookupPath(path, feature)) {
-        features[feature] += 1.0f;
+        out[feature] += 1.0f;
       }
     });
   }
-  return features;
 }
 
 std::vector<float> FeatureExtractor::ExtractWindow(const TraceCollector& traces,
                                                    size_t window) const {
-  std::vector<const Trace*> pointers;
+  thread_local std::vector<const Trace*> pointers;
+  pointers.clear();
   const std::vector<Trace>& in_window = traces.TracesAt(window);
   pointers.reserve(in_window.size());
   for (const Trace& t : in_window) {

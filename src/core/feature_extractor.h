@@ -40,6 +40,10 @@ class FeatureExtractor {
   // feature space is frozen after application learning).
   std::vector<float> Extract(const std::vector<const Trace*>& traces) const;
 
+  // Same, writing into a caller-owned buffer (resized and zeroed here) so
+  // per-window hot loops reuse its capacity instead of allocating.
+  void ExtractInto(const std::vector<const Trace*>& traces, std::vector<float>& out) const;
+
   // Extracts the feature vector of a single window. Incremental entry point
   // for streaming ingestion (src/serve): the IngestPipeline features each
   // newly sealed window exactly once instead of rescanning history, so

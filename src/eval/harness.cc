@@ -4,6 +4,8 @@
 #include <functional>
 #include <sstream>
 
+#include "src/eval/parallel.h"
+
 namespace deeprest {
 
 namespace {
@@ -103,6 +105,12 @@ DeepRestEstimator& ExperimentHarness::deeprest() {
     }
   }
   return *deeprest_;
+}
+
+void ExperimentHarness::TrainDeepRestParallel(
+    const std::vector<ExperimentHarness*>& harnesses, size_t threads) {
+  ParallelFor(
+      harnesses.size(), [&](size_t i) { harnesses[i]->deeprest(); }, threads);
 }
 
 ResourceAwareDl& ExperimentHarness::resource_aware_dl() {

@@ -74,6 +74,13 @@ class ExperimentHarness {
 
   // --- Algorithms (trained lazily on the learning phase) ---
   DeepRestEstimator& deeprest();
+  // Trains the DeepRest estimators of several independent harnesses
+  // concurrently on a worker pool (src/eval/parallel.h). Each harness owns a
+  // distinct model, so this is safe per the src/nn threading contract and
+  // bit-identical to calling h->deeprest() sequentially. threads == 0 uses
+  // DefaultTrainThreads().
+  static void TrainDeepRestParallel(const std::vector<ExperimentHarness*>& harnesses,
+                                    size_t threads = 0);
   ResourceAwareDl& resource_aware_dl();
   SimpleScaling& simple_scaling();
   ComponentAwareScaling& component_aware_scaling();

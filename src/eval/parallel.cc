@@ -1,0 +1,131 @@
+#include "src/eval/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+
+namespace deeprest {
+
+size_t DefaultTrainThreads() {
+  if (const char* env = std::getenv("DEEPREST_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+struct ThreadPool::State {
+  std::mutex mu;
+  std::condition_variable work_ready;   // workers wait for jobs / shutdown
+  std::condition_variable work_done;    // Wait() waits for pending == 0
+  std::deque<std::function<void()>> queue;
+  size_t pending = 0;  // queued + running jobs
+  bool shutdown = false;
+  std::exception_ptr first_error;
+};
+
+ThreadPool::ThreadPool(size_t threads) : state_(std::make_unique<State>()) {
+  threads_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([state = state_.get()] {
+      for (;;) {
+        std::function<void()> job;
+        {
+          std::unique_lock<std::mutex> lock(state->mu);
+          state->work_ready.wait(lock,
+                                 [&] { return state->shutdown || !state->queue.empty(); });
+          if (state->queue.empty()) {
+            return;  // shutdown with nothing left to do
+          }
+          job = std::move(state->queue.front());
+          state->queue.pop_front();
+        }
+        try {
+          job();
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state->mu);
+          if (!state->first_error) {
+            state->first_error = std::current_exception();
+          }
+        }
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          if (--state->pending == 0) {
+            state->work_done.notify_all();
+          }
+        }
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->shutdown = true;
+  }
+  state_->work_ready.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->queue.push_back(std::move(job));
+    ++state_->pending;
+  }
+  state_->work_ready.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->work_done.wait(lock, [&] { return state_->pending == 0; });
+  if (state_->first_error) {
+    std::exception_ptr error = state_->first_error;
+    state_->first_error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn, size_t threads) {
+  if (threads == 0) {
+    threads = DefaultTrainThreads();
+  }
+  if (n <= 1 || threads <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  ThreadPool pool(std::min(threads, n));
+  for (size_t i = 0; i < n; ++i) {
+    pool.Submit([&fn, i] { fn(i); });
+  }
+  pool.Wait();
+}
+
+std::vector<std::unique_ptr<DeepRestEstimator>> TrainEstimatorsParallel(
+    const std::vector<TrainJob>& jobs, size_t threads) {
+  std::vector<std::unique_ptr<DeepRestEstimator>> models(jobs.size());
+  ParallelFor(
+      jobs.size(),
+      [&](size_t i) {
+        const TrainJob& job = jobs[i];
+        auto model = std::make_unique<DeepRestEstimator>(job.config);
+        model->Learn(*job.traces, *job.metrics, job.from, job.to, job.resources);
+        models[i] = std::move(model);
+      },
+      threads);
+  return models;
+}
+
+}  // namespace deeprest

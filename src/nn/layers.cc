@@ -77,6 +77,11 @@ GruCell::GruCell(ParameterStore& store, const std::string& name, size_t in_dim,
 
 Tensor GruCell::Step(const Tensor& x, const Tensor& h_prev) const {
   assert(x.rows() == in_dim_ && h_prev.rows() == hidden_dim_);
+  return FusedGruStep(x, h_prev, wz_, uz_, bz_, wk_, uk_, bk_, wh_, uh_, bh_);
+}
+
+Tensor GruCell::StepReference(const Tensor& x, const Tensor& h_prev) const {
+  assert(x.rows() == in_dim_ && h_prev.rows() == hidden_dim_);
   Tensor z = Sigmoid(Add(Add(MatMul(wz_, x), MatMul(uz_, h_prev)), bz_));
   Tensor k = Sigmoid(Add(Add(MatMul(wk_, x), MatMul(uk_, h_prev)), bk_));
   Tensor h_candidate = Tanh(Add(Add(MatMul(wh_, x), MatMul(uh_, Hadamard(k, h_prev))), bh_));

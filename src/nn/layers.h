@@ -70,7 +70,13 @@ class GruCell {
           Rng& rng);
 
   // One recurrence step; x is (in_dim x 1), h_prev is (hidden_dim x 1).
+  // Builds a single fused graph node (FusedGruStep); bit-identical to
+  // StepReference in both values and gradients.
   Tensor Step(const Tensor& x, const Tensor& h_prev) const;
+
+  // The same step as an explicit composition of elementary ops (~12 graph
+  // nodes). Kept as the correctness oracle for the fused path.
+  Tensor StepReference(const Tensor& x, const Tensor& h_prev) const;
 
   // Fresh zero hidden state.
   Tensor InitialState() const;

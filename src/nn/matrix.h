@@ -57,6 +57,17 @@ class Matrix {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
 
+  // Reshapes in place, reusing the existing allocation when capacity allows.
+  // Entry values after the call are unspecified (retained prefix keeps old
+  // contents; any grown suffix is zero) — callers must overwrite or zero.
+  // This is what lets recycled tensor nodes run a training step with O(1)
+  // allocator calls.
+  void SetShape(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   void Fill(float value);
   void Zero() { Fill(0.0f); }
 
@@ -95,12 +106,55 @@ class Matrix {
   std::vector<float> data_;
 };
 
-// out = a * b, reusing out's storage when shapes already match.
+// ---- GEMM kernels ----
+//
+// The dense kernels below are register-blocked but keep the per-element
+// accumulation order identical to a naive i-k-j triple loop: blocking is only
+// over independent output rows/columns, never over the reduction dimension,
+// so results are bit-identical to the reference kernels (floating-point
+// addition is not associative; reassociating over k would change low bits).
+// The one intentional difference is that the dense path no longer skips
+// `a == 0.0f` entries — the branch costs more than the multiply on dense
+// data, and `x + 0*y == x` for every finite x (a 0-row can flip +0 to -0,
+// which still compares equal). Use MatMulIntoSkipZeros where the left operand
+// is genuinely sparse (e.g. the zero-initialized, zero-diagonal attention
+// matrix).
+
+// out = a * b, reusing out's storage when capacity allows.
 void MatMulInto(const Matrix& a, const Matrix& b, Matrix& out);
+// out = a * b with the left operand's zero entries skipped. Worth it only
+// when a is mostly zeros; bit-compatible with MatMulInto up to the sign of
+// zero results.
+void MatMulIntoSkipZeros(const Matrix& a, const Matrix& b, Matrix& out);
 // out += a^T * b.
 void AccumulateATransposeB(const Matrix& a, const Matrix& b, Matrix& out);
 // out += a * b^T.
 void AccumulateABTranspose(const Matrix& a, const Matrix& b, Matrix& out);
+
+// ---- Fused element-wise helpers (AXPY-style) ----
+// out = a + b (out is reshaped; may not alias a or b).
+void AddInto(const Matrix& a, const Matrix& b, Matrix& out);
+// out = a + scale * b.
+void AddScaledInto(const Matrix& a, const Matrix& b, float scale, Matrix& out);
+// out = a . b (element-wise).
+void HadamardInto(const Matrix& a, const Matrix& b, Matrix& out);
+
+// ---- Kernel backend selection ----
+// kReference dispatches the three GEMM entry points above to the pre-tiling
+// naive kernels (kept verbatim in the deeprest::reference namespace). It
+// exists so bench_kernels can measure an honest before/after on one binary
+// and so tests can bound the (zero-sign-only) deviation. Global, not
+// thread-local: flip it only in single-threaded setup code.
+enum class KernelMode { kTiled, kReference };
+void SetKernelMode(KernelMode mode);
+KernelMode GetKernelMode();
+
+namespace reference {
+// Pre-optimization kernels, preserved for benchmarking and tolerance tests.
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix& out);
+void AccumulateATransposeB(const Matrix& a, const Matrix& b, Matrix& out);
+void AccumulateABTranspose(const Matrix& a, const Matrix& b, Matrix& out);
+}  // namespace reference
 
 }  // namespace deeprest
 

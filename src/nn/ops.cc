@@ -15,312 +15,368 @@ void Accumulate(TensorNode& node, size_t i, const Matrix& delta) {
   }
 }
 
+// Backward-pass scratch buffers, one set per thread. Backward functions run
+// strictly sequentially within one Backward() sweep, so a single set per
+// thread is enough; capacity is retained across steps.
+struct FusedScratch {
+  Matrix ta, tb;                               // forward GEMM temporaries
+  Matrix d_omz, d_hc, d_pre, d_kh, d_k, d_z;   // fused GRU backward
+  Matrix d_concat;                             // fused head backward
+  Matrix d_masked, d_stacked;                  // fused attention backward
+};
+
+FusedScratch& Scratch() {
+  thread_local FusedScratch scratch;
+  return scratch;
+}
+
+// ---- Backward functions for the basic ops ----
+// Plain function pointers: all state lives in the node (see tensor.h).
+
+void AddBackward(TensorNode& node) {
+  Accumulate(node, 0, node.grad);
+  Accumulate(node, 1, node.grad);
+}
+
+void SubBackward(TensorNode& node) {
+  Accumulate(node, 0, node.grad);
+  TensorNode* p = node.parents[1].node();
+  if (p->requires_grad) {
+    p->AccumulateGradScaled(node.grad, -1.0f);
+  }
+}
+
+void HadamardBackward(TensorNode& node) {
+  TensorNode* pa = node.parents[0].node();
+  TensorNode* pb = node.parents[1].node();
+  if (pa->requires_grad) {
+    pa->EnsureGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      pa->grad[i] += node.grad[i] * pb->value[i];
+    }
+  }
+  if (pb->requires_grad) {
+    pb->EnsureGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      pb->grad[i] += node.grad[i] * pa->value[i];
+    }
+  }
+}
+
+void AffineBackward(TensorNode& node) {
+  TensorNode* p = node.parents[0].node();
+  if (p->requires_grad) {
+    p->AccumulateGradScaled(node.grad, node.aux0);
+  }
+}
+
+void MatMulBackward(TensorNode& node) {
+  TensorNode* pa = node.parents[0].node();
+  TensorNode* pb = node.parents[1].node();
+  // dL/dA = dL/dOut * B^T ; dL/dB = A^T * dL/dOut.
+  if (pa->requires_grad) {
+    pa->EnsureGrad();
+    AccumulateABTranspose(node.grad, pb->value, pa->grad);
+  }
+  if (pb->requires_grad) {
+    pb->EnsureGrad();
+    AccumulateATransposeB(pa->value, node.grad, pb->grad);
+  }
+}
+
+void SigmoidBackward(TensorNode& node) {
+  TensorNode* p = node.parents[0].node();
+  if (p->requires_grad) {
+    p->EnsureGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      const float s = node.value[i];
+      p->grad[i] += node.grad[i] * s * (1.0f - s);
+    }
+  }
+}
+
+void TanhBackward(TensorNode& node) {
+  TensorNode* p = node.parents[0].node();
+  if (p->requires_grad) {
+    p->EnsureGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      const float t = node.value[i];
+      p->grad[i] += node.grad[i] * (1.0f - t * t);
+    }
+  }
+}
+
+void ReluBackward(TensorNode& node) {
+  TensorNode* p = node.parents[0].node();
+  if (p->requires_grad) {
+    p->EnsureGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      if (node.value[i] > 0.0f) {
+        p->grad[i] += node.grad[i];
+      }
+    }
+  }
+}
+
+void ExpBackward(TensorNode& node) {
+  TensorNode* p = node.parents[0].node();
+  if (p->requires_grad) {
+    p->EnsureGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      p->grad[i] += node.grad[i] * node.value[i];
+    }
+  }
+}
+
+void ConcatRowsBackward(TensorNode& node) {
+  TensorNode* pa = node.parents[0].node();
+  TensorNode* pb = node.parents[1].node();
+  const size_t na = pa->value.size();
+  if (pa->requires_grad) {
+    pa->EnsureGrad();
+    for (size_t i = 0; i < na; ++i) {
+      pa->grad[i] += node.grad[i];
+    }
+  }
+  if (pb->requires_grad) {
+    pb->EnsureGrad();
+    for (size_t i = 0; i < pb->value.size(); ++i) {
+      pb->grad[i] += node.grad[na + i];
+    }
+  }
+}
+
+void StackColumnsBackward(TensorNode& node) {
+  const size_t width = node.value.cols();
+  for (size_t r = 0; r < node.parents.size(); ++r) {
+    TensorNode* p = node.parents[r].node();
+    if (!p->requires_grad) {
+      continue;
+    }
+    p->EnsureGrad();
+    for (size_t c = 0; c < width; ++c) {
+      p->grad.At(c, 0) += node.grad.At(r, c);
+    }
+  }
+}
+
+void RowAsColumnBackward(TensorNode& node) {
+  TensorNode* p = node.parents[0].node();
+  if (p->requires_grad) {
+    p->EnsureGrad();
+    const size_t row = node.aux_index;
+    for (size_t c = 0; c < node.value.rows(); ++c) {
+      p->grad.At(row, c) += node.grad.At(c, 0);
+    }
+  }
+}
+
+void SumAllBackward(TensorNode& node) {
+  TensorNode* p = node.parents[0].node();
+  if (p->requires_grad) {
+    p->EnsureGrad();
+    const float g = node.grad.At(0, 0);
+    for (size_t i = 0; i < p->grad.size(); ++i) {
+      p->grad[i] += g;
+    }
+  }
+}
+
+void MeanAllBackward(TensorNode& node) {
+  TensorNode* p = node.parents[0].node();
+  if (p->requires_grad) {
+    p->EnsureGrad();
+    const float g = node.grad.At(0, 0) * node.aux0;
+    for (size_t i = 0; i < p->grad.size(); ++i) {
+      p->grad[i] += g;
+    }
+  }
+}
+
+void AddNBackward(TensorNode& node) {
+  for (size_t i = 0; i < node.parents.size(); ++i) {
+    Accumulate(node, i, node.grad);
+  }
+}
+
+void PinballBackward(TensorNode& node) {
+  TensorNode* p = node.parents[0].node();
+  if (!p->requires_grad) {
+    return;
+  }
+  p->EnsureGrad();
+  const float g = node.grad.At(0, 0);
+  const float target = node.aux0;
+  const Matrix& deltas = node.saved[0];
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    const float u = target - p->value.At(i, 0);
+    const float q = deltas[i];
+    // Subgradient at u == 0 follows the u >= 0 branch, matching forward.
+    p->grad.At(i, 0) += g * (u >= 0.0f ? -q : 1.0f - q);
+  }
+}
+
+void SquaredErrorBackward(TensorNode& node) {
+  TensorNode* p = node.parents[0].node();
+  if (!p->requires_grad) {
+    return;
+  }
+  p->EnsureGrad();
+  const Matrix& target = node.saved[0];
+  const float g = node.grad.At(0, 0);
+  for (size_t i = 0; i < target.size(); ++i) {
+    p->grad[i] += g * (p->value[i] - target[i]);
+  }
+}
+
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   assert(a.value().SameShape(b.value()));
-  Matrix out = a.value();
-  out.Add(b.value());
-  return Tensor::FromOp(
-      std::move(out), {a, b},
-      [](TensorNode& node) {
-        Accumulate(node, 0, node.grad);
-        Accumulate(node, 1, node.grad);
-      },
-      "add");
+  Tensor out = Tensor::NewOp(a.rows(), a.cols(), "add", AddBackward, a, b);
+  AddInto(a.value(), b.value(), out.mutable_value());
+  return out;
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   assert(a.value().SameShape(b.value()));
-  Matrix out = a.value();
-  out.AddScaled(b.value(), -1.0f);
-  return Tensor::FromOp(
-      std::move(out), {a, b},
-      [](TensorNode& node) {
-        Accumulate(node, 0, node.grad);
-        TensorNode* p = node.parents[1].node();
-        if (p->requires_grad) {
-          p->AccumulateGradScaled(node.grad, -1.0f);
-        }
-      },
-      "sub");
+  Tensor out = Tensor::NewOp(a.rows(), a.cols(), "sub", SubBackward, a, b);
+  AddScaledInto(a.value(), b.value(), -1.0f, out.mutable_value());
+  return out;
 }
 
 Tensor Hadamard(const Tensor& a, const Tensor& b) {
   assert(a.value().SameShape(b.value()));
-  Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    out[i] *= b.value()[i];
-  }
-  return Tensor::FromOp(
-      std::move(out), {a, b},
-      [](TensorNode& node) {
-        TensorNode* pa = node.parents[0].node();
-        TensorNode* pb = node.parents[1].node();
-        if (pa->requires_grad) {
-          pa->EnsureGrad();
-          for (size_t i = 0; i < node.grad.size(); ++i) {
-            pa->grad[i] += node.grad[i] * pb->value[i];
-          }
-        }
-        if (pb->requires_grad) {
-          pb->EnsureGrad();
-          for (size_t i = 0; i < node.grad.size(); ++i) {
-            pb->grad[i] += node.grad[i] * pa->value[i];
-          }
-        }
-      },
-      "hadamard");
+  Tensor out = Tensor::NewOp(a.rows(), a.cols(), "hadamard", HadamardBackward, a, b);
+  HadamardInto(a.value(), b.value(), out.mutable_value());
+  return out;
 }
 
 Tensor Affine(const Tensor& a, float alpha, float beta) {
-  Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    out[i] = alpha * out[i] + beta;
+  Tensor out = Tensor::NewOp(a.rows(), a.cols(), "affine", AffineBackward, a);
+  out.node()->aux0 = alpha;
+  const Matrix& av = a.value();
+  Matrix& ov = out.mutable_value();
+  for (size_t i = 0; i < av.size(); ++i) {
+    ov[i] = alpha * av[i] + beta;
   }
-  return Tensor::FromOp(
-      std::move(out), {a},
-      [alpha](TensorNode& node) {
-        TensorNode* p = node.parents[0].node();
-        if (p->requires_grad) {
-          p->AccumulateGradScaled(node.grad, alpha);
-        }
-      },
-      "affine");
+  return out;
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
-  Matrix out;
-  MatMulInto(a.value(), b.value(), out);
-  return Tensor::FromOp(
-      std::move(out), {a, b},
-      [](TensorNode& node) {
-        TensorNode* pa = node.parents[0].node();
-        TensorNode* pb = node.parents[1].node();
-        // dL/dA = dL/dOut * B^T ; dL/dB = A^T * dL/dOut.
-        if (pa->requires_grad) {
-          pa->EnsureGrad();
-          AccumulateABTranspose(node.grad, pb->value, pa->grad);
-        }
-        if (pb->requires_grad) {
-          pb->EnsureGrad();
-          AccumulateATransposeB(pa->value, node.grad, pb->grad);
-        }
-      },
-      "matmul");
+  Tensor out = Tensor::NewOp(a.rows(), b.cols(), "matmul", MatMulBackward, a, b);
+  MatMulInto(a.value(), b.value(), out.mutable_value());
+  return out;
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+  Tensor out = Tensor::NewOp(a.rows(), a.cols(), "sigmoid", SigmoidBackward, a);
+  const Matrix& av = a.value();
+  Matrix& ov = out.mutable_value();
+  for (size_t i = 0; i < av.size(); ++i) {
+    ov[i] = 1.0f / (1.0f + std::exp(-av[i]));
   }
-  return Tensor::FromOp(
-      std::move(out), {a},
-      [](TensorNode& node) {
-        TensorNode* p = node.parents[0].node();
-        if (p->requires_grad) {
-          p->EnsureGrad();
-          for (size_t i = 0; i < node.grad.size(); ++i) {
-            const float s = node.value[i];
-            p->grad[i] += node.grad[i] * s * (1.0f - s);
-          }
-        }
-      },
-      "sigmoid");
+  return out;
 }
 
 Tensor Tanh(const Tensor& a) {
-  Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    out[i] = std::tanh(out[i]);
+  Tensor out = Tensor::NewOp(a.rows(), a.cols(), "tanh", TanhBackward, a);
+  const Matrix& av = a.value();
+  Matrix& ov = out.mutable_value();
+  for (size_t i = 0; i < av.size(); ++i) {
+    ov[i] = std::tanh(av[i]);
   }
-  return Tensor::FromOp(
-      std::move(out), {a},
-      [](TensorNode& node) {
-        TensorNode* p = node.parents[0].node();
-        if (p->requires_grad) {
-          p->EnsureGrad();
-          for (size_t i = 0; i < node.grad.size(); ++i) {
-            const float t = node.value[i];
-            p->grad[i] += node.grad[i] * (1.0f - t * t);
-          }
-        }
-      },
-      "tanh");
+  return out;
 }
 
 Tensor Relu(const Tensor& a) {
-  Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    out[i] = out[i] > 0.0f ? out[i] : 0.0f;
+  Tensor out = Tensor::NewOp(a.rows(), a.cols(), "relu", ReluBackward, a);
+  const Matrix& av = a.value();
+  Matrix& ov = out.mutable_value();
+  for (size_t i = 0; i < av.size(); ++i) {
+    ov[i] = av[i] > 0.0f ? av[i] : 0.0f;
   }
-  return Tensor::FromOp(
-      std::move(out), {a},
-      [](TensorNode& node) {
-        TensorNode* p = node.parents[0].node();
-        if (p->requires_grad) {
-          p->EnsureGrad();
-          for (size_t i = 0; i < node.grad.size(); ++i) {
-            if (node.value[i] > 0.0f) {
-              p->grad[i] += node.grad[i];
-            }
-          }
-        }
-      },
-      "relu");
+  return out;
 }
 
 Tensor Exp(const Tensor& a) {
-  Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    out[i] = std::exp(out[i]);
+  Tensor out = Tensor::NewOp(a.rows(), a.cols(), "exp", ExpBackward, a);
+  const Matrix& av = a.value();
+  Matrix& ov = out.mutable_value();
+  for (size_t i = 0; i < av.size(); ++i) {
+    ov[i] = std::exp(av[i]);
   }
-  return Tensor::FromOp(
-      std::move(out), {a},
-      [](TensorNode& node) {
-        TensorNode* p = node.parents[0].node();
-        if (p->requires_grad) {
-          p->EnsureGrad();
-          for (size_t i = 0; i < node.grad.size(); ++i) {
-            p->grad[i] += node.grad[i] * node.value[i];
-          }
-        }
-      },
-      "exp");
+  return out;
 }
 
 Tensor ConcatRows(const Tensor& a, const Tensor& b) {
   assert(a.cols() == b.cols());
-  Matrix out(a.rows() + b.rows(), a.cols());
-  for (size_t i = 0; i < a.value().size(); ++i) {
-    out[i] = a.value()[i];
+  Tensor out =
+      Tensor::NewOp(a.rows() + b.rows(), a.cols(), "concat_rows", ConcatRowsBackward, a, b);
+  const Matrix& av = a.value();
+  const Matrix& bv = b.value();
+  Matrix& ov = out.mutable_value();
+  for (size_t i = 0; i < av.size(); ++i) {
+    ov[i] = av[i];
   }
-  for (size_t i = 0; i < b.value().size(); ++i) {
-    out[a.value().size() + i] = b.value()[i];
+  for (size_t i = 0; i < bv.size(); ++i) {
+    ov[av.size() + i] = bv[i];
   }
-  return Tensor::FromOp(
-      std::move(out), {a, b},
-      [](TensorNode& node) {
-        TensorNode* pa = node.parents[0].node();
-        TensorNode* pb = node.parents[1].node();
-        const size_t na = pa->value.size();
-        if (pa->requires_grad) {
-          pa->EnsureGrad();
-          for (size_t i = 0; i < na; ++i) {
-            pa->grad[i] += node.grad[i];
-          }
-        }
-        if (pb->requires_grad) {
-          pb->EnsureGrad();
-          for (size_t i = 0; i < pb->value.size(); ++i) {
-            pb->grad[i] += node.grad[na + i];
-          }
-        }
-      },
-      "concat_rows");
+  return out;
 }
 
 Tensor StackColumns(const std::vector<Tensor>& columns) {
   assert(!columns.empty());
   const size_t h = columns[0].rows();
-  Matrix out(columns.size(), h);
+  Tensor out =
+      Tensor::NewOpN(columns.size(), h, "stack_columns", StackColumnsBackward, columns);
+  Matrix& ov = out.mutable_value();
   for (size_t r = 0; r < columns.size(); ++r) {
     assert(columns[r].rows() == h && columns[r].cols() == 1);
+    const Matrix& col = columns[r].value();
     for (size_t c = 0; c < h; ++c) {
-      out.At(r, c) = columns[r].value().At(c, 0);
+      ov.At(r, c) = col.At(c, 0);
     }
   }
-  return Tensor::FromOp(
-      std::move(out), columns,
-      [](TensorNode& node) {
-        const size_t width = node.value.cols();
-        for (size_t r = 0; r < node.parents.size(); ++r) {
-          TensorNode* p = node.parents[r].node();
-          if (!p->requires_grad) {
-            continue;
-          }
-          p->EnsureGrad();
-          for (size_t c = 0; c < width; ++c) {
-            p->grad.At(c, 0) += node.grad.At(r, c);
-          }
-        }
-      },
-      "stack_columns");
+  return out;
 }
 
 Tensor RowAsColumn(const Tensor& a, size_t row) {
   assert(row < a.rows());
-  Matrix out(a.cols(), 1);
-  for (size_t c = 0; c < a.cols(); ++c) {
-    out.At(c, 0) = a.value().At(row, c);
+  Tensor out = Tensor::NewOp(a.cols(), 1, "row_as_column", RowAsColumnBackward, a);
+  out.node()->aux_index = row;
+  const Matrix& av = a.value();
+  Matrix& ov = out.mutable_value();
+  for (size_t c = 0; c < av.cols(); ++c) {
+    ov.At(c, 0) = av.At(row, c);
   }
-  return Tensor::FromOp(
-      std::move(out), {a},
-      [row](TensorNode& node) {
-        TensorNode* p = node.parents[0].node();
-        if (p->requires_grad) {
-          p->EnsureGrad();
-          for (size_t c = 0; c < node.value.rows(); ++c) {
-            p->grad.At(row, c) += node.grad.At(c, 0);
-          }
-        }
-      },
-      "row_as_column");
+  return out;
 }
 
 Tensor SumAll(const Tensor& a) {
-  Matrix out(1, 1);
-  out.At(0, 0) = a.value().Sum();
-  return Tensor::FromOp(
-      std::move(out), {a},
-      [](TensorNode& node) {
-        TensorNode* p = node.parents[0].node();
-        if (p->requires_grad) {
-          p->EnsureGrad();
-          const float g = node.grad.At(0, 0);
-          for (size_t i = 0; i < p->grad.size(); ++i) {
-            p->grad[i] += g;
-          }
-        }
-      },
-      "sum_all");
+  Tensor out = Tensor::NewOp(1, 1, "sum_all", SumAllBackward, a);
+  out.mutable_value().At(0, 0) = a.value().Sum();
+  return out;
 }
 
 Tensor MeanAll(const Tensor& a) {
   const float inv = 1.0f / static_cast<float>(a.value().size());
-  Matrix out(1, 1);
-  out.At(0, 0) = a.value().Sum() * inv;
-  return Tensor::FromOp(
-      std::move(out), {a},
-      [inv](TensorNode& node) {
-        TensorNode* p = node.parents[0].node();
-        if (p->requires_grad) {
-          p->EnsureGrad();
-          const float g = node.grad.At(0, 0) * inv;
-          for (size_t i = 0; i < p->grad.size(); ++i) {
-            p->grad[i] += g;
-          }
-        }
-      },
-      "mean_all");
+  Tensor out = Tensor::NewOp(1, 1, "mean_all", MeanAllBackward, a);
+  out.node()->aux0 = inv;
+  out.mutable_value().At(0, 0) = a.value().Sum() * inv;
+  return out;
 }
 
 Tensor AddN(const std::vector<Tensor>& scalars) {
   assert(!scalars.empty());
-  Matrix out(1, 1);
+  Tensor out = Tensor::NewOpN(1, 1, "add_n", AddNBackward, scalars);
+  float acc = 0.0f;
   for (const auto& t : scalars) {
     assert(t.rows() == 1 && t.cols() == 1);
-    out.At(0, 0) += t.value().At(0, 0);
+    acc += t.value().At(0, 0);
   }
-  return Tensor::FromOp(
-      std::move(out), scalars,
-      [](TensorNode& node) {
-        for (size_t i = 0; i < node.parents.size(); ++i) {
-          Accumulate(node, i, node.grad);
-        }
-      },
-      "add_n");
+  out.mutable_value().At(0, 0) = acc;
+  return out;
 }
 
 Tensor PinballLoss(const Tensor& pred, float target, const std::vector<float>& deltas) {
@@ -330,54 +386,468 @@ Tensor PinballLoss(const Tensor& pred, float target, const std::vector<float>& d
   // distribution (delta < 0.5 -> lower bound, delta > 0.5 -> upper bound).
   // The paper's Eq. 5 writes Q(pred - target | delta); adopting that sign
   // verbatim would swap the lower/upper heads of Eq. 6.
-  Matrix out(1, 1);
+  Tensor out = Tensor::NewOp(1, 1, "pinball", PinballBackward, pred);
+  float acc = 0.0f;
   for (size_t i = 0; i < deltas.size(); ++i) {
     const float u = target - pred.value().At(i, 0);
     const float q = deltas[i];
-    out.At(0, 0) += u >= 0.0f ? q * u : (q - 1.0f) * u;
+    acc += u >= 0.0f ? q * u : (q - 1.0f) * u;
   }
-  return Tensor::FromOp(
-      std::move(out), {pred},
-      [target, deltas](TensorNode& node) {
-        TensorNode* p = node.parents[0].node();
-        if (!p->requires_grad) {
-          return;
-        }
-        p->EnsureGrad();
-        const float g = node.grad.At(0, 0);
-        for (size_t i = 0; i < deltas.size(); ++i) {
-          const float u = target - p->value.At(i, 0);
-          const float q = deltas[i];
-          // Subgradient at u == 0 follows the u >= 0 branch, matching forward.
-          p->grad.At(i, 0) += g * (u >= 0.0f ? -q : 1.0f - q);
-        }
-      },
-      "pinball");
+  out.mutable_value().At(0, 0) = acc;
+  TensorNode* node = out.node();
+  if (node->requires_grad) {
+    node->aux0 = target;
+    node->EnsureSaved(1);
+    Matrix& saved = node->saved[0];
+    saved.SetShape(deltas.size(), 1);
+    for (size_t i = 0; i < deltas.size(); ++i) {
+      saved[i] = deltas[i];
+    }
+  }
+  return out;
 }
 
 Tensor SquaredError(const Tensor& pred, const Matrix& target) {
   assert(pred.value().SameShape(target));
-  Matrix out(1, 1);
+  Tensor out = Tensor::NewOp(1, 1, "squared_error", SquaredErrorBackward, pred);
   double acc = 0.0;
   for (size_t i = 0; i < target.size(); ++i) {
     const double d = pred.value()[i] - target[i];
     acc += 0.5 * d * d;
   }
-  out.At(0, 0) = static_cast<float>(acc);
-  return Tensor::FromOp(
-      std::move(out), {pred},
-      [target](TensorNode& node) {
-        TensorNode* p = node.parents[0].node();
-        if (!p->requires_grad) {
-          return;
-        }
-        p->EnsureGrad();
-        const float g = node.grad.At(0, 0);
-        for (size_t i = 0; i < target.size(); ++i) {
-          p->grad[i] += g * (p->value[i] - target[i]);
-        }
-      },
-      "squared_error");
+  out.mutable_value().At(0, 0) = static_cast<float>(acc);
+  TensorNode* node = out.node();
+  if (node->requires_grad) {
+    node->EnsureSaved(1);
+    Matrix& saved = node->saved[0];
+    saved.SetShape(target.rows(), target.cols());
+    for (size_t i = 0; i < target.size(); ++i) {
+      saved[i] = target[i];
+    }
+  }
+  return out;
+}
+
+// ---- Fused DeepRest step ops ----
+//
+// Bit-exactness discipline: floating-point addition is not associative, so
+// each fused backward replays the unfused composition's accumulations into
+// every destination buffer in the same order, with the same kernels, and
+// with intermediate gradients stored at float32 precision exactly where the
+// unfused graph stored them in node.grad matrices. Comments name the unfused
+// node whose backward each block mirrors.
+
+namespace {
+
+void MaskedInputBackward(TensorNode& node) {
+  // Mirrors Hadamard(Sigmoid(mask), x): the hadamard's pa-grad (g . x) is the
+  // sigmoid node's incoming gradient, folded into mask.grad in one pass.
+  TensorNode* mask = node.parents[0].node();
+  TensorNode* x = node.parents[1].node();
+  const Matrix& s = node.saved[0];
+  if (x->requires_grad) {
+    x->EnsureGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      x->grad[i] += node.grad[i] * s[i];
+    }
+  }
+  if (mask->requires_grad) {
+    mask->EnsureGrad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      const float ds = node.grad[i] * x->value[i];
+      const float sv = s[i];
+      mask->grad[i] += ds * sv * (1.0f - sv);
+    }
+  }
+}
+
+void FusedGruBackward(TensorNode& node) {
+  // Unfused graph (StepReference):
+  //   z  = Sigmoid(Add(Add(m1: wz@x, m2: uz@h), bz))
+  //   k  = Sigmoid(Add(Add(m3: wk@x, m4: uk@h), bk))
+  //   hc = Tanh(Add(Add(m5: wh@x, m6: uh@kh), bh)),  kh = k . h
+  //   out = Add(p1: z . h, p2: (1 - z) . hc)
+  // Reverse topological order of its interior nodes:
+  //   out, p2, hc, a6, a5, m6, kh, k, a4, a3, m4, m3, m5, omz, p1, z, a2,
+  //   a1, m2, m1 — replayed below.
+  TensorNode* x = node.parents[0].node();
+  TensorNode* h = node.parents[1].node();
+  TensorNode* wz = node.parents[2].node();
+  TensorNode* uz = node.parents[3].node();
+  TensorNode* bz = node.parents[4].node();
+  TensorNode* wk = node.parents[5].node();
+  TensorNode* uk = node.parents[6].node();
+  TensorNode* bk = node.parents[7].node();
+  TensorNode* wh = node.parents[8].node();
+  TensorNode* uh = node.parents[9].node();
+  TensorNode* bh = node.parents[10].node();
+  const Matrix& z = node.saved[0];
+  const Matrix& k = node.saved[1];
+  const Matrix& hc = node.saved[2];
+  const Matrix& kh = node.saved[3];
+  const Matrix& g = node.grad;
+  const size_t hd = g.rows();
+  FusedScratch& s = Scratch();
+
+  // p2 = omz . hc (hadamard): d_omz = g . hc ; d_hc = g . omz.
+  s.d_omz.SetShape(hd, 1);
+  s.d_hc.SetShape(hd, 1);
+  for (size_t i = 0; i < hd; ++i) {
+    s.d_omz[i] = g[i] * hc[i];
+  }
+  for (size_t i = 0; i < hd; ++i) {
+    const float omz = -1.0f * z[i] + 1.0f;
+    s.d_hc[i] = g[i] * omz;
+  }
+  // hc = Tanh(a6): d_a6 = d_hc * (1 - hc^2). a6/a5 are pass-through Adds,
+  // so d_pre doubles as d_m5 and d_m6.
+  s.d_pre.SetShape(hd, 1);
+  for (size_t i = 0; i < hd; ++i) {
+    const float t = hc[i];
+    s.d_pre[i] = s.d_hc[i] * (1.0f - t * t);
+  }
+  // a6 = Add(a5, bh).
+  if (bh->requires_grad) {
+    bh->AccumulateGrad(s.d_pre);
+  }
+  // m6 = MatMul(uh, kh).
+  if (uh->requires_grad) {
+    uh->EnsureGrad();
+    AccumulateABTranspose(s.d_pre, kh, uh->grad);
+  }
+  s.d_kh.SetShape(hd, 1);
+  s.d_kh.Zero();
+  AccumulateATransposeB(uh->value, s.d_pre, s.d_kh);
+  // kh = Hadamard(k, h).
+  s.d_k.SetShape(hd, 1);
+  for (size_t i = 0; i < hd; ++i) {
+    s.d_k[i] = s.d_kh[i] * h->value[i];
+  }
+  if (h->requires_grad) {
+    h->EnsureGrad();
+    for (size_t i = 0; i < hd; ++i) {
+      h->grad[i] += s.d_kh[i] * k[i];
+    }
+  }
+  // k = Sigmoid(a4): d_a4 in place of d_k.
+  for (size_t i = 0; i < hd; ++i) {
+    const float sv = k[i];
+    s.d_k[i] = s.d_k[i] * sv * (1.0f - sv);
+  }
+  // a4 = Add(a3, bk).
+  if (bk->requires_grad) {
+    bk->AccumulateGrad(s.d_k);
+  }
+  // m4 = MatMul(uk, h).
+  if (uk->requires_grad) {
+    uk->EnsureGrad();
+    AccumulateABTranspose(s.d_k, h->value, uk->grad);
+  }
+  if (h->requires_grad) {
+    AccumulateATransposeB(uk->value, s.d_k, h->grad);
+  }
+  // m3 = MatMul(wk, x).
+  if (wk->requires_grad) {
+    wk->EnsureGrad();
+    AccumulateABTranspose(s.d_k, x->value, wk->grad);
+  }
+  if (x->requires_grad) {
+    x->EnsureGrad();
+    AccumulateATransposeB(wk->value, s.d_k, x->grad);
+  }
+  // m5 = MatMul(wh, x).
+  if (wh->requires_grad) {
+    wh->EnsureGrad();
+    AccumulateABTranspose(s.d_pre, x->value, wh->grad);
+  }
+  if (x->requires_grad) {
+    AccumulateATransposeB(wh->value, s.d_pre, x->grad);
+  }
+  // omz = Affine(z, -1, 1): z.grad += -1 * d_omz.
+  s.d_z.SetShape(hd, 1);
+  for (size_t i = 0; i < hd; ++i) {
+    s.d_z[i] = -1.0f * s.d_omz[i];
+  }
+  // p1 = Hadamard(z, h).
+  for (size_t i = 0; i < hd; ++i) {
+    s.d_z[i] += g[i] * h->value[i];
+  }
+  if (h->requires_grad) {
+    for (size_t i = 0; i < hd; ++i) {
+      h->grad[i] += g[i] * z[i];
+    }
+  }
+  // z = Sigmoid(a2): d_a2 in place of d_z.
+  for (size_t i = 0; i < hd; ++i) {
+    const float sv = z[i];
+    s.d_z[i] = s.d_z[i] * sv * (1.0f - sv);
+  }
+  // a2 = Add(a1, bz).
+  if (bz->requires_grad) {
+    bz->AccumulateGrad(s.d_z);
+  }
+  // m2 = MatMul(uz, h).
+  if (uz->requires_grad) {
+    uz->EnsureGrad();
+    AccumulateABTranspose(s.d_z, h->value, uz->grad);
+  }
+  if (h->requires_grad) {
+    AccumulateATransposeB(uz->value, s.d_z, h->grad);
+  }
+  // m1 = MatMul(wz, x).
+  if (wz->requires_grad) {
+    wz->EnsureGrad();
+    AccumulateABTranspose(s.d_z, x->value, wz->grad);
+  }
+  if (x->requires_grad) {
+    AccumulateATransposeB(wz->value, s.d_z, x->grad);
+  }
+}
+
+void FusedAttentionBackward(TensorNode& node) {
+  // Mirrors attended = MatMul(masked: Hadamard(alpha, diag), stacked).
+  TensorNode* alpha = node.parents[0].node();
+  TensorNode* diag = node.parents[1].node();
+  const Matrix& masked = node.saved[0];
+  const Matrix& stacked = node.saved[1];
+  FusedScratch& s = Scratch();
+  // attended backward: pa = masked, pb = stacked.
+  s.d_masked.SetShape(masked.rows(), masked.cols());
+  s.d_masked.Zero();
+  AccumulateABTranspose(node.grad, stacked, s.d_masked);
+  s.d_stacked.SetShape(stacked.rows(), stacked.cols());
+  s.d_stacked.Zero();
+  AccumulateATransposeB(masked, node.grad, s.d_stacked);
+  // stacked backward: row e scatters into hidden column e (parents[2 + e]).
+  const size_t width = stacked.cols();
+  for (size_t e = 2; e < node.parents.size(); ++e) {
+    TensorNode* p = node.parents[e].node();
+    if (!p->requires_grad) {
+      continue;
+    }
+    p->EnsureGrad();
+    for (size_t c = 0; c < width; ++c) {
+      p->grad.At(c, 0) += s.d_stacked.At(e - 2, c);
+    }
+  }
+  // masked backward (hadamard): alpha.grad += d_masked . diag.
+  if (alpha->requires_grad) {
+    alpha->EnsureGrad();
+    for (size_t i = 0; i < s.d_masked.size(); ++i) {
+      alpha->grad[i] += s.d_masked[i] * diag->value[i];
+    }
+  }
+}
+
+void FusedHeadBackward(TensorNode& node) {
+  // Mirrors Add(head: Add(MatMul(head_w, concat), head_b),
+  //             skip: Add(MatMul(skip_w, xm), skip_b))
+  // with concat = ConcatRows(RowAsColumn(attended, row), h).
+  TensorNode* attended = node.parents[0].node();  // May be null (ablation).
+  TensorNode* h = node.parents[1].node();
+  TensorNode* head_w = node.parents[2].node();
+  TensorNode* head_b = node.parents[3].node();
+  TensorNode* xm = node.parents[4].node();     // Null without the bypass.
+  TensorNode* skip_w = node.parents[5].node();  // Null without the bypass.
+  TensorNode* skip_b = node.parents[6].node();
+  const Matrix& g = node.grad;
+  const Matrix& concat = node.saved[0];
+  FusedScratch& s = Scratch();
+  if (skip_w != nullptr) {
+    // skip_out = Add(m_skip, skip_b); m_skip = MatMul(skip_w, xm).
+    if (skip_b->requires_grad) {
+      skip_b->AccumulateGrad(g);
+    }
+    if (skip_w->requires_grad) {
+      skip_w->EnsureGrad();
+      AccumulateABTranspose(g, xm->value, skip_w->grad);
+    }
+    if (xm->requires_grad) {
+      xm->EnsureGrad();
+      AccumulateATransposeB(skip_w->value, g, xm->grad);
+    }
+  }
+  // head_out = Add(m_head, head_b); m_head = MatMul(head_w, concat).
+  if (head_b->requires_grad) {
+    head_b->AccumulateGrad(g);
+  }
+  if (head_w->requires_grad) {
+    head_w->EnsureGrad();
+    AccumulateABTranspose(g, concat, head_w->grad);
+  }
+  s.d_concat.SetShape(concat.rows(), 1);
+  s.d_concat.Zero();
+  AccumulateATransposeB(head_w->value, g, s.d_concat);
+  // concat backward: upper half -> attended row, lower half -> h.
+  const size_t hd = h->value.rows();
+  const size_t na = concat.rows() - hd;
+  if (attended != nullptr && attended->requires_grad) {
+    attended->EnsureGrad();
+    const size_t row = node.aux_index;
+    for (size_t c = 0; c < na; ++c) {
+      attended->grad.At(row, c) += s.d_concat[c];
+    }
+  }
+  if (h->requires_grad) {
+    h->EnsureGrad();
+    for (size_t i = 0; i < hd; ++i) {
+      h->grad[i] += s.d_concat[na + i];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor SigmoidMaskMul(const Tensor& mask, const Tensor& x) {
+  assert(mask.value().SameShape(x.value()));
+  Tensor out =
+      Tensor::NewOp(mask.rows(), mask.cols(), "sigmoid_mask_mul", MaskedInputBackward, mask, x);
+  TensorNode* node = out.node();
+  node->EnsureSaved(1);
+  Matrix& s = node->saved[0];
+  s.SetShape(mask.rows(), mask.cols());
+  const Matrix& mv = mask.value();
+  const Matrix& xv = x.value();
+  Matrix& ov = out.mutable_value();
+  for (size_t i = 0; i < mv.size(); ++i) {
+    s[i] = 1.0f / (1.0f + std::exp(-mv[i]));
+  }
+  for (size_t i = 0; i < mv.size(); ++i) {
+    ov[i] = s[i] * xv[i];
+  }
+  return out;
+}
+
+Tensor FusedGruStep(const Tensor& x, const Tensor& h_prev, const Tensor& wz,
+                    const Tensor& uz, const Tensor& bz, const Tensor& wk, const Tensor& uk,
+                    const Tensor& bk, const Tensor& wh, const Tensor& uh, const Tensor& bh) {
+  const size_t hd = h_prev.rows();
+  Tensor out = Tensor::NewOp(hd, 1, "fused_gru", FusedGruBackward, x, h_prev, wz, uz, bz,
+                             wk, uk, bk, wh, uh, bh);
+  TensorNode* node = out.node();
+  node->EnsureSaved(4);
+  Matrix& z = node->saved[0];
+  Matrix& k = node->saved[1];
+  Matrix& hc = node->saved[2];
+  Matrix& kh = node->saved[3];
+  z.SetShape(hd, 1);
+  k.SetShape(hd, 1);
+  hc.SetShape(hd, 1);
+  kh.SetShape(hd, 1);
+  const Matrix& hv = h_prev.value();
+  FusedScratch& s = Scratch();
+  // z = sigmoid((wz@x + uz@h) + bz) — same association as Add(Add(m1,m2),bz).
+  MatMulInto(wz.value(), x.value(), s.ta);
+  MatMulInto(uz.value(), hv, s.tb);
+  {
+    const Matrix& b = bz.value();
+    for (size_t i = 0; i < hd; ++i) {
+      z[i] = 1.0f / (1.0f + std::exp(-((s.ta[i] + s.tb[i]) + b[i])));
+    }
+  }
+  MatMulInto(wk.value(), x.value(), s.ta);
+  MatMulInto(uk.value(), hv, s.tb);
+  {
+    const Matrix& b = bk.value();
+    for (size_t i = 0; i < hd; ++i) {
+      k[i] = 1.0f / (1.0f + std::exp(-((s.ta[i] + s.tb[i]) + b[i])));
+    }
+  }
+  for (size_t i = 0; i < hd; ++i) {
+    kh[i] = k[i] * hv[i];
+  }
+  MatMulInto(wh.value(), x.value(), s.ta);
+  MatMulInto(uh.value(), kh, s.tb);
+  {
+    const Matrix& b = bh.value();
+    for (size_t i = 0; i < hd; ++i) {
+      hc[i] = std::tanh((s.ta[i] + s.tb[i]) + b[i]);
+    }
+  }
+  Matrix& ov = out.mutable_value();
+  for (size_t i = 0; i < hd; ++i) {
+    const float omz = -1.0f * z[i] + 1.0f;
+    ov[i] = (z[i] * hv[i]) + (omz * hc[i]);
+  }
+  return out;
+}
+
+Tensor FusedAttention(const Tensor& alpha, const Tensor& diag_mask,
+                      const std::vector<Tensor>& hidden) {
+  assert(!hidden.empty());
+  const size_t e = hidden.size();
+  const size_t hd = hidden[0].rows();
+  std::vector<Tensor> parents;
+  parents.reserve(2 + e);
+  parents.push_back(alpha);
+  parents.push_back(diag_mask);
+  for (const Tensor& h : hidden) {
+    parents.push_back(h);
+  }
+  Tensor out = Tensor::NewOpN(e, hd, "fused_attention", FusedAttentionBackward, parents);
+  TensorNode* node = out.node();
+  node->EnsureSaved(2);
+  Matrix& masked = node->saved[0];
+  Matrix& stacked = node->saved[1];
+  HadamardInto(alpha.value(), diag_mask.value(), masked);
+  stacked.SetShape(e, hd);
+  for (size_t r = 0; r < e; ++r) {
+    assert(hidden[r].rows() == hd && hidden[r].cols() == 1);
+    const Matrix& col = hidden[r].value();
+    for (size_t c = 0; c < hd; ++c) {
+      stacked.At(r, c) = col.At(c, 0);
+    }
+  }
+  MatMulInto(masked, stacked, out.mutable_value());
+  return out;
+}
+
+Tensor FusedExpertHead(const Tensor& attended, size_t row, const Tensor& h,
+                       const Tensor& head_w, const Tensor& head_b, const Tensor& xm,
+                       const Tensor& skip_w, const Tensor& skip_b) {
+  const size_t out_dim = head_w.rows();
+  const bool bypass = skip_w.defined();
+  Tensor out = Tensor::NewOp(out_dim, 1, "fused_head", FusedHeadBackward, attended, h,
+                             head_w, head_b, xm, skip_w, skip_b);
+  TensorNode* node = out.node();
+  node->aux_index = row;
+  node->EnsureSaved(1);
+  Matrix& concat = node->saved[0];
+  const size_t hd = h.rows();
+  const size_t na = head_w.cols() - hd;
+  concat.SetShape(na + hd, 1);
+  if (attended.defined()) {
+    const Matrix& av = attended.value();
+    for (size_t c = 0; c < na; ++c) {
+      concat[c] = av.At(row, c);
+    }
+  } else {
+    for (size_t c = 0; c < na; ++c) {
+      concat[c] = 0.0f;
+    }
+  }
+  {
+    const Matrix& hv = h.value();
+    for (size_t i = 0; i < hd; ++i) {
+      concat[na + i] = hv[i];
+    }
+  }
+  FusedScratch& s = Scratch();
+  MatMulInto(head_w.value(), concat, s.ta);
+  Matrix& ov = out.mutable_value();
+  const Matrix& hb = head_b.value();
+  if (bypass) {
+    MatMulInto(skip_w.value(), xm.value(), s.tb);
+    const Matrix& sb = skip_b.value();
+    for (size_t i = 0; i < out_dim; ++i) {
+      ov[i] = (s.ta[i] + hb[i]) + (s.tb[i] + sb[i]);
+    }
+  } else {
+    for (size_t i = 0; i < out_dim; ++i) {
+      ov[i] = s.ta[i] + hb[i];
+    }
+  }
+  return out;
 }
 
 }  // namespace deeprest

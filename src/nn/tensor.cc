@@ -1,7 +1,7 @@
 #include "src/nn/tensor.h"
 
-#include <atomic>
 #include <cassert>
+#include <utility>
 
 namespace deeprest {
 
@@ -9,15 +9,91 @@ namespace {
 
 std::atomic<uint64_t> g_sequence{0};
 
-std::shared_ptr<TensorNode> MakeNode(Matrix value, bool requires_grad) {
-  auto node = std::make_shared<TensorNode>();
-  node->value = std::move(value);
-  node->requires_grad = requires_grad;
+// Freelist of recycled nodes, one per thread. Nodes keep the capacity of
+// their value/grad/saved matrices across lives, so steady-state training
+// performs no allocator calls for graph construction. The cap bounds how
+// much matrix capacity an idle thread can pin.
+constexpr size_t kMaxPooledNodes = size_t{1} << 15;
+
+struct NodePool {
+  std::vector<TensorNode*> free;
+  ~NodePool();
+};
+
+// Trivially-destructible flag that stays readable after the pool's own
+// thread_local destructor has run (releases during late thread teardown then
+// fall back to plain delete).
+thread_local bool g_pool_destroyed = false;
+
+NodePool& Pool() {
+  thread_local NodePool pool;
+  return pool;
+}
+
+NodePool::~NodePool() {
+  g_pool_destroyed = true;
+  for (TensorNode* n : free) {
+    delete n;
+  }
+  free.clear();
+}
+
+}  // namespace
+
+namespace detail {
+
+TensorNode* AcquireNode() {
+  NodePool& pool = Pool();
+  TensorNode* node;
+  if (!pool.free.empty()) {
+    node = pool.free.back();
+    pool.free.pop_back();
+    node->grad.SetShape(0, 0);  // A recycled grad must not leak into this life.
+    node->backward = nullptr;
+    node->op_name = "leaf";
+    node->aux0 = 0.0f;
+    node->aux_index = 0;
+    node->requires_grad = false;
+    node->visited = false;
+  } else {
+    node = new TensorNode;
+  }
+  node->refs.store(1, std::memory_order_relaxed);
   node->sequence = g_sequence.fetch_add(1, std::memory_order_relaxed);
   return node;
 }
 
-}  // namespace
+void RecycleTree(TensorNode* root) {
+  // Iterative teardown: dropping a 50k-step BPTT chain must not recurse.
+  // Parent handles are detached by hand so their destructors never run the
+  // recursive Release path.
+  std::vector<TensorNode*> work;
+  work.push_back(root);
+  while (!work.empty()) {
+    TensorNode* n = work.back();
+    work.pop_back();
+    for (Tensor& p : n->parents) {
+      TensorNode* pn = p.node_;
+      p.node_ = nullptr;
+      if (pn != nullptr && pn->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        work.push_back(pn);
+      }
+    }
+    n->parents.clear();
+    if (g_pool_destroyed) {
+      delete n;
+      continue;
+    }
+    NodePool& pool = Pool();
+    if (pool.free.size() < kMaxPooledNodes) {
+      pool.free.push_back(n);
+    } else {
+      delete n;
+    }
+  }
+}
+
+}  // namespace detail
 
 uint64_t TensorNodesCreated() { return g_sequence.load(std::memory_order_relaxed); }
 
@@ -31,25 +107,42 @@ NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
 
 bool NoGradGuard::GradEnabled() { return g_grad_enabled; }
 
-Tensor Tensor::Constant(Matrix value) { return Tensor(MakeNode(std::move(value), false)); }
+Tensor Tensor::Constant(Matrix value) {
+  TensorNode* node = detail::AcquireNode();
+  node->value = std::move(value);
+  return Tensor(node);
+}
 
-Tensor Tensor::Parameter(Matrix value) { return Tensor(MakeNode(std::move(value), true)); }
+Tensor Tensor::NewConstant(size_t rows, size_t cols) {
+  TensorNode* node = detail::AcquireNode();
+  node->value.SetShape(rows, cols);
+  return Tensor(node);
+}
 
-Tensor Tensor::FromOp(Matrix value, std::vector<Tensor> parents,
-                      std::function<void(TensorNode&)> backward, const char* op_name) {
+Tensor Tensor::Parameter(Matrix value) {
+  TensorNode* node = detail::AcquireNode();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  return Tensor(node);
+}
+
+Tensor Tensor::NewOpN(size_t rows, size_t cols, const char* name, BackwardFn backward,
+                      const std::vector<Tensor>& parents) {
+  TensorNode* node = detail::AcquireNode();
+  node->value.SetShape(rows, cols);
+  node->op_name = name;
   bool needs_grad = false;
   if (NoGradGuard::GradEnabled()) {
-    for (const auto& p : parents) {
+    for (const Tensor& p : parents) {
       needs_grad = needs_grad || p.requires_grad();
     }
   }
-  auto node = MakeNode(std::move(value), needs_grad);
-  node->op_name = op_name;
   if (needs_grad) {
-    node->parents = std::move(parents);
-    node->backward = std::move(backward);
+    node->requires_grad = true;
+    node->backward = backward;
+    node->parents = parents;
   }
-  return Tensor(std::move(node));
+  return Tensor(node);
 }
 
 const Matrix& Tensor::value() const& {
@@ -91,7 +184,8 @@ float Tensor::scalar() const {
 
 void TensorNode::EnsureGrad() {
   if (!grad.SameShape(value)) {
-    grad = Matrix(value.rows(), value.cols());
+    grad.SetShape(value.rows(), value.cols());
+    grad.Zero();
   }
 }
 
@@ -115,7 +209,7 @@ void Tensor::Backward() const {
   std::vector<TensorNode*> order;
   std::vector<std::pair<TensorNode*, size_t>> stack;
   if (!node_->visited && node_->requires_grad) {
-    stack.emplace_back(node_.get(), 0);
+    stack.emplace_back(node_, 0);
     node_->visited = true;
   }
   while (!stack.empty()) {
@@ -157,7 +251,13 @@ void Tensor::Backward() const {
 
 Tensor Tensor::Detach() const {
   assert(node_);
-  return Constant(node_->value);
+  Tensor out = NewConstant(node_->value.rows(), node_->value.cols());
+  const Matrix& src = node_->value;
+  Matrix& dst = out.mutable_value();
+  for (size_t i = 0, e = src.size(); i < e; ++i) {
+    dst[i] = src[i];
+  }
+  return out;
 }
 
 }  // namespace deeprest

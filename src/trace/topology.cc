@@ -49,13 +49,19 @@ bool TopologyGraph::HasEdge(TopologyNodeId parent, TopologyNodeId child) const {
 
 std::vector<TopologyNodeId> TopologyGraph::FrozenNodeIdsFor(const Trace& trace) const {
   std::vector<TopologyNodeId> ids;
-  ids.reserve(trace.size());
+  FrozenNodeIdsInto(trace, ids);
+  return ids;
+}
+
+void TopologyGraph::FrozenNodeIdsInto(const Trace& trace,
+                                      std::vector<TopologyNodeId>& out) const {
+  out.clear();
+  out.reserve(trace.size());
   for (const Span& span : trace.spans()) {
     TopologyNodeId id = kUnknownNode;
     Lookup(span.component, span.operation, id);
-    ids.push_back(id);
+    out.push_back(id);
   }
-  return ids;
 }
 
 std::vector<TopologyNodeId> TopologyGraph::NodeIdsFor(const Trace& trace) {

@@ -50,6 +50,9 @@ class TopologyGraph {
   // interned map to kUnknownNode (used when the topology is frozen after
   // application learning).
   std::vector<TopologyNodeId> FrozenNodeIdsFor(const Trace& trace) const;
+  // Same, writing into a caller-owned buffer so per-trace hot loops (feature
+  // extraction) reuse its capacity instead of allocating.
+  void FrozenNodeIdsInto(const Trace& trace, std::vector<TopologyNodeId>& out) const;
 
  private:
   static uint64_t Key(const std::string& component, const std::string& operation);

@@ -1,0 +1,137 @@
+// Estimator-level equivalence of the fused graph and the reference graph,
+// plus serialize -> deserialize -> Clone round trips on the optimized paths.
+//
+// use_fused_graph only changes how the autograd graph is BUILT (one node per
+// GRU step / attention / head instead of ~a dozen elementary ops); the
+// arithmetic per gradient buffer is identical, so training must produce
+// bit-identical epoch losses and models either way.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/core/estimator.h"
+#include "src/nn/rng.h"
+#include "src/telemetry/metrics.h"
+#include "src/trace/collector.h"
+
+namespace deeprest {
+namespace {
+
+// Deterministic synthetic workload, small enough to train in milliseconds.
+struct Fixture {
+  TraceCollector traces;
+  MetricsStore metrics;
+  size_t windows = 24;
+  std::vector<MetricKey> resources;
+
+  explicit Fixture(size_t components = 3, size_t fan = 6, uint64_t seed = 7) {
+    Rng rng(seed);
+    for (size_t c = 0; c < components; ++c) {
+      resources.push_back({"Svc" + std::to_string(c), ResourceKind::kCpu});
+    }
+    for (size_t w = 0; w < windows; ++w) {
+      const int count = rng.NextPoisson(8.0);
+      for (int i = 0; i < count; ++i) {
+        Trace t(w * 1000 + static_cast<uint64_t>(i), "/fan");
+        const SpanIndex root = t.AddSpan("Frontend", "fan", kNoParent);
+        for (size_t d = 0; d < fan; ++d) {
+          t.AddSpan("Svc" + std::to_string(d % components), "op" + std::to_string(d), root);
+        }
+        traces.Collect(w, t);
+      }
+      for (size_t c = 0; c < components; ++c) {
+        metrics.Record(resources[c], w, 5.0 + 0.1 * rng.Uniform(0, 10) + 0.2 * c);
+      }
+    }
+  }
+};
+
+EstimatorConfig SmallConfig() {
+  EstimatorConfig config;
+  config.hidden_dim = 6;
+  config.epochs = 3;
+  config.bptt_chunk = 12;
+  config.warm_start = false;
+  config.seed = 3;
+  return config;
+}
+
+void ExpectEstimatesIdentical(const EstimateMap& a, const EstimateMap& b) {
+  ASSERT_EQ(a.size(), b.size());
+  auto it_b = b.begin();
+  for (const auto& [key, est] : a) {
+    ASSERT_EQ(key.component, it_b->first.component);
+    // Vector equality is elementwise ==, i.e. bit-exact up to zero signs.
+    EXPECT_EQ(est.expected, it_b->second.expected) << key.component;
+    EXPECT_EQ(est.lower, it_b->second.lower) << key.component;
+    EXPECT_EQ(est.upper, it_b->second.upper) << key.component;
+    ++it_b;
+  }
+}
+
+TEST(FusedGraphTest, TrainingLossesBitIdenticalToReferenceGraph) {
+  const Fixture fixture;
+  EstimatorConfig fused_config = SmallConfig();
+  fused_config.use_fused_graph = true;
+  DeepRestEstimator fused(fused_config);
+  fused.Learn(fixture.traces, fixture.metrics, 0, fixture.windows, fixture.resources);
+
+  EstimatorConfig ref_config = SmallConfig();
+  ref_config.use_fused_graph = false;
+  DeepRestEstimator ref(ref_config);
+  ref.Learn(fixture.traces, fixture.metrics, 0, fixture.windows, fixture.resources);
+
+  ASSERT_EQ(fused.epoch_losses().size(), ref.epoch_losses().size());
+  for (size_t i = 0; i < fused.epoch_losses().size(); ++i) {
+    EXPECT_EQ(fused.epoch_losses()[i], ref.epoch_losses()[i]) << "epoch " << i;
+  }
+
+  const auto features = fused.features().ExtractSeries(fixture.traces, 0, fixture.windows);
+  ExpectEstimatesIdentical(fused.EstimateFromFeatures(features),
+                           ref.EstimateFromFeatures(features));
+}
+
+TEST(FusedGraphTest, SerializeRoundTripPreservesEstimates) {
+  const Fixture fixture;
+  DeepRestEstimator original(SmallConfig());
+  original.Learn(fixture.traces, fixture.metrics, 0, fixture.windows, fixture.resources);
+  const auto features =
+      original.features().ExtractSeries(fixture.traces, 0, fixture.windows);
+  const EstimateMap expected = original.EstimateFromFeatures(features);
+
+  std::stringstream stream;
+  ASSERT_TRUE(original.SaveToStream(stream));
+  DeepRestEstimator loaded(SmallConfig());
+  ASSERT_TRUE(loaded.LoadFromStream(stream));
+  ExpectEstimatesIdentical(expected, loaded.EstimateFromFeatures(features));
+
+  // And once more through Clone on the deserialized model: the full
+  // save -> load -> clone chain must stay bit-identical.
+  std::unique_ptr<DeepRestEstimator> clone = loaded.Clone();
+  ExpectEstimatesIdentical(expected, clone->EstimateFromFeatures(features));
+}
+
+TEST(FusedGraphTest, LoadedModelMatchesRegardlessOfGraphMode) {
+  // use_fused_graph is intentionally not serialized: a model saved by a
+  // fused-graph trainer must estimate identically when loaded into a
+  // reference-graph estimator, and vice versa.
+  const Fixture fixture;
+  EstimatorConfig fused_config = SmallConfig();
+  fused_config.use_fused_graph = true;
+  DeepRestEstimator original(fused_config);
+  original.Learn(fixture.traces, fixture.metrics, 0, fixture.windows, fixture.resources);
+  const auto features =
+      original.features().ExtractSeries(fixture.traces, 0, fixture.windows);
+
+  std::stringstream stream;
+  ASSERT_TRUE(original.SaveToStream(stream));
+  EstimatorConfig ref_config = SmallConfig();
+  ref_config.use_fused_graph = false;
+  DeepRestEstimator loaded(ref_config);
+  ASSERT_TRUE(loaded.LoadFromStream(stream));
+  ExpectEstimatesIdentical(original.EstimateFromFeatures(features),
+                           loaded.EstimateFromFeatures(features));
+}
+
+}  // namespace
+}  // namespace deeprest
