@@ -13,9 +13,11 @@
 // per-elementary-op graph on the same binary. The node arena cannot be
 // toggled off, so the end-to-end speedup reported here slightly understates
 // the true before/after against the pre-PR tree.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/common.h"
@@ -124,6 +126,41 @@ GemmResult BenchAccABT(size_t m, size_t k, size_t n, int iters, Rng& rng) {
   result.tiled_ns = TimeNs(iters, [&] { AccumulateABTranspose(a, b, out); });
   out.Zero();
   result.reference_ns = TimeNs(iters, [&] { reference::AccumulateABTranspose(a, b, out); });
+  return result;
+}
+
+// Batch-major payoff: B columns stacked into one GEMM vs B separate GEMVs of
+// the same recurrent shape. Identical flops and identical per-column
+// reduction order (each output element accumulates its k-products in
+// ascending order either way), so the results are bit-identical and the
+// difference is pure memory behavior: the GEMM streams the weight matrix
+// once instead of B times.
+struct BatchMajorResult {
+  size_t batch = 0;
+  double gemv_ns = 0;  // B sequential mat-vec products
+  double gemm_ns = 0;  // one mat-mat product with B columns
+  double speedup() const { return gemm_ns > 0 ? gemv_ns / gemm_ns : 0; }
+};
+
+BatchMajorResult BenchBatchMajor(size_t h, size_t b, int iters, Rng& rng) {
+  Matrix w(h, h), xb(h, b), out;
+  std::vector<Matrix> xs(b, Matrix(h, 1));
+  std::vector<Matrix> outs(b);
+  w.FillUniform(rng, 1.0f);
+  xb.FillUniform(rng, 1.0f);
+  for (size_t c = 0; c < b; ++c) {
+    for (size_t r = 0; r < h; ++r) {
+      xs[c].At(r, 0) = xb.At(r, c);
+    }
+  }
+  BatchMajorResult result;
+  result.batch = b;
+  result.gemv_ns = TimeNs(iters, [&] {
+    for (size_t c = 0; c < b; ++c) {
+      MatMulInto(w, xs[c], outs[c]);
+    }
+  });
+  result.gemm_ns = TimeNs(iters, [&] { MatMulInto(w, xb, out); });
   return result;
 }
 
@@ -246,7 +283,10 @@ ParallelResult BenchParallelTraining(const KernelFixture& fixture,
                                      const BenchOptions& options) {
   ParallelResult result;
   result.jobs = options.smoke ? 2 : 4;
-  result.threads = DefaultTrainThreads();
+  // At least two workers: DefaultTrainThreads() follows the core count, and
+  // on a single-core box that made the "parallel" leg a 1-thread rerun of
+  // the baseline, reporting speedup ~1.0 by construction.
+  result.threads = std::max<size_t>(2, DefaultTrainThreads());
 
   std::vector<TrainJob> jobs;
   for (size_t i = 0; i < result.jobs; ++i) {
@@ -277,8 +317,9 @@ ParallelResult BenchParallelTraining(const KernelFixture& fixture,
 // ---- JSON output ----
 
 void WriteJson(const BenchOptions& options, const KernelFixture& fixture,
-               const std::vector<GemmResult>& gemm, const StepResult& step,
-               const TrainResult& train, const ParallelResult& par) {
+               const std::vector<GemmResult>& gemm, const BatchMajorResult& batch_major,
+               const StepResult& step, const TrainResult& train,
+               const ParallelResult& par) {
   std::FILE* f = std::fopen(options.out.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s for writing\n", options.out.c_str());
@@ -297,6 +338,11 @@ void WriteJson(const BenchOptions& options, const KernelFixture& fixture,
   }
   std::fprintf(f, "  },\n");
   std::fprintf(f,
+               "  \"batch_major\": {\"batch\": %zu, \"gemv_ns\": %.1f, \"gemm_ns\": %.1f, "
+               "\"speedup\": %.3f},\n",
+               batch_major.batch, batch_major.gemv_ns, batch_major.gemm_ns,
+               batch_major.speedup());
+  std::fprintf(f,
                "  \"gru_step\": {\"fused_ns\": %.1f, \"reference_ns\": %.1f, "
                "\"speedup\": %.3f, \"fused_nodes\": %llu, \"reference_nodes\": %llu},\n",
                step.fused_ns, step.reference_ns, step.speedup(),
@@ -314,8 +360,10 @@ void WriteJson(const BenchOptions& options, const KernelFixture& fixture,
                train.infer_optimized_s * 1e9 / fixture.windows);
   std::fprintf(f,
                "  \"parallel_train\": {\"jobs\": %zu, \"threads\": %zu, "
-               "\"sequential_s\": %.4f, \"parallel_s\": %.4f, \"speedup\": %.3f},\n",
-               par.jobs, par.threads, par.sequential_s, par.parallel_s, par.speedup());
+               "\"hardware_concurrency\": %u, \"sequential_s\": %.4f, "
+               "\"parallel_s\": %.4f, \"speedup\": %.3f},\n",
+               par.jobs, par.threads, std::thread::hardware_concurrency(),
+               par.sequential_s, par.parallel_s, par.speedup());
   std::fprintf(f, "  \"losses_bit_identical\": %s\n",
                train.optimized_losses == train.reference_losses ? "true" : "false");
   std::fprintf(f, "}\n");
@@ -336,6 +384,7 @@ int Run(const BenchOptions& options) {
   gemm.push_back(BenchMatMul(16, 256, 1, small, rng));
   gemm.push_back(BenchMatMul(16, 16, 1, small, rng));
   gemm.push_back(BenchMatMul(12, 12, 16, medium, rng));
+  gemm.push_back(BenchMatMul(16, 256, 16, medium, rng));  // batch-major input projection
   gemm.push_back(BenchMatMul(64, 64, 64, medium, rng));
   gemm.push_back(BenchAccATB(16, 256, 1, small, rng));
   gemm.push_back(BenchAccABT(16, 256, 1, small, rng));
@@ -344,6 +393,12 @@ int Run(const BenchOptions& options) {
     std::printf("%-44s %12.1f %12.1f %7.2fx\n", g.name.c_str(), g.tiled_ns, g.reference_ns,
                 g.speedup());
   }
+
+  const BatchMajorResult batch_major = BenchBatchMajor(/*h=*/16, /*b=*/16, small, rng);
+  std::printf("\nbatch-major 16x16 recurrent step, batch %zu:\n", batch_major.batch);
+  std::printf("  %zu GEMVs  %10.1f ns    one GEMM %10.1f ns    speedup %5.2fx\n",
+              batch_major.batch, batch_major.gemv_ns, batch_major.gemm_ns,
+              batch_major.speedup());
 
   const StepResult step =
       BenchGruStep(/*in_dim=*/64, /*hidden=*/16, /*unroll=*/48, options.smoke ? 20 : 400);
@@ -373,7 +428,7 @@ int Run(const BenchOptions& options) {
   PrintTimed("  parallel", par.parallel_s, 0);
   std::printf("  speedup %.2fx\n", par.speedup());
 
-  WriteJson(options, fixture, gemm, step, train, par);
+  WriteJson(options, fixture, gemm, batch_major, step, train, par);
   std::printf("\nwrote %s\n", options.out.c_str());
   return train.optimized_losses == train.reference_losses ? 0 : 1;
 }

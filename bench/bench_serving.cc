@@ -1,13 +1,18 @@
 // Serving-layer throughput and latency (extension; paper section 6 discusses
 // estimation cost at production scale). Measures the online EstimationService
-// over a worker-count x micro-batch grid: every request replays the
-// learning-phase history to warm the hidden state before stepping its query
-// windows, so a batch of B requests amortizes that replay B ways — batching
-// must strictly beat batch=1 at every worker count. A final run hot-swaps a
-// fine-tuned model mid-flight and verifies no request observed torn weights:
-// every result must be bit-identical to exactly one published version's
-// single-threaded reference.
+// over a batch-major on/off x worker-count x micro-batch grid. With
+// batch_major off, every request replays the sequential reference path
+// (warm-start replay + one GEMV per step); on, a batch of B requests starts
+// from the cached warm state and runs as column-stacked GEMMs, so batch-major
+// at batch=16 must beat the reference path by a wide margin at every worker
+// count. A final run hot-swaps a fine-tuned model mid-flight and verifies no
+// request observed torn weights: every result must be bit-identical to
+// exactly one published version's single-threaded reference.
+//
+// Flags: --smoke (tiny config, correctness-only exit gates, for ctest)
+//        --out <path> (JSON path; default BENCH_serving.json)
 #include <chrono>
+#include <cstring>
 #include <fstream>
 #include <future>
 #include <memory>
@@ -23,8 +28,6 @@
 using namespace deeprest;  // NOLINT(build/namespaces)
 
 namespace {
-
-constexpr size_t kRequestsPerCell = 48;
 
 bool SameEstimates(const EstimateMap& a, const EstimateMap& b) {
   if (a.size() != b.size()) {
@@ -107,20 +110,21 @@ OverloadResult RunOverload(std::shared_ptr<const DeepRestEstimator> model,
 }
 
 CellResult RunCell(std::shared_ptr<const DeepRestEstimator> model,
-                   const std::vector<std::vector<float>>& features, size_t workers,
-                   size_t batch) {
+                   const std::vector<std::vector<float>>& features, bool batch_major,
+                   size_t workers, size_t batch, size_t requests) {
   ModelRegistry registry;
   IngestPipeline pipeline(model->features(), {.shards = 2});
   registry.Publish(std::move(model));
   EstimationServiceConfig config;
   config.workers = workers;
   config.max_batch = batch;
+  config.batch_major = batch_major;
   EstimationService service(registry, pipeline, config);
 
   std::vector<std::future<EstimationService::EstimateResult>> futures;
-  futures.reserve(kRequestsPerCell);
+  futures.reserve(requests);
   const WallTimer timer;
-  for (size_t i = 0; i < kRequestsPerCell; ++i) {
+  for (size_t i = 0; i < requests; ++i) {
     futures.push_back(service.SubmitFeatures(features));
   }
   for (auto& future : futures) {
@@ -128,61 +132,107 @@ CellResult RunCell(std::shared_ptr<const DeepRestEstimator> model,
   }
   const double seconds = timer.Seconds();
   CellResult result;
-  result.requests_per_sec = static_cast<double>(kRequestsPerCell) / seconds;
+  result.requests_per_sec = static_cast<double>(requests) / seconds;
   result.counters = service.Counters();
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_serving.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
   PrintBenchHeader("online serving (extension)",
-                   "micro-batched concurrent estimation + hot-swap consistency");
+                   "batch-major sharded estimation + hot-swap consistency");
   HarnessConfig config = SocialBenchConfig();
-  config.learn_days = 2;  // keep the warm-start replay bench-sized
+  config.learn_days = smoke ? 1 : 2;  // keep the warm-start replay bench-sized
   config.estimator.hidden_dim = 8;
-  config.estimator.epochs = 6;
+  config.estimator.epochs = smoke ? 2 : 6;
   ExperimentHarness harness(config);
 
   std::printf("Training the serving model (%zu learn windows)...\n\n", harness.learn_windows());
   std::shared_ptr<const DeepRestEstimator> v1(harness.deeprest().Clone());
 
-  // One fixed 8-window query: short enough that the warm-start replay
-  // dominates, which is exactly the cost micro-batching amortizes.
+  // One fixed 8-window query. The reference path replays the learning-phase
+  // history per request before stepping the 8 windows; the batch-major path
+  // starts from the cached warm state and stacks the batch into GEMM columns
+  // — the grid quantifies both wins separately.
   Rng rng(config.seed + 53);
   const auto query = harness.RunQuery(GenerateTraffic(harness.QuerySpec(1), rng));
   const auto features =
       v1->features().ExtractSeries(harness.traces(), query.from, query.from + 8);
 
-  const std::vector<size_t> worker_grid = {1, 4, 8};
-  const std::vector<size_t> batch_grid = {1, 4, 16};
+  const size_t requests_per_cell = smoke ? 12 : 48;
+  const std::vector<size_t> worker_grid = smoke ? std::vector<size_t>{1, 2}
+                                                : std::vector<size_t>{1, 4, 8};
+  const std::vector<size_t> batch_grid = {1, 16};
+  struct GridCell {
+    bool batch_major;
+    size_t workers;
+    size_t batch;
+    CellResult result;
+  };
+  std::vector<GridCell> cells;
   std::vector<std::vector<std::string>> rows;
-  std::vector<std::vector<double>> throughput(worker_grid.size());
-  for (size_t w = 0; w < worker_grid.size(); ++w) {
-    for (size_t b = 0; b < batch_grid.size(); ++b) {
-      const CellResult cell = RunCell(v1, features, worker_grid[w], batch_grid[b]);
-      throughput[w].push_back(cell.requests_per_sec);
-      rows.push_back({std::to_string(worker_grid[w]), std::to_string(batch_grid[b]),
-                      FormatDouble(cell.requests_per_sec, 1),
-                      FormatDouble(cell.counters.mean_batch_size, 2),
-                      FormatDouble(cell.counters.p50_latency_ms, 1),
-                      FormatDouble(cell.counters.p99_latency_ms, 1)});
-    }
-  }
-  std::printf("%zu requests per cell, 8 query windows each:\n%s\n", kRequestsPerCell,
-              RenderTable({"workers", "max batch", "req/s", "mean batch", "p50 ms", "p99 ms"},
-                          rows)
-                  .c_str());
-
-  bool batching_wins = true;
-  for (size_t w = 0; w < worker_grid.size(); ++w) {
-    for (size_t b = 1; b < batch_grid.size(); ++b) {
-      if (throughput[w][b] <= throughput[w][0]) {
-        batching_wins = false;
+  for (const bool bm : {false, true}) {
+    for (const size_t w : worker_grid) {
+      for (const size_t b : batch_grid) {
+        GridCell cell{bm, w, b, RunCell(v1, features, bm, w, b, requests_per_cell)};
+        rows.push_back({bm ? "on" : "off", std::to_string(w), std::to_string(b),
+                        FormatDouble(cell.result.requests_per_sec, 1),
+                        FormatDouble(cell.result.counters.mean_batch_size, 2),
+                        FormatDouble(cell.result.counters.p50_latency_ms, 1),
+                        FormatDouble(cell.result.counters.p99_latency_ms, 1)});
+        cells.push_back(std::move(cell));
       }
     }
   }
-  std::printf("batching check (batch>=4 beats batch=1 at every worker count): %s\n\n",
+  std::printf(
+      "%zu requests per cell, 8 query windows each:\n%s\n", requests_per_cell,
+      RenderTable(
+          {"batch-major", "workers", "max batch", "req/s", "mean batch", "p50 ms", "p99 ms"},
+          rows)
+          .c_str());
+
+  const auto cell_rps = [&](bool bm, size_t w, size_t b) {
+    for (const GridCell& cell : cells) {
+      if (cell.batch_major == bm && cell.workers == w && cell.batch == b) {
+        return cell.result.requests_per_sec;
+      }
+    }
+    return 0.0;
+  };
+  const size_t max_workers = worker_grid.back();
+  const double speedup_1w = cell_rps(false, 1, 16) > 0.0
+                                ? cell_rps(true, 1, 16) / cell_rps(false, 1, 16)
+                                : 0.0;
+  const double worker_scaling = cell_rps(true, 1, 16) > 0.0
+                                    ? cell_rps(true, max_workers, 16) / cell_rps(true, 1, 16)
+                                    : 0.0;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::printf("batch-major speedup at 1 worker, batch 16 (on vs off): %.2fx\n", speedup_1w);
+  std::printf("worker scaling with batch-major on (1 -> %zu workers): %.2fx on %u cores\n\n",
+              max_workers, worker_scaling, hardware);
+
+  // Batch-major must beat batch=1 at every worker count (GEMM columns beat
+  // one-at-a-time passes even with the warm replay already cached). The off
+  // rows carry the per-request replay at every batch size, so no such win is
+  // expected there; they exist as the baseline for speedup_1w.
+  bool batching_wins = true;
+  for (const size_t w : worker_grid) {
+    if (cell_rps(true, w, 16) <= cell_rps(true, w, 1)) {
+      batching_wins = false;
+    }
+  }
+  std::printf("batching check (batch-major on: batch=16 beats batch=1 at every worker count): %s\n\n",
               batching_wins ? "PASS" : "FAIL");
 
   // Hot-swap consistency: publish a fine-tuned clone mid-run and verify no
@@ -195,14 +245,14 @@ int main() {
   ModelRegistry registry;
   IngestPipeline pipeline(v1->features(), {.shards = 2});
   registry.Publish(v1);
-  // Two workers so the 64 requests are claimed batch by batch: the swap
-  // lands between batch pickups and both versions serve traffic.
+  // Two workers so the requests are claimed batch by batch: the swap lands
+  // between batch pickups and both versions serve traffic.
   EstimationServiceConfig swap_config;
   swap_config.workers = 2;
   swap_config.max_batch = 8;
   EstimationService service(registry, pipeline, swap_config);
 
-  constexpr size_t kSwapRequests = 64;
+  const size_t kSwapRequests = smoke ? 32 : 64;
   std::vector<std::shared_future<EstimationService::EstimateResult>> futures;
   futures.reserve(kSwapRequests);
   for (size_t i = 0; i < kSwapRequests; ++i) {
@@ -226,10 +276,10 @@ int main() {
   std::printf("hot swap mid-run: %zu requests served by v1, %zu by v2, torn results: %zu\n\n",
               v1_count, v2_count, torn);
 
-  // Overload protection: a 256-request burst against one worker and a queue
-  // of 8. Healthy behavior is a high shed rate with bounded p99 on the
-  // accepted requests — not an unbounded queue.
-  constexpr size_t kBurst = 256;
+  // Overload protection: a burst against one worker and a queue of 8.
+  // Healthy behavior is a high shed rate with bounded p99 on the accepted
+  // requests — not an unbounded queue.
+  const size_t kBurst = smoke ? 64 : 256;
   const OverloadResult overload = RunOverload(v1, features, kBurst);
   std::printf("injected overload (%zu-request burst, 1 worker, queue bound 8):\n%s\n", kBurst,
               RenderTable({"served", "shed", "expired", "shed rate", "p99 ms", "torn"},
@@ -244,17 +294,26 @@ int main() {
   std::printf("overload check (excess shed/expired, accepted results bit-exact): %s\n\n",
               overload_ok ? "PASS" : "FAIL");
 
-  // Machine-readable summary for regression tracking.
+  // Machine-readable summary for regression tracking (tools/bench_diff).
   {
-    std::ofstream json("BENCH_serving.json");
-    json << "{\n  \"grid\": [\n";
-    for (size_t i = 0; i < rows.size(); ++i) {
-      json << "    {\"workers\": " << rows[i][0] << ", \"max_batch\": " << rows[i][1]
-           << ", \"req_per_sec\": " << rows[i][2] << ", \"mean_batch\": " << rows[i][3]
-           << ", \"p50_ms\": " << rows[i][4] << ", \"p99_ms\": " << rows[i][5] << "}"
-           << (i + 1 < rows.size() ? "," : "") << "\n";
+    std::ofstream json(out_path);
+    json << "{\n  \"smoke\": " << (smoke ? 1 : 0) << ",\n";
+    json << "  \"hardware_concurrency\": " << hardware << ",\n";
+    json << "  \"requests_per_cell\": " << requests_per_cell << ",\n";
+    json << "  \"grid\": [\n";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const GridCell& cell = cells[i];
+      json << "    {\"batch_major\": " << (cell.batch_major ? 1 : 0)
+           << ", \"workers\": " << cell.workers << ", \"max_batch\": " << cell.batch
+           << ", \"req_per_sec\": " << FormatDouble(cell.result.requests_per_sec, 1)
+           << ", \"mean_batch\": " << FormatDouble(cell.result.counters.mean_batch_size, 2)
+           << ", \"p50_ms\": " << FormatDouble(cell.result.counters.p50_latency_ms, 1)
+           << ", \"p99_ms\": " << FormatDouble(cell.result.counters.p99_latency_ms, 1) << "}"
+           << (i + 1 < cells.size() ? "," : "") << "\n";
     }
     json << "  ],\n";
+    json << "  \"batch_major_speedup_1w\": " << FormatDouble(speedup_1w, 2) << ",\n";
+    json << "  \"worker_scaling\": " << FormatDouble(worker_scaling, 2) << ",\n";
     json << "  \"hot_swap\": {\"v1_served\": " << v1_count << ", \"v2_served\": " << v2_count
          << ", \"torn\": " << torn << "},\n";
     json << "  \"overload\": {\"burst\": " << kBurst << ", \"served\": " << overload.ok
@@ -264,6 +323,13 @@ int main() {
          << ", \"torn\": " << overload.torn << "}\n";
     json << "}\n";
   }
-  std::printf("wrote BENCH_serving.json\n");
-  return torn == 0 && batching_wins && overload_ok ? 0 : 1;
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Smoke runs gate on correctness only (tiny configs make the perf ratios
+  // noisy); full runs additionally require the batch-major win.
+  const bool correctness_ok = torn == 0 && overload_ok;
+  if (smoke) {
+    return correctness_ok ? 0 : 1;
+  }
+  return correctness_ok && batching_wins && speedup_1w >= 3.0 ? 0 : 1;
 }

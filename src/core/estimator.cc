@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/nn/batched.h"
 #include "src/nn/optimizer.h"
 #include "src/nn/ops.h"
 #include "src/nn/serialize.h"
@@ -189,6 +190,7 @@ void DeepRestEstimator::Learn(const TraceCollector& traces, const MetricsStore& 
   epoch_losses_.clear();
   RunTraining(learn_features_, targets, config_.epochs, config_.learning_rate,
               /*decay_masks=*/true);
+  RefreshWarmStartCache();
 
   train_seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time)
                        .count();
@@ -281,8 +283,10 @@ void DeepRestEstimator::ContinueLearning(const TraceCollector& traces,
   RunTraining(features, targets, epochs == 0 ? config_.epochs : epochs,
               config_.learning_rate * 0.25f, /*decay_masks=*/false);
 
-  // Extend the warm-start history with the new windows.
+  // Extend the warm-start history with the new windows and recompute the
+  // cached hidden state (both the weights and the history changed).
   learn_features_.insert(learn_features_.end(), features.begin(), features.end());
+  RefreshWarmStartCache();
   train_seconds_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                                   start_time)
                         .count();
@@ -297,52 +301,135 @@ EstimateMap DeepRestEstimator::EstimateFromFeatures(
 std::vector<EstimateMap> DeepRestEstimator::EstimateFromFeaturesBatch(
     const std::vector<const std::vector<std::vector<float>>*>& batch) const {
   assert(trained());
-  NoGradGuard no_grad;
-
-  // Shared warm-start replay: every query continues from the hidden state at
-  // the end of the learning-phase trajectory, so it is computed once and its
-  // Tensor handles are copied per query (handles are immutable; StepAll
-  // replaces them rather than mutating in place).
-  std::vector<Tensor> warm(experts_.size());
-  for (auto& state : warm) {
-    state = Tensor::Constant(Matrix(config_.hidden_dim, 1));
-  }
-  if (config_.warm_start) {
-    for (const auto& x_raw : learn_features_) {
-      Tensor x = ScaledInput(x_raw);
-      StepAll(x, warm);
-    }
-  }
+  assert(warm_hidden_.size() == experts_.size());
 
   std::vector<EstimateMap> results(batch.size());
+  // Live queries, longest first: as shorter queries finish, the still-active
+  // ones always occupy a prefix of the batch columns and the activation
+  // matrices just shrink column-wise.
+  std::vector<size_t> order;
+  order.reserve(batch.size());
   for (size_t q = 0; q < batch.size(); ++q) {
     if (batch[q] == nullptr) {
       continue;
     }
-    const auto& feature_series = *batch[q];
+    order.push_back(q);
     EstimateMap& out = results[q];
     for (const auto& expert : experts_) {
       ResourceEstimate estimate;
-      estimate.expected.reserve(feature_series.size());
-      estimate.lower.reserve(feature_series.size());
-      estimate.upper.reserve(feature_series.size());
+      estimate.expected.reserve(batch[q]->size());
+      estimate.lower.reserve(batch[q]->size());
+      estimate.upper.reserve(batch[q]->size());
       out.emplace(expert.key, std::move(estimate));
     }
-    std::vector<Tensor> hidden = warm;
-    for (const auto& x_raw : feature_series) {
-      Tensor x = ScaledInput(x_raw);
-      std::vector<Tensor> outputs = StepAll(x, hidden);
-      for (size_t i = 0; i < experts_.size(); ++i) {
-        const Matrix& y = outputs[i].value();
-        const double scale = experts_[i].y_scale;
-        double expected = std::max(0.0, static_cast<double>(y.At(0, 0)) * scale);
-        double lower = std::max(0.0, static_cast<double>(y.At(1, 0)) * scale);
-        double upper = std::max(0.0, static_cast<double>(y.At(2, 0)) * scale);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return batch[a]->size() > batch[b]->size(); });
+  size_t active = order.size();
+  while (active > 0 && batch[order[active - 1]]->empty()) {
+    --active;
+  }
+  if (active == 0) {
+    return results;
+  }
+
+  const size_t e = experts_.size();
+  const size_t hd = config_.hidden_dim;
+  const size_t dim = feature_scale_.size();
+  const size_t max_len = batch[order[0]]->size();
+
+  // Every column starts from the warm-start hidden state cached at train /
+  // load time — no per-call replay of learn_features_.
+  std::vector<Matrix> hidden(e);
+  std::vector<Matrix> hidden_next(e);
+  for (size_t i = 0; i < e; ++i) {
+    hidden[i].SetShape(hd, active);
+    for (size_t r = 0; r < hd; ++r) {
+      const float v = warm_hidden_[i][r];
+      float* row = hidden[i].data() + r * active;
+      for (size_t b = 0; b < active; ++b) {
+        row[b] = v;
+      }
+    }
+  }
+
+  Matrix masked_alpha;  // alpha . diag mask, constant across steps
+  if (config_.use_attention) {
+    HadamardInto(alpha_.value(), diag_zero_mask_, masked_alpha);
+  }
+
+  BatchedScratch scratch;
+  Matrix x;                      // dim x active scaled inputs
+  Matrix y;                      // 3 x active head outputs
+  std::vector<Matrix> sigs(e);   // per-expert sigmoid(mask) columns
+  std::vector<Matrix> xms(e);    // per-expert masked inputs
+  std::vector<Matrix> attended;  // per-expert attended states
+
+  for (size_t t = 0; t < max_len; ++t) {
+    // Retire queries whose series ended (a suffix, since sorted by length).
+    size_t still = active;
+    while (still > 0 && batch[order[still - 1]]->size() <= t) {
+      --still;
+    }
+    if (still == 0) {
+      break;
+    }
+    if (still != active) {
+      for (size_t i = 0; i < e; ++i) {
+        ShrinkColumns(hidden[i], still);
+      }
+      active = still;
+    }
+    x.SetShape(dim, active);
+    for (size_t b = 0; b < active; ++b) {
+      const std::vector<float>& raw = (*batch[order[b]])[t];
+      const size_t n = std::min(raw.size(), dim);
+      for (size_t d = 0; d < n; ++d) {
+        x.At(d, b) = raw[d] / feature_scale_[d];
+      }
+      for (size_t d = n; d < dim; ++d) {
+        x.At(d, b) = 0.0f;
+      }
+    }
+    for (size_t i = 0; i < e; ++i) {
+      const Expert& expert = experts_[i];
+      const Matrix* xm = &x;
+      if (config_.use_api_mask) {
+        BatchedSigmoidMaskMul(expert.mask.value(), x, sigs[i], xms[i]);
+        xm = &xms[i];
+      }
+      if (config_.use_recurrence) {
+        const GruCell& gru = expert.gru;
+        BatchedGruStep(*xm, hidden[i], gru.wz().value(), gru.uz().value(), gru.bz().value(),
+                       gru.wk().value(), gru.uk().value(), gru.bk().value(), gru.wh().value(),
+                       gru.uh().value(), gru.bh().value(), scratch, hidden_next[i]);
+      } else {
+        BatchedLinearTanh(expert.ff.weight().value(), expert.ff.bias().value(), *xm, scratch,
+                          hidden_next[i]);
+      }
+    }
+    hidden.swap(hidden_next);
+    if (config_.use_attention) {
+      BatchedAttention(masked_alpha, hidden, attended);
+    }
+    for (size_t i = 0; i < e; ++i) {
+      const Expert& expert = experts_[i];
+      const bool bypass = config_.use_linear_bypass;
+      const Matrix* xm = config_.use_api_mask ? &xms[i] : &x;
+      BatchedExpertHead(config_.use_attention ? &attended[i] : nullptr, hidden[i],
+                        expert.head.weight().value(), expert.head.bias().value(),
+                        bypass ? xm : nullptr, bypass ? &expert.skip.weight().value() : nullptr,
+                        bypass ? &expert.skip.bias().value() : nullptr, scratch, y);
+      const double scale = expert.y_scale;
+      for (size_t b = 0; b < active; ++b) {
+        double expected = std::max(0.0, static_cast<double>(y.At(0, b)) * scale);
+        double lower = std::max(0.0, static_cast<double>(y.At(1, b)) * scale);
+        double upper = std::max(0.0, static_cast<double>(y.At(2, b)) * scale);
         // Quantile heads are trained independently and can cross on rare
         // inputs; enforce lower <= expected <= upper on output.
         lower = std::min(lower, expected);
         upper = std::max(upper, expected);
-        ResourceEstimate& estimate = out.at(experts_[i].key);
+        ResourceEstimate& estimate = results[order[b]].at(expert.key);
         estimate.expected.push_back(expected);
         estimate.lower.push_back(lower);
         estimate.upper.push_back(upper);
@@ -351,6 +438,74 @@ std::vector<EstimateMap> DeepRestEstimator::EstimateFromFeaturesBatch(
   }
   return results;
 }
+
+EstimateMap DeepRestEstimator::EstimateFromFeaturesReference(
+    const std::vector<std::vector<float>>& feature_series) const {
+  assert(trained());
+  NoGradGuard no_grad;
+
+  // Full warm-start replay, every call — the pre-batch-major behavior this
+  // method preserves as the bit-exactness oracle.
+  std::vector<Tensor> hidden(experts_.size());
+  for (auto& state : hidden) {
+    state = Tensor::Constant(Matrix(config_.hidden_dim, 1));
+  }
+  if (config_.warm_start) {
+    for (const auto& x_raw : learn_features_) {
+      Tensor x = ScaledInput(x_raw);
+      StepAll(x, hidden);
+    }
+  }
+
+  EstimateMap out;
+  for (const auto& expert : experts_) {
+    ResourceEstimate estimate;
+    estimate.expected.reserve(feature_series.size());
+    estimate.lower.reserve(feature_series.size());
+    estimate.upper.reserve(feature_series.size());
+    out.emplace(expert.key, std::move(estimate));
+  }
+  for (const auto& x_raw : feature_series) {
+    Tensor x = ScaledInput(x_raw);
+    std::vector<Tensor> outputs = StepAll(x, hidden);
+    for (size_t i = 0; i < experts_.size(); ++i) {
+      const Matrix& y = outputs[i].value();
+      const double scale = experts_[i].y_scale;
+      double expected = std::max(0.0, static_cast<double>(y.At(0, 0)) * scale);
+      double lower = std::max(0.0, static_cast<double>(y.At(1, 0)) * scale);
+      double upper = std::max(0.0, static_cast<double>(y.At(2, 0)) * scale);
+      lower = std::min(lower, expected);
+      upper = std::max(upper, expected);
+      ResourceEstimate& estimate = out.at(experts_[i].key);
+      estimate.expected.push_back(expected);
+      estimate.lower.push_back(lower);
+      estimate.upper.push_back(upper);
+    }
+  }
+  return out;
+}
+
+std::vector<Matrix> DeepRestEstimator::ReplayWarmStart() const {
+  std::vector<Matrix> warm_values(experts_.size(), Matrix(config_.hidden_dim, 1));
+  if (!config_.warm_start || experts_.empty() || learn_features_.empty()) {
+    return warm_values;
+  }
+  NoGradGuard no_grad;
+  std::vector<Tensor> warm(experts_.size());
+  for (auto& state : warm) {
+    state = Tensor::Constant(Matrix(config_.hidden_dim, 1));
+  }
+  for (const auto& x_raw : learn_features_) {
+    Tensor x = ScaledInput(x_raw);
+    StepAll(x, warm);
+  }
+  for (size_t i = 0; i < warm.size(); ++i) {
+    warm_values[i] = warm[i].value();
+  }
+  return warm_values;
+}
+
+void DeepRestEstimator::RefreshWarmStartCache() { warm_hidden_ = ReplayWarmStart(); }
 
 EstimateMap DeepRestEstimator::EstimateFromTraces(const TraceCollector& traces, size_t from,
                                                   size_t to) const {
@@ -538,6 +693,9 @@ size_t DeepRestEstimator::TransferRecurrentWeightsFrom(const DeepRestEstimator& 
     }
     ++transferred;
   }
+  if (transferred > 0) {
+    RefreshWarmStartCache();  // the recurrent weights changed under the replay
+  }
   return transferred;
 }
 
@@ -722,7 +880,11 @@ bool DeepRestEstimator::LoadFromStream(std::istream& in) {
   for (uint64_t i = 0; i < expert_count; ++i) {
     experts_[i].y_scale = y_scales[i];
   }
-  return LoadParameters(store_, in);
+  if (!LoadParameters(store_, in)) {
+    return false;
+  }
+  RefreshWarmStartCache();
+  return true;
 }
 
 }  // namespace deeprest

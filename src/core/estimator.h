@@ -121,15 +121,38 @@ class DeepRestEstimator {
   // Direct estimation from an already-built feature series (advanced use).
   EstimateMap EstimateFromFeatures(const std::vector<std::vector<float>>& features) const;
 
-  // Micro-batched estimation: answers several feature-series queries in one
-  // pass. The warm-start replay over the learning-phase history — the
-  // dominant per-call cost — runs once for the whole batch, and every query
-  // continues from that shared hidden-state trajectory, exactly as the
-  // per-call path does. Results are index-aligned with `batch`; null entries
-  // are skipped and yield an empty map. This is the forward path behind
-  // EstimationService's request coalescing (src/serve).
+  // Batch-major micro-batched estimation: answers several feature-series
+  // queries in one pass by stacking them as the columns of one activation
+  // matrix, so every GRU / attention / head step is a (H x D) * (D x B) GEMM
+  // instead of B GEMVs (src/nn/batched.h). Queries are grouped longest-first
+  // so mixed-length batches shrink column-wise as short queries finish, and
+  // every column starts from the warm-start hidden state cached at train /
+  // load time (no per-call replay of learn_features_). Per query, results
+  // are bit-identical to EstimateFromFeaturesReference — the GEMM kernels
+  // keep each output element's reduction order, so a GEMM column equals the
+  // corresponding GEMV bit for bit. Results are index-aligned with `batch`;
+  // null entries are skipped and yield an empty map. This is the forward
+  // path behind EstimationService's request coalescing (src/serve).
   std::vector<EstimateMap> EstimateFromFeaturesBatch(
       const std::vector<const std::vector<std::vector<float>>*>& batch) const;
+
+  // Sequential tensor-graph inference path (the pre-batch-major behavior):
+  // replays the full learn_features_ warm-start trajectory, then steps the
+  // query one window at a time through the fused/reference graph. Kept as
+  // the correctness oracle for the batch-major path (see
+  // batched_inference_test.cc) and as the serving baseline when
+  // EstimationServiceConfig::batch_major is off.
+  EstimateMap EstimateFromFeaturesReference(
+      const std::vector<std::vector<float>>& features) const;
+
+  // Recomputes the warm-start hidden state (one H x 1 column per expert) by
+  // replaying learn_features_ through the tensor graph — the oracle for the
+  // cached copy below. Returns zero columns when warm_start is disabled.
+  std::vector<Matrix> ReplayWarmStart() const;
+  // The cached warm-start hidden state the batch-major path starts from.
+  // Refreshed on Learn / ContinueLearning / TransferRecurrentWeightsFrom /
+  // LoadFromStream, so const inference never mutates model state.
+  const std::vector<Matrix>& WarmStartCache() const { return warm_hidden_; }
 
   // --- Introspection / interpretation ---
   bool trained() const { return !experts_.empty(); }
@@ -209,6 +232,10 @@ class DeepRestEstimator {
   // Scales a raw feature vector into a column tensor.
   Tensor ScaledInput(const std::vector<float>& raw) const;
   int ExpertIndex(const MetricKey& key) const;
+  // Recomputes warm_hidden_ from learn_features_. Called by every mutation
+  // point (Learn, ContinueLearning, TransferRecurrentWeightsFrom,
+  // LoadFromStream) so the const inference surface can read it lock-free.
+  void RefreshWarmStartCache();
 
   EstimatorConfig config_;
   FeatureExtractor extractor_;
@@ -221,6 +248,9 @@ class DeepRestEstimator {
   Tensor diag_mask_tensor_;  // the same mask as a constant leaf (fused path)
   std::vector<float> feature_scale_;
   std::vector<std::vector<float>> learn_features_;  // raw, for warm start
+  // Warm-start hidden state after replaying learn_features_ (one H x 1
+  // column per expert); zeros when warm_start is off. See WarmStartCache().
+  std::vector<Matrix> warm_hidden_;
   double train_seconds_ = 0.0;
   std::vector<float> epoch_losses_;
 };

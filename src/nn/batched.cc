@@ -1,0 +1,193 @@
+#include "src/nn/batched.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace deeprest {
+
+void BatchedSigmoidMaskMul(const Matrix& mask, const Matrix& x, Matrix& sig, Matrix& out) {
+  assert(mask.rows() == x.rows() && mask.cols() == 1);
+  const size_t d = x.rows();
+  const size_t b = x.cols();
+  if (sig.rows() != d) {  // first step of the call: fill the per-expert cache
+    sig.SetShape(d, 1);
+    for (size_t i = 0; i < d; ++i) {
+      sig[i] = 1.0f / (1.0f + std::exp(-mask[i]));
+    }
+  }
+  out.SetShape(d, b);
+  const float* xv = x.data();
+  float* ov = out.data();
+  for (size_t i = 0; i < d; ++i) {
+    const float s = sig[i];
+    const float* xrow = xv + i * b;
+    float* orow = ov + i * b;
+    for (size_t c = 0; c < b; ++c) {
+      orow[c] = s * xrow[c];
+    }
+  }
+}
+
+void BatchedGruStep(const Matrix& x, const Matrix& h, const Matrix& wz, const Matrix& uz,
+                    const Matrix& bz, const Matrix& wk, const Matrix& uk, const Matrix& bk,
+                    const Matrix& wh, const Matrix& uh, const Matrix& bh, BatchedScratch& s,
+                    Matrix& h_next) {
+  assert(&h != &h_next);
+  const size_t hd = h.rows();
+  const size_t b = h.cols();
+  assert(x.cols() == b);
+  // z = sigmoid((wz@x + uz@h) + bz) — same association as the fused step.
+  MatMulInto(wz, x, s.ta);
+  MatMulInto(uz, h, s.tb);
+  s.z.SetShape(hd, b);
+  for (size_t i = 0; i < hd; ++i) {
+    const float bias = bz[i];
+    const float* ta = s.ta.data() + i * b;
+    const float* tb = s.tb.data() + i * b;
+    float* zr = s.z.data() + i * b;
+    for (size_t c = 0; c < b; ++c) {
+      zr[c] = 1.0f / (1.0f + std::exp(-((ta[c] + tb[c]) + bias)));
+    }
+  }
+  MatMulInto(wk, x, s.ta);
+  MatMulInto(uk, h, s.tb);
+  s.kgate.SetShape(hd, b);
+  for (size_t i = 0; i < hd; ++i) {
+    const float bias = bk[i];
+    const float* ta = s.ta.data() + i * b;
+    const float* tb = s.tb.data() + i * b;
+    float* kr = s.kgate.data() + i * b;
+    for (size_t c = 0; c < b; ++c) {
+      kr[c] = 1.0f / (1.0f + std::exp(-((ta[c] + tb[c]) + bias)));
+    }
+  }
+  s.kh.SetShape(hd, b);
+  {
+    const float* kv = s.kgate.data();
+    const float* hv = h.data();
+    float* khv = s.kh.data();
+    for (size_t i = 0, e = hd * b; i < e; ++i) {
+      khv[i] = kv[i] * hv[i];
+    }
+  }
+  MatMulInto(wh, x, s.ta);
+  MatMulInto(uh, s.kh, s.tb);
+  s.hc.SetShape(hd, b);
+  for (size_t i = 0; i < hd; ++i) {
+    const float bias = bh[i];
+    const float* ta = s.ta.data() + i * b;
+    const float* tb = s.tb.data() + i * b;
+    float* hcr = s.hc.data() + i * b;
+    for (size_t c = 0; c < b; ++c) {
+      hcr[c] = std::tanh((ta[c] + tb[c]) + bias);
+    }
+  }
+  h_next.SetShape(hd, b);
+  {
+    const float* zv = s.z.data();
+    const float* hv = h.data();
+    const float* hcv = s.hc.data();
+    float* ov = h_next.data();
+    for (size_t i = 0, e = hd * b; i < e; ++i) {
+      const float omz = -1.0f * zv[i] + 1.0f;
+      ov[i] = (zv[i] * hv[i]) + (omz * hcv[i]);
+    }
+  }
+}
+
+void BatchedLinearTanh(const Matrix& w, const Matrix& bias, const Matrix& x, BatchedScratch& s,
+                       Matrix& h_next) {
+  const size_t hd = w.rows();
+  const size_t b = x.cols();
+  MatMulInto(w, x, s.ta);
+  h_next.SetShape(hd, b);
+  for (size_t i = 0; i < hd; ++i) {
+    const float bi = bias[i];
+    const float* ta = s.ta.data() + i * b;
+    float* orow = h_next.data() + i * b;
+    for (size_t c = 0; c < b; ++c) {
+      orow[c] = std::tanh(ta[c] + bi);
+    }
+  }
+}
+
+void BatchedAttention(const Matrix& masked, const std::vector<Matrix>& hidden,
+                      std::vector<Matrix>& attended) {
+  const size_t e = hidden.size();
+  assert(masked.rows() == e && masked.cols() == e);
+  attended.resize(e);
+  const size_t hd = hidden.empty() ? 0 : hidden[0].rows();
+  const size_t b = hidden.empty() ? 0 : hidden[0].cols();
+  for (size_t row = 0; row < e; ++row) {
+    Matrix& out = attended[row];
+    out.SetShape(hd, b);
+    out.Zero();
+    // Ascending-c accumulation: the per-element term order of the sequential
+    // masked @ StackColumns(hidden) GEMM. Zero coefficients still multiply
+    // (x + 0*y == x), matching the dense kernel.
+    for (size_t c = 0; c < e; ++c) {
+      out.AddScaled(hidden[c], masked.At(row, c));
+    }
+  }
+}
+
+void BatchedExpertHead(const Matrix* attended, const Matrix& h, const Matrix& head_w,
+                       const Matrix& head_b, const Matrix* xm, const Matrix* skip_w,
+                       const Matrix* skip_b, BatchedScratch& s, Matrix& out) {
+  const size_t out_dim = head_w.rows();
+  const size_t hd = h.rows();
+  const size_t b = h.cols();
+  const size_t na = head_w.cols() - hd;
+  s.concat.SetShape(na + hd, b);
+  if (attended != nullptr) {
+    assert(attended->rows() == na && attended->cols() == b);
+    std::memcpy(s.concat.data(), attended->data(), na * b * sizeof(float));
+  } else {
+    std::memset(s.concat.data(), 0, na * b * sizeof(float));
+  }
+  std::memcpy(s.concat.data() + na * b, h.data(), hd * b * sizeof(float));
+  MatMulInto(head_w, s.concat, s.ta);
+  out.SetShape(out_dim, b);
+  if (skip_w != nullptr) {
+    MatMulInto(*skip_w, *xm, s.tb);
+    for (size_t i = 0; i < out_dim; ++i) {
+      const float hb = head_b[i];
+      const float sb = (*skip_b)[i];
+      const float* ta = s.ta.data() + i * b;
+      const float* tb = s.tb.data() + i * b;
+      float* orow = out.data() + i * b;
+      for (size_t c = 0; c < b; ++c) {
+        orow[c] = (ta[c] + hb) + (tb[c] + sb);
+      }
+    }
+  } else {
+    for (size_t i = 0; i < out_dim; ++i) {
+      const float hb = head_b[i];
+      const float* ta = s.ta.data() + i * b;
+      float* orow = out.data() + i * b;
+      for (size_t c = 0; c < b; ++c) {
+        orow[c] = ta[c] + hb;
+      }
+    }
+  }
+}
+
+void ShrinkColumns(Matrix& m, size_t new_cols) {
+  const size_t old_cols = m.cols();
+  assert(new_cols <= old_cols);
+  if (new_cols == old_cols) {
+    return;
+  }
+  const size_t rows = m.rows();
+  float* d = m.data();
+  // Row r's destination [r*new, r*new + new) ends at or before its source
+  // [r*old, r*old + new) starts being needed by later rows, so an in-place
+  // forward compaction with memmove (overlap-safe) is correct.
+  for (size_t r = 1; r < rows; ++r) {
+    std::memmove(d + r * new_cols, d + r * old_cols, new_cols * sizeof(float));
+  }
+  m.SetShape(rows, new_cols);
+}
+
+}  // namespace deeprest

@@ -1,0 +1,83 @@
+// Column-batched, forward-only variants of the fused DeepRest step ops.
+//
+// Batch-major inference stacks B concurrent queries as the B columns of one
+// activation matrix, so each GRU / attention / expert-head step becomes a
+// (hidden_dim x input_dim) * (input_dim x B) GEMM instead of B separate
+// GEMVs — the weight matrix streams through the cache once per step instead
+// of once per query. These kernels operate on plain Matrix values (no
+// autograd graph, no TensorNode allocation) and exist beside the Fused* ops
+// in ops.h, which remain the training path.
+//
+// Bit-exactness contract: every scalar each of these kernels produces for
+// column b is computed by the SAME sequence of float operations the
+// sequential fused ops perform for a single query — the GEMM kernels in
+// matrix.h keep each output element's k-reduction in ascending order, so a
+// GEMM column is bit-identical to the corresponding GEMV, and all remaining
+// arithmetic here copies the fused ops' association term for term (e.g. the
+// GRU gates compute sigmoid((Wx + Uh) + b) with exactly that bracketing).
+// Columns never interact, so a width-B batch returns, per query, the exact
+// bits the width-1 path returns. batched_inference_test.cc enforces this.
+#ifndef SRC_NN_BATCHED_H_
+#define SRC_NN_BATCHED_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/nn/matrix.h"
+
+namespace deeprest {
+
+// Scratch buffers reused across steps so the steady-state step makes no
+// allocator calls. One instance per estimation call; not thread-safe.
+struct BatchedScratch {
+  Matrix ta, tb;            // W@x / U@h products
+  Matrix z, kgate, kh, hc;  // GRU internals
+  Matrix concat;            // head input [attended ; hidden]
+};
+
+// out(d, b) = sigmoid(mask[d]) * x(d, b). `mask` is (D x 1) logits, `x` is
+// (D x B). `sig` is a PER-EXPERT cache of the sigmoid column, filled on
+// first use (pass it in empty at the start of a call; the logits are
+// constant during inference so every step reuses the same column). Batched
+// SigmoidMaskMul.
+void BatchedSigmoidMaskMul(const Matrix& mask, const Matrix& x, Matrix& sig, Matrix& out);
+
+// h_next(i, b) = one GRU step (paper Eq. 2) applied independently to every
+// column of x (D x B) and h (H x B). Batched FusedGruStep; h_next must not
+// alias h.
+void BatchedGruStep(const Matrix& x, const Matrix& h, const Matrix& wz, const Matrix& uz,
+                    const Matrix& bz, const Matrix& wk, const Matrix& uk, const Matrix& bk,
+                    const Matrix& wh, const Matrix& uh, const Matrix& bh, BatchedScratch& s,
+                    Matrix& h_next);
+
+// Feed-forward expert core (use_recurrence ablation):
+// h_next(i, b) = tanh((w @ x)(i, b) + bias[i]).
+void BatchedLinearTanh(const Matrix& w, const Matrix& bias, const Matrix& x, BatchedScratch& s,
+                       Matrix& h_next);
+
+// Cross-expert attention (paper Eq. 3) over batched hidden states:
+// attended[e] = sum_c masked(e, c) * hidden[c], each (H x B), with the sum
+// accumulated in ascending c — the per-element order of the sequential
+// MatMulInto(masked, StackColumns(hidden)) product. `masked` is the
+// precomputed alpha . diag_zero_mask (E x E). Batched FusedAttention.
+void BatchedAttention(const Matrix& masked, const std::vector<Matrix>& hidden,
+                      std::vector<Matrix>& attended);
+
+// One expert's output head (paper Eq. 4) over B columns:
+// out(i, b) = (head_w @ [attended ; h] + head_b) (+ skip_w @ xm + skip_b).
+// `attended` may be null (attention ablation: the attended half of the concat
+// is zero); skip_w/skip_b may be null (no bypass; xm is then unused).
+// Batched FusedExpertHead.
+void BatchedExpertHead(const Matrix* attended, const Matrix& h, const Matrix& head_w,
+                       const Matrix& head_b, const Matrix* xm, const Matrix* skip_w,
+                       const Matrix* skip_b, BatchedScratch& s, Matrix& out);
+
+// Keeps the leading `new_cols` columns of `m` in place (row-major
+// compaction). Used to shrink the active batch as shorter queries finish:
+// columns are ordered longest-first, so the still-active queries always
+// occupy a prefix.
+void ShrinkColumns(Matrix& m, size_t new_cols);
+
+}  // namespace deeprest
+
+#endif  // SRC_NN_BATCHED_H_

@@ -84,6 +84,19 @@ class GruCell {
   size_t in_dim() const { return in_dim_; }
   size_t hidden_dim() const { return hidden_dim_; }
 
+  // Read access to the nine parameter blocks, used by the batch-major
+  // no-grad inference path (src/nn/batched.h) to run the same recurrence as
+  // a column-batched GEMM sequence.
+  const Tensor& wz() const { return wz_; }
+  const Tensor& uz() const { return uz_; }
+  const Tensor& bz() const { return bz_; }
+  const Tensor& wk() const { return wk_; }
+  const Tensor& uk() const { return uk_; }
+  const Tensor& bk() const { return bk_; }
+  const Tensor& wh() const { return wh_; }
+  const Tensor& uh() const { return uh_; }
+  const Tensor& bh() const { return bh_; }
+
   // Flattens all nine parameter blocks into one vector (used by the PCA
   // model-similarity analysis of paper Fig. 21).
   std::vector<float> FlattenedParameters() const;

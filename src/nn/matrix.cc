@@ -229,8 +229,9 @@ void AccumulateABTranspose(const Matrix& a, const Matrix& b, Matrix& out) {
 //
 // Blocking is only over independent output rows/columns; every output element
 // still sees its k-terms in ascending order, so results match the reference
-// kernels bit for bit (see matrix.h). Four-way row blocks give the compiler
-// independent accumulator chains to vectorize and hide FP latency behind.
+// kernels bit for bit (see matrix.h). Four-way row blocks (mat-vec) and
+// 16-wide column tiles (mat-mat) give the compiler independent accumulator
+// chains to vectorize and hide FP latency behind.
 
 void MatMulInto(const Matrix& a, const Matrix& b, Matrix& out) {
   assert(a.cols() == b.rows());
@@ -276,40 +277,44 @@ void MatMulInto(const Matrix& a, const Matrix& b, Matrix& out) {
     }
     return;
   }
-  std::fill(O, O + n * m, 0.0f);
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    const float* a0 = A + (i + 0) * k;
-    const float* a1 = A + (i + 1) * k;
-    const float* a2 = A + (i + 2) * k;
-    const float* a3 = A + (i + 3) * k;
-    float* o0 = O + (i + 0) * m;
-    float* o1 = O + (i + 1) * m;
-    float* o2 = O + (i + 2) * m;
-    float* o3 = O + (i + 3) * m;
-    for (size_t c = 0; c < k; ++c) {
-      const float f0 = a0[c];
-      const float f1 = a1[c];
-      const float f2 = a2[c];
-      const float f3 = a3[c];
-      const float* brow = B + c * m;
-      for (size_t j = 0; j < m; ++j) {
-        const float bv = brow[j];
-        o0[j] += f0 * bv;
-        o1[j] += f1 * bv;
-        o2[j] += f2 * bv;
-        o3[j] += f3 * bv;
-      }
-    }
-  }
-  for (; i < n; ++i) {
+  // Register micro-kernel: each output element accumulates in a register for
+  // the whole k loop instead of the output row being re-loaded and re-stored
+  // once per k step. Column tiles of kJTile keep the accumulator block inside
+  // the vector register file; each element still sees its k terms in
+  // ascending order (acc = 0, then += a(i,c)*b(c,j) for c = 0..k-1), the same
+  // per-element sequence as the zero-filled accumulate loop it replaces.
+  constexpr size_t kJTile = 16;
+  for (size_t i = 0; i < n; ++i) {
     const float* arow = A + i * k;
     float* orow = O + i * m;
-    for (size_t c = 0; c < k; ++c) {
-      const float av = arow[c];
-      const float* brow = B + c * m;
-      for (size_t j = 0; j < m; ++j) {
-        orow[j] += av * brow[j];
+    size_t j0 = 0;
+    for (; j0 + kJTile <= m; j0 += kJTile) {
+      float acc[kJTile] = {0.0f};
+      const float* btile = B + j0;
+      for (size_t c = 0; c < k; ++c) {
+        const float av = arow[c];
+        const float* brow = btile + c * m;
+        for (size_t j = 0; j < kJTile; ++j) {
+          acc[j] += av * brow[j];
+        }
+      }
+      for (size_t j = 0; j < kJTile; ++j) {
+        orow[j0 + j] = acc[j];
+      }
+    }
+    const size_t rem = m - j0;
+    if (rem > 0) {
+      float acc[kJTile] = {0.0f};
+      const float* btile = B + j0;
+      for (size_t c = 0; c < k; ++c) {
+        const float av = arow[c];
+        const float* brow = btile + c * m;
+        for (size_t j = 0; j < rem; ++j) {
+          acc[j] += av * brow[j];
+        }
+      }
+      for (size_t j = 0; j < rem; ++j) {
+        orow[j0 + j] = acc[j];
       }
     }
   }

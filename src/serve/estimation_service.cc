@@ -24,9 +24,13 @@ EstimationService::EstimationService(ModelRegistry& registry, IngestPipeline& pi
     : registry_(registry), pipeline_(pipeline), config_(config) {
   config_.workers = std::max<size_t>(1, config_.workers);
   config_.max_batch = std::max<size_t>(1, config_.max_batch);
+  shards_.reserve(config_.workers);
+  for (size_t i = 0; i < config_.workers; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
   workers_.reserve(config_.workers);
   for (size_t i = 0; i < config_.workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -86,27 +90,42 @@ void EstimationService::Enqueue(Request request, std::chrono::milliseconds deadl
   }
   stats_.RecordSubmitted();
 
-  // Requests evicted under the lock resolve after it is released: fulfilling
+  // Requests evicted under a lock resolve after it is released: fulfilling
   // a promise can run arbitrary continuation code.
+  const size_t shard_count = shards_.size();
+  const size_t index = next_shard_.fetch_add(1, std::memory_order_relaxed) % shard_count;
+  Shard& target = *shards_[index];
   bool rejected_stopped = false;
-  bool shed = false;
+  bool shed_new = false;       // the newcomer itself is shed (kRejectNew)
+  bool have_evicted = false;   // an older queued request is shed (kDropOldest)
+  bool need_cross_evict = false;
   Request evicted;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (stopping_) {
+    std::lock_guard<std::mutex> lock(target.mu);
+    if (stopping_.load()) {
       rejected_stopped = true;
       evicted = std::move(request);
-    } else if (config_.max_queue > 0 && queue_.size() >= config_.max_queue) {
-      shed = true;
+    } else if (config_.max_queue > 0 && queued_.load() >= config_.max_queue) {
       if (config_.shed_policy == ShedPolicy::kDropOldest) {
-        evicted = std::move(queue_.front());
-        queue_.pop_front();
-        queue_.push_back(std::move(request));
+        // The new request always enters; the oldest queued one leaves. With
+        // several shards "oldest" is shard-local: this shard's front if it
+        // has one, else the front of the first non-empty sibling.
+        if (!target.queue.empty()) {
+          evicted = std::move(target.queue.front());
+          target.queue.pop_front();
+          have_evicted = true;
+        } else {
+          need_cross_evict = true;
+          queued_.fetch_add(1);
+        }
+        target.queue.push_back(std::move(request));
       } else {
+        shed_new = true;
         evicted = std::move(request);
       }
     } else {
-      queue_.push_back(std::move(request));
+      target.queue.push_back(std::move(request));
+      queued_.fetch_add(1);
     }
   }
   if (rejected_stopped) {
@@ -114,25 +133,43 @@ void EstimationService::Enqueue(Request request, std::chrono::milliseconds deadl
     FinishUnserved(evicted, RequestStatus::kRejectedStopped);
     return;
   }
-  if (shed) {
+  if (shed_new) {
     stats_.RecordShed();
     FinishUnserved(evicted, RequestStatus::kShed);
-    if (config_.shed_policy == ShedPolicy::kRejectNew) {
-      return;  // nothing new entered the queue
-    }
+    return;  // nothing new entered the queue
   }
-  queue_cv_.notify_one();
+  if (need_cross_evict) {
+    for (size_t off = 1; off < shard_count && !have_evicted; ++off) {
+      Shard& victim = *shards_[(index + off) % shard_count];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (victim.queue.empty()) {
+        continue;
+      }
+      evicted = std::move(victim.queue.front());
+      victim.queue.pop_front();
+      queued_.fetch_sub(1);
+      have_evicted = true;
+    }
+    // If every sibling drained in the meantime, the total depth is back
+    // under the bound and nothing needs shedding after all.
+  }
+  if (have_evicted) {
+    stats_.RecordShed();
+    FinishUnserved(evicted, RequestStatus::kShed);
+  }
+  target.cv.notify_one();
 }
 
 void EstimationService::Stop() {
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (stopping_ && workers_.empty()) {
-      return;
-    }
-    stopping_ = true;
+  if (stopping_.exchange(true) && workers_.empty()) {
+    return;
   }
-  queue_cv_.notify_all();
+  // Lock/unlock every shard: any submission that read the flag as false has
+  // finished its push by the time we pass its shard, so the drain sees it.
+  for (auto& shard : shards_) {
+    { std::lock_guard<std::mutex> lock(shard->mu); }
+    shard->cv.notify_all();
+  }
   for (auto& worker : workers_) {
     if (worker.joinable()) {
       worker.join();
@@ -141,32 +178,73 @@ void EstimationService::Stop() {
   workers_.clear();
 }
 
-void EstimationService::WorkerLoop() {
+void EstimationService::WorkerLoop(size_t self) {
+  Shard& shard = *shards_[self];
+  const bool can_steal = shards_.size() > 1;
   for (;;) {
     std::vector<Request> batch;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        return;  // stopping_ and fully drained
+      std::unique_lock<std::mutex> lock(shard.mu);
+      const auto ready = [&] { return stopping_.load() || !shard.queue.empty(); };
+      if (can_steal) {
+        // Timed wait so an idle worker periodically sweeps its siblings for
+        // stealable work instead of sleeping through their backlog.
+        shard.cv.wait_for(lock, std::chrono::milliseconds(1), ready);
+      } else {
+        shard.cv.wait(lock, ready);
       }
-      // Micro-batch linger: hold the first request briefly so bursts
-      // coalesce; a full batch or shutdown releases the wait early.
-      if (config_.max_batch > 1 && config_.batch_wait.count() > 0 && !stopping_ &&
-          queue_.size() < config_.max_batch) {
-        queue_cv_.wait_for(lock, config_.batch_wait, [this] {
-          return stopping_ || queue_.size() >= config_.max_batch;
-        });
-      }
-      const size_t take = std::min(queue_.size(), config_.max_batch);
-      batch.reserve(take);
-      for (size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+      if (!shard.queue.empty()) {
+        // Micro-batch linger: hold the first request briefly so bursts
+        // coalesce; a full batch or shutdown releases the wait early.
+        if (config_.max_batch > 1 && config_.batch_wait.count() > 0 && !stopping_.load() &&
+            shard.queue.size() < config_.max_batch) {
+          shard.cv.wait_for(lock, config_.batch_wait, [&] {
+            return stopping_.load() || shard.queue.size() >= config_.max_batch;
+          });
+        }
+        const size_t take = std::min(shard.queue.size(), config_.max_batch);
+        batch.reserve(take);
+        for (size_t i = 0; i < take; ++i) {
+          batch.push_back(std::move(shard.queue.front()));
+          shard.queue.pop_front();
+        }
+        queued_.fetch_sub(take);
       }
     }
-    ServeBatch(std::move(batch));
+    if (batch.empty() && can_steal) {
+      StealBatch(self, batch);
+    }
+    if (!batch.empty()) {
+      ServeBatch(std::move(batch));
+      continue;
+    }
+    if (stopping_.load()) {
+      // Own shard drained and a full sweep found nothing stealable. Safe to
+      // exit: no push can land after this point without observing the flag
+      // (see the shutdown-safety note in the header).
+      return;
+    }
   }
+}
+
+bool EstimationService::StealBatch(size_t self, std::vector<Request>& batch) {
+  const size_t shard_count = shards_.size();
+  for (size_t off = 1; off < shard_count; ++off) {
+    Shard& victim = *shards_[(self + off) % shard_count];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (victim.queue.empty()) {
+      continue;
+    }
+    const size_t take = std::min(victim.queue.size(), config_.max_batch);
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(victim.queue.front()));
+      victim.queue.pop_front();
+    }
+    queued_.fetch_sub(take);
+    return true;
+  }
+  return false;
 }
 
 void EstimationService::ServeBatch(std::vector<Request> batch) {
@@ -266,9 +344,19 @@ void EstimationService::ServeBatch(std::vector<Request> batch) {
   for (const auto& s : series) {
     pointers.push_back(&s);
   }
-  // One coalesced forward pass: the warm-start replay runs once for the
-  // whole batch (see EstimateFromFeaturesBatch).
-  std::vector<EstimateMap> estimates = snapshot.model->EstimateFromFeaturesBatch(pointers);
+  // One coalesced forward pass: the batch runs as column-stacked GEMMs from
+  // the cached warm-start state (see EstimateFromFeaturesBatch). With
+  // batch_major off, each request replays the sequential reference path —
+  // bit-identical results, kept as a benchmark baseline.
+  std::vector<EstimateMap> estimates;
+  if (config_.batch_major) {
+    estimates = snapshot.model->EstimateFromFeaturesBatch(pointers);
+  } else {
+    estimates.resize(series.size());
+    for (size_t i = 0; i < series.size(); ++i) {
+      estimates[i] = snapshot.model->EstimateFromFeaturesReference(series[i]);
+    }
+  }
   for (size_t i = 0; i < batch.size(); ++i) {
     finish(batch[i], std::move(estimates[i]));
   }
@@ -276,10 +364,7 @@ void EstimationService::ServeBatch(std::vector<Request> batch) {
 
 ServiceCounters EstimationService::Counters() const {
   ServiceCounters counters = stats_.Snapshot();
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    counters.queue_depth = queue_.size();
-  }
+  counters.queue_depth = queued_.load();
   counters.ingest_lag_windows = pipeline_.IngestLag();
   counters.traces_rejected = pipeline_.rejected_traces();
   counters.traces_deduplicated = pipeline_.duplicate_traces();

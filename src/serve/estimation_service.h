@@ -1,11 +1,24 @@
 // Concurrent, micro-batching front door of the online estimator.
 //
 // Clients submit estimation and sanity-check requests and get futures back.
-// A fixed-size pool of worker threads drains a shared request queue; a
-// worker that picks up a request lingers briefly (batch_wait) to coalesce up
-// to max_batch queued requests into one forward pass via
-// DeepRestEstimator::EstimateFromFeaturesBatch, amortizing the per-call
-// warm-start replay and feature scaling across the batch.
+// Each worker thread owns a private queue shard: submissions round-robin
+// across shards with an atomic counter, so batch assembly never serializes
+// every worker on one mutex, and a worker whose shard runs dry steals a
+// batch from a sibling so no queued request is ever stranded behind a busy
+// or unlucky worker. A worker that picks up a request lingers briefly
+// (batch_wait) to coalesce up to max_batch queued requests from its shard
+// into one forward pass via DeepRestEstimator::EstimateFromFeaturesBatch —
+// with batch_major on (default), the batch runs as one column-stacked GEMM
+// pass from the cached warm-start state; off, each request replays the
+// sequential reference path (the pre-batch-major behavior).
+//
+// Shutdown safety: Stop() flips the (seq_cst) stopping flag, then
+// locks/unlocks every shard so any submission that saw the flag unset has
+// finished its push, then wakes the workers. A worker exits only once the
+// flag is set, its own shard is drained, and a full steal sweep finds
+// nothing — and a submission that runs after a shard owner exited must
+// observe the flag (same mutex, seq_cst flag) and reject, so no request is
+// ever left unresolved.
 //
 // Snapshot discipline: a batch grabs ONE ModelSnapshot from the registry and
 // serves every request in the batch against it, so a request never observes
@@ -23,12 +36,14 @@
 #ifndef SRC_SERVE_ESTIMATION_SERVICE_H_
 #define SRC_SERVE_ESTIMATION_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -72,6 +87,10 @@ struct EstimationServiceConfig {
   ShedPolicy shed_policy = ShedPolicy::kRejectNew;
   // Deadline applied to requests submitted without one; 0 = no deadline.
   std::chrono::milliseconds default_deadline{0};
+  // Serve each batch as one column-stacked batch-major forward pass (the
+  // fast path). Off, every request replays the sequential reference path —
+  // same results bit for bit, kept as a benchmark baseline and escape hatch.
+  bool batch_major = true;
   SanityConfig sanity;
 };
 
@@ -148,20 +167,41 @@ class EstimationService {
     bool has_deadline = false;
   };
 
+  // One worker's private slice of the request queue. Submissions round-robin
+  // across shards; only batch assembly for the same shard ever contends on
+  // its mutex.
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Request> queue;
+  };
+
   void Enqueue(Request request, std::chrono::milliseconds deadline);
   // Resolves a request that will never be served with the given status.
   static void FinishUnserved(Request& request, RequestStatus status);
-  void WorkerLoop();
+  void WorkerLoop(size_t self);
+  // Pops up to max_batch requests from the first non-empty sibling shard.
+  // Holds at most one shard lock at a time. Returns false if every sibling
+  // was empty.
+  bool StealBatch(size_t self, std::vector<Request>& batch);
   void ServeBatch(std::vector<Request> batch);
 
   ModelRegistry& registry_;
   IngestPipeline& pipeline_;
   EstimationServiceConfig config_;
 
-  mutable std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Request> queue_;
-  bool stopping_ = false;
+  // Shard structs never move after construction (unique_ptr indirection), so
+  // workers and submitters can hold references without synchronization.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Round-robin submission cursor.
+  std::atomic<size_t> next_shard_{0};
+  // Total queued requests across all shards; enforces max_queue without a
+  // global lock and backs Counters().queue_depth. Mutated only while holding
+  // the lock of the shard whose queue changes.
+  std::atomic<size_t> queued_{0};
+  // seq_cst on purpose: the shutdown-safety argument in the header comment
+  // leans on a single total order of the flag's loads and stores.
+  std::atomic<bool> stopping_{false};
 
   ServiceStats stats_;
   std::vector<std::thread> workers_;

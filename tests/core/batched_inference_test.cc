@@ -1,0 +1,234 @@
+// Bit-exactness of the batch-major inference path (src/nn/batched.h +
+// DeepRestEstimator::EstimateFromFeaturesBatch) against the sequential
+// reference path, and of the cached warm-start state against its replay
+// oracle. "Bit-exact" is literal: every double in every estimate series must
+// compare equal, across batch sizes, mixed series lengths, null entries, and
+// every ablation configuration.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/estimator.h"
+#include "src/sim/simulator.h"
+
+namespace deeprest {
+namespace {
+
+Application TinyApp() {
+  Application app("tiny");
+  ComponentSpec frontend;
+  frontend.name = "Frontend";
+  frontend.cpu_baseline = 2.0;
+  app.AddComponent(frontend);
+  ComponentSpec worker;
+  worker.name = "Worker";
+  worker.cpu_baseline = 1.0;
+  app.AddComponent(worker);
+  ComponentSpec db;
+  db.name = "DB";
+  db.stateful = true;
+  db.cpu_baseline = 1.5;
+  db.initial_disk_mb = 100.0;
+  db.write_noise_ops = 0.2;
+  db.write_noise_kb = 2.0;
+  app.AddComponent(db);
+
+  CostTerm cpu_small;
+  cpu_small.base = 0.05;
+  CostTerm cpu_mid;
+  cpu_mid.base = 0.12;
+  CostTerm db_read_cpu;
+  db_read_cpu.base = 0.10;
+  CostTerm db_write_cpu;
+  db_write_cpu.base = 0.08;
+  CostTerm iops;
+  iops.resource = ResourceKind::kWriteIops;
+  iops.base = 1.0;
+  CostTerm thr;
+  thr.resource = ResourceKind::kWriteThroughput;
+  thr.base = 1.5;
+
+  ApiEndpoint read;
+  read.name = "/read";
+  OpNode read_db{"DB", "find", 1.0, "", {db_read_cpu}, {}};
+  OpNode read_worker{"Worker", "get", 1.0, "", {cpu_mid}, {read_db}};
+  read.root = OpNode{"Frontend", "read", 1.0, "", {cpu_small}, {read_worker}};
+  app.AddApi(read);
+
+  ApiEndpoint write;
+  write.name = "/write";
+  OpNode write_db{"DB", "insert", 1.0, "", {db_write_cpu, iops, thr}, {}};
+  OpNode write_worker{"Worker", "put", 1.0, "", {cpu_mid}, {write_db}};
+  write.root = OpNode{"Frontend", "write", 1.0, "", {cpu_small}, {write_worker}};
+  app.AddApi(write);
+  return app;
+}
+
+TrafficSeries RandomTraffic(size_t windows, uint64_t seed) {
+  TrafficSeries series({"/read", "/write"}, windows);
+  Rng rng(seed);
+  for (size_t w = 0; w < windows; ++w) {
+    series.set_rate(w, 0, rng.Uniform(10.0, 120.0));
+    series.set_rate(w, 1, rng.Uniform(5.0, 60.0));
+  }
+  return series;
+}
+
+struct TinySetup {
+  Application app = TinyApp();
+  TraceCollector traces;
+  MetricsStore metrics;
+  size_t learn_windows = 96;
+  size_t query_windows = 33;
+};
+
+TinySetup MakeSetup(uint64_t seed = 1) {
+  TinySetup s;
+  Simulator sim(s.app, {.seed = seed});
+  sim.Run(RandomTraffic(s.learn_windows, seed), 0, &s.traces, &s.metrics);
+  sim.Run(RandomTraffic(s.query_windows, seed + 100), s.learn_windows, &s.traces, &s.metrics);
+  return s;
+}
+
+EstimatorConfig FastConfig() {
+  EstimatorConfig config;
+  config.hidden_dim = 8;
+  config.epochs = 8;
+  config.bptt_chunk = 24;
+  config.seed = 3;
+  return config;
+}
+
+using FeatureSeries = std::vector<std::vector<float>>;
+
+void ExpectSameEstimates(const EstimateMap& batch, const EstimateMap& reference) {
+  ASSERT_EQ(batch.size(), reference.size());
+  for (const auto& [key, estimate] : reference) {
+    ASSERT_TRUE(batch.count(key)) << key.ToString();
+    const auto& other = batch.at(key);
+    EXPECT_EQ(other.expected, estimate.expected) << key.ToString();
+    EXPECT_EQ(other.lower, estimate.lower) << key.ToString();
+    EXPECT_EQ(other.upper, estimate.upper) << key.ToString();
+  }
+}
+
+// Queries of cycling lengths so any batch mixes series lengths: padding and
+// the shrinking active width are exercised at every batch size.
+std::vector<FeatureSeries> MakeQueries(const DeepRestEstimator& model, const TinySetup& s,
+                                       size_t count) {
+  const std::vector<size_t> lengths = {8, 5, 12, 1, 3, 9, 2};
+  std::vector<FeatureSeries> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t len = lengths[i % lengths.size()];
+    const size_t from = s.learn_windows + (i % 7);
+    queries.push_back(model.features().ExtractSeries(s.traces, from, from + len));
+  }
+  return queries;
+}
+
+void ExpectBatchMatchesReference(const DeepRestEstimator& model,
+                                 const std::vector<FeatureSeries>& queries) {
+  std::vector<const FeatureSeries*> pointers;
+  pointers.reserve(queries.size());
+  for (const FeatureSeries& q : queries) {
+    pointers.push_back(&q);
+  }
+  const std::vector<EstimateMap> batched = model.EstimateFromFeaturesBatch(pointers);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectSameEstimates(batched[i], model.EstimateFromFeaturesReference(queries[i]));
+  }
+}
+
+TEST(BatchedInferenceTest, BitExactAcrossBatchSizes) {
+  const TinySetup s = MakeSetup();
+  DeepRestEstimator model(FastConfig());
+  model.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+  for (const size_t batch : {1u, 2u, 7u, 16u, 33u}) {
+    SCOPED_TRACE("batch=" + std::to_string(batch));
+    ExpectBatchMatchesReference(model, MakeQueries(model, s, batch));
+  }
+}
+
+TEST(BatchedInferenceTest, NullAndEmptyEntries) {
+  const TinySetup s = MakeSetup();
+  DeepRestEstimator model(FastConfig());
+  model.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+
+  const std::vector<FeatureSeries> queries = MakeQueries(model, s, 3);
+  const FeatureSeries empty;
+  const std::vector<const FeatureSeries*> pointers = {&queries[0], nullptr, &empty,
+                                                      &queries[1], nullptr, &queries[2]};
+  const std::vector<EstimateMap> batched = model.EstimateFromFeaturesBatch(pointers);
+  ASSERT_EQ(batched.size(), pointers.size());
+  EXPECT_TRUE(batched[1].empty());
+  EXPECT_TRUE(batched[4].empty());
+  ExpectSameEstimates(batched[0], model.EstimateFromFeaturesReference(queries[0]));
+  ExpectSameEstimates(batched[2], model.EstimateFromFeaturesReference(empty));
+  ExpectSameEstimates(batched[3], model.EstimateFromFeaturesReference(queries[1]));
+  ExpectSameEstimates(batched[5], model.EstimateFromFeaturesReference(queries[2]));
+}
+
+TEST(BatchedInferenceTest, BitExactUnderAblations) {
+  const TinySetup s = MakeSetup();
+  for (const int ablation : {0, 1, 2, 3}) {
+    SCOPED_TRACE("ablation=" + std::to_string(ablation));
+    EstimatorConfig config = FastConfig();
+    if (ablation == 1) config.use_attention = false;
+    if (ablation == 2) config.use_api_mask = false;
+    if (ablation == 3) config.warm_start = false;
+    DeepRestEstimator model(config);
+    model.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+    ExpectBatchMatchesReference(model, MakeQueries(model, s, 7));
+  }
+}
+
+void ExpectCacheMatchesReplay(const DeepRestEstimator& model) {
+  const std::vector<Matrix> replayed = model.ReplayWarmStart();
+  const std::vector<Matrix>& cached = model.WarmStartCache();
+  ASSERT_EQ(cached.size(), replayed.size());
+  for (size_t i = 0; i < cached.size(); ++i) {
+    ASSERT_EQ(cached[i].rows(), replayed[i].rows());
+    ASSERT_EQ(cached[i].cols(), replayed[i].cols());
+    for (size_t r = 0; r < cached[i].rows(); ++r) {
+      EXPECT_EQ(cached[i].At(r, 0), replayed[i].At(r, 0)) << "expert " << i << " row " << r;
+    }
+  }
+}
+
+TEST(BatchedInferenceTest, WarmStartCacheMatchesReplayOracle) {
+  const TinySetup s = MakeSetup();
+  DeepRestEstimator model(FastConfig());
+  model.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+  ExpectCacheMatchesReplay(model);
+
+  // Fine-tuning appends learn history and retrains: the cache must follow.
+  model.ContinueLearning(s.traces, s.metrics, s.learn_windows,
+                         s.learn_windows + s.query_windows, 2);
+  ExpectCacheMatchesReplay(model);
+  ExpectBatchMatchesReference(model, MakeQueries(model, s, 7));
+}
+
+TEST(BatchedInferenceTest, CloneCarriesWarmStartCache) {
+  const TinySetup s = MakeSetup();
+  DeepRestEstimator model(FastConfig());
+  model.Learn(s.traces, s.metrics, 0, s.learn_windows, s.app.MetricCatalog());
+  const std::unique_ptr<DeepRestEstimator> clone = model.Clone();
+  ASSERT_TRUE(clone->trained());
+  ExpectCacheMatchesReplay(*clone);
+  const std::vector<FeatureSeries> queries = MakeQueries(model, s, 5);
+  std::vector<const FeatureSeries*> pointers;
+  for (const FeatureSeries& q : queries) {
+    pointers.push_back(&q);
+  }
+  const auto original = model.EstimateFromFeaturesBatch(pointers);
+  const auto cloned = clone->EstimateFromFeaturesBatch(pointers);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectSameEstimates(cloned[i], original[i]);
+  }
+}
+
+}  // namespace
+}  // namespace deeprest

@@ -1,0 +1,253 @@
+// Sharded-queue semantics under concurrency (run under TSan via the
+// chaos-tsan preset): the per-worker shards with round-robin submission and
+// work stealing must preserve the PR-2 service contract exactly — bounded
+// capacity with both shed policies, per-request deadlines, kRejectedStopped
+// after Stop, drain-on-Stop — and must never lose a request: every submitted
+// future resolves with a terminal status and the counters balance.
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/serve/estimation_service.h"
+#include "src/serve/ingest_pipeline.h"
+#include "src/serve/model_registry.h"
+#include "tests/serve/test_app.h"
+
+namespace deeprest {
+namespace {
+
+using testutil::MakeSetup;
+using testutil::TinySetup;
+using testutil::TrainModel;
+
+struct Tally {
+  size_t ok = 0;
+  size_t shed = 0;
+  size_t expired = 0;
+  size_t rejected = 0;
+  size_t total() const { return ok + shed + expired + rejected; }
+};
+
+Tally Resolve(std::vector<std::future<EstimationService::EstimateResult>>& futures) {
+  Tally tally;
+  for (auto& future : futures) {
+    switch (future.get().status) {
+      case RequestStatus::kOk:
+        ++tally.ok;
+        break;
+      case RequestStatus::kShed:
+        ++tally.shed;
+        break;
+      case RequestStatus::kExpired:
+        ++tally.expired;
+        break;
+      case RequestStatus::kRejectedStopped:
+        ++tally.rejected;
+        break;
+    }
+  }
+  return tally;
+}
+
+void ExpectBalanced(const ServiceCounters& counters) {
+  EXPECT_EQ(counters.requests_submitted, counters.requests_served + counters.requests_shed +
+                                             counters.requests_expired +
+                                             counters.requests_rejected);
+}
+
+TEST(ShardedQueueTest, ConcurrentSubmitAndHotSwapLosesNothing) {
+  const TinySetup s = MakeSetup();
+  std::shared_ptr<const DeepRestEstimator> model = TrainModel(s);
+  ModelRegistry registry;
+  IngestPipeline pipeline(model->features(), {.shards = 2});
+  registry.Publish(model);
+  EstimationServiceConfig config;
+  config.workers = 4;
+  config.max_batch = 4;
+  EstimationService service(registry, pipeline, config);
+
+  const auto features = model->features().ExtractSeries(s.traces, s.learn_windows,
+                                                        s.learn_windows + 4);
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 24;
+  std::vector<std::vector<std::future<EstimationService::EstimateResult>>> futures(kThreads);
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        futures[t].push_back(service.SubmitFeatures(features));
+      }
+    });
+  }
+  // Hot swaps race the submissions: shard pickup must keep one snapshot per
+  // batch regardless of which shard a request landed on.
+  std::thread swapper([&] {
+    for (int i = 0; i < 3; ++i) {
+      registry.Publish(model->Clone());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (auto& submitter : submitters) {
+    submitter.join();
+  }
+  swapper.join();
+
+  Tally tally;
+  for (auto& per_thread : futures) {
+    const Tally t = Resolve(per_thread);
+    tally.ok += t.ok;
+    tally.shed += t.shed;
+    tally.expired += t.expired;
+    tally.rejected += t.rejected;
+  }
+  EXPECT_EQ(tally.total(), kThreads * kPerThread);
+  EXPECT_EQ(tally.ok, kThreads * kPerThread);  // no bound, no deadline: all served
+  service.Stop();
+  ExpectBalanced(service.Counters());
+  EXPECT_EQ(service.Counters().queue_depth, 0u);
+}
+
+TEST(ShardedQueueTest, BoundedQueueShedsUnderConcurrentBurst) {
+  const TinySetup s = MakeSetup();
+  std::shared_ptr<const DeepRestEstimator> model = TrainModel(s);
+  const auto features = model->features().ExtractSeries(s.traces, s.learn_windows,
+                                                        s.learn_windows + 4);
+  for (const ShedPolicy policy : {ShedPolicy::kRejectNew, ShedPolicy::kDropOldest}) {
+    SCOPED_TRACE(policy == ShedPolicy::kRejectNew ? "kRejectNew" : "kDropOldest");
+    ModelRegistry registry;
+    IngestPipeline pipeline(model->features(), {.shards = 2});
+    registry.Publish(model);
+    EstimationServiceConfig config;
+    config.workers = 2;
+    config.max_batch = 2;
+    config.max_queue = 4;
+    config.shed_policy = policy;
+    EstimationService service(registry, pipeline, config);
+
+    constexpr size_t kThreads = 4;
+    constexpr size_t kPerThread = 32;
+    std::vector<std::vector<std::future<EstimationService::EstimateResult>>> futures(kThreads);
+    std::vector<std::thread> submitters;
+    for (size_t t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        for (size_t i = 0; i < kPerThread; ++i) {
+          // Every third request carries a tight deadline so expiry interleaves
+          // with shedding on the sharded queues.
+          const auto deadline = i % 3 == 2 ? std::chrono::milliseconds(1)
+                                           : std::chrono::milliseconds(0);
+          futures[t].push_back(service.SubmitFeatures(features, deadline));
+        }
+      });
+    }
+    for (auto& submitter : submitters) {
+      submitter.join();
+    }
+    Tally tally;
+    for (auto& per_thread : futures) {
+      const Tally t = Resolve(per_thread);
+      tally.ok += t.ok;
+      tally.shed += t.shed;
+      tally.expired += t.expired;
+      tally.rejected += t.rejected;
+    }
+    // Every request resolved with a terminal status; the burst far exceeds
+    // the bound, so some were shed; nothing was rejected (no Stop yet).
+    EXPECT_EQ(tally.total(), kThreads * kPerThread);
+    EXPECT_GT(tally.ok, 0u);
+    EXPECT_GT(tally.shed, 0u);
+    EXPECT_EQ(tally.rejected, 0u);
+    service.Stop();
+    ExpectBalanced(service.Counters());
+    EXPECT_EQ(service.Counters().queue_depth, 0u);
+  }
+}
+
+TEST(ShardedQueueTest, StopRacingSubmitsResolvesEveryFuture) {
+  const TinySetup s = MakeSetup();
+  std::shared_ptr<const DeepRestEstimator> model = TrainModel(s);
+  ModelRegistry registry;
+  IngestPipeline pipeline(model->features(), {.shards = 2});
+  registry.Publish(model);
+  EstimationServiceConfig config;
+  config.workers = 3;
+  config.max_batch = 4;
+  EstimationService service(registry, pipeline, config);
+
+  const auto features = model->features().ExtractSeries(s.traces, s.learn_windows,
+                                                        s.learn_windows + 2);
+  constexpr size_t kThreads = 3;
+  constexpr size_t kPerThread = 16;
+  std::vector<std::vector<std::future<EstimationService::EstimateResult>>> futures(kThreads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      while (!go.load()) {
+        std::this_thread::yield();
+      }
+      for (size_t i = 0; i < kPerThread; ++i) {
+        futures[t].push_back(service.SubmitFeatures(features));
+      }
+    });
+  }
+  go.store(true);
+  // Stop lands mid-burst: everything accepted before the flag flips is
+  // drained and served, everything after resolves kRejectedStopped.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  service.Stop();
+  for (auto& submitter : submitters) {
+    submitter.join();
+  }
+  Tally tally;
+  for (auto& per_thread : futures) {
+    const Tally t = Resolve(per_thread);
+    tally.ok += t.ok;
+    tally.shed += t.shed;
+    tally.expired += t.expired;
+    tally.rejected += t.rejected;
+  }
+  EXPECT_EQ(tally.total(), kThreads * kPerThread);
+  EXPECT_EQ(tally.shed, 0u);  // unbounded queue: shedding impossible
+  ExpectBalanced(service.Counters());
+  EXPECT_EQ(service.Counters().queue_depth, 0u);
+
+  // Submit-after-Stop stays well-defined on the sharded queues.
+  EXPECT_EQ(service.SubmitFeatures(features).get().status, RequestStatus::kRejectedStopped);
+}
+
+TEST(ShardedQueueTest, BatchMajorOffMatchesOnBitExactly) {
+  const TinySetup s = MakeSetup();
+  std::shared_ptr<const DeepRestEstimator> model = TrainModel(s);
+  const auto features = model->features().ExtractSeries(s.traces, s.learn_windows,
+                                                        s.learn_windows + 6);
+  EstimateMap on_result;
+  EstimateMap off_result;
+  for (const bool batch_major : {true, false}) {
+    ModelRegistry registry;
+    IngestPipeline pipeline(model->features(), {.shards = 2});
+    registry.Publish(model);
+    EstimationServiceConfig config;
+    config.workers = 2;
+    config.max_batch = 4;
+    config.batch_major = batch_major;
+    EstimationService service(registry, pipeline, config);
+    std::vector<std::future<EstimationService::EstimateResult>> futures;
+    for (size_t i = 0; i < 8; ++i) {
+      futures.push_back(service.SubmitFeatures(features));
+    }
+    for (auto& future : futures) {
+      const auto result = future.get();
+      ASSERT_EQ(result.status, RequestStatus::kOk);
+      (batch_major ? on_result : off_result) = result.estimates;
+    }
+  }
+  testutil::ExpectSameEstimates(on_result, off_result);
+}
+
+}  // namespace
+}  // namespace deeprest
