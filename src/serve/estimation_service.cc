@@ -80,6 +80,31 @@ void EstimationService::FinishUnserved(Request& request, RequestStatus status) {
   }
 }
 
+bool EstimationService::TryPush(Shard& target, Request& request, size_t& backlog) {
+  std::lock_guard<std::mutex> lock(target.mu);
+  if (stopping_.load()) {
+    return false;
+  }
+  target.queue.push_back(std::move(request));
+  backlog = target.queue.size();
+  return true;
+}
+
+void EstimationService::NotifyAfterPush(Shard& target, size_t index, size_t backlog) {
+  target.cv.notify_one();
+  // A backlog behind the fresh push means the shard owner is likely mid-batch:
+  // flag one sibling so an idle worker steals on demand instead of waiting out
+  // its poll interval.
+  if (backlog > 1 && shards_.size() > 1) {
+    Shard& helper = *shards_[(index + 1) % shards_.size()];
+    {
+      std::lock_guard<std::mutex> lock(helper.mu);
+      helper.steal_hint = true;
+    }
+    helper.cv.notify_one();
+  }
+}
+
 void EstimationService::Enqueue(Request request, std::chrono::milliseconds deadline) {
   request.submitted = std::chrono::steady_clock::now();
   const std::chrono::milliseconds budget =
@@ -90,56 +115,59 @@ void EstimationService::Enqueue(Request request, std::chrono::milliseconds deadl
   }
   stats_.RecordSubmitted();
 
-  // Requests evicted under a lock resolve after it is released: fulfilling
-  // a promise can run arbitrary continuation code.
   const size_t shard_count = shards_.size();
   const size_t index = next_shard_.fetch_add(1, std::memory_order_relaxed) % shard_count;
   Shard& target = *shards_[index];
-  bool rejected_stopped = false;
-  bool shed_new = false;       // the newcomer itself is shed (kRejectNew)
-  bool have_evicted = false;   // an older queued request is shed (kDropOldest)
-  bool need_cross_evict = false;
-  Request evicted;
-  {
-    std::lock_guard<std::mutex> lock(target.mu);
+
+  for (;;) {
     if (stopping_.load()) {
-      rejected_stopped = true;
-      evicted = std::move(request);
-    } else if (config_.max_queue > 0 && queued_.load() >= config_.max_queue) {
-      if (config_.shed_policy == ShedPolicy::kDropOldest) {
-        // The new request always enters; the oldest queued one leaves. With
-        // several shards "oldest" is shard-local: this shard's front if it
-        // has one, else the front of the first non-empty sibling.
-        if (!target.queue.empty()) {
-          evicted = std::move(target.queue.front());
-          target.queue.pop_front();
-          have_evicted = true;
-        } else {
-          need_cross_evict = true;
-          queued_.fetch_add(1);
+      stats_.RecordRejected();
+      FinishUnserved(request, RequestStatus::kRejectedStopped);
+      return;
+    }
+    // Reserve a slot under the global bound before touching any shard: the
+    // compare-exchange makes max_queue an exact cap — N submitters racing
+    // into different shards cannot all slip past a near-full bound.
+    bool reserved = true;
+    if (config_.max_queue > 0) {
+      size_t depth = queued_.load();
+      reserved = false;
+      while (depth < config_.max_queue) {
+        if (queued_.compare_exchange_weak(depth, depth + 1)) {
+          reserved = true;
+          break;
         }
-        target.queue.push_back(std::move(request));
-      } else {
-        shed_new = true;
-        evicted = std::move(request);
       }
     } else {
-      target.queue.push_back(std::move(request));
       queued_.fetch_add(1);
     }
-  }
-  if (rejected_stopped) {
-    stats_.RecordRejected();
-    FinishUnserved(evicted, RequestStatus::kRejectedStopped);
-    return;
-  }
-  if (shed_new) {
-    stats_.RecordShed();
-    FinishUnserved(evicted, RequestStatus::kShed);
-    return;  // nothing new entered the queue
-  }
-  if (need_cross_evict) {
-    for (size_t off = 1; off < shard_count && !have_evicted; ++off) {
+    if (reserved) {
+      size_t backlog = 0;
+      if (!TryPush(target, request, backlog)) {
+        // Stop() won the race for this shard; hand the slot back.
+        queued_.fetch_sub(1);
+        stats_.RecordRejected();
+        FinishUnserved(request, RequestStatus::kRejectedStopped);
+        return;
+      }
+      NotifyAfterPush(target, index, backlog);
+      return;
+    }
+
+    // Bound is full.
+    if (config_.shed_policy == ShedPolicy::kRejectNew) {
+      stats_.RecordShed();
+      FinishUnserved(request, RequestStatus::kShed);
+      return;
+    }
+    // kDropOldest: evict one queued request and hand its reserved slot to the
+    // newcomer — no counter traffic, so the bound is never overshot. With
+    // several shards "oldest" is shard-local: this shard's front if it has
+    // one, else the front of the first non-empty sibling (see the ShedPolicy
+    // comment in the header).
+    Request evicted;
+    bool have_evicted = false;
+    for (size_t off = 0; off < shard_count && !have_evicted; ++off) {
       Shard& victim = *shards_[(index + off) % shard_count];
       std::lock_guard<std::mutex> lock(victim.mu);
       if (victim.queue.empty()) {
@@ -147,17 +175,28 @@ void EstimationService::Enqueue(Request request, std::chrono::milliseconds deadl
       }
       evicted = std::move(victim.queue.front());
       victim.queue.pop_front();
-      queued_.fetch_sub(1);
       have_evicted = true;
     }
-    // If every sibling drained in the meantime, the total depth is back
-    // under the bound and nothing needs shedding after all.
-  }
-  if (have_evicted) {
+    if (!have_evicted) {
+      // Every shard drained between the failed reservation and the scan, so
+      // the depth is back under the bound: retry the reservation.
+      continue;
+    }
+    size_t backlog = 0;
+    const bool pushed = TryPush(target, request, backlog);
+    // The evicted promise resolves after the locks are released: fulfilling
+    // it can run arbitrary continuation code.
     stats_.RecordShed();
     FinishUnserved(evicted, RequestStatus::kShed);
+    if (!pushed) {
+      queued_.fetch_sub(1);  // the slot inherited from the evicted request
+      stats_.RecordRejected();
+      FinishUnserved(request, RequestStatus::kRejectedStopped);
+      return;
+    }
+    NotifyAfterPush(target, index, backlog);
+    return;
   }
-  target.cv.notify_one();
 }
 
 void EstimationService::Stop() {
@@ -176,23 +215,56 @@ void EstimationService::Stop() {
     }
   }
   workers_.clear();
+  // Belt and braces: the workers' exit protocol drains every shard before
+  // the last one leaves, but the "no request is ever left unresolved"
+  // contract must hold unconditionally — sweep once more and reject
+  // anything left behind.
+  std::vector<Request> leftovers;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    while (!shard->queue.empty()) {
+      leftovers.push_back(std::move(shard->queue.front()));
+      shard->queue.pop_front();
+    }
+  }
+  if (!leftovers.empty()) {
+    queued_.fetch_sub(leftovers.size());
+    for (auto& request : leftovers) {
+      stats_.RecordRejected();
+      FinishUnserved(request, RequestStatus::kRejectedStopped);
+    }
+  }
 }
 
 void EstimationService::WorkerLoop(size_t self) {
   Shard& shard = *shards_[self];
   const bool can_steal = shards_.size() > 1;
+  constexpr std::chrono::milliseconds kMinSweepWait{1};
+  constexpr std::chrono::milliseconds kMaxSweepWait{64};
+  std::chrono::milliseconds sweep_wait = kMinSweepWait;
   for (;;) {
+    // Read the stop flag BEFORE sweeping. Enqueue re-checks the flag under
+    // the shard lock it pushes into, so once the flag is set no push can
+    // land behind a sweep that starts after this load — coming up empty
+    // then means empty for good, and exiting cannot strand a request.
+    const bool stop_observed = stopping_.load();
     std::vector<Request> batch;
+    bool hinted = false;
     {
       std::unique_lock<std::mutex> lock(shard.mu);
-      const auto ready = [&] { return stopping_.load() || !shard.queue.empty(); };
+      const auto ready = [&] {
+        return stopping_.load() || !shard.queue.empty() || shard.steal_hint;
+      };
       if (can_steal) {
-        // Timed wait so an idle worker periodically sweeps its siblings for
-        // stealable work instead of sleeping through their backlog.
-        shard.cv.wait_for(lock, std::chrono::milliseconds(1), ready);
+        // Timed wait so an idle worker still sweeps its siblings for
+        // stealable work; steal hints wake it on demand and the exponential
+        // backoff below keeps the fallback from becoming a busy-poll.
+        shard.cv.wait_for(lock, sweep_wait, ready);
       } else {
         shard.cv.wait(lock, ready);
       }
+      hinted = shard.steal_hint;
+      shard.steal_hint = false;
       if (!shard.queue.empty()) {
         // Micro-batch linger: hold the first request briefly so bursts
         // coalesce; a full batch or shutdown releases the wait early.
@@ -215,14 +287,23 @@ void EstimationService::WorkerLoop(size_t self) {
       StealBatch(self, batch);
     }
     if (!batch.empty()) {
+      sweep_wait = kMinSweepWait;
       ServeBatch(std::move(batch));
       continue;
     }
-    if (stopping_.load()) {
-      // Own shard drained and a full sweep found nothing stealable. Safe to
-      // exit: no push can land after this point without observing the flag
-      // (see the shutdown-safety note in the header).
+    if (stop_observed) {
+      // The flag was set before this sweep began and the sweep (own shard
+      // plus every sibling, each under its lock) found nothing: nothing can
+      // arrive anymore, so it is safe to exit. If the flag flipped only
+      // mid-sweep, stop_observed is still false and the next iteration runs
+      // one more full sweep before exiting.
       return;
+    }
+    if (can_steal && !hinted) {
+      // Idle and nothing stealable anywhere: back off the sweep cadence so
+      // an idle N-worker service doesn't spend ~N*(N-1) cross-shard lock
+      // acquisitions per millisecond polling empty queues.
+      sweep_wait = std::min(sweep_wait * 2, kMaxSweepWait);
     }
   }
 }

@@ -14,11 +14,15 @@
 //
 // Shutdown safety: Stop() flips the (seq_cst) stopping flag, then
 // locks/unlocks every shard so any submission that saw the flag unset has
-// finished its push, then wakes the workers. A worker exits only once the
-// flag is set, its own shard is drained, and a full steal sweep finds
-// nothing — and a submission that runs after a shard owner exited must
-// observe the flag (same mutex, seq_cst flag) and reject, so no request is
-// ever left unresolved.
+// finished its push, then wakes and joins the workers. A worker reads the
+// flag BEFORE each sweep and exits only when a sweep that *started* with
+// the flag already set — own shard plus a full steal pass, each under its
+// shard lock — comes up empty. Enqueue re-checks the flag under the shard
+// lock it pushes into, so no push can land behind such a sweep: a racing
+// submission either completed its push before the sweep reached that shard
+// (and the sweep took it) or observes the flag and rejects. After joining,
+// Stop() sweeps every shard once more and resolves anything left with
+// kRejectedStopped, so no request is ever left unresolved, unconditionally.
 //
 // Snapshot discipline: a batch grabs ONE ModelSnapshot from the registry and
 // serves every request in the batch against it, so a request never observes
@@ -69,7 +73,14 @@ enum class RequestStatus {
 
 const char* RequestStatusName(RequestStatus status);
 
-// What to evict when the bounded queue is full.
+// What to evict when the bounded queue is full. max_queue is an exact cap:
+// submission reserves a slot with a compare-exchange on the global depth
+// counter before touching any shard, so concurrent submitters to different
+// shards cannot collectively overshoot the bound. With several shards,
+// kDropOldest's "oldest" is approximate — the victim is the front of the
+// submission's target shard if it has one, else the front of the first
+// non-empty sibling — so a strictly older request parked in another shard
+// may outlive a younger victim.
 enum class ShedPolicy {
   kRejectNew,   // newest arrival is shed (favors in-flight work)
   kDropOldest,  // oldest queued request is shed (favors fresh requests)
@@ -174,9 +185,19 @@ class EstimationService {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<Request> queue;
+    // Set by Enqueue (guarded by mu) when some shard has a backlog its owner
+    // is not keeping up with; wakes this worker to run a steal sweep on
+    // demand instead of waiting out its idle poll interval.
+    bool steal_hint = false;
   };
 
   void Enqueue(Request request, std::chrono::milliseconds deadline);
+  // Pushes under the shard lock unless stopping_ is set; reports the shard's
+  // post-push depth. Returns false (request untouched) when stopping.
+  bool TryPush(Shard& target, Request& request, size_t& backlog);
+  // Wakes the shard owner and, when the push left a backlog, flags one
+  // sibling to steal.
+  void NotifyAfterPush(Shard& target, size_t index, size_t backlog);
   // Resolves a request that will never be served with the given status.
   static void FinishUnserved(Request& request, RequestStatus status);
   void WorkerLoop(size_t self);
@@ -195,9 +216,11 @@ class EstimationService {
   std::vector<std::unique_ptr<Shard>> shards_;
   // Round-robin submission cursor.
   std::atomic<size_t> next_shard_{0};
-  // Total queued requests across all shards; enforces max_queue without a
-  // global lock and backs Counters().queue_depth. Mutated only while holding
-  // the lock of the shard whose queue changes.
+  // Total queued requests across all shards; backs Counters().queue_depth
+  // and enforces max_queue exactly: submitters reserve a slot here (CAS
+  // against the bound) before pushing into any shard, and workers release
+  // slots as they pop under the shard lock. Never exceeds max_queue when the
+  // bound is on.
   std::atomic<size_t> queued_{0};
   // seq_cst on purpose: the shutdown-safety argument in the header comment
   // leans on a single total order of the flag's loads and stores.

@@ -133,6 +133,16 @@ TEST(ShardedQueueTest, BoundedQueueShedsUnderConcurrentBurst) {
     constexpr size_t kPerThread = 32;
     std::vector<std::vector<std::future<EstimationService::EstimateResult>>> futures(kThreads);
     std::vector<std::thread> submitters;
+    // The bound is exact (slot reservation before any push), so a sampler
+    // racing the burst must never observe depth above max_queue.
+    std::atomic<bool> sampling{true};
+    size_t max_depth_seen = 0;
+    std::thread sampler([&] {
+      while (sampling.load()) {
+        max_depth_seen = std::max(max_depth_seen, service.Counters().queue_depth);
+        std::this_thread::yield();
+      }
+    });
     for (size_t t = 0; t < kThreads; ++t) {
       submitters.emplace_back([&, t] {
         for (size_t i = 0; i < kPerThread; ++i) {
@@ -147,6 +157,9 @@ TEST(ShardedQueueTest, BoundedQueueShedsUnderConcurrentBurst) {
     for (auto& submitter : submitters) {
       submitter.join();
     }
+    sampling.store(false);
+    sampler.join();
+    EXPECT_LE(max_depth_seen, config.max_queue);
     Tally tally;
     for (auto& per_thread : futures) {
       const Tally t = Resolve(per_thread);
@@ -218,6 +231,65 @@ TEST(ShardedQueueTest, StopRacingSubmitsResolvesEveryFuture) {
 
   // Submit-after-Stop stays well-defined on the sharded queues.
   EXPECT_EQ(service.SubmitFeatures(features).get().status, RequestStatus::kRejectedStopped);
+}
+
+// Regression for a shutdown race: a worker's exit decision used to read the
+// stop flag *after* checking its own shard, so a push that raced the flag
+// could land in an already-swept shard and strand its future forever. Many
+// short-lived services with Stop landing immediately behind the submissions
+// maximize the chance of hitting that window; every future must still reach
+// a terminal status (a hang here, not a failed expectation, is the bug).
+TEST(ShardedQueueTest, ImmediateStopUnderFireStrandsNothing) {
+  const TinySetup s = MakeSetup();
+  std::shared_ptr<const DeepRestEstimator> model = TrainModel(s);
+  const auto features = model->features().ExtractSeries(s.traces, s.learn_windows,
+                                                        s.learn_windows + 2);
+  constexpr int kRounds = 40;
+  constexpr size_t kThreads = 3;
+  constexpr size_t kPerThread = 6;
+  for (int round = 0; round < kRounds; ++round) {
+    ModelRegistry registry;
+    IngestPipeline pipeline(model->features(), {.shards = 2});
+    registry.Publish(model);
+    EstimationServiceConfig config;
+    config.workers = 3;
+    config.max_batch = 2;
+    config.batch_wait = std::chrono::microseconds(0);
+    EstimationService service(registry, pipeline, config);
+
+    std::vector<std::vector<std::future<EstimationService::EstimateResult>>> futures(kThreads);
+    std::atomic<bool> go{false};
+    std::vector<std::thread> submitters;
+    for (size_t t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        while (!go.load()) {
+          std::this_thread::yield();
+        }
+        for (size_t i = 0; i < kPerThread; ++i) {
+          futures[t].push_back(service.SubmitFeatures(features));
+        }
+      });
+    }
+    go.store(true);
+    service.Stop();  // no grace period: lands right on top of the burst
+    for (auto& submitter : submitters) {
+      submitter.join();
+    }
+    size_t resolved = 0;
+    for (auto& per_thread : futures) {
+      for (auto& future : per_thread) {
+        ASSERT_EQ(future.wait_for(std::chrono::seconds(20)), std::future_status::ready)
+            << "stranded request in round " << round;
+        const auto status = future.get().status;
+        EXPECT_TRUE(status == RequestStatus::kOk || status == RequestStatus::kRejectedStopped)
+            << RequestStatusName(status);
+        ++resolved;
+      }
+    }
+    EXPECT_EQ(resolved, kThreads * kPerThread);
+    ExpectBalanced(service.Counters());
+    EXPECT_EQ(service.Counters().queue_depth, 0u);
+  }
 }
 
 TEST(ShardedQueueTest, BatchMajorOffMatchesOnBitExactly) {
