@@ -5,7 +5,8 @@
 #include <cstdlib>
 #include <deque>
 #include <exception>
-#include <mutex>
+
+#include "src/core/thread_annotations.h"
 
 namespace deeprest {
 
@@ -21,13 +22,14 @@ size_t DefaultTrainThreads() {
 }
 
 struct ThreadPool::State {
-  std::mutex mu;
+  Mutex mu;
   std::condition_variable work_ready;   // workers wait for jobs / shutdown
   std::condition_variable work_done;    // Wait() waits for pending == 0
-  std::deque<std::function<void()>> queue;
-  size_t pending = 0;  // queued + running jobs
-  bool shutdown = false;
-  std::exception_ptr first_error;
+  std::deque<std::function<void()>> queue DEEPREST_GUARDED_BY(mu);
+  // Queued + running jobs.
+  size_t pending DEEPREST_GUARDED_BY(mu) = 0;
+  bool shutdown DEEPREST_GUARDED_BY(mu) = false;
+  std::exception_ptr first_error DEEPREST_GUARDED_BY(mu);
 };
 
 ThreadPool::ThreadPool(size_t threads) : state_(std::make_unique<State>()) {
@@ -37,9 +39,10 @@ ThreadPool::ThreadPool(size_t threads) : state_(std::make_unique<State>()) {
       for (;;) {
         std::function<void()> job;
         {
-          std::unique_lock<std::mutex> lock(state->mu);
-          state->work_ready.wait(lock,
-                                 [&] { return state->shutdown || !state->queue.empty(); });
+          MutexLock lock(state->mu);
+          while (!state->shutdown && state->queue.empty()) {
+            lock.Wait(state->work_ready);
+          }
           if (state->queue.empty()) {
             return;  // shutdown with nothing left to do
           }
@@ -49,13 +52,13 @@ ThreadPool::ThreadPool(size_t threads) : state_(std::make_unique<State>()) {
         try {
           job();
         } catch (...) {
-          std::lock_guard<std::mutex> lock(state->mu);
+          MutexLock lock(state->mu);
           if (!state->first_error) {
             state->first_error = std::current_exception();
           }
         }
         {
-          std::lock_guard<std::mutex> lock(state->mu);
+          MutexLock lock(state->mu);
           if (--state->pending == 0) {
             state->work_done.notify_all();
           }
@@ -67,7 +70,7 @@ ThreadPool::ThreadPool(size_t threads) : state_(std::make_unique<State>()) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     state_->shutdown = true;
   }
   state_->work_ready.notify_all();
@@ -78,7 +81,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     state_->queue.push_back(std::move(job));
     ++state_->pending;
   }
@@ -86,12 +89,14 @@ void ThreadPool::Submit(std::function<void()> job) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->work_done.wait(lock, [&] { return state_->pending == 0; });
+  MutexLock lock(state_->mu);
+  while (state_->pending != 0) {
+    lock.Wait(state_->work_done);
+  }
   if (state_->first_error) {
     std::exception_ptr error = state_->first_error;
     state_->first_error = nullptr;
-    lock.unlock();
+    lock.Unlock();  // rethrow outside the critical section
     std::rethrow_exception(error);
   }
 }

@@ -30,6 +30,8 @@ size_t DefaultTrainThreads();
 // Fixed-size pool of worker threads pulling jobs from one queue. Threads are
 // joined in the destructor; Wait() blocks until every submitted job has run.
 // A job's exception is captured and rethrown from Wait() (first one wins).
+// The queue state lives in an annotated State struct (parallel.cc) whose
+// fields are DEEPREST_GUARDED_BY its mutex — see src/core/thread_annotations.h.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t threads);

@@ -13,6 +13,11 @@ std::atomic<uint64_t> g_sequence{0};
 // their value/grad/saved matrices across lives, so steady-state training
 // performs no allocator calls for graph construction. The cap bounds how
 // much matrix capacity an idle thread can pin.
+//
+// This file is the ONLY translation unit allowed to `new`/`delete` a
+// TensorNode (tools/lint rule no-raw-tensor-node-new, allowlisted here):
+// a node allocated anywhere else would skip the freelist accounting and
+// break the O(1)-allocations-per-step guarantee.
 constexpr size_t kMaxPooledNodes = size_t{1} << 15;
 
 struct NodePool {

@@ -46,6 +46,14 @@
 //     (see DeepRestEstimator::Clone and serve::ModelRegistry).
 //   * Distinct models with disjoint parameters may train in parallel (this is
 //     what the eval harness's parallel pretraining relies on).
+//
+// Enforcement: this layer is deliberately mutex-free — its only cross-thread
+// state is the atomics and thread_locals above, so there is nothing for the
+// Clang thread-safety annotations (src/core/thread_annotations.h) to guard.
+// What IS machine-checked is the arena ownership rule: tools/lint's
+// no-raw-tensor-node-new rule rejects any `new`/`delete` of a TensorNode
+// outside tensor.cc, so every node goes through AcquireNode/RecycleTree and
+// the freelist accounting can never be bypassed.
 #ifndef SRC_NN_TENSOR_H_
 #define SRC_NN_TENSOR_H_
 

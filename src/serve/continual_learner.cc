@@ -46,6 +46,7 @@ ContinualLearner::ContinualLearner(ModelRegistry& registry, IngestPipeline& pipe
 ContinualLearner::~ContinualLearner() { Stop(); }
 
 void ContinualLearner::Start() {
+  MutexLock lock(lifecycle_mu_);
   if (thread_.joinable()) {
     return;
   }
@@ -54,6 +55,10 @@ void ContinualLearner::Start() {
 }
 
 void ContinualLearner::Stop() {
+  // The stop flag flips under lifecycle_mu_ so a racing Start cannot clear
+  // it between our store and the join (which would leave Stop joining a
+  // thread that never exits).
+  MutexLock lock(lifecycle_mu_);
   stop_.store(true, std::memory_order_release);
   if (thread_.joinable()) {
     thread_.join();
@@ -68,7 +73,7 @@ void ContinualLearner::Loop() {
 }
 
 uint64_t ContinualLearner::RefreshOnce() {
-  std::lock_guard<std::mutex> refresh_lock(refresh_mu_);
+  MutexLock refresh_lock(refresh_mu_);
   // Live watermark: the frontier window may still be receiving events.
   const size_t frontier = pipeline_.WindowFrontier();
   const size_t watermark = frontier > 0 ? frontier - 1 : 0;

@@ -25,11 +25,11 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/core/thread_annotations.h"
 #include "src/serve/ingest_pipeline.h"
 #include "src/serve/model_registry.h"
 
@@ -98,14 +98,23 @@ class ContinualLearner {
   ModelRegistry& registry_;
   IngestPipeline& pipeline_;
   ContinualLearnerConfig config_;
-  std::mutex refresh_mu_;  // serializes RefreshOnce vs. the background tick
+  // Serializes RefreshOnce vs. the background tick. Guards no field of its
+  // own: the refresh state it protects is the fold/train/publish sequence
+  // against the pipeline and registry (each internally locked), plus the
+  // atomics below, whose ordering only RefreshOnce writes.
+  Mutex refresh_mu_;  // deeprest-lint: allow(mutex-needs-guarded-by)
+  // Serializes Start/Stop/destruction: thread_ (spawn, joinable check, join)
+  // was previously unguarded, so Start racing Stop could double-spawn or
+  // double-join (found while annotating). The learner thread itself never
+  // takes this mutex, so Stop can join while holding it.
+  Mutex lifecycle_mu_;
+  std::thread thread_ DEEPREST_GUARDED_BY(lifecycle_mu_);
   std::atomic<size_t> trained_through_;
   std::atomic<uint64_t> refreshes_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> checkpoints_{0};
   std::atomic<uint64_t> checkpoint_failures_{0};
   std::atomic<bool> stop_{false};
-  std::thread thread_;
 };
 
 }  // namespace deeprest

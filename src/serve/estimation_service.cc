@@ -81,7 +81,7 @@ void EstimationService::FinishUnserved(Request& request, RequestStatus status) {
 }
 
 bool EstimationService::TryPush(Shard& target, Request& request, size_t& backlog) {
-  std::lock_guard<std::mutex> lock(target.mu);
+  MutexLock lock(target.mu);
   if (stopping_.load()) {
     return false;
   }
@@ -98,7 +98,7 @@ void EstimationService::NotifyAfterPush(Shard& target, size_t index, size_t back
   if (backlog > 1 && shards_.size() > 1) {
     Shard& helper = *shards_[(index + 1) % shards_.size()];
     {
-      std::lock_guard<std::mutex> lock(helper.mu);
+      MutexLock lock(helper.mu);
       helper.steal_hint = true;
     }
     helper.cv.notify_one();
@@ -169,7 +169,7 @@ void EstimationService::Enqueue(Request request, std::chrono::milliseconds deadl
     bool have_evicted = false;
     for (size_t off = 0; off < shard_count && !have_evicted; ++off) {
       Shard& victim = *shards_[(index + off) % shard_count];
-      std::lock_guard<std::mutex> lock(victim.mu);
+      MutexLock lock(victim.mu);
       if (victim.queue.empty()) {
         continue;
       }
@@ -200,13 +200,18 @@ void EstimationService::Enqueue(Request request, std::chrono::milliseconds deadl
 }
 
 void EstimationService::Stop() {
-  if (stopping_.exchange(true) && workers_.empty()) {
-    return;
+  // stop_mu_ serializes concurrent Stop()/destruction (a second stopper used
+  // to race the first on workers_, a latent double-join). Workers never take
+  // stop_mu_, so joining under it cannot deadlock.
+  MutexLock stop_lock(stop_mu_);
+  stopping_.store(true);  // seq_cst, per the shutdown protocol in the header
+  if (workers_.empty()) {
+    return;  // already stopped
   }
   // Lock/unlock every shard: any submission that read the flag as false has
   // finished its push by the time we pass its shard, so the drain sees it.
   for (auto& shard : shards_) {
-    { std::lock_guard<std::mutex> lock(shard->mu); }
+    { MutexLock lock(shard->mu); }
     shard->cv.notify_all();
   }
   for (auto& worker : workers_) {
@@ -221,7 +226,7 @@ void EstimationService::Stop() {
   // anything left behind.
   std::vector<Request> leftovers;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     while (!shard->queue.empty()) {
       leftovers.push_back(std::move(shard->queue.front()));
       shard->queue.pop_front();
@@ -251,17 +256,24 @@ void EstimationService::WorkerLoop(size_t self) {
     std::vector<Request> batch;
     bool hinted = false;
     {
-      std::unique_lock<std::mutex> lock(shard.mu);
-      const auto ready = [&] {
-        return stopping_.load() || !shard.queue.empty() || shard.steal_hint;
-      };
+      // The wait conditions are written as explicit loops (not wait(lock,
+      // pred) lambdas) so the thread-safety analysis can see that every read
+      // of shard.queue / shard.steal_hint happens with shard.mu held.
+      MutexLock lock(shard.mu);
       if (can_steal) {
         // Timed wait so an idle worker still sweeps its siblings for
         // stealable work; steal hints wake it on demand and the exponential
         // backoff below keeps the fallback from becoming a busy-poll.
-        shard.cv.wait_for(lock, sweep_wait, ready);
+        const auto sweep_deadline = std::chrono::steady_clock::now() + sweep_wait;
+        while (!stopping_.load() && shard.queue.empty() && !shard.steal_hint) {
+          if (lock.WaitUntil(shard.cv, sweep_deadline)) {
+            break;  // timed out: run the steal sweep anyway
+          }
+        }
       } else {
-        shard.cv.wait(lock, ready);
+        while (!stopping_.load() && shard.queue.empty() && !shard.steal_hint) {
+          lock.Wait(shard.cv);
+        }
       }
       hinted = shard.steal_hint;
       shard.steal_hint = false;
@@ -270,9 +282,12 @@ void EstimationService::WorkerLoop(size_t self) {
         // coalesce; a full batch or shutdown releases the wait early.
         if (config_.max_batch > 1 && config_.batch_wait.count() > 0 && !stopping_.load() &&
             shard.queue.size() < config_.max_batch) {
-          shard.cv.wait_for(lock, config_.batch_wait, [&] {
-            return stopping_.load() || shard.queue.size() >= config_.max_batch;
-          });
+          const auto linger_deadline = std::chrono::steady_clock::now() + config_.batch_wait;
+          while (!stopping_.load() && shard.queue.size() < config_.max_batch) {
+            if (lock.WaitUntil(shard.cv, linger_deadline)) {
+              break;
+            }
+          }
         }
         const size_t take = std::min(shard.queue.size(), config_.max_batch);
         batch.reserve(take);
@@ -312,7 +327,7 @@ bool EstimationService::StealBatch(size_t self, std::vector<Request>& batch) {
   const size_t shard_count = shards_.size();
   for (size_t off = 1; off < shard_count; ++off) {
     Shard& victim = *shards_[(self + off) % shard_count];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(victim.mu);
     if (victim.queue.empty()) {
       continue;
     }

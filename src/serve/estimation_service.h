@@ -48,12 +48,12 @@
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/core/estimator.h"
 #include "src/core/sanity.h"
+#include "src/core/thread_annotations.h"
 #include "src/serve/data_quality.h"
 #include "src/serve/ingest_pipeline.h"
 #include "src/serve/model_registry.h"
@@ -180,21 +180,24 @@ class EstimationService {
 
   // One worker's private slice of the request queue. Submissions round-robin
   // across shards; only batch assembly for the same shard ever contends on
-  // its mutex.
+  // its mutex. Lock hierarchy: at most ONE Shard::mu is ever held at a time
+  // (enqueue, eviction scan, steal sweep and drain all go shard-by-shard);
+  // the global depth counter queued_ is atomic and never sits under a lock.
   struct Shard {
-    std::mutex mu;
+    Mutex mu;
     std::condition_variable cv;
-    std::deque<Request> queue;
+    std::deque<Request> queue DEEPREST_GUARDED_BY(mu);
     // Set by Enqueue (guarded by mu) when some shard has a backlog its owner
     // is not keeping up with; wakes this worker to run a steal sweep on
     // demand instead of waiting out its idle poll interval.
-    bool steal_hint = false;
+    bool steal_hint DEEPREST_GUARDED_BY(mu) = false;
   };
 
   void Enqueue(Request request, std::chrono::milliseconds deadline);
   // Pushes under the shard lock unless stopping_ is set; reports the shard's
   // post-push depth. Returns false (request untouched) when stopping.
-  bool TryPush(Shard& target, Request& request, size_t& backlog);
+  bool TryPush(Shard& target, Request& request, size_t& backlog)
+      DEEPREST_EXCLUDES(target.mu);
   // Wakes the shard owner and, when the push left a backlog, flags one
   // sibling to steal.
   void NotifyAfterPush(Shard& target, size_t index, size_t backlog);
@@ -227,7 +230,13 @@ class EstimationService {
   std::atomic<bool> stopping_{false};
 
   ServiceStats stats_;
-  std::vector<std::thread> workers_;
+  // Serializes Stop() against concurrent Stop()/destruction: joining and
+  // clearing workers_ from two threads at once was a latent double-join
+  // (found while annotating — the thread-safety analysis has no lock to
+  // attribute workers_ to otherwise). Workers never take this mutex, so
+  // Stop() can join them while holding it.
+  Mutex stop_mu_;
+  std::vector<std::thread> workers_ DEEPREST_GUARDED_BY(stop_mu_);
 };
 
 }  // namespace deeprest

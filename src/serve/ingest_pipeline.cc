@@ -49,7 +49,7 @@ bool IngestPipeline::IngestTrace(size_t window, Trace trace) {
   if (ValidateTrace(trace) != TraceDefect::kNone) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(rejected_mu_);
+      MutexLock lock(rejected_mu_);
       ++rejected_by_window_[window];
     }
     advance_frontier(window);
@@ -58,7 +58,7 @@ bool IngestPipeline::IngestTrace(size_t window, Trace trace) {
 
   Shard& shard = ShardForTrace(trace);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (config_.dedupe_traces && trace.trace_id() != 0 &&
         !shard.seen_ids.insert(trace.trace_id()).second) {
       duplicates_.fetch_add(1, std::memory_order_relaxed);
@@ -75,7 +75,7 @@ bool IngestPipeline::IngestTrace(size_t window, Trace trace) {
 void IngestPipeline::IngestMetric(const MetricKey& key, size_t window, double value) {
   Shard& shard = ShardForKey(key);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.metrics.Record(key, window, value);
     shard.sample_log.emplace_back(key, window);
   }
@@ -87,14 +87,14 @@ void IngestPipeline::IngestMetric(const MetricKey& key, size_t window, double va
 }
 
 size_t IngestPipeline::Fold(size_t watermark) {
-  std::lock_guard<std::mutex> fold_lock(fold_mu_);
+  MutexLock fold_lock(fold_mu_);
   const size_t sealed = features_.size();
   for (auto& shard : shards_) {
     TraceCollector traces;
     MetricsStore metrics;
     std::vector<std::pair<MetricKey, size_t>> sample_log;
     {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(shard->mu);
       traces = std::move(shard->traces);
       shard->traces = TraceCollector();
       metrics = std::move(shard->metrics);
@@ -137,7 +137,7 @@ size_t IngestPipeline::Fold(size_t watermark) {
 
   std::map<size_t, uint64_t> rejected_by_window;
   {
-    std::lock_guard<std::mutex> lock(rejected_mu_);
+    MutexLock lock(rejected_mu_);
     rejected_by_window = rejected_by_window_;
     // Tallies for windows sealed in this fold are consumed; drop them so the
     // map stays bounded (late rejections for sealed windows are uncountable
@@ -239,7 +239,7 @@ size_t IngestPipeline::IngestLag() const {
 }
 
 std::vector<std::vector<float>> IngestPipeline::FeatureSlice(size_t from, size_t to) const {
-  std::lock_guard<std::mutex> lock(fold_mu_);
+  MutexLock lock(fold_mu_);
   assert(to <= features_.size() && "FeatureSlice past the featured prefix; Fold first");
   std::vector<std::vector<float>> slice;
   slice.reserve(to > from ? to - from : 0);
@@ -250,7 +250,7 @@ std::vector<std::vector<float>> IngestPipeline::FeatureSlice(size_t from, size_t
 }
 
 std::vector<DataQuality> IngestPipeline::QualitySlice(size_t from, size_t to) const {
-  std::lock_guard<std::mutex> lock(fold_mu_);
+  MutexLock lock(fold_mu_);
   std::vector<DataQuality> slice;
   slice.reserve(to > from ? to - from : 0);
   for (size_t w = from; w < to && w < quality_.size(); ++w) {
@@ -260,12 +260,12 @@ std::vector<DataQuality> IngestPipeline::QualitySlice(size_t from, size_t to) co
 }
 
 MetricsStore IngestPipeline::MetricsCopy() const {
-  std::lock_guard<std::mutex> lock(fold_mu_);
+  MutexLock lock(fold_mu_);
   return metrics_;
 }
 
 TraceCollector IngestPipeline::TracesCopy(size_t from, size_t to) const {
-  std::lock_guard<std::mutex> lock(fold_mu_);
+  MutexLock lock(fold_mu_);
   return collector_.CopyRange(from, to);
 }
 

@@ -42,12 +42,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "src/core/feature_extractor.h"
+#include "src/core/thread_annotations.h"
 #include "src/serve/data_quality.h"
 #include "src/telemetry/metrics.h"
 #include "src/trace/collector.h"
@@ -140,22 +140,25 @@ class IngestPipeline {
 
  private:
   struct Shard {
-    std::mutex mu;
-    TraceCollector traces;
-    MetricsStore metrics;
+    // Lock hierarchy: fold_mu_ -> mu (Fold drains every shard while holding
+    // fold_mu_); producers take mu alone.
+    Mutex mu;
+    TraceCollector traces DEEPREST_GUARDED_BY(mu);
+    MetricsStore metrics DEEPREST_GUARDED_BY(mu);
     // (key, window) of every sample since the last fold, so the folder can
     // tell a recorded zero from a missing scrape.
-    std::vector<std::pair<MetricKey, size_t>> sample_log;
+    std::vector<std::pair<MetricKey, size_t>> sample_log DEEPREST_GUARDED_BY(mu);
     // Trace ids ever accepted by this shard (dedupe_traces routes a given id
     // to a fixed shard, so shard-local dedup is global dedup).
-    std::unordered_set<uint64_t> seen_ids;
+    std::unordered_set<uint64_t> seen_ids DEEPREST_GUARDED_BY(mu);
   };
 
   Shard& ShardForTrace(const Trace& trace);
   Shard& ShardForKey(const MetricKey& key);
   // Seals one window under fold_mu_: extracts features, applies degraded-mode
   // repair, and appends the DataQuality record.
-  void SealWindowLocked(size_t window, const std::map<size_t, uint64_t>& rejected_by_window);
+  void SealWindowLocked(size_t window, const std::map<size_t, uint64_t>& rejected_by_window)
+      DEEPREST_REQUIRES(fold_mu_);
 
   FeatureExtractor extractor_;
   IngestPipelineConfig config_;
@@ -171,23 +174,27 @@ class IngestPipeline {
   std::atomic<uint64_t> renormalized_windows_{0};
   std::atomic<uint64_t> imputed_metrics_{0};
 
-  // Per-window rejection tallies (producers write, folder drains).
-  std::mutex rejected_mu_;
-  std::map<size_t, uint64_t> rejected_by_window_;
+  // Per-window rejection tallies (producers write, folder drains). Hierarchy:
+  // fold_mu_ -> rejected_mu_; producers take rejected_mu_ alone.
+  Mutex rejected_mu_ DEEPREST_ACQUIRED_AFTER(fold_mu_);
+  std::map<size_t, uint64_t> rejected_by_window_ DEEPREST_GUARDED_BY(rejected_mu_);
 
-  mutable std::mutex fold_mu_;
-  TraceCollector collector_;
-  MetricsStore metrics_;
-  std::vector<std::vector<float>> features_;  // [0, featured_) prefix
-  std::vector<DataQuality> quality_;          // aligned with features_
+  mutable Mutex fold_mu_;
+  TraceCollector collector_ DEEPREST_GUARDED_BY(fold_mu_);
+  MetricsStore metrics_ DEEPREST_GUARDED_BY(fold_mu_);
+  // [0, featured_) prefix.
+  std::vector<std::vector<float>> features_ DEEPREST_GUARDED_BY(fold_mu_);
+  // Aligned with features_.
+  std::vector<DataQuality> quality_ DEEPREST_GUARDED_BY(fold_mu_);
   // Which (key, window) pairs actually scraped, vs. were imputed.
-  std::map<MetricKey, std::vector<char>> recorded_;
-  std::map<MetricKey, std::vector<char>> imputed_at_;
+  std::map<MetricKey, std::vector<char>> recorded_ DEEPREST_GUARDED_BY(fold_mu_);
+  std::map<MetricKey, std::vector<char>> imputed_at_ DEEPREST_GUARDED_BY(fold_mu_);
   // Earliest window each series ever scraped: windows before a series starts
   // are not gaps (nothing was expected yet), so they are neither imputed nor
   // held against metric_coverage.
-  std::map<MetricKey, size_t> first_recorded_;
-  double expected_traces_ = 0.0;  // EWMA of accepted traces per sealed window
+  std::map<MetricKey, size_t> first_recorded_ DEEPREST_GUARDED_BY(fold_mu_);
+  // EWMA of accepted traces per sealed window.
+  double expected_traces_ DEEPREST_GUARDED_BY(fold_mu_) = 0.0;
 };
 
 }  // namespace deeprest

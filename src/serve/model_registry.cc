@@ -3,13 +3,13 @@
 namespace deeprest {
 
 uint64_t ModelRegistry::Publish(std::shared_ptr<const DeepRestEstimator> model) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   current_.model = std::move(model);
   return ++current_.version;
 }
 
 bool ModelRegistry::Restore(std::shared_ptr<const DeepRestEstimator> model, uint64_t version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (model == nullptr || version == 0 || version <= current_.version) {
     return false;
   }
@@ -19,12 +19,12 @@ bool ModelRegistry::Restore(std::shared_ptr<const DeepRestEstimator> model, uint
 }
 
 ModelSnapshot ModelRegistry::Current() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return current_;
 }
 
 uint64_t ModelRegistry::version() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return current_.version;
 }
 

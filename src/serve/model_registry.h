@@ -14,9 +14,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "src/core/estimator.h"
+#include "src/core/thread_annotations.h"
 
 namespace deeprest {
 
@@ -53,8 +53,11 @@ class ModelRegistry {
   uint64_t publish_count() const;  // == version(): total swaps so far
 
  private:
-  mutable std::mutex mu_;
-  ModelSnapshot current_;
+  mutable Mutex mu_;
+  // The RCU publication point: writers replace it wholesale, readers copy it
+  // out; the pointed-to estimator is immutable after publication, so only
+  // the snapshot value itself needs the guard.
+  ModelSnapshot current_ DEEPREST_GUARDED_BY(mu_);
 };
 
 }  // namespace deeprest

@@ -34,19 +34,19 @@ std::string FormatMs(double v) {
 }  // namespace
 
 void ServiceStats::RecordSubmitted() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++submitted_;
 }
 
 void ServiceStats::RecordBatch(size_t batch_size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++batches_;
   batched_requests_ += batch_size;
   max_batch_ = std::max(max_batch_, batch_size);
 }
 
 void ServiceStats::RecordServed(bool is_sanity, double latency_ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++served_;
   if (is_sanity) {
     ++sanity_served_;
@@ -61,22 +61,22 @@ void ServiceStats::RecordServed(bool is_sanity, double latency_ms) {
 }
 
 void ServiceStats::RecordShed() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++shed_;
 }
 
 void ServiceStats::RecordExpired() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++expired_;
 }
 
 void ServiceStats::RecordRejected() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++rejected_;
 }
 
 ServiceCounters ServiceStats::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ServiceCounters counters;
   counters.requests_submitted = submitted_;
   counters.requests_served = served_;

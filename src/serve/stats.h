@@ -9,10 +9,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "src/core/thread_annotations.h"
 
 namespace deeprest {
 
@@ -64,18 +65,19 @@ class ServiceStats {
   ServiceCounters Snapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  uint64_t submitted_ = 0;
-  uint64_t served_ = 0;
-  uint64_t estimate_served_ = 0;
-  uint64_t sanity_served_ = 0;
-  uint64_t shed_ = 0;
-  uint64_t expired_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t batches_ = 0;
-  uint64_t batched_requests_ = 0;
-  size_t max_batch_ = 0;
-  std::vector<double> latencies_ms_;  // capped at kMaxLatencySamples
+  mutable Mutex mu_;
+  uint64_t submitted_ DEEPREST_GUARDED_BY(mu_) = 0;
+  uint64_t served_ DEEPREST_GUARDED_BY(mu_) = 0;
+  uint64_t estimate_served_ DEEPREST_GUARDED_BY(mu_) = 0;
+  uint64_t sanity_served_ DEEPREST_GUARDED_BY(mu_) = 0;
+  uint64_t shed_ DEEPREST_GUARDED_BY(mu_) = 0;
+  uint64_t expired_ DEEPREST_GUARDED_BY(mu_) = 0;
+  uint64_t rejected_ DEEPREST_GUARDED_BY(mu_) = 0;
+  uint64_t batches_ DEEPREST_GUARDED_BY(mu_) = 0;
+  uint64_t batched_requests_ DEEPREST_GUARDED_BY(mu_) = 0;
+  size_t max_batch_ DEEPREST_GUARDED_BY(mu_) = 0;
+  // Capped at kMaxLatencySamples.
+  std::vector<double> latencies_ms_ DEEPREST_GUARDED_BY(mu_);
 };
 
 }  // namespace deeprest

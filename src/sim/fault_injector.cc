@@ -49,7 +49,7 @@ Trace FaultInjector::Corrupt(const Trace& trace, Rng& rng) {
 
 std::vector<FaultInjector::TimedTrace> FaultInjector::ProcessTrace(size_t window,
                                                                    const Trace& trace) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++counters_.traces_in;
   std::vector<TimedTrace> out;
   if (window >= config_.outage_start && window < config_.outage_end) {
@@ -89,7 +89,7 @@ bool FaultInjector::ProcessMetric(const MetricKey& key, size_t window, double va
   (void)key;
   (void)window;
   (void)value;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++counters_.metrics_in;
   if (rng_.NextBernoulli(config_.metric_gap_prob)) {
     ++counters_.metric_gaps;
@@ -99,7 +99,7 @@ bool FaultInjector::ProcessMetric(const MetricKey& key, size_t window, double va
 }
 
 FaultCounters FaultInjector::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_;
 }
 

@@ -19,9 +19,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "src/core/thread_annotations.h"
 #include "src/nn/rng.h"
 #include "src/telemetry/metrics.h"
 #include "src/trace/span.h"
@@ -83,9 +83,11 @@ class FaultInjector {
   Trace Corrupt(const Trace& trace, Rng& rng);
 
   FaultInjectorConfig config_;
-  mutable std::mutex mu_;
-  Rng rng_;
-  FaultCounters counters_;
+  mutable Mutex mu_;
+  // One generator for every decision (determinism), one counter block: both
+  // only ever touched under mu_.
+  Rng rng_ DEEPREST_GUARDED_BY(mu_);
+  FaultCounters counters_ DEEPREST_GUARDED_BY(mu_);
 };
 
 }  // namespace deeprest

@@ -1,0 +1,13 @@
+// Fixture: must trip no-unordered-iteration — the filename marks this as a
+// checkpoint TU, and writing a hash container in iteration order would leak
+// the hash seed into the checkpoint bytes.
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+void WriteCheckpoint(std::ostream& out,
+                     const std::unordered_map<std::string, double>& gauges) {
+  for (const auto& [name, value] : gauges) {
+    out << name << '=' << value << '\n';
+  }
+}

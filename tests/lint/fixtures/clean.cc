@@ -1,0 +1,22 @@
+// Fixture: must pass every rule. Mentions the dangerous spellings only in
+// comments and strings, which the tokenizer is required to skip; the mutex
+// member carries a guard annotation.
+#include <map>
+#include <mutex>
+#include <string>
+
+// rand() and detach() in a comment must not fire.
+#define DEEPREST_GUARDED_BY(x)
+
+class OrderedStats {
+ public:
+  void Record(const std::string& name, double v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    gauges_[name] = v;
+  }
+  std::string Banner() const { return "call rand() and detach() at your peril"; }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, double> gauges_ DEEPREST_GUARDED_BY(mu_);
+};

@@ -1,0 +1,8 @@
+// Fixture: must trip no-detached-threads — a detached worker outlives
+// shutdown and races static destruction.
+#include <thread>
+
+void FireAndForget() {
+  std::thread worker([] {});
+  worker.detach();
+}

@@ -1,0 +1,18 @@
+// Fixture: must trip mutex-needs-guarded-by. This is the classic
+// believed-guarded race: the author added mu_ "for total_", but nothing
+// declares that relationship, and Read() indeed skips the lock — exactly the
+// bug class the rule (and, under Clang, the thread-safety analysis) catches.
+#include <mutex>
+
+class Counters {
+ public:
+  void Add(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_ += v;
+  }
+  int Read() const { return total_; }  // racy: no lock, no annotation to notice
+
+ private:
+  mutable std::mutex mu_;
+  int total_ = 0;
+};

@@ -1,0 +1,10 @@
+// Fixture: must trip no-unseeded-rand (three spellings).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int UnseededDraw() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  std::random_device entropy;
+  return rand() + static_cast<int>(entropy());
+}

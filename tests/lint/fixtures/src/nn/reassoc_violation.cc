@@ -1,0 +1,9 @@
+// Fixture: must trip no-fast-math-reassoc — lives under a src/nn/ path, and
+// both the pragma and std::reduce reassociate float sums.
+#pragma float_control(precise, off)
+#include <numeric>
+#include <vector>
+
+float LooseSum(const std::vector<float>& xs) {
+  return std::reduce(xs.begin(), xs.end(), 0.0f);
+}

@@ -1,0 +1,21 @@
+// Fixture: must pass — every violation carries an allow-comment, on the same
+// line or the line above.
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+int SanctionedRand() {
+  return rand();  // deeprest-lint: allow(no-unseeded-rand)
+}
+
+void SanctionedDetach() {
+  std::thread worker([] {});
+  // deeprest-lint: allow(no-detached-threads)
+  worker.detach();
+}
+
+class PureSerializer {
+ private:
+  // Guards no field: callers only want mutual exclusion of a code path.
+  std::mutex serial_mu_;  // deeprest-lint: allow(mutex-needs-guarded-by)
+};

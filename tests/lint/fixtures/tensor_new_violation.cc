@@ -1,0 +1,12 @@
+// Fixture: must trip no-raw-tensor-node-new twice (new and delete) — nodes
+// allocated outside the arena bypass the freelist accounting.
+struct TensorNode {
+  int refs = 0;
+};
+
+TensorNode* LeakyAcquire() { return new TensorNode; }
+
+void LeakyRelease() {
+  TensorNode* node = LeakyAcquire();
+  delete node;
+}

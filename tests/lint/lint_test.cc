@@ -1,0 +1,129 @@
+// Rule-level tests for tools/lint/deeprest_lint: each fixture under
+// tests/lint/fixtures is a minimal file violating exactly one rule (plus one
+// clean file and one fully-suppressed file). The test shells out to the real
+// binary — the same one `ctest -L lint` runs over src/ — and asserts the
+// exact rule id fires (or doesn't).
+//
+// DEEPREST_LINT_BIN and DEEPREST_LINT_FIXTURES are injected by CMake.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+LintRun RunLint(const std::string& args) {
+  const std::string command = std::string(DEEPREST_LINT_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << command;
+  LintRun run;
+  if (pipe == nullptr) {
+    return run;
+  }
+  char buffer[512];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    run.output += buffer;
+  }
+  const int status = pclose(pipe);
+  run.exit_code = status >= 256 ? status / 256 : status;  // WEXITSTATUS without <sys/wait.h>
+  return run;
+}
+
+std::string Fixture(const std::string& name) {
+  return std::string(DEEPREST_LINT_FIXTURES) + "/" + name;
+}
+
+// One violating fixture per rule: the named rule must fire (and carry a
+// file:line diagnostic), and the run must fail.
+struct RuleCase {
+  const char* fixture;
+  const char* rule;
+};
+
+class LintRuleTest : public ::testing::TestWithParam<RuleCase> {};
+
+TEST_P(LintRuleTest, ViolatingFixtureTripsExactlyItsRule) {
+  const RuleCase& c = GetParam();
+  const LintRun run = RunLint(Fixture(c.fixture));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find(std::string("[") + c.rule + "]"), std::string::npos)
+      << "expected rule " << c.rule << " in:\n"
+      << run.output;
+  // Minimal fixtures are single-purpose: no OTHER rule may fire.
+  for (const char* other :
+       {"no-unseeded-rand", "no-unordered-iteration", "no-raw-tensor-node-new",
+        "no-fast-math-reassoc", "mutex-needs-guarded-by", "no-detached-threads"}) {
+    if (std::string(other) != c.rule) {
+      EXPECT_EQ(run.output.find(std::string("[") + other + "]"), std::string::npos)
+          << "unexpected rule " << other << " in:\n"
+          << run.output;
+    }
+  }
+  // Diagnostics must be clickable file:line.
+  EXPECT_NE(run.output.find(std::string(c.fixture) + ":"), std::string::npos) << run.output;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, LintRuleTest,
+    ::testing::Values(RuleCase{"rand_violation.cc", "no-unseeded-rand"},
+                      RuleCase{"checkpoint_unordered_violation.cc", "no-unordered-iteration"},
+                      RuleCase{"tensor_new_violation.cc", "no-raw-tensor-node-new"},
+                      RuleCase{"src/nn/reassoc_violation.cc", "no-fast-math-reassoc"},
+                      RuleCase{"mutex_violation.cc", "mutex-needs-guarded-by"},
+                      RuleCase{"detach_violation.cc", "no-detached-threads"}),
+    [](const ::testing::TestParamInfo<RuleCase>& param_info) {
+      std::string name = param_info.param.rule;
+      for (char& ch : name) {
+        if (ch == '-') {
+          ch = '_';
+        }
+      }
+      return name;
+    });
+
+TEST(LintTest, CleanFilePasses) {
+  const LintRun run = RunLint(Fixture("clean.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST(LintTest, AllowCommentsSuppressSameAndNextLine) {
+  const LintRun run = RunLint(Fixture("suppressed.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintTest, AllowlistFileGrantsWholeFile) {
+  const LintRun without = RunLint(Fixture("rand_violation.cc"));
+  EXPECT_EQ(without.exit_code, 1);
+  const LintRun with = RunLint("--allowlist " + Fixture("allowlist_rand.txt") + " " +
+                               Fixture("rand_violation.cc"));
+  EXPECT_EQ(with.exit_code, 0) << with.output;
+}
+
+TEST(LintTest, MultipleFilesAggregateViolations) {
+  const LintRun run =
+      RunLint(Fixture("clean.cc") + " " + Fixture("detach_violation.cc"));
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_NE(run.output.find("[no-detached-threads]"), std::string::npos) << run.output;
+}
+
+TEST(LintTest, MissingFileIsUsageError) {
+  const LintRun run = RunLint(Fixture("does_not_exist.cc"));
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+// The rule the whole PR hangs on: the real tree must stay lint-clean with
+// the checked-in allowlist — same invocation as the `lint_src` ctest.
+TEST(LintTest, RealSourceTreeIsClean) {
+  const LintRun run = RunLint(std::string("--root ") + DEEPREST_SOURCE_ROOT +
+                              " --allowlist " + DEEPREST_SOURCE_ROOT +
+                              "/tools/lint/allowlist.txt");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+}  // namespace

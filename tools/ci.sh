@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# DeepRest CI: every enforcement layer in one script, fastest legs first.
+#
+#   1. tier-1   — default build, full test suite (the gate every PR must hold)
+#   2. lint     — invariant linter over src/ + its rule fixtures (ctest -L lint)
+#   3. tsa      — Clang Thread Safety Analysis as errors (skipped without clang++)
+#   4. tsan     — chaos/serve/parallel suite under ThreadSanitizer
+#   5. asan     — same suite under ASan+UBSan
+#
+# Usage: tools/ci.sh [--quick]
+#   --quick stops after the lint leg (pre-push sanity; sanitizer legs are the
+#   expensive part).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> [1/5] tier-1: default build + full test suite"
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "==> [2/5] lint: invariant linter over src/ + rule fixtures"
+ctest --preset lint -j "$JOBS"
+
+echo "==> [3/5] tsa: Clang thread-safety analysis (compile-only gate)"
+if command -v clang++ >/dev/null 2>&1; then
+  cmake --preset lint >/dev/null
+  cmake --build --preset lint -j "$JOBS"
+else
+  echo "    clang++ not on PATH — skipping (annotations are inert under GCC)"
+fi
+
+if [[ "$QUICK" == "1" ]]; then
+  echo "==> --quick: skipping sanitizer legs"
+  exit 0
+fi
+
+echo "==> [4/5] tsan: chaos suite under ThreadSanitizer"
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$JOBS"
+ctest --preset chaos-tsan -j "$JOBS"
+
+echo "==> [5/5] asan: chaos suite under ASan+UBSan"
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j "$JOBS"
+ctest --preset chaos-asan -j "$JOBS"
+
+echo "==> CI green"

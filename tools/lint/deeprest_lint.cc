@@ -1,0 +1,597 @@
+// deeprest_lint — project invariant linter.
+//
+// Enforces the DeepRest-specific rules the compiler cannot: determinism
+// (seeded RNG only, no unordered iteration in byte-stable output paths, no
+// float reassociation in src/nn) and concurrency hygiene (every mutex guards
+// something, no detached threads, tensor nodes only through the arena).
+// Standalone C++: file walking via std::filesystem, token-level scanning, no
+// external dependencies. Runs as a ctest under the `lint` label over all of
+// src/ and exits nonzero with file:line diagnostics on any violation.
+//
+// Rules (ids are what fixtures, allowlists and allow-comments name):
+//   no-unseeded-rand        rand()/srand()/random_device/time() seeding in
+//                           src/ — all randomness must flow through the
+//                           seeded generators in src/nn/rng.h.
+//   no-unordered-iteration  unordered_map/unordered_set in serialization /
+//                           checkpoint / stats-export TUs (filename contains
+//                           "serialize", "checkpoint", "stats" or
+//                           "json_export"): hash iteration order would leak
+//                           into checkpoint bytes and exported tables,
+//                           breaking bit-exact replay.
+//   no-raw-tensor-node-new  `new TensorNode` / `delete <TensorNode*>`
+//                           outside the arena (src/nn/tensor.cc): bypassing
+//                           the freelist breaks O(1) allocator behavior.
+//   no-fast-math-reassoc    std::reduce, `#pragma float_control`, `#pragma
+//                           STDC FP_CONTRACT`, or -ffast-math tokens inside
+//                           src/nn/: reassociation breaks the bit-exactness
+//                           contract between fused and reference kernels.
+//   mutex-needs-guarded-by  a std::mutex / deeprest::Mutex member `m` in a
+//                           class with no DEEPREST_GUARDED_BY(m) /
+//                           DEEPREST_PT_GUARDED_BY(m) / DEEPREST_REQUIRES(m)
+//                           in the same class body: a mutex that guards
+//                           nothing is either dead weight or a lock someone
+//                           BELIEVES guards state it does not.
+//   no-detached-threads     .detach() on a thread: detached threads outlive
+//                           shutdown, racing static destruction and making
+//                           clean TSan runs impossible.
+//
+// Escapes, in order of preference:
+//   * `// deeprest-lint: allow(<rule>[, <rule>...])` on the offending line
+//     or the line directly above it;
+//   * an allowlist file (--allowlist) with lines `<rule> <path-substring>`
+//     (# comments allowed) for whole-file grants, e.g. the arena itself.
+//
+// Usage:
+//   deeprest_lint [--root DIR] [--allowlist FILE] [file...]
+// With explicit files, only those are scanned (fixture tests); otherwise
+// every .h/.cc under DIR/src is walked. Exit code: 0 clean, 1 violations,
+// 2 usage/IO error.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+struct Diagnostic {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct FileScan {
+  std::vector<Token> tokens;            // identifiers, numbers, punctuation
+  std::vector<std::string> pp_lines;    // preprocessor lines, lowercased
+  std::vector<int> pp_line_numbers;
+  // Lines granted by `// deeprest-lint: allow(rule)` comments. A grant on
+  // line L suppresses diagnostics on L and L+1 (comment-above style).
+  std::map<std::string, std::set<int>> allowed_lines;
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+void RecordAllowComment(const std::string& comment, int line, FileScan& scan) {
+  const std::string tag = "deeprest-lint:";
+  const size_t tag_at = comment.find(tag);
+  if (tag_at == std::string::npos) {
+    return;
+  }
+  size_t at = comment.find("allow", tag_at + tag.size());
+  if (at == std::string::npos) {
+    return;
+  }
+  const size_t open = comment.find('(', at);
+  const size_t close = comment.find(')', open == std::string::npos ? at : open);
+  if (open == std::string::npos || close == std::string::npos) {
+    return;
+  }
+  std::string rules = comment.substr(open + 1, close - open - 1);
+  std::replace(rules.begin(), rules.end(), ',', ' ');
+  std::istringstream stream(rules);
+  std::string rule;
+  while (stream >> rule) {
+    scan.allowed_lines[rule].insert(line);
+    scan.allowed_lines[rule].insert(line + 1);
+  }
+}
+
+// Tokenizes C++ source: skips comments and string/char literals (recording
+// allow-comments), collects preprocessor lines separately, and splits the
+// rest into identifier and single-character punctuation tokens.
+FileScan ScanFile(const std::string& text) {
+  FileScan scan;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = text.size();
+  bool at_line_start = true;
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      // Preprocessor directive: consume to end of line (honoring \-splices).
+      std::string pp;
+      const int pp_line = line;
+      while (i < n && text[i] != '\n') {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          pp += ' ';
+          i += 2;
+          ++line;
+          continue;
+        }
+        pp += static_cast<char>(std::tolower(static_cast<unsigned char>(text[i])));
+        ++i;
+      }
+      scan.pp_lines.push_back(pp);
+      scan.pp_line_numbers.push_back(pp_line);
+      continue;
+    }
+    at_line_start = false;
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const size_t end = text.find('\n', i);
+      const std::string comment =
+          text.substr(i, (end == std::string::npos ? n : end) - i);
+      RecordAllowComment(comment, line, scan);
+      i = end == std::string::npos ? n : end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const size_t end = text.find("*/", i + 2);
+      const size_t stop = end == std::string::npos ? n : end + 2;
+      const std::string comment = text.substr(i, stop - i);
+      RecordAllowComment(comment, line, scan);
+      for (size_t j = i; j < stop; ++j) {
+        if (text[j] == '\n') {
+          ++line;
+        }
+      }
+      i = stop;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      // String/char literal: skip with escape handling. Raw strings get a
+      // coarse but safe treatment (scan for the matching delimiter).
+      if (c == '"' && i > 0 && (text[i - 1] == 'R')) {
+        const size_t paren = text.find('(', i);
+        if (paren != std::string::npos) {
+          const std::string delim = ")" + text.substr(i + 1, paren - i - 1) + "\"";
+          const size_t end = text.find(delim, paren);
+          const size_t stop = end == std::string::npos ? n : end + delim.size();
+          for (size_t j = i; j < stop; ++j) {
+            if (text[j] == '\n') {
+              ++line;
+            }
+          }
+          i = stop;
+          continue;
+        }
+      }
+      const char quote = c;
+      ++i;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < n) {
+          ++i;
+        }
+        if (text[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      ++i;  // closing quote
+      continue;
+    }
+    if (IsIdentChar(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(text[j])) {
+        ++j;
+      }
+      scan.tokens.push_back({text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    scan.tokens.push_back({std::string(1, c), line});
+    ++i;
+  }
+  return scan;
+}
+
+struct Linter {
+  std::vector<std::pair<std::string, std::string>> allowlist;  // rule, path substring
+  std::vector<Diagnostic> diagnostics;
+
+  bool Allowed(const std::string& rule, const std::string& path, int line,
+               const FileScan& scan) const {
+    for (const auto& [arule, substring] : allowlist) {
+      if (arule == rule && path.find(substring) != std::string::npos) {
+        return true;
+      }
+    }
+    const auto it = scan.allowed_lines.find(rule);
+    return it != scan.allowed_lines.end() && it->second.count(line) > 0;
+  }
+
+  void Report(const std::string& rule, const std::string& path, int line,
+              const std::string& message, const FileScan& scan) {
+    if (!Allowed(rule, path, line, scan)) {
+      diagnostics.push_back({path, line, rule, message});
+    }
+  }
+};
+
+bool TokenIs(const std::vector<Token>& tokens, size_t i, const char* text) {
+  return i < tokens.size() && tokens[i].text == text;
+}
+
+// True when tokens[i] is preceded by `std ::` (possibly `:: std ::`).
+bool PrecededByStd(const std::vector<Token>& tokens, size_t i) {
+  return i >= 2 && tokens[i - 1].text == ":" && tokens[i - 2].text == ":" && i >= 3 &&
+         tokens[i - 3].text == "std";
+}
+
+// --------------------------------------------------------------------------
+// Rule: no-unseeded-rand
+// --------------------------------------------------------------------------
+void CheckUnseededRand(const std::string& path, const FileScan& scan, Linter& lint) {
+  const auto& t = scan.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if ((s == "rand" || s == "srand" || s == "time") && TokenIs(t, i + 1, "(")) {
+      // Member calls like foo.time(...) are still suspicious in src/; methods
+      // named exactly `time` do not exist in this tree.
+      lint.Report("no-unseeded-rand", path, t[i].line,
+                  "call to `" + s + "()` — derive randomness from the seeded "
+                  "generators in src/nn/rng.h so runs replay bit-for-bit",
+                  scan);
+    } else if (s == "random_device" || s == "rand_r" || s == "drand48") {
+      lint.Report("no-unseeded-rand", path, t[i].line,
+                  "`" + s + "` is nondeterministic — use src/nn/rng.h", scan);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Rule: no-unordered-iteration
+// --------------------------------------------------------------------------
+bool IsByteStableTu(const std::string& path) {
+  const std::string name = std::filesystem::path(path).filename().string();
+  for (const char* pattern : {"serialize", "checkpoint", "stats", "json_export"}) {
+    if (name.find(pattern) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CheckUnorderedIteration(const std::string& path, const FileScan& scan, Linter& lint) {
+  if (!IsByteStableTu(path)) {
+    return;
+  }
+  const auto& t = scan.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (s == "unordered_map" || s == "unordered_set" || s == "unordered_multimap" ||
+        s == "unordered_multiset") {
+      lint.Report("no-unordered-iteration", path, t[i].line,
+                  "`" + s + "` in a byte-stable translation unit (serialization/"
+                  "checkpoint/stats export) — hash iteration order would leak "
+                  "into the output bytes; use std::map/std::set or a sorted "
+                  "vector",
+                  scan);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Rule: no-raw-tensor-node-new
+// --------------------------------------------------------------------------
+void CheckRawTensorNodeNew(const std::string& path, const FileScan& scan, Linter& lint) {
+  const auto& t = scan.tokens;
+  std::set<std::string> tensor_node_pointers;  // identifiers declared TensorNode*
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].text == "new" && TokenIs(t, i + 1, "TensorNode")) {
+      lint.Report("no-raw-tensor-node-new", path, t[i].line,
+                  "`new TensorNode` outside the arena — nodes must come from "
+                  "detail::AcquireNode() so the freelist accounting holds",
+                  scan);
+    }
+    if (t[i].text == "TensorNode" && TokenIs(t, i + 1, "*") && i + 2 < t.size() &&
+        IsIdentChar(t[i + 2].text[0]) && !std::isdigit(static_cast<unsigned char>(t[i + 2].text[0]))) {
+      tensor_node_pointers.insert(t[i + 2].text);
+    }
+    if (t[i].text == "delete" && i + 1 < t.size() &&
+        tensor_node_pointers.count(t[i + 1].text) > 0) {
+      lint.Report("no-raw-tensor-node-new", path, t[i].line,
+                  "`delete` of a TensorNode* outside the arena — release the "
+                  "handle and let detail::RecycleTree() reclaim it",
+                  scan);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Rule: no-fast-math-reassoc
+// --------------------------------------------------------------------------
+bool IsNnPath(const std::string& path) {
+  return path.find("src/nn/") != std::string::npos ||
+         path.find("src\\nn\\") != std::string::npos;
+}
+
+void CheckFastMathReassoc(const std::string& path, const FileScan& scan, Linter& lint) {
+  if (!IsNnPath(path)) {
+    return;
+  }
+  const auto& t = scan.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (s == "reduce" && PrecededByStd(t, i)) {
+      lint.Report("no-fast-math-reassoc", path, t[i].line,
+                  "std::reduce reassociates freely — use std::accumulate or an "
+                  "explicit loop so the summation order is fixed",
+                  scan);
+    }
+    if (s == "ffast" || s == "ffast_math") {
+      lint.Report("no-fast-math-reassoc", path, t[i].line,
+                  "-ffast-math marker in src/nn — the kernels promise "
+                  "bit-exactness between fused and reference paths",
+                  scan);
+    }
+  }
+  for (size_t i = 0; i < scan.pp_lines.size(); ++i) {
+    const std::string& pp = scan.pp_lines[i];
+    if (pp.find("float_control") != std::string::npos ||
+        pp.find("fp_contract") != std::string::npos ||
+        pp.find("fast_math") != std::string::npos ||
+        pp.find("associative_math") != std::string::npos) {
+      lint.Report("no-fast-math-reassoc", path, scan.pp_line_numbers[i],
+                  "float-semantics pragma in src/nn — reassociation/contraction "
+                  "breaks the bit-exactness contract (build-wide "
+                  "-ffp-contract=off is the only sanctioned setting)",
+                  scan);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Rule: mutex-needs-guarded-by
+// --------------------------------------------------------------------------
+struct MutexMember {
+  std::string name;
+  int line = 0;
+};
+
+void CheckMutexGuardedBy(const std::string& path, const FileScan& scan, Linter& lint) {
+  const auto& t = scan.tokens;
+  // Stack of open class/struct bodies. Each entry: brace depth at which the
+  // body opened, mutex members seen, names referenced by guard annotations.
+  struct ClassBody {
+    int depth = 0;
+    std::vector<MutexMember> mutexes;
+    std::set<std::string> guarded;
+  };
+  std::vector<ClassBody> stack;
+  int depth = 0;
+  bool class_ahead = false;  // saw class/struct keyword, body brace pending
+  for (size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (s == "class" || s == "struct") {
+      // `enum class` is not a body we care about; a following `{` still
+      // balances, so treating it as a (mutex-free) body is harmless.
+      class_ahead = true;
+      continue;
+    }
+    if (s == ";" && class_ahead) {
+      class_ahead = false;  // forward declaration
+      continue;
+    }
+    if (s == "{") {
+      ++depth;
+      if (class_ahead) {
+        stack.push_back({depth, {}, {}});
+        class_ahead = false;
+      }
+      continue;
+    }
+    if (s == "}") {
+      if (!stack.empty() && stack.back().depth == depth) {
+        for (const MutexMember& m : stack.back().mutexes) {
+          if (stack.back().guarded.count(m.name) == 0) {
+            lint.Report("mutex-needs-guarded-by", path, m.line,
+                        "mutex member `" + m.name + "` has no "
+                        "DEEPREST_GUARDED_BY(" + m.name + ") field (or "
+                        "REQUIRES/PT_GUARDED_BY) in its class — declare what "
+                        "it guards or remove it",
+                        scan);
+          }
+        }
+        stack.pop_back();
+      }
+      --depth;
+      continue;
+    }
+    if (stack.empty()) {
+      continue;
+    }
+    // Member declaration `Mutex name ;` or `std::mutex name ;` (also
+    // recursive/timed/shared variants) directly inside a class body.
+    const bool mutex_type = (s == "Mutex" && !PrecededByStd(t, i)) || ((s == "mutex" ||
+                            s == "recursive_mutex" || s == "timed_mutex" ||
+                            s == "shared_mutex") && PrecededByStd(t, i));
+    if (mutex_type && stack.back().depth == depth && i + 2 < t.size() &&
+        IsIdentChar(t[i + 1].text[0]) &&
+        (t[i + 2].text == ";" || t[i + 2].text == "=")) {
+      stack.back().mutexes.push_back({t[i + 1].text, t[i + 1].line});
+      continue;
+    }
+    // Guard annotations: DEEPREST_GUARDED_BY(x), DEEPREST_PT_GUARDED_BY(x),
+    // DEEPREST_REQUIRES(x...), plus the raw Clang spellings for code that
+    // uses them directly.
+    if (s == "DEEPREST_GUARDED_BY" || s == "DEEPREST_PT_GUARDED_BY" ||
+        s == "DEEPREST_REQUIRES" || s == "DEEPREST_ACQUIRE" || s == "DEEPREST_RELEASE" ||
+        s == "GUARDED_BY" || s == "PT_GUARDED_BY" || s == "REQUIRES" ||
+        s == "guarded_by" || s == "pt_guarded_by" || s == "requires_capability") {
+      // Collect identifier arguments until the matching ')'.
+      size_t j = i + 1;
+      if (TokenIs(t, j, "(")) {
+        int parens = 0;
+        for (; j < t.size(); ++j) {
+          if (t[j].text == "(") {
+            ++parens;
+          } else if (t[j].text == ")") {
+            if (--parens == 0) {
+              break;
+            }
+          } else if (IsIdentChar(t[j].text[0])) {
+            for (ClassBody& body : stack) {
+              body.guarded.insert(t[j].text);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Rule: no-detached-threads
+// --------------------------------------------------------------------------
+void CheckDetachedThreads(const std::string& path, const FileScan& scan, Linter& lint) {
+  const auto& t = scan.tokens;
+  for (size_t i = 1; i < t.size(); ++i) {
+    if (t[i].text == "detach" && TokenIs(t, i + 1, "(") && TokenIs(t, i + 2, ")") &&
+        (t[i - 1].text == "." ||
+         (t[i - 1].text == ">" && i >= 2 && t[i - 2].text == "-"))) {
+      lint.Report("no-detached-threads", path, t[i].line,
+                  "detached thread — detached threads outlive Stop()/shutdown, "
+                  "race static destruction and defeat TSan; join it (RAII "
+                  "owner or ThreadPool)",
+                  scan);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+
+int LintFile(const std::filesystem::path& file, Linter& lint) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "deeprest_lint: cannot read %s\n", file.string().c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const FileScan scan = ScanFile(buffer.str());
+  const std::string path = file.generic_string();
+  CheckUnseededRand(path, scan, lint);
+  CheckUnorderedIteration(path, scan, lint);
+  CheckRawTensorNodeNew(path, scan, lint);
+  CheckFastMathReassoc(path, scan, lint);
+  CheckMutexGuardedBy(path, scan, lint);
+  CheckDetachedThreads(path, scan, lint);
+  return 0;
+}
+
+bool LoadAllowlist(const std::string& path, Linter& lint) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    std::istringstream stream(line);
+    std::string rule;
+    std::string substring;
+    if (stream >> rule >> substring) {
+      lint.allowlist.emplace_back(rule, substring);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string allowlist_path;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: deeprest_lint [--root DIR] [--allowlist FILE] [file...]\n");
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  Linter lint;
+  if (!allowlist_path.empty() && !LoadAllowlist(allowlist_path, lint)) {
+    std::fprintf(stderr, "deeprest_lint: cannot read allowlist %s\n",
+                 allowlist_path.c_str());
+    return 2;
+  }
+
+  if (files.empty()) {
+    const std::filesystem::path src = std::filesystem::path(root) / "src";
+    if (!std::filesystem::exists(src)) {
+      std::fprintf(stderr, "deeprest_lint: no src/ under --root %s\n", root.c_str());
+      return 2;
+    }
+    for (const auto& entry : std::filesystem::recursive_directory_iterator(src)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp") {
+        files.push_back(entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());  // deterministic diagnostic order
+  }
+
+  for (const std::string& file : files) {
+    const int rc = LintFile(file, lint);
+    if (rc != 0) {
+      return rc;
+    }
+  }
+
+  for (const Diagnostic& d : lint.diagnostics) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", d.path.c_str(), d.line, d.rule.c_str(),
+                 d.message.c_str());
+  }
+  if (!lint.diagnostics.empty()) {
+    std::fprintf(stderr, "deeprest_lint: %zu violation(s)\n", lint.diagnostics.size());
+    return 1;
+  }
+  return 0;
+}
