@@ -1,0 +1,143 @@
+#include "src/autoscale/controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace deeprest {
+
+std::string ScalingAction::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "w=%04zu %s replicas %zu->%zu cap %.0f->%.0f demand %.1f %s",
+                window, component.c_str(), replicas_before, replicas_after,
+                capacity_before, capacity_after, demand_cpu, reason.c_str());
+  return buf;
+}
+
+AutoscaleController::AutoscaleController(const ScalingPolicy& policy,
+                                         const AutoscaleControllerConfig& config)
+    : policy_(&policy), config_(config) {}
+
+void AutoscaleController::AddComponent(const std::string& name, bool stateful,
+                                       size_t replicas, double capacity_cpu) {
+  MutexLock lock(mu_);
+  ComponentState state;
+  state.scale.replicas = std::max<size_t>(1, replicas);
+  state.scale.capacity_cpu = capacity_cpu;
+  state.scale.stateful = stateful;
+  state_[name] = state;
+}
+
+std::vector<ScalingAction> AutoscaleController::Tick(
+    size_t window, const std::map<std::string, ComponentObservation>& observations,
+    const PolicyInputs& inputs) {
+  MutexLock lock(mu_);
+  std::vector<ScalingAction> actions;
+  const int64_t w = static_cast<int64_t>(window);
+  for (auto& [name, state] : state_) {
+    auto obs_it = observations.find(name);
+    if (obs_it == observations.end() || obs_it->second.blank) {
+      // Fail static: no data means no decision. The streak resets so a
+      // scale-down needs fresh consecutive evidence after an outage.
+      ++counters_.blank_holds;
+      state.down_streak = 0;
+      continue;
+    }
+    // The controller is the source of truth for the current deployment; the
+    // caller only supplies telemetry.
+    ComponentObservation obs = obs_it->second;
+    obs.replicas = state.scale.replicas;
+    obs.capacity_cpu = state.scale.capacity_cpu;
+    obs.stateful = state.scale.stateful;
+
+    const auto desired = policy_->Desired(name, obs, inputs);
+    if (!desired.has_value()) {
+      ++counters_.holds;
+      state.down_streak = 0;
+      continue;
+    }
+
+    // Clamp to the configured envelope, then quantify the change along the
+    // component's one scaling axis.
+    const SizingConfig& sizing = config_.sizing;
+    ComponentTarget target = *desired;
+    target.replicas = std::clamp(target.replicas, sizing.min_replicas, sizing.max_replicas);
+    target.capacity_cpu =
+        std::clamp(target.capacity_cpu, sizing.min_capacity_cpu, sizing.max_capacity_cpu);
+
+    const bool vertical = state.scale.stateful;
+    const bool up = vertical ? target.capacity_cpu > state.scale.capacity_cpu + 1e-9
+                             : target.replicas > state.scale.replicas;
+    const bool down = vertical ? target.capacity_cpu < state.scale.capacity_cpu - 1e-9
+                               : target.replicas < state.scale.replicas;
+    if (!up && !down) {
+      ++counters_.holds;
+      state.down_streak = 0;
+      continue;
+    }
+
+    ScalingAction action;
+    action.window = window;
+    action.component = name;
+    action.replicas_before = state.scale.replicas;
+    action.capacity_before = state.scale.capacity_cpu;
+    action.demand_cpu = obs.demand_cpu;
+
+    if (up) {
+      state.down_streak = 0;
+      if (w < state.last_up + static_cast<int64_t>(config_.up_cooldown)) {
+        ++counters_.cooldown_blocks;
+        continue;
+      }
+      state.scale.replicas = target.replicas;
+      state.scale.capacity_cpu = target.capacity_cpu;
+      state.last_up = w;
+      action.reason = vertical ? "grow" : "scale-out";
+      vertical ? ++counters_.grows : ++counters_.scale_outs;
+    } else {
+      ++state.down_streak;
+      if (state.down_streak < config_.down_patience) {
+        ++counters_.patience_blocks;
+        continue;
+      }
+      if (w < state.last_down + static_cast<int64_t>(config_.down_cooldown) ||
+          w < state.last_up + static_cast<int64_t>(config_.down_cooldown)) {
+        ++counters_.cooldown_blocks;
+        continue;
+      }
+      state.scale.replicas = target.replicas;
+      state.scale.capacity_cpu = target.capacity_cpu;
+      state.last_down = w;
+      state.down_streak = 0;
+      action.reason = vertical ? "shrink" : "scale-in";
+      vertical ? ++counters_.shrinks : ++counters_.scale_ins;
+    }
+    action.replicas_after = state.scale.replicas;
+    action.capacity_after = state.scale.capacity_cpu;
+    log_.push_back(action.ToString());
+    actions.push_back(std::move(action));
+  }
+  ++counters_.ticks;
+  return actions;
+}
+
+std::map<std::string, ComponentScale> AutoscaleController::CurrentScale() const {
+  MutexLock lock(mu_);
+  std::map<std::string, ComponentScale> out;
+  for (const auto& [name, state] : state_) {
+    out[name] = state.scale;
+  }
+  return out;
+}
+
+ControllerCounters AutoscaleController::counters() const {
+  MutexLock lock(mu_);
+  return counters_;
+}
+
+std::vector<std::string> AutoscaleController::ActionLog() const {
+  MutexLock lock(mu_);
+  return log_;
+}
+
+}  // namespace deeprest

@@ -1,0 +1,159 @@
+#include "src/autoscale/policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deeprest {
+
+double DemandSeries::At(const std::string& component, size_t window,
+                        double fallback) const {
+  auto it = cpu.find(component);
+  if (it == cpu.end() || it->second.empty()) {
+    return fallback;
+  }
+  const size_t index = window <= base ? 0 : std::min(window - base, it->second.size() - 1);
+  return it->second[index];
+}
+
+double DemandSeries::MaxOver(const std::string& component, size_t from, size_t to,
+                             double fallback) const {
+  auto it = cpu.find(component);
+  if (it == cpu.end() || it->second.empty() || to <= from) {
+    return fallback;
+  }
+  double best = 0.0;
+  for (size_t w = from; w < to; ++w) {
+    best = std::max(best, At(component, w, 0.0));
+  }
+  return best;
+}
+
+DemandSeries ForecastFromEstimates(const EstimateMap& estimates, size_t base,
+                                   double upper_weight) {
+  DemandSeries series;
+  series.base = base;
+  const double weight = std::clamp(upper_weight, 0.0, 1.0);
+  for (const auto& [key, estimate] : estimates) {
+    if (key.resource != ResourceKind::kCpu) {
+      continue;
+    }
+    // Expected head plus a weighted share of the CI spread above it. A
+    // degenerate interval (upper below expected) must never size BELOW the
+    // expected demand, so the spread is floored at zero.
+    std::vector<double> demand(estimate.expected.size(), 0.0);
+    for (size_t t = 0; t < demand.size(); ++t) {
+      const double upper = t < estimate.upper.size() ? estimate.upper[t] : 0.0;
+      const double spread = std::max(0.0, upper - estimate.expected[t]);
+      demand[t] = estimate.expected[t] + weight * spread;
+    }
+    series.cpu[key.component] = std::move(demand);
+  }
+  return series;
+}
+
+ComponentTarget SizeForDemand(double demand_cpu, const ComponentObservation& obs,
+                              const SizingConfig& sizing, double target_utilization) {
+  const double target = std::max(1e-6, target_utilization);
+  const double demand = std::max(0.0, demand_cpu);
+  ComponentTarget out;
+  if (obs.stateful) {
+    // Vertical: replicas stay put, the instance grows in quantized steps.
+    out.replicas = std::max<size_t>(1, obs.replicas);
+    const double needed = demand / (static_cast<double>(out.replicas) * target);
+    const double step = std::max(1e-6, sizing.capacity_step_cpu);
+    double capacity = std::ceil(needed / step) * step;
+    out.capacity_cpu =
+        std::clamp(capacity, sizing.min_capacity_cpu, sizing.max_capacity_cpu);
+  } else {
+    // Horizontal: per-replica capacity stays put, the count changes.
+    out.capacity_cpu = obs.capacity_cpu;
+    const double per_replica = std::max(1e-6, obs.capacity_cpu) * target;
+    const size_t needed = static_cast<size_t>(std::ceil(demand / per_replica));
+    out.replicas = std::clamp(needed, sizing.min_replicas, sizing.max_replicas);
+  }
+  return out;
+}
+
+const char* PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kReactive:
+      return "reactive";
+    case PolicyKind::kPredictive:
+      return "predictive";
+    case PolicyKind::kOracle:
+      return "oracle";
+  }
+  return "unknown";
+}
+
+bool ParsePolicyKind(const std::string& name, PolicyKind& out) {
+  for (PolicyKind kind : AllPolicyKinds()) {
+    if (name == PolicyKindName(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<PolicyKind>& AllPolicyKinds() {
+  static const std::vector<PolicyKind> kAll = {
+      PolicyKind::kReactive, PolicyKind::kPredictive, PolicyKind::kOracle};
+  return kAll;
+}
+
+std::unique_ptr<ScalingPolicy> MakePolicy(PolicyKind kind, const PolicyConfig& config) {
+  switch (kind) {
+    case PolicyKind::kReactive:
+      return std::make_unique<ReactiveThresholdPolicy>(
+          config.sizing, config.reactive_high_watermark, config.reactive_low_watermark,
+          config.reactive_headroom);
+    case PolicyKind::kPredictive:
+      return std::make_unique<PredictiveDeepRestPolicy>(config.sizing,
+                                                        config.predictive_headroom);
+    case PolicyKind::kOracle:
+      return std::make_unique<OraclePolicy>(config.sizing, config.oracle_utilization);
+  }
+  return nullptr;
+}
+
+std::optional<ComponentTarget> ReactiveThresholdPolicy::Desired(
+    const std::string& /*component*/, const ComponentObservation& obs,
+    const PolicyInputs& /*in*/) const {
+  if (obs.utilization <= high_ && obs.utilization >= low_) {
+    return std::nullopt;  // inside the dead band: hold
+  }
+  return SizeForDemand(obs.demand_cpu * headroom_, obs, sizing_,
+                       sizing_.target_utilization);
+}
+
+std::optional<ComponentTarget> PredictiveDeepRestPolicy::Desired(
+    const std::string& component, const ComponentObservation& obs,
+    const PolicyInputs& in) const {
+  // Peak of the forecast over the coming interval plus the lookahead, so the
+  // deployment is sized before demand arrives — floored by the live demand
+  // evidence: a forecast that underpredicts what is already observably
+  // happening must never shrink the deployment below it. Components the
+  // forecast does not cover degrade to the reactive demand estimate.
+  const double fallback = obs.demand_cpu;
+  double demand = fallback;
+  if (in.forecast != nullptr) {
+    demand = std::max(fallback,
+                      in.forecast->MaxOver(component, in.window,
+                                           in.window + in.horizon + in.lookahead,
+                                           fallback));
+  }
+  return SizeForDemand(demand * headroom_, obs, sizing_, sizing_.target_utilization);
+}
+
+std::optional<ComponentTarget> OraclePolicy::Desired(const std::string& component,
+                                                     const ComponentObservation& obs,
+                                                     const PolicyInputs& in) const {
+  double demand = obs.demand_cpu;
+  if (in.truth != nullptr) {
+    demand = in.truth->MaxOver(component, in.window, in.window + in.horizon, demand);
+  }
+  return SizeForDemand(demand, obs, sizing_, utilization_);
+}
+
+}  // namespace deeprest

@@ -1,0 +1,120 @@
+#include "src/autoscale/scenario.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace deeprest {
+
+const char* ScenarioKindName(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kDiurnal:
+      return "diurnal";
+    case ScenarioKind::kFlashCrowd:
+      return "flash_crowd";
+    case ScenarioKind::kApiMixDrift:
+      return "api_mix_drift";
+  }
+  return "unknown";
+}
+
+bool ParseScenarioKind(const std::string& name, ScenarioKind& out) {
+  for (ScenarioKind kind : AllScenarioKinds()) {
+    if (name == ScenarioKindName(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<ScenarioKind>& AllScenarioKinds() {
+  static const std::vector<ScenarioKind> kAll = {
+      ScenarioKind::kDiurnal, ScenarioKind::kFlashCrowd, ScenarioKind::kApiMixDrift};
+  return kAll;
+}
+
+TrafficSeries SliceTraffic(const TrafficSeries& series, size_t from, size_t to) {
+  to = std::min(to, series.windows());
+  from = std::min(from, to);
+  TrafficSeries out(series.apis(), to - from);
+  for (size_t w = from; w < to; ++w) {
+    for (size_t a = 0; a < series.api_count(); ++a) {
+      out.set_rate(w - from, a, series.rate(w, a));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+TrafficSeries Diurnal(const TrafficSpec& base, const ScenarioSpec& scenario, Rng& rng) {
+  TrafficSpec spec = base;
+  spec.days = scenario.days;
+  spec.user_scale *= scenario.user_scale;
+  return GenerateTraffic(spec, rng);
+}
+
+}  // namespace
+
+TrafficSeries BuildScenarioTraffic(const TrafficSpec& base, const ScenarioSpec& scenario,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  switch (scenario.kind) {
+    case ScenarioKind::kDiurnal:
+      return Diurnal(base, scenario, rng);
+
+    case ScenarioKind::kFlashCrowd: {
+      TrafficSeries series = Diurnal(base, scenario, rng);
+      const size_t windows = series.windows();
+      const size_t start = std::min(
+          windows, static_cast<size_t>(scenario.flash_start_frac * windows));
+      const size_t end = std::min(windows, start + scenario.flash_windows);
+      for (size_t w = start; w < end; ++w) {
+        // Half-strength shoulders so the surge has a one-window ramp.
+        const bool shoulder = w == start || w + 1 == end;
+        const double factor =
+            shoulder ? 1.0 + (scenario.flash_factor - 1.0) * 0.5 : scenario.flash_factor;
+        for (size_t a = 0; a < series.api_count(); ++a) {
+          series.set_rate(w, a, series.rate(w, a) * factor);
+        }
+      }
+      return series;
+    }
+
+    case ScenarioKind::kApiMixDrift: {
+      // The composition rotates over the run: each API's share slides toward
+      // its neighbour's, so read-heavy traffic turns write-heavy (or vice
+      // versa) and the hot components move. Day-level granularity keeps the
+      // drift smooth while reusing the generator's jitter model per day.
+      assert(!base.mix.empty());
+      TrafficSpec spec = base;
+      spec.days = 1;
+      spec.user_scale *= scenario.user_scale;
+      TrafficSeries out;
+      for (size_t day = 0; day < scenario.days; ++day) {
+        const double t = scenario.days <= 1
+                             ? 1.0
+                             : static_cast<double>(day) /
+                                   static_cast<double>(scenario.days - 1);
+        const double blend = scenario.drift_strength * t;
+        TrafficSpec day_spec = spec;
+        for (size_t a = 0; a < base.mix.size(); ++a) {
+          const double rotated = base.mix[(a + 1) % base.mix.size()].weight;
+          day_spec.mix[a].weight =
+              (1.0 - blend) * base.mix[a].weight + blend * rotated;
+        }
+        const TrafficSeries day_series = GenerateTraffic(day_spec, rng);
+        if (day == 0) {
+          out = day_series;
+        } else {
+          out.Append(day_series);
+        }
+      }
+      return out;
+    }
+  }
+  return TrafficSeries();
+}
+
+}  // namespace deeprest

@@ -1,0 +1,57 @@
+// Traffic scenarios for the closed-loop autoscaling evaluation.
+//
+// Three stressors, each probing a different controller weakness:
+//   * diurnal      — the paper's two-peak day at an unseen user scale; the
+//                    steady-state case every policy should handle.
+//   * flash_crowd  — a diurnal day with a sudden multi-x surge (breaking
+//                    news, a viral post): punishes policies that only react
+//                    to the last sample.
+//   * api_mix_drift— the API composition rotates over the run (paper
+//                    section 5.3's unseen-composition queries): per-API
+//                    resource attribution decides whether the forecast sees
+//                    the hot components move.
+#ifndef SRC_AUTOSCALE_SCENARIO_H_
+#define SRC_AUTOSCALE_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/workload/traffic.h"
+
+namespace deeprest {
+
+enum class ScenarioKind { kDiurnal, kFlashCrowd, kApiMixDrift };
+
+const char* ScenarioKindName(ScenarioKind kind);
+bool ParseScenarioKind(const std::string& name, ScenarioKind& out);
+const std::vector<ScenarioKind>& AllScenarioKinds();
+
+struct ScenarioSpec {
+  ScenarioKind kind = ScenarioKind::kDiurnal;
+  size_t days = 2;
+  // Multiplies the base spec's user_scale (unseen-scale territory, where
+  // autoscaling decisions actually move replica counts).
+  double user_scale = 2.0;
+  // Flash crowd: the surge multiplier, where it starts (fraction of the
+  // series), and how many windows it lasts (ramping half a window in/out).
+  double flash_factor = 3.0;
+  double flash_start_frac = 0.55;
+  size_t flash_windows = 6;
+  // API-mix drift: weight of the rotated mix at the END of the run (0 = no
+  // drift, 1 = fully rotated).
+  double drift_strength = 0.7;
+};
+
+// Builds the scenario on top of a base TrafficSpec (typically the harness's
+// QuerySpec: same APIs, mix, and shape as the learning phase). Deterministic
+// given the seed.
+TrafficSeries BuildScenarioTraffic(const TrafficSpec& base, const ScenarioSpec& scenario,
+                                   uint64_t seed);
+
+// Copy of windows [from, to) of a series (same API set).
+TrafficSeries SliceTraffic(const TrafficSeries& series, size_t from, size_t to);
+
+}  // namespace deeprest
+
+#endif  // SRC_AUTOSCALE_SCENARIO_H_

@@ -1,0 +1,16 @@
+#include "src/serve/whatif.h"
+
+#include <utility>
+
+namespace deeprest {
+
+EstimateMap ServiceWhatIf::Estimate(const TrafficSeries& traffic, uint64_t seed) {
+  auto future = service_->SubmitTraffic(traffic, seed, deadline_);
+  EstimationService::EstimateResult result = future.get();
+  if (result.status != RequestStatus::kOk) {
+    return {};
+  }
+  return std::move(result.estimates);
+}
+
+}  // namespace deeprest

@@ -1,0 +1,67 @@
+// What-if query plumbing for the autoscale controller.
+//
+// The controller's predictive policy needs one thing from the estimation
+// stack: "given this hypothetical traffic, what will each resource consume?"
+// (the paper's mode-1 resource-allocation query). WhatIfSource abstracts
+// where the answer comes from, so the closed-loop evaluation harness can run
+// directly against an in-process model while a live deployment routes the
+// same query through the EstimationService front door — micro-batching,
+// overload shedding, model hot-swaps and all.
+#ifndef SRC_SERVE_WHATIF_H_
+#define SRC_SERVE_WHATIF_H_
+
+#include <chrono>
+
+#include "src/core/estimator.h"
+#include "src/serve/estimation_service.h"
+#include "src/workload/traffic.h"
+
+namespace deeprest {
+
+class WhatIfSource {
+ public:
+  virtual ~WhatIfSource() = default;
+
+  // Estimates resource consumption for hypothetical traffic. Returns an
+  // empty map when no estimate is available (no model published, request
+  // shed or expired); callers must treat that as "no forecast", not zeros.
+  // Implementations must be safe to call from multiple threads: the
+  // estimator's const inference surface already is, and the service path is
+  // a thread-safe submit.
+  virtual EstimateMap Estimate(const TrafficSeries& traffic, uint64_t seed) = 0;
+};
+
+// Directly against an in-process model (bench / eval path: no service
+// stack). The model must outlive the source and never be mutated while
+// queries run — same contract as a published ModelRegistry snapshot.
+class EstimatorWhatIf : public WhatIfSource {
+ public:
+  explicit EstimatorWhatIf(const DeepRestEstimator& model) : model_(&model) {}
+
+  EstimateMap Estimate(const TrafficSeries& traffic, uint64_t seed) override {
+    return model_->EstimateFromTraffic(traffic, seed);
+  }
+
+ private:
+  const DeepRestEstimator* model_;
+};
+
+// Through the EstimationService front door: submit-and-wait on a mode-1
+// traffic query. A shed, expired, or rejected request degrades to an empty
+// map — the controller then holds scale rather than acting on nothing.
+class ServiceWhatIf : public WhatIfSource {
+ public:
+  explicit ServiceWhatIf(EstimationService& service,
+                         std::chrono::milliseconds deadline = {})
+      : service_(&service), deadline_(deadline) {}
+
+  EstimateMap Estimate(const TrafficSeries& traffic, uint64_t seed) override;
+
+ private:
+  EstimationService* service_;
+  std::chrono::milliseconds deadline_;
+};
+
+}  // namespace deeprest
+
+#endif  // SRC_SERVE_WHATIF_H_

@@ -1,0 +1,34 @@
+#include "src/sim/capacity.h"
+
+#include <algorithm>
+
+namespace deeprest {
+
+CapacityOutcome QueueingCapacityModel::Evaluate(double demand_cpu, size_t replicas,
+                                                double capacity_cpu) const {
+  CapacityOutcome outcome;
+  outcome.demand_cpu = std::max(0.0, demand_cpu);
+  outcome.replicas = std::max<size_t>(1, replicas);
+  outcome.capacity_cpu = std::max(1e-9, capacity_cpu);
+
+  const double provisioned =
+      static_cast<double>(outcome.replicas) * outcome.capacity_cpu;
+  outcome.utilization = outcome.demand_cpu / provisioned;
+
+  // M/M/1-flavored inflation per replica; capped so an overloaded window has
+  // a large-but-finite factor instead of a singularity.
+  const double rho = std::min(outcome.utilization, 1.0 - 1e-6);
+  outcome.latency_factor = std::min(config_.max_latency_factor, 1.0 / (1.0 - rho));
+
+  if (outcome.utilization <= config_.slo_knee) {
+    outcome.violation_frac = 0.0;
+  } else if (outcome.utilization >= config_.saturation) {
+    outcome.violation_frac = 1.0;
+  } else {
+    outcome.violation_frac = (outcome.utilization - config_.slo_knee) /
+                             (config_.saturation - config_.slo_knee);
+  }
+  return outcome;
+}
+
+}  // namespace deeprest

@@ -106,13 +106,26 @@ void Simulator::FinishWindow(size_t absolute_window,
       acc = it->second;
     }
 
-    // CPU with queueing amplification above the knee.
-    double cpu_load = acc.cpu;
-    if (cpu_load > spec.queue_knee) {
-      const double over = cpu_load - spec.queue_knee;
-      cpu_load += spec.queue_gain * over * over;
+    double cpu;
+    if (capacity_model_ != nullptr) {
+      // Deployment-aware mode: raw demand (no single-instance amplification
+      // — queueing is the capacity model's job) evaluated against the
+      // current replica count; the recorded metric is the per-replica
+      // utilization a scrape of the scaled deployment shows, saturating at
+      // 100 like any real utilization gauge.
+      const CapacityOutcome outcome = capacity_model_->Evaluate(
+          spec.cpu_baseline + acc.cpu, state.replicas, state.capacity_cpu);
+      outcomes_[spec.name][absolute_window] = outcome;
+      cpu = std::clamp(Noisy(100.0 * std::min(outcome.utilization, 1.0)), 0.0, 100.0);
+    } else {
+      // CPU with queueing amplification above the knee.
+      double cpu_load = acc.cpu;
+      if (cpu_load > spec.queue_knee) {
+        const double over = cpu_load - spec.queue_knee;
+        cpu_load += spec.queue_gain * over * over;
+      }
+      cpu = std::clamp(Noisy(spec.cpu_baseline + cpu_load), 0.0, 100.0);
     }
-    const double cpu = std::clamp(Noisy(spec.cpu_baseline + cpu_load), 0.0, 100.0);
 
     // Background write churn (journaling/compaction) keeps IO series alive.
     double write_ops = acc.write_ops;
@@ -177,6 +190,48 @@ void Simulator::Run(const TrafficSeries& traffic, size_t offset, TraceCollector*
     ApplyAttacks(absolute_window, window);
     FinishWindow(absolute_window, window, metrics);
   }
+}
+
+void Simulator::SetCapacityModel(std::shared_ptr<const CapacityModel> model,
+                                 double default_capacity_cpu) {
+  capacity_model_ = std::move(model);
+  for (auto& [name, state] : state_) {
+    state.capacity_cpu = default_capacity_cpu;
+  }
+}
+
+void Simulator::SetReplicas(const std::string& component, size_t replicas) {
+  auto it = state_.find(component);
+  if (it != state_.end()) {
+    it->second.replicas = std::max<size_t>(1, replicas);
+  }
+}
+
+void Simulator::SetReplicaCapacity(const std::string& component, double capacity_cpu) {
+  auto it = state_.find(component);
+  if (it != state_.end()) {
+    it->second.capacity_cpu = std::max(1e-9, capacity_cpu);
+  }
+}
+
+size_t Simulator::Replicas(const std::string& component) const {
+  auto it = state_.find(component);
+  return it == state_.end() ? 1 : it->second.replicas;
+}
+
+double Simulator::ReplicaCapacity(const std::string& component) const {
+  auto it = state_.find(component);
+  return it == state_.end() ? 0.0 : it->second.capacity_cpu;
+}
+
+const CapacityOutcome* Simulator::OutcomeAt(const std::string& component,
+                                            size_t window) const {
+  auto comp = outcomes_.find(component);
+  if (comp == outcomes_.end()) {
+    return nullptr;
+  }
+  auto it = comp->second.find(window);
+  return it == comp->second.end() ? nullptr : &it->second;
 }
 
 double Simulator::DiskUsageMb(const std::string& component) const {

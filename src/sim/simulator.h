@@ -10,11 +10,13 @@
 #define SRC_SIM_SIMULATOR_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/nn/rng.h"
 #include "src/sim/app.h"
+#include "src/sim/capacity.h"
 #include "src/telemetry/metrics.h"
 #include "src/trace/collector.h"
 #include "src/workload/traffic.h"
@@ -58,12 +60,36 @@ class Simulator {
   double DiskUsageMb(const std::string& component) const;
   double CacheWarmth(const std::string& component) const;
 
+  // --- Closed-loop capacity hook (src/autoscale) ---
+  // Installing a model turns on deployment-aware accounting: FinishWindow
+  // evaluates each component's raw demand against the current replica count
+  // and per-replica capacity, records a CapacityOutcome, and the CPU metric
+  // switches to observed per-replica utilization (percent, saturating at
+  // 100) — what a scrape of the scaled deployment shows. The single-instance
+  // queueing amplification (queue_knee/queue_gain) is bypassed: queueing
+  // becomes the capacity model's job. Without a model, nothing changes.
+  // `default_capacity_cpu` seeds every component's per-replica capacity.
+  void SetCapacityModel(std::shared_ptr<const CapacityModel> model,
+                        double default_capacity_cpu = 100.0);
+  // Horizontal / vertical scaling actions; take effect from the next
+  // simulated window. Unknown components are ignored.
+  void SetReplicas(const std::string& component, size_t replicas);
+  void SetReplicaCapacity(const std::string& component, double capacity_cpu);
+  size_t Replicas(const std::string& component) const;
+  double ReplicaCapacity(const std::string& component) const;
+  // Outcome recorded for an absolute window, or nullptr when that window was
+  // simulated without a capacity model (or not simulated at all).
+  const CapacityOutcome* OutcomeAt(const std::string& component, size_t window) const;
+
  private:
   struct ComponentState {
     double disk_mb = 0.0;
     double warmth = 0.0;           // cache warmth in [0, 1)
     double cum_access_kb = 0.0;    // total data touched, drives working set
     double working_set_mb = 0.0;
+    // Deployment decision the capacity model evaluates demand against.
+    size_t replicas = 1;
+    double capacity_cpu = 100.0;
   };
 
   struct WindowAccumulator {
@@ -89,6 +115,8 @@ class Simulator {
   uint64_t next_trace_id_ = 1;
   std::map<std::string, ComponentState> state_;
   std::vector<AttackSpec> attacks_;
+  std::shared_ptr<const CapacityModel> capacity_model_;
+  std::map<std::string, std::map<size_t, CapacityOutcome>> outcomes_;
 };
 
 }  // namespace deeprest

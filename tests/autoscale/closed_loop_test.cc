@@ -1,0 +1,232 @@
+// End-to-end closed-loop autoscaling: the evaluation harness over a trained
+// estimator, determinism across evaluation threads, and the serving-side
+// AutoscaleLoop lifecycle.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/autoscale/controller.h"
+#include "src/autoscale/loop.h"
+#include "src/autoscale/policy.h"
+#include "src/eval/autoscale_harness.h"
+#include "src/eval/parallel.h"
+#include "src/serve/estimation_service.h"
+#include "src/serve/model_registry.h"
+#include "src/serve/whatif.h"
+#include "tests/serve/test_app.h"
+
+namespace deeprest {
+namespace {
+
+// One learned deployment + trained model shared by every test in this file
+// (training is milliseconds with FastConfig, but there is no need to repeat
+// it). The simulator is copied by RunClosedLoop, never advanced here.
+struct Fixture {
+  static constexpr size_t kLearnWindows = 96;
+  Application app = testutil::TinyApp();
+  TraceCollector traces;
+  MetricsStore metrics;
+  Simulator sim{app, {.seed = 9}};
+  std::unique_ptr<DeepRestEstimator> model;
+
+  Fixture() {
+    sim.Run(testutil::RandomTraffic(kLearnWindows, 9), 0, &traces, &metrics);
+    model = std::make_unique<DeepRestEstimator>(testutil::FastConfig());
+    model->Learn(traces, metrics, 0, kLearnWindows, app.MetricCatalog());
+  }
+};
+
+Fixture& F() {
+  static Fixture fixture;
+  return fixture;
+}
+
+// A calm plateau with a mid-run surge: enough demand swing that sizing
+// decisions actually move replica counts.
+TrafficSeries SurgeTraffic() {
+  TrafficSeries traffic({"/read", "/write"}, 32);
+  for (size_t w = 0; w < traffic.windows(); ++w) {
+    const bool surge = w >= 16 && w < 23;
+    traffic.set_rate(w, 0, surge ? 480.0 : 80.0);
+    traffic.set_rate(w, 1, surge ? 240.0 : 40.0);
+  }
+  return traffic;
+}
+
+ClosedLoopConfig TestConfig(PolicyKind policy) {
+  ClosedLoopConfig config;
+  config.policy = policy;
+  config.controller.control_interval = 4;
+  config.controller.lookahead = 4;
+  return config;
+}
+
+TEST(ClosedLoop, AllPoliciesRunAndAccount) {
+  EstimatorWhatIf whatif(*F().model);
+  const TrafficSeries traffic = SurgeTraffic();
+  for (PolicyKind kind : AllPolicyKinds()) {
+    const ClosedLoopResult r = RunClosedLoop(F().app, F().sim, Fixture::kLearnWindows,
+                                             traffic, &whatif, TestConfig(kind), "surge");
+    SCOPED_TRACE(r.policy);
+    EXPECT_EQ(r.scenario, "surge");
+    EXPECT_EQ(r.windows, traffic.windows());
+    EXPECT_EQ(r.components, 3u);
+    EXPECT_GT(r.provisioned_core_hours, 0.0);
+    EXPECT_GT(r.demand_core_hours, 0.0);
+    EXPECT_GE(r.slo_violation_rate, 0.0);
+    EXPECT_LE(r.slo_violation_rate, 1.0);
+    EXPECT_GT(r.over_provision_ratio, 0.0);
+    EXPECT_EQ(r.counters.ticks, 7u);  // boundaries at t = 4, 8, ..., 28
+    EXPECT_EQ(r.actions, r.action_log.size());
+  }
+}
+
+TEST(ClosedLoop, OracleIsTheUpperBound) {
+  EstimatorWhatIf whatif(*F().model);
+  const TrafficSeries traffic = SurgeTraffic();
+  const ClosedLoopResult oracle =
+      RunClosedLoop(F().app, F().sim, Fixture::kLearnWindows, traffic, &whatif,
+                    TestConfig(PolicyKind::kOracle), "surge");
+  const ClosedLoopResult reactive =
+      RunClosedLoop(F().app, F().sim, Fixture::kLearnWindows, traffic, &whatif,
+                    TestConfig(PolicyKind::kReactive), "surge");
+  // The oracle sizes true demand to just under the knee: it never does worse
+  // than the threshold baseline on violations.
+  EXPECT_LE(oracle.slo_violation_rate, reactive.slo_violation_rate + 1e-12);
+}
+
+// ISSUE acceptance: same seed + scenario => byte-identical action log whether
+// cells run on one thread or N.
+TEST(ClosedLoop, DeterministicAcrossEvalThreads) {
+  EstimatorWhatIf whatif(*F().model);
+  const TrafficSeries traffic = SurgeTraffic();
+
+  std::vector<ClosedLoopConfig> cells;
+  for (PolicyKind kind : AllPolicyKinds()) {
+    ClosedLoopConfig config = TestConfig(kind);
+    config.whatif_seed = 7;
+    cells.push_back(config);
+    config.whatif_seed = 8;
+    cells.push_back(config);
+  }
+
+  auto run_cell = [&](size_t i) {
+    return RunClosedLoop(F().app, F().sim, Fixture::kLearnWindows, traffic, &whatif,
+                         cells[i], "surge");
+  };
+
+  std::vector<ClosedLoopResult> serial(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    serial[i] = run_cell(i);
+  }
+  std::vector<ClosedLoopResult> parallel(cells.size());
+  ParallelFor(cells.size(), [&](size_t i) { parallel[i] = run_cell(i); }, 4);
+
+  for (size_t i = 0; i < cells.size(); ++i) {
+    SCOPED_TRACE(serial[i].policy + " cell " + std::to_string(i));
+    EXPECT_EQ(serial[i].action_log, parallel[i].action_log);
+    EXPECT_EQ(serial[i].slo_violation_rate, parallel[i].slo_violation_rate);
+    EXPECT_EQ(serial[i].provisioned_core_hours, parallel[i].provisioned_core_hours);
+    EXPECT_EQ(serial[i].demand_core_hours, parallel[i].demand_core_hours);
+  }
+}
+
+TEST(AutoscaleLoopTest, TicksWhenEnoughWindowsAreFeatured) {
+  Fixture& f = F();
+  IngestPipeline pipeline(f.model->features(), {.shards = 2});
+  EstimatorWhatIf whatif(*f.model);
+
+  PolicyConfig policy_config;
+  const auto policy = MakePolicy(PolicyKind::kPredictive, policy_config);
+  AutoscaleControllerConfig ctrl_config;
+  ctrl_config.control_interval = 4;
+  AutoscaleController controller(*policy, ctrl_config);
+  for (const auto& spec : f.app.components()) {
+    controller.AddComponent(spec.name, spec.stateful, 1, 50.0);
+  }
+
+  const size_t plan_base = 32;
+  AutoscaleLoopConfig loop_config;
+  loop_config.control_interval = 4;
+  std::vector<ScalingAction> sunk;
+  AutoscaleLoop loop(controller, whatif, pipeline, f.app,
+                     testutil::RandomTraffic(16, 21), plan_base, loop_config,
+                     [&](const std::vector<ScalingAction>& actions) {
+                       sunk.insert(sunk.end(), actions.begin(), actions.end());
+                     });
+
+  // Nothing ingested: no tick.
+  EXPECT_FALSE(loop.TickOnce());
+  EXPECT_EQ(loop.ticks(), 0u);
+
+  // Stream the learned phase in; the frontier reaches 40, the live watermark
+  // seals 39 >= plan_base + interval, so exactly one decision is due.
+  const auto keys = f.metrics.Keys();
+  for (size_t w = 0; w < 40; ++w) {
+    for (const Trace& trace : f.traces.TracesAt(w)) {
+      pipeline.IngestTrace(w, trace);
+    }
+    for (const MetricKey& key : keys) {
+      pipeline.IngestMetric(key, w, f.metrics.At(key, w));
+    }
+  }
+  EXPECT_TRUE(loop.TickOnce());
+  EXPECT_EQ(loop.ticks(), 1u);
+  EXPECT_EQ(loop.controlled_through(), 39u + ctrl_config.control_interval);
+  EXPECT_FALSE(loop.TickOnce());  // next decision not due yet
+  EXPECT_EQ(controller.counters().ticks, 1u);
+}
+
+TEST(AutoscaleLoopTest, StartStopLifecycleIsIdempotent) {
+  Fixture& f = F();
+  IngestPipeline pipeline(f.model->features(), {.shards = 2});
+  EstimatorWhatIf whatif(*f.model);
+  PolicyConfig policy_config;
+  const auto policy = MakePolicy(PolicyKind::kReactive, policy_config);
+  AutoscaleControllerConfig ctrl_config;
+  AutoscaleController controller(*policy, ctrl_config);
+  controller.AddComponent("Frontend", false, 1, 50.0);
+
+  AutoscaleLoopConfig loop_config;
+  loop_config.poll_interval = std::chrono::milliseconds(1);
+  AutoscaleLoop loop(controller, whatif, pipeline, f.app,
+                     testutil::RandomTraffic(8, 22), 0, loop_config);
+  loop.Start();
+  loop.Start();  // second Start is a no-op, not a second thread
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  loop.Stop();
+  loop.Stop();
+  loop.Start();  // restartable after Stop
+  loop.Stop();
+}
+
+TEST(ServiceWhatIfTest, RoutesThroughTheFrontDoorAndDegradesWhenStopped) {
+  Fixture& f = F();
+  // The service takes ownership of its model; train a private one.
+  auto model = std::make_unique<DeepRestEstimator>(testutil::FastConfig());
+  model->Learn(f.traces, f.metrics, 0, Fixture::kLearnWindows, f.app.MetricCatalog());
+  const EstimateMap direct =
+      model->EstimateFromTraffic(testutil::RandomTraffic(8, 31), 5);
+
+  ModelRegistry registry;
+  IngestPipeline pipeline(model->features(), {.shards = 2});
+  registry.Publish(std::move(model));
+  EstimationServiceConfig service_config;
+  service_config.workers = 2;
+  EstimationService service(registry, pipeline, service_config);
+  ServiceWhatIf whatif(service);
+
+  const EstimateMap via_service = whatif.Estimate(testutil::RandomTraffic(8, 31), 5);
+  testutil::ExpectSameEstimates(via_service, direct);
+
+  service.Stop();
+  // A rejected request is "no forecast", never zeros.
+  EXPECT_TRUE(whatif.Estimate(testutil::RandomTraffic(8, 31), 5).empty());
+}
+
+}  // namespace
+}  // namespace deeprest

@@ -1,0 +1,462 @@
+// Unit tests for the autoscale subsystem's pure pieces: the capacity model,
+// the simulator's deployment-aware hook, demand series, sizing, the three
+// policies, and the controller's damping machinery.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "src/autoscale/controller.h"
+#include "src/autoscale/policy.h"
+#include "src/autoscale/scenario.h"
+#include "src/sim/capacity.h"
+#include "src/sim/simulator.h"
+#include "tests/serve/test_app.h"
+
+namespace deeprest {
+namespace {
+
+TEST(QueueingCapacityModel, BelowKneeMeetsSlo) {
+  QueueingCapacityModel model;
+  const CapacityOutcome o = model.Evaluate(40.0, 1, 100.0);
+  EXPECT_DOUBLE_EQ(o.utilization, 0.4);
+  EXPECT_DOUBLE_EQ(o.violation_frac, 0.0);
+  EXPECT_NEAR(o.latency_factor, 1.0 / 0.6, 1e-9);
+}
+
+TEST(QueueingCapacityModel, PastSaturationEveryRequestViolates) {
+  QueueingCapacityModel model;
+  const CapacityOutcome o = model.Evaluate(100.0, 1, 80.0);
+  EXPECT_DOUBLE_EQ(o.utilization, 1.25);
+  EXPECT_DOUBLE_EQ(o.violation_frac, 1.0);
+  EXPECT_DOUBLE_EQ(o.latency_factor, 25.0);  // capped, not singular
+}
+
+TEST(QueueingCapacityModel, LinearRampBetweenKneeAndSaturation) {
+  QueueingCapacityModel model;  // knee 0.85, saturation 1.15
+  const CapacityOutcome o = model.Evaluate(100.0, 1, 100.0);
+  EXPECT_DOUBLE_EQ(o.utilization, 1.0);
+  EXPECT_NEAR(o.violation_frac, (1.0 - 0.85) / 0.30, 1e-12);
+}
+
+TEST(QueueingCapacityModel, ReplicasAndCapacityAreInterchangeable) {
+  QueueingCapacityModel model;
+  const CapacityOutcome two = model.Evaluate(80.0, 2, 100.0);
+  const CapacityOutcome big = model.Evaluate(80.0, 1, 200.0);
+  EXPECT_DOUBLE_EQ(two.utilization, 0.4);
+  EXPECT_DOUBLE_EQ(two.utilization, big.utilization);
+  EXPECT_DOUBLE_EQ(two.demand_cpu, big.demand_cpu);
+}
+
+TEST(SimulatorCapacity, NoModelMeansNoOutcomes) {
+  const Application app = testutil::TinyApp();
+  Simulator sim(app, {.seed = 5});
+  sim.Run(testutil::RandomTraffic(4, 5), 0, nullptr, nullptr);
+  EXPECT_EQ(sim.OutcomeAt("Frontend", 0), nullptr);
+  EXPECT_EQ(sim.Replicas("Frontend"), 1u);
+}
+
+TEST(SimulatorCapacity, ScalingOutHalvesUtilizationNotDemand) {
+  const Application app = testutil::TinyApp();
+  const auto model = std::make_shared<QueueingCapacityModel>();
+  const TrafficSeries traffic = testutil::RandomTraffic(6, 5);
+
+  Simulator one(app, {.seed = 5});
+  one.SetCapacityModel(model, 50.0);
+  one.Run(traffic, 0, nullptr, nullptr);
+
+  Simulator two(app, {.seed = 5});
+  two.SetCapacityModel(model, 50.0);
+  two.SetReplicas("Worker", 2);
+  two.Run(traffic, 0, nullptr, nullptr);
+
+  for (size_t w = 0; w < traffic.windows(); ++w) {
+    const CapacityOutcome* a = one.OutcomeAt("Worker", w);
+    const CapacityOutcome* b = two.OutcomeAt("Worker", w);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    // Replicas change how the component copes, never what it is asked to do:
+    // both simulators draw the same RNG stream, so demand is bit-identical.
+    EXPECT_EQ(a->demand_cpu, b->demand_cpu) << "window " << w;
+    EXPECT_DOUBLE_EQ(b->utilization, a->utilization / 2.0) << "window " << w;
+  }
+}
+
+TEST(SimulatorCapacity, RecordedCpuMetricIsSaturatingUtilization) {
+  const Application app = testutil::TinyApp();
+  Simulator sim(app, {.seed = 7, .noise_frac = 0.0});
+  sim.SetCapacityModel(std::make_shared<QueueingCapacityModel>(), 10.0);
+  MetricsStore metrics;
+  sim.Run(testutil::RandomTraffic(6, 7), 0, nullptr, &metrics);
+  for (size_t w = 0; w < 6; ++w) {
+    const CapacityOutcome* o = sim.OutcomeAt("Worker", w);
+    ASSERT_NE(o, nullptr);
+    const double scraped = metrics.At({"Worker", ResourceKind::kCpu}, w);
+    EXPECT_NEAR(scraped, 100.0 * std::min(o->utilization, 1.0), 1e-9);
+    EXPECT_LE(scraped, 100.0);  // the gauge cannot see past saturation
+  }
+}
+
+TEST(DemandSeries, AtClampsIntoRange) {
+  DemandSeries series;
+  series.base = 10;
+  series.cpu["A"] = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(series.At("A", 5, -1.0), 1.0);    // before base -> first
+  EXPECT_DOUBLE_EQ(series.At("A", 11, -1.0), 2.0);
+  EXPECT_DOUBLE_EQ(series.At("A", 99, -1.0), 3.0);   // past end -> last
+  EXPECT_DOUBLE_EQ(series.At("B", 11, -1.0), -1.0);  // unknown -> fallback
+}
+
+TEST(DemandSeries, MaxOverWindowRange) {
+  DemandSeries series;
+  series.base = 0;
+  series.cpu["A"] = {5.0, 9.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(series.MaxOver("A", 0, 2, -1.0), 9.0);
+  EXPECT_DOUBLE_EQ(series.MaxOver("A", 2, 4, -1.0), 4.0);
+  EXPECT_DOUBLE_EQ(series.MaxOver("A", 3, 3, -1.0), -1.0);  // empty range
+  EXPECT_DOUBLE_EQ(series.MaxOver("B", 0, 2, -1.0), -1.0);
+}
+
+TEST(ForecastFromEstimates, UpperCiFlooredByExpected) {
+  EstimateMap estimates;
+  ResourceEstimate cpu;
+  cpu.expected = {10.0, 20.0};
+  cpu.upper = {12.0, 18.0};  // degenerate upper in window 1
+  estimates[{"A", ResourceKind::kCpu}] = cpu;
+  ResourceEstimate mem;
+  mem.expected = {500.0};
+  estimates[{"A", ResourceKind::kMemory}] = mem;
+
+  const DemandSeries series = ForecastFromEstimates(estimates, 3);
+  EXPECT_EQ(series.base, 3u);
+  ASSERT_TRUE(series.Has("A"));
+  EXPECT_DOUBLE_EQ(series.At("A", 3, 0.0), 12.0);
+  EXPECT_DOUBLE_EQ(series.At("A", 4, 0.0), 20.0);  // expected > upper wins
+  EXPECT_EQ(series.cpu.size(), 1u);                // memory key skipped
+}
+
+TEST(SizeForDemand, StatelessScalesHorizontally) {
+  SizingConfig sizing;
+  ComponentObservation obs;
+  obs.capacity_cpu = 50.0;
+  // 100 demand at 0.6 target on 50-point replicas -> ceil(100/30) = 4.
+  const ComponentTarget t = SizeForDemand(100.0, obs, sizing, 0.6);
+  EXPECT_EQ(t.replicas, 4u);
+  EXPECT_DOUBLE_EQ(t.capacity_cpu, 50.0);
+  // Clamped at the envelope.
+  EXPECT_EQ(SizeForDemand(1e9, obs, sizing, 0.6).replicas, sizing.max_replicas);
+  EXPECT_EQ(SizeForDemand(0.0, obs, sizing, 0.6).replicas, sizing.min_replicas);
+}
+
+TEST(SizeForDemand, StatefulGrowsVerticallyInQuantizedSteps) {
+  SizingConfig sizing;  // step 25, bounds [25, 400]
+  ComponentObservation obs;
+  obs.stateful = true;
+  obs.replicas = 1;
+  const ComponentTarget t = SizeForDemand(101.0, obs, sizing, 0.5);
+  EXPECT_EQ(t.replicas, 1u);  // replicas never move on the vertical axis
+  EXPECT_DOUBLE_EQ(t.capacity_cpu, 225.0);  // ceil(202/25)*25
+  EXPECT_DOUBLE_EQ(SizeForDemand(1e9, obs, sizing, 0.5).capacity_cpu, 400.0);
+  EXPECT_DOUBLE_EQ(SizeForDemand(0.0, obs, sizing, 0.5).capacity_cpu, 25.0);
+}
+
+TEST(ReactivePolicy, HoldsInsideDeadBand) {
+  SizingConfig sizing;
+  ReactiveThresholdPolicy policy(sizing, 0.80, 0.45, 1.0);
+  ComponentObservation obs;
+  obs.replicas = 2;
+  obs.capacity_cpu = 50.0;
+  obs.utilization = 0.60;
+  obs.demand_cpu = 60.0;
+  EXPECT_FALSE(policy.Desired("A", obs, {}).has_value());
+
+  obs.utilization = 0.95;
+  obs.demand_cpu = 95.0;
+  const auto up = policy.Desired("A", obs, {});
+  ASSERT_TRUE(up.has_value());
+  EXPECT_GT(up->replicas, obs.replicas);
+
+  obs.utilization = 0.10;
+  obs.demand_cpu = 10.0;
+  const auto down = policy.Desired("A", obs, {});
+  ASSERT_TRUE(down.has_value());
+  EXPECT_LT(down->replicas, obs.replicas);
+}
+
+TEST(PredictivePolicy, SizesForForecastPeakAheadOfDemand) {
+  SizingConfig sizing;
+  PredictiveDeepRestPolicy policy(sizing, 1.0);
+  ComponentObservation obs;
+  obs.capacity_cpu = 50.0;
+  obs.demand_cpu = 20.0;  // current demand is calm
+
+  DemandSeries forecast;
+  forecast.base = 100;
+  forecast.cpu["A"] = {20.0, 20.0, 150.0, 20.0};  // surge inside the lookahead
+
+  PolicyInputs in;
+  in.window = 100;
+  in.horizon = 2;
+  in.lookahead = 1;
+  in.forecast = &forecast;
+  const auto target = policy.Desired("A", obs, in);
+  ASSERT_TRUE(target.has_value());
+  // Sized for the 150 peak (ceil(150 / (50 * 0.6)) = 5), not the calm now.
+  EXPECT_EQ(target->replicas, 5u);
+
+  // Without the surge in range, the calm demand wins.
+  in.lookahead = 0;
+  EXPECT_EQ(policy.Desired("A", obs, in)->replicas, 1u);
+}
+
+TEST(OraclePolicy, SizesTrueDemandToTheKnee) {
+  SizingConfig sizing;
+  OraclePolicy policy(sizing, 0.82);
+  ComponentObservation obs;
+  obs.capacity_cpu = 50.0;
+  obs.demand_cpu = 5.0;  // the observation lies; the oracle does not care
+
+  DemandSeries truth;
+  truth.base = 0;
+  truth.cpu["A"] = {120.0, 130.0};
+  PolicyInputs in;
+  in.window = 0;
+  in.horizon = 2;
+  in.truth = &truth;
+  const auto target = policy.Desired("A", obs, in);
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(target->replicas, 4u);  // ceil(130 / (50 * 0.82))
+}
+
+// Fixed-target policy: lets the damping tests drive the controller without
+// any telemetry arithmetic in the way.
+class StubPolicy : public ScalingPolicy {
+ public:
+  explicit StubPolicy(const SizingConfig& sizing) : ScalingPolicy(sizing) {}
+  const char* name() const override { return "stub"; }
+  std::optional<ComponentTarget> Desired(const std::string&, const ComponentObservation&,
+                                         const PolicyInputs&) const override {
+    return target;
+  }
+  std::optional<ComponentTarget> target;
+};
+
+std::map<std::string, ComponentObservation> Obs(double demand = 40.0,
+                                                const std::string& name = "A") {
+  ComponentObservation obs;
+  obs.demand_cpu = demand;
+  obs.utilization = 0.5;
+  return {{name, obs}};
+}
+
+TEST(AutoscaleController, UpCooldownBlocksRepeatScaleOut) {
+  AutoscaleControllerConfig config;
+  config.up_cooldown = 4;
+  StubPolicy policy(config.sizing);
+  AutoscaleController controller(policy, config);
+  controller.AddComponent("A", false, 1, 50.0);
+
+  policy.target = ComponentTarget{4, 50.0};
+  EXPECT_EQ(controller.Tick(10, Obs(), {}).size(), 1u);
+  EXPECT_EQ(controller.CurrentScale().at("A").replicas, 4u);
+
+  policy.target = ComponentTarget{8, 50.0};
+  EXPECT_TRUE(controller.Tick(12, Obs(), {}).empty());  // 12 < 10 + 4
+  EXPECT_EQ(controller.CurrentScale().at("A").replicas, 4u);
+  EXPECT_EQ(controller.counters().cooldown_blocks, 1u);
+
+  EXPECT_EQ(controller.Tick(14, Obs(), {}).size(), 1u);
+  EXPECT_EQ(controller.CurrentScale().at("A").replicas, 8u);
+}
+
+TEST(AutoscaleController, ScaleDownNeedsConsecutivePatience) {
+  AutoscaleControllerConfig config;
+  config.down_patience = 2;
+  config.down_cooldown = 0;
+  StubPolicy policy(config.sizing);
+  AutoscaleController controller(policy, config);
+  controller.AddComponent("A", false, 6, 50.0);
+
+  policy.target = ComponentTarget{2, 50.0};
+  EXPECT_TRUE(controller.Tick(20, Obs(), {}).empty());  // streak 1: blocked
+  EXPECT_EQ(controller.counters().patience_blocks, 1u);
+
+  // A hold in between resets the streak.
+  policy.target = std::nullopt;
+  controller.Tick(21, Obs(), {});
+  policy.target = ComponentTarget{2, 50.0};
+  EXPECT_TRUE(controller.Tick(22, Obs(), {}).empty());  // streak back to 1
+
+  const auto actions = controller.Tick(23, Obs(), {});  // streak 2: released
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].reason, "scale-in");
+  EXPECT_EQ(controller.CurrentScale().at("A").replicas, 2u);
+}
+
+TEST(AutoscaleController, DownCooldownHoldsCapacityAfterScaleUp) {
+  AutoscaleControllerConfig config;
+  config.up_cooldown = 0;
+  config.down_cooldown = 8;
+  config.down_patience = 1;
+  StubPolicy policy(config.sizing);
+  AutoscaleController controller(policy, config);
+  controller.AddComponent("A", false, 2, 50.0);
+
+  policy.target = ComponentTarget{6, 50.0};
+  EXPECT_EQ(controller.Tick(10, Obs(), {}).size(), 1u);
+
+  // A transient dip right after the surge must not shed the capacity.
+  policy.target = ComponentTarget{2, 50.0};
+  EXPECT_TRUE(controller.Tick(14, Obs(), {}).empty());  // 14 < 10 + 8
+  EXPECT_EQ(controller.CurrentScale().at("A").replicas, 6u);
+
+  EXPECT_EQ(controller.Tick(18, Obs(), {}).size(), 1u);  // cooldown over
+  EXPECT_EQ(controller.CurrentScale().at("A").replicas, 2u);
+}
+
+TEST(AutoscaleController, BlankTelemetryFailsStatic) {
+  AutoscaleControllerConfig config;
+  StubPolicy policy(config.sizing);
+  AutoscaleController controller(policy, config);
+  controller.AddComponent("A", false, 3, 50.0);
+  policy.target = ComponentTarget{9, 50.0};
+
+  auto blank = Obs();
+  blank.at("A").blank = true;
+  EXPECT_TRUE(controller.Tick(10, blank, {}).empty());
+  // Missing entirely is the same as blank.
+  EXPECT_TRUE(controller.Tick(11, {}, {}).empty());
+  EXPECT_EQ(controller.CurrentScale().at("A").replicas, 3u);
+  EXPECT_EQ(controller.counters().blank_holds, 2u);
+}
+
+TEST(AutoscaleController, VerticalAxisForStatefulComponents) {
+  AutoscaleControllerConfig config;
+  config.down_patience = 1;
+  config.down_cooldown = 0;
+  StubPolicy policy(config.sizing);
+  AutoscaleController controller(policy, config);
+  controller.AddComponent("DB", true, 1, 50.0);
+
+  policy.target = ComponentTarget{1, 150.0};
+  auto actions = controller.Tick(5, Obs(40.0, "DB"), {});
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].reason, "grow");
+  EXPECT_DOUBLE_EQ(controller.CurrentScale().at("DB").capacity_cpu, 150.0);
+
+  policy.target = ComponentTarget{1, 75.0};
+  actions = controller.Tick(20, Obs(40.0, "DB"), {});
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].reason, "shrink");
+  EXPECT_EQ(controller.counters().grows, 1u);
+  EXPECT_EQ(controller.counters().shrinks, 1u);
+}
+
+TEST(AutoscaleController, ActionLogLinesAreDeterministic) {
+  AutoscaleControllerConfig config;
+  StubPolicy policy(config.sizing);
+  AutoscaleController controller(policy, config);
+  controller.AddComponent("A", false, 1, 50.0);
+  policy.target = ComponentTarget{4, 50.0};
+  controller.Tick(10, Obs(42.5), {});
+
+  const auto log = controller.ActionLog();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], "w=0010 A replicas 1->4 cap 50->50 demand 42.5 scale-out");
+}
+
+TEST(PolicyKinds, NamesRoundTrip) {
+  for (PolicyKind kind : AllPolicyKinds()) {
+    PolicyKind parsed;
+    ASSERT_TRUE(ParsePolicyKind(PolicyKindName(kind), parsed));
+    EXPECT_EQ(parsed, kind);
+    PolicyConfig config;
+    EXPECT_NE(MakePolicy(kind, config), nullptr);
+  }
+  PolicyKind out;
+  EXPECT_FALSE(ParsePolicyKind("bogus", out));
+}
+
+TrafficSpec ScenarioBase() {
+  TrafficSpec spec;
+  spec.days = 2;
+  spec.windows_per_day = 12;
+  spec.base_requests_per_window = 60.0;
+  spec.mix = {{"/read", 2.0}, {"/write", 1.0}};
+  return spec;
+}
+
+TEST(Scenarios, DeterministicGivenSeed) {
+  for (ScenarioKind kind : AllScenarioKinds()) {
+    ScenarioSpec scenario;
+    scenario.kind = kind;
+    const TrafficSeries a = BuildScenarioTraffic(ScenarioBase(), scenario, 42);
+    const TrafficSeries b = BuildScenarioTraffic(ScenarioBase(), scenario, 42);
+    ASSERT_EQ(a.windows(), b.windows()) << ScenarioKindName(kind);
+    for (size_t w = 0; w < a.windows(); ++w) {
+      for (size_t i = 0; i < a.api_count(); ++i) {
+        ASSERT_EQ(a.rate(w, i), b.rate(w, i)) << ScenarioKindName(kind);
+      }
+    }
+    ScenarioKind parsed;
+    ASSERT_TRUE(ParseScenarioKind(ScenarioKindName(kind), parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+}
+
+TEST(Scenarios, FlashCrowdAddsASurge) {
+  ScenarioSpec diurnal;
+  diurnal.kind = ScenarioKind::kDiurnal;
+  ScenarioSpec flash = diurnal;
+  flash.kind = ScenarioKind::kFlashCrowd;
+  const TrafficSeries base = BuildScenarioTraffic(ScenarioBase(), diurnal, 42);
+  const TrafficSeries surged = BuildScenarioTraffic(ScenarioBase(), flash, 42);
+  ASSERT_EQ(base.windows(), surged.windows());
+  EXPECT_GT(surged.GrandTotal(), base.GrandTotal() * 1.1);
+  // Peak window carries the configured multiplier.
+  double max_ratio = 0.0;
+  for (size_t w = 0; w < base.windows(); ++w) {
+    if (base.TotalAt(w) > 0.0) {
+      max_ratio = std::max(max_ratio, surged.TotalAt(w) / base.TotalAt(w));
+    }
+  }
+  EXPECT_NEAR(max_ratio, flash.flash_factor, 1e-6);
+}
+
+TEST(Scenarios, ApiMixDriftRotatesTheComposition) {
+  ScenarioSpec drift;
+  drift.kind = ScenarioKind::kApiMixDrift;
+  drift.days = 2;
+  drift.drift_strength = 1.0;
+  const TrafficSeries series = BuildScenarioTraffic(ScenarioBase(), drift, 42);
+  const size_t per_day = series.windows() / 2;
+  double read_share_first = 0.0, read_share_last = 0.0;
+  double total_first = 0.0, total_last = 0.0;
+  size_t read_index = 0;
+  ASSERT_TRUE(series.ApiIndex("/read", read_index));
+  for (size_t w = 0; w < per_day; ++w) {
+    read_share_first += series.rate(w, read_index);
+    total_first += series.TotalAt(w);
+    read_share_last += series.rate(per_day + w, read_index);
+    total_last += series.TotalAt(per_day + w);
+  }
+  // Day 0 is read-heavy (2:1); by the last day the mix has rotated.
+  EXPECT_GT(read_share_first / total_first, 0.55);
+  EXPECT_LT(read_share_last / total_last, 0.45);
+}
+
+TEST(Scenarios, SliceTrafficCopiesTheRange) {
+  const TrafficSeries series = testutil::RandomTraffic(10, 3);
+  const TrafficSeries slice = SliceTraffic(series, 4, 7);
+  ASSERT_EQ(slice.windows(), 3u);
+  for (size_t w = 0; w < 3; ++w) {
+    for (size_t a = 0; a < series.api_count(); ++a) {
+      EXPECT_EQ(slice.rate(w, a), series.rate(4 + w, a));
+    }
+  }
+  EXPECT_EQ(SliceTraffic(series, 8, 100).windows(), 2u);  // clamped
+  EXPECT_EQ(SliceTraffic(series, 7, 3).windows(), 0u);    // inverted -> empty
+}
+
+}  // namespace
+}  // namespace deeprest

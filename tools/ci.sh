@@ -22,6 +22,10 @@ echo "==> [1/5] tier-1: default build + full test suite"
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+# The closed-loop autoscaling suite again by label: keeps `ctest -L autoscale`
+# a supported entry point (it also rides the chaos label into the TSan and
+# ASan legs below).
+ctest --test-dir build --output-on-failure -L autoscale
 
 echo "==> [2/5] lint: invariant linter over src/ + rule fixtures"
 ctest --preset lint -j "$JOBS"

@@ -33,6 +33,17 @@
 //       atomic model checkpoints after every refresh and crash recovery at
 //       startup (falls back to FILE.prev if FILE is torn).
 //
+//   deeprest autoscale [--app=social|hotel] [--days=N] [--wpd=N] [--seed=N]
+//                      [--policy=reactive|predictive|oracle|all]
+//                      [--scenario=diurnal|flash_crowd|api_mix_drift|all]
+//                      [--scenario-days=N] [--scale=X] [--capacity=CPU]
+//                      [--interval=N] [--gap=P]
+//       Closed-loop autoscaling evaluation: train (or reuse the cached
+//       model), then drive the capacity-model simulator with the chosen
+//       scaling policies over the chosen traffic scenarios. Prints the
+//       SLO-violation-rate vs provisioned-core-hours table; --gap routes the
+//       controller's metric scrapes through a seeded FaultInjector.
+//
 //   deeprest demo
 //       One-command tour: train, estimate, and check on the social network.
 //
@@ -49,8 +60,10 @@
 #include <thread>
 #include <vector>
 
+#include "src/autoscale/scenario.h"
 #include "src/core/planner.h"
 #include "src/eval/ascii.h"
+#include "src/eval/autoscale_harness.h"
 #include "src/eval/harness.h"
 #include "src/serve/checkpoint.h"
 #include "src/serve/continual_learner.h"
@@ -493,6 +506,86 @@ int CmdServe(const CliArgs& args) {
   return 0;
 }
 
+int CmdAutoscale(const CliArgs& args) {
+  // Validate flags before the (potentially minutes-long) training step.
+  std::vector<PolicyKind> policies;
+  const std::string policy_flag = args.Get("policy", "all");
+  if (policy_flag == "all") {
+    policies = AllPolicyKinds();
+  } else {
+    PolicyKind kind;
+    if (!ParsePolicyKind(policy_flag, kind)) {
+      std::fprintf(stderr, "autoscale: unknown --policy=%s\n", policy_flag.c_str());
+      return 2;
+    }
+    policies.push_back(kind);
+  }
+  std::vector<ScenarioKind> scenarios;
+  const std::string scenario_flag = args.Get("scenario", "all");
+  if (scenario_flag == "all") {
+    scenarios = AllScenarioKinds();
+  } else {
+    ScenarioKind kind;
+    if (!ParseScenarioKind(scenario_flag, kind)) {
+      std::fprintf(stderr, "autoscale: unknown --scenario=%s\n", scenario_flag.c_str());
+      return 2;
+    }
+    scenarios.push_back(kind);
+  }
+
+  ExperimentHarness harness(ConfigFrom(args));
+  std::printf("Training the estimator (%zu learn windows)...\n", harness.learn_windows());
+  EstimatorWhatIf whatif(harness.deeprest());
+
+  const HarnessConfig config = ConfigFrom(args);
+  ScenarioSpec scenario_spec;
+  scenario_spec.days = args.GetSize("scenario-days", 2);
+  scenario_spec.user_scale = args.GetDouble("scale", 3.0);
+
+  ClosedLoopConfig loop;
+  loop.windows_per_day = config.windows_per_day;
+  loop.default_capacity_cpu = args.GetDouble("capacity", 10.0);
+  loop.policy_config.sizing.min_capacity_cpu = loop.default_capacity_cpu;
+  loop.policy_config.sizing.capacity_step_cpu = loop.default_capacity_cpu;
+  loop.policy_config.predictive_headroom = 0.71;
+  loop.forecast_upper_weight = 0.0;
+  loop.controller.control_interval = args.GetSize("interval", 4);
+  loop.controller.lookahead = 0;
+  loop.faults.seed = config.seed + 103;
+  loop.faults.metric_gap_prob = args.GetDouble("gap", 0.0);
+
+  std::vector<std::vector<std::string>> rows;
+  for (ScenarioKind scenario_kind : scenarios) {
+    ScenarioSpec scenario = scenario_spec;
+    scenario.kind = scenario_kind;
+    const TrafficSeries traffic = BuildScenarioTraffic(
+        harness.QuerySpec(scenario.days), scenario, config.seed + 71);
+    for (PolicyKind policy_kind : policies) {
+      ClosedLoopConfig cell = loop;
+      cell.policy = policy_kind;
+      const ClosedLoopResult r =
+          RunClosedLoop(harness.app(), harness.simulator(), harness.learn_windows(),
+                        traffic, &whatif, cell, ScenarioKindName(scenario_kind));
+      rows.push_back({r.scenario, r.policy,
+                      FormatDouble(100.0 * r.slo_violation_rate, 2) + "%",
+                      FormatDouble(r.provisioned_core_hours, 1),
+                      FormatDouble(r.demand_core_hours, 1),
+                      FormatDouble(r.over_provision_ratio, 2),
+                      std::to_string(r.actions),
+                      std::to_string(r.counters.blank_holds)});
+    }
+  }
+  std::printf("\nClosed loop over %zu-day scenarios at %.1fx users "
+              "(%.0f-CPU replicas, tick every %zu windows):\n%s\n",
+              scenario_spec.days, scenario_spec.user_scale, loop.default_capacity_cpu,
+              loop.controller.control_interval,
+              RenderTable({"scenario", "policy", "SLO viol", "prov core-h",
+                           "demand core-h", "over-prov", "actions", "blank holds"},
+                          rows)
+                  .c_str());
+  return 0;
+}
+
 int CmdDemo() {
   const std::string model = "/tmp/deeprest_demo_model.bin";
   CliArgs train_args;
@@ -518,7 +611,7 @@ int CmdDemo() {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: deeprest <train|estimate|check|serve|demo> [--flags]\n"
+               "usage: deeprest <train|estimate|check|serve|autoscale|demo> [--flags]\n"
                "  train    --model=FILE [--app=social|hotel] [--days=N] [--wpd=N]\n"
                "           [--seed=N] [--hidden=N] [--epochs=N]\n"
                "  estimate --model=FILE [--scale=X] [--shape=two_peak|flat|single_peak]\n"
@@ -530,6 +623,10 @@ int Usage() {
                "           [--chaos] [--drop=P] [--dup=P] [--corrupt=P] [--gap=P]\n"
                "           [--max-queue=N] [--shed-policy=reject-new|drop-oldest]\n"
                "           [--deadline-ms=N] [--retries=N] [--checkpoint=FILE]\n"
+               "  autoscale [--policy=reactive|predictive|oracle|all]\n"
+               "           [--scenario=diurnal|flash_crowd|api_mix_drift|all]\n"
+               "           [--scenario-days=N] [--scale=X] [--capacity=CPU]\n"
+               "           [--interval=N] [--gap=P]\n"
                "  demo     end-to-end tour on the social network\n");
   return 2;
 }
@@ -550,6 +647,9 @@ int main(int argc, char** argv) {
   }
   if (args.command == "serve") {
     return deeprest::CmdServe(args);
+  }
+  if (args.command == "autoscale") {
+    return deeprest::CmdAutoscale(args);
   }
   if (args.command == "demo") {
     return deeprest::CmdDemo();
