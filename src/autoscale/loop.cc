@@ -14,6 +14,9 @@ AutoscaleLoop::AutoscaleLoop(AutoscaleController& controller, WhatIfSource& what
     : controller_(controller), whatif_(whatif), pipeline_(pipeline), app_(&app),
       planned_(std::move(planned)), plan_base_(plan_base), config_(config),
       sink_(std::move(sink)) {
+  if (config_.health != nullptr) {
+    health_ = config_.health->Register(config_.health_name, config_.stall_threshold_us);
+  }
   MutexLock lock(tick_mu_);
   // First decision once a full interval beyond the plan base is sealed.
   next_tick_ = plan_base_ + config_.control_interval;
@@ -39,10 +42,12 @@ void AutoscaleLoop::Stop() {
   if (thread_.joinable()) {
     thread_.join();
   }
+  health_.MarkStopped();
 }
 
 void AutoscaleLoop::Loop() {
   while (!stop_.load(std::memory_order_acquire)) {
+    health_.Heartbeat();
     TickOnce();
     std::this_thread::sleep_for(config_.poll_interval);
   }
@@ -70,7 +75,8 @@ bool AutoscaleLoop::TickOnce() {
   const MetricsStore metrics = pipeline_.MetricsCopy();
   const std::vector<DataQuality> quality =
       pipeline_.QualitySlice(evidence_window, featured);
-  const bool blank = !quality.empty() && quality.front().score < config_.min_quality;
+  const bool blank = fail_static_.load(std::memory_order_acquire) ||
+                     (!quality.empty() && quality.front().score < config_.min_quality);
   const std::map<std::string, ComponentScale> scale = controller_.CurrentScale();
   std::map<std::string, ComponentObservation> observations;
   for (const auto& spec : app_->components()) {

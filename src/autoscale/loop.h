@@ -30,6 +30,7 @@
 
 #include "src/autoscale/controller.h"
 #include "src/core/thread_annotations.h"
+#include "src/serve/health.h"
 #include "src/serve/ingest_pipeline.h"
 #include "src/serve/whatif.h"
 #include "src/sim/app.h"
@@ -46,6 +47,11 @@ struct AutoscaleLoopConfig {
   uint64_t whatif_seed = 1;
   // Sealed windows below this DataQuality score yield blank observations.
   double min_quality = 0.5;
+  // Supervision: when set, the background loop heartbeats into the registry
+  // under this component name. Must outlive the loop.
+  HealthRegistry* health = nullptr;
+  std::string health_name = "autoscale-loop";
+  uint64_t stall_threshold_us = 500000;
 };
 
 class AutoscaleLoop {
@@ -80,6 +86,12 @@ class AutoscaleLoop {
     return controlled_through_.load(std::memory_order_acquire);
   }
 
+  // Degraded mode (Supervisor escalation): while set, every observation is
+  // marked blank so the controller fail-statics — scale is held rather than
+  // adjusted on evidence the supervision layer no longer trusts.
+  void SetFailStatic(bool on) { fail_static_.store(on, std::memory_order_release); }
+  bool fail_static() const { return fail_static_.load(std::memory_order_acquire); }
+
  private:
   void Loop();
 
@@ -106,6 +118,8 @@ class AutoscaleLoop {
   std::atomic<uint64_t> ticks_{0};
   std::atomic<size_t> controlled_through_{0};
   std::atomic<bool> stop_{false};
+  std::atomic<bool> fail_static_{false};
+  HealthHandle health_;
 };
 
 }  // namespace deeprest

@@ -1,0 +1,185 @@
+// Reusable circuit breaker for the serving stack's self-protection paths.
+//
+// Extracted from ContinualLearner's validation gate (PR 2) so the same
+// mechanism can guard any repeatedly-failing operation: model fine-tunes,
+// what-if estimation through the service front door, or anything else whose
+// failures are cheap to detect and expensive to keep retrying.
+//
+// State machine (deterministic, attempt-counted — no wall clock, so chaos
+// tests can assert exact transitions):
+//
+//   kClosed    every Allow() passes; `trip_failures` CONSECUTIVE recorded
+//              failures trip the breaker to kOpen. trip_failures == 0 is
+//              gate-only mode: failures are counted but the breaker never
+//              opens — this is the learner's historical validation-gate
+//              behavior, preserved bit-exactly.
+//   kOpen      Allow() rejects (and counts the rejection); after
+//              `open_rejections` rejected attempts the breaker moves to
+//              kHalfOpen and lets exactly one probe through.
+//   kHalfOpen  the probe's RecordSuccess closes the breaker (failure streak
+//              reset); its RecordFailure re-opens it for another full
+//              open_rejections round.
+//
+// Thread-safety: all methods may be called concurrently (one internal
+// mutex). In kHalfOpen only the first Allow() wins the probe slot; racing
+// callers are rejected like kOpen, so at most one probe is ever in flight.
+#ifndef SRC_SERVE_CIRCUIT_BREAKER_H_
+#define SRC_SERVE_CIRCUIT_BREAKER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/core/thread_annotations.h"
+
+namespace deeprest {
+
+enum class BreakerState { kClosed = 0, kOpen, kHalfOpen };
+
+inline const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+struct CircuitBreakerConfig {
+  // Consecutive failures that trip the breaker open. 0 = gate-only: count
+  // failures but never open (the pre-extraction learner behavior).
+  size_t trip_failures = 0;
+  // Allow() calls rejected while open before one half-open probe is let
+  // through. Attempt-counted rather than timed so transitions are exact
+  // under test; callers that poll on a timer get time-based recovery for
+  // free.
+  size_t open_rejections = 8;
+};
+
+// Lifetime tallies, snapshot under the breaker's lock.
+struct CircuitBreakerCounters {
+  uint64_t successes = 0;
+  uint64_t failures = 0;
+  uint64_t trips = 0;       // closed -> open transitions (incl. re-opens)
+  uint64_t rejections = 0;  // Allow() calls denied while open/half-open
+  BreakerState state = BreakerState::kClosed;
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(const CircuitBreakerConfig& config = {}) : config_(config) {}
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  // The validation-regression decision the learner's breaker gates on, kept
+  // as one pure function so the learner, the tests, and any future caller
+  // share a single definition of "regressed". The epsilon keeps a bit-equal
+  // candidate (base_error == next_error == 0) from tripping on rounding.
+  static bool ValidationRegressed(double base_error, double candidate_error, double factor) {
+    return factor > 0.0 && candidate_error > factor * base_error + 1e-12;
+  }
+
+  // May the protected operation run now? A denial is counted and advances
+  // the open -> half-open countdown.
+  bool Allow() {
+    MutexLock lock(mu_);
+    switch (state_) {
+      case BreakerState::kClosed:
+        return true;
+      case BreakerState::kHalfOpen:
+        if (probe_in_flight_) {
+          ++rejections_;
+          return false;
+        }
+        probe_in_flight_ = true;
+        return true;
+      case BreakerState::kOpen:
+        ++rejections_;
+        ++open_denials_;
+        if (open_denials_ >= config_.open_rejections) {
+          state_ = BreakerState::kHalfOpen;
+          probe_in_flight_ = false;
+        }
+        return false;
+    }
+    return true;
+  }
+
+  // The protected operation was allowed but never actually ran (e.g. an
+  // allocation failed before the attempt). Returns the half-open probe slot
+  // so the breaker cannot wedge waiting on a probe that will never report.
+  void AbandonProbe() {
+    MutexLock lock(mu_);
+    probe_in_flight_ = false;
+  }
+
+  void RecordSuccess() {
+    MutexLock lock(mu_);
+    ++successes_;
+    streak_ = 0;
+    state_ = BreakerState::kClosed;
+    probe_in_flight_ = false;
+  }
+
+  void RecordFailure() {
+    MutexLock lock(mu_);
+    ++failures_;
+    ++streak_;
+    if (state_ == BreakerState::kHalfOpen) {
+      Trip();
+      return;
+    }
+    if (config_.trip_failures > 0 && state_ == BreakerState::kClosed &&
+        streak_ >= config_.trip_failures) {
+      Trip();
+    }
+  }
+
+  BreakerState state() const {
+    MutexLock lock(mu_);
+    return state_;
+  }
+
+  CircuitBreakerCounters counters() const {
+    MutexLock lock(mu_);
+    CircuitBreakerCounters out;
+    out.successes = successes_;
+    out.failures = failures_;
+    out.trips = trips_;
+    out.rejections = rejections_;
+    out.state = state_;
+    return out;
+  }
+
+  uint64_t failures() const {
+    MutexLock lock(mu_);
+    return failures_;
+  }
+
+ private:
+  void Trip() DEEPREST_REQUIRES(mu_) {
+    state_ = BreakerState::kOpen;
+    open_denials_ = 0;
+    streak_ = 0;
+    probe_in_flight_ = false;
+    ++trips_;
+  }
+
+  const CircuitBreakerConfig config_;
+  mutable Mutex mu_;
+  BreakerState state_ DEEPREST_GUARDED_BY(mu_) = BreakerState::kClosed;
+  size_t streak_ DEEPREST_GUARDED_BY(mu_) = 0;        // consecutive failures
+  size_t open_denials_ DEEPREST_GUARDED_BY(mu_) = 0;  // since the last trip
+  bool probe_in_flight_ DEEPREST_GUARDED_BY(mu_) = false;
+  uint64_t successes_ DEEPREST_GUARDED_BY(mu_) = 0;
+  uint64_t failures_ DEEPREST_GUARDED_BY(mu_) = 0;
+  uint64_t trips_ DEEPREST_GUARDED_BY(mu_) = 0;
+  uint64_t rejections_ DEEPREST_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace deeprest
+
+#endif  // SRC_SERVE_CIRCUIT_BREAKER_H_

@@ -41,7 +41,11 @@ double ValidationError(const DeepRestEstimator& model,
 ContinualLearner::ContinualLearner(ModelRegistry& registry, IngestPipeline& pipeline,
                                    size_t start_window, const ContinualLearnerConfig& config)
     : registry_(registry), pipeline_(pipeline), config_(config),
-      trained_through_(start_window) {}
+      trained_through_(start_window), breaker_(config.breaker) {
+  if (config_.health != nullptr) {
+    health_ = config_.health->Register(config_.health_name, config_.stall_threshold_us);
+  }
+}
 
 ContinualLearner::~ContinualLearner() { Stop(); }
 
@@ -63,10 +67,12 @@ void ContinualLearner::Stop() {
   if (thread_.joinable()) {
     thread_.join();
   }
+  health_.MarkStopped();
 }
 
 void ContinualLearner::Loop() {
   while (!stop_.load(std::memory_order_acquire)) {
+    health_.Heartbeat();
     RefreshOnce();
     std::this_thread::sleep_for(config_.poll_interval);
   }
@@ -88,13 +94,27 @@ uint64_t ContinualLearner::RefreshOnce() {
     return 0;
   }
 
+  // Breaker open: skip the expensive clone+train without consuming the
+  // stretch — the windows stay pending for the half-open probe.
+  if (!breaker_.Allow()) {
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+
   // Stable copies: training must not hold pipeline locks (it is slow) and
   // must not race with producers appending to the live stores.
   const TraceCollector traces = pipeline_.TracesCopy(from, watermark);
   const MetricsStore metrics = pipeline_.MetricsCopy();
 
+  if (config_.alloc_fail_hook && config_.alloc_fail_hook()) {
+    alloc_failures_.fetch_add(1, std::memory_order_relaxed);
+    breaker_.AbandonProbe();
+    return 0;
+  }
   std::unique_ptr<DeepRestEstimator> next = base.model->Clone();
   if (next == nullptr) {
+    alloc_failures_.fetch_add(1, std::memory_order_relaxed);
+    breaker_.AbandonProbe();
     return 0;
   }
   next->ContinueLearning(traces, metrics, from, watermark, config_.epochs);
@@ -107,8 +127,9 @@ uint64_t ContinualLearner::RefreshOnce() {
     const std::vector<std::vector<float>> features = pipeline_.FeatureSlice(from, watermark);
     const double base_error = ValidationError(*base.model, features, metrics, from, watermark);
     const double next_error = ValidationError(*next, features, metrics, from, watermark);
-    if (next_error > config_.validation_regression_factor * base_error + 1e-12) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (CircuitBreaker::ValidationRegressed(base_error, next_error,
+                                            config_.validation_regression_factor)) {
+      breaker_.RecordFailure();
       trained_through_.store(watermark, std::memory_order_release);
       return 0;
     }
@@ -118,6 +139,7 @@ uint64_t ContinualLearner::RefreshOnce() {
   const uint64_t version = registry_.Publish(published);
   trained_through_.store(watermark, std::memory_order_release);
   refreshes_.fetch_add(1, std::memory_order_relaxed);
+  breaker_.RecordSuccess();
 
   if (!config_.checkpoint_path.empty()) {
     CheckpointData data;

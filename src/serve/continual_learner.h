@@ -25,11 +25,14 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/core/thread_annotations.h"
+#include "src/serve/circuit_breaker.h"
+#include "src/serve/health.h"
 #include "src/serve/ingest_pipeline.h"
 #include "src/serve/model_registry.h"
 
@@ -46,8 +49,25 @@ struct ContinualLearnerConfig {
   // over the new windows exceeds base_error * validation_regression_factor.
   // <= 0 disables validation (always publish).
   double validation_regression_factor = 1.5;
+  // Breaker trip/recovery shape (CircuitBreaker). The default trip_failures
+  // of 0 is gate-only — every stretch is validated but refreshes never stop,
+  // the historical behavior. >0 trips the breaker after that many
+  // CONSECUTIVE rejected fine-tunes: RefreshOnce then skips the expensive
+  // clone+train entirely (without advancing trained_through) until the
+  // half-open probe, so a telemetry stream gone persistently bad stops
+  // burning train cycles on candidates that keep failing validation.
+  CircuitBreakerConfig breaker;
   // Atomic checkpoint written after every successful publish; empty disables.
   std::string checkpoint_path;
+  // Supervision: when set, the background loop heartbeats into the registry
+  // under this component name. Must outlive the learner.
+  HealthRegistry* health = nullptr;
+  std::string health_name = "continual-learner";
+  uint64_t stall_threshold_us = 500000;
+  // Chaos hook: returning true makes this refresh behave as if cloning the
+  // base model failed (allocation failure) — the refresh is skipped and
+  // alloc_failures() counts it.
+  std::function<bool()> alloc_fail_hook;
 };
 
 // Mean absolute error normalized by mean actual magnitude (WAPE), averaged
@@ -85,12 +105,21 @@ class ContinualLearner {
   }
   // Fine-tunes rejected by the validation circuit breaker. A rejected
   // stretch still advances trained_through (retraining deterministically on
-  // the same bad windows would loop forever).
-  uint64_t models_rejected() const { return rejected_.load(std::memory_order_relaxed); }
+  // the same bad windows would loop forever). Counted by the breaker: every
+  // rejection is a recorded failure, every publish a recorded success.
+  uint64_t models_rejected() const { return breaker_.failures(); }
   uint64_t checkpoints_written() const { return checkpoints_.load(std::memory_order_relaxed); }
   uint64_t checkpoint_failures() const {
     return checkpoint_failures_.load(std::memory_order_relaxed);
   }
+  // Refreshes skipped because the breaker was open (trip_failures > 0 only).
+  uint64_t refreshes_suppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+  // Refreshes skipped by the alloc_fail chaos hook or a failed Clone.
+  uint64_t alloc_failures() const { return alloc_failures_.load(std::memory_order_relaxed); }
+  // The validation breaker guarding the fine-tune path (read-only view).
+  const CircuitBreaker& validation_breaker() const { return breaker_; }
 
  private:
   void Loop();
@@ -111,10 +140,16 @@ class ContinualLearner {
   std::thread thread_ DEEPREST_GUARDED_BY(lifecycle_mu_);
   std::atomic<size_t> trained_through_;
   std::atomic<uint64_t> refreshes_{0};
-  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> suppressed_{0};
+  std::atomic<uint64_t> alloc_failures_{0};
   std::atomic<uint64_t> checkpoints_{0};
   std::atomic<uint64_t> checkpoint_failures_{0};
   std::atomic<bool> stop_{false};
+  // The extracted validation gate (src/serve/circuit_breaker.h). Gate-only
+  // by default: identical accept/reject decisions and counts as the
+  // pre-extraction inline breaker, bit for bit.
+  CircuitBreaker breaker_;
+  HealthHandle health_;
 };
 
 }  // namespace deeprest

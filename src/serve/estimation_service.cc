@@ -15,6 +15,8 @@ const char* RequestStatusName(RequestStatus status) {
       return "expired";
     case RequestStatus::kRejectedStopped:
       return "rejected-stopped";
+    case RequestStatus::kHedgedDuplicate:
+      return "hedged-duplicate";
   }
   return "unknown";
 }
@@ -28,9 +30,24 @@ EstimationService::EstimationService(ModelRegistry& registry, IngestPipeline& pi
   for (size_t i = 0; i < config_.workers; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  worker_state_.reserve(config_.workers);
+  for (size_t i = 0; i < config_.workers; ++i) {
+    worker_state_.push_back(std::make_unique<WorkerState>());
+    if (config_.health != nullptr) {
+      worker_state_.back()->health = config_.health->Register(
+          "estimation-worker-" + std::to_string(i), config_.worker_stall_threshold_us);
+    }
+  }
   workers_.reserve(config_.workers);
   for (size_t i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  if (config_.hedge.enabled && config_.workers > 1) {
+    if (config_.health != nullptr) {
+      hedge_health_ = config_.health->Register("hedge-monitor",
+                                               config_.worker_stall_threshold_us);
+    }
+    hedge_thread_ = std::thread([this] { HedgeLoop(); });
   }
 }
 
@@ -42,9 +59,7 @@ std::future<EstimationService::EstimateResult> EstimationService::SubmitTraffic(
   request.kind = RequestKind::kTraffic;
   request.traffic = std::move(traffic);
   request.seed = seed;
-  std::future<EstimateResult> future = request.estimate_promise.get_future();
-  Enqueue(std::move(request), deadline);
-  return future;
+  return SubmitEstimate(std::move(request), deadline);
 }
 
 std::future<EstimationService::EstimateResult> EstimationService::SubmitFeatures(
@@ -52,8 +67,57 @@ std::future<EstimationService::EstimateResult> EstimationService::SubmitFeatures
   Request request;
   request.kind = RequestKind::kFeatures;
   request.features = std::move(features);
-  std::future<EstimateResult> future = request.estimate_promise.get_future();
-  Enqueue(std::move(request), deadline);
+  return SubmitEstimate(std::move(request), deadline);
+}
+
+std::future<EstimationService::EstimateResult> EstimationService::SubmitEstimate(
+    Request request, std::chrono::milliseconds deadline) {
+  if (!config_.hedge.enabled || shards_.size() < 2) {
+    std::future<EstimateResult> future = request.estimate_promise.get_future();
+    Enqueue(std::move(request), deadline);
+    return future;
+  }
+
+  // Hedge-eligible: both copies share one result slot; the caller's future
+  // comes from the shared promise, not from either copy's own.
+  auto state = std::make_shared<HedgeState>();
+  request.hedge = state;
+  std::future<EstimateResult> future = state->promise.get_future();
+
+  // Build the duplicate BEFORE the primary is moved away: same payload, and
+  // (after Enqueue stamps the primary below — both copies are stamped here
+  // so they agree) the same submission time and absolute deadline, so a
+  // hedge can never outlive the deadline its caller asked for.
+  StampSubmission(request, deadline);
+  Request duplicate;
+  duplicate.kind = request.kind;
+  duplicate.features = request.features;
+  duplicate.traffic = request.traffic;
+  duplicate.seed = request.seed;
+  duplicate.submitted = request.submitted;
+  duplicate.deadline = request.deadline;
+  duplicate.has_deadline = request.has_deadline;
+  duplicate.hedge = state;
+  duplicate.hedge_copy = true;
+
+  const auto delay = HedgeDelay();
+  const auto fire_at = request.submitted + delay;
+  const size_t index = Enqueue(std::move(request), deadline);
+  if (index == SIZE_MAX) {
+    return future;  // resolved at the door (shed / rejected): nothing to hedge
+  }
+  if (duplicate.has_deadline && fire_at >= duplicate.deadline) {
+    return future;  // the hedge would fire into a dead request
+  }
+  PendingHedge pending;
+  pending.duplicate = std::move(duplicate);
+  pending.fire_at = fire_at;
+  pending.sibling = (index + 1) % shards_.size();
+  {
+    MutexLock lock(hedge_mu_);
+    hedge_pending_.push_back(std::move(pending));
+  }
+  hedge_cv_.notify_one();
   return future;
 }
 
@@ -68,7 +132,31 @@ std::future<EstimationService::SanityResult> EstimationService::SubmitSanityChec
   return future;
 }
 
+bool EstimationService::ClaimResolution(Request& request) {
+  return request.hedge == nullptr || !request.hedge->claimed.exchange(true);
+}
+
 void EstimationService::FinishUnserved(Request& request, RequestStatus status) {
+  if (!ClaimResolution(request)) {
+    // The other copy of a hedged pair already resolved the caller; this
+    // copy's terminal status is just a duplicate tally.
+    stats_.RecordHedgedDuplicate();
+    return;
+  }
+  switch (status) {
+    case RequestStatus::kShed:
+      stats_.RecordShed();
+      break;
+    case RequestStatus::kExpired:
+      stats_.RecordExpired();
+      break;
+    case RequestStatus::kRejectedStopped:
+      stats_.RecordRejected();
+      break;
+    case RequestStatus::kOk:
+    case RequestStatus::kHedgedDuplicate:
+      break;  // not unserved statuses; nothing to tally
+  }
   if (request.kind == RequestKind::kSanity) {
     SanityResult result;
     result.status = status;
@@ -76,7 +164,11 @@ void EstimationService::FinishUnserved(Request& request, RequestStatus status) {
   } else {
     EstimateResult result;
     result.status = status;
-    request.estimate_promise.set_value(std::move(result));
+    if (request.hedge != nullptr) {
+      request.hedge->promise.set_value(std::move(result));
+    } else {
+      request.estimate_promise.set_value(std::move(result));
+    }
   }
 }
 
@@ -105,7 +197,11 @@ void EstimationService::NotifyAfterPush(Shard& target, size_t index, size_t back
   }
 }
 
-void EstimationService::Enqueue(Request request, std::chrono::milliseconds deadline) {
+void EstimationService::StampSubmission(Request& request,
+                                        std::chrono::milliseconds deadline) const {
+  if (request.submitted != std::chrono::steady_clock::time_point{}) {
+    return;  // a hedged pair was stamped at submission so both copies agree
+  }
   request.submitted = std::chrono::steady_clock::now();
   const std::chrono::milliseconds budget =
       deadline.count() > 0 ? deadline : config_.default_deadline;
@@ -113,6 +209,10 @@ void EstimationService::Enqueue(Request request, std::chrono::milliseconds deadl
     request.deadline = request.submitted + budget;
     request.has_deadline = true;
   }
+}
+
+size_t EstimationService::Enqueue(Request request, std::chrono::milliseconds deadline) {
+  StampSubmission(request, deadline);
   stats_.RecordSubmitted();
 
   const size_t shard_count = shards_.size();
@@ -121,9 +221,8 @@ void EstimationService::Enqueue(Request request, std::chrono::milliseconds deadl
 
   for (;;) {
     if (stopping_.load()) {
-      stats_.RecordRejected();
       FinishUnserved(request, RequestStatus::kRejectedStopped);
-      return;
+      return SIZE_MAX;
     }
     // Reserve a slot under the global bound before touching any shard: the
     // compare-exchange makes max_queue an exact cap — N submitters racing
@@ -146,19 +245,22 @@ void EstimationService::Enqueue(Request request, std::chrono::milliseconds deadl
       if (!TryPush(target, request, backlog)) {
         // Stop() won the race for this shard; hand the slot back.
         queued_.fetch_sub(1);
-        stats_.RecordRejected();
         FinishUnserved(request, RequestStatus::kRejectedStopped);
-        return;
+        return SIZE_MAX;
       }
       NotifyAfterPush(target, index, backlog);
-      return;
+      return index;
     }
 
-    // Bound is full.
-    if (config_.shed_policy == ShedPolicy::kRejectNew) {
-      stats_.RecordShed();
+    // Bound is full. Degraded mode (supervisor escalation) forces the
+    // reject-new policy: under a fault storm the service protects in-flight
+    // work instead of churning the queue.
+    const ShedPolicy policy = degraded_.load(std::memory_order_acquire)
+                                  ? ShedPolicy::kRejectNew
+                                  : config_.shed_policy;
+    if (policy == ShedPolicy::kRejectNew) {
       FinishUnserved(request, RequestStatus::kShed);
-      return;
+      return SIZE_MAX;
     }
     // kDropOldest: evict one queued request and hand its reserved slot to the
     // newcomer — no counter traffic, so the bound is never overshot. With
@@ -186,16 +288,14 @@ void EstimationService::Enqueue(Request request, std::chrono::milliseconds deadl
     const bool pushed = TryPush(target, request, backlog);
     // The evicted promise resolves after the locks are released: fulfilling
     // it can run arbitrary continuation code.
-    stats_.RecordShed();
     FinishUnserved(evicted, RequestStatus::kShed);
     if (!pushed) {
       queued_.fetch_sub(1);  // the slot inherited from the evicted request
-      stats_.RecordRejected();
       FinishUnserved(request, RequestStatus::kRejectedStopped);
-      return;
+      return SIZE_MAX;
     }
     NotifyAfterPush(target, index, backlog);
-    return;
+    return index;
   }
 }
 
@@ -214,6 +314,22 @@ void EstimationService::Stop() {
     { MutexLock lock(shard->mu); }
     shard->cv.notify_all();
   }
+  // Retire the hedge monitor first: no new duplicates land in the shards
+  // while the workers run their final sweeps. Armed-but-unfired hedges are
+  // simply dropped — the primary copy still resolves (served or rejected in
+  // the leftover sweep below), so no caller is left hanging.
+  {
+    { MutexLock lock(hedge_mu_); }
+    hedge_cv_.notify_all();
+  }
+  if (hedge_thread_.joinable()) {
+    hedge_thread_.join();
+  }
+  {
+    MutexLock lock(hedge_mu_);
+    hedge_pending_.clear();
+  }
+  hedge_health_.MarkStopped();
   for (auto& worker : workers_) {
     if (worker.joinable()) {
       worker.join();
@@ -235,19 +351,67 @@ void EstimationService::Stop() {
   if (!leftovers.empty()) {
     queued_.fetch_sub(leftovers.size());
     for (auto& request : leftovers) {
-      stats_.RecordRejected();
       FinishUnserved(request, RequestStatus::kRejectedStopped);
     }
   }
 }
 
+bool EstimationService::RestartWorker(size_t index) {
+  MutexLock lock(stop_mu_);
+  if (stopping_.load() || index >= worker_state_.size() || index >= workers_.size()) {
+    return false;
+  }
+  WorkerState& state = *worker_state_[index];
+  if (!state.exited.load(std::memory_order_acquire)) {
+    return false;  // still running (e.g. stalled): a live thread can't be restarted
+  }
+  if (workers_[index].joinable()) {
+    workers_[index].join();
+  }
+  state.exited.store(false, std::memory_order_release);
+  // Fresh lease before the thread is scheduled, so the watchdog's next scan
+  // sees the revival instead of instantly re-flagging a stale stamp.
+  state.health.Heartbeat();
+  workers_[index] = std::thread([this, index] { WorkerLoop(index); });
+  stats_.RecordWorkerRestart();
+  return true;
+}
+
+bool EstimationService::WorkerExited(size_t index) const {
+  return index < worker_state_.size() &&
+         worker_state_[index]->exited.load(std::memory_order_acquire);
+}
+
+void EstimationService::SetDegraded(bool degraded) {
+  degraded_.store(degraded, std::memory_order_release);
+}
+
 void EstimationService::WorkerLoop(size_t self) {
   Shard& shard = *shards_[self];
+  WorkerState& state = *worker_state_[self];
   const bool can_steal = shards_.size() > 1;
   constexpr std::chrono::milliseconds kMinSweepWait{1};
   constexpr std::chrono::milliseconds kMaxSweepWait{64};
   std::chrono::milliseconds sweep_wait = kMinSweepWait;
   for (;;) {
+    // Liveness stamp at the top of every sweep (idle waits below are capped,
+    // so the stamp refreshes at least every kMaxSweepWait); staleness past
+    // the registered threshold is what the watchdog keys recovery off.
+    state.health.Heartbeat();
+    if (config_.worker_fault_hook) {
+      const WorkerFault fault = config_.worker_fault_hook(self);
+      if (fault == WorkerFault::kCrash) {
+        // Simulated death at a sweep boundary: no batch is in hand, so no
+        // promise is stranded. The thread exits WITHOUT MarkStopped — the
+        // watchdog must see the corpse go stale. RestartWorker revives it.
+        stats_.RecordWorkerCrash();
+        state.exited.store(true, std::memory_order_release);
+        return;
+      }
+      if (fault == WorkerFault::kStall) {
+        stats_.RecordWorkerStall();  // the hook blocked inside the call
+      }
+    }
     // Read the stop flag BEFORE sweeping. Enqueue re-checks the flag under
     // the shard lock it pushes into, so once the flag is set no push can
     // land behind a sweep that starts after this load — coming up empty
@@ -271,8 +435,14 @@ void EstimationService::WorkerLoop(size_t self) {
           }
         }
       } else {
+        // Timed even without siblings to steal from: heartbeats must keep
+        // flowing while idle, or an empty-queue service looks dead to the
+        // watchdog.
+        const auto idle_deadline = std::chrono::steady_clock::now() + kMaxSweepWait;
         while (!stopping_.load() && shard.queue.empty() && !shard.steal_hint) {
-          lock.Wait(shard.cv);
+          if (lock.WaitUntil(shard.cv, idle_deadline)) {
+            break;  // timed out: loop around for a fresh heartbeat
+          }
         }
       }
       hinted = shard.steal_hint;
@@ -312,6 +482,8 @@ void EstimationService::WorkerLoop(size_t self) {
       // arrive anymore, so it is safe to exit. If the flag flipped only
       // mid-sweep, stop_observed is still false and the next iteration runs
       // one more full sweep before exiting.
+      state.health.MarkStopped();  // clean exit, not watchdog food
+      state.exited.store(true, std::memory_order_release);
       return;
     }
     if (can_steal && !hinted) {
@@ -352,7 +524,6 @@ void EstimationService::ServeBatch(std::vector<Request> batch) {
   for (size_t i = 0; i < batch.size(); ++i) {
     Request& request = batch[i];
     if (request.has_deadline && now > request.deadline) {
-      stats_.RecordExpired();
       FinishUnserved(request, RequestStatus::kExpired);
       continue;
     }
@@ -389,11 +560,24 @@ void EstimationService::ServeBatch(std::vector<Request> batch) {
       stats_.RecordServed(/*is_sanity=*/true, latency_ms);
       request.sanity_promise.set_value(std::move(result));
     } else {
+      if (!ClaimResolution(request)) {
+        // The sibling copy of this hedged pair got there first; the forward
+        // pass is sunk cost and the result is discarded.
+        stats_.RecordHedgedDuplicate();
+        return;
+      }
       EstimateResult result;
       result.model_version = snapshot.version;
       result.estimates = std::move(estimates);
       stats_.RecordServed(/*is_sanity=*/false, latency_ms);
-      request.estimate_promise.set_value(std::move(result));
+      if (request.hedge_copy) {
+        stats_.RecordHedgeWon();
+      }
+      if (request.hedge != nullptr) {
+        request.hedge->promise.set_value(std::move(result));
+      } else {
+        request.estimate_promise.set_value(std::move(result));
+      }
     }
   };
 
@@ -458,6 +642,90 @@ void EstimationService::ServeBatch(std::vector<Request> batch) {
   }
 }
 
+std::chrono::microseconds EstimationService::HedgeDelay() const {
+  const double p_ms =
+      stats_.LatencyQuantileMs(config_.hedge.quantile, config_.hedge.min_samples);
+  if (p_ms <= 0.0) {
+    // Cold start: hedge conservatively until the latency population is in.
+    return config_.hedge.max_delay;
+  }
+  const auto learned = std::chrono::microseconds(static_cast<int64_t>(p_ms * 1000.0));
+  return std::clamp(learned, config_.hedge.min_delay, config_.hedge.max_delay);
+}
+
+void EstimationService::HedgeLoop() {
+  for (;;) {
+    PendingHedge due;
+    bool have_due = false;
+    {
+      MutexLock lock(hedge_mu_);
+      while (!stopping_.load() && hedge_pending_.empty()) {
+        lock.Wait(hedge_cv_);
+      }
+      if (stopping_.load()) {
+        return;  // Stop() clears the pending list; primaries resolve anyway
+      }
+      hedge_health_.Heartbeat();
+      // Earliest-firing entry; the list is short (bounded by in-flight
+      // hedge-eligible requests), so a linear scan beats a heap's churn.
+      size_t earliest = 0;
+      for (size_t i = 1; i < hedge_pending_.size(); ++i) {
+        if (hedge_pending_[i].fire_at < hedge_pending_[earliest].fire_at) {
+          earliest = i;
+        }
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (hedge_pending_[earliest].fire_at > now) {
+        lock.WaitUntil(hedge_cv_, hedge_pending_[earliest].fire_at);
+        continue;  // re-evaluate: new entries or stop may have arrived
+      }
+      due = std::move(hedge_pending_[earliest]);
+      hedge_pending_.erase(hedge_pending_.begin() +
+                           static_cast<ptrdiff_t>(earliest));
+      have_due = true;
+    }
+    if (!have_due) {
+      continue;
+    }
+    if (due.duplicate.hedge->claimed.load(std::memory_order_acquire)) {
+      stats_.RecordHedgeCancelled();  // primary won the wait; nothing to do
+      continue;
+    }
+    if (due.duplicate.has_deadline &&
+        std::chrono::steady_clock::now() > due.duplicate.deadline) {
+      stats_.RecordHedgeCancelled();
+      continue;
+    }
+    // Reserve a queue slot under the same exact bound as Enqueue — but a
+    // full queue SKIPS the hedge instead of shedding real work for it.
+    if (config_.max_queue > 0) {
+      size_t depth = queued_.load();
+      bool reserved = false;
+      while (depth < config_.max_queue) {
+        if (queued_.compare_exchange_weak(depth, depth + 1)) {
+          reserved = true;
+          break;
+        }
+      }
+      if (!reserved) {
+        stats_.RecordHedgeSkippedFull();
+        continue;
+      }
+    } else {
+      queued_.fetch_add(1);
+    }
+    Shard& target = *shards_[due.sibling];
+    size_t backlog = 0;
+    if (!TryPush(target, due.duplicate, backlog)) {
+      queued_.fetch_sub(1);
+      continue;  // stopping; the primary resolves through the drain
+    }
+    stats_.RecordSubmitted();  // the duplicate is a real queue occupant
+    stats_.RecordHedgeLaunched();
+    NotifyAfterPush(target, due.sibling, backlog);
+  }
+}
+
 ServiceCounters EstimationService::Counters() const {
   ServiceCounters counters = stats_.Snapshot();
   counters.queue_depth = queued_.load();
@@ -469,6 +737,7 @@ ServiceCounters EstimationService::Counters() const {
   counters.imputed_metrics = pipeline_.imputed_metrics();
   counters.models_published = registry_.publish_count();
   counters.model_version = registry_.version();
+  counters.degraded_mode = degraded_.load(std::memory_order_acquire) ? 1 : 0;
   return counters;
 }
 

@@ -37,6 +37,18 @@
 // resolves with kExpired without paying for a forward pass. Every result
 // carries a RequestStatus, and a request submitted after Stop() resolves with
 // kRejectedStopped rather than hanging or crashing.
+//
+// Self-healing (DESIGN.md "Failure model", supervision tree): with a
+// HealthRegistry wired in, every worker heartbeats at the top of each sweep
+// so a watchdog (supervisor.h) can spot a stalled or dead worker by
+// staleness alone. A worker that "crashes" (its thread exits, e.g. via the
+// chaos hook) is revived by RestartWorker on the same shard; SetDegraded is
+// the supervisor's escalation lever, forcing reject-new shedding. Hedged
+// estimate requests (HedgeConfig) re-submit a still-pending request to the
+// sibling shard after a learned p99 delay; the two copies share one result
+// slot claimed atomically, so exactly one resolves the caller's future and
+// the loser is discarded as kHedgedDuplicate — tail latency insurance that
+// also routes around a wedged worker without waiting for the watchdog.
 #ifndef SRC_SERVE_ESTIMATION_SERVICE_H_
 #define SRC_SERVE_ESTIMATION_SERVICE_H_
 
@@ -46,6 +58,7 @@
 #include <cstdint>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <thread>
@@ -55,6 +68,7 @@
 #include "src/core/sanity.h"
 #include "src/core/thread_annotations.h"
 #include "src/serve/data_quality.h"
+#include "src/serve/health.h"
 #include "src/serve/ingest_pipeline.h"
 #include "src/serve/model_registry.h"
 #include "src/serve/stats.h"
@@ -69,7 +83,13 @@ enum class RequestStatus {
   kShed,             // bounded queue was full; load-shedding policy dropped it
   kExpired,          // deadline passed before a worker served it
   kRejectedStopped,  // submitted after Stop()
+  kHedgedDuplicate,  // the losing copy of a hedged pair (winner resolved first)
 };
+
+// Number of RequestStatus enumerators. Keep in lockstep with the enum: the
+// exhaustiveness test asserts RequestStatusName knows exactly this many
+// distinct statuses and returns "unknown" immediately past the count.
+inline constexpr size_t kRequestStatusCount = 5;
 
 const char* RequestStatusName(RequestStatus status);
 
@@ -84,6 +104,33 @@ const char* RequestStatusName(RequestStatus status);
 enum class ShedPolicy {
   kRejectNew,   // newest arrival is shed (favors in-flight work)
   kDropOldest,  // oldest queued request is shed (favors fresh requests)
+};
+
+// Tail-latency insurance for estimate requests: after a learned delay the
+// still-unresolved request is re-submitted to the NEXT shard, and whichever
+// copy finishes first resolves the caller's future (the loser is counted as
+// kHedgedDuplicate and its result discarded — duplicate-safe by an atomic
+// claim on the shared result slot). The delay tracks the service's own p99
+// latency so hedges fire only for genuine stragglers, not the common case.
+struct HedgeConfig {
+  bool enabled = false;
+  // Hedge when the primary has been pending for this service-latency
+  // quantile (learned from the live latency samples).
+  double quantile = 0.99;
+  // Clamp on the learned delay; the floor also serves as the cold-start
+  // delay until min_samples latencies have been observed.
+  std::chrono::microseconds min_delay{500};
+  std::chrono::microseconds max_delay{50000};
+  size_t min_samples = 32;
+};
+
+// Chaos hook outcome, consulted by each worker at the top of every sweep
+// (estimation_service is fault-injection-agnostic: the sim layer's chaos
+// schedule is bridged in through the hook at bench/CLI level).
+enum class WorkerFault {
+  kNone = 0,
+  kStall,  // the hook blocked inside the call; counted, sweep continues
+  kCrash,  // the worker thread exits as if it died; RestartWorker revives it
 };
 
 struct EstimationServiceConfig {
@@ -103,6 +150,17 @@ struct EstimationServiceConfig {
   // same results bit for bit, kept as a benchmark baseline and escape hatch.
   bool batch_major = true;
   SanityConfig sanity;
+  // Hedged estimate requests (needs >= 2 workers to have a sibling shard).
+  HedgeConfig hedge;
+  // When set, every worker registers as "estimation-worker-<i>" and
+  // heartbeats each sweep, so the watchdog can detect stalls and crashes.
+  // Must outlive the service.
+  HealthRegistry* health = nullptr;
+  // Staleness past which a worker counts as stuck (registry registration).
+  uint64_t worker_stall_threshold_us = 200000;
+  // Chaos hook: called by worker `i` at the top of each sweep. May block
+  // (that IS a stall); kCrash makes the worker thread exit.
+  std::function<WorkerFault(size_t)> worker_fault_hook;
 };
 
 class EstimationService {
@@ -157,12 +215,38 @@ class EstimationService {
   // request resolves with status kRejectedStopped.
   void Stop();
 
+  // --- Supervision side (watchdog / operator) ---
+
+  // Revives worker `index` after its thread exited (a kCrash fault). Joins
+  // the dead thread and respawns it on the same shard. Returns false when
+  // the worker is still running (a stall cannot be restarted — the incident
+  // closes when its heartbeats resume), the index is bad, or the service is
+  // stopping. Safe to call from the supervisor's scan thread.
+  bool RestartWorker(size_t index);
+
+  // True once worker `index`'s thread has exited (crash fault or Stop).
+  bool WorkerExited(size_t index) const;
+
+  // Escalation target: degraded mode forces kRejectNew shedding (newest
+  // arrivals resolve kShed immediately when the bounded queue is full)
+  // regardless of the configured policy. Sticky until cleared.
+  void SetDegraded(bool degraded);
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+
   // Live counters (queue depth, ingest lag, pipeline admission-control
   // tallies, and registry state filled in).
   ServiceCounters Counters() const;
 
  private:
   enum class RequestKind { kFeatures, kTraffic, kSanity };
+
+  // Shared result slot of a hedged pair. Both copies race to flip `claimed`;
+  // the winner alone sets `promise` (the per-copy promises go unused), so a
+  // double-set can never happen no matter how the copies interleave.
+  struct HedgeState {
+    std::atomic<bool> claimed{false};
+    std::promise<EstimateResult> promise;
+  };
 
   struct Request {
     RequestKind kind = RequestKind::kFeatures;
@@ -176,6 +260,27 @@ class EstimationService {
     std::chrono::steady_clock::time_point submitted;
     std::chrono::steady_clock::time_point deadline;
     bool has_deadline = false;
+    // Non-null for hedge-eligible estimate requests; shared by both copies.
+    std::shared_ptr<HedgeState> hedge;
+    bool hedge_copy = false;  // true on the re-submitted duplicate
+  };
+
+  // A hedge armed at submission, waiting out its delay on the monitor
+  // thread. The duplicate request is fully built (same payload, same
+  // submission timestamp and deadline as the primary) so firing is just a
+  // push into the sibling shard.
+  struct PendingHedge {
+    Request duplicate;
+    std::chrono::steady_clock::time_point fire_at;
+    size_t sibling = 0;
+  };
+
+  // Per-worker supervision state. Fixed after construction (unique_ptr
+  // indirection), so workers and the supervisor thread can reach it without
+  // synchronization beyond the atomics themselves.
+  struct WorkerState {
+    std::atomic<bool> exited{false};
+    HealthHandle health;
   };
 
   // One worker's private slice of the request queue. Submissions round-robin
@@ -193,7 +298,16 @@ class EstimationService {
     bool steal_hint DEEPREST_GUARDED_BY(mu) = false;
   };
 
-  void Enqueue(Request request, std::chrono::milliseconds deadline);
+  // Sets submitted / deadline / has_deadline; no-op if already stamped (a
+  // hedged pair is stamped once so both copies agree).
+  void StampSubmission(Request& request, std::chrono::milliseconds deadline) const;
+  // Stamps submission time and deadline; records the submission. Then
+  // queues into a round-robin shard. Returns the shard index the request
+  // landed in, or SIZE_MAX when it resolved without queuing (shed/rejected).
+  size_t Enqueue(Request request, std::chrono::milliseconds deadline);
+  // Shared tail of SubmitTraffic/SubmitFeatures: arms a hedge when enabled.
+  std::future<EstimateResult> SubmitEstimate(Request request,
+                                             std::chrono::milliseconds deadline);
   // Pushes under the shard lock unless stopping_ is set; reports the shard's
   // post-push depth. Returns false (request untouched) when stopping.
   bool TryPush(Shard& target, Request& request, size_t& backlog)
@@ -201,9 +315,20 @@ class EstimationService {
   // Wakes the shard owner and, when the push left a backlog, flags one
   // sibling to steal.
   void NotifyAfterPush(Shard& target, size_t index, size_t backlog);
-  // Resolves a request that will never be served with the given status.
-  static void FinishUnserved(Request& request, RequestStatus status);
+  // True when this copy owns its request's resolution: always for unhedged
+  // requests, first-past-the-post for a hedged pair.
+  static bool ClaimResolution(Request& request);
+  // Resolves a request that will never be served and records the matching
+  // counter (a hedged loser records kHedgedDuplicate instead).
+  void FinishUnserved(Request& request, RequestStatus status);
   void WorkerLoop(size_t self);
+  // Monitor thread: fires armed hedges whose delay elapsed and whose
+  // primary is still unresolved; respects the queue bound (a full queue
+  // skips the hedge rather than evicting real work).
+  void HedgeLoop();
+  // The learned hedge delay: the service's own `quantile` latency, clamped
+  // to [min_delay, max_delay]; max_delay until min_samples are in.
+  std::chrono::microseconds HedgeDelay() const;
   // Pops up to max_batch requests from the first non-empty sibling shard.
   // Holds at most one shard lock at a time. Returns false if every sibling
   // was empty.
@@ -229,14 +354,30 @@ class EstimationService {
   // leans on a single total order of the flag's loads and stores.
   std::atomic<bool> stopping_{false};
 
+  // Forced reject-new shedding; flipped by the supervisor's escalation.
+  std::atomic<bool> degraded_{false};
+
   ServiceStats stats_;
   // Serializes Stop() against concurrent Stop()/destruction: joining and
   // clearing workers_ from two threads at once was a latent double-join
   // (found while annotating — the thread-safety analysis has no lock to
   // attribute workers_ to otherwise). Workers never take this mutex, so
-  // Stop() can join them while holding it.
+  // Stop() can join them while holding it. RestartWorker joins/respawns a
+  // single worker under the same mutex, so it serializes against Stop too.
   Mutex stop_mu_;
   std::vector<std::thread> workers_ DEEPREST_GUARDED_BY(stop_mu_);
+
+  // Per-worker exit flags + health handles; the structs never move after
+  // construction (see WorkerState).
+  std::vector<std::unique_ptr<WorkerState>> worker_state_;
+
+  // Hedge monitor state. Leaf lock: nothing is acquired while holding it
+  // (the fire path pops the due entry first, then pushes into a Shard::mu).
+  Mutex hedge_mu_;
+  std::condition_variable hedge_cv_;
+  std::deque<PendingHedge> hedge_pending_ DEEPREST_GUARDED_BY(hedge_mu_);
+  std::thread hedge_thread_ DEEPREST_GUARDED_BY(stop_mu_);
+  HealthHandle hedge_health_;
 };
 
 }  // namespace deeprest

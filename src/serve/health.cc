@@ -1,0 +1,132 @@
+#include "src/serve/health.h"
+
+namespace deeprest {
+
+const char* HealthStatusName(HealthStatus status) {
+  switch (status) {
+    case HealthStatus::kHealthy:
+      return "healthy";
+    case HealthStatus::kSuspect:
+      return "suspect";
+    case HealthStatus::kRestarting:
+      return "restarting";
+    case HealthStatus::kStopped:
+      return "stopped";
+  }
+  return "unknown";
+}
+
+// Mark values for Component::mark.
+namespace {
+constexpr int kMarkActive = 0;
+constexpr int kMarkRestarting = 1;
+constexpr int kMarkStopped = 2;
+}  // namespace
+
+struct HealthHandle::Component {
+  std::string name;
+  uint64_t stall_threshold_us = 0;
+  std::atomic<uint64_t> last_beat_us{0};
+  std::atomic<uint64_t> heartbeats{0};
+  std::atomic<int> mark{kMarkActive};
+};
+
+void HealthHandle::Heartbeat() {
+  if (component_ == nullptr) {
+    return;
+  }
+  component_->last_beat_us.store(clock_->NowMicros(), std::memory_order_release);
+  component_->heartbeats.fetch_add(1, std::memory_order_relaxed);
+  component_->mark.store(kMarkActive, std::memory_order_release);
+}
+
+void HealthHandle::MarkStopped() {
+  if (component_ == nullptr) {
+    return;
+  }
+  component_->mark.store(kMarkStopped, std::memory_order_release);
+}
+
+HealthRegistry::HealthRegistry(HealthClock* clock)
+    : clock_(clock != nullptr ? clock : &default_clock_) {}
+
+HealthRegistry::~HealthRegistry() = default;
+
+HealthHandle HealthRegistry::Register(const std::string& name, uint64_t stall_threshold_us) {
+  MutexLock lock(mu_);
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i]->name == name) {
+      return HealthHandle(components_[i].get(), clock_, i);
+    }
+  }
+  auto component = std::make_unique<HealthHandle::Component>();
+  component->name = name;
+  component->stall_threshold_us = stall_threshold_us;
+  component->last_beat_us.store(clock_->NowMicros(), std::memory_order_release);
+  components_.push_back(std::move(component));
+  return HealthHandle(components_.back().get(), clock_, components_.size() - 1);
+}
+
+void HealthRegistry::MarkRestarting(size_t id) {
+  MutexLock lock(mu_);
+  if (id < components_.size()) {
+    components_[id]->mark.store(kMarkRestarting, std::memory_order_release);
+  }
+}
+
+void HealthRegistry::MarkStopped(size_t id) {
+  MutexLock lock(mu_);
+  if (id < components_.size()) {
+    components_[id]->mark.store(kMarkStopped, std::memory_order_release);
+  }
+}
+
+ComponentHealth HealthRegistry::HealthLocked(size_t id, uint64_t now_us) const {
+  ComponentHealth out;
+  if (id >= components_.size()) {
+    return out;
+  }
+  const HealthHandle::Component& c = *components_[id];
+  out.name = c.name;
+  out.stall_threshold_us = c.stall_threshold_us;
+  out.last_heartbeat_us = c.last_beat_us.load(std::memory_order_acquire);
+  out.heartbeats = c.heartbeats.load(std::memory_order_relaxed);
+  const int mark = c.mark.load(std::memory_order_acquire);
+  if (mark == kMarkStopped) {
+    out.status = HealthStatus::kStopped;
+    return out;
+  }
+  out.staleness_us = now_us > out.last_heartbeat_us ? now_us - out.last_heartbeat_us : 0;
+  if (mark == kMarkRestarting) {
+    out.status = HealthStatus::kRestarting;
+  } else if (out.staleness_us > c.stall_threshold_us) {
+    out.status = HealthStatus::kSuspect;
+  } else {
+    out.status = HealthStatus::kHealthy;
+  }
+  return out;
+}
+
+ComponentHealth HealthRegistry::Health(size_t id) const {
+  const uint64_t now = clock_->NowMicros();
+  MutexLock lock(mu_);
+  return HealthLocked(id, now);
+}
+
+std::vector<ComponentHealth> HealthRegistry::Snapshot() const {
+  const uint64_t now = clock_->NowMicros();
+  MutexLock lock(mu_);
+  std::vector<ComponentHealth> out;
+  out.reserve(components_.size());
+  for (size_t i = 0; i < components_.size(); ++i) {
+    out.push_back(HealthLocked(i, now));
+  }
+  return out;
+}
+
+size_t HealthRegistry::size() const {
+  MutexLock lock(mu_);
+  return components_.size();
+}
+
+}  // namespace deeprest

@@ -1,0 +1,195 @@
+// Watchdog-driven recovery for the serving stack's supervised components.
+//
+// The HealthRegistry (health.h) says who is alive; this layer decides what
+// to do about the ones that are not. A Supervisor holds, per watched
+// component, a restart callback, a restart budget, and capped-exponential
+// backoff state. Each ScanOnce() pass:
+//
+//   * opens an incident the first time a component's staleness crosses its
+//     stall threshold (recording when it went quiet — the MTTR clock starts
+//     at the FAULT, not at detection);
+//   * drives restart attempts through the callback, spacing them by
+//     base_backoff * 2^n capped at max_backoff, until the component
+//     heartbeats again (incident closed, budget restored) or the per-
+//     incident budget is exhausted;
+//   * on budget exhaustion escalates exactly once: the escalation handler
+//     runs (wired to degraded mode — EstimationService::SetDegraded's
+//     reject-new shedding and AutoscaleLoop::SetFailStatic's scale-hold)
+//     and the supervisor turns sticky-degraded until ClearDegraded().
+//
+// Restart semantics are honest about what C++ threads allow: a CRASHED
+// worker (thread exited) can be respawned, so its restart callback returns
+// true and recovery is fast; a STALLED worker cannot be killed, so its
+// callback returns false and the incident closes only when the stall ends
+// and heartbeats resume — the attempts meanwhile burn budget, which is what
+// eventually escalates a permanent livelock instead of restarting forever.
+//
+// The Watchdog is the thread that turns scans into a loop: it heartbeats
+// itself into the same registry it scans (a stuck watchdog is visible in
+// the snapshot like any other corpse) and calls Supervisor::ScanOnce every
+// poll interval. Tests drive ScanOnce directly with a ManualHealthClock for
+// exact, sleep-free transitions.
+//
+// Lock hierarchy (DESIGN.md "Concurrency invariants & lock hierarchy"):
+//   Supervisor::scan_mu_ -> Supervisor::mu_ -> HealthRegistry::mu_.
+// Restart and escalation callbacks run with only scan_mu_ held, so they may
+// freely take component locks (EstimationService::stop_mu_, learner
+// lifecycle_mu_, ...); nothing in this module is acquired inside them.
+#ifndef SRC_SERVE_SUPERVISOR_H_
+#define SRC_SERVE_SUPERVISOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/thread_annotations.h"
+#include "src/serve/health.h"
+
+namespace deeprest {
+
+struct SupervisorConfig {
+  // Delay before the second restart attempt of an incident; doubles per
+  // attempt up to max_backoff. The first attempt fires on the detection
+  // scan itself.
+  std::chrono::milliseconds base_backoff{10};
+  std::chrono::milliseconds max_backoff{500};
+  // Restart attempts per incident before escalating to degraded mode.
+  // Recovery restores the full budget for the next incident.
+  size_t restart_budget = 4;
+};
+
+// One detected-fault-to-recovery episode of one component.
+struct RecoveryIncident {
+  std::string component;
+  uint64_t quiet_since_us = 0;   // last heartbeat before the fault
+  uint64_t detected_at_us = 0;   // scan that crossed the stall threshold
+  uint64_t recovered_at_us = 0;  // 0 while the incident is open
+  size_t restart_attempts = 0;
+  bool escalated = false;
+
+  bool recovered() const { return recovered_at_us != 0; }
+  // Detection latency: fault (heartbeats stop) -> watchdog notices.
+  uint64_t detect_us() const { return detected_at_us - quiet_since_us; }
+  // Full mean-time-to-recovery clock: fault -> service restored.
+  uint64_t mttr_us() const {
+    return recovered() ? recovered_at_us - quiet_since_us : 0;
+  }
+};
+
+struct SupervisorCounters {
+  uint64_t incidents_opened = 0;
+  uint64_t incidents_recovered = 0;
+  uint64_t restarts_attempted = 0;
+  uint64_t restarts_succeeded = 0;
+  uint64_t restarts_failed = 0;
+  uint64_t escalations = 0;
+};
+
+class Supervisor {
+ public:
+  // The registry must outlive the supervisor.
+  explicit Supervisor(HealthRegistry& registry, const SupervisorConfig& config = {});
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  // Puts a registered component (by registry id) under supervision.
+  // `restart` attempts recovery and reports whether it did anything (a
+  // stalled-but-alive thread cannot be restarted -> false). budget 0 uses
+  // the config default.
+  void Watch(size_t id, std::function<bool()> restart, size_t restart_budget = 0);
+
+  // Runs once per exhausted budget; wired to degraded mode by the caller.
+  void SetEscalationHandler(std::function<void(const std::string&)> handler);
+
+  // One deterministic scan over every watched component (what the Watchdog
+  // thread runs). Returns the number of restart attempts driven.
+  size_t ScanOnce();
+
+  // Sticky once any budget has been exhausted; cleared by the operator.
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+  void ClearDegraded() { degraded_.store(false, std::memory_order_release); }
+
+  SupervisorCounters counters() const;
+  std::vector<RecoveryIncident> Incidents() const;
+
+ private:
+  struct Watched {
+    size_t id = 0;
+    std::function<bool()> restart;
+    size_t budget = 0;
+    // Per-incident state, reset when the incident closes.
+    bool unhealthy = false;
+    bool escalated = false;
+    size_t attempts = 0;
+    uint64_t next_attempt_us = 0;
+    std::chrono::microseconds backoff{0};
+    size_t incident = 0;  // index into incidents_ while unhealthy
+  };
+
+  HealthRegistry& registry_;
+  const SupervisorConfig config_;
+
+  // Serializes whole scans (state pass + callbacks + result pass) so two
+  // ScanOnce callers cannot double-fire a restart between each other's
+  // passes. Guards no field of its own; the scan state lives under mu_.
+  Mutex scan_mu_;  // deeprest-lint: allow(mutex-needs-guarded-by)
+  // Guards the supervision tables. Held only for state passes — restart and
+  // escalation callbacks run outside it (they take component locks).
+  // Acquired after scan_mu_, before HealthRegistry::mu_.
+  mutable Mutex mu_ DEEPREST_ACQUIRED_AFTER(scan_mu_);
+  std::vector<Watched> watched_ DEEPREST_GUARDED_BY(mu_);
+  std::vector<RecoveryIncident> incidents_ DEEPREST_GUARDED_BY(mu_);
+  std::function<void(const std::string&)> escalate_ DEEPREST_GUARDED_BY(mu_);
+  SupervisorCounters counters_ DEEPREST_GUARDED_BY(mu_);
+
+  std::atomic<bool> degraded_{false};
+};
+
+struct WatchdogConfig {
+  std::chrono::milliseconds poll_interval{5};
+  // The watchdog's own registry entry: a wedged watchdog shows up kSuspect
+  // in snapshots even though nothing restarts it (top of the tree).
+  std::string name = "watchdog";
+  uint64_t self_stall_threshold_us = 1000000;
+};
+
+class Watchdog {
+ public:
+  // Registry and supervisor must outlive the watchdog.
+  Watchdog(Supervisor& supervisor, HealthRegistry& registry,
+           const WatchdogConfig& config = {});
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  void Start();
+  void Stop();
+
+  uint64_t scans() const { return scans_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+
+  Supervisor& supervisor_;
+  WatchdogConfig config_;
+  HealthHandle self_;
+
+  // Start/Stop/destruction only (same pattern as ContinualLearner: the loop
+  // thread never takes this mutex, so Stop can join while holding it).
+  Mutex lifecycle_mu_;
+  std::thread thread_ DEEPREST_GUARDED_BY(lifecycle_mu_);
+
+  std::atomic<uint64_t> scans_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace deeprest
+
+#endif  // SRC_SERVE_SUPERVISOR_H_

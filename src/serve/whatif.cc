@@ -5,11 +5,16 @@
 namespace deeprest {
 
 EstimateMap ServiceWhatIf::Estimate(const TrafficSeries& traffic, uint64_t seed) {
-  auto future = service_->SubmitTraffic(traffic, seed, deadline_);
-  EstimationService::EstimateResult result = future.get();
-  if (result.status != RequestStatus::kOk) {
+  if (!breaker_.Allow()) {
     return {};
   }
+  auto future = service_->SubmitTraffic(traffic, seed, deadline_);
+  EstimationService::EstimateResult result = future.get();
+  if (result.status != RequestStatus::kOk || result.estimates.empty()) {
+    breaker_.RecordFailure();
+    return {};
+  }
+  breaker_.RecordSuccess();
   return std::move(result.estimates);
 }
 

@@ -13,6 +13,7 @@
 #include <chrono>
 
 #include "src/core/estimator.h"
+#include "src/serve/circuit_breaker.h"
 #include "src/serve/estimation_service.h"
 #include "src/workload/traffic.h"
 
@@ -49,17 +50,27 @@ class EstimatorWhatIf : public WhatIfSource {
 // Through the EstimationService front door: submit-and-wait on a mode-1
 // traffic query. A shed, expired, or rejected request degrades to an empty
 // map — the controller then holds scale rather than acting on nothing.
+//
+// The optional CircuitBreaker (default gate-only: never opens, identical
+// behavior to the unguarded path) stops a persistently failing service from
+// being hammered with doomed queries: after `trip_failures` consecutive
+// empty answers the source returns empty immediately without submitting,
+// until the attempt-counted half-open probe sees a success.
 class ServiceWhatIf : public WhatIfSource {
  public:
   explicit ServiceWhatIf(EstimationService& service,
-                         std::chrono::milliseconds deadline = {})
-      : service_(&service), deadline_(deadline) {}
+                         std::chrono::milliseconds deadline = {},
+                         const CircuitBreakerConfig& breaker = {})
+      : service_(&service), deadline_(deadline), breaker_(breaker) {}
 
   EstimateMap Estimate(const TrafficSeries& traffic, uint64_t seed) override;
+
+  const CircuitBreaker& breaker() const { return breaker_; }
 
  private:
   EstimationService* service_;
   std::chrono::milliseconds deadline_;
+  CircuitBreaker breaker_;
 };
 
 }  // namespace deeprest

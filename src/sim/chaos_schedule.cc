@@ -1,0 +1,229 @@
+#include "src/sim/chaos_schedule.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace deeprest {
+
+const char* ChaosFaultKindName(ChaosFaultKind kind) {
+  switch (kind) {
+    case ChaosFaultKind::kWorkerStall:
+      return "worker_stall";
+    case ChaosFaultKind::kWorkerCrash:
+      return "worker_crash";
+    case ChaosFaultKind::kClockSkew:
+      return "clock_skew";
+    case ChaosFaultKind::kAllocFail:
+      return "alloc_fail";
+    case ChaosFaultKind::kTraceDrop:
+      return "trace_drop";
+    case ChaosFaultKind::kTraceCorrupt:
+      return "trace_corrupt";
+    case ChaosFaultKind::kTraceTruncate:
+      return "trace_truncate";
+    case ChaosFaultKind::kTraceDelay:
+      return "trace_delay";
+    case ChaosFaultKind::kTraceDuplicate:
+      return "trace_duplicate";
+    case ChaosFaultKind::kMetricGap:
+      return "metric_gap";
+    case ChaosFaultKind::kOutage:
+      return "outage";
+  }
+  return "unknown";
+}
+
+bool ParseChaosFaultKind(const std::string& token, ChaosFaultKind* out) {
+  for (size_t i = 0; i < kChaosFaultKindCount; ++i) {
+    const ChaosFaultKind kind = static_cast<ChaosFaultKind>(i);
+    if (token == ChaosFaultKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+double ChaosEvent::EffectiveMagnitude() const {
+  if (magnitude > 0.0) {
+    return magnitude;
+  }
+  switch (kind) {
+    case ChaosFaultKind::kWorkerStall:
+      return 50.0;  // ms per stalled sweep
+    case ChaosFaultKind::kClockSkew:
+      return 100000.0;  // +100 ms
+    case ChaosFaultKind::kTraceDrop:
+    case ChaosFaultKind::kTraceCorrupt:
+    case ChaosFaultKind::kTraceTruncate:
+    case ChaosFaultKind::kTraceDelay:
+    case ChaosFaultKind::kTraceDuplicate:
+    case ChaosFaultKind::kMetricGap:
+      return 1.0;  // certain fault
+    case ChaosFaultKind::kWorkerCrash:
+    case ChaosFaultKind::kAllocFail:
+    case ChaosFaultKind::kOutage:
+      return 0.0;  // magnitude-free kinds
+  }
+  return 0.0;
+}
+
+size_t ChaosSchedule::end_window() const {
+  size_t end = 0;
+  for (const ChaosEvent& event : events) {
+    end = std::max(end, event.end_window);
+  }
+  return end;
+}
+
+std::vector<const ChaosEvent*> ChaosSchedule::ActiveAt(size_t window) const {
+  std::vector<const ChaosEvent*> active;
+  for (const ChaosEvent& event : events) {
+    if (event.ActiveAt(window)) {
+      active.push_back(&event);
+    }
+  }
+  return active;
+}
+
+namespace {
+
+bool Fail(std::string* error, const std::string& reason) {
+  if (error != nullptr) {
+    *error = reason;
+  }
+  return false;
+}
+
+// Parses an unsigned decimal; rejects empty / trailing garbage.
+bool ParseSize(const std::string& text, size_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) {
+    return false;
+  }
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+std::string Trimmed(const std::string& text) {
+  size_t begin = text.find_first_not_of(" \t");
+  if (begin == std::string::npos) {
+    return "";
+  }
+  const size_t last = text.find_last_not_of(" \t");
+  return text.substr(begin, last - begin + 1);
+}
+
+bool ParseEvent(const std::string& spec, ChaosEvent* out, std::string* error) {
+  const size_t at = spec.find('@');
+  if (at == std::string::npos) {
+    return Fail(error, "event '" + spec + "' missing '@start'");
+  }
+  ChaosEvent event;
+  if (!ParseChaosFaultKind(spec.substr(0, at), &event.kind)) {
+    return Fail(error, "unknown fault kind '" + spec.substr(0, at) + "'");
+  }
+
+  std::string rest = spec.substr(at + 1);
+  // Peel the optional suffixes back-to-front so '-' inside the window range
+  // never collides with them.
+  const size_t star = rest.find('*');
+  if (star != std::string::npos) {
+    if (!ParseDouble(rest.substr(star + 1), &event.magnitude) || event.magnitude < 0.0) {
+      return Fail(error, "bad magnitude in '" + spec + "'");
+    }
+    rest = rest.substr(0, star);
+  }
+  const size_t colon = rest.find(':');
+  if (colon != std::string::npos) {
+    size_t target = 0;
+    if (!ParseSize(rest.substr(colon + 1), &target)) {
+      return Fail(error, "bad target in '" + spec + "'");
+    }
+    event.target = static_cast<int>(target);
+    rest = rest.substr(0, colon);
+  }
+  const size_t dash = rest.find('-');
+  if (dash != std::string::npos) {
+    if (!ParseSize(rest.substr(0, dash), &event.start_window) ||
+        !ParseSize(rest.substr(dash + 1), &event.end_window)) {
+      return Fail(error, "bad window range in '" + spec + "'");
+    }
+    if (event.end_window <= event.start_window) {
+      return Fail(error, "empty window range in '" + spec + "'");
+    }
+  } else {
+    if (!ParseSize(rest, &event.start_window)) {
+      return Fail(error, "bad start window in '" + spec + "'");
+    }
+    event.end_window = event.start_window + 1;
+  }
+  *out = event;
+  return true;
+}
+
+}  // namespace
+
+bool ParseChaosSchedule(const std::string& text, ChaosSchedule* out, std::string* error) {
+  ChaosSchedule schedule;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t sep = text.find(';', pos);
+    if (sep == std::string::npos) {
+      sep = text.size();
+    }
+    const std::string spec = Trimmed(text.substr(pos, sep - pos));
+    pos = sep + 1;
+    if (spec.empty()) {
+      continue;  // tolerate empty segments ("a;;b", trailing ';')
+    }
+    ChaosEvent event;
+    if (!ParseEvent(spec, &event, error)) {
+      return false;
+    }
+    schedule.events.push_back(event);
+  }
+  *out = std::move(schedule);
+  return true;
+}
+
+std::string FormatChaosSchedule(const ChaosSchedule& schedule) {
+  std::ostringstream out;
+  for (size_t i = 0; i < schedule.events.size(); ++i) {
+    const ChaosEvent& event = schedule.events[i];
+    if (i > 0) {
+      out << ';';
+    }
+    out << ChaosFaultKindName(event.kind) << '@' << event.start_window;
+    if (event.end_window != event.start_window + 1) {
+      out << '-' << event.end_window;
+    }
+    if (event.target >= 0) {
+      out << ':' << event.target;
+    }
+    if (event.magnitude > 0.0) {
+      out << '*' << event.magnitude;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace deeprest

@@ -1,0 +1,94 @@
+// Scripted chaos schedules: timelines of fault windows for resilience runs.
+//
+// A schedule is a list of events, each activating one fault kind over a
+// half-open window range [start, end), optionally pinned to one target
+// (a worker index) and carrying a kind-specific magnitude. The bench and the
+// CLI parse schedules from a compact text form so a chaos run is one flag:
+//
+//   kind@start[-end][:target][*magnitude] ; kind@start ...
+//
+//   worker_stall@10-14:0*50      stall worker 0 for 50 ms per sweep over
+//                                windows [10, 14)
+//   worker_crash@20:1            kill worker 1 once at window 20
+//   metric_gap@5-30*0.2          drop 20% of metric scrapes over [5, 30)
+//   clock_skew@8-12*250000       skew the health clock +250 ms
+//   outage@40-44                 total trace-collector outage
+//
+// Omitted end means a one-window event ([start, start+1)); omitted target
+// means "all targets"; omitted magnitude picks the kind's default (full
+// probability for stream faults, 50 ms stalls, 100 ms skew).
+//
+// FaultInjector consumes the stream-fault kinds (drop/corrupt/truncate/
+// delay/duplicate/metric_gap/outage) as window-scoped probability overrides,
+// and exposes the process-fault kinds (worker_stall/worker_crash/clock_skew/
+// alloc_fail) as queries the serving harness polls each sweep.
+#ifndef SRC_SIM_CHAOS_SCHEDULE_H_
+#define SRC_SIM_CHAOS_SCHEDULE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace deeprest {
+
+enum class ChaosFaultKind {
+  kWorkerStall = 0,  // a worker loop sleeps `magnitude` ms every sweep
+  kWorkerCrash,      // a worker thread exits (fires once per event)
+  kClockSkew,        // health clock jumps forward `magnitude` microseconds
+  kAllocFail,        // model clone / fine-tune allocation fails
+  kTraceDrop,        // stream faults: probability override = magnitude
+  kTraceCorrupt,
+  kTraceTruncate,
+  kTraceDelay,
+  kTraceDuplicate,
+  kMetricGap,
+  kOutage,  // total trace loss over the event's windows
+};
+
+inline constexpr size_t kChaosFaultKindCount = 11;
+
+// Stable token used by the schedule text format and bench JSON keys.
+const char* ChaosFaultKindName(ChaosFaultKind kind);
+// Inverse of ChaosFaultKindName; returns false on an unknown token.
+bool ParseChaosFaultKind(const std::string& token, ChaosFaultKind* out);
+
+struct ChaosEvent {
+  ChaosFaultKind kind = ChaosFaultKind::kWorkerStall;
+  size_t start_window = 0;
+  size_t end_window = 0;  // half-open; parse fills start+1 when omitted
+  // Worker index for stall/crash; -1 = every target.
+  int target = -1;
+  // Kind-specific: probability for stream faults, ms for stalls, us for
+  // clock skew. 0 = kind default.
+  double magnitude = 0.0;
+
+  bool ActiveAt(size_t window) const {
+    return window >= start_window && window < end_window;
+  }
+  // The magnitude with the kind's default applied.
+  double EffectiveMagnitude() const;
+  bool Targets(int candidate) const { return target < 0 || target == candidate; }
+};
+
+struct ChaosSchedule {
+  std::vector<ChaosEvent> events;
+
+  bool empty() const { return events.empty(); }
+  // One past the last window any event covers (0 for an empty schedule).
+  size_t end_window() const;
+  // Events active at `window`, in schedule order.
+  std::vector<const ChaosEvent*> ActiveAt(size_t window) const;
+};
+
+// Parses the text form described above. On failure returns false and leaves
+// a human-readable reason in *error (when non-null); *out is untouched.
+bool ParseChaosSchedule(const std::string& text, ChaosSchedule* out,
+                        std::string* error = nullptr);
+
+// Canonical text form (round-trips through ParseChaosSchedule).
+std::string FormatChaosSchedule(const ChaosSchedule& schedule);
+
+}  // namespace deeprest
+
+#endif  // SRC_SIM_CHAOS_SCHEDULE_H_

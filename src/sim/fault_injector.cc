@@ -1,11 +1,35 @@
 #include "src/sim/fault_injector.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace deeprest {
 
+void FaultCounters::Merge(const FaultCounters& other) {
+  traces_in += other.traces_in;
+  delivered += other.delivered;
+  dropped += other.dropped;
+  corrupted += other.corrupted;
+  truncated += other.truncated;
+  delayed += other.delayed;
+  duplicated += other.duplicated;
+  metrics_in += other.metrics_in;
+  metric_gaps += other.metric_gaps;
+  worker_stalls += other.worker_stalls;
+  worker_crashes += other.worker_crashes;
+  clock_skews += other.clock_skews;
+  alloc_fails += other.alloc_fails;
+}
+
+void FaultCounters::Reset() { *this = FaultCounters(); }
+
 FaultInjector::FaultInjector(const FaultInjectorConfig& config)
-    : config_(config), rng_(config.seed) {}
+    : FaultInjector(config, ChaosSchedule()) {}
+
+FaultInjector::FaultInjector(const FaultInjectorConfig& config, ChaosSchedule schedule)
+    : config_(config), schedule_(std::move(schedule)), rng_(config.seed),
+      crash_fired_(schedule_.events.size(), false),
+      skew_counted_(schedule_.events.size(), false) {}
 
 Trace FaultInjector::Truncate(const Trace& trace, Rng& rng) const {
   // Keep a non-empty prefix of the span list. Parents always precede their
@@ -47,36 +71,66 @@ Trace FaultInjector::Corrupt(const Trace& trace, Rng& rng) {
   return out;
 }
 
+double FaultInjector::EffectiveProb(double base, ChaosFaultKind kind,
+                                    size_t window) const {
+  double prob = base;
+  for (const ChaosEvent& event : schedule_.events) {
+    if (event.kind == kind && event.ActiveAt(window)) {
+      prob = std::max(prob, std::min(1.0, event.EffectiveMagnitude()));
+    }
+  }
+  return prob;
+}
+
+bool FaultInjector::InOutage(size_t window) const {
+  if (window >= config_.outage_start && window < config_.outage_end) {
+    return true;
+  }
+  for (const ChaosEvent& event : schedule_.events) {
+    if (event.kind == ChaosFaultKind::kOutage && event.ActiveAt(window)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 std::vector<FaultInjector::TimedTrace> FaultInjector::ProcessTrace(size_t window,
                                                                    const Trace& trace) {
   MutexLock lock(mu_);
   ++counters_.traces_in;
   std::vector<TimedTrace> out;
-  if (window >= config_.outage_start && window < config_.outage_end) {
+  if (InOutage(window)) {
     ++counters_.dropped;
     return out;
   }
-  if (rng_.NextBernoulli(config_.drop_prob)) {
+  if (rng_.NextBernoulli(EffectiveProb(config_.drop_prob, ChaosFaultKind::kTraceDrop,
+                                       window))) {
     ++counters_.dropped;
     return out;
   }
 
   TimedTrace event;
   event.window = window;
-  if (trace.size() > 0 && rng_.NextBernoulli(config_.corrupt_prob)) {
+  if (trace.size() > 0 &&
+      rng_.NextBernoulli(
+          EffectiveProb(config_.corrupt_prob, ChaosFaultKind::kTraceCorrupt, window))) {
     event.trace = Corrupt(trace, rng_);
     ++counters_.corrupted;
-  } else if (trace.size() > 1 && rng_.NextBernoulli(config_.truncate_prob)) {
+  } else if (trace.size() > 1 &&
+             rng_.NextBernoulli(EffectiveProb(config_.truncate_prob,
+                                              ChaosFaultKind::kTraceTruncate, window))) {
     event.trace = Truncate(trace, rng_);
     ++counters_.truncated;
   } else {
     event.trace = trace;
   }
-  if (rng_.NextBernoulli(config_.delay_prob)) {
+  if (rng_.NextBernoulli(
+          EffectiveProb(config_.delay_prob, ChaosFaultKind::kTraceDelay, window))) {
     event.window = window + 1 + static_cast<size_t>(rng_.NextBelow(2));
     ++counters_.delayed;
   }
-  if (rng_.NextBernoulli(config_.duplicate_prob)) {
+  if (rng_.NextBernoulli(EffectiveProb(config_.duplicate_prob,
+                                       ChaosFaultKind::kTraceDuplicate, window))) {
     out.push_back(event);
     ++counters_.duplicated;
   }
@@ -87,15 +141,71 @@ std::vector<FaultInjector::TimedTrace> FaultInjector::ProcessTrace(size_t window
 
 bool FaultInjector::ProcessMetric(const MetricKey& key, size_t window, double value) {
   (void)key;
-  (void)window;
   (void)value;
   MutexLock lock(mu_);
   ++counters_.metrics_in;
-  if (rng_.NextBernoulli(config_.metric_gap_prob)) {
+  if (rng_.NextBernoulli(
+          EffectiveProb(config_.metric_gap_prob, ChaosFaultKind::kMetricGap, window))) {
     ++counters_.metric_gaps;
     return false;
   }
   return true;
+}
+
+bool FaultInjector::TakeCrash(size_t window, int target) {
+  MutexLock lock(mu_);
+  for (size_t i = 0; i < schedule_.events.size(); ++i) {
+    const ChaosEvent& event = schedule_.events[i];
+    if (event.kind == ChaosFaultKind::kWorkerCrash && event.ActiveAt(window) &&
+        event.Targets(target) && !crash_fired_[i]) {
+      crash_fired_[i] = true;
+      ++counters_.worker_crashes;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::TakeStall(size_t window, int target, double* stall_ms) {
+  MutexLock lock(mu_);
+  for (const ChaosEvent& event : schedule_.events) {
+    if (event.kind == ChaosFaultKind::kWorkerStall && event.ActiveAt(window) &&
+        event.Targets(target)) {
+      if (stall_ms != nullptr) {
+        *stall_ms = event.EffectiveMagnitude();
+      }
+      ++counters_.worker_stalls;
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t FaultInjector::ClockSkewUs(size_t window) {
+  MutexLock lock(mu_);
+  uint64_t skew = 0;
+  for (size_t i = 0; i < schedule_.events.size(); ++i) {
+    const ChaosEvent& event = schedule_.events[i];
+    if (event.kind == ChaosFaultKind::kClockSkew && event.ActiveAt(window)) {
+      skew = std::max(skew, static_cast<uint64_t>(event.EffectiveMagnitude()));
+      if (!skew_counted_[i]) {
+        skew_counted_[i] = true;
+        ++counters_.clock_skews;
+      }
+    }
+  }
+  return skew;
+}
+
+bool FaultInjector::TakeAllocFail(size_t window) {
+  MutexLock lock(mu_);
+  for (const ChaosEvent& event : schedule_.events) {
+    if (event.kind == ChaosFaultKind::kAllocFail && event.ActiveAt(window)) {
+      ++counters_.alloc_fails;
+      return true;
+    }
+  }
+  return false;
 }
 
 FaultCounters FaultInjector::counters() const {

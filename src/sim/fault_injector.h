@@ -23,6 +23,7 @@
 
 #include "src/core/thread_annotations.h"
 #include "src/nn/rng.h"
+#include "src/sim/chaos_schedule.h"
 #include "src/telemetry/metrics.h"
 #include "src/trace/span.h"
 
@@ -56,6 +57,17 @@ struct FaultCounters {
   uint64_t duplicated = 0;
   uint64_t metrics_in = 0;
   uint64_t metric_gaps = 0;
+  // Process faults dealt from a chaos schedule (see chaos_schedule.h).
+  uint64_t worker_stalls = 0;   // stalled sweeps
+  uint64_t worker_crashes = 0;  // crash events fired
+  uint64_t clock_skews = 0;     // skew events entered
+  uint64_t alloc_fails = 0;     // failed allocations dealt
+
+  // Accumulates another counter block into this one — for scorecards that
+  // aggregate per-schedule or per-shard injectors.
+  void Merge(const FaultCounters& other);
+  // Zeros every counter.
+  void Reset();
 };
 
 class FaultInjector {
@@ -66,6 +78,11 @@ class FaultInjector {
   };
 
   explicit FaultInjector(const FaultInjectorConfig& config);
+  // With a chaos schedule: stream-fault events act as window-scoped
+  // probability floors (effective prob = max(config prob, event magnitude);
+  // `outage` events extend the config outage range), and process-fault
+  // events are dealt through the Take*/Active queries below.
+  FaultInjector(const FaultInjectorConfig& config, ChaosSchedule schedule);
 
   // Runs one trace through the fault model. Returns 0..2 delivery events
   // (empty = dropped); the caller forwards each to IngestPipeline::IngestTrace
@@ -76,18 +93,43 @@ class FaultInjector {
   // scrape is lost (the caller must not deliver it).
   bool ProcessMetric(const MetricKey& key, size_t window, double value);
 
+  // Process-fault queries, polled by the serving harness. All are
+  // deterministic functions of (schedule, window, prior Take calls).
+  //
+  // True when a worker_crash event targeting `target` covers `window` and
+  // has not fired yet — each crash event kills its target exactly once.
+  bool TakeCrash(size_t window, int target);
+  // True while a worker_stall event targeting `target` covers `window`;
+  // *stall_ms receives the stall duration. Counts every stalled sweep.
+  bool TakeStall(size_t window, int target, double* stall_ms);
+  // Clock-skew to apply at `window` (microseconds; 0 = none). Each skew
+  // event is counted once, on its first active query.
+  uint64_t ClockSkewUs(size_t window);
+  // True while an alloc_fail event covers `window`. Counts every deal.
+  bool TakeAllocFail(size_t window);
+
+  const ChaosSchedule& schedule() const { return schedule_; }
+
   FaultCounters counters() const;
 
  private:
   Trace Truncate(const Trace& trace, Rng& rng) const;
   Trace Corrupt(const Trace& trace, Rng& rng);
+  // max(config probability, active schedule-event magnitude) for `kind`.
+  double EffectiveProb(double base, ChaosFaultKind kind, size_t window) const
+      DEEPREST_REQUIRES(mu_);
+  bool InOutage(size_t window) const DEEPREST_REQUIRES(mu_);
 
   FaultInjectorConfig config_;
+  const ChaosSchedule schedule_;
   mutable Mutex mu_;
   // One generator for every decision (determinism), one counter block: both
   // only ever touched under mu_.
   Rng rng_ DEEPREST_GUARDED_BY(mu_);
   FaultCounters counters_ DEEPREST_GUARDED_BY(mu_);
+  // Per-event one-shot latches, parallel to schedule_.events.
+  std::vector<bool> crash_fired_ DEEPREST_GUARDED_BY(mu_);
+  std::vector<bool> skew_counted_ DEEPREST_GUARDED_BY(mu_);
 };
 
 }  // namespace deeprest

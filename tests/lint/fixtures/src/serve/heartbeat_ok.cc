@@ -1,0 +1,34 @@
+// Fixture: must NOT trip heartbeat-on-loop. Three sanctioned shapes: a loop
+// that heartbeats, a cv predicate wait (the cv wakes it — not a poll), and
+// an explicitly allowed loop.
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+struct Handle {
+  void Heartbeat() {}
+};
+
+struct Cv {
+  void WaitFor(std::chrono::milliseconds) {}
+};
+
+void Supervised(const std::atomic<bool>& stop_flag, Handle& health) {
+  while (!stop_flag.load()) {
+    health.Heartbeat();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+void PredicateWait(const std::atomic<bool>& stop_flag, Cv& cv) {
+  while (!stop_flag.load()) {
+    cv.WaitFor(std::chrono::milliseconds(5));
+  }
+}
+
+void Granted(const std::atomic<bool>& stop_flag) {
+  // deeprest-lint: allow(heartbeat-on-loop)
+  while (!stop_flag.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}

@@ -1,0 +1,11 @@
+// Fixture: must trip heartbeat-on-loop — a stop-flag worker loop under a
+// src/serve path that neither heartbeats nor blocks on a condition variable.
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+void Loop(const std::atomic<bool>& stop_flag) {
+  while (!stop_flag.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}

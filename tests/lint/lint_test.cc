@@ -57,7 +57,8 @@ TEST_P(LintRuleTest, ViolatingFixtureTripsExactlyItsRule) {
   // Minimal fixtures are single-purpose: no OTHER rule may fire.
   for (const char* other :
        {"no-unseeded-rand", "no-unordered-iteration", "no-raw-tensor-node-new",
-        "no-fast-math-reassoc", "mutex-needs-guarded-by", "no-detached-threads"}) {
+        "no-fast-math-reassoc", "mutex-needs-guarded-by", "no-detached-threads",
+        "heartbeat-on-loop"}) {
     if (std::string(other) != c.rule) {
       EXPECT_EQ(run.output.find(std::string("[") + other + "]"), std::string::npos)
           << "unexpected rule " << other << " in:\n"
@@ -75,7 +76,8 @@ INSTANTIATE_TEST_SUITE_P(
                       RuleCase{"tensor_new_violation.cc", "no-raw-tensor-node-new"},
                       RuleCase{"src/nn/reassoc_violation.cc", "no-fast-math-reassoc"},
                       RuleCase{"mutex_violation.cc", "mutex-needs-guarded-by"},
-                      RuleCase{"detach_violation.cc", "no-detached-threads"}),
+                      RuleCase{"detach_violation.cc", "no-detached-threads"},
+                      RuleCase{"src/serve/heartbeat_violation.cc", "heartbeat-on-loop"}),
     [](const ::testing::TestParamInfo<RuleCase>& param_info) {
       std::string name = param_info.param.rule;
       for (char& ch : name) {
@@ -94,6 +96,21 @@ TEST(LintTest, CleanFilePasses) {
 
 TEST(LintTest, AllowCommentsSuppressSameAndNextLine) {
   const LintRun run = RunLint(Fixture("suppressed.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+// heartbeat-on-loop is path-scoped AND shape-scoped: a heartbeating loop, a
+// cv predicate wait, and an allow-comment grant must all pass; the identical
+// un-heartbeated loop outside src/serve|src/autoscale never fires.
+TEST(LintTest, HeartbeatRuleAcceptsSanctionedLoopShapes) {
+  const LintRun run = RunLint(Fixture("src/serve/heartbeat_ok.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintTest, HeartbeatRuleIsScopedToSupervisedPaths) {
+  // clean.cc sits outside src/serve and src/autoscale — out of scope even
+  // though it has no heartbeats.
+  const LintRun run = RunLint(Fixture("clean.cc"));
   EXPECT_EQ(run.exit_code, 0) << run.output;
 }
 

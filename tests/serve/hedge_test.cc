@@ -1,0 +1,175 @@
+// Hedged estimate requests: the RequestStatus surface (exhaustive name
+// coverage, including the new kHedgedDuplicate), and first-result-wins
+// semantics through a service whose primary worker is wedged — the hedge
+// routes around the stall, exactly one copy resolves the caller's future,
+// and the loser is discarded as a counted duplicate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "src/serve/estimation_service.h"
+#include "tests/serve/test_app.h"
+
+namespace deeprest {
+namespace {
+
+using testutil::ExpectSameEstimates;
+using testutil::MakeSetup;
+using testutil::TinySetup;
+using testutil::TrainModel;
+
+// Satellite: every enumerator has a distinct, non-"unknown" name, and the
+// count constant is in lockstep with the enum — adding a status without
+// naming it (or without bumping kRequestStatusCount) fails here.
+TEST(RequestStatusTest, NameIsExhaustiveAndDistinct) {
+  std::set<std::string> names;
+  for (size_t i = 0; i < kRequestStatusCount; ++i) {
+    const std::string name = RequestStatusName(static_cast<RequestStatus>(i));
+    EXPECT_NE(name, "unknown") << "enumerator " << i << " is unnamed";
+    EXPECT_FALSE(name.empty()) << "enumerator " << i;
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate status name '" << name << "' at enumerator " << i;
+  }
+  // One past the end is the sentinel — if this is a real name, the count
+  // constant lags the enum.
+  EXPECT_STREQ(RequestStatusName(static_cast<RequestStatus>(kRequestStatusCount)),
+               "unknown");
+  EXPECT_EQ(names.count("hedged-duplicate"), 1u);
+}
+
+TEST(HedgeTest, HedgeRoutesAroundAWedgedWorkerFirstResultWins) {
+  TinySetup s = MakeSetup();
+  auto model = TrainModel(s);
+  const auto features =
+      model->features().ExtractSeries(s.traces, s.learn_windows, s.total());
+  const EstimateMap oracle = model->EstimateFromFeatures(features);
+  ModelRegistry registry;
+  IngestPipeline pipeline(model->features(), {.shards = 2});
+  registry.Publish(std::move(model));
+
+  // Worker 0 wedges on its first sweep and stays wedged until released;
+  // submissions round-robin from shard 0, so the primary copy lands behind
+  // the wedge. Worker 1 is held back until the hedge has actually fired
+  // (otherwise its steal sweep could rescue the primary first and the test
+  // would race), then serves the duplicate from its own shard. The hedge
+  // delay is the max_delay cold-start clamp — min_samples is never reached.
+  std::atomic<bool> release{false};
+  std::atomic<bool> hedge_fired{false};
+  EstimationServiceConfig config;
+  config.workers = 2;
+  config.hedge.enabled = true;
+  config.hedge.min_delay = std::chrono::microseconds(100);
+  config.hedge.max_delay = std::chrono::microseconds(1000);
+  config.hedge.min_samples = 1000000;  // force the cold-start clamp
+  config.worker_fault_hook = [&release, &hedge_fired](size_t worker) {
+    if (worker == 0) {
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    } else {
+      while (!hedge_fired.load() && !release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    return WorkerFault::kNone;
+  };
+  EstimationService service(registry, pipeline, config);
+
+  auto future = service.SubmitFeatures(features);
+  // Hold worker 1 until the monitor has actually launched the duplicate.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (service.Counters().hedges_launched == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  hedge_fired.store(true);
+
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)), std::future_status::ready)
+      << "hedge never rescued the wedged primary";
+  const auto result = future.get();
+  ASSERT_EQ(result.status, RequestStatus::kOk);
+  ExpectSameEstimates(result.estimates, oracle);
+
+  ServiceCounters counters = service.Counters();
+  EXPECT_GE(counters.hedges_launched, 1u);
+  EXPECT_GE(counters.hedges_won, 1u);
+
+  // Release the wedge; the stale primary copy must resolve as a duplicate,
+  // not double-set the shared promise or double-count a serve.
+  release.store(true);
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service.Counters().hedged_duplicates == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  service.Stop();
+  counters = service.Counters();
+  EXPECT_EQ(counters.hedged_duplicates, 1u);
+  EXPECT_EQ(counters.requests_served, 1u);  // the pair serves exactly once
+  // Accounting invariant: every submission (duplicates included) reaches
+  // exactly one terminal state.
+  EXPECT_EQ(counters.requests_submitted,
+            counters.requests_served + counters.requests_shed +
+                counters.requests_expired + counters.requests_rejected +
+                counters.hedged_duplicates);
+}
+
+TEST(HedgeTest, FastPrimaryCancelsTheArmedHedge) {
+  TinySetup s = MakeSetup();
+  auto model = TrainModel(s);
+  const auto features =
+      model->features().ExtractSeries(s.traces, s.learn_windows, s.total());
+  ModelRegistry registry;
+  IngestPipeline pipeline(model->features(), {.shards = 2});
+  registry.Publish(std::move(model));
+
+  EstimationServiceConfig config;
+  config.workers = 2;
+  config.hedge.enabled = true;
+  // A generous delay: the healthy primary always wins, so every armed hedge
+  // is cancelled instead of fired.
+  config.hedge.min_delay = std::chrono::milliseconds(500);
+  config.hedge.max_delay = std::chrono::milliseconds(500);
+  config.hedge.min_samples = 1000000;
+  EstimationService service(registry, pipeline, config);
+
+  for (int i = 0; i < 8; ++i) {
+    const auto result = service.SubmitFeatures(features).get();
+    EXPECT_EQ(result.status, RequestStatus::kOk);
+  }
+  service.Stop();
+  const ServiceCounters counters = service.Counters();
+  EXPECT_EQ(counters.requests_served, 8u);
+  EXPECT_EQ(counters.hedges_won, 0u);
+  EXPECT_EQ(counters.hedged_duplicates, 0u);
+  // Nothing fired: every hedge was cancelled (claimed primary or shutdown).
+  EXPECT_EQ(counters.hedges_launched, 0u);
+}
+
+TEST(HedgeTest, HedgingDisabledLeavesCountersSilent) {
+  TinySetup s = MakeSetup();
+  auto model = TrainModel(s);
+  const auto features =
+      model->features().ExtractSeries(s.traces, s.learn_windows, s.total());
+  ModelRegistry registry;
+  IngestPipeline pipeline(model->features(), {.shards = 2});
+  registry.Publish(std::move(model));
+
+  EstimationServiceConfig config;
+  config.workers = 2;
+  EstimationService service(registry, pipeline, config);
+  const auto result = service.SubmitFeatures(features).get();
+  EXPECT_EQ(result.status, RequestStatus::kOk);
+  service.Stop();
+  const ServiceCounters counters = service.Counters();
+  EXPECT_EQ(counters.hedges_launched, 0u);
+  EXPECT_EQ(counters.hedges_won, 0u);
+  EXPECT_EQ(counters.hedged_duplicates, 0u);
+}
+
+}  // namespace
+}  // namespace deeprest

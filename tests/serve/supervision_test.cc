@@ -1,0 +1,615 @@
+// Self-healing supervision layer: HealthRegistry staleness accounting, the
+// reusable CircuitBreaker, Supervisor incident/backoff/budget/escalation
+// state machine (driven deterministically with a ManualHealthClock), the
+// Watchdog thread, and watchdog-led worker recovery through the real
+// EstimationService — crash, restart, and bit-exact service afterwards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/circuit_breaker.h"
+#include "src/serve/continual_learner.h"
+#include "src/serve/estimation_service.h"
+#include "src/serve/health.h"
+#include "src/serve/supervisor.h"
+#include "tests/serve/test_app.h"
+
+namespace deeprest {
+namespace {
+
+using testutil::ExpectSameEstimates;
+using testutil::MakeSetup;
+using testutil::TinySetup;
+using testutil::TrainModel;
+
+// ---------------------------------------------------------------------------
+// HealthRegistry
+// ---------------------------------------------------------------------------
+
+TEST(HealthRegistryTest, StalenessDrivesStatus) {
+  ManualHealthClock clock(1000);
+  HealthRegistry registry(&clock);
+  HealthHandle handle = registry.Register("worker", 500);
+  ASSERT_TRUE(handle.valid());
+
+  // Freshly registered components are pre-stamped healthy.
+  ComponentHealth health = registry.Health(handle.id());
+  EXPECT_EQ(health.status, HealthStatus::kHealthy);
+  EXPECT_EQ(health.last_heartbeat_us, 1000u);
+  EXPECT_EQ(health.staleness_us, 0u);
+
+  clock.Advance(400);
+  EXPECT_EQ(registry.Health(handle.id()).status, HealthStatus::kHealthy);
+  clock.Advance(200);  // staleness 600 > threshold 500
+  health = registry.Health(handle.id());
+  EXPECT_EQ(health.status, HealthStatus::kSuspect);
+  EXPECT_EQ(health.staleness_us, 600u);
+
+  handle.Heartbeat();
+  health = registry.Health(handle.id());
+  EXPECT_EQ(health.status, HealthStatus::kHealthy);
+  EXPECT_EQ(health.staleness_us, 0u);
+  EXPECT_EQ(health.heartbeats, 1u);
+}
+
+TEST(HealthRegistryTest, MarksAndStoppedExemption) {
+  ManualHealthClock clock;
+  HealthRegistry registry(&clock);
+  HealthHandle handle = registry.Register("learner", 100);
+
+  registry.MarkRestarting(handle.id());
+  EXPECT_EQ(registry.Health(handle.id()).status, HealthStatus::kRestarting);
+  // A heartbeat clears the mark: the restarted component is back under
+  // coverage.
+  handle.Heartbeat();
+  EXPECT_EQ(registry.Health(handle.id()).status, HealthStatus::kHealthy);
+
+  handle.MarkStopped();
+  clock.Advance(1000000);  // arbitrarily stale, but deliberately stopped
+  ComponentHealth health = registry.Health(handle.id());
+  EXPECT_EQ(health.status, HealthStatus::kStopped);
+  EXPECT_EQ(health.staleness_us, 0u);
+}
+
+TEST(HealthRegistryTest, RegisterIsIdempotentByName) {
+  HealthRegistry registry;
+  HealthHandle a = registry.Register("dup", 100);
+  HealthHandle b = registry.Register("dup", 999);
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(registry.size(), 1u);
+  // Thresholds are not updated by re-registration.
+  EXPECT_EQ(registry.Health(a.id()).stall_threshold_us, 100u);
+}
+
+TEST(HealthRegistryTest, SnapshotCoversEveryComponent) {
+  HealthRegistry registry;
+  registry.Register("a", 1);
+  registry.Register("b", 2);
+  const std::vector<ComponentHealth> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].name, "a");
+  EXPECT_EQ(snapshot[1].name, "b");
+}
+
+TEST(HealthClockTest, SkewedClockShiftsAndClampsAtZero) {
+  ManualHealthClock base(100);
+  SkewedHealthClock skewed(base);
+  EXPECT_EQ(skewed.NowMicros(), 100u);
+  skewed.SetSkewMicros(250);
+  EXPECT_EQ(skewed.NowMicros(), 350u);
+  skewed.SetSkewMicros(-500);  // would go negative: clamps
+  EXPECT_EQ(skewed.NowMicros(), 0u);
+}
+
+TEST(HealthStatusTest, NamesAreDistinctAndKnown) {
+  const HealthStatus all[] = {HealthStatus::kHealthy, HealthStatus::kSuspect,
+                              HealthStatus::kRestarting, HealthStatus::kStopped};
+  std::vector<std::string> names;
+  for (HealthStatus status : all) {
+    const std::string name = HealthStatusName(status);
+    EXPECT_NE(name, "unknown");
+    for (const std::string& seen : names) {
+      EXPECT_NE(name, seen);
+    }
+    names.push_back(name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------------------
+
+TEST(CircuitBreakerTest, GateOnlyModeNeverOpens) {
+  CircuitBreaker breaker;  // trip_failures = 0
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(breaker.Allow());
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.failures(), 50u);
+  EXPECT_EQ(breaker.counters().trips, 0u);
+}
+
+TEST(CircuitBreakerTest, ConsecutiveFailuresTripAndProbeRecovers) {
+  CircuitBreakerConfig config;
+  config.trip_failures = 3;
+  config.open_rejections = 2;
+  CircuitBreaker breaker(config);
+
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();  // resets the streak
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.RecordFailure();  // third consecutive: trips
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.counters().trips, 1u);
+
+  // Two rejected attempts move open -> half-open.
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+
+  // Exactly one probe; racing callers are rejected.
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensForAFullRound) {
+  CircuitBreakerConfig config;
+  config.trip_failures = 1;
+  config.open_rejections = 2;
+  CircuitBreaker breaker(config);
+  breaker.RecordFailure();  // trips immediately
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_TRUE(breaker.Allow());  // half-open probe
+  breaker.RecordFailure();       // probe failed: re-open
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.counters().trips, 2u);
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_TRUE(breaker.Allow());  // next probe after another full round
+}
+
+TEST(CircuitBreakerTest, AbandonedProbeFreesTheSlot) {
+  CircuitBreakerConfig config;
+  config.trip_failures = 1;
+  config.open_rejections = 1;
+  CircuitBreaker breaker(config);
+  breaker.RecordFailure();
+  EXPECT_FALSE(breaker.Allow());  // -> half-open
+  EXPECT_TRUE(breaker.Allow());   // probe slot taken
+  EXPECT_FALSE(breaker.Allow());  // slot busy
+  breaker.AbandonProbe();         // the probe never actually ran
+  EXPECT_TRUE(breaker.Allow());   // slot available again — no wedge
+}
+
+TEST(CircuitBreakerTest, ValidationRegressedMatchesLegacyGate) {
+  // The exact decision the learner's inline breaker used to make.
+  EXPECT_FALSE(CircuitBreaker::ValidationRegressed(1.0, 1.0, 1.5));
+  EXPECT_FALSE(CircuitBreaker::ValidationRegressed(1.0, 1.5, 1.5));  // at the line
+  EXPECT_TRUE(CircuitBreaker::ValidationRegressed(1.0, 1.51, 1.5));
+  EXPECT_FALSE(CircuitBreaker::ValidationRegressed(0.0, 0.0, 1.5));  // epsilon guard
+  EXPECT_FALSE(CircuitBreaker::ValidationRegressed(1.0, 9.0, 0.0));  // disabled
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor (deterministic, ManualHealthClock-driven)
+// ---------------------------------------------------------------------------
+
+struct SupervisedHarness {
+  ManualHealthClock clock{1000};
+  HealthRegistry registry{&clock};
+  SupervisorConfig config;
+  std::unique_ptr<Supervisor> supervisor;
+  HealthHandle handle;
+  std::atomic<int> restarts{0};
+  bool restart_result = true;
+
+  explicit SupervisedHarness(size_t budget = 4, uint64_t threshold_us = 1000) {
+    config.base_backoff = std::chrono::milliseconds(10);
+    config.max_backoff = std::chrono::milliseconds(40);
+    config.restart_budget = budget;
+    supervisor = std::make_unique<Supervisor>(registry, config);
+    handle = registry.Register("victim", threshold_us);
+    supervisor->Watch(handle.id(), [this] {
+      restarts.fetch_add(1);
+      return restart_result;
+    });
+  }
+};
+
+TEST(SupervisorTest, HealthyComponentNeverTriggersAnything) {
+  SupervisedHarness h;
+  for (int i = 0; i < 5; ++i) {
+    h.clock.Advance(500);
+    h.handle.Heartbeat();
+    EXPECT_EQ(h.supervisor->ScanOnce(), 0u);
+  }
+  EXPECT_EQ(h.restarts.load(), 0);
+  EXPECT_EQ(h.supervisor->counters().incidents_opened, 0u);
+  EXPECT_TRUE(h.supervisor->Incidents().empty());
+}
+
+TEST(SupervisorTest, StallOpensIncidentAndMttrClockStartsAtTheFault) {
+  SupervisedHarness h;
+  // Heartbeats stop at t=1000 (registration stamp). Staleness crosses the
+  // 1000us threshold at t=2001.
+  h.clock.Set(2500);
+  EXPECT_EQ(h.supervisor->ScanOnce(), 1u);  // detection scan restarts immediately
+  EXPECT_EQ(h.restarts.load(), 1);
+
+  auto incidents = h.supervisor->Incidents();
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].component, "victim");
+  EXPECT_EQ(incidents[0].quiet_since_us, 1000u);  // the FAULT, not detection
+  EXPECT_EQ(incidents[0].detected_at_us, 2500u);
+  EXPECT_EQ(incidents[0].detect_us(), 1500u);
+  EXPECT_FALSE(incidents[0].recovered());
+
+  // Recovery: heartbeats resume, the next scan closes the incident.
+  h.clock.Set(4000);
+  h.handle.Heartbeat();
+  EXPECT_EQ(h.supervisor->ScanOnce(), 0u);
+  incidents = h.supervisor->Incidents();
+  ASSERT_TRUE(incidents[0].recovered());
+  EXPECT_EQ(incidents[0].recovered_at_us, 4000u);
+  EXPECT_EQ(incidents[0].mttr_us(), 3000u);  // fault at 1000 -> recovered at 4000
+  const SupervisorCounters counters = h.supervisor->counters();
+  EXPECT_EQ(counters.incidents_opened, 1u);
+  EXPECT_EQ(counters.incidents_recovered, 1u);
+}
+
+TEST(SupervisorTest, RestartsSpaceOutWithCappedExponentialBackoff) {
+  SupervisedHarness h;
+  h.clock.Set(3000);
+  EXPECT_EQ(h.supervisor->ScanOnce(), 1u);  // attempt 1 at 3000
+  // Backoff 10ms: scans before 13000us drive nothing.
+  h.clock.Set(9000);
+  EXPECT_EQ(h.supervisor->ScanOnce(), 0u);
+  h.clock.Set(13000);
+  EXPECT_EQ(h.supervisor->ScanOnce(), 1u);  // attempt 2
+  // Backoff doubles to 20ms.
+  h.clock.Set(25000);
+  EXPECT_EQ(h.supervisor->ScanOnce(), 0u);
+  h.clock.Set(33000);
+  EXPECT_EQ(h.supervisor->ScanOnce(), 1u);  // attempt 3
+  EXPECT_EQ(h.restarts.load(), 3);
+  EXPECT_EQ(h.supervisor->counters().restarts_attempted, 3u);
+  EXPECT_EQ(h.supervisor->counters().restarts_succeeded, 3u);
+}
+
+TEST(SupervisorTest, BudgetExhaustionEscalatesExactlyOnce) {
+  SupervisedHarness h(/*budget=*/2);
+  h.restart_result = false;  // a stall cannot be restarted
+  std::vector<std::string> escalated;
+  h.supervisor->SetEscalationHandler(
+      [&escalated](const std::string& name) { escalated.push_back(name); });
+
+  h.clock.Set(5000);
+  h.supervisor->ScanOnce();  // attempt 1
+  h.clock.Set(100000);
+  h.supervisor->ScanOnce();  // attempt 2 — budget spent
+  EXPECT_FALSE(h.supervisor->degraded());
+  h.clock.Set(200000);
+  h.supervisor->ScanOnce();  // out of budget: escalate
+  EXPECT_TRUE(h.supervisor->degraded());
+  ASSERT_EQ(escalated.size(), 1u);
+  EXPECT_EQ(escalated[0], "victim");
+
+  h.clock.Set(300000);
+  h.supervisor->ScanOnce();  // still out of budget: no double escalation
+  EXPECT_EQ(escalated.size(), 1u);
+  const SupervisorCounters counters = h.supervisor->counters();
+  EXPECT_EQ(counters.escalations, 1u);
+  EXPECT_EQ(counters.restarts_attempted, 2u);
+  EXPECT_EQ(counters.restarts_failed, 2u);
+
+  // Degraded is sticky until the operator clears it.
+  h.supervisor->ClearDegraded();
+  EXPECT_FALSE(h.supervisor->degraded());
+
+  // Recovery after escalation still closes the incident and restores budget.
+  h.clock.Set(400000);
+  h.handle.Heartbeat();
+  h.supervisor->ScanOnce();
+  auto incidents = h.supervisor->Incidents();
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_TRUE(incidents[0].recovered());
+  EXPECT_TRUE(incidents[0].escalated);
+}
+
+TEST(SupervisorTest, StoppedComponentsAreExemptFromScans) {
+  SupervisedHarness h;
+  h.handle.MarkStopped();
+  h.clock.Set(10000000);
+  EXPECT_EQ(h.supervisor->ScanOnce(), 0u);
+  EXPECT_EQ(h.supervisor->counters().incidents_opened, 0u);
+}
+
+TEST(SupervisorTest, RecoveryRestoresBudgetForTheNextIncident) {
+  SupervisedHarness h(/*budget=*/1);
+  h.clock.Set(3000);
+  h.supervisor->ScanOnce();  // incident 1, attempt 1 (budget spent)
+  h.clock.Set(4000);
+  h.handle.Heartbeat();
+  h.supervisor->ScanOnce();  // recovered
+  // Second incident gets a fresh budget: attempt fires, no escalation.
+  h.clock.Set(10000);
+  EXPECT_EQ(h.supervisor->ScanOnce(), 1u);
+  EXPECT_FALSE(h.supervisor->degraded());
+  EXPECT_EQ(h.supervisor->counters().incidents_opened, 2u);
+}
+
+TEST(WatchdogTest, ThreadScansAndRecoversARealStall) {
+  // Real steady clock: a component that stops heartbeating with a 2ms
+  // threshold, a watchdog polling every 1ms, and a restart callback that
+  // "revives" it by heartbeating on its behalf.
+  HealthRegistry registry;
+  Supervisor supervisor(registry, {.base_backoff = std::chrono::milliseconds(1),
+                                   .max_backoff = std::chrono::milliseconds(4),
+                                   .restart_budget = 100});
+  HealthHandle handle = registry.Register("sleeper", 2000);
+  supervisor.Watch(handle.id(), [&handle] {
+    handle.Heartbeat();
+    return true;
+  });
+  Watchdog watchdog(supervisor, registry, {.poll_interval = std::chrono::milliseconds(1)});
+  watchdog.Start();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (supervisor.counters().incidents_recovered == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  watchdog.Stop();
+  EXPECT_GT(watchdog.scans(), 0u);
+  const SupervisorCounters counters = supervisor.counters();
+  EXPECT_GE(counters.incidents_opened, 1u);
+  EXPECT_GE(counters.incidents_recovered, 1u);
+  // The watchdog itself is a registered, heartbeating component.
+  bool watchdog_registered = false;
+  for (const ComponentHealth& health : registry.Snapshot()) {
+    watchdog_registered |= health.name == "watchdog";
+  }
+  EXPECT_TRUE(watchdog_registered);
+}
+
+// ---------------------------------------------------------------------------
+// EstimationService integration: crash, restart, degraded mode
+// ---------------------------------------------------------------------------
+
+TEST(ServiceSupervisionTest, CrashedWorkerRestartsAndServesBitExact) {
+  TinySetup s = MakeSetup();
+  auto model = TrainModel(s);
+  const auto features =
+      model->features().ExtractSeries(s.traces, s.learn_windows, s.total());
+  const EstimateMap oracle = model->EstimateFromFeatures(features);
+  ModelRegistry registry;
+  IngestPipeline pipeline(model->features(), {.shards = 2});
+  registry.Publish(std::move(model));
+
+  HealthRegistry health;
+  std::atomic<bool> crash_pending{true};
+  EstimationServiceConfig config;
+  config.workers = 2;
+  config.health = &health;
+  config.worker_fault_hook = [&crash_pending](size_t worker) {
+    if (worker == 0 && crash_pending.exchange(false)) {
+      return WorkerFault::kCrash;
+    }
+    return WorkerFault::kNone;
+  };
+  EstimationService service(registry, pipeline, config);
+
+  // Both workers registered under supervision names.
+  EXPECT_EQ(health.Register("estimation-worker-0", 1).id(),
+            health.Register("estimation-worker-0", 1).id());
+  ASSERT_GE(health.size(), 2u);
+
+  // Wait for the crash to land.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!service.WorkerExited(0) && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(service.WorkerExited(0));
+  EXPECT_EQ(service.Counters().worker_crashes, 1u);
+
+  // The surviving worker keeps the service correct even before recovery
+  // (work stealing covers the dead worker's shard).
+  auto before = service.SubmitFeatures(features).get();
+  ASSERT_EQ(before.status, RequestStatus::kOk);
+  ExpectSameEstimates(before.estimates, oracle);
+
+  // Restart: the worker comes back and the service stays bit-exact.
+  EXPECT_TRUE(service.RestartWorker(0));
+  EXPECT_FALSE(service.WorkerExited(0));
+  EXPECT_FALSE(service.RestartWorker(0));  // running workers cannot restart
+  EXPECT_EQ(service.Counters().worker_restarts, 1u);
+  auto after = service.SubmitFeatures(features).get();
+  ASSERT_EQ(after.status, RequestStatus::kOk);
+  ExpectSameEstimates(after.estimates, oracle);
+}
+
+TEST(ServiceSupervisionTest, WatchdogAutoRestartsACrashedWorker) {
+  TinySetup s = MakeSetup();
+  auto model = TrainModel(s);
+  const auto features =
+      model->features().ExtractSeries(s.traces, s.learn_windows, s.total());
+  const EstimateMap oracle = model->EstimateFromFeatures(features);
+  ModelRegistry registry;
+  IngestPipeline pipeline(model->features(), {.shards = 2});
+  registry.Publish(std::move(model));
+
+  HealthRegistry health;
+  std::atomic<bool> crash_pending{true};
+  EstimationServiceConfig config;
+  config.workers = 2;
+  config.health = &health;
+  config.worker_stall_threshold_us = 100000;  // 100ms (> the 64ms idle sweep)
+  config.worker_fault_hook = [&crash_pending](size_t worker) {
+    if (worker == 0 && crash_pending.exchange(false)) {
+      return WorkerFault::kCrash;
+    }
+    return WorkerFault::kNone;
+  };
+  EstimationService service(registry, pipeline, config);
+
+  Supervisor supervisor(health, {.base_backoff = std::chrono::milliseconds(5),
+                                 .max_backoff = std::chrono::milliseconds(50),
+                                 .restart_budget = 50});
+  const size_t worker0 = health.Register("estimation-worker-0", 1).id();
+  supervisor.Watch(worker0, [&service] { return service.RestartWorker(0); });
+  Watchdog watchdog(supervisor, health,
+                    {.poll_interval = std::chrono::milliseconds(2)});
+  watchdog.Start();
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (supervisor.counters().incidents_recovered == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  watchdog.Stop();
+
+  const SupervisorCounters counters = supervisor.counters();
+  ASSERT_GE(counters.incidents_recovered, 1u) << "watchdog never recovered the worker";
+  EXPECT_GE(counters.restarts_succeeded, 1u);
+  EXPECT_FALSE(service.WorkerExited(0));
+
+  const auto incidents = supervisor.Incidents();
+  ASSERT_FALSE(incidents.empty());
+  EXPECT_TRUE(incidents[0].recovered());
+  EXPECT_GT(incidents[0].mttr_us(), 0u);
+
+  // Full service, bit-exact, after watchdog-led recovery.
+  auto result = service.SubmitFeatures(features).get();
+  ASSERT_EQ(result.status, RequestStatus::kOk);
+  ExpectSameEstimates(result.estimates, oracle);
+}
+
+TEST(ServiceSupervisionTest, DegradedModeForcesRejectNewShedding) {
+  TinySetup s = MakeSetup();
+  auto model = TrainModel(s);
+  const auto features =
+      model->features().ExtractSeries(s.traces, s.learn_windows, s.total());
+  ModelRegistry registry;
+  IngestPipeline pipeline(model->features(), {.shards = 1});
+  registry.Publish(std::move(model));
+
+  // One worker, permanently stalled by the chaos hook, so nothing drains.
+  std::atomic<bool> release{false};
+  EstimationServiceConfig config;
+  config.workers = 1;
+  config.max_queue = 1;
+  config.shed_policy = ShedPolicy::kDropOldest;
+  config.worker_fault_hook = [&release](size_t) {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return WorkerFault::kNone;
+  };
+  EstimationService service(registry, pipeline, config);
+  service.SetDegraded(true);
+  EXPECT_TRUE(service.degraded());
+  EXPECT_EQ(service.Counters().degraded_mode, 1u);
+
+  auto first = service.SubmitFeatures(features);   // takes the only slot
+  auto second = service.SubmitFeatures(features);  // queue full
+  // Degraded overrides kDropOldest: the NEW arrival is shed immediately;
+  // the queued request survives.
+  ASSERT_EQ(second.wait_for(std::chrono::seconds(5)), std::future_status::ready);
+  EXPECT_EQ(second.get().status, RequestStatus::kShed);
+  EXPECT_EQ(first.wait_for(std::chrono::milliseconds(0)), std::future_status::timeout);
+
+  release.store(true);
+  EXPECT_EQ(first.get().status, RequestStatus::kOk);
+  service.SetDegraded(false);
+  EXPECT_EQ(service.Counters().degraded_mode, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ContinualLearner: alloc-fail chaos + supervision wiring
+// ---------------------------------------------------------------------------
+
+TEST(LearnerSupervisionTest, AllocFailSkipsRefreshWithoutConsumingWindows) {
+  TinySetup s = MakeSetup();
+  auto model = TrainModel(s);
+  ModelRegistry registry;
+  IngestPipeline pipeline(model->features(), {.shards = 1});
+  registry.Publish(std::move(model));
+  testutil::IngestRange(pipeline, s, 0, s.total());
+
+  std::atomic<bool> alloc_fail{true};
+  HealthRegistry health;
+  ContinualLearnerConfig config;
+  config.min_new_windows = 8;
+  config.epochs = 1;
+  config.health = &health;
+  config.alloc_fail_hook = [&alloc_fail] { return alloc_fail.load(); };
+  ContinualLearner learner(registry, pipeline, s.learn_windows, config);
+
+  EXPECT_EQ(learner.RefreshOnce(), 0u);
+  EXPECT_EQ(learner.alloc_failures(), 1u);
+  EXPECT_EQ(learner.trained_through(), s.learn_windows);  // windows NOT consumed
+
+  // Allocation recovers: the same stretch now trains and publishes.
+  alloc_fail.store(false);
+  EXPECT_GT(learner.RefreshOnce(), 0u);
+  EXPECT_EQ(learner.refreshes_published(), 1u);
+  EXPECT_GT(learner.trained_through(), s.learn_windows);
+
+  // Supervision wiring: the learner registered itself.
+  bool registered = false;
+  for (const ComponentHealth& h : health.Snapshot()) {
+    registered |= h.name == "continual-learner";
+  }
+  EXPECT_TRUE(registered);
+}
+
+TEST(LearnerSupervisionTest, TrippedBreakerSuppressesTrainingUntilProbe) {
+  TinySetup s = MakeSetup();
+  auto model = TrainModel(s);
+  ModelRegistry registry;
+  IngestPipeline pipeline(model->features(), {.shards = 1});
+  registry.Publish(std::move(model));
+  // Two stretches: the first trains (and gets rejected), the second arrives
+  // while the breaker is open, proving suppression skips training entirely.
+  testutil::IngestRange(pipeline, s, 0, s.learn_windows + 16);
+
+  ContinualLearnerConfig config;
+  config.min_new_windows = 8;
+  config.epochs = 1;
+  // Impossible validation bar: ANY candidate error beyond ~0 regresses, so
+  // every fine-tune is rejected and the breaker trips after one failure.
+  config.validation_regression_factor = 1e-9;
+  config.breaker.trip_failures = 1;
+  config.breaker.open_rejections = 2;
+  ContinualLearner learner(registry, pipeline, s.learn_windows, config);
+
+  EXPECT_EQ(learner.RefreshOnce(), 0u);  // trains, fails validation, trips
+  EXPECT_EQ(learner.models_rejected(), 1u);
+  EXPECT_EQ(learner.validation_breaker().state(), BreakerState::kOpen);
+  const size_t consumed = learner.trained_through();
+  EXPECT_GT(consumed, s.learn_windows);  // rejected stretches ARE consumed
+
+  // Open breaker: the fresh stretch is suppressed without touching training.
+  testutil::IngestRange(pipeline, s, s.learn_windows + 16, s.total());
+  EXPECT_EQ(learner.RefreshOnce(), 0u);
+  EXPECT_EQ(learner.RefreshOnce(), 0u);
+  EXPECT_EQ(learner.refreshes_suppressed(), 2u);
+  EXPECT_EQ(learner.models_rejected(), 1u);  // no training happened
+  EXPECT_EQ(learner.trained_through(), consumed);
+}
+
+}  // namespace
+}  // namespace deeprest

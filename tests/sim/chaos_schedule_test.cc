@@ -1,0 +1,233 @@
+// Scripted chaos schedules: text-form parsing (round-trips, defaults, error
+// reporting), window activity math, and the FaultInjector integration —
+// window-scoped probability overrides for the stream faults and the
+// deal-once/deal-per-sweep semantics of the process-fault queries — plus the
+// FaultCounters Merge/Reset accounting the resilience scorecard aggregates
+// with.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/sim/chaos_schedule.h"
+#include "src/sim/fault_injector.h"
+#include "src/trace/span.h"
+
+namespace deeprest {
+namespace {
+
+Trace OneSpanTrace() {
+  Trace trace(1, "/read");
+  const SpanIndex root = trace.AddSpan("Frontend", "read", kNoParent);
+  trace.SetSpanTiming(root, 10, 20);
+  return trace;
+}
+
+TEST(ChaosScheduleTest, ParsesFullFormAndRoundTrips) {
+  const std::string text =
+      "worker_stall@10-14:0*50;worker_crash@20:1;metric_gap@5-30*0.2";
+  ChaosSchedule schedule;
+  std::string error;
+  ASSERT_TRUE(ParseChaosSchedule(text, &schedule, &error)) << error;
+  ASSERT_EQ(schedule.events.size(), 3u);
+
+  const ChaosEvent& stall = schedule.events[0];
+  EXPECT_EQ(stall.kind, ChaosFaultKind::kWorkerStall);
+  EXPECT_EQ(stall.start_window, 10u);
+  EXPECT_EQ(stall.end_window, 14u);
+  EXPECT_EQ(stall.target, 0);
+  EXPECT_DOUBLE_EQ(stall.magnitude, 50.0);
+
+  const ChaosEvent& crash = schedule.events[1];
+  EXPECT_EQ(crash.kind, ChaosFaultKind::kWorkerCrash);
+  EXPECT_EQ(crash.start_window, 20u);
+  EXPECT_EQ(crash.end_window, 21u);  // start-only = one window
+  EXPECT_EQ(crash.target, 1);
+
+  const ChaosEvent& gap = schedule.events[2];
+  EXPECT_EQ(gap.kind, ChaosFaultKind::kMetricGap);
+  EXPECT_EQ(gap.target, -1);  // omitted = all targets
+  EXPECT_DOUBLE_EQ(gap.magnitude, 0.2);
+
+  // Canonical text round-trips through the parser.
+  const std::string formatted = FormatChaosSchedule(schedule);
+  ChaosSchedule reparsed;
+  ASSERT_TRUE(ParseChaosSchedule(formatted, &reparsed, &error)) << error;
+  ASSERT_EQ(reparsed.events.size(), schedule.events.size());
+  for (size_t i = 0; i < schedule.events.size(); ++i) {
+    EXPECT_EQ(reparsed.events[i].kind, schedule.events[i].kind);
+    EXPECT_EQ(reparsed.events[i].start_window, schedule.events[i].start_window);
+    EXPECT_EQ(reparsed.events[i].end_window, schedule.events[i].end_window);
+    EXPECT_EQ(reparsed.events[i].target, schedule.events[i].target);
+    EXPECT_DOUBLE_EQ(reparsed.events[i].magnitude, schedule.events[i].magnitude);
+  }
+}
+
+TEST(ChaosScheduleTest, ToleratesWhitespaceAndEmptySegments) {
+  ChaosSchedule schedule;
+  ASSERT_TRUE(ParseChaosSchedule(" outage@3-5 ; ; clock_skew@7*250000;", &schedule));
+  ASSERT_EQ(schedule.events.size(), 2u);
+  EXPECT_EQ(schedule.events[0].kind, ChaosFaultKind::kOutage);
+  EXPECT_EQ(schedule.events[1].kind, ChaosFaultKind::kClockSkew);
+  EXPECT_EQ(schedule.end_window(), 8u);
+
+  ChaosSchedule empty;
+  ASSERT_TRUE(ParseChaosSchedule("", &empty));
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.end_window(), 0u);
+}
+
+TEST(ChaosScheduleTest, RejectsMalformedSpecsWithReasons) {
+  ChaosSchedule schedule;
+  std::string error;
+  EXPECT_FALSE(ParseChaosSchedule("worker_stall", &schedule, &error));
+  EXPECT_NE(error.find("missing '@start'"), std::string::npos);
+  EXPECT_FALSE(ParseChaosSchedule("goblin@3", &schedule, &error));
+  EXPECT_NE(error.find("unknown fault kind"), std::string::npos);
+  EXPECT_FALSE(ParseChaosSchedule("outage@5-5", &schedule, &error));
+  EXPECT_NE(error.find("empty window range"), std::string::npos);
+  EXPECT_FALSE(ParseChaosSchedule("outage@x", &schedule, &error));
+  EXPECT_FALSE(ParseChaosSchedule("metric_gap@1*bogus", &schedule, &error));
+  EXPECT_FALSE(ParseChaosSchedule("worker_crash@1:abc", &schedule, &error));
+}
+
+TEST(ChaosScheduleTest, KindNamesAreDistinctAndRoundTrip) {
+  for (size_t i = 0; i < kChaosFaultKindCount; ++i) {
+    const ChaosFaultKind kind = static_cast<ChaosFaultKind>(i);
+    const std::string name = ChaosFaultKindName(kind);
+    EXPECT_NE(name, "unknown");
+    ChaosFaultKind parsed;
+    ASSERT_TRUE(ParseChaosFaultKind(name, &parsed)) << name;
+    EXPECT_EQ(parsed, kind);
+  }
+  ChaosFaultKind parsed;
+  EXPECT_FALSE(ParseChaosFaultKind("unknown", &parsed));
+}
+
+TEST(ChaosScheduleTest, ActivityAndMagnitudeDefaults) {
+  ChaosSchedule schedule;
+  ASSERT_TRUE(ParseChaosSchedule("worker_stall@2-4;trace_drop@3-6", &schedule));
+  EXPECT_EQ(schedule.ActiveAt(1).size(), 0u);
+  EXPECT_EQ(schedule.ActiveAt(2).size(), 1u);
+  EXPECT_EQ(schedule.ActiveAt(3).size(), 2u);
+  EXPECT_EQ(schedule.ActiveAt(4).size(), 1u);
+  EXPECT_EQ(schedule.ActiveAt(6).size(), 0u);
+  // Kind defaults: 50ms stalls, certain stream faults.
+  EXPECT_DOUBLE_EQ(schedule.events[0].EffectiveMagnitude(), 50.0);
+  EXPECT_DOUBLE_EQ(schedule.events[1].EffectiveMagnitude(), 1.0);
+}
+
+TEST(ChaosScheduleInjectorTest, StreamEventsOverrideProbabilitiesByWindow) {
+  ChaosSchedule schedule;
+  ASSERT_TRUE(ParseChaosSchedule("trace_drop@2-4;metric_gap@1-2;outage@6-7", &schedule));
+  FaultInjector injector({.seed = 5}, schedule);
+  const Trace trace = OneSpanTrace();
+  const MetricKey key{"Frontend", ResourceKind::kCpu};
+
+  // Outside every event the base config is fault-free.
+  EXPECT_EQ(injector.ProcessTrace(0, trace).size(), 1u);
+  EXPECT_TRUE(injector.ProcessMetric(key, 0, 1.0));
+  // trace_drop at certainty over [2,4).
+  EXPECT_TRUE(injector.ProcessTrace(2, trace).empty());
+  EXPECT_TRUE(injector.ProcessTrace(3, trace).empty());
+  EXPECT_EQ(injector.ProcessTrace(4, trace).size(), 1u);
+  // metric_gap at certainty over [1,2).
+  EXPECT_FALSE(injector.ProcessMetric(key, 1, 1.0));
+  EXPECT_TRUE(injector.ProcessMetric(key, 2, 1.0));
+  // Scheduled outage behaves like the config outage range.
+  EXPECT_TRUE(injector.ProcessTrace(6, trace).empty());
+  EXPECT_EQ(injector.ProcessTrace(7, trace).size(), 1u);
+
+  const FaultCounters counters = injector.counters();
+  EXPECT_EQ(counters.dropped, 3u);
+  EXPECT_EQ(counters.metric_gaps, 1u);
+  EXPECT_EQ(counters.traces_in, 6u);
+  EXPECT_EQ(counters.delivered, 3u);
+}
+
+TEST(ChaosScheduleInjectorTest, ProcessFaultQueriesDealPerSchedule) {
+  ChaosSchedule schedule;
+  ASSERT_TRUE(ParseChaosSchedule(
+      "worker_crash@3:1;worker_stall@2-4:0*25;clock_skew@5-7*300000;alloc_fail@8-9",
+      &schedule));
+  FaultInjector injector({.seed = 1}, schedule);
+
+  // Crash: targeted and one-shot.
+  EXPECT_FALSE(injector.TakeCrash(3, 0));  // wrong target
+  EXPECT_FALSE(injector.TakeCrash(2, 1));  // not yet active
+  EXPECT_TRUE(injector.TakeCrash(3, 1));
+  EXPECT_FALSE(injector.TakeCrash(3, 1));  // fires exactly once
+
+  // Stall: per-sweep while active, magnitude = stall ms.
+  double stall_ms = 0.0;
+  EXPECT_FALSE(injector.TakeStall(1, 0, &stall_ms));
+  EXPECT_TRUE(injector.TakeStall(2, 0, &stall_ms));
+  EXPECT_DOUBLE_EQ(stall_ms, 25.0);
+  EXPECT_TRUE(injector.TakeStall(3, 0, &stall_ms));
+  EXPECT_FALSE(injector.TakeStall(3, 1, &stall_ms));  // wrong target
+  EXPECT_FALSE(injector.TakeStall(4, 0, &stall_ms));  // past the end
+
+  // Clock skew: magnitude in microseconds while active.
+  EXPECT_EQ(injector.ClockSkewUs(4), 0u);
+  EXPECT_EQ(injector.ClockSkewUs(5), 300000u);
+  EXPECT_EQ(injector.ClockSkewUs(6), 300000u);
+  EXPECT_EQ(injector.ClockSkewUs(7), 0u);
+
+  // Alloc fail: active range only.
+  EXPECT_FALSE(injector.TakeAllocFail(7));
+  EXPECT_TRUE(injector.TakeAllocFail(8));
+  EXPECT_FALSE(injector.TakeAllocFail(9));
+
+  const FaultCounters counters = injector.counters();
+  EXPECT_EQ(counters.worker_crashes, 1u);
+  EXPECT_EQ(counters.worker_stalls, 2u);
+  EXPECT_EQ(counters.clock_skews, 1u);  // counted once per event, not per query
+  EXPECT_EQ(counters.alloc_fails, 1u);
+}
+
+// Satellite: Merge/Reset back the per-schedule fault tallies the resilience
+// bench emits (and tools/bench_diff compares).
+TEST(FaultCountersTest, MergeAccumulatesAndResetZeros) {
+  FaultCounters a;
+  a.traces_in = 10;
+  a.delivered = 8;
+  a.dropped = 2;
+  a.corrupted = 1;
+  a.metric_gaps = 3;
+  a.worker_stalls = 4;
+  a.alloc_fails = 1;
+  FaultCounters b;
+  b.traces_in = 5;
+  b.dropped = 5;
+  b.truncated = 2;
+  b.delayed = 1;
+  b.duplicated = 1;
+  b.metrics_in = 7;
+  b.worker_crashes = 2;
+  b.clock_skews = 1;
+
+  FaultCounters sum;
+  sum.Merge(a);
+  sum.Merge(b);
+  EXPECT_EQ(sum.traces_in, 15u);
+  EXPECT_EQ(sum.delivered, 8u);
+  EXPECT_EQ(sum.dropped, 7u);
+  EXPECT_EQ(sum.corrupted, 1u);
+  EXPECT_EQ(sum.truncated, 2u);
+  EXPECT_EQ(sum.delayed, 1u);
+  EXPECT_EQ(sum.duplicated, 1u);
+  EXPECT_EQ(sum.metrics_in, 7u);
+  EXPECT_EQ(sum.metric_gaps, 3u);
+  EXPECT_EQ(sum.worker_stalls, 4u);
+  EXPECT_EQ(sum.worker_crashes, 2u);
+  EXPECT_EQ(sum.clock_skews, 1u);
+  EXPECT_EQ(sum.alloc_fails, 1u);
+
+  sum.Reset();
+  EXPECT_EQ(sum.traces_in, 0u);
+  EXPECT_EQ(sum.dropped, 0u);
+  EXPECT_EQ(sum.worker_stalls, 0u);
+  EXPECT_EQ(sum.alloc_fails, 0u);
+}
+
+}  // namespace
+}  // namespace deeprest

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # DeepRest CI: every enforcement layer in one script, fastest legs first.
 #
-#   1. tier-1   — default build, full test suite (the gate every PR must hold)
-#   2. lint     — invariant linter over src/ + its rule fixtures (ctest -L lint)
-#   3. tsa      — Clang Thread Safety Analysis as errors (skipped without clang++)
-#   4. tsan     — chaos/serve/parallel suite under ThreadSanitizer
-#   5. asan     — same suite under ASan+UBSan
+#   1. tier-1      — default build, full test suite (the gate every PR must hold)
+#   2. resilience  — self-healing suite by label (ctest -L resilience: health
+#                    registry, watchdog restarts, breakers, hedging, chaos
+#                    schedules; rides the chaos label into the sanitizer legs)
+#   3. lint        — invariant linter over src/ + its rule fixtures (ctest -L lint)
+#   4. tsa         — Clang Thread Safety Analysis as errors (skipped without clang++)
+#   5. tsan        — chaos/serve/resilience/parallel suite under ThreadSanitizer
+#   6. asan        — same suite under ASan+UBSan
 #
 # Usage: tools/ci.sh [--quick]
 #   --quick stops after the lint leg (pre-push sanity; sanitizer legs are the
@@ -18,7 +21,7 @@ QUICK=0
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/5] tier-1: default build + full test suite"
+echo "==> [1/6] tier-1: default build + full test suite"
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
@@ -27,10 +30,17 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 # ASan legs below).
 ctest --test-dir build --output-on-failure -L autoscale
 
-echo "==> [2/5] lint: invariant linter over src/ + rule fixtures"
+echo "==> [2/6] resilience: self-healing suite by label"
+# Supported entry point for the supervision layer (watchdog restarts, hedged
+# requests, chaos schedules, the resilience bench smoke); the same tests also
+# carry the chaos label, so the sanitizer legs below re-run them under TSan
+# and ASan.
+ctest --test-dir build --output-on-failure -L resilience
+
+echo "==> [3/6] lint: invariant linter over src/ + rule fixtures"
 ctest --preset lint -j "$JOBS"
 
-echo "==> [3/5] tsa: Clang thread-safety analysis (compile-only gate)"
+echo "==> [4/6] tsa: Clang thread-safety analysis (compile-only gate)"
 if command -v clang++ >/dev/null 2>&1; then
   cmake --preset lint >/dev/null
   cmake --build --preset lint -j "$JOBS"
@@ -43,12 +53,12 @@ if [[ "$QUICK" == "1" ]]; then
   exit 0
 fi
 
-echo "==> [4/5] tsan: chaos suite under ThreadSanitizer"
+echo "==> [5/6] tsan: chaos suite under ThreadSanitizer"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$JOBS"
 ctest --preset chaos-tsan -j "$JOBS"
 
-echo "==> [5/5] asan: chaos suite under ASan+UBSan"
+echo "==> [6/6] asan: chaos suite under ASan+UBSan"
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "$JOBS"
 ctest --preset chaos-asan -j "$JOBS"

@@ -18,6 +18,7 @@
 //                    [--refresh-windows=N] [--attack=ransomware|cryptojacking]
 //                    [--target=COMPONENT]
 //                    [--chaos] [--drop=P] [--dup=P] [--corrupt=P] [--gap=P]
+//                    [--chaos-schedule=SPEC] [--supervise=0|1] [--hedge=1]
 //                    [--max-queue=N] [--shed-policy=reject-new|drop-oldest]
 //                    [--deadline-ms=N] [--retries=N] [--checkpoint=FILE]
 //       Online serving demo: train (or load with --model), then stream a
@@ -26,7 +27,18 @@
 //       hot-swaps refreshed models. Prints the service counters.
 //       --chaos routes the telemetry stream through a seeded FaultInjector
 //       (10% drop, 10% duplicate, 5% corrupt, 5% metric gaps by default;
-//       individual probabilities override). --max-queue bounds the request
+//       individual probabilities override). --chaos-schedule replays a
+//       scripted fault timeline (`kind@start[-end][:target][*magnitude]`
+//       joined by ';' — worker_stall, worker_crash, clock_skew, alloc_fail,
+//       plus the stream faults) keyed to the producer's window clock, and
+//       turns on supervision by default: every worker, the learner, and the
+//       hedge monitor heartbeat into a HealthRegistry scanned by a
+//       watchdog-driven Supervisor that restarts crashed workers with
+//       capped-exponential backoff and escalates to degraded (reject-new)
+//       mode when a restart budget is exhausted (--supervise=0 opts out,
+//       --supervise=1 opts in without a schedule). --hedge=1 re-submits slow
+//       estimate requests to a sibling shard, first result wins.
+//       --max-queue bounds the request
 //       queue (overload sheds instead of growing), --deadline-ms expires
 //       stale queued requests, and clients retry non-ok results with
 //       exponential backoff + jitter (--retries). --checkpoint enables
@@ -70,6 +82,8 @@
 #include "src/serve/estimation_service.h"
 #include "src/serve/ingest_pipeline.h"
 #include "src/serve/model_registry.h"
+#include "src/serve/supervisor.h"
+#include "src/sim/chaos_schedule.h"
 #include "src/sim/fault_injector.h"
 
 namespace deeprest {
@@ -282,15 +296,48 @@ int CmdServe(const CliArgs& args) {
   fault_config.duplicate_prob = args.GetDouble("dup", chaos_flag ? 0.10 : 0.0);
   fault_config.corrupt_prob = args.GetDouble("corrupt", chaos_flag ? 0.05 : 0.0);
   fault_config.metric_gap_prob = args.GetDouble("gap", chaos_flag ? 0.05 : 0.0);
+  // Scripted chaos: a window-addressed fault timeline layered on top of the
+  // probabilistic mix. The producer's window counter is the schedule clock.
+  ChaosSchedule schedule;
+  {
+    std::string spec_error;
+    if (!ParseChaosSchedule(args.Get("chaos-schedule", ""), &schedule, &spec_error)) {
+      std::fprintf(stderr, "serve: bad --chaos-schedule: %s\n", spec_error.c_str());
+      return 2;
+    }
+    // Spec windows are relative to the start of serving; the injector and
+    // pipeline work in absolute simulation windows.
+    for (ChaosEvent& event : schedule.events) {
+      event.start_window += live.from;
+      event.end_window += live.from;
+    }
+  }
   const bool chaos = fault_config.drop_prob > 0.0 || fault_config.duplicate_prob > 0.0 ||
-                     fault_config.corrupt_prob > 0.0 || fault_config.metric_gap_prob > 0.0;
-  FaultInjector injector(fault_config);
+                     fault_config.corrupt_prob > 0.0 || fault_config.metric_gap_prob > 0.0 ||
+                     !schedule.empty();
+  // A schedule implies supervision (that is the point of the demo); both are
+  // independently overridable.
+  const bool supervise = args.Get("supervise", schedule.empty() ? "0" : "1") == "1";
+  const bool hedge = args.Get("hedge", "") == "1";
+  FaultInjector injector(fault_config, schedule);
+  std::atomic<size_t> chaos_window{live.from};
   if (chaos) {
     std::printf("Chaos: drop=%.2f dup=%.2f corrupt=%.2f gap=%.2f (seed %llu)\n",
                 fault_config.drop_prob, fault_config.duplicate_prob, fault_config.corrupt_prob,
                 fault_config.metric_gap_prob,
                 static_cast<unsigned long long>(fault_config.seed));
   }
+  if (!schedule.empty()) {
+    std::printf("Chaos schedule: %s\n", FormatChaosSchedule(schedule).c_str());
+  }
+
+  // Supervision tree: a skew-able health clock (the clock_skew fault), the
+  // registry every long-lived actor heartbeats into, and a watchdog-driven
+  // supervisor that restarts crashed workers and escalates to degraded mode.
+  // Declared before the supervised components so it outlives them all.
+  SteadyHealthClock steady_clock;
+  SkewedHealthClock health_clock(steady_clock);
+  HealthRegistry health(&health_clock);
 
   // Initial model: a recovered checkpoint wins, then --model, then the
   // harness's freshly trained one.
@@ -337,6 +384,16 @@ int CmdServe(const CliArgs& args) {
   learner_config.min_new_windows = args.GetSize("refresh-windows", config.windows_per_day);
   learner_config.epochs = 2;
   learner_config.checkpoint_path = checkpoint_path;
+  if (supervise) {
+    learner_config.health = &health;
+  }
+  if (!schedule.empty()) {
+    // alloc_fail faults land on the fine-tune path: the refresh is skipped
+    // (no windows consumed) and retried once the scheduled failure passes.
+    learner_config.alloc_fail_hook = [&injector, &chaos_window] {
+      return injector.TakeAllocFail(chaos_window.load(std::memory_order_acquire));
+    };
+  }
   ContinualLearner learner(registry, pipeline, start_window, learner_config);
   learner.Start();
 
@@ -349,7 +406,42 @@ int CmdServe(const CliArgs& args) {
                                    : ShedPolicy::kRejectNew;
   service_config.default_deadline =
       std::chrono::milliseconds(args.GetSize("deadline-ms", 0));
+  if (supervise) {
+    service_config.health = &health;
+  }
+  service_config.hedge.enabled = hedge;
+  if (!schedule.empty()) {
+    service_config.worker_fault_hook = [&injector, &chaos_window](size_t worker) {
+      const size_t w = chaos_window.load(std::memory_order_acquire);
+      if (injector.TakeCrash(w, static_cast<int>(worker))) {
+        return WorkerFault::kCrash;
+      }
+      double stall_ms = 0.0;
+      if (injector.TakeStall(w, static_cast<int>(worker), &stall_ms)) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(stall_ms));
+        return WorkerFault::kStall;
+      }
+      return WorkerFault::kNone;
+    };
+  }
   EstimationService service(registry, pipeline, service_config);
+
+  Supervisor supervisor(health);
+  Watchdog watchdog(supervisor, health, {});
+  if (supervise) {
+    supervisor.SetEscalationHandler(
+        [&service](const std::string&) { service.SetDegraded(true); });
+    for (size_t i = 0; i < service_config.workers; ++i) {
+      const size_t id =
+          health.Register("estimation-worker-" + std::to_string(i), 1).id();
+      supervisor.Watch(id, [&service, i] { return service.RestartWorker(i); });
+    }
+    // The learner cannot be force-restarted (a wedged fine-tune is a live
+    // thread); watching it still opens incidents, and a budget-exhausting
+    // livelock escalates to degraded mode.
+    supervisor.Watch(health.Register("continual-learner", 1).id(), [] { return false; });
+    watchdog.Start();
+  }
 
   std::printf("Serving %zu live windows with %zu workers (batch %zu)...\n",
               live.to - live.from, service_config.workers, service_config.max_batch);
@@ -361,6 +453,11 @@ int CmdServe(const CliArgs& args) {
   std::thread producer([&] {
     const auto keys = harness.metrics().Keys();
     for (size_t w = live.from; w < live.to; ++w) {
+      // The producer's window IS the chaos clock: scheduled process faults
+      // (worker stall/crash, alloc fail) key off it, and any active
+      // clock_skew event warps the supervisor's view of staleness.
+      chaos_window.store(w, std::memory_order_release);
+      health_clock.SetSkewMicros(static_cast<int64_t>(injector.ClockSkewUs(w)));
       for (const Trace& trace : harness.traces().TracesAt(w)) {
         if (chaos) {
           for (auto& delivery : injector.ProcessTrace(w, trace)) {
@@ -447,6 +544,8 @@ int CmdServe(const CliArgs& args) {
   for (auto& client : clients) {
     client.join();
   }
+  watchdog.Stop();
+  health_clock.SetSkewMicros(0);
   learner.Stop();
 
   // Final fold seals the last window, then one authoritative sanity pass.
@@ -475,6 +574,27 @@ int CmdServe(const CliArgs& args) {
     rows.push_back({"chaos traces corrupted", std::to_string(faults.corrupted)});
     rows.push_back({"chaos traces duplicated", std::to_string(faults.duplicated)});
     rows.push_back({"chaos metric gaps", std::to_string(faults.metric_gaps)});
+    if (!schedule.empty()) {
+      rows.push_back({"chaos worker stalls", std::to_string(faults.worker_stalls)});
+      rows.push_back({"chaos worker crashes", std::to_string(faults.worker_crashes)});
+      rows.push_back({"chaos clock skews", std::to_string(faults.clock_skews)});
+      rows.push_back({"chaos alloc fails", std::to_string(faults.alloc_fails)});
+    }
+  }
+  if (supervise) {
+    const SupervisorCounters sup = supervisor.counters();
+    uint64_t mttr_max_us = 0;
+    for (const RecoveryIncident& incident : supervisor.Incidents()) {
+      if (incident.recovered()) {
+        mttr_max_us = std::max(mttr_max_us, incident.mttr_us());
+      }
+    }
+    rows.push_back({"watchdog scans", std::to_string(watchdog.scans())});
+    rows.push_back({"incidents opened", std::to_string(sup.incidents_opened)});
+    rows.push_back({"incidents recovered", std::to_string(sup.incidents_recovered)});
+    rows.push_back({"worker restarts", std::to_string(sup.restarts_succeeded)});
+    rows.push_back({"escalations", std::to_string(sup.escalations)});
+    rows.push_back({"max MTTR (ms)", std::to_string(mttr_max_us / 1000)});
   }
   std::printf("\nService counters:\n%s\n", RenderTable({"counter", "value"}, rows).c_str());
 
@@ -621,6 +741,8 @@ int Usage() {
                "  serve    [--model=FILE] [--serve-days=N] [--workers=N] [--batch=N]\n"
                "           [--clients=N] [--refresh-windows=N] [--attack=...]\n"
                "           [--chaos] [--drop=P] [--dup=P] [--corrupt=P] [--gap=P]\n"
+               "           [--chaos-schedule=kind@start[-end][:target][*mag];...]\n"
+               "           [--supervise=0|1] [--hedge=1]\n"
                "           [--max-queue=N] [--shed-policy=reject-new|drop-oldest]\n"
                "           [--deadline-ms=N] [--retries=N] [--checkpoint=FILE]\n"
                "  autoscale [--policy=reactive|predictive|oracle|all]\n"

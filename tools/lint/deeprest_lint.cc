@@ -34,6 +34,13 @@
 //   no-detached-threads     .detach() on a thread: detached threads outlive
 //                           shutdown, racing static destruction and making
 //                           clean TSan runs impossible.
+//   heartbeat-on-loop       a `while (!stop...)` worker loop in src/serve or
+//                           src/autoscale whose body neither calls
+//                           `Heartbeat(` nor blocks on a cv Wait/WaitFor/
+//                           WaitUntil: a supervised loop that never
+//                           heartbeats reads as permanently stalled to the
+//                           Watchdog, and a loop nobody supervises is a
+//                           silent-death waiting to happen.
 //
 // Escapes, in order of preference:
 //   * `// deeprest-lint: allow(<rule>[, <rule>...])` on the offending line
@@ -492,6 +499,87 @@ void CheckDetachedThreads(const std::string& path, const FileScan& scan, Linter&
 }
 
 // --------------------------------------------------------------------------
+// Rule: heartbeat-on-loop
+// --------------------------------------------------------------------------
+bool IsSupervisedLoopPath(const std::string& path) {
+  for (const char* pattern : {"src/serve", "src\\serve", "src/autoscale",
+                              "src\\autoscale"}) {
+    if (path.find(pattern) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CheckHeartbeatOnLoop(const std::string& path, const FileScan& scan, Linter& lint) {
+  if (!IsSupervisedLoopPath(path)) {
+    return;
+  }
+  const auto& t = scan.tokens;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text != "while" || !TokenIs(t, i + 1, "(")) {
+      continue;
+    }
+    // Condition: the parenthesized expression after `while`. The rule fires
+    // only on stop-flag loops — `! stop...` anywhere in the condition.
+    size_t cond_end = t.size();
+    bool stop_loop = false;
+    int parens = 0;
+    for (size_t j = i + 1; j < t.size(); ++j) {
+      if (t[j].text == "(") {
+        ++parens;
+      } else if (t[j].text == ")") {
+        if (--parens == 0) {
+          cond_end = j;
+          break;
+        }
+      } else if (t[j].text == "!" && j + 1 < t.size() &&
+                 t[j + 1].text.rfind("stop", 0) == 0) {
+        stop_loop = true;
+      }
+    }
+    if (!stop_loop || cond_end == t.size()) {
+      continue;
+    }
+    // Body: braced block or single statement.
+    const size_t body_begin = cond_end + 1;
+    size_t body_end = body_begin;
+    if (TokenIs(t, body_begin, "{")) {
+      int braces = 0;
+      for (size_t j = body_begin; j < t.size(); ++j) {
+        if (t[j].text == "{") {
+          ++braces;
+        } else if (t[j].text == "}" && --braces == 0) {
+          body_end = j;
+          break;
+        }
+      }
+    } else {
+      while (body_end < t.size() && t[body_end].text != ";") {
+        ++body_end;
+      }
+    }
+    bool has_heartbeat = false;
+    bool has_wait = false;  // cv predicate loop — the cv wakes it, not a poll
+    for (size_t j = body_begin; j < body_end; ++j) {
+      if (t[j].text == "Heartbeat" && TokenIs(t, j + 1, "(")) {
+        has_heartbeat = true;
+      }
+      if (t[j].text == "Wait" || t[j].text == "WaitFor" || t[j].text == "WaitUntil") {
+        has_wait = true;
+      }
+    }
+    if (!has_heartbeat && !has_wait) {
+      lint.Report("heartbeat-on-loop", path, t[i].line,
+                  "stop-flag worker loop without a Heartbeat() call — publish "
+                  "liveness into the HealthRegistry each iteration so the "
+                  "Watchdog can tell a stall from a slow sweep",
+                  scan);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
 
 int LintFile(const std::filesystem::path& file, Linter& lint) {
   std::ifstream in(file, std::ios::binary);
@@ -509,6 +597,7 @@ int LintFile(const std::filesystem::path& file, Linter& lint) {
   CheckFastMathReassoc(path, scan, lint);
   CheckMutexGuardedBy(path, scan, lint);
   CheckDetachedThreads(path, scan, lint);
+  CheckHeartbeatOnLoop(path, scan, lint);
   return 0;
 }
 
