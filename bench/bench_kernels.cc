@@ -14,6 +14,7 @@
 // toggled off, so the end-to-end speedup reported here slightly understates
 // the true before/after against the pre-PR tree.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -26,7 +27,9 @@
 #include "src/nn/layers.h"
 #include "src/nn/matrix.h"
 #include "src/nn/ops.h"
+#include "src/nn/quant.h"
 #include "src/nn/rng.h"
+#include "src/nn/simd/dispatch.h"
 #include "src/telemetry/metrics.h"
 #include "src/trace/collector.h"
 
@@ -164,6 +167,134 @@ BatchMajorResult BenchBatchMajor(size_t h, size_t b, int iters, Rng& rng) {
   return result;
 }
 
+// ---- SIMD dispatch micro-benchmarks ----
+
+// One shape, four kernel paths: dispatch-selected SIMD, forced-scalar SIMD
+// (the portable fallback the ci.sh simd-off leg pins), the tiled default,
+// and the preserved reference. All timed through the SAME Matrix-level entry
+// points so the numbers include dispatch overhead.
+struct SimdResult {
+  std::string name;
+  double simd_ns = 0;
+  double scalar_ns = 0;
+  double tiled_ns = 0;
+  double reference_ns = 0;
+  double speedup() const { return simd_ns > 0 ? tiled_ns / simd_ns : 0; }
+};
+
+template <typename Fn>
+SimdResult BenchSimdOp(const std::string& name, int iters, Fn&& fn) {
+  SimdResult result;
+  result.name = name;
+  SetKernelMode(KernelMode::kTiled);
+  result.tiled_ns = TimeNs(iters, fn);
+  SetKernelMode(KernelMode::kReference);
+  result.reference_ns = TimeNs(iters, fn);
+  SetKernelMode(KernelMode::kSimd);
+  simd::ResetIsa();
+  result.simd_ns = TimeNs(iters, fn);
+  simd::ForceIsa(simd::Isa::kScalar);
+  result.scalar_ns = TimeNs(iters, fn);
+  simd::ResetIsa();
+  SetKernelMode(KernelMode::kTiled);
+  return result;
+}
+
+SimdResult BenchSimdMatMul(size_t m, size_t k, size_t n, int iters, Rng& rng) {
+  Matrix a(m, k), b(k, n), out;
+  a.FillUniform(rng, 1.0f);
+  b.FillUniform(rng, 1.0f);
+  return BenchSimdOp("MatMulInto " + std::to_string(m) + "x" + std::to_string(k) + "*" +
+                         std::to_string(k) + "x" + std::to_string(n),
+                     iters, [&] { MatMulInto(a, b, out); });
+}
+
+SimdResult BenchSimdAccATB(size_t m, size_t k, size_t n, int iters, Rng& rng) {
+  Matrix a(m, k), b(m, n), out(k, n);
+  a.FillUniform(rng, 1.0f);
+  b.FillUniform(rng, 1.0f);
+  return BenchSimdOp("AccumulateATransposeB " + std::to_string(m) + "x" + std::to_string(k) +
+                         "^T*" + std::to_string(m) + "x" + std::to_string(n),
+                     iters, [&] { AccumulateATransposeB(a, b, out); });
+}
+
+SimdResult BenchSimdAccABT(size_t m, size_t k, size_t n, int iters, Rng& rng) {
+  Matrix a(m, n), b(k, n), out(m, k);
+  a.FillUniform(rng, 1.0f);
+  b.FillUniform(rng, 1.0f);
+  return BenchSimdOp("AccumulateABTranspose " + std::to_string(m) + "x" + std::to_string(n) +
+                         "*" + std::to_string(k) + "x" + std::to_string(n) + "^T",
+                     iters, [&] { AccumulateABTranspose(a, b, out); });
+}
+
+// The ISSUE acceptance gate: on AVX2-capable hardware the dispatch-selected
+// GEMM must be at least 2x faster than tiled on the representative mat-mat
+// shapes. Measured as the MINIMUM speedup across those shapes — the honest
+// (weakest) claim. On hosts without AVX2 the check is an explicit SKIP, not
+// a vacuous pass.
+struct SimdGemmCheck {
+  double required = 2.0;
+  double measured_min = 0;
+  std::string verdict;  // "PASS" | "FAIL" | "SKIP (no avx2)"
+};
+
+SimdGemmCheck CheckSimdGemm(const std::vector<SimdResult>& rows,
+                            const std::vector<std::string>& representative) {
+  SimdGemmCheck check;
+  if (!simd::IsaSupported(simd::Isa::kAvx2)) {
+    check.verdict = "SKIP (no avx2)";
+    return check;
+  }
+  check.measured_min = 1e100;
+  for (const SimdResult& row : rows) {
+    for (const std::string& name : representative) {
+      if (row.name == name) {
+        check.measured_min = std::min(check.measured_min, row.speedup());
+      }
+    }
+  }
+  check.verdict = check.measured_min >= check.required ? "PASS" : "FAIL";
+  return check;
+}
+
+// ---- Quantized inference leg ----
+
+struct QuantBenchResult {
+  double fp32_ns = 0;
+  double int8_ns = 0;
+  double max_rel_error = 0;     // vs the fp32 product, worst element
+  double weight_mem_ratio = 0;  // fp32 weight bytes / int8 weight+scale bytes
+  double speedup() const { return int8_ns > 0 ? fp32_ns / int8_ns : 0; }
+};
+
+QuantBenchResult BenchQuantized(int iters, Rng& rng) {
+  // The shape quantization serves in production: the batch-major GRU input
+  // projection, w(16 x 256) @ x(256 x 16). The int8 timing includes dynamic
+  // per-column activation quantization, exactly as the estimator pays it.
+  Matrix w(16, 256), x(256, 16), fp32_out, int8_out;
+  w.FillUniform(rng, 1.0f);
+  x.FillUniform(rng, 1.0f);
+  const QuantizedMatrix q = QuantizeRowwise(w);
+  QuantScratch scratch;
+  SetKernelMode(KernelMode::kSimd);
+  simd::ResetIsa();
+  QuantBenchResult result;
+  result.fp32_ns = TimeNs(iters, [&] { MatMulInto(w, x, fp32_out); });
+  result.int8_ns = TimeNs(iters, [&] { QuantizedMatMul(q, x, int8_out, scratch); });
+  SetKernelMode(KernelMode::kTiled);
+  float max_abs = 0.0f, max_err = 0.0f;
+  for (size_t i = 0; i < fp32_out.size(); ++i) {
+    max_abs = std::max(max_abs, std::fabs(fp32_out[i]));
+    max_err = std::max(max_err, std::fabs(int8_out[i] - fp32_out[i]));
+  }
+  result.max_rel_error = max_abs > 0 ? max_err / max_abs : 0;
+  const double fp32_bytes = static_cast<double>(w.size()) * sizeof(float);
+  const double int8_bytes = static_cast<double>(q.data.size()) * sizeof(int8_t) +
+                            static_cast<double>(q.scales.size()) * sizeof(float);
+  result.weight_mem_ratio = fp32_bytes / int8_bytes;
+  return result;
+}
+
 // ---- Single GRU step forward + backward ----
 
 struct StepResult {
@@ -274,6 +405,7 @@ TrainResult BenchTraining(const KernelFixture& fixture, const BenchOptions& opti
 struct ParallelResult {
   size_t jobs = 0;
   size_t threads = 0;
+  bool skipped = false;  // 1-core host: the leg would only measure noise
   double sequential_s = 0;
   double parallel_s = 0;
   double speedup() const { return parallel_s > 0 ? sequential_s / parallel_s : 0; }
@@ -287,6 +419,14 @@ ParallelResult BenchParallelTraining(const KernelFixture& fixture,
   // on a single-core box that made the "parallel" leg a 1-thread rerun of
   // the baseline, reporting speedup ~1.0 by construction.
   result.threads = std::max<size_t>(2, DefaultTrainThreads());
+  // On a single hardware core even the 2-thread run is just the baseline
+  // with context-switch overhead: any "speedup" it reports is timing noise
+  // dressed up as a result. Emit an explicit SKIP verdict instead (the JSON
+  // omits the timing keys; bench_diff treats missing keys as informational).
+  if (std::thread::hardware_concurrency() <= 1) {
+    result.skipped = true;
+    return result;
+  }
 
   std::vector<TrainJob> jobs;
   for (size_t i = 0; i < result.jobs; ++i) {
@@ -318,8 +458,9 @@ ParallelResult BenchParallelTraining(const KernelFixture& fixture,
 
 void WriteJson(const BenchOptions& options, const KernelFixture& fixture,
                const std::vector<GemmResult>& gemm, const BatchMajorResult& batch_major,
-               const StepResult& step, const TrainResult& train,
-               const ParallelResult& par) {
+               const std::vector<SimdResult>& simd_rows, const SimdGemmCheck& simd_check,
+               const QuantBenchResult& quant, const StepResult& step,
+               const TrainResult& train, const ParallelResult& par) {
   std::FILE* f = std::fopen(options.out.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot open %s for writing\n", options.out.c_str());
@@ -342,6 +483,35 @@ void WriteJson(const BenchOptions& options, const KernelFixture& fixture,
                "\"speedup\": %.3f},\n",
                batch_major.batch, batch_major.gemv_ns, batch_major.gemm_ns,
                batch_major.speedup());
+  std::fprintf(f, "  \"simd\": {\n");
+  std::fprintf(f, "    \"host_best_isa\": \"%s\",\n", simd::IsaName(simd::BestSupportedIsa()));
+  std::fprintf(f, "    \"active_isa\": \"%s\",\n", simd::IsaName(simd::ActiveIsa()));
+  std::fprintf(f, "    \"rows\": [\n");
+  for (size_t i = 0; i < simd_rows.size(); ++i) {
+    const SimdResult& r = simd_rows[i];
+    std::fprintf(f,
+                 "      {\"name\": \"%s\", \"simd_ns\": %.1f, \"scalar_ns\": %.1f, "
+                 "\"tiled_ns\": %.1f, \"reference_ns\": %.1f, \"speedup\": %.3f}%s\n",
+                 r.name.c_str(), r.simd_ns, r.scalar_ns, r.tiled_ns, r.reference_ns,
+                 r.speedup(), i + 1 < simd_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n");
+  std::fprintf(f, "  },\n");
+  if (simd_check.verdict == "PASS" || simd_check.verdict == "FAIL") {
+    std::fprintf(f,
+                 "  \"simd_gemm_check\": {\"required\": %.1f, \"measured_min\": %.3f, "
+                 "\"verdict\": \"%s\"},\n",
+                 simd_check.required, simd_check.measured_min, simd_check.verdict.c_str());
+  } else {
+    // Honest SKIP: no numbers that could be mistaken for a measurement.
+    std::fprintf(f, "  \"simd_gemm_check\": {\"verdict\": \"%s\"},\n",
+                 simd_check.verdict.c_str());
+  }
+  std::fprintf(f,
+               "  \"quantized\": {\"fp32_ns\": %.1f, \"int8_ns\": %.1f, \"speedup\": %.3f, "
+               "\"max_rel_error\": %.6f, \"weight_mem_ratio\": %.2f},\n",
+               quant.fp32_ns, quant.int8_ns, quant.speedup(), quant.max_rel_error,
+               quant.weight_mem_ratio);
   std::fprintf(f,
                "  \"gru_step\": {\"fused_ns\": %.1f, \"reference_ns\": %.1f, "
                "\"speedup\": %.3f, \"fused_nodes\": %llu, \"reference_nodes\": %llu},\n",
@@ -358,12 +528,21 @@ void WriteJson(const BenchOptions& options, const KernelFixture& fixture,
                "\"speedup\": %.3f, \"optimized_ns_per_window\": %.0f},\n",
                train.infer_optimized_s, train.infer_reference_s, train.infer_speedup(),
                train.infer_optimized_s * 1e9 / fixture.windows);
-  std::fprintf(f,
-               "  \"parallel_train\": {\"jobs\": %zu, \"threads\": %zu, "
-               "\"hardware_concurrency\": %u, \"sequential_s\": %.4f, "
-               "\"parallel_s\": %.4f, \"speedup\": %.3f},\n",
-               par.jobs, par.threads, std::thread::hardware_concurrency(),
-               par.sequential_s, par.parallel_s, par.speedup());
+  if (par.skipped) {
+    // No sequential_s/parallel_s/speedup keys: a 1-core "speedup" is noise,
+    // and bench_diff reports missing keys as informational, not regressed.
+    std::fprintf(f,
+                 "  \"parallel_train\": {\"jobs\": %zu, \"threads\": %zu, "
+                 "\"hardware_concurrency\": %u, \"verdict\": \"SKIP (1 hardware core)\"},\n",
+                 par.jobs, par.threads, std::thread::hardware_concurrency());
+  } else {
+    std::fprintf(f,
+                 "  \"parallel_train\": {\"jobs\": %zu, \"threads\": %zu, "
+                 "\"hardware_concurrency\": %u, \"sequential_s\": %.4f, "
+                 "\"parallel_s\": %.4f, \"speedup\": %.3f, \"verdict\": \"ok\"},\n",
+                 par.jobs, par.threads, std::thread::hardware_concurrency(),
+                 par.sequential_s, par.parallel_s, par.speedup());
+  }
   std::fprintf(f, "  \"losses_bit_identical\": %s\n",
                train.optimized_losses == train.reference_losses ? "true" : "false");
   std::fprintf(f, "}\n");
@@ -400,6 +579,42 @@ int Run(const BenchOptions& options) {
               batch_major.batch, batch_major.gemv_ns, batch_major.gemm_ns,
               batch_major.speedup());
 
+  // Same shapes through the runtime-dispatched SIMD kernels: dispatch-
+  // selected vs forced-scalar vs tiled vs reference, all via the Matrix
+  // entry points in kSimd mode.
+  std::vector<SimdResult> simd_rows;
+  simd_rows.push_back(BenchSimdMatMul(16, 256, 1, small, rng));
+  simd_rows.push_back(BenchSimdMatMul(16, 16, 1, small, rng));
+  simd_rows.push_back(BenchSimdMatMul(12, 12, 16, medium, rng));
+  simd_rows.push_back(BenchSimdMatMul(16, 256, 16, medium, rng));
+  simd_rows.push_back(BenchSimdMatMul(64, 64, 64, medium, rng));
+  simd_rows.push_back(BenchSimdAccATB(16, 256, 1, small, rng));
+  simd_rows.push_back(BenchSimdAccABT(16, 256, 1, small, rng));
+  std::printf("\nSIMD dispatch (host best: %s, active: %s):\n",
+              simd::IsaName(simd::BestSupportedIsa()), simd::IsaName(simd::ActiveIsa()));
+  std::printf("%-44s %10s %10s %10s %10s %8s\n", "kernel", "simd ns", "scalar ns",
+              "tiled ns", "ref ns", "vs tiled");
+  for (const SimdResult& r : simd_rows) {
+    std::printf("%-44s %10.1f %10.1f %10.1f %10.1f %7.2fx\n", r.name.c_str(), r.simd_ns,
+                r.scalar_ns, r.tiled_ns, r.reference_ns, r.speedup());
+  }
+  const SimdGemmCheck simd_check = CheckSimdGemm(
+      simd_rows, {"MatMulInto 16x256*256x16", "MatMulInto 64x64*64x64"});
+  if (simd_check.verdict == "SKIP (no avx2)") {
+    std::printf("  gemm >=2x check: SKIP (no avx2 on this host)\n");
+  } else {
+    std::printf("  gemm >=2x check: %s (min %.2fx over representative mat-mat shapes)\n",
+                simd_check.verdict.c_str(), simd_check.measured_min);
+  }
+
+  const QuantBenchResult quant = BenchQuantized(medium, rng);
+  std::printf("\nQuantized GEMM (16x256 @ 256x16, incl. activation quantization):\n");
+  std::printf("  fp32 %10.1f ns    int8 %10.1f ns    speedup %5.2fx    max rel err %.4f\n",
+              quant.fp32_ns, quant.int8_ns, quant.speedup(), quant.max_rel_error);
+  std::printf("  weight memory %.2fx smaller (int8's win at this shape: the per-call\n"
+              "  activation packing outweighs the kernel saving vs peak fp32 simd)\n",
+              quant.weight_mem_ratio);
+
   const StepResult step =
       BenchGruStep(/*in_dim=*/64, /*hidden=*/16, /*unroll=*/48, options.smoke ? 20 : 400);
   std::printf("\nGRU step fwd+bwd (64->16, unroll 48):\n");
@@ -424,13 +639,22 @@ int Run(const BenchOptions& options) {
 
   const ParallelResult par = BenchParallelTraining(fixture, options);
   std::printf("\nParallel harness (%zu jobs, %zu threads):\n", par.jobs, par.threads);
-  PrintTimed("  sequential", par.sequential_s, 0);
-  PrintTimed("  parallel", par.parallel_s, 0);
-  std::printf("  speedup %.2fx\n", par.speedup());
+  if (par.skipped) {
+    std::printf("  SKIP (1 hardware core): a parallel run here measures context-switch "
+                "noise, not scaling\n");
+  } else {
+    PrintTimed("  sequential", par.sequential_s, 0);
+    PrintTimed("  parallel", par.parallel_s, 0);
+    std::printf("  speedup %.2fx\n", par.speedup());
+  }
 
-  WriteJson(options, fixture, gemm, batch_major, step, train, par);
+  WriteJson(options, fixture, gemm, batch_major, simd_rows, simd_check, quant, step, train,
+            par);
   std::printf("\nwrote %s\n", options.out.c_str());
-  return train.optimized_losses == train.reference_losses ? 0 : 1;
+  // Exit nonzero on a bit-exactness break always; on a failed SIMD gemm
+  // check only in full mode (smoke iteration counts are too noisy to gate).
+  const bool simd_ok = options.smoke || simd_check.verdict != "FAIL";
+  return train.optimized_losses == train.reference_losses && simd_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -391,6 +391,10 @@ std::vector<EstimateMap> DeepRestEstimator::EstimateFromFeaturesBatch(
         x.At(d, b) = 0.0f;
       }
     }
+    // quant_ is non-empty exactly when quantized inference is on (rebuilt at
+    // every mutation point); the int8 shadow replaces the GEMV-heavy weight
+    // operands and everything else stays fp32.
+    const bool quantized = !quant_.empty();
     for (size_t i = 0; i < e; ++i) {
       const Expert& expert = experts_[i];
       const Matrix* xm = &x;
@@ -400,12 +404,16 @@ std::vector<EstimateMap> DeepRestEstimator::EstimateFromFeaturesBatch(
       }
       if (config_.use_recurrence) {
         const GruCell& gru = expert.gru;
-        BatchedGruStep(*xm, hidden[i], gru.wz().value(), gru.uz().value(), gru.bz().value(),
-                       gru.wk().value(), gru.uk().value(), gru.bk().value(), gru.wh().value(),
-                       gru.uh().value(), gru.bh().value(), scratch, hidden_next[i]);
+        const WeightView wz = quantized ? WeightView(quant_[i].wz) : WeightView(gru.wz().value());
+        const WeightView wk = quantized ? WeightView(quant_[i].wk) : WeightView(gru.wk().value());
+        const WeightView wh = quantized ? WeightView(quant_[i].wh) : WeightView(gru.wh().value());
+        BatchedGruStep(*xm, hidden[i], wz, gru.uz().value(), gru.bz().value(), wk,
+                       gru.uk().value(), gru.bk().value(), wh, gru.uh().value(), gru.bh().value(),
+                       scratch, hidden_next[i]);
       } else {
-        BatchedLinearTanh(expert.ff.weight().value(), expert.ff.bias().value(), *xm, scratch,
-                          hidden_next[i]);
+        const WeightView ff =
+            quantized ? WeightView(quant_[i].ff) : WeightView(expert.ff.weight().value());
+        BatchedLinearTanh(ff, expert.ff.bias().value(), *xm, scratch, hidden_next[i]);
       }
     }
     hidden.swap(hidden_next);
@@ -416,9 +424,14 @@ std::vector<EstimateMap> DeepRestEstimator::EstimateFromFeaturesBatch(
       const Expert& expert = experts_[i];
       const bool bypass = config_.use_linear_bypass;
       const Matrix* xm = config_.use_api_mask ? &xms[i] : &x;
-      BatchedExpertHead(config_.use_attention ? &attended[i] : nullptr, hidden[i],
-                        expert.head.weight().value(), expert.head.bias().value(),
-                        bypass ? xm : nullptr, bypass ? &expert.skip.weight().value() : nullptr,
+      const WeightView head_w =
+          quantized ? WeightView(quant_[i].head) : WeightView(expert.head.weight().value());
+      WeightView skip_w;  // invalid = no bypass
+      if (bypass) {
+        skip_w = quantized ? WeightView(quant_[i].skip) : WeightView(expert.skip.weight().value());
+      }
+      BatchedExpertHead(config_.use_attention ? &attended[i] : nullptr, hidden[i], head_w,
+                        expert.head.bias().value(), bypass ? xm : nullptr, skip_w,
                         bypass ? &expert.skip.bias().value() : nullptr, scratch, y);
       const double scale = expert.y_scale;
       for (size_t b = 0; b < active; ++b) {
@@ -505,7 +518,53 @@ std::vector<Matrix> DeepRestEstimator::ReplayWarmStart() const {
   return warm_values;
 }
 
-void DeepRestEstimator::RefreshWarmStartCache() { warm_hidden_ = ReplayWarmStart(); }
+void DeepRestEstimator::RefreshWarmStartCache() {
+  warm_hidden_ = ReplayWarmStart();
+  // Same lifecycle as the warm-start cache: every mutation point funnels
+  // through here, so the int8 shadow can never go stale against the fp32
+  // parameters.
+  RefreshQuantCache();
+}
+
+void DeepRestEstimator::RefreshQuantCache() {
+  if (!config_.quantized_inference) {
+    quant_.clear();
+    return;
+  }
+  quant_.resize(experts_.size());
+  for (size_t i = 0; i < experts_.size(); ++i) {
+    const Expert& expert = experts_[i];
+    QuantizedExpert& q = quant_[i];
+    if (config_.use_recurrence) {
+      q.wz = QuantizeRowwise(expert.gru.wz().value());
+      q.wk = QuantizeRowwise(expert.gru.wk().value());
+      q.wh = QuantizeRowwise(expert.gru.wh().value());
+    } else {
+      q.ff = QuantizeRowwise(expert.ff.weight().value());
+    }
+    q.head = QuantizeRowwise(expert.head.weight().value());
+    if (config_.use_linear_bypass) {
+      q.skip = QuantizeRowwise(expert.skip.weight().value());
+    }
+  }
+}
+
+void DeepRestEstimator::SetQuantizedInference(bool enabled) {
+  if (config_.quantized_inference == enabled) {
+    return;
+  }
+  config_.quantized_inference = enabled;
+  RefreshQuantCache();
+}
+
+void DeepRestEstimator::CompressParametersToFp16() {
+  for (auto& e : store_.entries()) {
+    RoundMatrixToHalf(e.tensor.mutable_value());
+  }
+  // The rounded weights shift the warm-start trajectory and the int8 shadow;
+  // rebuild both so inference sees a consistent model.
+  RefreshWarmStartCache();
+}
 
 EstimateMap DeepRestEstimator::EstimateFromTraces(const TraceCollector& traces, size_t from,
                                                   size_t to) const {

@@ -19,6 +19,7 @@
 #include "src/core/feature_extractor.h"
 #include "src/core/trace_synthesizer.h"
 #include "src/nn/layers.h"
+#include "src/nn/quant.h"
 #include "src/nn/rng.h"
 #include "src/telemetry/metrics.h"
 #include "src/trace/collector.h"
@@ -62,6 +63,16 @@ struct EstimatorConfig {
   // assert the equivalence. Not serialized: a loaded model uses the loader's
   // setting.
   bool use_fused_graph = true;
+  // Run the batch-major inference path (EstimateFromFeaturesBatch and
+  // everything built on it) with int8 per-row-quantized weights for the
+  // GEMV-heavy input projections and output heads (src/nn/quant.h). The
+  // recurrent U matrices stay fp32 — error fed back through the hidden
+  // state compounds step over step. Training, the tensor-graph reference
+  // path, and the warm-start replay always run fp32, so
+  // EstimateFromFeaturesReference remains the exact oracle and
+  // tests/core/quantized_inference_test.cc bounds the quantile-loss delta.
+  // Not serialized: a loaded model uses the loader's setting.
+  bool quantized_inference = false;
   bool verbose = false;
 };
 
@@ -188,6 +199,18 @@ class DeepRestEstimator {
   double train_seconds() const { return train_seconds_; }
   const std::vector<float>& epoch_losses() const { return epoch_losses_; }
 
+  // --- Reduced-precision inference / storage ---
+  // Toggles int8 quantized batch inference (see EstimatorConfig). Rebuilds
+  // the per-expert quantized weight cache; mutating call, serialize like
+  // Learn.
+  void SetQuantizedInference(bool enabled);
+  bool quantized_inference() const { return config_.quantized_inference; }
+  // Rounds every parameter to the nearest IEEE binary16 value in place
+  // (ModelRegistry fp16 storage policy). Compute stays fp32; the warm-start
+  // and quantized caches are refreshed against the rounded weights.
+  // Mutating call, serialize like Learn.
+  void CompressParametersToFp16();
+
   // --- Persistence ---
   bool Save(const std::string& path) const;
   bool Load(const std::string& path);
@@ -214,6 +237,16 @@ class DeepRestEstimator {
     double y_scale = 1.0;
   };
 
+  // Int8 shadow of one expert's GEMV-heavy weights (input projections and
+  // heads; never the recurrent U matrices). Rebuilt from the fp32 parameters
+  // by RefreshQuantCache; empty unless config_.quantized_inference.
+  struct QuantizedExpert {
+    QuantizedMatrix wz, wk, wh;  // GRU input projections
+    QuantizedMatrix ff;          // feed-forward core (ablation)
+    QuantizedMatrix head;        // output head
+    QuantizedMatrix skip;        // linear bypass
+  };
+
   // Builds experts/attention for the given feature dim and resource list.
   void BuildModel(size_t feature_dim, const std::vector<MetricKey>& resources);
   // Shared training loop: chunked-BPTT quantile regression over a feature /
@@ -232,16 +265,22 @@ class DeepRestEstimator {
   // Scales a raw feature vector into a column tensor.
   Tensor ScaledInput(const std::vector<float>& raw) const;
   int ExpertIndex(const MetricKey& key) const;
-  // Recomputes warm_hidden_ from learn_features_. Called by every mutation
-  // point (Learn, ContinueLearning, TransferRecurrentWeightsFrom,
-  // LoadFromStream) so the const inference surface can read it lock-free.
+  // Recomputes warm_hidden_ from learn_features_ and the quantized weight
+  // shadow. Called by every mutation point (Learn, ContinueLearning,
+  // TransferRecurrentWeightsFrom, LoadFromStream, SetQuantizedInference,
+  // CompressParametersToFp16) so the const inference surface can read both
+  // caches lock-free.
   void RefreshWarmStartCache();
+  // Rebuilds quant_ from the current fp32 parameters (clears it when
+  // quantized inference is off).
+  void RefreshQuantCache();
 
   EstimatorConfig config_;
   FeatureExtractor extractor_;
   TraceSynthesizer synthesizer_;
   ParameterStore store_;
   std::vector<Expert> experts_;
+  std::vector<QuantizedExpert> quant_;     // parallel to experts_; see above
   std::map<MetricKey, int> expert_index_;  // key -> experts_ position
   Tensor alpha_;           // E x E attention weights
   Matrix diag_zero_mask_;  // constant 0-diagonal / 1-elsewhere mask

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "src/nn/simd/dispatch.h"
+
 namespace deeprest {
 
 void BatchedSigmoidMaskMul(const Matrix& mask, const Matrix& x, Matrix& sig, Matrix& out) {
@@ -29,16 +31,16 @@ void BatchedSigmoidMaskMul(const Matrix& mask, const Matrix& x, Matrix& sig, Mat
   }
 }
 
-void BatchedGruStep(const Matrix& x, const Matrix& h, const Matrix& wz, const Matrix& uz,
-                    const Matrix& bz, const Matrix& wk, const Matrix& uk, const Matrix& bk,
-                    const Matrix& wh, const Matrix& uh, const Matrix& bh, BatchedScratch& s,
+void BatchedGruStep(const Matrix& x, const Matrix& h, const WeightView& wz, const Matrix& uz,
+                    const Matrix& bz, const WeightView& wk, const Matrix& uk, const Matrix& bk,
+                    const WeightView& wh, const Matrix& uh, const Matrix& bh, BatchedScratch& s,
                     Matrix& h_next) {
   assert(&h != &h_next);
   const size_t hd = h.rows();
   const size_t b = h.cols();
   assert(x.cols() == b);
   // z = sigmoid((wz@x + uz@h) + bz) — same association as the fused step.
-  MatMulInto(wz, x, s.ta);
+  WeightMatMul(wz, x, s.ta, s.quant);
   MatMulInto(uz, h, s.tb);
   s.z.SetShape(hd, b);
   for (size_t i = 0; i < hd; ++i) {
@@ -50,7 +52,7 @@ void BatchedGruStep(const Matrix& x, const Matrix& h, const Matrix& wz, const Ma
       zr[c] = 1.0f / (1.0f + std::exp(-((ta[c] + tb[c]) + bias)));
     }
   }
-  MatMulInto(wk, x, s.ta);
+  WeightMatMul(wk, x, s.ta, s.quant);
   MatMulInto(uk, h, s.tb);
   s.kgate.SetShape(hd, b);
   for (size_t i = 0; i < hd; ++i) {
@@ -63,7 +65,9 @@ void BatchedGruStep(const Matrix& x, const Matrix& h, const Matrix& wz, const Ma
     }
   }
   s.kh.SetShape(hd, b);
-  {
+  if (GetKernelMode() == KernelMode::kSimd) {
+    simd::Hadamard(s.kgate.data(), h.data(), s.kh.data(), hd * b);
+  } else {
     const float* kv = s.kgate.data();
     const float* hv = h.data();
     float* khv = s.kh.data();
@@ -71,7 +75,7 @@ void BatchedGruStep(const Matrix& x, const Matrix& h, const Matrix& wz, const Ma
       khv[i] = kv[i] * hv[i];
     }
   }
-  MatMulInto(wh, x, s.ta);
+  WeightMatMul(wh, x, s.ta, s.quant);
   MatMulInto(uh, s.kh, s.tb);
   s.hc.SetShape(hd, b);
   for (size_t i = 0; i < hd; ++i) {
@@ -84,7 +88,9 @@ void BatchedGruStep(const Matrix& x, const Matrix& h, const Matrix& wz, const Ma
     }
   }
   h_next.SetShape(hd, b);
-  {
+  if (GetKernelMode() == KernelMode::kSimd) {
+    simd::GruBlend(s.z.data(), h.data(), s.hc.data(), h_next.data(), hd * b);
+  } else {
     const float* zv = s.z.data();
     const float* hv = h.data();
     const float* hcv = s.hc.data();
@@ -96,11 +102,11 @@ void BatchedGruStep(const Matrix& x, const Matrix& h, const Matrix& wz, const Ma
   }
 }
 
-void BatchedLinearTanh(const Matrix& w, const Matrix& bias, const Matrix& x, BatchedScratch& s,
-                       Matrix& h_next) {
+void BatchedLinearTanh(const WeightView& w, const Matrix& bias, const Matrix& x,
+                       BatchedScratch& s, Matrix& h_next) {
   const size_t hd = w.rows();
   const size_t b = x.cols();
-  MatMulInto(w, x, s.ta);
+  WeightMatMul(w, x, s.ta, s.quant);
   h_next.SetShape(hd, b);
   for (size_t i = 0; i < hd; ++i) {
     const float bi = bias[i];
@@ -119,21 +125,28 @@ void BatchedAttention(const Matrix& masked, const std::vector<Matrix>& hidden,
   attended.resize(e);
   const size_t hd = hidden.empty() ? 0 : hidden[0].rows();
   const size_t b = hidden.empty() ? 0 : hidden[0].cols();
+  const bool use_simd = GetKernelMode() == KernelMode::kSimd;
   for (size_t row = 0; row < e; ++row) {
     Matrix& out = attended[row];
     out.SetShape(hd, b);
     out.Zero();
     // Ascending-c accumulation: the per-element term order of the sequential
     // masked @ StackColumns(hidden) GEMM. Zero coefficients still multiply
-    // (x + 0*y == x), matching the dense kernel.
+    // (x + 0*y == x), matching the dense kernel. The simd Axpby computes the
+    // identical mul-then-add sequence per element (in-place out == a is safe:
+    // lanes never overlap), so this stays bit-exact in kSimd mode.
     for (size_t c = 0; c < e; ++c) {
-      out.AddScaled(hidden[c], masked.At(row, c));
+      if (use_simd) {
+        simd::Axpby(out.data(), hidden[c].data(), masked.At(row, c), out.data(), hd * b);
+      } else {
+        out.AddScaled(hidden[c], masked.At(row, c));
+      }
     }
   }
 }
 
-void BatchedExpertHead(const Matrix* attended, const Matrix& h, const Matrix& head_w,
-                       const Matrix& head_b, const Matrix* xm, const Matrix* skip_w,
+void BatchedExpertHead(const Matrix* attended, const Matrix& h, const WeightView& head_w,
+                       const Matrix& head_b, const Matrix* xm, const WeightView& skip_w,
                        const Matrix* skip_b, BatchedScratch& s, Matrix& out) {
   const size_t out_dim = head_w.rows();
   const size_t hd = h.rows();
@@ -147,10 +160,10 @@ void BatchedExpertHead(const Matrix* attended, const Matrix& h, const Matrix& he
     std::memset(s.concat.data(), 0, na * b * sizeof(float));
   }
   std::memcpy(s.concat.data() + na * b, h.data(), hd * b * sizeof(float));
-  MatMulInto(head_w, s.concat, s.ta);
+  WeightMatMul(head_w, s.concat, s.ta, s.quant);
   out.SetShape(out_dim, b);
-  if (skip_w != nullptr) {
-    MatMulInto(*skip_w, *xm, s.tb);
+  if (skip_w.valid()) {
+    WeightMatMul(skip_w, *xm, s.tb, s.quant);
     for (size_t i = 0; i < out_dim; ++i) {
       const float hb = head_b[i];
       const float sb = (*skip_b)[i];

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/nn/matrix.h"
+#include "src/nn/quant.h"
 
 namespace deeprest {
 
@@ -33,6 +34,7 @@ struct BatchedScratch {
   Matrix ta, tb;            // W@x / U@h products
   Matrix z, kgate, kh, hc;  // GRU internals
   Matrix concat;            // head input [attended ; hidden]
+  QuantScratch quant;       // int8 activation packing (quantized mode only)
 };
 
 // out(d, b) = sigmoid(mask[d]) * x(d, b). `mask` is (D x 1) logits, `x` is
@@ -44,16 +46,19 @@ void BatchedSigmoidMaskMul(const Matrix& mask, const Matrix& x, Matrix& sig, Mat
 
 // h_next(i, b) = one GRU step (paper Eq. 2) applied independently to every
 // column of x (D x B) and h (H x B). Batched FusedGruStep; h_next must not
-// alias h.
-void BatchedGruStep(const Matrix& x, const Matrix& h, const Matrix& wz, const Matrix& uz,
-                    const Matrix& bz, const Matrix& wk, const Matrix& uk, const Matrix& bk,
-                    const Matrix& wh, const Matrix& uh, const Matrix& bh, BatchedScratch& s,
+// alias h. The input projections wz/wk/wh are WeightViews so quantized
+// inference can swap in int8 weights (a plain Matrix converts implicitly);
+// the recurrent matrices uz/uk/uh stay fp32 — feedback through h compounds
+// quantization error step over step, so they are never quantized.
+void BatchedGruStep(const Matrix& x, const Matrix& h, const WeightView& wz, const Matrix& uz,
+                    const Matrix& bz, const WeightView& wk, const Matrix& uk, const Matrix& bk,
+                    const WeightView& wh, const Matrix& uh, const Matrix& bh, BatchedScratch& s,
                     Matrix& h_next);
 
 // Feed-forward expert core (use_recurrence ablation):
 // h_next(i, b) = tanh((w @ x)(i, b) + bias[i]).
-void BatchedLinearTanh(const Matrix& w, const Matrix& bias, const Matrix& x, BatchedScratch& s,
-                       Matrix& h_next);
+void BatchedLinearTanh(const WeightView& w, const Matrix& bias, const Matrix& x,
+                       BatchedScratch& s, Matrix& h_next);
 
 // Cross-expert attention (paper Eq. 3) over batched hidden states:
 // attended[e] = sum_c masked(e, c) * hidden[c], each (H x B), with the sum
@@ -66,10 +71,10 @@ void BatchedAttention(const Matrix& masked, const std::vector<Matrix>& hidden,
 // One expert's output head (paper Eq. 4) over B columns:
 // out(i, b) = (head_w @ [attended ; h] + head_b) (+ skip_w @ xm + skip_b).
 // `attended` may be null (attention ablation: the attended half of the concat
-// is zero); skip_w/skip_b may be null (no bypass; xm is then unused).
-// Batched FusedExpertHead.
-void BatchedExpertHead(const Matrix* attended, const Matrix& h, const Matrix& head_w,
-                       const Matrix& head_b, const Matrix* xm, const Matrix* skip_w,
+// is zero); an invalid (default) skip_w view means no bypass (skip_b/xm are
+// then unused). Batched FusedExpertHead.
+void BatchedExpertHead(const Matrix* attended, const Matrix& h, const WeightView& head_w,
+                       const Matrix& head_b, const Matrix* xm, const WeightView& skip_w,
                        const Matrix* skip_b, BatchedScratch& s, Matrix& out);
 
 // Keeps the leading `new_cols` columns of `m` in place (row-major

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "src/nn/rng.h"
+#include "src/nn/simd/dispatch.h"
 
 namespace deeprest {
 
@@ -235,8 +236,14 @@ void AccumulateABTranspose(const Matrix& a, const Matrix& b, Matrix& out) {
 
 void MatMulInto(const Matrix& a, const Matrix& b, Matrix& out) {
   assert(a.cols() == b.rows());
-  if (GetKernelMode() == KernelMode::kReference) {
+  const KernelMode mode = GetKernelMode();
+  if (mode == KernelMode::kReference) {
     reference::MatMulInto(a, b, out);
+    return;
+  }
+  if (mode == KernelMode::kSimd) {
+    out.SetShape(a.rows(), b.cols());
+    simd::MatMul(a.data(), b.data(), out.data(), a.rows(), a.cols(), b.cols());
     return;
   }
   out.SetShape(a.rows(), b.cols());
@@ -346,8 +353,13 @@ void MatMulIntoSkipZeros(const Matrix& a, const Matrix& b, Matrix& out) {
 void AccumulateATransposeB(const Matrix& a, const Matrix& b, Matrix& out) {
   assert(a.rows() == b.rows());
   assert(out.rows() == a.cols() && out.cols() == b.cols());
-  if (GetKernelMode() == KernelMode::kReference) {
+  const KernelMode mode = GetKernelMode();
+  if (mode == KernelMode::kReference) {
     reference::AccumulateATransposeB(a, b, out);
+    return;
+  }
+  if (mode == KernelMode::kSimd) {
+    simd::AccumulateATransposeB(a.data(), b.data(), out.data(), a.rows(), a.cols(), b.cols());
     return;
   }
   const size_t n = a.rows();
@@ -422,8 +434,13 @@ void AccumulateATransposeB(const Matrix& a, const Matrix& b, Matrix& out) {
 void AccumulateABTranspose(const Matrix& a, const Matrix& b, Matrix& out) {
   assert(a.cols() == b.cols());
   assert(out.rows() == a.rows() && out.cols() == b.rows());
-  if (GetKernelMode() == KernelMode::kReference) {
+  const KernelMode mode = GetKernelMode();
+  if (mode == KernelMode::kReference) {
     reference::AccumulateABTranspose(a, b, out);
+    return;
+  }
+  if (mode == KernelMode::kSimd) {
+    simd::AccumulateABTranspose(a.data(), b.data(), out.data(), a.rows(), a.cols(), b.rows());
     return;
   }
   const size_t n = a.rows();
@@ -466,12 +483,20 @@ void AccumulateABTranspose(const Matrix& a, const Matrix& b, Matrix& out) {
 
 // ---- Fused element-wise helpers ----
 
+// The vectorized element-wise kernels compute one rounding per element in
+// the same order as these loops, so routing through simd in kSimd mode is
+// bit-exact; the branch exists purely for speed on wide activations.
+
 void AddInto(const Matrix& a, const Matrix& b, Matrix& out) {
   assert(a.SameShape(b));
   out.SetShape(a.rows(), a.cols());
   const float* av = a.data();
   const float* bv = b.data();
   float* ov = out.data();
+  if (GetKernelMode() == KernelMode::kSimd) {
+    simd::Add(av, bv, ov, a.size());
+    return;
+  }
   for (size_t i = 0, e = a.size(); i < e; ++i) {
     ov[i] = av[i] + bv[i];
   }
@@ -483,6 +508,10 @@ void AddScaledInto(const Matrix& a, const Matrix& b, float scale, Matrix& out) {
   const float* av = a.data();
   const float* bv = b.data();
   float* ov = out.data();
+  if (GetKernelMode() == KernelMode::kSimd) {
+    simd::Axpby(av, bv, scale, ov, a.size());
+    return;
+  }
   for (size_t i = 0, e = a.size(); i < e; ++i) {
     ov[i] = av[i] + scale * bv[i];
   }
@@ -494,6 +523,10 @@ void HadamardInto(const Matrix& a, const Matrix& b, Matrix& out) {
   const float* av = a.data();
   const float* bv = b.data();
   float* ov = out.data();
+  if (GetKernelMode() == KernelMode::kSimd) {
+    simd::Hadamard(av, bv, ov, a.size());
+    return;
+  }
   for (size_t i = 0, e = a.size(); i < e; ++i) {
     ov[i] = av[i] * bv[i];
   }

@@ -1,0 +1,115 @@
+// Reduced-precision storage and inference kernels.
+//
+// Two independent mechanisms live here:
+//
+//  * int8 quantized GEMM for inference. Weights are quantized per ROW with a
+//    symmetric scale (scale_i = max|row_i| / 127, no zero-point — weight
+//    distributions are zero-centered, and symmetric quantization keeps the
+//    int8 dot product free of correction terms). Activations are quantized
+//    per COLUMN at call time (dynamic: scale_b = max|x[:,b]| / 127) and
+//    packed column-major so both operands stream contiguously through the
+//    int8 kernel. Accumulation is int32 and therefore EXACT: the only error
+//    sources are the two rounding steps, bounded by one weight LSB and one
+//    activation LSB. k * 127^2 stays far below 2^31 for every model shape.
+//
+//  * fp16 (IEEE binary16) storage for model parameters. Used two ways:
+//    in-place rounding of a cloned model's parameters (ModelRegistry fp16
+//    storage policy — compute stays fp32, storage precision drops to 11
+//    significand bits), and half-width checkpoint serialization
+//    (serialize.h format v2).
+//
+// The accuracy budget for both modes is enforced end-to-end by
+// tests/core/quantized_inference_test.cc (quantile-loss delta vs fp32 under
+// the bound documented in DESIGN.md §6).
+#ifndef SRC_NN_QUANT_H_
+#define SRC_NN_QUANT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nn/matrix.h"
+
+namespace deeprest {
+
+// ---- fp16 scalar conversions (portable bit-twiddle, no F16C needed) ----
+
+// Round-to-nearest-even float -> binary16 bits. Overflow saturates to
+// +/-inf; subnormal halves are produced for tiny magnitudes.
+uint16_t FloatToHalf(float value);
+float HalfToFloat(uint16_t bits);
+
+// ---- int8 per-row quantized weights ----
+
+struct QuantizedMatrix {
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<int8_t> data;    // row-major, rows * cols
+  std::vector<float> scales;   // per-row dequantization scale, size rows
+
+  bool empty() const { return data.empty(); }
+};
+
+// Per-row symmetric quantization: data[r][c] = round(m[r][c] / scale_r),
+// scale_r = max|row_r| / 127 (1.0 for an all-zero row).
+QuantizedMatrix QuantizeRowwise(const Matrix& m);
+
+// Dequantized copy, for error analysis in tests.
+Matrix Dequantize(const QuantizedMatrix& q);
+
+// Reused activation-quantization buffers (one per inference call path; not
+// thread-safe, same discipline as BatchedScratch).
+struct QuantScratch {
+  std::vector<int8_t> x8;      // packed column-major quantized activations
+  std::vector<float> xscale;   // per-column scales
+  std::vector<float> xinv;     // per-column reciprocal scales (packing pass)
+};
+
+// out = dequant(w) @ x computed in int8: quantizes x per column into
+// `scratch`, then runs the dispatch-selected Int8MatMul. Shapes follow
+// MatMulInto: w is (n x k), x is (k x m), out becomes (n x m).
+void QuantizedMatMul(const QuantizedMatrix& w, const Matrix& x, Matrix& out,
+                     QuantScratch& scratch);
+
+// A weight operand that is either fp32 or int8. The inference kernels take
+// this view so one call site serves both modes; exactly one pointer is
+// non-null.
+struct WeightView {
+  const Matrix* w = nullptr;
+  const QuantizedMatrix* q8 = nullptr;
+
+  WeightView() = default;
+  // Implicit: an fp32 Matrix is a WeightView wherever one is expected.
+  WeightView(const Matrix& m) : w(&m) {}  // NOLINT(runtime/explicit)
+  WeightView(const QuantizedMatrix& q) : q8(&q) {}  // NOLINT(runtime/explicit)
+
+  bool quantized() const { return q8 != nullptr; }
+  // A default-constructed view stands for "absent" (e.g. no skip connection).
+  bool valid() const { return w != nullptr || q8 != nullptr; }
+  size_t rows() const { return q8 != nullptr ? q8->rows : w->rows(); }
+  size_t cols() const { return q8 != nullptr ? q8->cols : w->cols(); }
+};
+
+// out = view @ x via MatMulInto (fp32) or QuantizedMatMul (int8).
+void WeightMatMul(const WeightView& view, const Matrix& x, Matrix& out, QuantScratch& scratch);
+
+// ---- fp16 matrices ----
+
+struct HalfMatrix {
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<uint16_t> data;  // row-major binary16 bits
+
+  bool empty() const { return data.empty(); }
+};
+
+HalfMatrix ToHalf(const Matrix& m);
+Matrix FromHalf(const HalfMatrix& h);
+
+// In-place fp16 round-trip: every entry becomes the nearest binary16 value.
+// This is the ModelRegistry storage policy — the matrix stays fp32 in
+// memory layout but carries only half precision.
+void RoundMatrixToHalf(Matrix& m);
+
+}  // namespace deeprest
+
+#endif  // SRC_NN_QUANT_H_

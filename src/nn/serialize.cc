@@ -6,12 +6,15 @@
 #include <ostream>
 #include <vector>
 
+#include "src/nn/quant.h"
+
 namespace deeprest {
 
 namespace {
 
 constexpr uint32_t kMagic = 0x44525354;  // "DRST"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 1;        // fp32 tensor data
+constexpr uint32_t kVersionFp16 = 2;    // binary16 tensor data
 
 void WriteU32(std::ostream& out, uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -45,14 +48,36 @@ bool SaveParametersToFile(const ParameterStore& store, const std::string& path) 
   return out && SaveParameters(store, out);
 }
 
+bool SaveParametersFp16(const ParameterStore& store, std::ostream& out) {
+  WriteU32(out, kMagic);
+  WriteU32(out, kVersionFp16);
+  WriteU32(out, static_cast<uint32_t>(store.entries().size()));
+  for (const auto& e : store.entries()) {
+    WriteU32(out, static_cast<uint32_t>(e.name.size()));
+    out.write(e.name.data(), static_cast<std::streamsize>(e.name.size()));
+    const HalfMatrix h = ToHalf(e.tensor.value());
+    WriteU32(out, static_cast<uint32_t>(h.rows));
+    WriteU32(out, static_cast<uint32_t>(h.cols));
+    out.write(reinterpret_cast<const char*>(h.data.data()),
+              static_cast<std::streamsize>(h.data.size() * sizeof(uint16_t)));
+  }
+  return static_cast<bool>(out);
+}
+
+bool SaveParametersFp16ToFile(const ParameterStore& store, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  return out && SaveParametersFp16(store, out);
+}
+
 bool LoadParameters(ParameterStore& store, std::istream& in) {
   uint32_t magic = 0;
   uint32_t version = 0;
   uint32_t count = 0;
-  if (!ReadU32(in, magic) || magic != kMagic || !ReadU32(in, version) || version != kVersion ||
-      !ReadU32(in, count)) {
+  if (!ReadU32(in, magic) || magic != kMagic || !ReadU32(in, version) ||
+      (version != kVersion && version != kVersionFp16) || !ReadU32(in, count)) {
     return false;
   }
+  const bool fp16 = version == kVersionFp16;
   std::map<std::string, Matrix> loaded;
   for (uint32_t i = 0; i < count; ++i) {
     uint32_t name_len = 0;
@@ -66,11 +91,25 @@ bool LoadParameters(ParameterStore& store, std::istream& in) {
     if (!ReadU32(in, rows) || !ReadU32(in, cols)) {
       return false;
     }
-    Matrix m(rows, cols);
-    in.read(reinterpret_cast<char*>(m.data()),
-            static_cast<std::streamsize>(m.size() * sizeof(float)));
-    if (!in) {
-      return false;
+    Matrix m;
+    if (fp16) {
+      HalfMatrix h;
+      h.rows = rows;
+      h.cols = cols;
+      h.data.resize(static_cast<size_t>(rows) * cols);
+      in.read(reinterpret_cast<char*>(h.data.data()),
+              static_cast<std::streamsize>(h.data.size() * sizeof(uint16_t)));
+      if (!in) {
+        return false;
+      }
+      m = FromHalf(h);
+    } else {
+      m.SetShape(rows, cols);
+      in.read(reinterpret_cast<char*>(m.data()),
+              static_cast<std::streamsize>(m.size() * sizeof(float)));
+      if (!in) {
+        return false;
+      }
     }
     loaded.emplace(std::move(name), std::move(m));
   }

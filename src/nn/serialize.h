@@ -16,10 +16,17 @@ namespace deeprest {
 bool SaveParameters(const ParameterStore& store, std::ostream& out);
 bool SaveParametersToFile(const ParameterStore& store, const std::string& path);
 
+// Format v2: identical layout but every tensor is stored as IEEE binary16
+// (half the bytes, 11 significand bits). The v1 fp32 writer above is left
+// byte-for-byte untouched so existing checkpoints stay stable.
+bool SaveParametersFp16(const ParameterStore& store, std::ostream& out);
+bool SaveParametersFp16ToFile(const ParameterStore& store, const std::string& path);
+
 // Restores parameter values by name into an already-constructed store. Every
 // parameter present in the store must be found in the stream with a matching
-// shape; extra entries in the stream are ignored. Returns false on mismatch
-// or I/O failure.
+// shape; extra entries in the stream are ignored. Accepts both format v1
+// (fp32) and v2 (fp16; entries are widened back to fp32 on load). Returns
+// false on mismatch or I/O failure.
 bool LoadParameters(ParameterStore& store, std::istream& in);
 bool LoadParametersFromFile(ParameterStore& store, const std::string& path);
 

@@ -1,0 +1,120 @@
+// Runtime ISA dispatch for the explicitly vectorized kernels.
+//
+// The repo's portability stance (CMakeLists: -march=native is opt-in and OFF
+// by default) means one binary must run correctly on whatever CPU a pod
+// lands on — so vector kernels are selected at runtime, not compile time.
+// Every ISA variant is compiled into the binary behind per-function target
+// attributes (src/nn/simd/kernels_*.cc); this header is the selection layer:
+//
+//   ladder:   kAvx512 > kAvx2 > kScalar   (x86)
+//             kNeon   > kScalar           (aarch64)
+//
+// BestSupportedIsa() probes the host once (CPUID via __builtin_cpu_supports
+// on x86; compile-time on ARM) and ActiveIsa() starts there. ForceIsa()
+// requests a specific rung and FALLS BACK DOWN the ladder when the host (or
+// the build) lacks it — forcing kAvx512 on an AVX2-only box lands on kAvx2,
+// never on an illegal-instruction crash. The DEEPREST_SIMD environment
+// variable ("scalar", "avx2", "avx512", "neon", "auto") applies the same
+// clamped forcing at first use, which is how CI pins the portable fallback
+// path (tools/ci.sh simd-off leg).
+//
+// Numerics contract (tested in tests/nn/simd_kernels_test.cc):
+//   * Element-wise kernels and every GEMM that blocks only over independent
+//     output elements keep each element's reduction in ascending-k order and
+//     round every multiply and add separately (no FMA contraction on those
+//     paths) — results are BIT-IDENTICAL to the tiled kernels on every ISA.
+//   * Lane-parallel reductions (the m == 1 GEMV path, AccumulateABTranspose's
+//     double-pair dot products) reassociate across lanes for speed; they are
+//     ULP-BOUNDED against the reference, not bit-exact. This is why
+//     KernelMode::kSimd is a distinct, opt-in mode: kTiled keeps the strict
+//     bit-exactness contract that training determinism relies on.
+//
+// Raw intrinsics live ONLY under src/nn/simd/ (lint rule
+// intrinsics-only-in-simd); the rest of the tree calls through the function
+// table below.
+#ifndef SRC_NN_SIMD_DISPATCH_H_
+#define SRC_NN_SIMD_DISPATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace deeprest {
+namespace simd {
+
+enum class Isa : int {
+  kScalar = 0,  // portable C++, always available
+  kAvx2 = 1,    // AVX2 + FMA (x86)
+  kAvx512 = 2,  // AVX-512F (x86)
+  kNeon = 3,    // ARM NEON / ASIMD
+};
+
+// Human-readable name ("scalar", "avx2", ...), for startup summaries and
+// bench rows.
+const char* IsaName(Isa isa);
+
+// True when this host can execute `isa` AND the binary carries kernels for
+// it. kScalar is always supported.
+bool IsaSupported(Isa isa);
+
+// The highest supported rung of the ladder on this host.
+Isa BestSupportedIsa();
+
+// The ISA the kSimd kernels currently dispatch to. Initialized on first use
+// to BestSupportedIsa(), unless DEEPREST_SIMD names a rung (clamped the same
+// way ForceIsa clamps). Global, not thread-local — flip it only in
+// single-threaded setup code, like SetKernelMode.
+Isa ActiveIsa();
+
+// Requests `wanted` and returns what was actually selected: `wanted` when
+// supported, otherwise the nearest supported rung BELOW it (x86 ladder
+// kAvx512 -> kAvx2 -> kScalar; kNeon falls back to kScalar on non-ARM).
+Isa ForceIsa(Isa wanted);
+
+// Parses a spec string ("auto", "scalar", "avx2", "avx512", "neon") and
+// applies it via ForceIsa ("auto" re-selects BestSupportedIsa). Returns
+// false (selection unchanged) on an unknown spec. This is the single entry
+// point behind both the DEEPREST_SIMD environment variable and the CLI
+// --isa flag, so tests can exercise the env path in-process.
+bool SelectIsaFromSpec(const std::string& spec);
+
+// Resets the selection to the first-use default (DEEPREST_SIMD if set and
+// valid, else BestSupportedIsa).
+void ResetIsa();
+
+// ---- Kernel entry points ----
+// All matrices are dense row-major float buffers. Dispatch reads ActiveIsa()
+// per call through a cached table lookup (two loads; noise next to a GEMM).
+
+// out = a(n x k) * b(k x m). Overwrites out.
+void MatMul(const float* a, const float* b, float* out, size_t n, size_t k, size_t m);
+// out(p x q) += a(n x p)^T * b(n x q).
+void AccumulateATransposeB(const float* a, const float* b, float* out, size_t n, size_t p,
+                           size_t q);
+// out(n x m) += a(n x k) * b(m x k)^T.
+void AccumulateABTranspose(const float* a, const float* b, float* out, size_t n, size_t k,
+                           size_t m);
+
+// Element-wise kernels (bit-exact on every ISA: one rounding per element).
+// out[i] = a[i] + b[i]
+void Add(const float* a, const float* b, float* out, size_t n);
+// out[i] = a[i] + scale * b[i]
+void Axpby(const float* a, const float* b, float scale, float* out, size_t n);
+// out[i] = a[i] * b[i]
+void Hadamard(const float* a, const float* b, float* out, size_t n);
+// out[i] = z[i]*h[i] + (1 - z[i])*hc[i], with (1 - z) computed as
+// -1*z + 1 — the exact op sequence of the fused/batched GRU blend.
+void GruBlend(const float* z, const float* h, const float* hc, float* out, size_t n);
+
+// Row-quantized int8 GEMM: out(i, b) = wscale[i] * xscale[b] *
+// sum_c w8(i, c) * x8(b, c), accumulated in int32. `w8` is row-major
+// (n x k); `x8` is PACKED COLUMN-MAJOR (column b occupies x8[b*k .. b*k+k)),
+// so both operands stream contiguously. Exact: int32 accumulation never
+// rounds, and k * 127^2 stays far below 2^31 for every model shape.
+void Int8MatMul(const int8_t* w8, const float* wscale, const int8_t* x8, const float* xscale,
+                float* out, size_t n, size_t k, size_t m);
+
+}  // namespace simd
+}  // namespace deeprest
+
+#endif  // SRC_NN_SIMD_DISPATCH_H_

@@ -1,0 +1,375 @@
+// AVX-512F kernels (16-lane zmm). Same numerics contract as the AVX2 TU:
+// mat-mat / AccumulateATransposeB / element-wise paths use separate mul+add
+// per lane (bit-identical to tiled); the GEMV path and AccumulateABTranspose
+// use FMA lane reductions (ULP-bounded). The int8 kernel stays at 256 bits
+// (madd_epi16 needs AVX512BW to go wider); dispatch guarantees AVX2+FMA is
+// present whenever this table is selected.
+#include "src/nn/simd/kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+// GCC 12 flags the _mm512_undefined_pd() pass-through operand inside the
+// header's own _mm512_cvtps_pd / _mm512_extractf64x4_pd as
+// maybe-uninitialized; the lanes are fully overwritten (mask = -1).
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+#define DEEPREST_AVX512_TARGET __attribute__((target("avx512f")))
+#define DEEPREST_AVX512_INT8_TARGET __attribute__((target("avx512f,avx2,fma")))
+
+namespace deeprest {
+namespace simd {
+namespace detail {
+namespace {
+
+// Hand-rolled horizontal sums: GCC 12's _mm512_reduce_add_* go through
+// _mm256_undefined_pd and trip -Wmaybe-uninitialized.
+DEEPREST_AVX512_TARGET inline float HSum512(__m512 v) {
+  const __m256 lo = _mm512_castps512_ps256(v);
+  const __m256 hi = _mm256_castpd_ps(_mm512_extractf64x4_pd(_mm512_castps_pd(v), 1));
+  const __m256 s256 = _mm256_add_ps(lo, hi);
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(s256), _mm256_extractf128_ps(s256, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+
+DEEPREST_AVX512_TARGET inline double HSum512d(__m512d v) {
+  const __m256d s256 = _mm256_add_pd(_mm512_castpd512_pd256(v), _mm512_extractf64x4_pd(v, 1));
+  __m128d s = _mm_add_pd(_mm256_castpd256_pd128(s256), _mm256_extractf128_pd(s256, 1));
+  s = _mm_add_sd(s, _mm_unpackhi_pd(s, s));
+  return _mm_cvtsd_f64(s);
+}
+
+DEEPREST_AVX512_TARGET void MatMulAvx512(const float* A, const float* B, float* O, size_t n,
+                                         size_t k, size_t m) {
+  if (m == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      const float* arow = A + i * k;
+      __m512 acc0 = _mm512_setzero_ps();
+      __m512 acc1 = _mm512_setzero_ps();
+      size_t c = 0;
+      for (; c + 32 <= k; c += 32) {
+        acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(arow + c), _mm512_loadu_ps(B + c), acc0);
+        acc1 =
+            _mm512_fmadd_ps(_mm512_loadu_ps(arow + c + 16), _mm512_loadu_ps(B + c + 16), acc1);
+      }
+      for (; c + 16 <= k; c += 16) {
+        acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(arow + c), _mm512_loadu_ps(B + c), acc0);
+      }
+      float acc = HSum512(_mm512_add_ps(acc0, acc1));
+      for (; c < k; ++c) {
+        acc += arow[c] * B[c];
+      }
+      O[i] = acc;
+    }
+    return;
+  }
+  // Mat-mat rows are blocked in fours purely for instruction-level
+  // parallelism: four independent accumulator chains hide the add latency
+  // and share every B-row load. Each output element still reduces in
+  // ascending k with a separate multiply and add, so the blocking changes
+  // no rounding — results stay bit-identical to the tiled kernel.
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float* a0 = A + (i + 0) * k;
+    const float* a1 = A + (i + 1) * k;
+    const float* a2 = A + (i + 2) * k;
+    const float* a3 = A + (i + 3) * k;
+    float* o0 = O + (i + 0) * m;
+    float* o1 = O + (i + 1) * m;
+    float* o2 = O + (i + 2) * m;
+    float* o3 = O + (i + 3) * m;
+    size_t j = 0;
+    for (; j + 16 <= m; j += 16) {
+      __m512 acc0 = _mm512_setzero_ps();
+      __m512 acc1 = _mm512_setzero_ps();
+      __m512 acc2 = _mm512_setzero_ps();
+      __m512 acc3 = _mm512_setzero_ps();
+      const float* btile = B + j;
+      for (size_t c = 0; c < k; ++c) {
+        const __m512 bv = _mm512_loadu_ps(btile + c * m);
+        acc0 = _mm512_add_ps(acc0, _mm512_mul_ps(_mm512_set1_ps(a0[c]), bv));
+        acc1 = _mm512_add_ps(acc1, _mm512_mul_ps(_mm512_set1_ps(a1[c]), bv));
+        acc2 = _mm512_add_ps(acc2, _mm512_mul_ps(_mm512_set1_ps(a2[c]), bv));
+        acc3 = _mm512_add_ps(acc3, _mm512_mul_ps(_mm512_set1_ps(a3[c]), bv));
+      }
+      _mm512_storeu_ps(o0 + j, acc0);
+      _mm512_storeu_ps(o1 + j, acc1);
+      _mm512_storeu_ps(o2 + j, acc2);
+      _mm512_storeu_ps(o3 + j, acc3);
+    }
+    if (j < m) {
+      const __mmask16 tail = static_cast<__mmask16>((1u << (m - j)) - 1u);
+      __m512 acc0 = _mm512_setzero_ps();
+      __m512 acc1 = _mm512_setzero_ps();
+      __m512 acc2 = _mm512_setzero_ps();
+      __m512 acc3 = _mm512_setzero_ps();
+      const float* btile = B + j;
+      for (size_t c = 0; c < k; ++c) {
+        const __m512 bv = _mm512_maskz_loadu_ps(tail, btile + c * m);
+        acc0 = _mm512_add_ps(acc0, _mm512_mul_ps(_mm512_set1_ps(a0[c]), bv));
+        acc1 = _mm512_add_ps(acc1, _mm512_mul_ps(_mm512_set1_ps(a1[c]), bv));
+        acc2 = _mm512_add_ps(acc2, _mm512_mul_ps(_mm512_set1_ps(a2[c]), bv));
+        acc3 = _mm512_add_ps(acc3, _mm512_mul_ps(_mm512_set1_ps(a3[c]), bv));
+      }
+      _mm512_mask_storeu_ps(o0 + j, tail, acc0);
+      _mm512_mask_storeu_ps(o1 + j, tail, acc1);
+      _mm512_mask_storeu_ps(o2 + j, tail, acc2);
+      _mm512_mask_storeu_ps(o3 + j, tail, acc3);
+    }
+  }
+  for (; i < n; ++i) {
+    const float* arow = A + i * k;
+    float* orow = O + i * m;
+    size_t j = 0;
+    for (; j + 32 <= m; j += 32) {
+      __m512 acc0 = _mm512_setzero_ps();
+      __m512 acc1 = _mm512_setzero_ps();
+      const float* btile = B + j;
+      for (size_t c = 0; c < k; ++c) {
+        const __m512 av = _mm512_set1_ps(arow[c]);
+        const float* brow = btile + c * m;
+        acc0 = _mm512_add_ps(acc0, _mm512_mul_ps(av, _mm512_loadu_ps(brow)));
+        acc1 = _mm512_add_ps(acc1, _mm512_mul_ps(av, _mm512_loadu_ps(brow + 16)));
+      }
+      _mm512_storeu_ps(orow + j, acc0);
+      _mm512_storeu_ps(orow + j + 16, acc1);
+    }
+    for (; j + 16 <= m; j += 16) {
+      __m512 acc = _mm512_setzero_ps();
+      const float* btile = B + j;
+      for (size_t c = 0; c < k; ++c) {
+        acc = _mm512_add_ps(acc,
+                            _mm512_mul_ps(_mm512_set1_ps(arow[c]), _mm512_loadu_ps(btile + c * m)));
+      }
+      _mm512_storeu_ps(orow + j, acc);
+    }
+    if (j < m) {
+      // Masked tail: still one independent output element per active lane.
+      const __mmask16 tail = static_cast<__mmask16>((1u << (m - j)) - 1u);
+      __m512 acc = _mm512_setzero_ps();
+      const float* btile = B + j;
+      for (size_t c = 0; c < k; ++c) {
+        const __m512 bv = _mm512_maskz_loadu_ps(tail, btile + c * m);
+        acc = _mm512_add_ps(acc, _mm512_mul_ps(_mm512_set1_ps(arow[c]), bv));
+      }
+      _mm512_mask_storeu_ps(orow + j, tail, acc);
+    }
+  }
+}
+
+DEEPREST_AVX512_TARGET void AccATBAvx512(const float* A, const float* B, float* O, size_t n,
+                                         size_t p, size_t q) {
+  if (q == 1) {
+    size_t r = 0;
+    for (; r + 16 <= p; r += 16) {
+      __m512 acc = _mm512_loadu_ps(O + r);
+      for (size_t i = 0; i < n; ++i) {
+        acc = _mm512_add_ps(
+            acc, _mm512_mul_ps(_mm512_loadu_ps(A + i * p + r), _mm512_set1_ps(B[i])));
+      }
+      _mm512_storeu_ps(O + r, acc);
+    }
+    if (r < p) {
+      const __mmask16 tail = static_cast<__mmask16>((1u << (p - r)) - 1u);
+      __m512 acc = _mm512_maskz_loadu_ps(tail, O + r);
+      for (size_t i = 0; i < n; ++i) {
+        const __m512 av = _mm512_maskz_loadu_ps(tail, A + i * p + r);
+        acc = _mm512_add_ps(acc, _mm512_mul_ps(av, _mm512_set1_ps(B[i])));
+      }
+      _mm512_mask_storeu_ps(O + r, tail, acc);
+    }
+    return;
+  }
+  for (size_t r = 0; r < p; ++r) {
+    float* orow = O + r * q;
+    size_t c = 0;
+    for (; c + 16 <= q; c += 16) {
+      __m512 acc = _mm512_loadu_ps(orow + c);
+      for (size_t i = 0; i < n; ++i) {
+        acc = _mm512_add_ps(
+            acc, _mm512_mul_ps(_mm512_set1_ps(A[i * p + r]), _mm512_loadu_ps(B + i * q + c)));
+      }
+      _mm512_storeu_ps(orow + c, acc);
+    }
+    if (c < q) {
+      const __mmask16 tail = static_cast<__mmask16>((1u << (q - c)) - 1u);
+      __m512 acc = _mm512_maskz_loadu_ps(tail, orow + c);
+      for (size_t i = 0; i < n; ++i) {
+        const __m512 bv = _mm512_maskz_loadu_ps(tail, B + i * q + c);
+        acc = _mm512_add_ps(acc, _mm512_mul_ps(_mm512_set1_ps(A[i * p + r]), bv));
+      }
+      _mm512_mask_storeu_ps(orow + c, tail, acc);
+    }
+  }
+}
+
+DEEPREST_AVX512_TARGET void AccABTAvx512(const float* A, const float* B, float* O, size_t n,
+                                         size_t k, size_t m) {
+  if (k == 1) {
+    // Rank-1 accumulate: out[i][j] += a[i] * b[j], with B (m x 1) contiguous.
+    // Lane-parallel FMA over output columns — one rounding per element where
+    // the reference rounds twice, comfortably inside the ULP envelope. The
+    // general dot-per-element path below would spend all its time in setup
+    // (the vector body needs k >= 8).
+    for (size_t i = 0; i < n; ++i) {
+      const __m512 av = _mm512_set1_ps(A[i]);
+      float* orow = O + i * m;
+      size_t j = 0;
+      for (; j + 16 <= m; j += 16) {
+        _mm512_storeu_ps(
+            orow + j, _mm512_fmadd_ps(av, _mm512_loadu_ps(B + j), _mm512_loadu_ps(orow + j)));
+      }
+      for (; j < m; ++j) {
+        orow[j] += A[i] * B[j];
+      }
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const float* arow = A + i * k;
+    float* orow = O + i * m;
+    for (size_t j = 0; j < m; ++j) {
+      const float* brow = B + j * k;
+      __m512d acc = _mm512_setzero_pd();
+      size_t c = 0;
+      for (; c + 8 <= k; c += 8) {
+        const __m512d av = _mm512_cvtps_pd(_mm256_loadu_ps(arow + c));
+        const __m512d bv = _mm512_cvtps_pd(_mm256_loadu_ps(brow + c));
+        acc = _mm512_fmadd_pd(av, bv, acc);
+      }
+      double sum = HSum512d(acc);
+      for (; c < k; ++c) {
+        sum += static_cast<double>(arow[c]) * brow[c];
+      }
+      orow[j] += static_cast<float>(sum);
+    }
+  }
+}
+
+DEEPREST_AVX512_TARGET void AddAvx512(const float* a, const float* b, float* out, size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(out + i, _mm512_add_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] + b[i];
+  }
+}
+
+DEEPREST_AVX512_TARGET void AxpbyAvx512(const float* a, const float* b, float scale, float* out,
+                                        size_t n) {
+  const __m512 sv = _mm512_set1_ps(scale);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 prod = _mm512_mul_ps(sv, _mm512_loadu_ps(b + i));
+    _mm512_storeu_ps(out + i, _mm512_add_ps(_mm512_loadu_ps(a + i), prod));
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] + scale * b[i];
+  }
+}
+
+DEEPREST_AVX512_TARGET void HadamardAvx512(const float* a, const float* b, float* out,
+                                           size_t n) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(out + i, _mm512_mul_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] * b[i];
+  }
+}
+
+DEEPREST_AVX512_TARGET void GruBlendAvx512(const float* z, const float* h, const float* hc,
+                                           float* out, size_t n) {
+  const __m512 ones = _mm512_set1_ps(1.0f);
+  const __m512 negones = _mm512_set1_ps(-1.0f);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 zv = _mm512_loadu_ps(z + i);
+    const __m512 omz = _mm512_add_ps(_mm512_mul_ps(negones, zv), ones);
+    const __m512 zh = _mm512_mul_ps(zv, _mm512_loadu_ps(h + i));
+    const __m512 zc = _mm512_mul_ps(omz, _mm512_loadu_ps(hc + i));
+    _mm512_storeu_ps(out + i, _mm512_add_ps(zh, zc));
+  }
+  for (; i < n; ++i) {
+    const float omz = -1.0f * z[i] + 1.0f;
+    out[i] = (z[i] * h[i]) + (omz * hc[i]);
+  }
+}
+
+DEEPREST_AVX512_INT8_TARGET void Int8MatMulAvx512(const int8_t* w8, const float* wscale,
+                                                  const int8_t* x8, const float* xscale,
+                                                  float* out, size_t n, size_t k, size_t m) {
+  for (size_t i = 0; i < n; ++i) {
+    const int8_t* wrow = w8 + i * k;
+    const float ws = wscale[i];
+    float* orow = out + i * m;
+    for (size_t b = 0; b < m; ++b) {
+      const int8_t* xcol = x8 + b * k;
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      size_t c = 0;
+      for (; c + 32 <= k; c += 32) {
+        const __m256i wv0 = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(wrow + c)));
+        const __m256i xv0 = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(xcol + c)));
+        acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(wv0, xv0));
+        const __m256i wv1 = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(wrow + c + 16)));
+        const __m256i xv1 = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(xcol + c + 16)));
+        acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(wv1, xv1));
+      }
+      for (; c + 16 <= k; c += 16) {
+        const __m256i wv = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(wrow + c)));
+        const __m256i xv = _mm256_cvtepi8_epi16(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(xcol + c)));
+        acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(wv, xv));
+      }
+      const __m256i acc = _mm256_add_epi32(acc0, acc1);
+      const __m128i lo = _mm256_castsi256_si128(acc);
+      const __m128i hi = _mm256_extracti128_si256(acc, 1);
+      __m128i s = _mm_add_epi32(lo, hi);
+      s = _mm_add_epi32(s, _mm_unpackhi_epi64(s, s));
+      s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x55));
+      int32_t sum = _mm_cvtsi128_si32(s);
+      for (; c < k; ++c) {
+        sum += static_cast<int32_t>(wrow[c]) * static_cast<int32_t>(xcol[c]);
+      }
+      orow[b] = static_cast<float>(sum) * (ws * xscale[b]);
+    }
+  }
+}
+
+const KernelTable kAvx512Table = {
+    MatMulAvx512, AccATBAvx512,   AccABTAvx512,   AddAvx512,
+    AxpbyAvx512,  HadamardAvx512, GruBlendAvx512, Int8MatMulAvx512,
+};
+
+}  // namespace
+
+const KernelTable* Avx512Table() { return &kAvx512Table; }
+
+}  // namespace detail
+}  // namespace simd
+}  // namespace deeprest
+
+#else  // non-x86
+
+namespace deeprest {
+namespace simd {
+namespace detail {
+
+const KernelTable* Avx512Table() { return nullptr; }
+
+}  // namespace detail
+}  // namespace simd
+}  // namespace deeprest
+
+#endif

@@ -1,0 +1,238 @@
+// NEON/ASIMD kernels for aarch64. Same numerics contract as the x86 TUs:
+// mat-mat / AccumulateATransposeB / element-wise paths use separate
+// vmulq+vaddq (bit-identical to tiled); the GEMV path and
+// AccumulateABTranspose use fused-multiply lane reductions (ULP-bounded).
+// On non-ARM builds this TU contributes only a null table.
+#include "src/nn/simd/kernels.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace deeprest {
+namespace simd {
+namespace detail {
+namespace {
+
+void MatMulNeon(const float* A, const float* B, float* O, size_t n, size_t k, size_t m) {
+  if (m == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      const float* arow = A + i * k;
+      float32x4_t acc0 = vdupq_n_f32(0.0f);
+      float32x4_t acc1 = vdupq_n_f32(0.0f);
+      size_t c = 0;
+      for (; c + 8 <= k; c += 8) {
+        acc0 = vfmaq_f32(acc0, vld1q_f32(arow + c), vld1q_f32(B + c));
+        acc1 = vfmaq_f32(acc1, vld1q_f32(arow + c + 4), vld1q_f32(B + c + 4));
+      }
+      for (; c + 4 <= k; c += 4) {
+        acc0 = vfmaq_f32(acc0, vld1q_f32(arow + c), vld1q_f32(B + c));
+      }
+      float acc = vaddvq_f32(vaddq_f32(acc0, acc1));
+      for (; c < k; ++c) {
+        acc += arow[c] * B[c];
+      }
+      O[i] = acc;
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const float* arow = A + i * k;
+    float* orow = O + i * m;
+    size_t j = 0;
+    for (; j + 16 <= m; j += 16) {
+      float32x4_t acc0 = vdupq_n_f32(0.0f);
+      float32x4_t acc1 = vdupq_n_f32(0.0f);
+      float32x4_t acc2 = vdupq_n_f32(0.0f);
+      float32x4_t acc3 = vdupq_n_f32(0.0f);
+      const float* btile = B + j;
+      for (size_t c = 0; c < k; ++c) {
+        const float32x4_t av = vdupq_n_f32(arow[c]);
+        const float* brow = btile + c * m;
+        acc0 = vaddq_f32(acc0, vmulq_f32(av, vld1q_f32(brow)));
+        acc1 = vaddq_f32(acc1, vmulq_f32(av, vld1q_f32(brow + 4)));
+        acc2 = vaddq_f32(acc2, vmulq_f32(av, vld1q_f32(brow + 8)));
+        acc3 = vaddq_f32(acc3, vmulq_f32(av, vld1q_f32(brow + 12)));
+      }
+      vst1q_f32(orow + j, acc0);
+      vst1q_f32(orow + j + 4, acc1);
+      vst1q_f32(orow + j + 8, acc2);
+      vst1q_f32(orow + j + 12, acc3);
+    }
+    for (; j + 4 <= m; j += 4) {
+      float32x4_t acc = vdupq_n_f32(0.0f);
+      const float* btile = B + j;
+      for (size_t c = 0; c < k; ++c) {
+        acc = vaddq_f32(acc, vmulq_f32(vdupq_n_f32(arow[c]), vld1q_f32(btile + c * m)));
+      }
+      vst1q_f32(orow + j, acc);
+    }
+    for (; j < m; ++j) {
+      float acc = 0.0f;
+      for (size_t c = 0; c < k; ++c) {
+        acc += arow[c] * B[c * m + j];
+      }
+      orow[j] = acc;
+    }
+  }
+}
+
+void AccATBNeon(const float* A, const float* B, float* O, size_t n, size_t p, size_t q) {
+  if (q == 1) {
+    size_t r = 0;
+    for (; r + 4 <= p; r += 4) {
+      float32x4_t acc = vld1q_f32(O + r);
+      for (size_t i = 0; i < n; ++i) {
+        acc = vaddq_f32(acc, vmulq_f32(vld1q_f32(A + i * p + r), vdupq_n_f32(B[i])));
+      }
+      vst1q_f32(O + r, acc);
+    }
+    for (; r < p; ++r) {
+      float acc = O[r];
+      for (size_t i = 0; i < n; ++i) {
+        acc += A[i * p + r] * B[i];
+      }
+      O[r] = acc;
+    }
+    return;
+  }
+  for (size_t r = 0; r < p; ++r) {
+    float* orow = O + r * q;
+    size_t c = 0;
+    for (; c + 4 <= q; c += 4) {
+      float32x4_t acc = vld1q_f32(orow + c);
+      for (size_t i = 0; i < n; ++i) {
+        acc = vaddq_f32(acc, vmulq_f32(vdupq_n_f32(A[i * p + r]), vld1q_f32(B + i * q + c)));
+      }
+      vst1q_f32(orow + c, acc);
+    }
+    for (; c < q; ++c) {
+      float acc = orow[c];
+      for (size_t i = 0; i < n; ++i) {
+        acc += A[i * p + r] * B[i * q + c];
+      }
+      orow[c] = acc;
+    }
+  }
+}
+
+void AccABTNeon(const float* A, const float* B, float* O, size_t n, size_t k, size_t m) {
+  for (size_t i = 0; i < n; ++i) {
+    const float* arow = A + i * k;
+    float* orow = O + i * m;
+    for (size_t j = 0; j < m; ++j) {
+      const float* brow = B + j * k;
+      float64x2_t acc = vdupq_n_f64(0.0);
+      size_t c = 0;
+      for (; c + 2 <= k; c += 2) {
+        const float64x2_t av = vcvt_f64_f32(vld1_f32(arow + c));
+        const float64x2_t bv = vcvt_f64_f32(vld1_f32(brow + c));
+        acc = vfmaq_f64(acc, av, bv);
+      }
+      double sum = vaddvq_f64(acc);
+      for (; c < k; ++c) {
+        sum += static_cast<double>(arow[c]) * brow[c];
+      }
+      orow[j] += static_cast<float>(sum);
+    }
+  }
+}
+
+void AddNeon(const float* a, const float* b, float* out, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(out + i, vaddq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] + b[i];
+  }
+}
+
+void AxpbyNeon(const float* a, const float* b, float scale, float* out, size_t n) {
+  const float32x4_t sv = vdupq_n_f32(scale);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t prod = vmulq_f32(sv, vld1q_f32(b + i));
+    vst1q_f32(out + i, vaddq_f32(vld1q_f32(a + i), prod));
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] + scale * b[i];
+  }
+}
+
+void HadamardNeon(const float* a, const float* b, float* out, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(out + i, vmulq_f32(vld1q_f32(a + i), vld1q_f32(b + i)));
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] * b[i];
+  }
+}
+
+void GruBlendNeon(const float* z, const float* h, const float* hc, float* out, size_t n) {
+  const float32x4_t ones = vdupq_n_f32(1.0f);
+  const float32x4_t negones = vdupq_n_f32(-1.0f);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t zv = vld1q_f32(z + i);
+    const float32x4_t omz = vaddq_f32(vmulq_f32(negones, zv), ones);
+    const float32x4_t zh = vmulq_f32(zv, vld1q_f32(h + i));
+    const float32x4_t zc = vmulq_f32(omz, vld1q_f32(hc + i));
+    vst1q_f32(out + i, vaddq_f32(zh, zc));
+  }
+  for (; i < n; ++i) {
+    const float omz = -1.0f * z[i] + 1.0f;
+    out[i] = (z[i] * h[i]) + (omz * hc[i]);
+  }
+}
+
+void Int8MatMulNeon(const int8_t* w8, const float* wscale, const int8_t* x8,
+                    const float* xscale, float* out, size_t n, size_t k, size_t m) {
+  for (size_t i = 0; i < n; ++i) {
+    const int8_t* wrow = w8 + i * k;
+    const float ws = wscale[i];
+    float* orow = out + i * m;
+    for (size_t b = 0; b < m; ++b) {
+      const int8_t* xcol = x8 + b * k;
+      int32x4_t acc = vdupq_n_s32(0);
+      size_t c = 0;
+      for (; c + 8 <= k; c += 8) {
+        const int16x8_t prod = vmull_s8(vld1_s8(wrow + c), vld1_s8(xcol + c));
+        acc = vpadalq_s16(acc, prod);
+      }
+      int32_t sum = vaddvq_s32(acc);
+      for (; c < k; ++c) {
+        sum += static_cast<int32_t>(wrow[c]) * static_cast<int32_t>(xcol[c]);
+      }
+      orow[b] = static_cast<float>(sum) * (ws * xscale[b]);
+    }
+  }
+}
+
+const KernelTable kNeonTable = {
+    MatMulNeon, AccATBNeon,   AccABTNeon,   AddNeon,
+    AxpbyNeon,  HadamardNeon, GruBlendNeon, Int8MatMulNeon,
+};
+
+}  // namespace
+
+const KernelTable* NeonTable() { return &kNeonTable; }
+
+}  // namespace detail
+}  // namespace simd
+}  // namespace deeprest
+
+#else  // non-ARM
+
+namespace deeprest {
+namespace simd {
+namespace detail {
+
+const KernelTable* NeonTable() { return nullptr; }
+
+}  // namespace detail
+}  // namespace simd
+}  // namespace deeprest
+
+#endif

@@ -1,0 +1,235 @@
+// Portable fallback kernels — the kScalar rung of the dispatch ladder.
+//
+// These are plain C++ re-statements of the tiled kernels in matrix.cc over
+// raw pointers: blocking only over independent output elements, every
+// element's k-reduction in ascending order, one rounding per multiply and
+// add. On this rung even the GEMV and AccumulateABTranspose paths keep the
+// sequential reduction order, so kScalar is bit-identical to kTiled on every
+// entry point — the property the ci.sh simd-off leg pins so the fallback
+// path cannot rot.
+#include "src/nn/simd/kernels.h"
+
+#include <cmath>
+
+namespace deeprest {
+namespace simd {
+namespace detail {
+namespace {
+
+void MatMulScalar(const float* A, const float* B, float* O, size_t n, size_t k, size_t m) {
+  if (m == 1) {
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const float* a0 = A + (i + 0) * k;
+      const float* a1 = A + (i + 1) * k;
+      const float* a2 = A + (i + 2) * k;
+      const float* a3 = A + (i + 3) * k;
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      for (size_t c = 0; c < k; ++c) {
+        const float bv = B[c];
+        acc0 += a0[c] * bv;
+        acc1 += a1[c] * bv;
+        acc2 += a2[c] * bv;
+        acc3 += a3[c] * bv;
+      }
+      O[i + 0] = acc0;
+      O[i + 1] = acc1;
+      O[i + 2] = acc2;
+      O[i + 3] = acc3;
+    }
+    for (; i < n; ++i) {
+      const float* arow = A + i * k;
+      float acc = 0.0f;
+      for (size_t c = 0; c < k; ++c) {
+        acc += arow[c] * B[c];
+      }
+      O[i] = acc;
+    }
+    return;
+  }
+  constexpr size_t kJTile = 16;
+  for (size_t i = 0; i < n; ++i) {
+    const float* arow = A + i * k;
+    float* orow = O + i * m;
+    size_t j0 = 0;
+    for (; j0 + kJTile <= m; j0 += kJTile) {
+      float acc[kJTile] = {0.0f};
+      const float* btile = B + j0;
+      for (size_t c = 0; c < k; ++c) {
+        const float av = arow[c];
+        const float* brow = btile + c * m;
+        for (size_t j = 0; j < kJTile; ++j) {
+          acc[j] += av * brow[j];
+        }
+      }
+      for (size_t j = 0; j < kJTile; ++j) {
+        orow[j0 + j] = acc[j];
+      }
+    }
+    const size_t rem = m - j0;
+    if (rem > 0) {
+      float acc[kJTile] = {0.0f};
+      const float* btile = B + j0;
+      for (size_t c = 0; c < k; ++c) {
+        const float av = arow[c];
+        const float* brow = btile + c * m;
+        for (size_t j = 0; j < rem; ++j) {
+          acc[j] += av * brow[j];
+        }
+      }
+      for (size_t j = 0; j < rem; ++j) {
+        orow[j0 + j] = acc[j];
+      }
+    }
+  }
+}
+
+void AccATBScalar(const float* A, const float* B, float* O, size_t n, size_t p, size_t q) {
+  if (q == 1) {
+    size_t r = 0;
+    for (; r + 4 <= p; r += 4) {
+      float acc0 = O[r + 0], acc1 = O[r + 1], acc2 = O[r + 2], acc3 = O[r + 3];
+      for (size_t i = 0; i < n; ++i) {
+        const float bv = B[i];
+        const float* arow = A + i * p + r;
+        acc0 += arow[0] * bv;
+        acc1 += arow[1] * bv;
+        acc2 += arow[2] * bv;
+        acc3 += arow[3] * bv;
+      }
+      O[r + 0] = acc0;
+      O[r + 1] = acc1;
+      O[r + 2] = acc2;
+      O[r + 3] = acc3;
+    }
+    for (; r < p; ++r) {
+      float acc = O[r];
+      for (size_t i = 0; i < n; ++i) {
+        acc += A[i * p + r] * B[i];
+      }
+      O[r] = acc;
+    }
+    return;
+  }
+  size_t r = 0;
+  for (; r + 4 <= p; r += 4) {
+    float* o0 = O + (r + 0) * q;
+    float* o1 = O + (r + 1) * q;
+    float* o2 = O + (r + 2) * q;
+    float* o3 = O + (r + 3) * q;
+    for (size_t i = 0; i < n; ++i) {
+      const float* arow = A + i * p + r;
+      const float f0 = arow[0];
+      const float f1 = arow[1];
+      const float f2 = arow[2];
+      const float f3 = arow[3];
+      const float* brow = B + i * q;
+      for (size_t c = 0; c < q; ++c) {
+        const float bv = brow[c];
+        o0[c] += f0 * bv;
+        o1[c] += f1 * bv;
+        o2[c] += f2 * bv;
+        o3[c] += f3 * bv;
+      }
+    }
+  }
+  for (; r < p; ++r) {
+    float* orow = O + r * q;
+    for (size_t i = 0; i < n; ++i) {
+      const float ar = A[i * p + r];
+      const float* brow = B + i * q;
+      for (size_t c = 0; c < q; ++c) {
+        orow[c] += ar * brow[c];
+      }
+    }
+  }
+}
+
+void AccABTScalar(const float* A, const float* B, float* O, size_t n, size_t k, size_t m) {
+  for (size_t i = 0; i < n; ++i) {
+    const float* arow = A + i * k;
+    float* orow = O + i * m;
+    size_t j = 0;
+    for (; j + 4 <= m; j += 4) {
+      const float* b0 = B + (j + 0) * k;
+      const float* b1 = B + (j + 1) * k;
+      const float* b2 = B + (j + 2) * k;
+      const float* b3 = B + (j + 3) * k;
+      double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+      for (size_t c = 0; c < k; ++c) {
+        const double av = arow[c];
+        acc0 += av * b0[c];
+        acc1 += av * b1[c];
+        acc2 += av * b2[c];
+        acc3 += av * b3[c];
+      }
+      orow[j + 0] += static_cast<float>(acc0);
+      orow[j + 1] += static_cast<float>(acc1);
+      orow[j + 2] += static_cast<float>(acc2);
+      orow[j + 3] += static_cast<float>(acc3);
+    }
+    for (; j < m; ++j) {
+      const float* brow = B + j * k;
+      double acc = 0.0;
+      for (size_t c = 0; c < k; ++c) {
+        acc += static_cast<double>(arow[c]) * brow[c];
+      }
+      orow[j] += static_cast<float>(acc);
+    }
+  }
+}
+
+void AddScalar(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] + b[i];
+  }
+}
+
+void AxpbyScalar(const float* a, const float* b, float scale, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] + scale * b[i];
+  }
+}
+
+void HadamardScalar(const float* a, const float* b, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = a[i] * b[i];
+  }
+}
+
+void GruBlendScalar(const float* z, const float* h, const float* hc, float* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const float omz = -1.0f * z[i] + 1.0f;
+    out[i] = (z[i] * h[i]) + (omz * hc[i]);
+  }
+}
+
+void Int8MatMulScalar(const int8_t* w8, const float* wscale, const int8_t* x8,
+                      const float* xscale, float* out, size_t n, size_t k, size_t m) {
+  for (size_t i = 0; i < n; ++i) {
+    const int8_t* wrow = w8 + i * k;
+    const float ws = wscale[i];
+    float* orow = out + i * m;
+    for (size_t b = 0; b < m; ++b) {
+      const int8_t* xcol = x8 + b * k;
+      int32_t acc = 0;
+      for (size_t c = 0; c < k; ++c) {
+        acc += static_cast<int32_t>(wrow[c]) * static_cast<int32_t>(xcol[c]);
+      }
+      orow[b] = static_cast<float>(acc) * (ws * xscale[b]);
+    }
+  }
+}
+
+const KernelTable kScalarTable = {
+    MatMulScalar, AccATBScalar,    AccABTScalar,   AddScalar,
+    AxpbyScalar,  HadamardScalar,  GruBlendScalar, Int8MatMulScalar,
+};
+
+}  // namespace
+
+const KernelTable* ScalarTable() { return &kScalarTable; }
+
+}  // namespace detail
+}  // namespace simd
+}  // namespace deeprest

@@ -8,6 +8,22 @@ uint64_t ModelRegistry::Publish(std::shared_ptr<const DeepRestEstimator> model) 
   return ++current_.version;
 }
 
+void ModelRegistry::SetFp16Storage(bool enabled) {
+  MutexLock lock(mu_);
+  fp16_storage_ = enabled;
+}
+
+bool ModelRegistry::fp16_storage() const {
+  MutexLock lock(mu_);
+  return fp16_storage_;
+}
+
+void ModelRegistry::ApplyStoragePolicy(DeepRestEstimator& model) const {
+  if (fp16_storage()) {
+    model.CompressParametersToFp16();
+  }
+}
+
 bool ModelRegistry::Restore(std::shared_ptr<const DeepRestEstimator> model, uint64_t version) {
   MutexLock lock(mu_);
   if (model == nullptr || version == 0 || version <= current_.version) {

@@ -34,9 +34,30 @@ class ModelRegistry {
   // Publishes a new current model; returns its version (1, 2, ...). The
   // model must be trained and must not be mutated afterwards.
   uint64_t Publish(std::shared_ptr<const DeepRestEstimator> model);
+  // The unique_ptr overload still owns a mutable model, so it is the one
+  // place the registry can apply its storage policy before the snapshot
+  // becomes immutable.
   uint64_t Publish(std::unique_ptr<DeepRestEstimator> model) {
+    if (model != nullptr) {
+      ApplyStoragePolicy(*model);
+    }
     return Publish(std::shared_ptr<const DeepRestEstimator>(std::move(model)));
   }
+
+  // fp16 storage policy for models published through this registry: when
+  // enabled, ApplyStoragePolicy rounds a model's parameters to binary16
+  // precision in place (src/nn/quant.h) before publication — halving the
+  // effective parameter precision (and the checkpoint size via the fp16
+  // serialization format) while compute stays fp32. Only affects models
+  // passed through the mutable publication paths (the unique_ptr Publish
+  // overload and ContinualLearner's clone pipeline); a shared_ptr publish or
+  // Restore is already immutable and is installed as-is.
+  void SetFp16Storage(bool enabled);
+  bool fp16_storage() const;
+  // Applies the current policy to a still-mutable model (no-op when off).
+  // Callers that train a clone apply this BEFORE converting to
+  // shared_ptr<const> — see ContinualLearner.
+  void ApplyStoragePolicy(DeepRestEstimator& model) const;
 
   // Startup recovery: installs a checkpointed model under its original
   // version number. Forward-only — fails (returns false) when the registry
@@ -58,6 +79,7 @@ class ModelRegistry {
   // out; the pointed-to estimator is immutable after publication, so only
   // the snapshot value itself needs the guard.
   ModelSnapshot current_ DEEPREST_GUARDED_BY(mu_);
+  bool fp16_storage_ DEEPREST_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace deeprest

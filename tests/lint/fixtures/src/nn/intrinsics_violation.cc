@@ -1,0 +1,23 @@
+// Fixture: raw intrinsics outside src/nn/simd/ — intrinsics-only-in-simd
+// must fire on the include, the vector type, and the intrinsic calls.
+#include <immintrin.h>
+
+namespace deeprest {
+
+float DotProduct(const float* a, const float* b, int n) {
+  __m256 acc = _mm256_setzero_ps();
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc);
+  }
+  float lanes[8];
+  _mm256_storeu_ps(lanes, acc);
+  float sum = lanes[0] + lanes[1] + lanes[2] + lanes[3] + lanes[4] + lanes[5] +
+              lanes[6] + lanes[7];
+  for (; i < n; ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+}  // namespace deeprest

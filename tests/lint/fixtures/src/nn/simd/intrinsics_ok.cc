@@ -1,0 +1,26 @@
+// Fixture: the SAME intrinsics inside src/nn/simd/ are sanctioned — the
+// dispatch layer is where vector code lives, so intrinsics-only-in-simd must
+// stay silent here (and no other rule may fire either).
+#include <immintrin.h>
+
+namespace deeprest {
+namespace simd {
+
+float DotProduct(const float* a, const float* b, int n) {
+  __m256 acc = _mm256_setzero_ps();
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc);
+  }
+  float lanes[8];
+  _mm256_storeu_ps(lanes, acc);
+  float sum = lanes[0] + lanes[1] + lanes[2] + lanes[3] + lanes[4] + lanes[5] +
+              lanes[6] + lanes[7];
+  for (; i < n; ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+}  // namespace simd
+}  // namespace deeprest

@@ -58,7 +58,7 @@ TEST_P(LintRuleTest, ViolatingFixtureTripsExactlyItsRule) {
   for (const char* other :
        {"no-unseeded-rand", "no-unordered-iteration", "no-raw-tensor-node-new",
         "no-fast-math-reassoc", "mutex-needs-guarded-by", "no-detached-threads",
-        "heartbeat-on-loop"}) {
+        "heartbeat-on-loop", "intrinsics-only-in-simd"}) {
     if (std::string(other) != c.rule) {
       EXPECT_EQ(run.output.find(std::string("[") + other + "]"), std::string::npos)
           << "unexpected rule " << other << " in:\n"
@@ -77,7 +77,8 @@ INSTANTIATE_TEST_SUITE_P(
                       RuleCase{"src/nn/reassoc_violation.cc", "no-fast-math-reassoc"},
                       RuleCase{"mutex_violation.cc", "mutex-needs-guarded-by"},
                       RuleCase{"detach_violation.cc", "no-detached-threads"},
-                      RuleCase{"src/serve/heartbeat_violation.cc", "heartbeat-on-loop"}),
+                      RuleCase{"src/serve/heartbeat_violation.cc", "heartbeat-on-loop"},
+                      RuleCase{"src/nn/intrinsics_violation.cc", "intrinsics-only-in-simd"}),
     [](const ::testing::TestParamInfo<RuleCase>& param_info) {
       std::string name = param_info.param.rule;
       for (char& ch : name) {
@@ -112,6 +113,15 @@ TEST(LintTest, HeartbeatRuleIsScopedToSupervisedPaths) {
   // though it has no heartbeats.
   const LintRun run = RunLint(Fixture("clean.cc"));
   EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+// intrinsics-only-in-simd is path-scoped: the byte-identical vector code
+// passes inside src/nn/simd/ and fails one directory up (covered by the
+// parameterized case above).
+TEST(LintTest, IntrinsicsAreSanctionedInsideSimdDirectory) {
+  const LintRun run = RunLint(Fixture("src/nn/simd/intrinsics_ok.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_TRUE(run.output.empty()) << run.output;
 }
 
 TEST(LintTest, AllowlistFileGrantsWholeFile) {

@@ -1,0 +1,289 @@
+// Reduced-precision building blocks (src/nn/quant.h): fp16 conversion
+// correctness down to the rounding mode, per-row int8 quantization error
+// bounds, the quantized GEMM against an analytic error envelope, and the
+// fp16 (v2) checkpoint format.
+//
+// The END-TO-END accuracy budget (quantile-loss delta of a quantized model
+// vs its fp32 twin) lives in tests/core/quantized_inference_test.cc; these
+// tests pin the pieces it is built from.
+#include "src/nn/quant.h"
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/matrix.h"
+#include "src/nn/rng.h"
+#include "src/nn/serialize.h"
+
+namespace deeprest {
+namespace {
+
+// ---- fp16 scalar conversions ----
+
+TEST(QuantTest, HalfRoundTripsEveryEncodableValue) {
+  // binary16 has only 65536 bit patterns: test ALL of them. Every non-NaN
+  // half widens to float and narrows back to the identical bits (including
+  // -0, subnormals, and both infinities); NaN narrows to some NaN.
+  for (uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+    const uint16_t h = static_cast<uint16_t>(bits);
+    const float f = HalfToFloat(h);
+    const uint16_t back = FloatToHalf(f);
+    const bool is_nan = (h & 0x7C00) == 0x7C00 && (h & 0x03FF) != 0;
+    if (is_nan) {
+      EXPECT_TRUE((back & 0x7C00) == 0x7C00 && (back & 0x03FF) != 0)
+          << "bits 0x" << std::hex << bits;
+    } else {
+      EXPECT_EQ(back, h) << "bits 0x" << std::hex << bits;
+    }
+  }
+}
+
+TEST(QuantTest, FloatToHalfRoundsToNearestEven) {
+  // Halves near 1.0 step by 2^-10; exact ties must round to the even
+  // significand in both directions.
+  const float tie_down = 1.0f + 0.00048828125f;      // 1 + 2^-11: tie -> 0x3C00
+  const float tie_up = 1.0f + 3.0f * 0.00048828125f; // 1 + 3*2^-11: tie -> 0x3C02
+  EXPECT_EQ(FloatToHalf(tie_down), 0x3C00);
+  EXPECT_EQ(FloatToHalf(tie_up), 0x3C02);
+  // Just past the tie rounds up/down normally.
+  EXPECT_EQ(FloatToHalf(1.0f + 0.0005f), 0x3C01);
+  EXPECT_EQ(FloatToHalf(1.0f + 0.0004f), 0x3C00);
+}
+
+TEST(QuantTest, FloatToHalfSaturatesAndHandlesTinyValues) {
+  EXPECT_EQ(FloatToHalf(65504.0f), 0x7BFF);   // largest finite half
+  EXPECT_EQ(FloatToHalf(1.0e6f), 0x7C00);     // overflow -> +inf
+  EXPECT_EQ(FloatToHalf(-1.0e6f), 0xFC00);    // overflow -> -inf
+  EXPECT_EQ(FloatToHalf(65520.0f), 0x7C00);   // tie at the overflow boundary
+  const float min_subnormal = 5.9604644775390625e-8f;  // 2^-24
+  EXPECT_EQ(FloatToHalf(min_subnormal), 0x0001);
+  EXPECT_EQ(FloatToHalf(min_subnormal * 0.5f), 0x0000);  // 2^-25 ties to even 0
+  EXPECT_EQ(FloatToHalf(min_subnormal * 0.6f), 0x0001);  // past the tie
+  EXPECT_EQ(HalfToFloat(0x0001), min_subnormal);
+  EXPECT_EQ(FloatToHalf(-0.0f), 0x8000);
+  EXPECT_EQ(HalfToFloat(0x8000), -0.0f);
+  EXPECT_TRUE(std::isinf(HalfToFloat(0x7C00)));
+  EXPECT_TRUE(std::isnan(HalfToFloat(0x7E00)));
+}
+
+TEST(QuantTest, RoundMatrixToHalfIsIdempotentAndBounded) {
+  Rng rng(401);
+  Matrix m(9, 13);
+  m.FillUniform(rng, 2.0f);
+  Matrix original = m;
+  RoundMatrixToHalf(m);
+  for (size_t i = 0; i < m.size(); ++i) {
+    // binary16 carries 11 significand bits: relative error <= 2^-11.
+    EXPECT_LE(std::fabs(m[i] - original[i]),
+              std::fabs(original[i]) * 0.00048828125f + 1e-8f)
+        << "element " << i;
+  }
+  Matrix once = m;
+  RoundMatrixToHalf(m);  // already half-exact: must be a no-op
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(m[i], once[i]) << "element " << i;
+  }
+}
+
+TEST(QuantTest, ToHalfFromHalfRoundTripsHalfExactValues) {
+  Rng rng(402);
+  Matrix m(5, 7);
+  m.FillUniform(rng, 1.0f);
+  RoundMatrixToHalf(m);  // make every entry exactly representable
+  const HalfMatrix h = ToHalf(m);
+  EXPECT_EQ(h.rows, m.rows());
+  EXPECT_EQ(h.cols, m.cols());
+  const Matrix back = FromHalf(h);
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(back[i], m[i]) << "element " << i;
+  }
+}
+
+// ---- int8 per-row quantization ----
+
+TEST(QuantTest, QuantizeRowwiseErrorWithinHalfLsbPerEntry) {
+  Rng rng(403);
+  Matrix m(17, 23);
+  m.FillUniform(rng, 3.0f);
+  const QuantizedMatrix q = QuantizeRowwise(m);
+  ASSERT_EQ(q.rows, m.rows());
+  ASSERT_EQ(q.cols, m.cols());
+  ASSERT_EQ(q.scales.size(), m.rows());
+  const Matrix deq = Dequantize(q);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    float row_max = 0.0f;
+    for (size_t c = 0; c < m.cols(); ++c) {
+      row_max = std::max(row_max, std::fabs(m[r * m.cols() + c]));
+    }
+    EXPECT_NEAR(q.scales[r], row_max / 127.0f, row_max * 1e-6f) << "row " << r;
+    for (size_t c = 0; c < m.cols(); ++c) {
+      // Symmetric round-to-nearest: at most half an LSB of error per entry.
+      EXPECT_LE(std::fabs(deq[r * m.cols() + c] - m[r * m.cols() + c]),
+                0.5f * q.scales[r] * (1.0f + 1e-5f))
+          << "entry " << r << "," << c;
+    }
+  }
+}
+
+TEST(QuantTest, QuantizeRowwiseZeroRowGetsUnitScale) {
+  Matrix m(2, 4);  // zero-initialized
+  m[4 + 1] = 0.5f;  // second row non-zero
+  const QuantizedMatrix q = QuantizeRowwise(m);
+  EXPECT_EQ(q.scales[0], 1.0f);
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(q.data[c], 0);
+  }
+  EXPECT_GT(q.scales[1], 0.0f);
+  const Matrix deq = Dequantize(q);
+  EXPECT_NEAR(deq[4 + 1], 0.5f, 0.5f * q.scales[1]);
+}
+
+TEST(QuantTest, QuantizedMatMulWithinAnalyticErrorEnvelope) {
+  // out ~= dequant(w) @ x. The weight error is already inside dequant(w)
+  // (exactly recoverable via Dequantize), so the remaining error per output
+  // element comes from activation quantization only:
+  //   |out[i,b] - (dequant(w) @ x)[i,b]| <= 0.5 * xscale_b * sum_c|wq[i,c]|
+  // with xscale_b = max_c|x[c,b]| / 127.
+  Rng rng(404);
+  for (const auto& dims : {std::array<size_t, 3>{7, 33, 5},
+                           std::array<size_t, 3>{16, 8, 1},
+                           std::array<size_t, 3>{1, 100, 4}}) {
+    const size_t n = dims[0], k = dims[1], m = dims[2];
+    Matrix w(n, k), x(k, m);
+    w.FillUniform(rng, 1.5f);
+    x.FillUniform(rng, 2.0f);
+    const QuantizedMatrix q = QuantizeRowwise(w);
+    const Matrix wq = Dequantize(q);
+    Matrix fp32;
+    MatMulInto(wq, x, fp32);
+    QuantScratch scratch;
+    Matrix out;
+    QuantizedMatMul(q, x, out, scratch);
+    ASSERT_EQ(out.rows(), n);
+    ASSERT_EQ(out.cols(), m);
+    for (size_t b = 0; b < m; ++b) {
+      float col_max = 0.0f;
+      for (size_t c = 0; c < k; ++c) {
+        col_max = std::max(col_max, std::fabs(x[c * m + b]));
+      }
+      const float xscale = col_max / 127.0f;
+      for (size_t i = 0; i < n; ++i) {
+        float w_mass = 0.0f;
+        for (size_t c = 0; c < k; ++c) {
+          w_mass += std::fabs(wq[i * k + c]);
+        }
+        const float bound = 0.5f * xscale * w_mass * 1.01f + 1e-5f;
+        EXPECT_LE(std::fabs(out[i * m + b] - fp32[i * m + b]), bound)
+            << n << "x" << k << "x" << m << " element " << i << "," << b;
+      }
+    }
+  }
+}
+
+TEST(QuantTest, WeightViewDispatchesToBothPrecisions) {
+  Rng rng(405);
+  Matrix w(6, 11), x(11, 3);
+  w.FillUniform(rng, 1.0f);
+  x.FillUniform(rng, 1.0f);
+  const QuantizedMatrix q = QuantizeRowwise(w);
+  QuantScratch scratch;
+
+  const WeightView fp_view = w;  // implicit conversion — the call-site idiom
+  ASSERT_TRUE(fp_view.valid());
+  EXPECT_FALSE(fp_view.quantized());
+  EXPECT_EQ(fp_view.rows(), w.rows());
+  Matrix via_view, direct;
+  WeightMatMul(fp_view, x, via_view, scratch);
+  MatMulInto(w, x, direct);
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(via_view[i], direct[i]) << "fp32 element " << i;
+  }
+
+  const WeightView q_view = q;
+  ASSERT_TRUE(q_view.valid());
+  EXPECT_TRUE(q_view.quantized());
+  Matrix via_q, direct_q;
+  WeightMatMul(q_view, x, via_q, scratch);
+  QuantizedMatMul(q, x, direct_q, scratch);
+  for (size_t i = 0; i < direct_q.size(); ++i) {
+    EXPECT_EQ(via_q[i], direct_q[i]) << "int8 element " << i;
+  }
+
+  const WeightView absent;  // default: "no skip connection"
+  EXPECT_FALSE(absent.valid());
+}
+
+// ---- fp16 checkpoint format (v2) ----
+
+ParameterStore MakeStore(uint64_t seed) {
+  ParameterStore store;
+  Rng rng(seed);
+  Matrix a(3, 4);
+  a.FillUniform(rng, 1.0f);
+  Matrix b(2, 1);
+  b.FillUniform(rng, 1.0f);
+  store.Create("layer.W", a);
+  store.Create("layer.b", b);
+  return store;
+}
+
+TEST(QuantTest, Fp16CheckpointRoundTripsWithinHalfPrecision) {
+  ParameterStore source = MakeStore(11);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveParametersFp16(source, buffer));
+
+  ParameterStore dest = MakeStore(12);
+  ASSERT_TRUE(LoadParameters(dest, buffer));
+  for (size_t e = 0; e < source.entries().size(); ++e) {
+    const Matrix& src = source.entries()[e].tensor.value();
+    const Matrix& got = dest.entries()[e].tensor.value();
+    ASSERT_TRUE(src.SameShape(got));
+    for (size_t i = 0; i < src.size(); ++i) {
+      // Loaded value is exactly the half-rounded source value.
+      EXPECT_EQ(got[i], HalfToFloat(FloatToHalf(src[i]))) << "element " << i;
+    }
+  }
+}
+
+TEST(QuantTest, Fp16CheckpointIsExactForHalfRoundedModels) {
+  // The ModelRegistry fp16 storage policy rounds parameters in place, so a
+  // v2 checkpoint of such a model round-trips BIT-EXACTLY.
+  ParameterStore source = MakeStore(13);
+  for (auto& entry : source.entries()) {
+    RoundMatrixToHalf(entry.tensor.mutable_value());
+  }
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveParametersFp16(source, buffer));
+  ParameterStore dest = MakeStore(14);
+  ASSERT_TRUE(LoadParameters(dest, buffer));
+  for (size_t e = 0; e < source.entries().size(); ++e) {
+    EXPECT_EQ(source.entries()[e].tensor.value(), dest.entries()[e].tensor.value());
+  }
+}
+
+TEST(QuantTest, Fp16CheckpointIsSmallerThanFp32) {
+  ParameterStore store = MakeStore(15);
+  std::stringstream v1, v2;
+  ASSERT_TRUE(SaveParameters(store, v1));
+  ASSERT_TRUE(SaveParametersFp16(store, v2));
+  EXPECT_LT(v2.str().size(), v1.str().size());
+}
+
+TEST(QuantTest, V1CheckpointsStillLoad) {
+  // Format compat: the fp32 writer and its reader are untouched by v2.
+  ParameterStore source = MakeStore(16);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveParameters(source, buffer));
+  ParameterStore dest = MakeStore(17);
+  ASSERT_TRUE(LoadParameters(dest, buffer));
+  for (size_t e = 0; e < source.entries().size(); ++e) {
+    EXPECT_EQ(source.entries()[e].tensor.value(), dest.entries()[e].tensor.value());
+  }
+}
+
+}  // namespace
+}  // namespace deeprest

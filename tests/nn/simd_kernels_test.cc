@@ -1,0 +1,395 @@
+// SIMD kernel contract tests, per ISA rung.
+//
+// The dispatch layer (src/nn/simd/dispatch.h) promises two tiers of numeric
+// fidelity, and these tests pin both on EVERY rung the host can execute:
+//
+//   * BIT-IDENTICAL to the tiled kernels: the mat-mat MatMul path,
+//     AccumulateATransposeB, and all element-wise kernels (Add, Axpby,
+//     Hadamard, GruBlend) keep each output element's reduction in ascending-k
+//     order with one rounding per multiply and per add — vector width changes
+//     which elements compute together, never how one element rounds.
+//   * ULP-BOUNDED: the m == 1 GEMV path and AccumulateABTranspose
+//     reassociate across lanes, so they are compared against an exact
+//     double-precision oracle under the standard reassociation bound
+//     |simd - exact| <= (k + 8) * eps * sum|terms|.
+//
+// kScalar is held to the stricter standard everywhere — it is bit-identical
+// to kTiled on ALL paths including GEMV and AccumulateABTranspose, which is
+// the property the ci.sh simd-off leg (DEEPREST_SIMD=scalar) relies on.
+//
+// Also here: the KernelMode round-trip property, ForceIsa ladder clamping,
+// SelectIsaFromSpec parsing, and exactness of the int8 GEMM across rungs.
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/matrix.h"
+#include "src/nn/rng.h"
+#include "src/nn/simd/dispatch.h"
+
+namespace deeprest {
+namespace {
+
+const simd::Isa kAllIsas[] = {simd::Isa::kScalar, simd::Isa::kAvx2,
+                              simd::Isa::kAvx512, simd::Isa::kNeon};
+
+std::vector<simd::Isa> SupportedIsas() {
+  std::vector<simd::Isa> out;
+  for (simd::Isa isa : kAllIsas) {
+    if (simd::IsaSupported(isa)) {
+      out.push_back(isa);
+    }
+  }
+  return out;
+}
+
+bool BitIdentical(const Matrix& a, const Matrix& b) {
+  return a.SameShape(b) &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+// a is (n x k), b is (k x m): covers 1x1, vector-lane remainders around the
+// 8/16-wide loops, the 4-row GEMV blocks, and shapes larger than one AVX-512
+// register on every axis.
+struct Shape {
+  size_t n, k, m;
+};
+const Shape kMatShapes[] = {{1, 1, 1},    {1, 7, 1},    {4, 8, 1},  {5, 9, 3},
+                            {3, 33, 2},   {16, 256, 1}, {13, 13, 13},
+                            {12, 12, 16}, {32, 17, 6},  {2, 1, 2},  {7, 64, 31},
+                            {1, 100, 1},  {9, 40, 1}};
+
+// Restores global dispatch state no matter how a test exits.
+class SimdKernelsTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    simd::ResetIsa();
+    SetKernelMode(KernelMode::kTiled);
+  }
+};
+
+TEST_F(SimdKernelsTest, MatMatMatMulBitIdenticalToTiledOnEveryIsa) {
+  Rng rng(301);
+  for (const Shape& s : kMatShapes) {
+    if (s.m == 1) {
+      continue;  // GEMV path is ULP-bounded, tested below
+    }
+    Matrix a(s.n, s.k), b(s.k, s.m), tiled;
+    a.FillUniform(rng, 1.0f);
+    b.FillUniform(rng, 1.0f);
+    SetKernelMode(KernelMode::kTiled);
+    MatMulInto(a, b, tiled);
+    for (simd::Isa isa : SupportedIsas()) {
+      ASSERT_EQ(simd::ForceIsa(isa), isa);
+      Matrix out(s.n, s.m);
+      simd::MatMul(a.data(), b.data(), out.data(), s.n, s.k, s.m);
+      EXPECT_TRUE(BitIdentical(out, tiled))
+          << simd::IsaName(isa) << " " << s.n << "x" << s.k << "*" << s.k << "x" << s.m;
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, GemvUlpBoundedOnEveryIsa) {
+  Rng rng(302);
+  for (const Shape& s : kMatShapes) {
+    if (s.m != 1) {
+      continue;
+    }
+    Matrix a(s.n, s.k), b(s.k, 1);
+    a.FillUniform(rng, 1.0f);
+    b.FillUniform(rng, 1.0f);
+    // Exact oracle in double; the float results may reassociate lanes.
+    std::vector<double> exact(s.n, 0.0);
+    std::vector<double> term_mass(s.n, 0.0);
+    for (size_t i = 0; i < s.n; ++i) {
+      for (size_t c = 0; c < s.k; ++c) {
+        const double t = static_cast<double>(a[i * s.k + c]) * b[c];
+        exact[i] += t;
+        term_mass[i] += std::fabs(t);
+      }
+    }
+    const double eps = 1.1920929e-7;  // 2^-23
+    for (simd::Isa isa : SupportedIsas()) {
+      ASSERT_EQ(simd::ForceIsa(isa), isa);
+      Matrix out(s.n, 1);
+      simd::MatMul(a.data(), b.data(), out.data(), s.n, s.k, 1);
+      for (size_t i = 0; i < s.n; ++i) {
+        const double bound = (static_cast<double>(s.k) + 8.0) * eps * term_mass[i] + 1e-12;
+        EXPECT_LE(std::fabs(out[i] - exact[i]), bound)
+            << simd::IsaName(isa) << " row " << i << " of " << s.n << "x" << s.k;
+      }
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, AccumulateATransposeBBitIdenticalToTiledOnEveryIsa) {
+  Rng rng(303);
+  for (const Shape& s : kMatShapes) {
+    // out(p x q) += a(n x p)^T * b(n x q): reuse the grid as n=k, p=n, q=m.
+    const size_t n = s.k, p = s.n, q = s.m;
+    Matrix a(n, p), b(n, q), seed(p, q);
+    a.FillUniform(rng, 1.0f);
+    b.FillUniform(rng, 1.0f);
+    seed.FillUniform(rng, 1.0f);
+    Matrix tiled = seed;
+    SetKernelMode(KernelMode::kTiled);
+    AccumulateATransposeB(a, b, tiled);
+    for (simd::Isa isa : SupportedIsas()) {
+      ASSERT_EQ(simd::ForceIsa(isa), isa);
+      Matrix out = seed;
+      simd::AccumulateATransposeB(a.data(), b.data(), out.data(), n, p, q);
+      EXPECT_TRUE(BitIdentical(out, tiled))
+          << simd::IsaName(isa) << " n=" << n << " p=" << p << " q=" << q;
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, AccumulateABTransposeUlpBoundedOnEveryIsa) {
+  Rng rng(304);
+  for (const Shape& s : kMatShapes) {
+    // out(n x m) += a(n x k') * b(m x k')^T with k' = reduction length.
+    const size_t n = s.n, red = s.m == 1 ? s.k : s.m, m = s.k;
+    Matrix a(n, red), b(m, red), seed(n, m);
+    a.FillUniform(rng, 1.0f);
+    b.FillUniform(rng, 1.0f);
+    seed.FillUniform(rng, 1.0f);
+    std::vector<double> exact(n * m), term_mass(n * m);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < m; ++j) {
+        double acc = seed[i * m + j];
+        double mass = std::fabs(acc);
+        for (size_t c = 0; c < red; ++c) {
+          const double t = static_cast<double>(a[i * red + c]) * b[j * red + c];
+          acc += t;
+          mass += std::fabs(t);
+        }
+        exact[i * m + j] = acc;
+        term_mass[i * m + j] = mass;
+      }
+    }
+    const double eps = 1.1920929e-7;
+    for (simd::Isa isa : SupportedIsas()) {
+      ASSERT_EQ(simd::ForceIsa(isa), isa);
+      Matrix out = seed;
+      simd::AccumulateABTranspose(a.data(), b.data(), out.data(), n, red, m);
+      for (size_t i = 0; i < out.size(); ++i) {
+        const double bound = (static_cast<double>(red) + 8.0) * eps * term_mass[i] + 1e-12;
+        EXPECT_LE(std::fabs(out[i] - exact[i]), bound)
+            << simd::IsaName(isa) << " element " << i;
+      }
+    }
+  }
+}
+
+// The portable fallback is bit-identical to kTiled on the REASSOCIATING
+// paths too (GEMV, AccumulateABTranspose) — it re-states the tiled loops
+// verbatim. The ci.sh simd-off leg (DEEPREST_SIMD=scalar) pins exactly this.
+TEST_F(SimdKernelsTest, ScalarIsaBitIdenticalToTiledOnReassociatingPaths) {
+  Rng rng(305);
+  ASSERT_EQ(simd::ForceIsa(simd::Isa::kScalar), simd::Isa::kScalar);
+  for (const Shape& s : kMatShapes) {
+    Matrix a(s.n, s.k), b(s.k, 1), tiled;
+    a.FillUniform(rng, 1.0f);
+    b.FillUniform(rng, 1.0f);
+    SetKernelMode(KernelMode::kTiled);
+    MatMulInto(a, b, tiled);
+    Matrix out(s.n, 1);
+    simd::MatMul(a.data(), b.data(), out.data(), s.n, s.k, 1);
+    EXPECT_TRUE(BitIdentical(out, tiled)) << "gemv " << s.n << "x" << s.k;
+
+    Matrix g(s.n, s.m), w(s.k, s.m), seed(s.n, s.k);
+    g.FillUniform(rng, 1.0f);
+    w.FillUniform(rng, 1.0f);
+    seed.FillUniform(rng, 1.0f);
+    Matrix tiled_acc = seed, scalar_acc = seed;
+    AccumulateABTranspose(g, w, tiled_acc);
+    simd::AccumulateABTranspose(g.data(), w.data(), scalar_acc.data(), s.n, s.m, s.k);
+    EXPECT_TRUE(BitIdentical(scalar_acc, tiled_acc))
+        << "accabt " << s.n << "x" << s.m << " * (" << s.k << "x" << s.m << ")^T";
+  }
+}
+
+TEST_F(SimdKernelsTest, ElementwiseKernelsBitExactOnEveryIsa) {
+  Rng rng(306);
+  // Sizes straddling the 8- and 16-lane boundaries plus ragged tails.
+  for (size_t n : {1u, 7u, 8u, 9u, 15u, 16u, 17u, 100u, 1037u}) {
+    Matrix a(1, n), b(1, n), c(1, n);
+    a.FillUniform(rng, 1.0f);
+    b.FillUniform(rng, 1.0f);
+    c.FillUniform(rng, 1.0f);
+    const float scale = 0.37f;
+    std::vector<float> add(n), axpby(n), had(n), blend(n);
+    for (size_t i = 0; i < n; ++i) {
+      add[i] = a[i] + b[i];
+      axpby[i] = a[i] + scale * b[i];
+      had[i] = a[i] * b[i];
+      const float omz = -1.0f * a[i] + 1.0f;  // the documented GRU blend sequence
+      blend[i] = a[i] * b[i] + omz * c[i];
+    }
+    for (simd::Isa isa : SupportedIsas()) {
+      ASSERT_EQ(simd::ForceIsa(isa), isa);
+      std::vector<float> out(n);
+      simd::Add(a.data(), b.data(), out.data(), n);
+      EXPECT_EQ(std::memcmp(out.data(), add.data(), n * sizeof(float)), 0)
+          << simd::IsaName(isa) << " Add n=" << n;
+      simd::Axpby(a.data(), b.data(), scale, out.data(), n);
+      EXPECT_EQ(std::memcmp(out.data(), axpby.data(), n * sizeof(float)), 0)
+          << simd::IsaName(isa) << " Axpby n=" << n;
+      simd::Hadamard(a.data(), b.data(), out.data(), n);
+      EXPECT_EQ(std::memcmp(out.data(), had.data(), n * sizeof(float)), 0)
+          << simd::IsaName(isa) << " Hadamard n=" << n;
+      simd::GruBlend(a.data(), b.data(), c.data(), out.data(), n);
+      EXPECT_EQ(std::memcmp(out.data(), blend.data(), n * sizeof(float)), 0)
+          << simd::IsaName(isa) << " GruBlend n=" << n;
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, AxpbyIsInPlaceSafe) {
+  // BatchedAttention accumulates with out == a; lanes never overlap, so the
+  // in-place call must match the out-of-place one bit-for-bit.
+  Rng rng(307);
+  for (simd::Isa isa : SupportedIsas()) {
+    ASSERT_EQ(simd::ForceIsa(isa), isa);
+    Matrix a(1, 100), b(1, 100);
+    a.FillUniform(rng, 1.0f);
+    b.FillUniform(rng, 1.0f);
+    std::vector<float> separate(100);
+    simd::Axpby(a.data(), b.data(), 0.5f, separate.data(), 100);
+    simd::Axpby(a.data(), b.data(), 0.5f, a.data(), 100);  // in place
+    EXPECT_EQ(std::memcmp(a.data(), separate.data(), 100 * sizeof(float)), 0)
+        << simd::IsaName(isa);
+  }
+}
+
+TEST_F(SimdKernelsTest, Int8MatMulExactAcrossIsas) {
+  // int32 accumulation never rounds, so every rung must produce the same
+  // result as a plain int64 scalar model of the kernel.
+  Rng rng(308);
+  for (const Shape& s : kMatShapes) {
+    std::vector<int8_t> w8(s.n * s.k), x8(s.m * s.k);
+    std::vector<float> wscale(s.n), xscale(s.m);
+    for (auto& v : w8) {
+      v = static_cast<int8_t>(rng.Uniform(-127.0, 128.0));
+    }
+    for (auto& v : x8) {
+      v = static_cast<int8_t>(rng.Uniform(-127.0, 128.0));
+    }
+    for (auto& v : wscale) {
+      v = static_cast<float>(rng.Uniform(0.001, 1.0));
+    }
+    for (auto& v : xscale) {
+      v = static_cast<float>(rng.Uniform(0.001, 1.0));
+    }
+    std::vector<float> expected(s.n * s.m);
+    for (size_t i = 0; i < s.n; ++i) {
+      for (size_t b = 0; b < s.m; ++b) {
+        int32_t acc = 0;
+        for (size_t c = 0; c < s.k; ++c) {
+          acc += static_cast<int32_t>(w8[i * s.k + c]) * x8[b * s.k + c];
+        }
+        // Matches the kernels' epilogue association exactly:
+        // float(acc) * (wscale * xscale).
+        expected[i * s.m + b] = static_cast<float>(acc) * (wscale[i] * xscale[b]);
+      }
+    }
+    for (simd::Isa isa : SupportedIsas()) {
+      ASSERT_EQ(simd::ForceIsa(isa), isa);
+      std::vector<float> out(s.n * s.m);
+      simd::Int8MatMul(w8.data(), wscale.data(), x8.data(), xscale.data(), out.data(),
+                       s.n, s.k, s.m);
+      for (size_t i = 0; i < out.size(); ++i) {
+        // The int32 sum is exact; only the two scale multiplies round, and
+        // they round identically on every rung.
+        EXPECT_EQ(out[i], expected[i])
+            << simd::IsaName(isa) << " element " << i << " shape " << s.n << "x"
+            << s.k << "x" << s.m;
+      }
+    }
+  }
+}
+
+// ---- mode / dispatch state machine ----
+
+TEST_F(SimdKernelsTest, KernelModeRoundTripsAllModes) {
+  for (KernelMode mode :
+       {KernelMode::kReference, KernelMode::kSimd, KernelMode::kTiled}) {
+    SetKernelMode(mode);
+    EXPECT_EQ(GetKernelMode(), mode);
+  }
+  // And the setting is sticky across unrelated kernel invocations.
+  SetKernelMode(KernelMode::kSimd);
+  Rng rng(309);
+  Matrix a(3, 5), b(5, 2), out;
+  a.FillUniform(rng, 1.0f);
+  b.FillUniform(rng, 1.0f);
+  MatMulInto(a, b, out);
+  EXPECT_EQ(GetKernelMode(), KernelMode::kSimd);
+}
+
+TEST_F(SimdKernelsTest, SimdModeRoutesMatMulThroughDispatch) {
+  Rng rng(310);
+  Matrix a(6, 9), b(9, 4), via_mode;
+  a.FillUniform(rng, 1.0f);
+  b.FillUniform(rng, 1.0f);
+  SetKernelMode(KernelMode::kSimd);
+  MatMulInto(a, b, via_mode);
+  Matrix direct(6, 4);
+  simd::MatMul(a.data(), b.data(), direct.data(), 6, 9, 4);
+  EXPECT_TRUE(BitIdentical(via_mode, direct));
+}
+
+TEST_F(SimdKernelsTest, ForceIsaAlwaysLandsOnASupportedRung) {
+  for (simd::Isa wanted : kAllIsas) {
+    const simd::Isa got = simd::ForceIsa(wanted);
+    EXPECT_TRUE(simd::IsaSupported(got)) << simd::IsaName(wanted);
+    EXPECT_EQ(got, simd::ActiveIsa()) << simd::IsaName(wanted);
+    if (simd::IsaSupported(wanted)) {
+      EXPECT_EQ(got, wanted) << simd::IsaName(wanted);
+    }
+  }
+  // kScalar is the ladder floor: it must always be grantable verbatim.
+  EXPECT_EQ(simd::ForceIsa(simd::Isa::kScalar), simd::Isa::kScalar);
+#if defined(__x86_64__) || defined(__i386__)
+  // Cross-architecture request: NEON on x86 falls cleanly to the floor.
+  EXPECT_EQ(simd::ForceIsa(simd::Isa::kNeon), simd::Isa::kScalar);
+#endif
+}
+
+TEST_F(SimdKernelsTest, SelectIsaFromSpecParsesAndClamps) {
+  EXPECT_TRUE(simd::SelectIsaFromSpec("scalar"));
+  EXPECT_EQ(simd::ActiveIsa(), simd::Isa::kScalar);
+  EXPECT_TRUE(simd::SelectIsaFromSpec("auto"));
+  EXPECT_EQ(simd::ActiveIsa(), simd::BestSupportedIsa());
+  // Named rungs clamp down the ladder rather than failing.
+  EXPECT_TRUE(simd::SelectIsaFromSpec("avx512"));
+  EXPECT_TRUE(simd::IsaSupported(simd::ActiveIsa()));
+  // Unknown specs leave the selection untouched.
+  const simd::Isa before = simd::ActiveIsa();
+  EXPECT_FALSE(simd::SelectIsaFromSpec("quantum"));
+  EXPECT_EQ(simd::ActiveIsa(), before);
+  EXPECT_FALSE(simd::SelectIsaFromSpec(""));
+  EXPECT_EQ(simd::ActiveIsa(), before);
+}
+
+TEST_F(SimdKernelsTest, ResetIsaReturnsToDefault) {
+  simd::ForceIsa(simd::Isa::kScalar);
+  ASSERT_EQ(simd::ActiveIsa(), simd::Isa::kScalar);
+  simd::ResetIsa();
+  // No DEEPREST_SIMD in the test environment -> best supported rung. (When
+  // CI sets DEEPREST_SIMD=scalar, best == scalar is exactly what it pins.)
+  const char* env = std::getenv("DEEPREST_SIMD");
+  if (env == nullptr || std::string(env) == "auto") {
+    EXPECT_EQ(simd::ActiveIsa(), simd::BestSupportedIsa());
+  } else {
+    EXPECT_TRUE(simd::IsaSupported(simd::ActiveIsa()));
+  }
+}
+
+}  // namespace
+}  // namespace deeprest

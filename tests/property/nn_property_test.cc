@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include "src/nn/layers.h"
+#include "src/nn/matrix.h"
 #include "src/nn/optimizer.h"
 #include "src/nn/rng.h"
+#include "src/nn/simd/dispatch.h"
 #include "tests/testing/gradcheck.h"
 
 namespace deeprest {
@@ -148,6 +150,57 @@ TEST_P(ClipSweep, PostClipNormNeverExceedsThreshold) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Thresholds, ClipSweep, ::testing::Values(0.1f, 1.0f, 5.0f, 100.0f));
+
+// ---- Kernel-mode lifecycle across random mode/ISA sequences ----
+
+// A fixture-level guard: every test leaves the process-global kernel state
+// as it found it, whatever the random walk did.
+class KernelModeWalk : public ::testing::TestWithParam<int> {
+ protected:
+  void TearDown() override {
+    simd::ResetIsa();
+    SetKernelMode(KernelMode::kTiled);
+  }
+};
+
+TEST_P(KernelModeWalk, RandomModeAndIsaSequencesKeepInvariants) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const KernelMode modes[] = {KernelMode::kTiled, KernelMode::kReference, KernelMode::kSimd};
+  const simd::Isa rungs[] = {simd::Isa::kScalar, simd::Isa::kAvx2, simd::Isa::kAvx512,
+                             simd::Isa::kNeon};
+  Matrix a(5, 9), b(9, 3), tiled_out, walk_out;
+  a.FillUniform(rng, 1.0f);
+  b.FillUniform(rng, 1.0f);
+  SetKernelMode(KernelMode::kTiled);
+  MatMulInto(a, b, tiled_out);
+
+  for (int step = 0; step < 64; ++step) {
+    const KernelMode mode = modes[static_cast<size_t>(rng.Uniform(0.0, 3.0))];
+    SetKernelMode(mode);
+    // Round-trip: the setter is the only writer, so the getter must agree.
+    EXPECT_EQ(GetKernelMode(), mode);
+
+    const simd::Isa forced = rungs[static_cast<size_t>(rng.Uniform(0.0, 4.0))];
+    simd::ForceIsa(forced);
+    // Fallback: whatever was requested, the active rung is one the host
+    // can execute — an unsupported force clamps down the ladder instead of
+    // selecting an illegal-instruction kernel table.
+    EXPECT_TRUE(simd::IsaSupported(simd::ActiveIsa()));
+    EXPECT_LE(static_cast<int>(simd::ActiveIsa()), static_cast<int>(simd::BestSupportedIsa()));
+
+    // And the selected configuration actually computes: the bit-exactness
+    // contract holds for the mat-mat path in every mode on every rung.
+    MatMulInto(a, b, walk_out);
+    if (mode != KernelMode::kReference) {
+      for (size_t i = 0; i < tiled_out.size(); ++i) {
+        ASSERT_EQ(walk_out[i], tiled_out[i]) << "mode " << static_cast<int>(mode) << " isa "
+                                             << simd::IsaName(simd::ActiveIsa());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelModeWalk, ::testing::Values(1, 7, 42, 1337));
 
 }  // namespace
 }  // namespace deeprest

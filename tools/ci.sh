@@ -2,13 +2,15 @@
 # DeepRest CI: every enforcement layer in one script, fastest legs first.
 #
 #   1. tier-1      — default build, full test suite (the gate every PR must hold)
-#   2. resilience  — self-healing suite by label (ctest -L resilience: health
+#   2. simd-off    — kernel + quantization suites with SIMD force-disabled
+#                    (DEEPREST_SIMD=scalar): the portable fallback path can't rot
+#   3. resilience  — self-healing suite by label (ctest -L resilience: health
 #                    registry, watchdog restarts, breakers, hedging, chaos
 #                    schedules; rides the chaos label into the sanitizer legs)
-#   3. lint        — invariant linter over src/ + its rule fixtures (ctest -L lint)
-#   4. tsa         — Clang Thread Safety Analysis as errors (skipped without clang++)
-#   5. tsan        — chaos/serve/resilience/parallel suite under ThreadSanitizer
-#   6. asan        — same suite under ASan+UBSan
+#   4. lint        — invariant linter over src/ + its rule fixtures (ctest -L lint)
+#   5. tsa         — Clang Thread Safety Analysis as errors (skipped without clang++)
+#   6. tsan        — chaos/serve/resilience/parallel suite under ThreadSanitizer
+#   7. asan        — chaos suite + the quantization accuracy budget under ASan+UBSan
 #
 # Usage: tools/ci.sh [--quick]
 #   --quick stops after the lint leg (pre-push sanity; sanitizer legs are the
@@ -21,7 +23,7 @@ QUICK=0
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/6] tier-1: default build + full test suite"
+echo "==> [1/7] tier-1: default build + full test suite"
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
@@ -30,17 +32,25 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 # ASan legs below).
 ctest --test-dir build --output-on-failure -L autoscale
 
-echo "==> [2/6] resilience: self-healing suite by label"
+echo "==> [2/7] simd-off: kernel + quantization suites on the portable fallback"
+# DEEPREST_SIMD=scalar pins the dispatch ladder to the portable rung, so the
+# scalar kernel table (the path every non-x86/pre-AVX2 host runs) is executed
+# by the same tests that gate the vector paths. The simd tests themselves
+# verify the forced-rung semantics (ResetIsa honors the env var).
+DEEPREST_SIMD=scalar ctest --test-dir build --output-on-failure \
+  -R 'nn_tests|quantized_tests|core_tests|property_tests'
+
+echo "==> [3/7] resilience: self-healing suite by label"
 # Supported entry point for the supervision layer (watchdog restarts, hedged
 # requests, chaos schedules, the resilience bench smoke); the same tests also
 # carry the chaos label, so the sanitizer legs below re-run them under TSan
 # and ASan.
 ctest --test-dir build --output-on-failure -L resilience
 
-echo "==> [3/6] lint: invariant linter over src/ + rule fixtures"
+echo "==> [4/7] lint: invariant linter over src/ + rule fixtures"
 ctest --preset lint -j "$JOBS"
 
-echo "==> [4/6] tsa: Clang thread-safety analysis (compile-only gate)"
+echo "==> [5/7] tsa: Clang thread-safety analysis (compile-only gate)"
 if command -v clang++ >/dev/null 2>&1; then
   cmake --preset lint >/dev/null
   cmake --build --preset lint -j "$JOBS"
@@ -53,14 +63,18 @@ if [[ "$QUICK" == "1" ]]; then
   exit 0
 fi
 
-echo "==> [5/6] tsan: chaos suite under ThreadSanitizer"
+echo "==> [6/7] tsan: chaos suite under ThreadSanitizer"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$JOBS"
 ctest --preset chaos-tsan -j "$JOBS"
 
-echo "==> [6/6] asan: chaos suite under ASan+UBSan"
+echo "==> [7/7] asan: chaos suite + quantization accuracy budget under ASan+UBSan"
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "$JOBS"
 ctest --preset chaos-asan -j "$JOBS"
+# The int8/fp16 accuracy budget under ASan: the quantized inference path
+# exercises the packed-activation scratch buffers and the simd dispatch
+# tables, exactly where an out-of-bounds pack/load would hide.
+ctest --test-dir build-asan --output-on-failure -R 'quantized_tests|nn_tests'
 
 echo "==> CI green"

@@ -77,6 +77,8 @@
 #include "src/eval/ascii.h"
 #include "src/eval/autoscale_harness.h"
 #include "src/eval/harness.h"
+#include "src/nn/matrix.h"
+#include "src/nn/simd/dispatch.h"
 #include "src/serve/checkpoint.h"
 #include "src/serve/continual_learner.h"
 #include "src/serve/estimation_service.h"
@@ -140,6 +142,44 @@ HarnessConfig ConfigFrom(const CliArgs& args) {
   config.estimator.hidden_dim = args.GetSize("hidden", 12);
   config.estimator.epochs = args.GetSize("epochs", 12);
   return config;
+}
+
+const char* KernelModeName(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kTiled:
+      return "tiled";
+    case KernelMode::kReference:
+      return "reference";
+    case KernelMode::kSimd:
+      return "simd";
+  }
+  return "unknown";
+}
+
+// Global kernel backend selection, shared by every command:
+// --kernel-mode=tiled|simd|reference picks the GEMM/element-wise backend;
+// --isa=auto|scalar|avx2|avx512|neon pins the simd rung (clamped down the
+// ladder when unsupported; DEEPREST_SIMD is the env-var spelling).
+bool ApplyKernelFlags(const CliArgs& args) {
+  const std::string mode = args.Get("kernel-mode", "");
+  if (!mode.empty()) {
+    if (mode == "tiled") {
+      SetKernelMode(KernelMode::kTiled);
+    } else if (mode == "simd") {
+      SetKernelMode(KernelMode::kSimd);
+    } else if (mode == "reference") {
+      SetKernelMode(KernelMode::kReference);
+    } else {
+      std::fprintf(stderr, "bad --kernel-mode=%s (tiled|simd|reference)\n", mode.c_str());
+      return false;
+    }
+  }
+  const std::string isa = args.Get("isa", "");
+  if (!isa.empty() && !simd::SelectIsaFromSpec(isa)) {
+    std::fprintf(stderr, "bad --isa=%s (auto|scalar|avx2|avx512|neon)\n", isa.c_str());
+    return false;
+  }
+  return true;
 }
 
 ShapeKind ShapeFrom(const CliArgs& args) {
@@ -343,7 +383,13 @@ int CmdServe(const CliArgs& args) {
   // harness's freshly trained one.
   std::printf("Preparing initial model...\n");
   const std::string checkpoint_path = args.Get("checkpoint", "");
+  const bool quantized = args.Get("quantized", "") == "1";
   ModelRegistry registry;
+  // fp16 storage applies to every model that passes through a mutable
+  // publication path (the initial fresh model and each continual-learner
+  // refresh). A recovered checkpoint is already immutable and keeps the
+  // precision it was saved with.
+  registry.SetFp16Storage(args.Get("fp16-registry", "") == "1");
   std::shared_ptr<const DeepRestEstimator> initial;
   size_t start_window = live.from;
   if (!checkpoint_path.empty()) {
@@ -371,6 +417,12 @@ int CmdServe(const CliArgs& args) {
     } else {
       fresh = harness.deeprest().Clone();
     }
+    if (quantized) {
+      // Clone() copies the config, so every continual-learner refresh
+      // inherits int8 inference automatically.
+      fresh->SetQuantizedInference(true);
+    }
+    registry.ApplyStoragePolicy(*fresh);
     initial = std::shared_ptr<const DeepRestEstimator>(std::move(fresh));
     registry.Publish(initial);
   }
@@ -443,6 +495,13 @@ int CmdServe(const CliArgs& args) {
     watchdog.Start();
   }
 
+  // Deployment verification row: what this process actually selected, not
+  // what was requested (a forced ISA clamps down the ladder when the host
+  // lacks it).
+  std::printf("Kernels: mode=%s isa=%s (host best: %s)%s%s\n",
+              KernelModeName(GetKernelMode()), simd::IsaName(simd::ActiveIsa()),
+              simd::IsaName(simd::BestSupportedIsa()), quantized ? " int8-inference" : "",
+              registry.fp16_storage() ? " fp16-storage" : "");
   std::printf("Serving %zu live windows with %zu workers (batch %zu)...\n",
               live.to - live.from, service_config.workers, service_config.max_batch);
 
@@ -745,11 +804,15 @@ int Usage() {
                "           [--supervise=0|1] [--hedge=1]\n"
                "           [--max-queue=N] [--shed-policy=reject-new|drop-oldest]\n"
                "           [--deadline-ms=N] [--retries=N] [--checkpoint=FILE]\n"
+               "           [--quantized=1] [--fp16-registry=1]\n"
                "  autoscale [--policy=reactive|predictive|oracle|all]\n"
                "           [--scenario=diurnal|flash_crowd|api_mix_drift|all]\n"
                "           [--scenario-days=N] [--scale=X] [--capacity=CPU]\n"
                "           [--interval=N] [--gap=P]\n"
-               "  demo     end-to-end tour on the social network\n");
+               "  demo     end-to-end tour on the social network\n"
+               "global flags (all commands):\n"
+               "  --kernel-mode=tiled|simd|reference   GEMM / element-wise backend\n"
+               "  --isa=auto|scalar|avx2|avx512|neon   simd rung (DEEPREST_SIMD env var)\n");
   return 2;
 }
 
@@ -758,6 +821,9 @@ int Usage() {
 
 int main(int argc, char** argv) {
   const deeprest::CliArgs args = deeprest::Parse(argc, argv);
+  if (!deeprest::ApplyKernelFlags(args)) {
+    return 2;
+  }
   if (args.command == "train") {
     return deeprest::CmdTrain(args);
   }

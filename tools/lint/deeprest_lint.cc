@@ -41,6 +41,14 @@
 //                           heartbeats reads as permanently stalled to the
 //                           Watchdog, and a loop nobody supervises is a
 //                           silent-death waiting to happen.
+//   intrinsics-only-in-simd raw SIMD intrinsics (`_mm*`, `__m128/256/512*`,
+//                           NEON `vld1q*`-family calls) or an
+//                           immintrin.h/arm_neon.h include outside
+//                           src/nn/simd/: vector code scattered through the
+//                           tree bypasses the runtime ISA dispatcher, breaks
+//                           the scalar fallback build, and dodges the
+//                           bit-exactness tests that gate every kernel. All
+//                           intrinsics live behind src/nn/simd/dispatch.h.
 //
 // Escapes, in order of preference:
 //   * `// deeprest-lint: allow(<rule>[, <rule>...])` on the offending line
@@ -580,6 +588,70 @@ void CheckHeartbeatOnLoop(const std::string& path, const FileScan& scan, Linter&
 }
 
 // --------------------------------------------------------------------------
+// Rule: intrinsics-only-in-simd
+// --------------------------------------------------------------------------
+bool IsSimdPath(const std::string& path) {
+  return path.find("src/nn/simd/") != std::string::npos ||
+         path.find("src\\nn\\simd\\") != std::string::npos;
+}
+
+bool IsSimdIntrinsicToken(const std::string& s) {
+  // x86: _mm_*, _mm256_*, _mm512_* calls; __m128/__m256i/__m512d vector
+  // types; AVX-512 __mmask* predicate types.
+  if (s.rfind("_mm", 0) == 0) {
+    return true;
+  }
+  if (s.rfind("__mmask", 0) == 0) {
+    return true;
+  }
+  if (s.rfind("__m", 0) == 0 && s.size() > 3 &&
+      std::isdigit(static_cast<unsigned char>(s[3]))) {
+    return true;
+  }
+  // NEON: the load/store/arithmetic families used by vector kernels. Prefix
+  // match so lane-width suffixes (vld1q_f32, vfmaq_laneq_f32, ...) all hit.
+  for (const char* prefix : {"vld1", "vst1", "vfmaq", "vmlaq", "vaddq", "vmulq",
+                             "vsubq", "vdupq", "vmull", "vpadalq", "vgetq",
+                             "vcvt_f64_f32", "vcvt_f32_f64"}) {
+    if (s.rfind(prefix, 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CheckIntrinsicsOnlyInSimd(const std::string& path, const FileScan& scan,
+                               Linter& lint) {
+  if (IsSimdPath(path)) {
+    return;
+  }
+  const auto& t = scan.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (IsSimdIntrinsicToken(t[i].text)) {
+      lint.Report("intrinsics-only-in-simd", path, t[i].line,
+                  "raw SIMD intrinsic `" + t[i].text + "` outside src/nn/simd/ "
+                  "— route vector code through simd::* (src/nn/simd/dispatch.h) "
+                  "so the runtime ISA dispatcher, the scalar fallback, and the "
+                  "bit-exactness tests all cover it",
+                  scan);
+    }
+  }
+  for (size_t i = 0; i < scan.pp_lines.size(); ++i) {
+    const std::string& pp = scan.pp_lines[i];
+    for (const char* header : {"immintrin.h", "arm_neon.h", "xmmintrin.h",
+                               "emmintrin.h", "avxintrin.h"}) {
+      if (pp.find(header) != std::string::npos) {
+        lint.Report("intrinsics-only-in-simd", path, scan.pp_line_numbers[i],
+                    std::string("#include <") + header + "> outside "
+                    "src/nn/simd/ — intrinsics headers (and the code that "
+                    "needs them) belong behind the dispatch layer",
+                    scan);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
 
 int LintFile(const std::filesystem::path& file, Linter& lint) {
   std::ifstream in(file, std::ios::binary);
@@ -598,6 +670,7 @@ int LintFile(const std::filesystem::path& file, Linter& lint) {
   CheckMutexGuardedBy(path, scan, lint);
   CheckDetachedThreads(path, scan, lint);
   CheckHeartbeatOnLoop(path, scan, lint);
+  CheckIntrinsicsOnlyInSimd(path, scan, lint);
   return 0;
 }
 
