@@ -300,8 +300,15 @@ EstimateMap DeepRestEstimator::EstimateFromFeatures(
 
 std::vector<EstimateMap> DeepRestEstimator::EstimateFromFeaturesBatch(
     const std::vector<const std::vector<std::vector<float>>*>& batch) const {
+  return EstimateFromFeaturesBatchResume(batch, {});
+}
+
+std::vector<EstimateMap> DeepRestEstimator::EstimateFromFeaturesBatchResume(
+    const std::vector<const std::vector<std::vector<float>>*>& batch,
+    const std::vector<StreamCursor*>& cursors) const {
   assert(trained());
   assert(warm_hidden_.size() == experts_.size());
+  assert(cursors.empty() || cursors.size() == batch.size());
 
   std::vector<EstimateMap> results(batch.size());
   // Live queries, longest first: as shorter queries finish, the still-active
@@ -339,19 +346,44 @@ std::vector<EstimateMap> DeepRestEstimator::EstimateFromFeaturesBatch(
   const size_t max_len = batch[order[0]]->size();
 
   // Every column starts from the warm-start hidden state cached at train /
-  // load time — no per-call replay of learn_features_.
+  // load time — no per-call replay of learn_features_ — unless the query
+  // carries a continuation cursor, which seeds the column with the stream's
+  // saved hidden state instead (raw float bits, so a resumed series is
+  // bit-identical to an unsplit one).
+  auto cursor_for = [&](size_t b) -> StreamCursor* {
+    return cursors.empty() ? nullptr : cursors[order[b]];
+  };
   std::vector<Matrix> hidden(e);
   std::vector<Matrix> hidden_next(e);
   for (size_t i = 0; i < e; ++i) {
     hidden[i].SetShape(hd, active);
     for (size_t r = 0; r < hd; ++r) {
-      const float v = warm_hidden_[i][r];
+      const float warm = warm_hidden_[i][r];
       float* row = hidden[i].data() + r * active;
       for (size_t b = 0; b < active; ++b) {
-        row[b] = v;
+        const StreamCursor* cursor = cursor_for(b);
+        row[b] = (cursor != nullptr && cursor->hidden.size() == e * hd)
+                     ? cursor->hidden[i * hd + r]
+                     : warm;
       }
     }
   }
+  // Writes column b's final hidden state back into its cursor. Called once
+  // per cursor-carrying column, at retirement or at end of pass — always
+  // AFTER the column's last GRU step and BEFORE ShrinkColumns discards it.
+  auto export_column = [&](size_t b) {
+    StreamCursor* cursor = cursor_for(b);
+    if (cursor == nullptr) {
+      return;
+    }
+    cursor->hidden.resize(e * hd);
+    for (size_t i = 0; i < e; ++i) {
+      for (size_t r = 0; r < hd; ++r) {
+        cursor->hidden[i * hd + r] = hidden[i].At(r, b);
+      }
+    }
+    cursor->steps += batch[order[b]]->size();
+  };
 
   Matrix masked_alpha;  // alpha . diag mask, constant across steps
   if (config_.use_attention) {
@@ -371,10 +403,14 @@ std::vector<EstimateMap> DeepRestEstimator::EstimateFromFeaturesBatch(
     while (still > 0 && batch[order[still - 1]]->size() <= t) {
       --still;
     }
-    if (still == 0) {
-      break;
-    }
     if (still != active) {
+      for (size_t b = still; b < active; ++b) {
+        export_column(b);
+      }
+      if (still == 0) {
+        active = 0;
+        break;
+      }
       for (size_t i = 0; i < e; ++i) {
         ShrinkColumns(hidden[i], still);
       }
@@ -448,6 +484,11 @@ std::vector<EstimateMap> DeepRestEstimator::EstimateFromFeaturesBatch(
         estimate.upper.push_back(upper);
       }
     }
+  }
+  // Columns that ran the full max_len retire here rather than through the
+  // shrink path above.
+  for (size_t b = 0; b < active; ++b) {
+    export_column(b);
   }
   return results;
 }

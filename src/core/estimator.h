@@ -147,6 +147,32 @@ class DeepRestEstimator {
   std::vector<EstimateMap> EstimateFromFeaturesBatch(
       const std::vector<const std::vector<std::vector<float>>*>& batch) const;
 
+  // Per-stream continuation cursor for EstimateFromFeaturesBatchResume. The
+  // hidden state is flattened expert-major (expert_count() * hidden_dim()
+  // floats: expert i's H-vector at [i*H, (i+1)*H)); `steps` counts the
+  // windows the stream has consumed so far. An empty (or wrong-sized)
+  // `hidden` means "fresh": the column starts from the warm-start cache
+  // exactly like a stateless query. This is the unit the soft-memory state
+  // cache stores, spills and restores (src/serve/state_cache.h).
+  struct StreamCursor {
+    std::vector<float> hidden;
+    uint64_t steps = 0;
+  };
+
+  // EstimateFromFeaturesBatch with per-stream continuation: cursors is
+  // index-aligned with `batch` (or empty = all stateless); a non-null cursor
+  // seeds its column's initial hidden state and receives the column's FINAL
+  // hidden state (plus the consumed window count) back when the query
+  // retires. Splitting one feature series across successive resumed calls is
+  // bit-identical to one pass over the whole series — the cursor round-trips
+  // raw float bits, and the GEMM kernels keep per-column reduction order —
+  // which is what makes state-cache eviction a non-event for correctness.
+  std::vector<EstimateMap> EstimateFromFeaturesBatchResume(
+      const std::vector<const std::vector<std::vector<float>>*>& batch,
+      const std::vector<StreamCursor*>& cursors) const;
+
+  size_t hidden_dim() const { return config_.hidden_dim; }
+
   // Sequential tensor-graph inference path (the pre-batch-major behavior):
   // replays the full learn_features_ warm-start trajectory, then steps the
   // query one window at a time through the fused/reference graph. Kept as

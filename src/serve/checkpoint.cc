@@ -68,6 +68,31 @@ void SyncParentDir(const std::string& path) {
 
 }  // namespace
 
+bool WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  if (!WriteFileDurable(tmp, bytes)) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  SyncParentDir(path);
+  return true;
+}
+
+bool ReadFileAll(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
 const char* RecoverySourceName(RecoverySource source) {
   switch (source) {
     case RecoverySource::kNone:

@@ -1,6 +1,7 @@
 #include "src/serve/estimation_service.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <utility>
 
 namespace deeprest {
@@ -70,9 +71,35 @@ std::future<EstimationService::EstimateResult> EstimationService::SubmitFeatures
   return SubmitEstimate(std::move(request), deadline);
 }
 
+std::future<EstimationService::EstimateResult> EstimationService::SubmitStreamFeatures(
+    uint64_t stream_id, std::vector<std::vector<float>> features,
+    std::chrono::milliseconds deadline) {
+  Request request;
+  request.kind = RequestKind::kFeatures;
+  request.features = std::move(features);
+  // Without a cache the stream id would silently mean "stateless anyway";
+  // dropping it here keeps the hedging eligibility logic honest.
+  request.stream_id = config_.stream_states != nullptr ? stream_id : 0;
+  return SubmitEstimate(std::move(request), deadline);
+}
+
+std::future<EstimationService::EstimateResult> EstimationService::SubmitStreamTraffic(
+    uint64_t stream_id, TrafficSeries traffic, uint64_t seed,
+    std::chrono::milliseconds deadline) {
+  Request request;
+  request.kind = RequestKind::kTraffic;
+  request.traffic = std::move(traffic);
+  request.seed = seed;
+  request.stream_id = config_.stream_states != nullptr ? stream_id : 0;
+  return SubmitEstimate(std::move(request), deadline);
+}
+
 std::future<EstimationService::EstimateResult> EstimationService::SubmitEstimate(
     Request request, std::chrono::milliseconds deadline) {
-  if (!config_.hedge.enabled || shards_.size() < 2) {
+  // Stream requests are never hedged: the forward pass advances the stream's
+  // cached state (a side effect), so a duplicate pass would double-step the
+  // stream and the copies would return different estimates.
+  if (!config_.hedge.enabled || shards_.size() < 2 || request.stream_id != 0) {
     std::future<EstimateResult> future = request.estimate_promise.get_future();
     Enqueue(std::move(request), deadline);
     return future;
@@ -619,17 +646,31 @@ void EstimationService::ServeBatch(std::vector<Request> batch) {
     }
   }
 
-  std::vector<const std::vector<std::vector<float>>*> pointers;
-  pointers.reserve(series.size());
-  for (const auto& s : series) {
-    pointers.push_back(&s);
+  bool any_stream = false;
+  if (config_.stream_states != nullptr) {
+    for (const Request& request : batch) {
+      if (request.stream_id != 0) {
+        any_stream = true;
+        break;
+      }
+    }
   }
+
   // One coalesced forward pass: the batch runs as column-stacked GEMMs from
   // the cached warm-start state (see EstimateFromFeaturesBatch). With
   // batch_major off, each request replays the sequential reference path —
-  // bit-identical results, kept as a benchmark baseline.
+  // bit-identical results, kept as a benchmark baseline. A batch carrying
+  // stream requests takes the resume path instead: same batch-major math,
+  // but cursor-seeded and round-split for duplicate streams.
   std::vector<EstimateMap> estimates;
-  if (config_.batch_major) {
+  if (any_stream) {
+    estimates = ServeStreamRounds(batch, series, snapshot);
+  } else if (config_.batch_major) {
+    std::vector<const std::vector<std::vector<float>>*> pointers;
+    pointers.reserve(series.size());
+    for (const auto& s : series) {
+      pointers.push_back(&s);
+    }
     estimates = snapshot.model->EstimateFromFeaturesBatch(pointers);
   } else {
     estimates.resize(series.size());
@@ -640,6 +681,100 @@ void EstimationService::ServeBatch(std::vector<Request> batch) {
   for (size_t i = 0; i < batch.size(); ++i) {
     finish(batch[i], std::move(estimates[i]));
   }
+}
+
+std::vector<EstimateMap> EstimationService::ServeStreamRounds(
+    std::vector<Request>& batch, const std::vector<std::vector<std::vector<float>>>& series,
+    const ModelSnapshot& snapshot) {
+  StateCache& cache = *config_.stream_states;
+
+  // Duplicate-stream requests in one batch cannot share a forward pass —
+  // the second must resume exactly where the first left off — so request i
+  // runs in round k = its occurrence index among same-stream requests, in
+  // submission order. Stateless passengers ride in round 0. Each round is
+  // one coalesced batch-major resume pass.
+  std::vector<size_t> round_of(batch.size(), 0);
+  size_t rounds = 1;
+  {
+    std::unordered_map<uint64_t, size_t> occurrence;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].stream_id == 0) {
+        continue;
+      }
+      round_of[i] = occurrence[batch[i].stream_id]++;
+      rounds = std::max(rounds, round_of[i] + 1);
+    }
+  }
+
+  // Lease every distinct stream in ascending key order — the documented
+  // deadlock-free order for the cache's blocking exclusive lease (another
+  // worker leasing an overlapping set cannot form a cycle).
+  std::vector<uint64_t> keys;
+  keys.reserve(batch.size());
+  for (const Request& request : batch) {
+    if (request.stream_id != 0) {
+      keys.push_back(request.stream_id);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  std::vector<StateCache::Lease> leases;
+  leases.reserve(keys.size());
+  std::vector<DeepRestEstimator::StreamCursor> cursors(keys.size());
+  std::unordered_map<uint64_t, size_t> cursor_of;
+  cursor_of.reserve(keys.size());
+  for (size_t k = 0; k < keys.size(); ++k) {
+    leases.push_back(cache.AcquireOrCreate(keys[k]));
+    StreamState& state = leases.back().state();
+    // A hidden state produced under an older model's weights is meaningless
+    // under this snapshot: warm-restart the stream (counted) rather than mix
+    // versions within one series.
+    if (state.model_version != 0 && state.model_version != snapshot.version) {
+      state.hidden.clear();
+      state.steps = 0;
+      stats_.RecordStateReset();
+    }
+    cursors[k].hidden = state.hidden;
+    cursors[k].steps = state.steps;
+    cursor_of[keys[k]] = k;
+  }
+
+  std::vector<EstimateMap> estimates(batch.size());
+  for (size_t r = 0; r < rounds; ++r) {
+    std::vector<const std::vector<std::vector<float>>*> round_pointers;
+    std::vector<DeepRestEstimator::StreamCursor*> round_cursors;
+    std::vector<size_t> round_index;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (round_of[i] != r) {
+        continue;
+      }
+      round_pointers.push_back(&series[i]);
+      round_cursors.push_back(batch[i].stream_id == 0
+                                  ? nullptr
+                                  : &cursors[cursor_of[batch[i].stream_id]]);
+      round_index.push_back(i);
+    }
+    if (round_pointers.empty()) {
+      continue;
+    }
+    std::vector<EstimateMap> round_estimates =
+        snapshot.model->EstimateFromFeaturesBatchResume(round_pointers, round_cursors);
+    for (size_t j = 0; j < round_index.size(); ++j) {
+      estimates[round_index[j]] = std::move(round_estimates[j]);
+    }
+  }
+
+  // Write the advanced states back under the leases, then let the leases
+  // release (re-accounting the grown entries against the budget — which may
+  // trigger eviction of OTHER, unpinned streams).
+  for (size_t k = 0; k < keys.size(); ++k) {
+    StreamState& state = leases[k].state();
+    state.hidden = std::move(cursors[k].hidden);
+    state.steps = cursors[k].steps;
+    state.model_version = snapshot.version;
+  }
+  return estimates;
 }
 
 std::chrono::microseconds EstimationService::HedgeDelay() const {
@@ -738,6 +873,26 @@ ServiceCounters EstimationService::Counters() const {
   counters.models_published = registry_.publish_count();
   counters.model_version = registry_.version();
   counters.degraded_mode = degraded_.load(std::memory_order_acquire) ? 1 : 0;
+  if (config_.stream_states != nullptr) {
+    counters.state_cache_attached = true;
+    const StateCacheCounters cache_counters = config_.stream_states->Counters();
+    counters.state_hot_hits = cache_counters.hot_hits;
+    counters.state_cold_hits = cache_counters.cold_hits;
+    counters.state_misses = cache_counters.misses;
+    counters.state_evictions = cache_counters.evictions;
+    counters.state_spills = cache_counters.spills;
+    counters.state_drops = cache_counters.drops;
+    counters.state_resident_bytes =
+        cache_counters.hot_resident_bytes + cache_counters.cold_resident_bytes;
+    const MemoryBudget* budget = config_.stream_states->budget();
+    if (budget != nullptr) {
+      counters.memory_budget_bytes = budget->budget();
+      counters.memory_used_bytes = budget->used();
+    }
+    const ModelRegistry::RetentionCounters retention = registry_.retention_counters();
+    counters.retained_clones = retention.retained;
+    counters.retained_clone_bytes = retention.retained_bytes;
+  }
   return counters;
 }
 

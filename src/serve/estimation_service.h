@@ -71,6 +71,7 @@
 #include "src/serve/health.h"
 #include "src/serve/ingest_pipeline.h"
 #include "src/serve/model_registry.h"
+#include "src/serve/state_cache.h"
 #include "src/serve/stats.h"
 #include "src/workload/traffic.h"
 
@@ -161,6 +162,13 @@ struct EstimationServiceConfig {
   // Chaos hook: called by worker `i` at the top of each sweep. May block
   // (that IS a stall); kCrash makes the worker thread exit.
   std::function<WorkerFault(size_t)> worker_fault_hook;
+  // Soft-memory tiered per-stream warm-start state (state_cache.h). When
+  // set, requests submitted with a nonzero stream id resume that stream's
+  // cached hidden state instead of warm-starting from scratch and write the
+  // advanced state back after the pass. Must outlive the service. Stream
+  // requests are never hedged: advancing a stream is a side effect, so a
+  // duplicate pass would double-step it.
+  StateCache* stream_states = nullptr;
 };
 
 class EstimationService {
@@ -203,6 +211,19 @@ class EstimationService {
   // Direct estimation from a prebuilt feature series.
   std::future<EstimateResult> SubmitFeatures(std::vector<std::vector<float>> features,
                                              std::chrono::milliseconds deadline = {});
+
+  // Stream variants: a nonzero `stream_id` resumes that stream's cached
+  // hidden state (config.stream_states) and advances it by this request's
+  // windows, so a long series can be served as many short requests with
+  // bit-identical results to one unbroken submission. Stateless behavior
+  // when stream_id is 0 or no cache is wired. Stream requests bypass
+  // hedging (see EstimationServiceConfig::stream_states).
+  std::future<EstimateResult> SubmitStreamFeatures(
+      uint64_t stream_id, std::vector<std::vector<float>> features,
+      std::chrono::milliseconds deadline = {});
+  std::future<EstimateResult> SubmitStreamTraffic(uint64_t stream_id, TrafficSeries traffic,
+                                                  uint64_t seed,
+                                                  std::chrono::milliseconds deadline = {});
 
   // Mode 2 (sanity check) over ingested windows [from, to): expected
   // consumption from the pipeline's feature series vs the ingested actuals,
@@ -253,6 +274,7 @@ class EstimationService {
     std::vector<std::vector<float>> features;  // kFeatures
     TrafficSeries traffic;                     // kTraffic
     uint64_t seed = 0;                         // kTraffic
+    uint64_t stream_id = 0;                    // nonzero: stateful stream request
     size_t from = 0;                           // kSanity
     size_t to = 0;                             // kSanity
     std::promise<EstimateResult> estimate_promise;
@@ -334,6 +356,14 @@ class EstimationService {
   // was empty.
   bool StealBatch(size_t self, std::vector<Request>& batch);
   void ServeBatch(std::vector<Request> batch);
+  // Streamful tail of ServeBatch: splits duplicate-stream requests into
+  // sequential rounds, leases every distinct stream in ascending key order,
+  // runs each round as one cursor-seeded batch-major resume pass, and writes
+  // the advanced states back before the leases release.
+  std::vector<EstimateMap> ServeStreamRounds(
+      std::vector<Request>& batch,
+      const std::vector<std::vector<std::vector<float>>>& series,
+      const ModelSnapshot& snapshot);
 
   ModelRegistry& registry_;
   IngestPipeline& pipeline_;

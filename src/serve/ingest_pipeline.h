@@ -177,6 +177,7 @@ class IngestPipeline {
   // Per-window rejection tallies (producers write, folder drains). Hierarchy:
   // fold_mu_ -> rejected_mu_; producers take rejected_mu_ alone.
   Mutex rejected_mu_ DEEPREST_ACQUIRED_AFTER(fold_mu_);
+  // deeprest-lint: bounded(drained into the sealed window by the folder; keys span only windows not yet sealed)
   std::map<size_t, uint64_t> rejected_by_window_ DEEPREST_GUARDED_BY(rejected_mu_);
 
   mutable Mutex fold_mu_;
@@ -187,11 +188,14 @@ class IngestPipeline {
   // Aligned with features_.
   std::vector<DataQuality> quality_ DEEPREST_GUARDED_BY(fold_mu_);
   // Which (key, window) pairs actually scraped, vs. were imputed.
+  // deeprest-lint: bounded(one entry per metric series; the series set is the app topology x metric kinds, fixed at deploy)
   std::map<MetricKey, std::vector<char>> recorded_ DEEPREST_GUARDED_BY(fold_mu_);
+  // deeprest-lint: bounded(same key space as recorded_: topology x metric kinds)
   std::map<MetricKey, std::vector<char>> imputed_at_ DEEPREST_GUARDED_BY(fold_mu_);
   // Earliest window each series ever scraped: windows before a series starts
   // are not gaps (nothing was expected yet), so they are neither imputed nor
   // held against metric_coverage.
+  // deeprest-lint: bounded(same key space as recorded_: topology x metric kinds)
   std::map<MetricKey, size_t> first_recorded_ DEEPREST_GUARDED_BY(fold_mu_);
   // EWMA of accepted traces per sealed window.
   double expected_traces_ DEEPREST_GUARDED_BY(fold_mu_) = 0.0;

@@ -115,6 +115,11 @@ void ServiceStats::RecordWorkerRestart() {
   ++worker_restarts_;
 }
 
+void ServiceStats::RecordStateReset() {
+  MutexLock lock(mu_);
+  ++state_resets_;
+}
+
 double ServiceStats::LatencyQuantileMs(double q, size_t min_samples) const {
   MutexLock lock(mu_);
   if (latencies_ms_.size() < std::max<size_t>(1, min_samples)) {
@@ -148,13 +153,26 @@ ServiceCounters ServiceStats::Snapshot() const {
   counters.worker_stalls = worker_stalls_;
   counters.worker_crashes = worker_crashes_;
   counters.worker_restarts = worker_restarts_;
+  counters.state_resets = state_resets_;
   return counters;
+}
+
+std::string FormatBytes(size_t bytes) {
+  char buffer[32];
+  if (bytes >= (size_t{1} << 20)) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f MB",
+                  static_cast<double>(bytes) / static_cast<double>(size_t{1} << 20));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1f KB",
+                  static_cast<double>(bytes) / 1024.0);
+  }
+  return buffer;
 }
 
 std::vector<std::pair<std::string, std::string>> ServiceCounters::Rows() const {
   char mean[32];
   std::snprintf(mean, sizeof(mean), "%.2f", mean_batch_size);
-  return {
+  std::vector<std::pair<std::string, std::string>> rows = {
       {"requests submitted", FormatCount(requests_submitted)},
       {"requests served", FormatCount(requests_served)},
       {"  estimate", FormatCount(estimate_requests)},
@@ -186,6 +204,23 @@ std::vector<std::pair<std::string, std::string>> ServiceCounters::Rows() const {
       {"worker restarts", FormatCount(worker_restarts)},
       {"degraded mode", FormatCount(degraded_mode)},
   };
+  if (state_cache_attached) {
+    rows.emplace_back("stream-state hot hits", FormatCount(state_hot_hits));
+    rows.emplace_back("stream-state cold hits", FormatCount(state_cold_hits));
+    rows.emplace_back("stream-state misses", FormatCount(state_misses));
+    rows.emplace_back("stream-state evictions", FormatCount(state_evictions));
+    rows.emplace_back("stream-state spills", FormatCount(state_spills));
+    rows.emplace_back("stream-state drops", FormatCount(state_drops));
+    rows.emplace_back("stream-state version resets", FormatCount(state_resets));
+    rows.emplace_back("stream-state resident", FormatBytes(state_resident_bytes));
+    rows.emplace_back("memory gauge",
+                      FormatBytes(memory_used_bytes) + " / " +
+                          (memory_budget_bytes == 0 ? std::string("unlimited")
+                                                    : FormatBytes(memory_budget_bytes)));
+    rows.emplace_back("retained model clones", FormatCount(retained_clones));
+    rows.emplace_back("retained clone bytes", FormatBytes(retained_clone_bytes));
+  }
+  return rows;
 }
 
 }  // namespace deeprest

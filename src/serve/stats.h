@@ -53,10 +53,30 @@ struct ServiceCounters {
   uint64_t worker_crashes = 0;   // worker threads that exited on a fault
   uint64_t worker_restarts = 0;  // successful RestartWorker revivals
   uint64_t degraded_mode = 0;    // 1 while escalated to reject-new shedding
+  // Soft-memory tiered stream-state cache (state_cache.h). Rows render only
+  // when a StateCache is wired into the service.
+  bool state_cache_attached = false;
+  uint64_t state_hot_hits = 0;     // streams resumed straight from the hot tier
+  uint64_t state_cold_hits = 0;    // streams promoted from the fp16/disk tier
+  uint64_t state_misses = 0;       // fresh streams + states lost cold-side
+  uint64_t state_evictions = 0;    // hot-tier CLOCK demotions
+  uint64_t state_spills = 0;       // disk-slab slot writes
+  uint64_t state_drops = 0;        // states lost entirely (cold overflow etc.)
+  uint64_t state_resets = 0;       // model-version-mismatch warm restarts
+  size_t state_resident_bytes = 0; // hot + cold RAM held by the cache
+  // Global soft-memory gauge (0 budget = unlimited) and retained-clone tier.
+  size_t memory_budget_bytes = 0;
+  size_t memory_used_bytes = 0;
+  uint64_t retained_clones = 0;       // model versions in the snapshot store
+  uint64_t retained_clone_bytes = 0;  // bytes the store holds for them
 
   // Two-column "counter | value" table (rendered with eval/ascii elsewhere).
   std::vector<std::pair<std::string, std::string>> Rows() const;
 };
+
+// "12.5 MB" / "640.0 KB" — shared by the counter table and the CLI's
+// budgeted-serving summary row.
+std::string FormatBytes(size_t bytes);
 
 // Thread-safe recorder. All methods may be called concurrently.
 class ServiceStats {
@@ -80,6 +100,9 @@ class ServiceStats {
   void RecordWorkerStall();
   void RecordWorkerCrash();
   void RecordWorkerRestart();
+  // A stream's cached state was discarded because it was produced by an
+  // older model version (warm restart on the new model).
+  void RecordStateReset();
 
   // Exact latency quantile over the retained samples; 0.0 until at least
   // min_samples have been recorded. Feeds the learned hedge delay.
@@ -109,6 +132,7 @@ class ServiceStats {
   uint64_t worker_stalls_ DEEPREST_GUARDED_BY(mu_) = 0;
   uint64_t worker_crashes_ DEEPREST_GUARDED_BY(mu_) = 0;
   uint64_t worker_restarts_ DEEPREST_GUARDED_BY(mu_) = 0;
+  uint64_t state_resets_ DEEPREST_GUARDED_BY(mu_) = 0;
   // Capped at kMaxLatencySamples.
   std::vector<double> latencies_ms_ DEEPREST_GUARDED_BY(mu_);
 };

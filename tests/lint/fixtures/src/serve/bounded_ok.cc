@@ -1,0 +1,34 @@
+// Fixture: every sanctioned shape for bounded-containers-in-serve — an
+// annotated member (same line), an annotated member (line above), a type
+// alias, a method returning a map, and map locals/parameters. None may fire.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace deeprest {
+
+class BoundedTable {
+ public:
+  using Index = std::unordered_map<uint64_t, size_t>;  // alias: no storage
+
+  void Touch(uint64_t key, const std::map<uint64_t, std::string>& updates) {
+    std::map<uint64_t, int> scratch;  // local: fine
+    (void)updates;
+    (void)scratch;
+    while (entries_.size() > kCap) {
+      entries_.erase(entries_.begin());
+    }
+    entries_[key] += 1;
+  }
+
+  std::map<uint64_t, uint64_t> Snapshot() const { return entries_; }
+
+ private:
+  static constexpr size_t kCap = 1024;
+  std::map<uint64_t, uint64_t> entries_;  // deeprest-lint: bounded(Touch drops oldest beyond kCap)
+  // deeprest-lint: bounded(one slot per shard, shard count fixed at startup)
+  std::unordered_map<uint64_t, uint64_t> per_shard_;
+};
+
+}  // namespace deeprest

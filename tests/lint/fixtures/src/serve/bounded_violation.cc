@@ -1,0 +1,27 @@
+// Fixture: a std::map member in a src/serve class with no
+// `deeprest-lint: bounded(...)` annotation — bounded-containers-in-serve
+// must fire on the member (and only on the member: the local map inside the
+// method and the parameter are usage, not unbounded resident state).
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace deeprest {
+
+class SessionTable {
+ public:
+  void Touch(uint64_t key, const std::map<uint64_t, std::string>& updates) {
+    std::unordered_map<uint64_t, int> scratch;  // local: fine
+    (void)updates;
+    (void)scratch;
+    sessions_[key] += 1;
+  }
+
+  std::map<uint64_t, uint64_t> Snapshot() const { return sessions_; }
+
+ private:
+  std::map<uint64_t, uint64_t> sessions_;  // VIOLATION: no bound documented
+};
+
+}  // namespace deeprest

@@ -58,7 +58,8 @@ TEST_P(LintRuleTest, ViolatingFixtureTripsExactlyItsRule) {
   for (const char* other :
        {"no-unseeded-rand", "no-unordered-iteration", "no-raw-tensor-node-new",
         "no-fast-math-reassoc", "mutex-needs-guarded-by", "no-detached-threads",
-        "heartbeat-on-loop", "intrinsics-only-in-simd"}) {
+        "heartbeat-on-loop", "intrinsics-only-in-simd",
+        "bounded-containers-in-serve"}) {
     if (std::string(other) != c.rule) {
       EXPECT_EQ(run.output.find(std::string("[") + other + "]"), std::string::npos)
           << "unexpected rule " << other << " in:\n"
@@ -78,7 +79,9 @@ INSTANTIATE_TEST_SUITE_P(
                       RuleCase{"mutex_violation.cc", "mutex-needs-guarded-by"},
                       RuleCase{"detach_violation.cc", "no-detached-threads"},
                       RuleCase{"src/serve/heartbeat_violation.cc", "heartbeat-on-loop"},
-                      RuleCase{"src/nn/intrinsics_violation.cc", "intrinsics-only-in-simd"}),
+                      RuleCase{"src/nn/intrinsics_violation.cc", "intrinsics-only-in-simd"},
+                      RuleCase{"src/serve/bounded_violation.cc",
+                               "bounded-containers-in-serve"}),
     [](const ::testing::TestParamInfo<RuleCase>& param_info) {
       std::string name = param_info.param.rule;
       for (char& ch : name) {
@@ -112,6 +115,15 @@ TEST(LintTest, HeartbeatRuleIsScopedToSupervisedPaths) {
   // clean.cc sits outside src/serve and src/autoscale — out of scope even
   // though it has no heartbeats.
   const LintRun run = RunLint(Fixture("clean.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+// bounded-containers-in-serve accepts every sanctioned shape: annotated
+// members (same line and line-above), type aliases, map-returning methods,
+// and map locals/parameters. The identical unannotated member outside
+// src/serve is out of scope (clean.cc has none, covered above).
+TEST(LintTest, BoundedContainersRuleAcceptsAnnotatedAndNonMemberShapes) {
+  const LintRun run = RunLint(Fixture("src/serve/bounded_ok.cc"));
   EXPECT_EQ(run.exit_code, 0) << run.output;
 }
 

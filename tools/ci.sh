@@ -11,6 +11,9 @@
 #   5. tsa         — Clang Thread Safety Analysis as errors (skipped without clang++)
 #   6. tsan        — chaos/serve/resilience/parallel suite under ThreadSanitizer
 #   7. asan        — chaos suite + the quantization accuracy budget under ASan+UBSan
+#   8. asan-storm  — state-cache eviction storm under ASan+UBSan with a tiny
+#                    budget (DEEPREST_STATECACHE_STRESS=1): concurrent leases
+#                    vs CLOCK eviction, fp16 demotion, and budget pressure
 #
 # Usage: tools/ci.sh [--quick]
 #   --quick stops after the lint leg (pre-push sanity; sanitizer legs are the
@@ -23,7 +26,7 @@ QUICK=0
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/7] tier-1: default build + full test suite"
+echo "==> [1/8] tier-1: default build + full test suite"
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
@@ -32,7 +35,7 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 # ASan legs below).
 ctest --test-dir build --output-on-failure -L autoscale
 
-echo "==> [2/7] simd-off: kernel + quantization suites on the portable fallback"
+echo "==> [2/8] simd-off: kernel + quantization suites on the portable fallback"
 # DEEPREST_SIMD=scalar pins the dispatch ladder to the portable rung, so the
 # scalar kernel table (the path every non-x86/pre-AVX2 host runs) is executed
 # by the same tests that gate the vector paths. The simd tests themselves
@@ -40,17 +43,17 @@ echo "==> [2/7] simd-off: kernel + quantization suites on the portable fallback"
 DEEPREST_SIMD=scalar ctest --test-dir build --output-on-failure \
   -R 'nn_tests|quantized_tests|core_tests|property_tests'
 
-echo "==> [3/7] resilience: self-healing suite by label"
+echo "==> [3/8] resilience: self-healing suite by label"
 # Supported entry point for the supervision layer (watchdog restarts, hedged
 # requests, chaos schedules, the resilience bench smoke); the same tests also
 # carry the chaos label, so the sanitizer legs below re-run them under TSan
 # and ASan.
 ctest --test-dir build --output-on-failure -L resilience
 
-echo "==> [4/7] lint: invariant linter over src/ + rule fixtures"
+echo "==> [4/8] lint: invariant linter over src/ + rule fixtures"
 ctest --preset lint -j "$JOBS"
 
-echo "==> [5/7] tsa: Clang thread-safety analysis (compile-only gate)"
+echo "==> [5/8] tsa: Clang thread-safety analysis (compile-only gate)"
 if command -v clang++ >/dev/null 2>&1; then
   cmake --preset lint >/dev/null
   cmake --build --preset lint -j "$JOBS"
@@ -63,12 +66,12 @@ if [[ "$QUICK" == "1" ]]; then
   exit 0
 fi
 
-echo "==> [6/7] tsan: chaos suite under ThreadSanitizer"
+echo "==> [6/8] tsan: chaos suite under ThreadSanitizer"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$JOBS"
 ctest --preset chaos-tsan -j "$JOBS"
 
-echo "==> [7/7] asan: chaos suite + quantization accuracy budget under ASan+UBSan"
+echo "==> [7/8] asan: chaos suite + quantization accuracy budget under ASan+UBSan"
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "$JOBS"
 ctest --preset chaos-asan -j "$JOBS"
@@ -76,5 +79,13 @@ ctest --preset chaos-asan -j "$JOBS"
 # exercises the packed-activation scratch buffers and the simd dispatch
 # tables, exactly where an out-of-bounds pack/load would hide.
 ctest --test-dir build-asan --output-on-failure -R 'quantized_tests|nn_tests'
+
+echo "==> [8/8] asan-storm: state-cache eviction storm under ASan+UBSan"
+# The stress flag multiplies the storm test's iteration count; the tiny
+# budget in the test forces constant eviction/demotion/promotion churn while
+# four threads hold exclusive leases — the exact interleavings where a
+# use-after-evict or gauge double-release would hide.
+DEEPREST_STATECACHE_STRESS=1 ctest --test-dir build-asan --output-on-failure \
+  -R 'state_cache_tests'
 
 echo "==> CI green"

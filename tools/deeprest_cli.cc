@@ -21,6 +21,7 @@
 //                    [--chaos-schedule=SPEC] [--supervise=0|1] [--hedge=1]
 //                    [--max-queue=N] [--shed-policy=reject-new|drop-oldest]
 //                    [--deadline-ms=N] [--retries=N] [--checkpoint=FILE]
+//                    [--memory-budget-mb=N] [--state-cold-tier=fp16|disk|recompute]
 //       Online serving demo: train (or load with --model), then stream a
 //       simulated live workload through the ingest pipeline while client
 //       threads hammer the estimation service and the continual learner
@@ -44,6 +45,13 @@
 //       exponential backoff + jitter (--retries). --checkpoint enables
 //       atomic model checkpoints after every refresh and crash recovery at
 //       startup (falls back to FILE.prev if FILE is torn).
+//       --memory-budget-mb caps the soft-memory gauge and wires the tiered
+//       state subsystem under BOTH serving-state consumers: the per-stream
+//       warm-start cache (half the budget hot, half cold) and the registry's
+//       displaced-clone retention store. --state-cold-tier picks what
+//       eviction demotes to: fp16 (RNE-compressed in RAM, default), disk (a
+//       checksummed slab file, bit-exact), or recompute (drop and rebuild on
+//       the next miss).
 //
 //   deeprest autoscale [--app=social|hotel] [--days=N] [--wpd=N] [--seed=N]
 //                      [--policy=reactive|predictive|oracle|all]
@@ -384,7 +392,42 @@ int CmdServe(const CliArgs& args) {
   std::printf("Preparing initial model...\n");
   const std::string checkpoint_path = args.Get("checkpoint", "");
   const bool quantized = args.Get("quantized", "") == "1";
+
+  // Soft-memory tiered state: one gauge, two consumers (the per-stream
+  // warm-start cache and the registry's displaced-clone store). Declared
+  // before the registry and service so both consumers die first and return
+  // their charges to the gauge.
+  const size_t memory_budget_mb = args.GetSize("memory-budget-mb", 0);
+  ColdTier cold_tier = ColdTier::kFp16;
+  const std::string cold_tier_flag = args.Get("state-cold-tier", "fp16");
+  if (!ParseColdTier(cold_tier_flag, &cold_tier)) {
+    std::fprintf(stderr, "serve: unknown --state-cold-tier=%s (fp16|disk|recompute)\n",
+                 cold_tier_flag.c_str());
+    return 2;
+  }
+  const size_t memory_budget_bytes = memory_budget_mb << 20;
+  MemoryBudget memory_budget(memory_budget_bytes);
+  std::unique_ptr<StateCache> stream_states;
+  std::unique_ptr<InMemorySnapshotStore> retained_store;
+  const std::string slab_path = "deeprest_state.slab";
+  if (memory_budget_mb > 0) {
+    StateCacheConfig cache_config;
+    cache_config.hot_bytes = memory_budget_bytes / 2;
+    cache_config.cold_tier = cold_tier;
+    cache_config.cold_bytes = memory_budget_bytes / 4;
+    cache_config.budget = &memory_budget;
+    if (cold_tier == ColdTier::kDisk) {
+      cache_config.slab_path = slab_path;
+    }
+    stream_states = std::make_unique<StateCache>(cache_config);
+    retained_store = std::make_unique<InMemorySnapshotStore>(memory_budget_bytes / 4,
+                                                             &memory_budget);
+  }
+
   ModelRegistry registry;
+  if (retained_store != nullptr) {
+    registry.SetRetention(retained_store.get(), /*max_retained=*/2);
+  }
   // fp16 storage applies to every model that passes through a mutable
   // publication path (the initial fresh model and each continual-learner
   // refresh). A recovered checkpoint is already immutable and keeps the
@@ -462,6 +505,9 @@ int CmdServe(const CliArgs& args) {
     service_config.health = &health;
   }
   service_config.hedge.enabled = hedge;
+  if (stream_states != nullptr) {
+    service_config.stream_states = stream_states.get();
+  }
   if (!schedule.empty()) {
     service_config.worker_fault_hook = [&injector, &chaos_window](size_t worker) {
       const size_t w = chaos_window.load(std::memory_order_acquire);
@@ -502,6 +548,21 @@ int CmdServe(const CliArgs& args) {
               KernelModeName(GetKernelMode()), simd::IsaName(simd::ActiveIsa()),
               simd::IsaName(simd::BestSupportedIsa()), quantized ? " int8-inference" : "",
               registry.fp16_storage() ? " fp16-storage" : "");
+  // Same discipline as the Kernels row: what this process actually wired,
+  // not what was requested (a disk tier that failed to open its slab serves
+  // recompute-on-miss semantics and says so).
+  if (memory_budget_mb > 0) {
+    const bool disk_degraded = cold_tier == ColdTier::kDisk && !stream_states->disk_ok();
+    std::printf("Memory: budget=%zuMB cold-tier=%s%s "
+                "(stream cache hot %zuMB + cold %zuMB, clone store %zuMB)\n",
+                memory_budget_mb, ColdTierName(cold_tier),
+                disk_degraded ? " [slab open FAILED: miss=recompute]" : "",
+                memory_budget_bytes / 2 >> 20, memory_budget_bytes / 4 >> 20,
+                memory_budget_bytes / 4 >> 20);
+  } else {
+    std::printf("Memory: budget=unlimited state-cache=off (pass --memory-budget-mb=N "
+                "to bound resident serving state)\n");
+  }
   std::printf("Serving %zu live windows with %zu workers (batch %zu)...\n",
               live.to - live.from, service_config.workers, service_config.max_batch);
 
@@ -586,7 +647,12 @@ int CmdServe(const CliArgs& args) {
           with_backoff([&] {
             TrafficSpec spec = harness.QuerySpec(1);
             spec.user_scale = rng.Uniform(0.5, 3.0);
-            auto future = service.SubmitTraffic(GenerateTraffic(spec, rng), rng.NextU64());
+            // With tiered state on, each client is a stream: its hidden state
+            // warm-starts the next request (and rides the hot/cold tiers).
+            auto future = stream_states != nullptr
+                              ? service.SubmitStreamTraffic(1 + c, GenerateTraffic(spec, rng),
+                                                            rng.NextU64())
+                              : service.SubmitTraffic(GenerateTraffic(spec, rng), rng.NextU64());
             const auto result = future.get();
             if (result.status == RequestStatus::kOk) {
               versions_seen_bits.fetch_or(uint64_t{1} << (result.model_version & 63u),
@@ -681,6 +747,9 @@ int CmdServe(const CliArgs& args) {
     for (const auto& event : final_sanity.events) {
       std::printf("%s\n", event.Describe(config.windows_per_day).c_str());
     }
+  }
+  if (stream_states != nullptr && cold_tier == ColdTier::kDisk) {
+    std::remove(slab_path.c_str());  // serving scratch, not a checkpoint
   }
   return 0;
 }
@@ -804,6 +873,7 @@ int Usage() {
                "           [--supervise=0|1] [--hedge=1]\n"
                "           [--max-queue=N] [--shed-policy=reject-new|drop-oldest]\n"
                "           [--deadline-ms=N] [--retries=N] [--checkpoint=FILE]\n"
+               "           [--memory-budget-mb=N] [--state-cold-tier=fp16|disk|recompute]\n"
                "           [--quantized=1] [--fp16-registry=1]\n"
                "  autoscale [--policy=reactive|predictive|oracle|all]\n"
                "           [--scenario=diurnal|flash_crowd|api_mix_drift|all]\n"

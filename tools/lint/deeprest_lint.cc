@@ -41,6 +41,16 @@
 //                           heartbeats reads as permanently stalled to the
 //                           Watchdog, and a loop nobody supervises is a
 //                           silent-death waiting to happen.
+//   bounded-containers-in-serve
+//                           a std::map / std::unordered_map (or multi-)
+//                           class member in src/serve without a
+//                           `// deeprest-lint: bounded(<how>)` annotation on
+//                           the same or previous line: the serving layer
+//                           holds per-key state for unbounded key spaces
+//                           (streams, versions, windows), so every container
+//                           member must document the mechanism that caps it
+//                           (byte budget, FIFO drop, retention limit) or it
+//                           is a slow memory leak under production traffic.
 //   intrinsics-only-in-simd raw SIMD intrinsics (`_mm*`, `__m128/256/512*`,
 //                           NEON `vld1q*`-family calls) or an
 //                           immintrin.h/arm_neon.h include outside
@@ -104,6 +114,13 @@ void RecordAllowComment(const std::string& comment, int line, FileScan& scan) {
   const size_t tag_at = comment.find(tag);
   if (tag_at == std::string::npos) {
     return;
+  }
+  // `deeprest-lint: bounded(<how>)` is the positive annotation for the
+  // bounded-containers-in-serve rule: it both documents the cap and grants
+  // the member on this line or the next.
+  if (comment.find("bounded(", tag_at + tag.size()) != std::string::npos) {
+    scan.allowed_lines["bounded-containers-in-serve"].insert(line);
+    scan.allowed_lines["bounded-containers-in-serve"].insert(line + 1);
   }
   size_t at = comment.find("allow", tag_at + tag.size());
   if (at == std::string::npos) {
@@ -588,6 +605,115 @@ void CheckHeartbeatOnLoop(const std::string& path, const FileScan& scan, Linter&
 }
 
 // --------------------------------------------------------------------------
+// Rule: bounded-containers-in-serve
+// --------------------------------------------------------------------------
+bool IsServePath(const std::string& path) {
+  return path.find("src/serve") != std::string::npos ||
+         path.find("src\\serve") != std::string::npos;
+}
+
+void CheckBoundedContainersInServe(const std::string& path, const FileScan& scan,
+                                   Linter& lint) {
+  if (!IsServePath(path)) {
+    return;
+  }
+  const auto& t = scan.tokens;
+  // Same class-body tracking as mutex-needs-guarded-by: a container is a
+  // MEMBER when it sits at the body's own brace depth, outside parentheses
+  // (not a parameter), is not a using/typedef alias, and is not a method's
+  // return type (next-after-template token followed by `(`).
+  struct ClassBody {
+    int depth = 0;
+  };
+  std::vector<ClassBody> stack;
+  int depth = 0;
+  int parens = 0;
+  bool class_ahead = false;
+  size_t stmt_start = 0;  // token index after the last ; { }
+  for (size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (s == "class" || s == "struct") {
+      class_ahead = true;
+      continue;
+    }
+    if (s == ";" && class_ahead) {
+      class_ahead = false;
+      stmt_start = i + 1;
+      continue;
+    }
+    if (s == "(") {
+      ++parens;
+      continue;
+    }
+    if (s == ")") {
+      parens = parens > 0 ? parens - 1 : 0;
+      continue;
+    }
+    if (s == "{") {
+      ++depth;
+      if (class_ahead) {
+        stack.push_back({depth});
+        class_ahead = false;
+      }
+      stmt_start = i + 1;
+      continue;
+    }
+    if (s == "}") {
+      if (!stack.empty() && stack.back().depth == depth) {
+        stack.pop_back();
+      }
+      --depth;
+      stmt_start = i + 1;
+      continue;
+    }
+    if (s == ";") {
+      stmt_start = i + 1;
+      continue;
+    }
+    const bool container = (s == "map" || s == "unordered_map" || s == "multimap" ||
+                            s == "unordered_multimap") &&
+                           PrecededByStd(t, i);
+    if (!container || stack.empty() || stack.back().depth != depth || parens != 0) {
+      continue;
+    }
+    bool is_alias = false;
+    for (size_t j = stmt_start; j < i; ++j) {
+      if (t[j].text == "using" || t[j].text == "typedef") {
+        is_alias = true;
+        break;
+      }
+    }
+    if (is_alias) {
+      continue;
+    }
+    // Skip the template argument list to find the declared name.
+    size_t j = i + 1;
+    if (TokenIs(t, j, "<")) {
+      int angles = 0;
+      for (; j < t.size(); ++j) {
+        if (t[j].text == "<") {
+          ++angles;
+        } else if (t[j].text == ">" && --angles == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    // `std::map<...> Name(` is a method returning a map, not a member.
+    if (j < t.size() && IsIdentChar(t[j].text[0]) && TokenIs(t, j + 1, "(")) {
+      continue;
+    }
+    lint.Report("bounded-containers-in-serve", path, t[i].line,
+                "std::" + s + " member in src/serve without a "
+                "`// deeprest-lint: bounded(<how>)` annotation — serving-layer "
+                "containers index unbounded key spaces; document the eviction/"
+                "cap mechanism (byte budget, FIFO drop, retention limit) on "
+                "the member or the line above",
+                scan);
+  }
+}
+
+// --------------------------------------------------------------------------
 // Rule: intrinsics-only-in-simd
 // --------------------------------------------------------------------------
 bool IsSimdPath(const std::string& path) {
@@ -670,6 +796,7 @@ int LintFile(const std::filesystem::path& file, Linter& lint) {
   CheckMutexGuardedBy(path, scan, lint);
   CheckDetachedThreads(path, scan, lint);
   CheckHeartbeatOnLoop(path, scan, lint);
+  CheckBoundedContainersInServe(path, scan, lint);
   CheckIntrinsicsOnlyInSimd(path, scan, lint);
   return 0;
 }
