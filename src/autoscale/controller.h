@@ -129,6 +129,7 @@ class AutoscaleController {
   const ScalingPolicy* policy_;
   AutoscaleControllerConfig config_;
 
+  // deeprest-lint: lock-level(after AutoscaleLoop::tick_mu_)
   mutable Mutex mu_;
   std::map<std::string, ComponentState> state_ DEEPREST_GUARDED_BY(mu_);
   std::vector<std::string> log_ DEEPREST_GUARDED_BY(mu_);

@@ -106,13 +106,14 @@ class AutoscaleLoop {
 
   // Serializes TickOnce vs. the background tick; acquired before
   // AutoscaleController::mu_ (via controller_.Tick), never after it.
+  // deeprest-lint: lock-level(before AutoscaleController::mu_, IngestPipeline::fold_mu_)
   Mutex tick_mu_;
   // Absolute window of the next due tick.
   size_t next_tick_ DEEPREST_GUARDED_BY(tick_mu_) = 0;
 
   // Start/Stop/destruction only (same pattern as ContinualLearner: the loop
   // thread never takes this mutex, so Stop can join while holding it).
-  Mutex lifecycle_mu_;
+  Mutex lifecycle_mu_;  // deeprest-lint: lock-level(leaf)
   std::thread thread_ DEEPREST_GUARDED_BY(lifecycle_mu_);
 
   std::atomic<uint64_t> ticks_{0};

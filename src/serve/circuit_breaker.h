@@ -169,7 +169,7 @@ class CircuitBreaker {
   }
 
   const CircuitBreakerConfig config_;
-  mutable Mutex mu_;
+  mutable Mutex mu_;  // deeprest-lint: lock-level(leaf)
   BreakerState state_ DEEPREST_GUARDED_BY(mu_) = BreakerState::kClosed;
   size_t streak_ DEEPREST_GUARDED_BY(mu_) = 0;        // consecutive failures
   size_t open_denials_ DEEPREST_GUARDED_BY(mu_) = 0;  // since the last trip

@@ -131,12 +131,13 @@ class ContinualLearner {
   // own: the refresh state it protects is the fold/train/publish sequence
   // against the pipeline and registry (each internally locked), plus the
   // atomics below, whose ordering only RefreshOnce writes.
+  // deeprest-lint: lock-level(before IngestPipeline::fold_mu_, ModelRegistry::mu_)
   Mutex refresh_mu_;  // deeprest-lint: allow(mutex-needs-guarded-by)
   // Serializes Start/Stop/destruction: thread_ (spawn, joinable check, join)
   // was previously unguarded, so Start racing Stop could double-spawn or
   // double-join (found while annotating). The learner thread itself never
   // takes this mutex, so Stop can join while holding it.
-  Mutex lifecycle_mu_;
+  Mutex lifecycle_mu_;  // deeprest-lint: lock-level(leaf)
   std::thread thread_ DEEPREST_GUARDED_BY(lifecycle_mu_);
   std::atomic<size_t> trained_through_;
   std::atomic<uint64_t> refreshes_{0};

@@ -311,7 +311,7 @@ class EstimationService {
   // (enqueue, eviction scan, steal sweep and drain all go shard-by-shard);
   // the global depth counter queued_ is atomic and never sits under a lock.
   struct Shard {
-    Mutex mu;
+    Mutex mu;  // deeprest-lint: lock-level(leaf)
     std::condition_variable cv;
     std::deque<Request> queue DEEPREST_GUARDED_BY(mu);
     // Set by Enqueue (guarded by mu) when some shard has a backlog its owner
@@ -394,7 +394,7 @@ class EstimationService {
   // attribute workers_ to otherwise). Workers never take this mutex, so
   // Stop() can join them while holding it. RestartWorker joins/respawns a
   // single worker under the same mutex, so it serializes against Stop too.
-  Mutex stop_mu_;
+  Mutex stop_mu_;  // deeprest-lint: lock-level(root)
   std::vector<std::thread> workers_ DEEPREST_GUARDED_BY(stop_mu_);
 
   // Per-worker exit flags + health handles; the structs never move after
@@ -403,7 +403,7 @@ class EstimationService {
 
   // Hedge monitor state. Leaf lock: nothing is acquired while holding it
   // (the fire path pops the due entry first, then pushes into a Shard::mu).
-  Mutex hedge_mu_;
+  Mutex hedge_mu_;  // deeprest-lint: lock-level(leaf)
   std::condition_variable hedge_cv_;
   std::deque<PendingHedge> hedge_pending_ DEEPREST_GUARDED_BY(hedge_mu_);
   std::thread hedge_thread_ DEEPREST_GUARDED_BY(stop_mu_);

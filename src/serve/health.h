@@ -169,7 +169,7 @@ class HealthRegistry {
   // Leaf lock: guards the component table's growth only. The per-component
   // stamps are atomics written through HealthHandle without any lock (the
   // unique_ptr indirection keeps them address-stable across push_back).
-  mutable Mutex mu_;
+  mutable Mutex mu_;  // deeprest-lint: lock-level(leaf)
   std::vector<std::unique_ptr<HealthHandle::Component>> components_ DEEPREST_GUARDED_BY(mu_);
 };
 

@@ -142,7 +142,7 @@ class IngestPipeline {
   struct Shard {
     // Lock hierarchy: fold_mu_ -> mu (Fold drains every shard while holding
     // fold_mu_); producers take mu alone.
-    Mutex mu;
+    Mutex mu;  // deeprest-lint: lock-level(after IngestPipeline::fold_mu_)
     TraceCollector traces DEEPREST_GUARDED_BY(mu);
     MetricsStore metrics DEEPREST_GUARDED_BY(mu);
     // (key, window) of every sample since the last fold, so the folder can

@@ -125,6 +125,10 @@ class MemoryBudget {
   std::atomic<size_t> budget_;
   std::atomic<size_t> used_{0};
   std::atomic<uint64_t> pressure_events_{0};
+  // Pressure callbacks run under this mutex and take the stores' mutexes
+  // (drop-oldest / evict paths) — hence the acquired-before edges, and hence
+  // why Reserve() while holding a cache or store mutex is a deadlock.
+  // deeprest-lint: lock-level(before StateCache::mu_, InMemorySnapshotStore::mu_)
   mutable Mutex mu_;
   std::vector<std::pair<size_t, PressureFn>> callbacks_ DEEPREST_GUARDED_BY(mu_);
   size_t next_callback_id_ DEEPREST_GUARDED_BY(mu_) = 1;
@@ -361,7 +365,7 @@ class StateCache {
   std::atomic<bool> disk_ok_{false};
   size_t pressure_callback_id_ = 0;  // registration with config_.budget
 
-  mutable Mutex mu_;
+  mutable Mutex mu_;  // deeprest-lint: lock-level(after MemoryBudget::mu_)
   std::condition_variable lease_cv_;
   // Hot tier. Byte-budgeted via hot_resident_ + CLOCK over ring_; never
   // grows past config_.hot_bytes except by pinned-entry overshoot.
@@ -427,7 +431,7 @@ class InMemorySnapshotStore : public SnapshotStore {
   MemoryBudget* const budget_;
   size_t pressure_callback_id_ = 0;
   std::atomic<uint64_t> dropped_{0};
-  mutable Mutex mu_;
+  mutable Mutex mu_;  // deeprest-lint: lock-level(after MemoryBudget::mu_)
   // deeprest-lint: bounded(capped at max_bytes_: Put/pressure drop oldest versions FIFO)
   std::map<uint64_t, std::string> blobs_ DEEPREST_GUARDED_BY(mu_);
   size_t resident_ DEEPREST_GUARDED_BY(mu_) = 0;
@@ -451,7 +455,7 @@ class DiskSnapshotStore : public SnapshotStore {
   std::string PathFor(uint64_t version) const;
 
   const std::string dir_;
-  mutable Mutex mu_;
+  mutable Mutex mu_;  // deeprest-lint: lock-level(leaf)
   // deeprest-lint: bounded(capped by ModelRegistry retention (max_retained); Restore clears it)
   std::map<uint64_t, size_t> sizes_ DEEPREST_GUARDED_BY(mu_);
 };

@@ -113,7 +113,7 @@ class ServiceStats {
   ServiceCounters Snapshot() const;
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_;  // deeprest-lint: lock-level(leaf)
   uint64_t submitted_ DEEPREST_GUARDED_BY(mu_) = 0;
   uint64_t served_ DEEPREST_GUARDED_BY(mu_) = 0;
   uint64_t estimate_served_ DEEPREST_GUARDED_BY(mu_) = 0;

@@ -183,7 +183,7 @@ class Watchdog {
 
   // Start/Stop/destruction only (same pattern as ContinualLearner: the loop
   // thread never takes this mutex, so Stop can join while holding it).
-  Mutex lifecycle_mu_;
+  Mutex lifecycle_mu_;  // deeprest-lint: lock-level(leaf)
   std::thread thread_ DEEPREST_GUARDED_BY(lifecycle_mu_);
 
   std::atomic<uint64_t> scans_{0};

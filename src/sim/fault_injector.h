@@ -122,7 +122,7 @@ class FaultInjector {
 
   FaultInjectorConfig config_;
   const ChaosSchedule schedule_;
-  mutable Mutex mu_;
+  mutable Mutex mu_;  // deeprest-lint: lock-level(leaf)
   // One generator for every decision (determinism), one counter block: both
   // only ever touched under mu_.
   Rng rng_ DEEPREST_GUARDED_BY(mu_);

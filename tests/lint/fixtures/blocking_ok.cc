@@ -1,0 +1,33 @@
+// Fixture: lock-safe blocking — the budget call happens after the lock
+// scope closes, and the only wait is the sanctioned capital-W
+// MutexLock::Wait wrapper (which releases the lock while parked).
+// blocking-under-lock must stay silent.
+#include "src/core/thread_annotations.h"
+
+struct MemoryBudget {
+  bool Reserve(long bytes);
+};
+
+struct CondVar {};
+
+namespace deeprest {
+
+class Polite {
+ public:
+  void Tick() {
+    {
+      MutexLock lock(polite_mu_);
+      pending_ = true;
+      lock.Wait(wake_);
+    }
+    budget_->Reserve(1024);
+  }
+
+ private:
+  Mutex polite_mu_;
+  CondVar wake_;
+  bool pending_ DEEPREST_GUARDED_BY(polite_mu_);
+  MemoryBudget* budget_;
+};
+
+}  // namespace deeprest

@@ -1,0 +1,25 @@
+// Fixture: must trip blocking-under-lock — MemoryBudget::Reserve() runs
+// pressure callbacks under the budget mutex, so calling it while holding
+// mu_ is exactly the lock-inversion hazard src/serve/state_cache.h warns
+// about ("never Reserve() while holding a cache mutex").
+#include "src/core/thread_annotations.h"
+
+struct MemoryBudget {
+  bool Reserve(long bytes);
+};
+
+namespace deeprest {
+
+class Pressured {
+ public:
+  void Tick() {
+    MutexLock lock(press_mu_);
+    budget_->Reserve(1024);
+  }
+
+ private:
+  Mutex press_mu_;
+  MemoryBudget* budget_ DEEPREST_GUARDED_BY(press_mu_);
+};
+
+}  // namespace deeprest

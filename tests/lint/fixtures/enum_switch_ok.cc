@@ -1,0 +1,29 @@
+// Fixture: exhaustive handling of enforced enums — one switch names every
+// KernelMode enumerator, the other covers a subset but carries a default
+// arm. enum-switch must stay silent on both.
+enum class KernelMode {
+  kTiled,
+  kReference,
+  kSimd,
+};
+
+int Cost(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kTiled:
+      return 3;
+    case KernelMode::kReference:
+      return 9;
+    case KernelMode::kSimd:
+      return 1;
+  }
+  return 0;
+}
+
+bool IsFast(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kSimd:
+      return true;
+    default:
+      return false;
+  }
+}

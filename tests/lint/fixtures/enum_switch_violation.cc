@@ -1,0 +1,15 @@
+// Fixture: must trip enum-switch — ShedPolicy is one of the enforced
+// enums, and this switch handles only one of its two enumerators with no
+// default arm, so adding a policy would silently fall through.
+enum class ShedPolicy {
+  kRejectNew,
+  kDropOldest,
+};
+
+int Describe(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kRejectNew:
+      return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Fixture: must trip resource-pairing — the same amount is released twice
+// with no intervening charge, corrupting the budget gauge (the second
+// release un-accounts someone else's bytes).
+struct MemoryBudget {
+  void Charge(long bytes);
+  void Release(long bytes);
+};
+
+void DoubleRelease(MemoryBudget& budget, long bytes) {
+  budget.Charge(bytes);
+  budget.Release(bytes);
+  budget.Release(bytes);
+}

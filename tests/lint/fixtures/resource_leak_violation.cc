@@ -1,0 +1,19 @@
+// Fixture: must trip resource-pairing — the function pairs Charge with
+// Release on the happy path, but the early-return path exits with the
+// charge still held, leaking budget every time the flaky branch is taken.
+struct MemoryBudget {
+  void Charge(long bytes);
+  void Release(long bytes);
+};
+
+void Use(long bytes);
+
+bool ChargeWithEarlyReturn(MemoryBudget& budget, long bytes, bool flaky) {
+  budget.Charge(bytes);
+  if (flaky) {
+    return false;
+  }
+  Use(bytes);
+  budget.Release(bytes);
+  return true;
+}

@@ -1,0 +1,31 @@
+// Fixture: balanced Charge/Release pairing on every path — including the
+// early-return arm — plus the sanctioned `if (!Reserve())` guard idiom
+// (the charge only lands on the success path). resource-pairing must stay
+// silent.
+struct MemoryBudget {
+  void Charge(long bytes);
+  void Release(long bytes);
+  bool Reserve(long bytes);
+};
+
+void Use(long bytes);
+
+bool BalancedPaths(MemoryBudget& budget, long bytes, bool flaky) {
+  budget.Charge(bytes);
+  if (flaky) {
+    budget.Release(bytes);
+    return false;
+  }
+  Use(bytes);
+  budget.Release(bytes);
+  return true;
+}
+
+bool GuardedReserve(MemoryBudget& budget, long bytes) {
+  if (!budget.Reserve(bytes)) {
+    return false;  // Reserve failed: nothing to release on this path
+  }
+  Use(bytes);
+  budget.Release(bytes);
+  return true;
+}

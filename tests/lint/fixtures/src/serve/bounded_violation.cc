@@ -1,5 +1,5 @@
-// Fixture: a std::map member in a src/serve class with no
-// `deeprest-lint: bounded(...)` annotation — bounded-containers-in-serve
+// Fixture: a std::map member in a src/serve class with no bounded-cap
+// escape annotation — bounded-containers-in-serve
 // must fire on the member (and only on the member: the local map inside the
 // method and the parameter are usage, not unbounded resident state).
 #include <cstdint>

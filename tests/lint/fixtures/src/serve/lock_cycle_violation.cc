@@ -1,0 +1,17 @@
+// Fixture: must trip lock-graph-cycle — the two ACQUIRED_AFTER annotations
+// order each lock after the other, so the declared hierarchy promises a
+// deadlock. No function ever acquires them (the cycle is an annotation bug,
+// not a runtime one), so no other rule may fire.
+#include "src/core/thread_annotations.h"
+
+namespace deeprest {
+
+class CyclePair {
+ private:
+  Mutex cyc_a_mu_ DEEPREST_ACQUIRED_AFTER(cyc_b_mu_);
+  Mutex cyc_b_mu_ DEEPREST_ACQUIRED_AFTER(cyc_a_mu_);
+  int left_ DEEPREST_GUARDED_BY(cyc_a_mu_);
+  int right_ DEEPREST_GUARDED_BY(cyc_b_mu_);
+};
+
+}  // namespace deeprest

@@ -1,0 +1,24 @@
+// Fixture: a consistent two-level lock hierarchy — the root carries a
+// lock-level comment, the inner lock an ACQUIRED_AFTER annotation, and the
+// only nested acquisition follows the declared order. No lock-graph rule
+// (cycle, order, position) may fire.
+#include "src/core/thread_annotations.h"
+
+namespace deeprest {
+
+class GraphCoordinator {
+ public:
+  void Sweep() {
+    MutexLock outer(sweep_mu_);
+    MutexLock inner(detail_mu_);
+    details_ += sweeps_;
+  }
+
+ private:
+  Mutex sweep_mu_;  // deeprest-lint: lock-level(root)
+  Mutex detail_mu_ DEEPREST_ACQUIRED_AFTER(sweep_mu_);
+  int sweeps_ DEEPREST_GUARDED_BY(sweep_mu_);
+  int details_ DEEPREST_GUARDED_BY(detail_mu_);
+};
+
+}  // namespace deeprest

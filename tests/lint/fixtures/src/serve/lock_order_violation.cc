@@ -1,0 +1,23 @@
+// Fixture: must trip lock-graph-order — the annotations order ord_a_mu_
+// before ord_b_mu_, but Swap() acquires them inverted, which deadlocks
+// against any thread following the declared order.
+#include "src/core/thread_annotations.h"
+
+namespace deeprest {
+
+class InvertedOrder {
+ public:
+  void Swap() {
+    MutexLock second(ord_b_mu_);
+    MutexLock first(ord_a_mu_);
+    left_ = right_;
+  }
+
+ private:
+  Mutex ord_a_mu_;  // deeprest-lint: lock-level(root)
+  Mutex ord_b_mu_ DEEPREST_ACQUIRED_AFTER(ord_a_mu_);
+  int left_ DEEPREST_GUARDED_BY(ord_a_mu_);
+  int right_ DEEPREST_GUARDED_BY(ord_b_mu_);
+};
+
+}  // namespace deeprest

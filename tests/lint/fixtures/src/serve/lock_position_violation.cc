@@ -1,0 +1,16 @@
+// Fixture: must trip lock-graph-position — a serving-layer mutex with no
+// hierarchy position at all: no ACQUIRED_AFTER/BEFORE annotation, nothing
+// references it, and no lock-level comment. It guards a field, so the
+// legacy mutex-needs-guarded-by rule stays silent; only the position rule
+// may fire.
+#include "src/core/thread_annotations.h"
+
+namespace deeprest {
+
+class FloatingLock {
+ private:
+  Mutex float_mu_;
+  int state_ DEEPREST_GUARDED_BY(float_mu_);
+};
+
+}  // namespace deeprest

@@ -1,0 +1,9 @@
+// Fixture: must trip stale-escape — the inline allow() below grants
+// no-unseeded-rand on a line that no longer calls rand(), so the escape
+// suppresses nothing and would silently mask a future regression.
+int NextTicket() {
+  static int counter = 0;
+  // deeprest-lint: allow(no-unseeded-rand) — stale: the rand() call was removed
+  counter += 1;
+  return counter;
+}

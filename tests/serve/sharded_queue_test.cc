@@ -49,6 +49,11 @@ Tally Resolve(std::vector<std::future<EstimationService::EstimateResult>>& futur
       case RequestStatus::kRejectedStopped:
         ++tally.rejected;
         break;
+      case RequestStatus::kHedgedDuplicate:
+        // Hedged duplicates are folded into the primary's result upstream;
+        // a future never resolves with this status, but the tally must stay
+        // exhaustive so new statuses can't silently vanish.
+        break;
     }
   }
   return tally;

@@ -43,6 +43,7 @@ TEST(MemoryBudgetTest, GaugeTracksChargeAndRelease) {
   EXPECT_EQ(budget.budget(), 1000u);
   EXPECT_EQ(budget.used(), 0u);
   EXPECT_EQ(budget.overage(), 0u);
+  // deeprest-lint: allow(resource-pairing) — unbalanced by design: clamp test
   budget.Charge(600);
   EXPECT_EQ(budget.used(), 600u);
   EXPECT_EQ(budget.overage(), 0u);

@@ -1,0 +1,214 @@
+// Content-hash incremental cache. One text file, tab-separated records:
+//
+//   deeprest-analyze-cache <global_key>
+//   facts <facts_hash>
+//   file <path> <content_hash>
+//   mutex <owner> <name> <line> <level> <after,...> <before,...> <allows,...>
+//   enumt <name> <line> <enum1,enum2,...>
+//   diag <line> <rule> <escaped message>
+//   usea <allowlist index>
+//   end
+//
+// The global key folds in the engine version and the allowlist bytes: any
+// rule-semantics or suppression change drops the whole cache. A file whose
+// content hash matches reuses its facts, per-file diagnostics and allowlist
+// usage without being re-lexed. The cross-file passes (lock graph, enum
+// tables, stale allowlist entries) are recomputed from facts every run —
+// they are cheap — and if the combined facts fingerprint shifts, the engine
+// re-analyzes everything, because per-file flow diagnostics depend on the
+// global graph.
+#include <fstream>
+#include <sstream>
+
+#include "tools/analyze/analyze.h"
+
+namespace deeprest_analyze {
+namespace {
+
+std::string EscapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      out += s[i] == 't' ? '\t' : s[i] == 'n' ? '\n' : s[i];
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+  return fields;
+}
+
+std::string JoinCommas(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const std::string& part : parts) {
+    out += out.empty() ? part : "," + part;
+  }
+  return out;
+}
+
+std::string JoinCommas(const std::set<std::string>& parts) {
+  return JoinCommas(std::vector<std::string>(parts.begin(), parts.end()));
+}
+
+std::vector<std::string> SplitCommas(const std::string& joined) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start < joined.size()) {
+    const size_t comma = joined.find(',', start);
+    if (comma == std::string::npos) {
+      parts.push_back(joined.substr(start));
+      break;
+    }
+    if (comma > start) {
+      parts.push_back(joined.substr(start, comma - start));
+    }
+    start = comma + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+std::string HashBytes(const std::string& bytes) {
+  // FNV-1a, 64-bit.
+  uint64_t hash = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  std::ostringstream out;
+  out << std::hex << hash;
+  return out.str();
+}
+
+std::string SerializeFacts(const FileFacts& facts) {
+  std::ostringstream out;
+  for (const MutexFact& m : facts.mutexes) {
+    out << "mutex\t" << EscapeField(m.owner) << '\t' << EscapeField(m.name) << '\t'
+        << m.line << '\t' << EscapeField(m.lock_level) << '\t'
+        << JoinCommas(m.acquired_after) << '\t' << JoinCommas(m.acquired_before)
+        << '\t' << JoinCommas(m.inline_allows) << '\n';
+  }
+  for (const EnumFact& e : facts.enums) {
+    out << "enumt\t" << EscapeField(e.name) << '\t' << e.line << '\t'
+        << JoinCommas(e.enumerators) << '\n';
+  }
+  return out.str();
+}
+
+bool LoadCache(const std::string& path, Cache& cache) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return false;
+  }
+  {
+    const std::vector<std::string> header = SplitTabs(line);
+    if (header.size() != 2 || header[0] != "deeprest-analyze-cache") {
+      return false;
+    }
+    cache.global_key = header[1];
+  }
+  CachedFile* current = nullptr;
+  while (std::getline(in, line)) {
+    const std::vector<std::string> f = SplitTabs(line);
+    if (f.empty()) {
+      continue;
+    }
+    if (f[0] == "facts" && f.size() == 2) {
+      cache.facts_hash = f[1];
+    } else if (f[0] == "file" && f.size() == 3) {
+      current = &cache.files[UnescapeField(f[1])];
+      current->content_hash = f[2];
+    } else if (current == nullptr) {
+      continue;
+    } else if (f[0] == "mutex" && f.size() == 8) {
+      MutexFact m;
+      m.owner = UnescapeField(f[1]);
+      m.name = UnescapeField(f[2]);
+      m.line = std::atoi(f[3].c_str());
+      m.lock_level = UnescapeField(f[4]);
+      m.acquired_after = SplitCommas(f[5]);
+      m.acquired_before = SplitCommas(f[6]);
+      for (const std::string& rule : SplitCommas(f[7])) {
+        m.inline_allows.insert(rule);
+      }
+      current->facts.mutexes.push_back(m);
+    } else if (f[0] == "enumt" && f.size() == 4) {
+      EnumFact e;
+      e.name = UnescapeField(f[1]);
+      e.line = std::atoi(f[2].c_str());
+      e.enumerators = SplitCommas(f[3]);
+      current->facts.enums.push_back(e);
+    } else if (f[0] == "diag" && f.size() == 4) {
+      Diagnostic d;
+      d.line = std::atoi(f[1].c_str());
+      d.rule = UnescapeField(f[2]);
+      d.message = UnescapeField(f[3]);
+      current->diagnostics.push_back(d);
+    } else if (f[0] == "usea" && f.size() == 2) {
+      current->used_allowlist.insert(static_cast<size_t>(std::atol(f[1].c_str())));
+    }
+  }
+  return true;
+}
+
+bool SaveCache(const std::string& path, const Cache& cache) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << "deeprest-analyze-cache\t" << cache.global_key << '\n';
+  out << "facts\t" << cache.facts_hash << '\n';
+  for (const auto& [file_path, file] : cache.files) {
+    out << "file\t" << EscapeField(file_path) << '\t' << file.content_hash << '\n';
+    out << SerializeFacts(file.facts);
+    for (const Diagnostic& d : file.diagnostics) {
+      out << "diag\t" << d.line << '\t' << EscapeField(d.rule) << '\t'
+          << EscapeField(d.message) << '\n';
+    }
+    for (size_t index : file.used_allowlist) {
+      out << "usea\t" << index << '\n';
+    }
+    out << "end\n";
+  }
+  return out.good();
+}
+
+}  // namespace deeprest_analyze

@@ -1,0 +1,826 @@
+// Intra-procedural control-flow rules. Function bodies are located by
+// signature shape (`) ... {` outside any other body, with ctor-init lists,
+// qualifiers and DEEPREST_* attributes skipped), then each body gets:
+//
+//   * a linear lock-scope walk — RAII lock declarations (MutexLock,
+//     lock_guard, unique_lock, scoped_lock) tracked by brace depth, plus
+//     locks held via DEEPREST_REQUIRES on the signature:
+//       - blocking-under-lock: cv waits (.wait/.wait_for/.wait_until —
+//         MutexLock's capital Wait* wrappers release the lock and are
+//         sanctioned), thread sleeps, SlabFile WriteSlot/ReadSlot disk I/O,
+//         and MemoryBudget Reserve/CheckPressure while any lock is held;
+//       - lock-graph-order: acquiring B while holding A when the global
+//         graph orders B before A (or B == A, or A is lock-level(leaf)).
+//
+//   * a statement-tree parse (if/else branching; loops and switches inlined
+//     once) enumerating early-return paths for resource-pairing:
+//       - a Charge/Reserve with a matching Release on one path but a net
+//         positive balance on another is a leak on that other path;
+//       - two Releases of the same amount with no intervening Charge on one
+//         path is a double-release;
+//       - a discarded `x.Acquire*(...)` statement destroys its lease
+//         immediately — the pin never existed.
+//     `if (!x.Reserve(n))` guards are modeled path-sensitively: the charge
+//     lands on the success arm only.
+#include <string>
+
+#include "tools/analyze/analyze.h"
+
+namespace deeprest_analyze {
+namespace {
+
+bool TokenIs(const std::vector<Token>& t, size_t i, const char* text) {
+  return i < t.size() && t[i].text == text;
+}
+
+bool IsIdent(const std::vector<Token>& t, size_t i) {
+  return i < t.size() && IsIdentChar(t[i].text[0]);
+}
+
+// Index just past the `)` matching the `(` at `open`.
+size_t SkipParens(const std::vector<Token>& t, size_t open, size_t end) {
+  int parens = 0;
+  for (size_t j = open; j < end; ++j) {
+    if (t[j].text == "(") {
+      ++parens;
+    } else if (t[j].text == ")" && --parens == 0) {
+      return j + 1;
+    }
+  }
+  return end;
+}
+
+// The `member.chain` (idents joined by . -> ::) ENDING at token `last`
+// inclusive; `first_out` receives the chain's first token index.
+std::string ChainEndingAt(const std::vector<Token>& t, size_t last, size_t* first_out) {
+  size_t first = last;
+  while (first >= 2) {
+    const std::string& prev = t[first - 1].text;
+    if (prev == "." && IsIdent(t, first - 2)) {
+      first -= 2;
+    } else if (prev == ">" && first >= 3 && t[first - 2].text == "-" &&
+               IsIdent(t, first - 3)) {
+      first -= 3;
+    } else if (prev == ":" && first >= 3 && t[first - 2].text == ":" &&
+               IsIdent(t, first - 3)) {
+      first -= 3;
+    } else {
+      break;
+    }
+  }
+  std::string chain;
+  for (size_t j = first; j <= last; ++j) {
+    chain += t[j].text;
+  }
+  if (first_out != nullptr) {
+    *first_out = first;
+  }
+  return chain;
+}
+
+// ---------------------------------------------------------------------------
+// Lock-scope walk: blocking-under-lock + lock-graph-order
+// ---------------------------------------------------------------------------
+
+struct HeldLock {
+  int depth = 0;         // brace depth of the declaration (0 = whole function)
+  std::string var;       // RAII variable name ("" for REQUIRES)
+  std::string node_id;   // resolved graph node, "" if unresolved
+  std::string display;   // what diagnostics call it
+  int line = 0;
+  bool active = true;
+};
+
+const char* kLockTypes[] = {"MutexLock", "lock_guard", "unique_lock", "scoped_lock"};
+
+bool IsLockType(const std::string& s) {
+  for (const char* type : kLockTypes) {
+    if (s == type) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void WalkLockScopes(const std::string& path, const FileScan& scan,
+                    const LockGraph& graph, const std::string& owner,
+                    const std::vector<std::string>& requires_args, size_t begin,
+                    size_t end, Sink& sink) {
+  const auto& t = scan.tokens;
+  std::vector<HeldLock> held;
+  for (const std::string& name : requires_args) {
+    HeldLock lock;
+    lock.depth = -1;  // outlives every scope in the body
+    lock.node_id = graph.Resolve(name, owner);
+    lock.display = lock.node_id.empty() ? name : lock.node_id;
+    held.push_back(lock);
+  }
+  auto any_held = [&held] {
+    for (const HeldLock& lock : held) {
+      if (lock.active) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto innermost = [&held]() -> const HeldLock& {
+    const HeldLock* best = &held.front();
+    for (const HeldLock& lock : held) {
+      if (lock.active) {
+        best = &lock;
+      }
+    }
+    return *best;
+  };
+  int depth = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const std::string& s = t[i].text;
+    if (s == "{") {
+      ++depth;
+      continue;
+    }
+    if (s == "}") {
+      while (!held.empty() && held.back().depth == depth) {
+        held.pop_back();
+      }
+      --depth;
+      continue;
+    }
+    // RAII lock declaration: `MutexLock var(expr...)` (template args allowed
+    // on the std types).
+    if (IsLockType(s)) {
+      size_t j = i + 1;
+      if (TokenIs(t, j, "<")) {
+        int angles = 0;
+        for (; j < end; ++j) {
+          if (t[j].text == "<") {
+            ++angles;
+          } else if (t[j].text == ">" && --angles == 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+      if (!IsIdent(t, j) || !TokenIs(t, j + 1, "(")) {
+        continue;
+      }
+      HeldLock lock;
+      lock.depth = depth;
+      lock.var = t[j].text;
+      lock.line = t[j].line;
+      // First constructor argument: the mutex expression.
+      size_t arg_last = j + 1;
+      size_t k = j + 2;
+      int parens = 1;
+      for (; k < end && parens > 0; ++k) {
+        const std::string& a = t[k].text;
+        if (a == "(") {
+          ++parens;
+        } else if (a == ")") {
+          --parens;
+        } else if (a == "," && parens == 1) {
+          break;
+        }
+        if (parens >= 1 && IsIdentChar(a[0])) {
+          arg_last = k;
+        }
+      }
+      if (IsIdent(t, arg_last)) {
+        const std::string bare = t[arg_last].text;
+        lock.node_id = graph.Resolve(bare, owner);
+        lock.display = lock.node_id.empty() ? ChainEndingAt(t, arg_last, nullptr)
+                                            : lock.node_id;
+        // Order check against everything currently held.
+        for (const HeldLock& prior : held) {
+          if (!prior.active) {
+            continue;
+          }
+          const LockNode* prior_node = nullptr;
+          auto node_it = graph.nodes.find(prior.node_id);
+          if (node_it != graph.nodes.end()) {
+            prior_node = &node_it->second;
+          }
+          if (!lock.node_id.empty() && !prior.node_id.empty() &&
+              graph.OrderedBefore(lock.node_id, prior.node_id)) {
+            sink.Report("lock-graph-order", path, lock.line,
+                        lock.node_id == prior.node_id
+                            ? "re-acquiring `" + lock.node_id + "` already held "
+                              "in this scope — self-deadlock"
+                            : "acquiring `" + lock.node_id + "` while holding `" +
+                              prior.node_id + "` inverts the declared order (" +
+                              lock.node_id + " is annotated before " +
+                              prior.node_id + "); see DESIGN.md §7",
+                        scan);
+          } else if (prior_node != nullptr && prior_node->leaf) {
+            sink.Report("lock-graph-order", path, lock.line,
+                        "acquiring `" + lock.display + "` while holding `" +
+                        prior.display + "`, which is annotated "
+                        "lock-level(leaf) — leaf locks must be terminal",
+                        scan);
+          }
+        }
+      }
+      held.push_back(lock);
+      i = j + 1;  // resume inside the constructor args (events already taken)
+      continue;
+    }
+    // Early release: `var.Unlock()` (MutexLock) / `var.unlock()` (std).
+    if ((s == "Unlock" || s == "unlock") && i >= 2 && t[i - 1].text == "." &&
+        TokenIs(t, i + 1, "(")) {
+      for (HeldLock& lock : held) {
+        if (lock.active && lock.var == t[i - 2].text) {
+          lock.active = false;
+        }
+      }
+      continue;
+    }
+    if (!any_held()) {
+      continue;
+    }
+    // Blocking calls while a lock scope is live.
+    const bool member_call =
+        i >= 1 && (t[i - 1].text == "." ||
+                   (t[i - 1].text == ">" && i >= 2 && t[i - 2].text == "-"));
+    std::string what;
+    if ((s == "Reserve" || s == "CheckPressure") && member_call &&
+        TokenIs(t, i + 1, "(")) {
+      what = "MemoryBudget::" + s + "() takes the budget mutex and may run "
+             "pressure callbacks";
+    } else if ((s == "WriteSlot" || s == "ReadSlot") && member_call &&
+               TokenIs(t, i + 1, "(")) {
+      what = "SlabFile::" + s + "() is disk I/O";
+    } else if ((s == "sleep_for" || s == "sleep_until") && TokenIs(t, i + 1, "(")) {
+      what = "thread sleep";
+    } else if ((s == "wait" || s == "wait_for" || s == "wait_until") &&
+               member_call && TokenIs(t, i + 1, "(")) {
+      what = "raw condition-variable " + s + "() (it does not release the "
+             "MutexLock; use MutexLock::Wait*)";
+    }
+    if (!what.empty()) {
+      sink.Report("blocking-under-lock", path, t[i].line,
+                  what + " while holding `" + innermost().display + "` — "
+                  "blocking under a lock stalls every waiter; move it outside "
+                  "the critical section (see src/serve/state_cache.h)",
+                  scan);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Resource-pairing: statement tree + path enumeration
+// ---------------------------------------------------------------------------
+
+struct Event {
+  enum Kind { kCharge, kRelease, kReturn } kind = kCharge;
+  std::string recv;
+  std::string arg;
+  int line = 0;
+};
+
+struct Node {
+  bool is_branch = false;
+  std::vector<Event> events;           // linear node
+  std::vector<Node> then_arm, else_arm;  // branch node
+};
+
+// Records Charge/Reserve/Release member calls in [b, e). Reserve events are
+// diverted to `reserves` with their negation context when it is non-null
+// (condition parsing); otherwise they count as plain charges.
+void CollectEvents(const std::vector<Token>& t, size_t b, size_t e,
+                   std::vector<Event>* events,
+                   std::vector<std::pair<Event, bool>>* reserves) {
+  for (size_t i = b; i < e; ++i) {
+    const std::string& s = t[i].text;
+    const bool member_call =
+        i >= 1 && (t[i - 1].text == "." ||
+                   (t[i - 1].text == ">" && i >= 2 && t[i - 2].text == "-"));
+    if (!member_call || !TokenIs(t, i + 1, "(")) {
+      continue;
+    }
+    if (s != "Charge" && s != "Release" && s != "Reserve") {
+      continue;
+    }
+    Event event;
+    event.kind = s == "Release" ? Event::kRelease : Event::kCharge;
+    event.line = t[i].line;
+    const size_t recv_last = t[i - 1].text == "." ? i - 2 : i - 3;
+    size_t chain_first = recv_last;
+    event.recv = ChainEndingAt(t, recv_last, &chain_first);
+    for (size_t j = i + 2; j < e; ++j) {
+      if (t[j].text == ")") {
+        break;
+      }
+      event.arg += t[j].text;
+    }
+    if (s == "Reserve" && reserves != nullptr) {
+      const bool negated = chain_first >= 1 && t[chain_first - 1].text == "!";
+      reserves->push_back({event, negated});
+    } else {
+      events->push_back(event);
+    }
+  }
+}
+
+class TreeParser {
+ public:
+  TreeParser(const std::string& path, const std::vector<Token>& t,
+             const FileScan& scan, Sink& sink)
+      : path_(path), t_(t), scan_(scan), sink_(sink) {}
+
+  std::vector<Node> ParseBlock(size_t b, size_t e) {
+    std::vector<Node> nodes;
+    size_t i = b;
+    while (i < e) {
+      const std::string& s = t_[i].text;
+      if (s == ";" || s == "}") {
+        ++i;
+        continue;
+      }
+      if (s == "{") {
+        const size_t close = MatchBrace(i, e);
+        auto inner = ParseBlock(i + 1, close);
+        nodes.insert(nodes.end(), inner.begin(), inner.end());
+        i = close + 1;
+        continue;
+      }
+      if (s == "if" && TokenIs(t_, i + 1, "(")) {
+        const size_t cond_end = SkipParens(t_, i + 1, e);
+        Node linear;
+        std::vector<std::pair<Event, bool>> reserves;
+        CollectEvents(t_, i + 1, cond_end, &linear.events, &reserves);
+        if (!linear.events.empty()) {
+          nodes.push_back(linear);  // unconditional side effects of the cond
+        }
+        Node branch;
+        branch.is_branch = true;
+        size_t next = ParseArm(cond_end, e, &branch.then_arm);
+        if (next < e && TokenIs(t_, next, "else")) {
+          next = ParseArm(next + 1, e, &branch.else_arm);
+        }
+        // `if (!x.Reserve(n))` charges only on the success (else/continuation)
+        // arm; un-negated Reserve charges on the then arm.
+        for (const auto& [event, negated] : reserves) {
+          Node charge;
+          charge.events.push_back(event);
+          if (negated) {
+            branch.else_arm.insert(branch.else_arm.begin(), charge);
+          } else {
+            branch.then_arm.insert(branch.then_arm.begin(), charge);
+          }
+        }
+        nodes.push_back(branch);
+        i = next;
+        continue;
+      }
+      if ((s == "for" || s == "while" || s == "switch") && TokenIs(t_, i + 1, "(")) {
+        const size_t cond_end = SkipParens(t_, i + 1, e);
+        Node linear;
+        CollectEvents(t_, i + 1, cond_end, &linear.events, nullptr);
+        if (!linear.events.empty()) {
+          nodes.push_back(linear);
+        }
+        // Loop/switch bodies are inlined once: enough for pairing, and a
+        // 0-iteration leak report would be noise on every drain loop.
+        std::vector<Node> body;
+        i = ParseArm(cond_end, e, &body);
+        nodes.insert(nodes.end(), body.begin(), body.end());
+        continue;
+      }
+      if (s == "do") {
+        std::vector<Node> body;
+        i = ParseArm(i + 1, e, &body);
+        nodes.insert(nodes.end(), body.begin(), body.end());
+        continue;
+      }
+      if (s == "return") {
+        size_t stmt_end = StatementEnd(i + 1, e);
+        Node linear;
+        CollectEvents(t_, i + 1, stmt_end, &linear.events, nullptr);
+        Event ret;
+        ret.kind = Event::kReturn;
+        ret.line = t_[i].line;
+        linear.events.push_back(ret);
+        nodes.push_back(linear);
+        i = stmt_end + 1;
+        continue;
+      }
+      // Plain statement.
+      const size_t stmt_end = StatementEnd(i, e);
+      Node linear;
+      CollectEvents(t_, i, stmt_end, &linear.events, nullptr);
+      CheckDiscardedAcquire(i, stmt_end);
+      if (!linear.events.empty()) {
+        nodes.push_back(linear);
+      }
+      i = stmt_end + 1;
+    }
+    return nodes;
+  }
+
+ private:
+  size_t MatchBrace(size_t open, size_t e) const {
+    int braces = 0;
+    for (size_t j = open; j < e; ++j) {
+      if (t_[j].text == "{") {
+        ++braces;
+      } else if (t_[j].text == "}" && --braces == 0) {
+        return j;
+      }
+    }
+    return e;
+  }
+
+  // End (the `;`) of the statement starting at `b`, skipping nested parens
+  // and braces (lambda bodies, brace-init).
+  size_t StatementEnd(size_t b, size_t e) const {
+    int parens = 0;
+    int braces = 0;
+    for (size_t j = b; j < e; ++j) {
+      const std::string& s = t_[j].text;
+      if (s == "(") {
+        ++parens;
+      } else if (s == ")") {
+        --parens;
+      } else if (s == "{") {
+        ++braces;
+      } else if (s == "}") {
+        if (braces == 0) {
+          return j;  // enclosing block closes: statement ends here
+        }
+        --braces;
+      } else if (s == ";" && parens <= 0 && braces == 0) {
+        return j;
+      }
+    }
+    return e;
+  }
+
+  // Parses one arm: a braced block or a single statement (possibly a nested
+  // `if`). Returns the index just past the arm.
+  size_t ParseArm(size_t b, size_t e, std::vector<Node>* arm) {
+    if (b >= e) {
+      return e;
+    }
+    if (TokenIs(t_, b, "{")) {
+      const size_t close = MatchBrace(b, e);
+      *arm = ParseBlock(b + 1, close);
+      return close + 1;
+    }
+    // Single statement — reuse the block parser on its token range.
+    if (TokenIs(t_, b, "if") || TokenIs(t_, b, "for") || TokenIs(t_, b, "while") ||
+        TokenIs(t_, b, "do") || TokenIs(t_, b, "switch")) {
+      // Control statement as an arm: parse greedily from here; ParseBlock
+      // handles the structure, StatementEnd below would not.
+      std::vector<Node> sub = ParseBlock(b, ArmEnd(b, e));
+      *arm = sub;
+      return ArmEnd(b, e);
+    }
+    const size_t stmt_end = StatementEnd(b, e);
+    *arm = ParseBlock(b, stmt_end + 1 > e ? e : stmt_end + 1);
+    return stmt_end + 1 > e ? e : stmt_end + 1;
+  }
+
+  // End of a brace-less control-statement arm (`if (...) if (...) x;`):
+  // the end of its first full statement after the control header chain.
+  size_t ArmEnd(size_t b, size_t e) const {
+    size_t j = b;
+    while (j < e) {
+      const std::string& s = t_[j].text;
+      if (s == "if" || s == "for" || s == "while" || s == "switch") {
+        j = SkipParens(t_, j + 1, e);
+        continue;
+      }
+      if (s == "do" || s == "else") {
+        ++j;
+        continue;
+      }
+      if (s == "{") {
+        return MatchBrace(j, e) + 1;
+      }
+      return StatementEnd(j, e) + 1;
+    }
+    return e;
+  }
+
+  // A statement whose top-level expression is a bare `x.Acquire*(...)` call
+  // discards the returned lease immediately.
+  void CheckDiscardedAcquire(size_t b, size_t stmt_end) {
+    int parens = 0;
+    for (size_t j = b; j < stmt_end; ++j) {
+      const std::string& s = t_[j].text;
+      if (s == "(") {
+        ++parens;
+        continue;
+      }
+      if (s == ")") {
+        --parens;
+        continue;
+      }
+      if (s == "=" && parens == 0) {
+        return;  // the result is bound
+      }
+      if (parens == 0 && s.rfind("Acquire", 0) == 0 && j >= 1 &&
+          (t_[j - 1].text == "." ||
+           (t_[j - 1].text == ">" && j >= 2 && t_[j - 2].text == "-")) &&
+          TokenIs(t_, j + 1, "(")) {
+        sink_.Report("resource-pairing", path_, t_[j].line,
+                     "`" + s + "(...)` result discarded — the returned lease "
+                     "is destroyed before the statement ends, so the pin is "
+                     "released immediately; bind it to a named local",
+                     scan_);
+        return;
+      }
+    }
+  }
+
+  const std::string& path_;
+  const std::vector<Token>& t_;
+  const FileScan& scan_;
+  Sink& sink_;
+};
+
+// Enumerates early-return paths. `nodes[idx..]` continues an in-progress
+// path; closed paths land in `out`. `budget` caps the path count.
+void WalkPaths(const std::vector<Node>& nodes, size_t idx, std::vector<Event> current,
+               std::vector<std::vector<Event>>* out, int* budget, bool* overflow) {
+  if (*budget <= 0) {
+    *overflow = true;
+    return;
+  }
+  for (size_t k = idx; k < nodes.size(); ++k) {
+    const Node& node = nodes[k];
+    if (!node.is_branch) {
+      for (const Event& event : node.events) {
+        current.push_back(event);
+        if (event.kind == Event::kReturn) {
+          out->push_back(current);
+          --*budget;
+          return;
+        }
+      }
+      continue;
+    }
+    for (const std::vector<Node>* arm : {&node.then_arm, &node.else_arm}) {
+      std::vector<Node> joined = *arm;
+      joined.insert(joined.end(), nodes.begin() + k + 1, nodes.end());
+      WalkPaths(joined, 0, current, out, budget, overflow);
+    }
+    return;
+  }
+  out->push_back(current);
+  --*budget;
+}
+
+void CheckResourcePairing(const std::string& path, const FileScan& scan,
+                          size_t begin, size_t end, Sink& sink) {
+  TreeParser parser(path, scan.tokens, scan, sink);
+  const std::vector<Node> tree = parser.ParseBlock(begin, end);
+  std::vector<std::vector<Event>> paths;
+  int budget = 256;
+  bool overflow = false;
+  WalkPaths(tree, 0, {}, &paths, &budget, &overflow);
+  if (overflow) {
+    return;  // too many paths to reason about soundly — stay silent
+  }
+  // Receivers that ever get charged in this function.
+  std::set<std::string> receivers;
+  for (const auto& p : paths) {
+    for (const Event& event : p) {
+      if (event.kind == Event::kCharge) {
+        receivers.insert(event.recv);
+      }
+    }
+  }
+  for (const std::string& recv : receivers) {
+    // Anchor: some path both charges and later releases this receiver —
+    // the function "owns" the pairing, so an unbalanced sibling path leaks.
+    bool anchored = false;
+    for (const auto& p : paths) {
+      bool charged = false;
+      for (const Event& event : p) {
+        if (event.recv != recv) {
+          continue;
+        }
+        if (event.kind == Event::kCharge) {
+          charged = true;
+        } else if (event.kind == Event::kRelease && charged) {
+          anchored = true;
+        }
+      }
+    }
+    std::set<int> leak_lines;
+    std::set<int> double_release_lines;
+    for (const auto& p : paths) {
+      std::vector<const Event*> open;  // unmatched charges, in order
+      const Event* last_release = nullptr;
+      for (const Event& event : p) {
+        if (event.recv != recv) {
+          continue;
+        }
+        if (event.kind == Event::kCharge) {
+          open.push_back(&event);
+          last_release = nullptr;
+        } else if (event.kind == Event::kRelease) {
+          if (!open.empty()) {
+            open.pop_back();
+          } else if (last_release != nullptr && !event.arg.empty() &&
+                     last_release->arg == event.arg) {
+            double_release_lines.insert(event.line);
+          }
+          last_release = &event;
+        }
+      }
+      if (anchored) {
+        for (const Event* unmatched : open) {
+          leak_lines.insert(unmatched->line);
+        }
+      }
+    }
+    for (int line : leak_lines) {
+      sink.Report("resource-pairing", path, line,
+                  "`" + recv + "` is charged here but an early-return path "
+                  "exits without the matching Release — the budget leaks on "
+                  "that path",
+                  scan);
+    }
+    for (int line : double_release_lines) {
+      sink.Report("resource-pairing", path, line,
+                  "`" + recv + "` released twice with the same amount and no "
+                  "intervening charge on this path — double-release corrupts "
+                  "the budget gauge",
+                  scan);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Function discovery
+// ---------------------------------------------------------------------------
+
+// Signature-suffix scan: from a top-level `)` forward to `{`, allowing
+// cv-qualifiers, ref-qualifiers, noexcept, attributes, trailing return
+// types, ctor-init lists and DEEPREST_* annotations. REQUIRES arguments are
+// captured as held locks. Returns the body-open index, or 0 if this `)` does
+// not end a function signature.
+size_t FindBodyOpen(const std::vector<Token>& t, size_t close, size_t end,
+                    std::vector<std::string>* requires_args) {
+  size_t j = close + 1;
+  const size_t limit = close + 200;
+  while (j < end && j < limit) {
+    const std::string& a = t[j].text;
+    if (a == "{") {
+      return j;
+    }
+    if (a == ";" || a == "=") {
+      return 0;  // declaration, `= default/delete`, or an expression
+    }
+    if (a == "DEEPREST_REQUIRES" || a == "REQUIRES" || a == "requires_capability") {
+      if (TokenIs(t, j + 1, "(")) {
+        const size_t args_end = SkipParens(t, j + 1, end);
+        std::string current;
+        for (size_t k = j + 2; k + 1 < args_end; ++k) {
+          if (t[k].text == ",") {
+            if (!current.empty()) {
+              requires_args->push_back(current);
+            }
+            current.clear();
+          } else if (t[k].text == ":" || IsIdentChar(t[k].text[0])) {
+            current += t[k].text;
+          }
+        }
+        if (!current.empty()) {
+          requires_args->push_back(current);
+        }
+        j = args_end;
+        continue;
+      }
+    }
+    if (a == "(") {
+      j = SkipParens(t, j, end);
+      continue;
+    }
+    ++j;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void RunFlowRules(const std::string& path, const FileScan& scan,
+                  const LockGraph& graph, Sink& sink) {
+  const auto& t = scan.tokens;
+  // Class-body stack mirrors the indexer, so in-class method bodies resolve
+  // member locks against the right owner.
+  struct ClassBody {
+    std::string name;
+    int depth = 0;
+  };
+  std::vector<ClassBody> stack;
+  int depth = 0;
+  bool class_ahead = false;
+  std::string class_name_ahead;
+  size_t skip_function_scan_until = 0;  // inside an analyzed body
+  for (size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (s == "class" || s == "struct") {
+      class_ahead = true;
+      class_name_ahead.clear();
+      if (IsIdent(t, i + 1)) {
+        class_name_ahead = t[i + 1].text;
+      }
+      continue;
+    }
+    if (s == ";" && class_ahead) {
+      class_ahead = false;
+      continue;
+    }
+    if (s == "{") {
+      ++depth;
+      if (class_ahead) {
+        stack.push_back({class_name_ahead, depth});
+        class_ahead = false;
+      }
+      continue;
+    }
+    if (s == "}") {
+      if (!stack.empty() && stack.back().depth == depth) {
+        stack.pop_back();
+      }
+      --depth;
+      continue;
+    }
+    if (s != ")" || i < skip_function_scan_until) {
+      continue;
+    }
+    std::vector<std::string> requires_args;
+    const size_t body_open = FindBodyOpen(t, i, t.size(), &requires_args);
+    if (body_open == 0) {
+      continue;
+    }
+    // Locate the signature's name and class qualifier: walk back to the `(`
+    // matching this `)`, then over `Qual::Name`.
+    size_t open = i;
+    int parens = 0;
+    while (open > 0) {
+      if (t[open].text == ")") {
+        ++parens;
+      } else if (t[open].text == "(" && --parens == 0) {
+        break;
+      }
+      --open;
+    }
+    std::string qualifier;
+    if (open >= 1 && IsIdent(t, open - 1)) {
+      size_t name_at = open - 1;
+      std::string chain = ChainEndingAt(t, name_at, &name_at);
+      const size_t sep = chain.rfind("::");
+      if (sep != std::string::npos) {
+        qualifier = chain.substr(0, sep);
+        // Strip any leading namespace-ish segments conservatively: the graph
+        // resolves suffix-qualified names, so the full chain is fine too.
+      }
+    }
+    std::string owner;
+    for (const ClassBody& body : stack) {
+      if (!body.name.empty()) {
+        owner += owner.empty() ? body.name : "::" + body.name;
+      }
+    }
+    if (!qualifier.empty()) {
+      owner = owner.empty() ? qualifier : owner + "::" + qualifier;
+    }
+    // Body range.
+    int braces = 0;
+    size_t body_close = body_open;
+    for (; body_close < t.size(); ++body_close) {
+      if (t[body_close].text == "{") {
+        ++braces;
+      } else if (t[body_close].text == "}" && --braces == 0) {
+        break;
+      }
+    }
+    WalkLockScopes(path, scan, graph, owner, requires_args, body_open + 1,
+                   body_close, sink);
+    CheckResourcePairing(path, scan, body_open + 1, body_close, sink);
+    skip_function_scan_until = body_close;
+  }
+}
+
+void CheckStaleInlineGrants(const std::string& path, const FileScan& scan, Sink& sink) {
+  const auto by_path = sink.used_inline.find(path);
+  for (const AllowGrant& grant : scan.grants) {
+    if (by_path != sink.used_inline.end()) {
+      const auto used = by_path->second.find(grant.rule);
+      if (used != by_path->second.end() && used->second.count(grant.comment_line) > 0) {
+        continue;
+      }
+    }
+    sink.Report("stale-escape", path, grant.comment_line,
+                "`" + grant.rule + "` escape here suppresses nothing — the "
+                "violation it covered is gone; delete the comment so dead "
+                "suppressions cannot hide new regressions",
+                scan);
+  }
+}
+
+}  // namespace deeprest_analyze

@@ -1,0 +1,215 @@
+// Tokenizer for deeprest_analyze. Direct descendant of the deeprest_lint
+// scanner: skips comments and string/char/raw literals, collects preprocessor
+// lines separately (lowercased, \-splices folded), splits everything else
+// into identifier and single-character punctuation tokens. Escape comments
+// (allow-rule and bounded-cap grants) and the new lock-level hierarchy
+// comments are recorded with their lines. The tag spellings live only in
+// string literals here — a doc comment quoting them verbatim would itself
+// parse as a grant and trip stale-escape.
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "tools/analyze/analyze.h"
+
+namespace deeprest_analyze {
+namespace {
+
+void RecordComment(const std::string& comment, int line, FileScan& scan) {
+  const std::string tag = "deeprest-lint:";
+  const size_t tag_at = comment.find(tag);
+  if (tag_at == std::string::npos) {
+    return;
+  }
+  // A bounded(<how>) comment is the positive annotation for the
+  // bounded-containers-in-serve rule: it both documents the cap and grants
+  // the member on this line or the next.
+  if (comment.find("bounded(", tag_at + tag.size()) != std::string::npos) {
+    scan.allowed_lines["bounded-containers-in-serve"].insert(line);
+    scan.allowed_lines["bounded-containers-in-serve"].insert(line + 1);
+    scan.grants.push_back({"bounded-containers-in-serve", line});
+  }
+  // `deeprest-lint: lock-level(<spec>)` places a mutex declared on this line
+  // (or the next) in the global lock hierarchy. Spec grammar: "leaf", "root",
+  // "after <lock> [<lock>...]", "before <lock> [<lock>...]".
+  const size_t level_at = comment.find("lock-level(", tag_at + tag.size());
+  if (level_at != std::string::npos) {
+    const size_t open = comment.find('(', level_at);
+    const size_t close = comment.find(')', open);
+    if (open != std::string::npos && close != std::string::npos) {
+      scan.lock_levels[line] = comment.substr(open + 1, close - open - 1);
+    }
+  }
+  size_t at = comment.find("allow", tag_at + tag.size());
+  if (at == std::string::npos) {
+    return;
+  }
+  const size_t open = comment.find('(', at);
+  const size_t close = comment.find(')', open == std::string::npos ? at : open);
+  if (open == std::string::npos || close == std::string::npos) {
+    return;
+  }
+  std::string rules = comment.substr(open + 1, close - open - 1);
+  std::replace(rules.begin(), rules.end(), ',', ' ');
+  std::istringstream stream(rules);
+  std::string rule;
+  while (stream >> rule) {
+    scan.allowed_lines[rule].insert(line);
+    scan.allowed_lines[rule].insert(line + 1);
+    scan.grants.push_back({rule, line});
+  }
+}
+
+}  // namespace
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+FileScan ScanFile(const std::string& text) {
+  FileScan scan;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = text.size();
+  bool at_line_start = true;
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      // Preprocessor directive: consume to end of line (honoring \-splices).
+      std::string pp;
+      const int pp_line = line;
+      while (i < n && text[i] != '\n') {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          pp += ' ';
+          i += 2;
+          ++line;
+          continue;
+        }
+        pp += static_cast<char>(std::tolower(static_cast<unsigned char>(text[i])));
+        ++i;
+      }
+      scan.pp_lines.push_back(pp);
+      scan.pp_line_numbers.push_back(pp_line);
+      continue;
+    }
+    at_line_start = false;
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const size_t end = text.find('\n', i);
+      const std::string comment =
+          text.substr(i, (end == std::string::npos ? n : end) - i);
+      RecordComment(comment, line, scan);
+      i = end == std::string::npos ? n : end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const size_t end = text.find("*/", i + 2);
+      const size_t stop = end == std::string::npos ? n : end + 2;
+      const std::string comment = text.substr(i, stop - i);
+      RecordComment(comment, line, scan);
+      for (size_t j = i; j < stop; ++j) {
+        if (text[j] == '\n') {
+          ++line;
+        }
+      }
+      i = stop;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      // String/char literal: skip with escape handling. Raw strings get a
+      // coarse but safe treatment (scan for the matching delimiter).
+      if (c == '"' && i > 0 && (text[i - 1] == 'R')) {
+        const size_t paren = text.find('(', i);
+        if (paren != std::string::npos) {
+          const std::string delim = ")" + text.substr(i + 1, paren - i - 1) + "\"";
+          const size_t end = text.find(delim, paren);
+          const size_t stop = end == std::string::npos ? n : end + delim.size();
+          for (size_t j = i; j < stop; ++j) {
+            if (text[j] == '\n') {
+              ++line;
+            }
+          }
+          i = stop;
+          continue;
+        }
+      }
+      const char quote = c;
+      ++i;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < n) {
+          ++i;
+        }
+        if (text[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      ++i;  // closing quote
+      continue;
+    }
+    if (IsIdentChar(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(text[j])) {
+        ++j;
+      }
+      scan.tokens.push_back({text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    scan.tokens.push_back({std::string(1, c), line});
+    ++i;
+  }
+  return scan;
+}
+
+bool Sink::Suppressed(const std::string& rule, const std::string& path, int line,
+                      const std::set<int>* granted_lines) {
+  bool hit = false;
+  for (size_t k = 0; k < allowlist.size(); ++k) {
+    const AllowlistEntry& e = allowlist[k];
+    if ((e.rule == rule || e.rule == "*") &&
+        path.find(e.path_substring) != std::string::npos) {
+      used_allowlist.insert(k);
+      hit = true;
+    }
+  }
+  if (granted_lines != nullptr && granted_lines->count(line) > 0) {
+    // The grant may sit on `line` or `line - 1` (comment-above style); mark
+    // both candidates used so either placement counts as live.
+    used_inline[path][rule].insert(line);
+    used_inline[path][rule].insert(line - 1);
+    hit = true;
+  }
+  return hit;
+}
+
+void Sink::Report(const std::string& rule, const std::string& path, int line,
+                  const std::string& message, const FileScan& scan) {
+  const auto it = scan.allowed_lines.find(rule);
+  const std::set<int>* granted = it == scan.allowed_lines.end() ? nullptr : &it->second;
+  if (!Suppressed(rule, path, line, granted)) {
+    diagnostics.push_back({path, line, rule, message});
+  }
+}
+
+void Sink::ReportFact(const std::string& rule, const std::string& path, int line,
+                      const std::string& message, const std::set<std::string>& inline_rules) {
+  std::set<int> granted;
+  if (inline_rules.count(rule) > 0) {
+    granted.insert(line);
+  }
+  if (!Suppressed(rule, path, line, granted.empty() ? nullptr : &granted)) {
+    diagnostics.push_back({path, line, rule, message});
+  }
+}
+
+}  // namespace deeprest_analyze

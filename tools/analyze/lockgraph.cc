@@ -1,0 +1,285 @@
+// Global lock graph: nodes are mutex members ("Owner::name"), edges mean
+// "acquired before". Edge sources, in declaration order of preference:
+//   * DEEPREST_ACQUIRED_AFTER(x)  on a member  -> edge x -> member
+//   * DEEPREST_ACQUIRED_BEFORE(x) on a member  -> edge member -> x
+//   * `// deeprest-lint: lock-level(after x [y...])`  -> edges x -> member
+//   * `// deeprest-lint: lock-level(before x [y...])` -> edges member -> x
+//   * `lock-level(leaf)` — terminal: acquiring anything while holding it is
+//     a lock-graph-order violation; `lock-level(root)` — positioned, no
+//     edges (a lock with no sanctioned nesting either way is still `root`).
+//
+// Global rules emitted here:
+//   lock-graph-cycle    — the declared order relation must be a DAG; a cycle
+//                         means the annotations promise a deadlock.
+//   lock-graph-position — every mutex in the ordered scopes (src/serve,
+//                         src/autoscale, src/sim, src/eval) must have a
+//                         hierarchy position: its own annotation, a
+//                         reference from another lock's annotation, or a
+//                         lock-level comment. Unpositioned locks are where
+//                         order violations hide.
+// The intra-procedural acquisition-order check lives in flow.cc.
+#include <sstream>
+
+#include "tools/analyze/analyze.h"
+
+namespace deeprest_analyze {
+namespace {
+
+bool InOrderedScope(const std::string& path) {
+  for (const char* pattern : {"src/serve", "src\\serve", "src/autoscale",
+                              "src\\autoscale", "src/sim", "src\\sim",
+                              "src/eval", "src\\eval"}) {
+    if (path.find(pattern) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Splits a lock-level spec ("after a b", "before x, y", "leaf", "root") into
+// its keyword and lock-name arguments.
+void ParseLockLevel(const std::string& spec, std::string* keyword,
+                    std::vector<std::string>* names) {
+  std::string cleaned = spec;
+  for (char& c : cleaned) {
+    if (c == ',') {
+      c = ' ';
+    }
+  }
+  std::istringstream stream(cleaned);
+  stream >> *keyword;
+  std::string name;
+  while (stream >> name) {
+    names->push_back(name);
+  }
+}
+
+}  // namespace
+
+bool LockGraph::OrderedBefore(const std::string& from, const std::string& to) const {
+  std::set<std::string> visited;
+  std::vector<std::string> frontier = {from};
+  while (!frontier.empty()) {
+    const std::string node = frontier.back();
+    frontier.pop_back();
+    if (node == to) {
+      return true;
+    }
+    if (!visited.insert(node).second) {
+      continue;
+    }
+    const auto it = edges.find(node);
+    if (it != edges.end()) {
+      for (const std::string& next : it->second) {
+        frontier.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+std::string LockGraph::Resolve(const std::string& name, const std::string& owner) const {
+  if (nodes.count(name) > 0) {
+    return name;  // already fully qualified
+  }
+  // Member of the owner chain, innermost scope first: for owner "A::B" try
+  // "A::B::name" then "A::name".
+  std::string scope = owner;
+  while (!scope.empty()) {
+    const std::string candidate = scope + "::" + name;
+    if (nodes.count(candidate) > 0) {
+      return candidate;
+    }
+    const size_t sep = scope.rfind("::");
+    scope = sep == std::string::npos ? "" : scope.substr(0, sep);
+  }
+  // Qualified-suffix / unique-bare-name match across the whole graph.
+  std::string found;
+  for (const auto& [id, node] : nodes) {
+    const size_t sep = id.rfind("::");
+    const std::string bare = sep == std::string::npos ? id : id.substr(sep + 2);
+    if (bare == name || (name.find("::") != std::string::npos &&
+                         id.size() >= name.size() &&
+                         id.compare(id.size() - name.size(), name.size(), name) == 0)) {
+      if (!found.empty() && found != id) {
+        return "";  // ambiguous
+      }
+      found = id;
+    }
+  }
+  return found;
+}
+
+LockGraph BuildLockGraph(const std::map<std::string, FileFacts>& facts, Sink& sink) {
+  LockGraph graph;
+  // Pass 1: nodes.
+  for (const auto& [path, file_facts] : facts) {
+    for (const MutexFact& m : file_facts.mutexes) {
+      const std::string id = m.owner.empty() ? m.name : m.owner + "::" + m.name;
+      LockNode& node = graph.nodes[id];
+      node.id = id;
+      node.path = path;
+      node.line = m.line;
+      node.inline_allows = m.inline_allows;
+      if (!m.lock_level.empty() || !m.acquired_after.empty() ||
+          !m.acquired_before.empty()) {
+        node.has_position = true;
+      }
+      if (m.lock_level.rfind("leaf", 0) == 0) {
+        node.leaf = true;
+      }
+    }
+  }
+  // Pass 2: edges (needs the full node table for name resolution).
+  for (const auto& [path, file_facts] : facts) {
+    (void)path;
+    for (const MutexFact& m : file_facts.mutexes) {
+      const std::string id = m.owner.empty() ? m.name : m.owner + "::" + m.name;
+      auto link = [&](const std::string& target_name, bool target_first) {
+        std::string target = graph.Resolve(target_name, m.owner);
+        if (target.empty()) {
+          target = target_name;  // keep the literal name as a floating node
+          LockNode& node = graph.nodes[target];
+          node.id = target;
+          node.has_position = true;
+        }
+        graph.nodes[target].has_position = true;
+        if (target_first) {
+          graph.edges[target].insert(id);
+        } else {
+          graph.edges[id].insert(target);
+        }
+      };
+      for (const std::string& name : m.acquired_after) {
+        link(name, /*target_first=*/true);
+      }
+      for (const std::string& name : m.acquired_before) {
+        link(name, /*target_first=*/false);
+      }
+      if (!m.lock_level.empty()) {
+        std::string keyword;
+        std::vector<std::string> names;
+        ParseLockLevel(m.lock_level, &keyword, &names);
+        for (const std::string& name : names) {
+          if (keyword == "after") {
+            link(name, /*target_first=*/true);
+          } else if (keyword == "before") {
+            link(name, /*target_first=*/false);
+          }
+        }
+      }
+    }
+  }
+  // Rule: lock-graph-cycle. DFS with colors; report each cycle once, at the
+  // declaration of the lexically-first lock on it.
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+  std::set<std::string> reported;
+  struct Visitor {
+    LockGraph& graph;
+    Sink& sink;
+    std::map<std::string, int>& color;
+    std::vector<std::string>& stack;
+    std::set<std::string>& reported;
+    void Visit(const std::string& node) {
+      color[node] = 1;
+      stack.push_back(node);
+      const auto it = graph.edges.find(node);
+      if (it != graph.edges.end()) {
+        for (const std::string& next : it->second) {
+          if (color[next] == 1) {
+            // Cycle: stack suffix from `next` to `node`.
+            std::vector<std::string> cycle;
+            bool in_cycle = false;
+            for (const std::string& frame : stack) {
+              if (frame == next) {
+                in_cycle = true;
+              }
+              if (in_cycle) {
+                cycle.push_back(frame);
+              }
+            }
+            cycle.push_back(next);
+            std::string first = cycle.front();
+            for (const std::string& member : cycle) {
+              if (member < first) {
+                first = member;
+              }
+            }
+            if (reported.insert(first).second) {
+              std::string chain;
+              for (const std::string& member : cycle) {
+                chain += chain.empty() ? member : " -> " + member;
+              }
+              const LockNode& anchor = graph.nodes[first];
+              sink.ReportFact("lock-graph-cycle",
+                              anchor.path.empty() ? "<lock-graph>" : anchor.path,
+                              anchor.line, "lock order cycle: " + chain +
+                              " — the ACQUIRED_AFTER/lock-level annotations "
+                              "promise a deadlock; break the cycle or fix the "
+                              "annotation",
+                              anchor.inline_allows);
+            }
+          } else if (color[next] == 0) {
+            Visit(next);
+          }
+        }
+      }
+      stack.pop_back();
+      color[node] = 2;
+    }
+  };
+  Visitor visitor{graph, sink, color, stack, reported};
+  for (const auto& [id, node] : graph.nodes) {
+    (void)node;
+    if (color[id] == 0) {
+      visitor.Visit(id);
+    }
+  }
+  // Rule: lock-graph-position.
+  for (const auto& [id, node] : graph.nodes) {
+    if (node.path.empty() || node.has_position || !InOrderedScope(node.path)) {
+      continue;
+    }
+    sink.ReportFact("lock-graph-position", node.path, node.line,
+                    "mutex `" + id + "` has no lock-hierarchy position — add "
+                    "DEEPREST_ACQUIRED_AFTER(...) or a `// deeprest-lint: "
+                    "lock-level(leaf|root|after X|before X)` comment so the "
+                    "analyzer can order it (DESIGN.md §7)",
+                    node.inline_allows);
+  }
+  return graph;
+}
+
+std::string LockGraphDot(const LockGraph& graph) {
+  std::ostringstream out;
+  out << "digraph deeprest_locks {\n";
+  out << "  rankdir=TB;\n";
+  out << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (const auto& [id, node] : graph.nodes) {
+    out << "  \"" << id << "\"";
+    std::string attrs;
+    if (node.leaf) {
+      attrs += "style=filled, fillcolor=lightgrey";
+    }
+    if (!node.path.empty()) {
+      if (!attrs.empty()) {
+        attrs += ", ";
+      }
+      attrs += "tooltip=\"" + node.path + ":" + std::to_string(node.line) + "\"";
+    }
+    if (!attrs.empty()) {
+      out << " [" << attrs << "]";
+    }
+    out << ";\n";
+  }
+  for (const auto& [from, targets] : graph.edges) {
+    for (const std::string& to : targets) {
+      out << "  \"" << from << "\" -> \"" << to << "\";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace deeprest_analyze

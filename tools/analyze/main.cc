@@ -1,0 +1,340 @@
+// deeprest_analyze driver. CLI is a superset of the old deeprest_lint:
+//
+//   deeprest_analyze [--root DIR] [--allowlist FILE] [--format=text|sarif|github]
+//                    [--out FILE] [--cache FILE] [--dot FILE] [--stats] [file...]
+//
+// With explicit files only those are analyzed (fixture tests); otherwise
+// every .h/.cc/.cpp/.hpp under DIR/src, DIR/tools and DIR/tests is walked
+// (self-lint: the analyzer's own sources are in scope). Exit code: 0 clean,
+// 1 violations, 2 usage/IO error.
+//
+// Run order matters for escape-usage accounting: global passes (lock graph)
+// first, then per-file passes, then stale-escape — an inline allow consumed
+// by a global diagnostic is live, not stale.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "tools/analyze/analyze.h"
+
+namespace {
+
+using namespace deeprest_analyze;
+
+struct FileState {
+  std::string path;
+  std::string bytes;
+  std::string content_hash;
+  bool cached = false;  // facts + per-file diagnostics reused from the cache
+  FileScan scan;        // populated for dirty files only
+  FileFacts facts;
+  std::vector<Diagnostic> file_diagnostics;
+  std::set<size_t> file_used_allowlist;
+};
+
+bool ReadFileBytes(const std::string& path, std::string* bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *bytes = buffer.str();
+  return true;
+}
+
+bool LoadAllowlist(const std::string& path, Sink& sink) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    std::istringstream stream(line);
+    std::string rule;
+    std::string substring;
+    if (stream >> rule >> substring) {
+      sink.allowlist.push_back({rule, substring, line_number});
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string allowlist_path;
+  std::string format = "text";
+  std::string out_path;
+  std::string cache_path;
+  std::string dot_path;
+  bool stats = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist_path = argv[++i];
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (arg == "--format" && i + 1 < argc) {
+      format = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--cache" && i + 1 < argc) {
+      cache_path = argv[++i];
+    } else if (arg == "--dot" && i + 1 < argc) {
+      dot_path = argv[++i];
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: deeprest_analyze [--root DIR] [--allowlist FILE] "
+          "[--format=text|sarif|github] [--out FILE] [--cache FILE] "
+          "[--dot FILE] [--stats] [file...]\n");
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (format != "text" && format != "sarif" && format != "github") {
+    std::fprintf(stderr, "deeprest_analyze: unknown --format %s\n", format.c_str());
+    return 2;
+  }
+
+  Sink sink;
+  std::string allowlist_bytes;
+  if (!allowlist_path.empty()) {
+    if (!LoadAllowlist(allowlist_path, sink)) {
+      std::fprintf(stderr, "deeprest_analyze: cannot read allowlist %s\n",
+                   allowlist_path.c_str());
+      return 2;
+    }
+    ReadFileBytes(allowlist_path, &allowlist_bytes);
+  }
+
+  if (files.empty()) {
+    const std::filesystem::path src = std::filesystem::path(root) / "src";
+    if (!std::filesystem::exists(src)) {
+      std::fprintf(stderr, "deeprest_analyze: no src/ under --root %s\n", root.c_str());
+      return 2;
+    }
+    for (const char* top : {"src", "tools", "tests"}) {
+      const std::filesystem::path dir = std::filesystem::path(root) / top;
+      if (!std::filesystem::exists(dir)) {
+        continue;
+      }
+      for (const auto& entry : std::filesystem::recursive_directory_iterator(dir)) {
+        if (!entry.is_regular_file()) {
+          continue;
+        }
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp") {
+          files.push_back(entry.path().string());
+        }
+      }
+    }
+    std::sort(files.begin(), files.end());  // deterministic diagnostic order
+  }
+
+  // Phase A: read, hash, and either reuse cached facts or lex + index.
+  const std::string global_key =
+      HashBytes(std::string(kEngineVersion) + "\n" + allowlist_bytes);
+  Cache cache;
+  const bool cache_valid = !cache_path.empty() && LoadCache(cache_path, cache) &&
+                           cache.global_key == global_key;
+  std::vector<FileState> states;
+  states.reserve(files.size());
+  for (const std::string& file : files) {
+    FileState state;
+    state.path = std::filesystem::path(file).generic_string();
+    if (!ReadFileBytes(file, &state.bytes)) {
+      std::fprintf(stderr, "deeprest_analyze: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    state.content_hash = HashBytes(state.bytes);
+    if (cache_valid) {
+      const auto it = cache.files.find(state.path);
+      if (it != cache.files.end() && it->second.content_hash == state.content_hash) {
+        state.cached = true;
+        state.facts = it->second.facts;
+        state.file_diagnostics = it->second.diagnostics;
+        state.file_used_allowlist = it->second.used_allowlist;
+      }
+    }
+    if (!state.cached) {
+      state.scan = ScanFile(state.bytes);
+      state.facts = ExtractFacts(state.path, state.scan);
+    }
+    states.push_back(std::move(state));
+  }
+
+  // Cross-file facts fingerprint: if it moved, per-file flow diagnostics may
+  // change even in untouched files (the lock graph is global) — re-analyze
+  // everything.
+  std::map<std::string, FileFacts> facts_by_path;
+  for (const FileState& state : states) {
+    facts_by_path[state.path] = state.facts;
+  }
+  std::string facts_blob;
+  for (const auto& [path, facts] : facts_by_path) {
+    facts_blob += path + "\n" + SerializeFacts(facts);
+  }
+  const std::string facts_hash = HashBytes(facts_blob);
+  if (cache_valid && facts_hash != cache.facts_hash) {
+    for (FileState& state : states) {
+      if (state.cached) {
+        state.cached = false;
+        state.file_diagnostics.clear();
+        state.file_used_allowlist.clear();
+        state.scan = ScanFile(state.bytes);
+      }
+    }
+  }
+
+  // Phase B: global passes, then per-file passes on dirty files.
+  LockGraph graph = BuildLockGraph(facts_by_path, sink);
+  const size_t global_diag_count = sink.diagnostics.size();
+  std::map<std::string, std::vector<std::string>> global_enums;
+  for (const auto& [path, facts] : facts_by_path) {
+    (void)path;
+    for (const EnumFact& e : facts.enums) {
+      global_enums.emplace(e.name, e.enumerators);  // first definition wins
+    }
+  }
+  size_t analyzed = 0;
+  for (FileState& state : states) {
+    if (state.cached) {
+      for (const Diagnostic& cached_diag : state.file_diagnostics) {
+        Diagnostic d = cached_diag;
+        d.path = state.path;
+        sink.diagnostics.push_back(d);
+      }
+      for (size_t index : state.file_used_allowlist) {
+        if (index < sink.allowlist.size()) {
+          sink.used_allowlist.insert(index);
+        }
+      }
+      continue;
+    }
+    ++analyzed;
+    const size_t diags_before = sink.diagnostics.size();
+    const std::set<size_t> used_before = sink.used_allowlist;
+    RunTokenRules(state.path, state.scan, sink);
+    CheckEnumSwitch(state.path, state.scan, global_enums, sink);
+    RunFlowRules(state.path, state.scan, graph, sink);
+    CheckStaleInlineGrants(state.path, state.scan, sink);
+    for (size_t d = diags_before; d < sink.diagnostics.size(); ++d) {
+      Diagnostic stripped = sink.diagnostics[d];
+      stripped.path.clear();  // path is the cache record key
+      state.file_diagnostics.push_back(stripped);
+    }
+    for (size_t index : sink.used_allowlist) {
+      if (used_before.count(index) == 0) {
+        state.file_used_allowlist.insert(index);
+      }
+    }
+  }
+
+  // Stale allowlist entries: every run re-checks these from the full
+  // diagnostic+usage picture (cached files contribute their usage sets).
+  for (size_t k = 0; k < sink.allowlist.size(); ++k) {
+    if (sink.used_allowlist.count(k) > 0) {
+      continue;
+    }
+    const AllowlistEntry& entry = sink.allowlist[k];
+    sink.ReportFact("stale-escape", allowlist_path, entry.line,
+                    "allowlist entry `" + entry.rule + " " + entry.path_substring +
+                    "` matched no diagnostic in this run — the violation it "
+                    "suppressed is gone; delete the entry",
+                    {});
+  }
+
+  std::sort(sink.diagnostics.begin(), sink.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.path != b.path) {
+                return a.path < b.path;
+              }
+              if (a.line != b.line) {
+                return a.line < b.line;
+              }
+              if (a.rule != b.rule) {
+                return a.rule < b.rule;
+              }
+              return a.message < b.message;
+            });
+  sink.diagnostics.erase(
+      std::unique(sink.diagnostics.begin(), sink.diagnostics.end(),
+                  [](const Diagnostic& a, const Diagnostic& b) {
+                    return a.path == b.path && a.line == b.line &&
+                           a.rule == b.rule && a.message == b.message;
+                  }),
+      sink.diagnostics.end());
+  (void)global_diag_count;
+
+  if (!dot_path.empty()) {
+    const std::string dot = LockGraphDot(graph);
+    if (dot_path == "-") {
+      std::fwrite(dot.data(), 1, dot.size(), stdout);
+    } else {
+      std::ofstream out(dot_path, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "deeprest_analyze: cannot write %s\n", dot_path.c_str());
+        return 2;
+      }
+      out << dot;
+    }
+  }
+
+  if (!cache_path.empty()) {
+    Cache fresh;
+    fresh.global_key = global_key;
+    fresh.facts_hash = facts_hash;
+    for (const FileState& state : states) {
+      CachedFile entry;
+      entry.content_hash = state.content_hash;
+      entry.facts = state.facts;
+      entry.diagnostics = state.file_diagnostics;
+      entry.used_allowlist = state.file_used_allowlist;
+      fresh.files[state.path] = entry;
+    }
+    SaveCache(cache_path, fresh);
+  }
+
+  if (stats) {
+    std::printf("deeprest_analyze: %zu files, %zu analyzed, %zu cached, %zu diagnostic(s)\n",
+                states.size(), analyzed, states.size() - analyzed,
+                sink.diagnostics.size());
+  }
+
+  if (format == "sarif" || format == "github") {
+    const std::string rendered = format == "sarif" ? RenderSarif(sink.diagnostics)
+                                                   : RenderGithub(sink.diagnostics);
+    if (out_path.empty() || out_path == "-") {
+      std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+    } else {
+      std::ofstream out(out_path, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "deeprest_analyze: cannot write %s\n", out_path.c_str());
+        return 2;
+      }
+      out << rendered;
+    }
+  } else if (!sink.diagnostics.empty()) {
+    const std::string rendered = RenderText(sink.diagnostics);
+    std::fwrite(rendered.data(), 1, rendered.size(), stderr);
+    std::fprintf(stderr, "deeprest_analyze: %zu violation(s)\n",
+                 sink.diagnostics.size());
+  }
+  return sink.diagnostics.empty() ? 0 : 1;
+}

@@ -1,0 +1,128 @@
+// Diagnostic renderers: plain text (the legacy stderr format every fixture
+// greps), SARIF 2.1.0 (CI artifact upload / code-scanning ingestion), and
+// GitHub workflow annotations (`::error file=...`).
+#include <cstdio>
+#include <sstream>
+
+#include "tools/analyze/analyze.h"
+
+namespace deeprest_analyze {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderText(const std::vector<Diagnostic>& diagnostics) {
+  std::ostringstream out;
+  for (const Diagnostic& d : diagnostics) {
+    out << d.path << ':' << d.line << ": [" << d.rule << "] " << d.message << '\n';
+  }
+  return out.str();
+}
+
+std::string RenderSarif(const std::vector<Diagnostic>& diagnostics) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"version\": \"2.1.0\",\n";
+  out << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out << "  \"runs\": [\n";
+  out << "    {\n";
+  out << "      \"tool\": {\n";
+  out << "        \"driver\": {\n";
+  out << "          \"name\": \"deeprest_analyze\",\n";
+  out << "          \"version\": \"" << JsonEscape(kEngineVersion) << "\",\n";
+  out << "          \"informationUri\": \"tools/analyze\",\n";
+  // Rule table: one entry per distinct rule id seen in this run.
+  out << "          \"rules\": [";
+  {
+    std::set<std::string> rules;
+    for (const Diagnostic& d : diagnostics) {
+      rules.insert(d.rule);
+    }
+    bool first = true;
+    for (const std::string& rule : rules) {
+      out << (first ? "\n" : ",\n");
+      out << "            {\"id\": \"" << JsonEscape(rule) << "\"}";
+      first = false;
+    }
+    if (!rules.empty()) {
+      out << "\n          ";
+    }
+  }
+  out << "]\n";
+  out << "        }\n";
+  out << "      },\n";
+  out << "      \"results\": [";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics) {
+    out << (first ? "\n" : ",\n");
+    out << "        {\n";
+    out << "          \"ruleId\": \"" << JsonEscape(d.rule) << "\",\n";
+    out << "          \"level\": \"error\",\n";
+    out << "          \"message\": {\"text\": \"" << JsonEscape(d.message) << "\"},\n";
+    out << "          \"locations\": [\n";
+    out << "            {\n";
+    out << "              \"physicalLocation\": {\n";
+    out << "                \"artifactLocation\": {\"uri\": \"" << JsonEscape(d.path)
+        << "\"},\n";
+    out << "                \"region\": {\"startLine\": " << d.line << "}\n";
+    out << "              }\n";
+    out << "            }\n";
+    out << "          ]\n";
+    out << "        }";
+    first = false;
+  }
+  if (!diagnostics.empty()) {
+    out << "\n      ";
+  }
+  out << "]\n";
+  out << "    }\n";
+  out << "  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
+std::string RenderGithub(const std::vector<Diagnostic>& diagnostics) {
+  std::ostringstream out;
+  for (const Diagnostic& d : diagnostics) {
+    // Annotation messages are single-line; %0A is the workflow-command
+    // escape for embedded newlines (none are emitted today).
+    out << "::error file=" << d.path << ",line=" << d.line << ",title=" << d.rule
+        << "::" << d.message << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace deeprest_analyze

@@ -1,276 +1,14 @@
-// deeprest_lint — project invariant linter.
-//
-// Enforces the DeepRest-specific rules the compiler cannot: determinism
-// (seeded RNG only, no unordered iteration in byte-stable output paths, no
-// float reassociation in src/nn) and concurrency hygiene (every mutex guards
-// something, no detached threads, tensor nodes only through the arena).
-// Standalone C++: file walking via std::filesystem, token-level scanning, no
-// external dependencies. Runs as a ctest under the `lint` label over all of
-// src/ and exits nonzero with file:line diagnostics on any violation.
-//
-// Rules (ids are what fixtures, allowlists and allow-comments name):
-//   no-unseeded-rand        rand()/srand()/random_device/time() seeding in
-//                           src/ — all randomness must flow through the
-//                           seeded generators in src/nn/rng.h.
-//   no-unordered-iteration  unordered_map/unordered_set in serialization /
-//                           checkpoint / stats-export TUs (filename contains
-//                           "serialize", "checkpoint", "stats" or
-//                           "json_export"): hash iteration order would leak
-//                           into checkpoint bytes and exported tables,
-//                           breaking bit-exact replay.
-//   no-raw-tensor-node-new  `new TensorNode` / `delete <TensorNode*>`
-//                           outside the arena (src/nn/tensor.cc): bypassing
-//                           the freelist breaks O(1) allocator behavior.
-//   no-fast-math-reassoc    std::reduce, `#pragma float_control`, `#pragma
-//                           STDC FP_CONTRACT`, or -ffast-math tokens inside
-//                           src/nn/: reassociation breaks the bit-exactness
-//                           contract between fused and reference kernels.
-//   mutex-needs-guarded-by  a std::mutex / deeprest::Mutex member `m` in a
-//                           class with no DEEPREST_GUARDED_BY(m) /
-//                           DEEPREST_PT_GUARDED_BY(m) / DEEPREST_REQUIRES(m)
-//                           in the same class body: a mutex that guards
-//                           nothing is either dead weight or a lock someone
-//                           BELIEVES guards state it does not.
-//   no-detached-threads     .detach() on a thread: detached threads outlive
-//                           shutdown, racing static destruction and making
-//                           clean TSan runs impossible.
-//   heartbeat-on-loop       a `while (!stop...)` worker loop in src/serve or
-//                           src/autoscale whose body neither calls
-//                           `Heartbeat(` nor blocks on a cv Wait/WaitFor/
-//                           WaitUntil: a supervised loop that never
-//                           heartbeats reads as permanently stalled to the
-//                           Watchdog, and a loop nobody supervises is a
-//                           silent-death waiting to happen.
-//   bounded-containers-in-serve
-//                           a std::map / std::unordered_map (or multi-)
-//                           class member in src/serve without a
-//                           `// deeprest-lint: bounded(<how>)` annotation on
-//                           the same or previous line: the serving layer
-//                           holds per-key state for unbounded key spaces
-//                           (streams, versions, windows), so every container
-//                           member must document the mechanism that caps it
-//                           (byte budget, FIFO drop, retention limit) or it
-//                           is a slow memory leak under production traffic.
-//   intrinsics-only-in-simd raw SIMD intrinsics (`_mm*`, `__m128/256/512*`,
-//                           NEON `vld1q*`-family calls) or an
-//                           immintrin.h/arm_neon.h include outside
-//                           src/nn/simd/: vector code scattered through the
-//                           tree bypasses the runtime ISA dispatcher, breaks
-//                           the scalar fallback build, and dodges the
-//                           bit-exactness tests that gate every kernel. All
-//                           intrinsics live behind src/nn/simd/dispatch.h.
-//
-// Escapes, in order of preference:
-//   * `// deeprest-lint: allow(<rule>[, <rule>...])` on the offending line
-//     or the line directly above it;
-//   * an allowlist file (--allowlist) with lines `<rule> <path-substring>`
-//     (# comments allowed) for whole-file grants, e.g. the arena itself.
-//
-// Usage:
-//   deeprest_lint [--root DIR] [--allowlist FILE] [file...]
-// With explicit files, only those are scanned (fixture tests); otherwise
-// every .h/.cc under DIR/src is walked. Exit code: 0 clean, 1 violations,
-// 2 usage/IO error.
-#include <algorithm>
+// Token-level rule passes: the nine legacy deeprest_lint rules (ids, scopes
+// and message text unchanged — fixtures, allowlists and allow-comments keep
+// working), plus enum-switch exhaustiveness which needs the cross-file enum
+// index. See tools/analyze/analyze.h for the rule inventory.
 #include <cctype>
-#include <cstdio>
 #include <filesystem>
-#include <fstream>
-#include <map>
-#include <set>
-#include <sstream>
-#include <string>
-#include <vector>
 
+#include "tools/analyze/analyze.h"
+
+namespace deeprest_analyze {
 namespace {
-
-struct Token {
-  std::string text;
-  int line = 0;
-};
-
-struct Diagnostic {
-  std::string path;
-  int line = 0;
-  std::string rule;
-  std::string message;
-};
-
-struct FileScan {
-  std::vector<Token> tokens;            // identifiers, numbers, punctuation
-  std::vector<std::string> pp_lines;    // preprocessor lines, lowercased
-  std::vector<int> pp_line_numbers;
-  // Lines granted by `// deeprest-lint: allow(rule)` comments. A grant on
-  // line L suppresses diagnostics on L and L+1 (comment-above style).
-  std::map<std::string, std::set<int>> allowed_lines;
-};
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-void RecordAllowComment(const std::string& comment, int line, FileScan& scan) {
-  const std::string tag = "deeprest-lint:";
-  const size_t tag_at = comment.find(tag);
-  if (tag_at == std::string::npos) {
-    return;
-  }
-  // `deeprest-lint: bounded(<how>)` is the positive annotation for the
-  // bounded-containers-in-serve rule: it both documents the cap and grants
-  // the member on this line or the next.
-  if (comment.find("bounded(", tag_at + tag.size()) != std::string::npos) {
-    scan.allowed_lines["bounded-containers-in-serve"].insert(line);
-    scan.allowed_lines["bounded-containers-in-serve"].insert(line + 1);
-  }
-  size_t at = comment.find("allow", tag_at + tag.size());
-  if (at == std::string::npos) {
-    return;
-  }
-  const size_t open = comment.find('(', at);
-  const size_t close = comment.find(')', open == std::string::npos ? at : open);
-  if (open == std::string::npos || close == std::string::npos) {
-    return;
-  }
-  std::string rules = comment.substr(open + 1, close - open - 1);
-  std::replace(rules.begin(), rules.end(), ',', ' ');
-  std::istringstream stream(rules);
-  std::string rule;
-  while (stream >> rule) {
-    scan.allowed_lines[rule].insert(line);
-    scan.allowed_lines[rule].insert(line + 1);
-  }
-}
-
-// Tokenizes C++ source: skips comments and string/char literals (recording
-// allow-comments), collects preprocessor lines separately, and splits the
-// rest into identifier and single-character punctuation tokens.
-FileScan ScanFile(const std::string& text) {
-  FileScan scan;
-  int line = 1;
-  size_t i = 0;
-  const size_t n = text.size();
-  bool at_line_start = true;
-  while (i < n) {
-    const char c = text[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      at_line_start = true;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    if (c == '#' && at_line_start) {
-      // Preprocessor directive: consume to end of line (honoring \-splices).
-      std::string pp;
-      const int pp_line = line;
-      while (i < n && text[i] != '\n') {
-        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
-          pp += ' ';
-          i += 2;
-          ++line;
-          continue;
-        }
-        pp += static_cast<char>(std::tolower(static_cast<unsigned char>(text[i])));
-        ++i;
-      }
-      scan.pp_lines.push_back(pp);
-      scan.pp_line_numbers.push_back(pp_line);
-      continue;
-    }
-    at_line_start = false;
-    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
-      const size_t end = text.find('\n', i);
-      const std::string comment =
-          text.substr(i, (end == std::string::npos ? n : end) - i);
-      RecordAllowComment(comment, line, scan);
-      i = end == std::string::npos ? n : end;
-      continue;
-    }
-    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
-      const size_t end = text.find("*/", i + 2);
-      const size_t stop = end == std::string::npos ? n : end + 2;
-      const std::string comment = text.substr(i, stop - i);
-      RecordAllowComment(comment, line, scan);
-      for (size_t j = i; j < stop; ++j) {
-        if (text[j] == '\n') {
-          ++line;
-        }
-      }
-      i = stop;
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      // String/char literal: skip with escape handling. Raw strings get a
-      // coarse but safe treatment (scan for the matching delimiter).
-      if (c == '"' && i > 0 && (text[i - 1] == 'R')) {
-        const size_t paren = text.find('(', i);
-        if (paren != std::string::npos) {
-          const std::string delim = ")" + text.substr(i + 1, paren - i - 1) + "\"";
-          const size_t end = text.find(delim, paren);
-          const size_t stop = end == std::string::npos ? n : end + delim.size();
-          for (size_t j = i; j < stop; ++j) {
-            if (text[j] == '\n') {
-              ++line;
-            }
-          }
-          i = stop;
-          continue;
-        }
-      }
-      const char quote = c;
-      ++i;
-      while (i < n && text[i] != quote) {
-        if (text[i] == '\\' && i + 1 < n) {
-          ++i;
-        }
-        if (text[i] == '\n') {
-          ++line;
-        }
-        ++i;
-      }
-      ++i;  // closing quote
-      continue;
-    }
-    if (IsIdentChar(c)) {
-      size_t j = i;
-      while (j < n && IsIdentChar(text[j])) {
-        ++j;
-      }
-      scan.tokens.push_back({text.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    scan.tokens.push_back({std::string(1, c), line});
-    ++i;
-  }
-  return scan;
-}
-
-struct Linter {
-  std::vector<std::pair<std::string, std::string>> allowlist;  // rule, path substring
-  std::vector<Diagnostic> diagnostics;
-
-  bool Allowed(const std::string& rule, const std::string& path, int line,
-               const FileScan& scan) const {
-    for (const auto& [arule, substring] : allowlist) {
-      if (arule == rule && path.find(substring) != std::string::npos) {
-        return true;
-      }
-    }
-    const auto it = scan.allowed_lines.find(rule);
-    return it != scan.allowed_lines.end() && it->second.count(line) > 0;
-  }
-
-  void Report(const std::string& rule, const std::string& path, int line,
-              const std::string& message, const FileScan& scan) {
-    if (!Allowed(rule, path, line, scan)) {
-      diagnostics.push_back({path, line, rule, message});
-    }
-  }
-};
 
 bool TokenIs(const std::vector<Token>& tokens, size_t i, const char* text) {
   return i < tokens.size() && tokens[i].text == text;
@@ -285,19 +23,19 @@ bool PrecededByStd(const std::vector<Token>& tokens, size_t i) {
 // --------------------------------------------------------------------------
 // Rule: no-unseeded-rand
 // --------------------------------------------------------------------------
-void CheckUnseededRand(const std::string& path, const FileScan& scan, Linter& lint) {
+void CheckUnseededRand(const std::string& path, const FileScan& scan, Sink& sink) {
   const auto& t = scan.tokens;
   for (size_t i = 0; i < t.size(); ++i) {
     const std::string& s = t[i].text;
     if ((s == "rand" || s == "srand" || s == "time") && TokenIs(t, i + 1, "(")) {
       // Member calls like foo.time(...) are still suspicious in src/; methods
       // named exactly `time` do not exist in this tree.
-      lint.Report("no-unseeded-rand", path, t[i].line,
+      sink.Report("no-unseeded-rand", path, t[i].line,
                   "call to `" + s + "()` — derive randomness from the seeded "
                   "generators in src/nn/rng.h so runs replay bit-for-bit",
                   scan);
     } else if (s == "random_device" || s == "rand_r" || s == "drand48") {
-      lint.Report("no-unseeded-rand", path, t[i].line,
+      sink.Report("no-unseeded-rand", path, t[i].line,
                   "`" + s + "` is nondeterministic — use src/nn/rng.h", scan);
     }
   }
@@ -316,7 +54,7 @@ bool IsByteStableTu(const std::string& path) {
   return false;
 }
 
-void CheckUnorderedIteration(const std::string& path, const FileScan& scan, Linter& lint) {
+void CheckUnorderedIteration(const std::string& path, const FileScan& scan, Sink& sink) {
   if (!IsByteStableTu(path)) {
     return;
   }
@@ -325,7 +63,7 @@ void CheckUnorderedIteration(const std::string& path, const FileScan& scan, Lint
     const std::string& s = t[i].text;
     if (s == "unordered_map" || s == "unordered_set" || s == "unordered_multimap" ||
         s == "unordered_multiset") {
-      lint.Report("no-unordered-iteration", path, t[i].line,
+      sink.Report("no-unordered-iteration", path, t[i].line,
                   "`" + s + "` in a byte-stable translation unit (serialization/"
                   "checkpoint/stats export) — hash iteration order would leak "
                   "into the output bytes; use std::map/std::set or a sorted "
@@ -338,12 +76,12 @@ void CheckUnorderedIteration(const std::string& path, const FileScan& scan, Lint
 // --------------------------------------------------------------------------
 // Rule: no-raw-tensor-node-new
 // --------------------------------------------------------------------------
-void CheckRawTensorNodeNew(const std::string& path, const FileScan& scan, Linter& lint) {
+void CheckRawTensorNodeNew(const std::string& path, const FileScan& scan, Sink& sink) {
   const auto& t = scan.tokens;
   std::set<std::string> tensor_node_pointers;  // identifiers declared TensorNode*
   for (size_t i = 0; i < t.size(); ++i) {
     if (t[i].text == "new" && TokenIs(t, i + 1, "TensorNode")) {
-      lint.Report("no-raw-tensor-node-new", path, t[i].line,
+      sink.Report("no-raw-tensor-node-new", path, t[i].line,
                   "`new TensorNode` outside the arena — nodes must come from "
                   "detail::AcquireNode() so the freelist accounting holds",
                   scan);
@@ -354,7 +92,7 @@ void CheckRawTensorNodeNew(const std::string& path, const FileScan& scan, Linter
     }
     if (t[i].text == "delete" && i + 1 < t.size() &&
         tensor_node_pointers.count(t[i + 1].text) > 0) {
-      lint.Report("no-raw-tensor-node-new", path, t[i].line,
+      sink.Report("no-raw-tensor-node-new", path, t[i].line,
                   "`delete` of a TensorNode* outside the arena — release the "
                   "handle and let detail::RecycleTree() reclaim it",
                   scan);
@@ -370,7 +108,7 @@ bool IsNnPath(const std::string& path) {
          path.find("src\\nn\\") != std::string::npos;
 }
 
-void CheckFastMathReassoc(const std::string& path, const FileScan& scan, Linter& lint) {
+void CheckFastMathReassoc(const std::string& path, const FileScan& scan, Sink& sink) {
   if (!IsNnPath(path)) {
     return;
   }
@@ -378,13 +116,13 @@ void CheckFastMathReassoc(const std::string& path, const FileScan& scan, Linter&
   for (size_t i = 0; i < t.size(); ++i) {
     const std::string& s = t[i].text;
     if (s == "reduce" && PrecededByStd(t, i)) {
-      lint.Report("no-fast-math-reassoc", path, t[i].line,
+      sink.Report("no-fast-math-reassoc", path, t[i].line,
                   "std::reduce reassociates freely — use std::accumulate or an "
                   "explicit loop so the summation order is fixed",
                   scan);
     }
     if (s == "ffast" || s == "ffast_math") {
-      lint.Report("no-fast-math-reassoc", path, t[i].line,
+      sink.Report("no-fast-math-reassoc", path, t[i].line,
                   "-ffast-math marker in src/nn — the kernels promise "
                   "bit-exactness between fused and reference paths",
                   scan);
@@ -396,7 +134,7 @@ void CheckFastMathReassoc(const std::string& path, const FileScan& scan, Linter&
         pp.find("fp_contract") != std::string::npos ||
         pp.find("fast_math") != std::string::npos ||
         pp.find("associative_math") != std::string::npos) {
-      lint.Report("no-fast-math-reassoc", path, scan.pp_line_numbers[i],
+      sink.Report("no-fast-math-reassoc", path, scan.pp_line_numbers[i],
                   "float-semantics pragma in src/nn — reassociation/contraction "
                   "breaks the bit-exactness contract (build-wide "
                   "-ffp-contract=off is the only sanctioned setting)",
@@ -413,7 +151,7 @@ struct MutexMember {
   int line = 0;
 };
 
-void CheckMutexGuardedBy(const std::string& path, const FileScan& scan, Linter& lint) {
+void CheckMutexGuardedBy(const std::string& path, const FileScan& scan, Sink& sink) {
   const auto& t = scan.tokens;
   // Stack of open class/struct bodies. Each entry: brace depth at which the
   // body opened, mutex members seen, names referenced by guard annotations.
@@ -449,7 +187,7 @@ void CheckMutexGuardedBy(const std::string& path, const FileScan& scan, Linter& 
       if (!stack.empty() && stack.back().depth == depth) {
         for (const MutexMember& m : stack.back().mutexes) {
           if (stack.back().guarded.count(m.name) == 0) {
-            lint.Report("mutex-needs-guarded-by", path, m.line,
+            sink.Report("mutex-needs-guarded-by", path, m.line,
                         "mutex member `" + m.name + "` has no "
                         "DEEPREST_GUARDED_BY(" + m.name + ") field (or "
                         "REQUIRES/PT_GUARDED_BY) in its class — declare what "
@@ -466,13 +204,16 @@ void CheckMutexGuardedBy(const std::string& path, const FileScan& scan, Linter& 
       continue;
     }
     // Member declaration `Mutex name ;` or `std::mutex name ;` (also
-    // recursive/timed/shared variants) directly inside a class body.
+    // recursive/timed/shared variants) directly inside a class body. An
+    // ACQUIRED_AFTER/BEFORE annotation between the name and `;` still
+    // declares a member (the indexer parses the annotation itself).
     const bool mutex_type = (s == "Mutex" && !PrecededByStd(t, i)) || ((s == "mutex" ||
                             s == "recursive_mutex" || s == "timed_mutex" ||
                             s == "shared_mutex") && PrecededByStd(t, i));
     if (mutex_type && stack.back().depth == depth && i + 2 < t.size() &&
         IsIdentChar(t[i + 1].text[0]) &&
-        (t[i + 2].text == ";" || t[i + 2].text == "=")) {
+        (t[i + 2].text == ";" || t[i + 2].text == "=" ||
+         t[i + 2].text.find("ACQUIRED_") != std::string::npos)) {
       stack.back().mutexes.push_back({t[i + 1].text, t[i + 1].line});
       continue;
     }
@@ -508,13 +249,13 @@ void CheckMutexGuardedBy(const std::string& path, const FileScan& scan, Linter& 
 // --------------------------------------------------------------------------
 // Rule: no-detached-threads
 // --------------------------------------------------------------------------
-void CheckDetachedThreads(const std::string& path, const FileScan& scan, Linter& lint) {
+void CheckDetachedThreads(const std::string& path, const FileScan& scan, Sink& sink) {
   const auto& t = scan.tokens;
   for (size_t i = 1; i < t.size(); ++i) {
     if (t[i].text == "detach" && TokenIs(t, i + 1, "(") && TokenIs(t, i + 2, ")") &&
         (t[i - 1].text == "." ||
          (t[i - 1].text == ">" && i >= 2 && t[i - 2].text == "-"))) {
-      lint.Report("no-detached-threads", path, t[i].line,
+      sink.Report("no-detached-threads", path, t[i].line,
                   "detached thread — detached threads outlive Stop()/shutdown, "
                   "race static destruction and defeat TSan; join it (RAII "
                   "owner or ThreadPool)",
@@ -536,7 +277,7 @@ bool IsSupervisedLoopPath(const std::string& path) {
   return false;
 }
 
-void CheckHeartbeatOnLoop(const std::string& path, const FileScan& scan, Linter& lint) {
+void CheckHeartbeatOnLoop(const std::string& path, const FileScan& scan, Sink& sink) {
   if (!IsSupervisedLoopPath(path)) {
     return;
   }
@@ -595,7 +336,7 @@ void CheckHeartbeatOnLoop(const std::string& path, const FileScan& scan, Linter&
       }
     }
     if (!has_heartbeat && !has_wait) {
-      lint.Report("heartbeat-on-loop", path, t[i].line,
+      sink.Report("heartbeat-on-loop", path, t[i].line,
                   "stop-flag worker loop without a Heartbeat() call — publish "
                   "liveness into the HealthRegistry each iteration so the "
                   "Watchdog can tell a stall from a slow sweep",
@@ -613,7 +354,7 @@ bool IsServePath(const std::string& path) {
 }
 
 void CheckBoundedContainersInServe(const std::string& path, const FileScan& scan,
-                                   Linter& lint) {
+                                   Sink& sink) {
   if (!IsServePath(path)) {
     return;
   }
@@ -703,7 +444,7 @@ void CheckBoundedContainersInServe(const std::string& path, const FileScan& scan
     if (j < t.size() && IsIdentChar(t[j].text[0]) && TokenIs(t, j + 1, "(")) {
       continue;
     }
-    lint.Report("bounded-containers-in-serve", path, t[i].line,
+    sink.Report("bounded-containers-in-serve", path, t[i].line,
                 "std::" + s + " member in src/serve without a "
                 "`// deeprest-lint: bounded(<how>)` annotation — serving-layer "
                 "containers index unbounded key spaces; document the eviction/"
@@ -747,14 +488,14 @@ bool IsSimdIntrinsicToken(const std::string& s) {
 }
 
 void CheckIntrinsicsOnlyInSimd(const std::string& path, const FileScan& scan,
-                               Linter& lint) {
+                               Sink& sink) {
   if (IsSimdPath(path)) {
     return;
   }
   const auto& t = scan.tokens;
   for (size_t i = 0; i < t.size(); ++i) {
     if (IsSimdIntrinsicToken(t[i].text)) {
-      lint.Report("intrinsics-only-in-simd", path, t[i].line,
+      sink.Report("intrinsics-only-in-simd", path, t[i].line,
                   "raw SIMD intrinsic `" + t[i].text + "` outside src/nn/simd/ "
                   "— route vector code through simd::* (src/nn/simd/dispatch.h) "
                   "so the runtime ISA dispatcher, the scalar fallback, and the "
@@ -767,7 +508,7 @@ void CheckIntrinsicsOnlyInSimd(const std::string& path, const FileScan& scan,
     for (const char* header : {"immintrin.h", "arm_neon.h", "xmmintrin.h",
                                "emmintrin.h", "avxintrin.h"}) {
       if (pp.find(header) != std::string::npos) {
-        lint.Report("intrinsics-only-in-simd", path, scan.pp_line_numbers[i],
+        sink.Report("intrinsics-only-in-simd", path, scan.pp_line_numbers[i],
                     std::string("#include <") + header + "> outside "
                     "src/nn/simd/ — intrinsics headers (and the code that "
                     "needs them) belong behind the dispatch layer",
@@ -777,110 +518,117 @@ void CheckIntrinsicsOnlyInSimd(const std::string& path, const FileScan& scan,
   }
 }
 
-// --------------------------------------------------------------------------
-
-int LintFile(const std::filesystem::path& file, Linter& lint) {
-  std::ifstream in(file, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "deeprest_lint: cannot read %s\n", file.string().c_str());
-    return 2;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const FileScan scan = ScanFile(buffer.str());
-  const std::string path = file.generic_string();
-  CheckUnseededRand(path, scan, lint);
-  CheckUnorderedIteration(path, scan, lint);
-  CheckRawTensorNodeNew(path, scan, lint);
-  CheckFastMathReassoc(path, scan, lint);
-  CheckMutexGuardedBy(path, scan, lint);
-  CheckDetachedThreads(path, scan, lint);
-  CheckHeartbeatOnLoop(path, scan, lint);
-  CheckBoundedContainersInServe(path, scan, lint);
-  CheckIntrinsicsOnlyInSimd(path, scan, lint);
-  return 0;
-}
-
-bool LoadAllowlist(const std::string& path, Linter& lint) {
-  std::ifstream in(path);
-  if (!in) {
-    return false;
-  }
-  std::string line;
-  while (std::getline(in, line)) {
-    const size_t hash = line.find('#');
-    if (hash != std::string::npos) {
-      line = line.substr(0, hash);
-    }
-    std::istringstream stream(line);
-    std::string rule;
-    std::string substring;
-    if (stream >> rule >> substring) {
-      lint.allowlist.emplace_back(rule, substring);
-    }
-  }
-  return true;
-}
-
 }  // namespace
 
-int main(int argc, char** argv) {
-  std::string root = ".";
-  std::string allowlist_path;
-  std::vector<std::string> files;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--root" && i + 1 < argc) {
-      root = argv[++i];
-    } else if (arg == "--allowlist" && i + 1 < argc) {
-      allowlist_path = argv[++i];
-    } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: deeprest_lint [--root DIR] [--allowlist FILE] [file...]\n");
-      return 0;
-    } else {
-      files.push_back(arg);
-    }
-  }
+void RunTokenRules(const std::string& path, const FileScan& scan, Sink& sink) {
+  CheckUnseededRand(path, scan, sink);
+  CheckUnorderedIteration(path, scan, sink);
+  CheckRawTensorNodeNew(path, scan, sink);
+  CheckFastMathReassoc(path, scan, sink);
+  CheckMutexGuardedBy(path, scan, sink);
+  CheckDetachedThreads(path, scan, sink);
+  CheckHeartbeatOnLoop(path, scan, sink);
+  CheckBoundedContainersInServe(path, scan, sink);
+  CheckIntrinsicsOnlyInSimd(path, scan, sink);
+}
 
-  Linter lint;
-  if (!allowlist_path.empty() && !LoadAllowlist(allowlist_path, lint)) {
-    std::fprintf(stderr, "deeprest_lint: cannot read allowlist %s\n",
-                 allowlist_path.c_str());
-    return 2;
+// --------------------------------------------------------------------------
+// Rule: enum-switch
+// --------------------------------------------------------------------------
+// Exhaustiveness for the enums whose silent fall-through has bitten this
+// tree before: a `switch` over one of them must either name every enumerator
+// in a `case Enum::member` label or carry a `default:`. Detection keys off
+// qualified case labels, so plain integer switches never match. A file-local
+// enum definition shadows the global table (fixtures are self-contained).
+void CheckEnumSwitch(const std::string& path, const FileScan& scan,
+                     const std::map<std::string, std::vector<std::string>>& global_enums,
+                     Sink& sink) {
+  static const std::set<std::string> kEnforced = {"RequestStatus", "ShedPolicy",
+                                                  "KernelMode", "ColdTier"};
+  const auto& t = scan.tokens;
+  // Local enum definitions win over the global table.
+  std::map<std::string, std::vector<std::string>> local_enums;
+  const FileFacts local = ExtractFacts(path, scan);
+  for (const EnumFact& e : local.enums) {
+    local_enums[e.name] = e.enumerators;
   }
-
-  if (files.empty()) {
-    const std::filesystem::path src = std::filesystem::path(root) / "src";
-    if (!std::filesystem::exists(src)) {
-      std::fprintf(stderr, "deeprest_lint: no src/ under --root %s\n", root.c_str());
-      return 2;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text != "switch" || t[i + 1].text != "(") {
+      continue;
     }
-    for (const auto& entry : std::filesystem::recursive_directory_iterator(src)) {
-      if (!entry.is_regular_file()) {
+    // Skip the condition to the switch body.
+    size_t j = i + 1;
+    int parens = 0;
+    for (; j < t.size(); ++j) {
+      if (t[j].text == "(") {
+        ++parens;
+      } else if (t[j].text == ")" && --parens == 0) {
+        break;
+      }
+    }
+    ++j;
+    if (j >= t.size() || t[j].text != "{") {
+      continue;
+    }
+    const size_t body_begin = j;
+    size_t body_end = body_begin;
+    int braces = 0;
+    for (; body_end < t.size(); ++body_end) {
+      if (t[body_end].text == "{") {
+        ++braces;
+      } else if (t[body_end].text == "}" && --braces == 0) {
+        break;
+      }
+    }
+    // Collect `case Qualifier::member` labels and `default:` anywhere in the
+    // body (nested switches over the same enum only ever add coverage).
+    std::map<std::string, std::set<std::string>> seen;
+    bool has_default = false;
+    for (size_t k = body_begin; k < body_end; ++k) {
+      if (t[k].text == "default" && k + 1 < body_end && t[k + 1].text == ":") {
+        has_default = true;
+      }
+      if (t[k].text == "case" && k + 4 < body_end && IsIdentChar(t[k + 1].text[0]) &&
+          t[k + 2].text == ":" && t[k + 3].text == ":" &&
+          IsIdentChar(t[k + 4].text[0])) {
+        seen[t[k + 1].text].insert(t[k + 4].text);
+      }
+    }
+    if (has_default) {
+      continue;
+    }
+    for (const auto& [qualifier, members] : seen) {
+      if (kEnforced.count(qualifier) == 0) {
         continue;
       }
-      const std::string ext = entry.path().extension().string();
-      if (ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp") {
-        files.push_back(entry.path().string());
+      const std::vector<std::string>* table = nullptr;
+      auto local_it = local_enums.find(qualifier);
+      if (local_it != local_enums.end()) {
+        table = &local_it->second;
+      } else {
+        auto global_it = global_enums.find(qualifier);
+        if (global_it != global_enums.end()) {
+          table = &global_it->second;
+        }
+      }
+      if (table == nullptr) {
+        continue;
+      }
+      std::string missing;
+      for (const std::string& enumerator : *table) {
+        if (members.count(enumerator) == 0) {
+          missing += missing.empty() ? enumerator : ", " + enumerator;
+        }
+      }
+      if (!missing.empty()) {
+        sink.Report("enum-switch", path, t[i].line,
+                    "switch over " + qualifier + " has no case for " + missing +
+                    " and no default — handle every enumerator so new states "
+                    "cannot fall through silently",
+                    scan);
       }
     }
-    std::sort(files.begin(), files.end());  // deterministic diagnostic order
   }
-
-  for (const std::string& file : files) {
-    const int rc = LintFile(file, lint);
-    if (rc != 0) {
-      return rc;
-    }
-  }
-
-  for (const Diagnostic& d : lint.diagnostics) {
-    std::fprintf(stderr, "%s:%d: [%s] %s\n", d.path.c_str(), d.line, d.rule.c_str(),
-                 d.message.c_str());
-  }
-  if (!lint.diagnostics.empty()) {
-    std::fprintf(stderr, "deeprest_lint: %zu violation(s)\n", lint.diagnostics.size());
-    return 1;
-  }
-  return 0;
 }
+
+}  // namespace deeprest_analyze

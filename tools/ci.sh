@@ -7,17 +7,20 @@
 #   3. resilience  — self-healing suite by label (ctest -L resilience: health
 #                    registry, watchdog restarts, breakers, hedging, chaos
 #                    schedules; rides the chaos label into the sanitizer legs)
-#   4. lint        — invariant linter over src/ + its rule fixtures (ctest -L lint)
-#   5. tsa         — Clang Thread Safety Analysis as errors (skipped without clang++)
-#   6. tsan        — chaos/serve/resilience/parallel suite under ThreadSanitizer
-#   7. asan        — chaos suite + the quantization accuracy budget under ASan+UBSan
-#   8. asan-storm  — state-cache eviction storm under ASan+UBSan with a tiny
+#   4. lint        — flow-aware analyzer over src/+tools/+tests/ + rule
+#                    fixtures (ctest -L lint)
+#   5. analyze     — analyzer artifact leg: SARIF report + lock-graph DOT
+#                    into build/, plus a warm-cache rerun assertion
+#   6. tsa         — Clang Thread Safety Analysis as errors (skipped without clang++)
+#   7. tsan        — chaos/serve/resilience/parallel suite under ThreadSanitizer
+#   8. asan        — chaos suite + the quantization accuracy budget under ASan+UBSan
+#   9. asan-storm  — state-cache eviction storm under ASan+UBSan with a tiny
 #                    budget (DEEPREST_STATECACHE_STRESS=1): concurrent leases
 #                    vs CLOCK eviction, fp16 demotion, and budget pressure
 #
 # Usage: tools/ci.sh [--quick]
-#   --quick stops after the lint leg (pre-push sanity; sanitizer legs are the
-#   expensive part).
+#   --quick stops before the sanitizer legs (pre-push sanity; tsan/asan are
+#   the expensive part).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,7 +29,7 @@ QUICK=0
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/8] tier-1: default build + full test suite"
+echo "==> [1/9] tier-1: default build + full test suite"
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
@@ -35,7 +38,7 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 # ASan legs below).
 ctest --test-dir build --output-on-failure -L autoscale
 
-echo "==> [2/8] simd-off: kernel + quantization suites on the portable fallback"
+echo "==> [2/9] simd-off: kernel + quantization suites on the portable fallback"
 # DEEPREST_SIMD=scalar pins the dispatch ladder to the portable rung, so the
 # scalar kernel table (the path every non-x86/pre-AVX2 host runs) is executed
 # by the same tests that gate the vector paths. The simd tests themselves
@@ -43,17 +46,33 @@ echo "==> [2/8] simd-off: kernel + quantization suites on the portable fallback"
 DEEPREST_SIMD=scalar ctest --test-dir build --output-on-failure \
   -R 'nn_tests|quantized_tests|core_tests|property_tests'
 
-echo "==> [3/8] resilience: self-healing suite by label"
+echo "==> [3/9] resilience: self-healing suite by label"
 # Supported entry point for the supervision layer (watchdog restarts, hedged
 # requests, chaos schedules, the resilience bench smoke); the same tests also
 # carry the chaos label, so the sanitizer legs below re-run them under TSan
 # and ASan.
 ctest --test-dir build --output-on-failure -L resilience
 
-echo "==> [4/8] lint: invariant linter over src/ + rule fixtures"
+echo "==> [4/9] lint: flow-aware analyzer over the tree + rule fixtures"
 ctest --preset lint -j "$JOBS"
 
-echo "==> [5/8] tsa: Clang thread-safety analysis (compile-only gate)"
+echo "==> [5/9] analyze: SARIF + lock-graph artifacts, warm-cache assertion"
+ANALYZE_BIN=build/tools/deeprest_analyze
+ANALYZE_CACHE=build/deeprest_analyze_ci_cache.txt
+# Cold (or incremental) pass: fails the build on any violation and writes
+# the CI artifacts — machine-readable SARIF for code-scanning upload and the
+# extracted lock graph (DESIGN.md §7 is regenerated from this DOT).
+"$ANALYZE_BIN" --root . --allowlist tools/lint/allowlist.txt \
+  --cache "$ANALYZE_CACHE" --format=sarif --out build/analysis.sarif \
+  --dot build/lock_graph.dot --stats
+# No-op rerun must be served entirely from the content-hash cache; an edit
+# is covered by the lint_tests cache-invalidation fixture.
+"$ANALYZE_BIN" --root . --allowlist tools/lint/allowlist.txt \
+  --cache "$ANALYZE_CACHE" --stats | grep -q ' 0 analyzed,' \
+  || { echo "analyzer cache did not warm on a no-op rerun"; exit 1; }
+echo "    artifacts: build/analysis.sarif, build/lock_graph.dot"
+
+echo "==> [6/9] tsa: Clang thread-safety analysis (compile-only gate)"
 if command -v clang++ >/dev/null 2>&1; then
   cmake --preset lint >/dev/null
   cmake --build --preset lint -j "$JOBS"
@@ -66,12 +85,12 @@ if [[ "$QUICK" == "1" ]]; then
   exit 0
 fi
 
-echo "==> [6/8] tsan: chaos suite under ThreadSanitizer"
+echo "==> [7/9] tsan: chaos suite under ThreadSanitizer"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$JOBS"
 ctest --preset chaos-tsan -j "$JOBS"
 
-echo "==> [7/8] asan: chaos suite + quantization accuracy budget under ASan+UBSan"
+echo "==> [8/9] asan: chaos suite + quantization accuracy budget under ASan+UBSan"
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "$JOBS"
 ctest --preset chaos-asan -j "$JOBS"
@@ -80,7 +99,7 @@ ctest --preset chaos-asan -j "$JOBS"
 # tables, exactly where an out-of-bounds pack/load would hide.
 ctest --test-dir build-asan --output-on-failure -R 'quantized_tests|nn_tests'
 
-echo "==> [8/8] asan-storm: state-cache eviction storm under ASan+UBSan"
+echo "==> [9/9] asan-storm: state-cache eviction storm under ASan+UBSan"
 # The stress flag multiplies the storm test's iteration count; the tiny
 # budget in the test forces constant eviction/demotion/promotion churn while
 # four threads hold exclusive leases — the exact interleavings where a
